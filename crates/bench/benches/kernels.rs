@@ -1,0 +1,152 @@
+//! Criterion microbenchmarks for the framework's kernels.
+//!
+//! * `transfix` — one TransFix pass over a master-backed tuple (the
+//!   per-round fixing cost of Fig. 12);
+//! * `chase_validate` — the unique-fix validation of a user assertion;
+//! * `suggest` — computing a fresh suggestion (the cost `Suggest+`
+//!   amortizes away);
+//! * `is_suggestion` — the BDD cache's cheap re-check;
+//! * `region_catalog` — the offline certain-region deduction;
+//! * `increp_tuple` — the `IncRep` baseline over a small batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use certainfix_bench::runner::Which;
+use certainfix_cfd::{increp, rules_to_cfds, IncRepConfig};
+use certainfix_core::transfix;
+use certainfix_datagen::{Dataset, DirtyConfig};
+use certainfix_reasoning::{is_suggestion, suggest, Chase, RegionCatalog};
+use certainfix_relation::{AttrSet, Relation};
+use certainfix_rules::DependencyGraph;
+
+fn bench_kernels(c: &mut Criterion) {
+    for which in Which::BOTH {
+        let w = which.build(5_000);
+        let graph = DependencyGraph::new(w.rules());
+        let ds = Dataset::generate(
+            w.as_ref(),
+            &DirtyConfig {
+                duplicate_rate: 1.0,
+                noise_rate: 0.2,
+                input_size: 64,
+                seed: 7,
+            },
+        );
+        let catalog = RegionCatalog::build(w.rules(), w.master_index());
+        let z: AttrSet = catalog
+            .best()
+            .expect("catalog non-empty")
+            .z()
+            .iter()
+            .copied()
+            .collect();
+        // tuples with the initial region already asserted correct
+        let prepared: Vec<_> = ds
+            .inputs
+            .iter()
+            .map(|dt| {
+                let mut t = dt.dirty.clone();
+                for a in z.iter() {
+                    t.set(a, dt.clean.get(a).clone());
+                }
+                t
+            })
+            .collect();
+
+        c.bench_with_input(
+            BenchmarkId::new("transfix", which.name()),
+            &prepared,
+            |b, tuples| {
+                let mut i = 0;
+                b.iter(|| {
+                    let t = &tuples[i % tuples.len()];
+                    i += 1;
+                    black_box(transfix(w.rules(), w.master_index(), &graph, t, z))
+                });
+            },
+        );
+
+        c.bench_with_input(
+            BenchmarkId::new("chase_validate", which.name()),
+            &prepared,
+            |b, tuples| {
+                let chase = Chase::new(w.rules(), w.master_index());
+                let mut i = 0;
+                b.iter(|| {
+                    let t = &tuples[i % tuples.len()];
+                    i += 1;
+                    black_box(chase.run(t, z).is_unique())
+                });
+            },
+        );
+
+        // suggestion cost on partially validated tuples
+        let partial: AttrSet = z.iter().take(1).collect();
+        c.bench_with_input(
+            BenchmarkId::new("suggest", which.name()),
+            &prepared,
+            |b, tuples| {
+                let mut i = 0;
+                b.iter(|| {
+                    let t = &tuples[i % tuples.len()];
+                    i += 1;
+                    black_box(suggest(w.rules(), w.master_index(), t, partial))
+                });
+            },
+        );
+
+        let cached = suggest(w.rules(), w.master_index(), &prepared[0], partial)
+            .expect("suggestion exists")
+            .attrs;
+        c.bench_with_input(
+            BenchmarkId::new("is_suggestion", which.name()),
+            &prepared,
+            |b, tuples| {
+                let mut i = 0;
+                b.iter(|| {
+                    let t = &tuples[i % tuples.len()];
+                    i += 1;
+                    black_box(is_suggestion(
+                        w.rules(),
+                        w.master_index(),
+                        t,
+                        partial,
+                        &cached,
+                    ))
+                });
+            },
+        );
+
+        c.bench_function(&format!("region_catalog/{}", which.name()), |b| {
+            b.iter(|| black_box(RegionCatalog::build(w.rules(), w.master_index())))
+        });
+
+        let (cfds, _) = rules_to_cfds(w.rules());
+        let dirty_rel = Relation::new(
+            w.schema().clone(),
+            ds.inputs.iter().map(|dt| dt.dirty.clone()).collect(),
+        )
+        .unwrap();
+        c.bench_function(&format!("increp_batch64/{}", which.name()), |b| {
+            b.iter(|| {
+                black_box(increp(
+                    &dirty_rel,
+                    &cfds,
+                    w.master_index(),
+                    &IncRepConfig::default(),
+                ))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_kernels
+}
+criterion_main!(kernels);

@@ -1,0 +1,63 @@
+//! Criterion benchmark of the end-to-end monitoring pipeline — the
+//! measured counterpart of Fig. 12: per-tuple processing cost for
+//! `CertainFix` (fresh suggestions) vs `CertainFix+` (BDD cache), on
+//! both workloads, at two master sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use certainfix_bench::runner::Which;
+use certainfix_core::{DataMonitor, SimulatedUser};
+use certainfix_datagen::{Dataset, DirtyConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    for which in Which::BOTH {
+        for dm in [2_000usize, 10_000] {
+            let w = which.build(dm);
+            let ds = Dataset::generate(
+                w.as_ref(),
+                &DirtyConfig {
+                    duplicate_rate: 0.3,
+                    noise_rate: 0.2,
+                    input_size: 256,
+                    seed: 11,
+                },
+            );
+            for use_bdd in [false, true] {
+                let label = format!(
+                    "{}/dm{}/{}",
+                    which.name(),
+                    dm,
+                    if use_bdd { "certainfix+" } else { "certainfix" }
+                );
+                c.bench_with_input(BenchmarkId::new("process", label), &ds, |b, ds| {
+                    // one warm monitor per measurement batch: the BDD
+                    // cache amortizes across tuples, exactly like the
+                    // streaming setting of Fig. 12c/d
+                    let mut monitor = DataMonitor::new(
+                        w.rules().clone(),
+                        w.master().clone(),
+                        use_bdd,
+                    );
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        let dt = &ds.inputs[i % ds.inputs.len()];
+                        i += 1;
+                        let mut user = SimulatedUser::new(dt.clean.clone());
+                        black_box(monitor.process(&dt.dirty, &mut user))
+                    });
+                });
+            }
+        }
+    }
+}
+
+criterion_group! {
+    name = pipeline;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pipeline
+}
+criterion_main!(pipeline);

@@ -1,0 +1,113 @@
+//! A tiny `--key value` argument parser for the experiment binaries.
+//!
+//! No external CLI crate is pulled in; the experiments only need a
+//! handful of numeric flags (`--dm`, `--inputs`, `--d`, `--n`,
+//! `--seed`, `--vary`, `--out`, `--compliance`).
+
+use std::collections::BTreeMap;
+
+/// Parsed arguments: flag → value (`--flag` without a value stores "").
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parse from an iterator of arguments (excluding the binary name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Args {
+        let mut flags = BTreeMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                    _ => String::new(),
+                };
+                flags.insert(name.to_string(), value);
+            }
+        }
+        Args { flags }
+    }
+
+    /// Parse the process's own arguments.
+    pub fn from_env() -> Args {
+        Args::parse(std::env::args().skip(1))
+    }
+
+    /// Raw flag value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// `true` iff the flag was present (with or without a value).
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// Typed lookup with default.
+    pub fn usize_or(&self, name: &str, default: usize) -> usize {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Typed lookup with default.
+    pub fn u64_or(&self, name: &str, default: u64) -> u64 {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Typed lookup with default.
+    pub fn f64_or(&self, name: &str, default: f64) -> f64 {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// String lookup with default.
+    pub fn str_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.get(name).filter(|v| !v.is_empty()).unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let a = parse("--dm 5000 --d 0.3 --vary n --quiet");
+        assert_eq!(a.usize_or("dm", 0), 5000);
+        assert_eq!(a.f64_or("d", 0.0), 0.3);
+        assert_eq!(a.str_or("vary", "d"), "n");
+        assert!(a.has("quiet"));
+        assert!(!a.has("missing"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("");
+        assert_eq!(a.usize_or("dm", 10_000), 10_000);
+        assert_eq!(a.u64_or("seed", 42), 42);
+        assert_eq!(a.str_or("vary", "d"), "d");
+    }
+
+    #[test]
+    fn flag_followed_by_flag_has_empty_value() {
+        let a = parse("--bdd --dm 10");
+        assert!(a.has("bdd"));
+        assert_eq!(a.get("bdd"), Some(""));
+        assert_eq!(a.usize_or("dm", 0), 10);
+    }
+
+    #[test]
+    fn bad_numbers_fall_back() {
+        let a = parse("--dm abc");
+        assert_eq!(a.usize_or("dm", 7), 7);
+    }
+}

@@ -1,0 +1,95 @@
+//! Fig. 11: attribute-level fixes (F-measure) when varying d%, |Dm| or
+//! n%, with the `IncRep` comparison.
+//!
+//! The shapes the paper reports:
+//!
+//! * F-measure grows with d% (10a/d analogue) and with |Dm| (11b/e);
+//! * our F-measure is insensitive to the noise rate n% while
+//!   `IncRep`'s degrades as n% grows and falls below ours (11c/f) —
+//!   `IncRep` repairs more aggressively (no user interaction) but
+//!   introduces errors, so its precision < 1.
+//!
+//! `IncRep` is evaluated once per sweep point (it has no interaction
+//! rounds); our method is reported at k = 1 (to favour `IncRep`, as the
+//! paper does) and at k = 4.
+//!
+//! Usage: `cargo run --release -p certainfix-bench --bin fig11
+//!         [--vary d|dm|n|all] [--dm N] [--inputs N] [--out file.csv]`
+
+use certainfix_bench::args::Args;
+use certainfix_bench::runner::{run_increp, run_monitored, ExpConfig, Which};
+use certainfix_bench::table::{f3, Table};
+
+fn sweep(which: Which, base: &ExpConfig, vary: &str, table: &mut Table) {
+    let points: Vec<(String, ExpConfig)> = match vary {
+        "d" => [0.1, 0.2, 0.3, 0.4, 0.5]
+            .iter()
+            .map(|&d| (format!("d={d:.1}"), ExpConfig { d, ..*base }))
+            .collect(),
+        "dm" => [0.5, 1.0, 1.5, 2.0, 2.5]
+            .iter()
+            .map(|&f| {
+                let dm = (base.dm as f64 * f) as usize;
+                (format!("|Dm|={dm}"), ExpConfig { dm, ..*base })
+            })
+            .collect(),
+        "n" => [0.1, 0.2, 0.3, 0.4, 0.5]
+            .iter()
+            .map(|&n| (format!("n={n:.1}"), ExpConfig { n, ..*base }))
+            .collect(),
+        other => panic!("unknown sweep `{other}` (use d, dm, n or all)"),
+    };
+    for (label, cfg) in points {
+        let w = which.build(cfg.dm);
+        let result = run_monitored(w.as_ref(), &cfg, 4);
+        let (increp_counts, _) = run_increp(w.as_ref(), &result.dataset);
+        table.row([
+            which.name().to_string(),
+            vary.to_string(),
+            label,
+            f3(result.at_round(1).f_measure),
+            f3(result.at_round(4).f_measure),
+            f3(increp_counts.f_measure()),
+            f3(increp_counts.precision()),
+        ]);
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let base = ExpConfig::from_args(&args);
+    let vary = args.str_or("vary", "all").to_string();
+    let mut table = Table::new([
+        "dataset",
+        "sweep",
+        "point",
+        "F k=1",
+        "F k=4",
+        "F IncRep",
+        "P IncRep",
+    ]);
+
+    let sweeps: Vec<&str> = if vary == "all" {
+        vec!["d", "dm", "n"]
+    } else {
+        vec![vary.as_str()]
+    };
+    for which in Which::BOTH {
+        for s in &sweeps {
+            sweep(which, &base, s, &mut table);
+        }
+    }
+
+    println!("Fig. 11: attribute-level F-measure, CertainFix vs IncRep");
+    println!(
+        "(defaults: d% = {:.0}, |Dm| = {}, n% = {:.0}, |D| = {}; our precision is 1.0 by construction)",
+        base.d * 100.0,
+        base.dm,
+        base.n * 100.0,
+        base.inputs
+    );
+    println!("{}", table.render());
+    table
+        .maybe_write_csv(args.str_or("out", ""))
+        .expect("writing CSV output");
+}

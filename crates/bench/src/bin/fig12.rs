@@ -1,0 +1,107 @@
+//! Fig. 12: efficiency and scalability.
+//!
+//! * Fig. 12a/b — vary |Dm|: average elapsed time per interaction round
+//!   for `CertainFix` (no BDD) vs `CertainFix+` (BDD suggestion cache).
+//!   Both scale gracefully with master size; the BDD variant is faster.
+//! * Fig. 12c/d — vary |D| (the input stream length): `CertainFix` is
+//!   insensitive to |D| (tuples are independent); `CertainFix+` gets
+//!   *faster* per round as |D| grows because the cache warms up — the
+//!   paper's ~0.1 s plateau.
+//!
+//! Usage: `cargo run --release -p certainfix-bench --bin fig12
+//!         [--vary dm|d_size|all] [--dm N] [--inputs N] [--out file.csv]`
+
+use certainfix_bench::args::Args;
+use certainfix_bench::runner::{run_monitored, ExpConfig, Which};
+use certainfix_bench::table::{ms, Table};
+
+fn run_point(which: Which, cfg: &ExpConfig) -> (std::time::Duration, f64) {
+    let w = which.build(cfg.dm);
+    let result = run_monitored(w.as_ref(), cfg, 1);
+    let hit_rate = {
+        let s = result.bdd;
+        let total = s.hits + s.misses;
+        if total == 0 {
+            0.0
+        } else {
+            s.hits as f64 / total as f64
+        }
+    };
+    (result.stats.avg_round_latency(), hit_rate)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let base = ExpConfig::from_args(&args);
+    let vary = args.str_or("vary", "all").to_string();
+    let mut table = Table::new([
+        "dataset",
+        "sweep",
+        "point",
+        "CertainFix ms/round",
+        "CertainFix+ ms/round",
+        "BDD hit rate",
+    ]);
+
+    let sweeps: Vec<&str> = if vary == "all" {
+        vec!["dm", "d_size"]
+    } else {
+        vec![vary.as_str()]
+    };
+
+    for which in Which::BOTH {
+        for s in &sweeps {
+            let points: Vec<(String, ExpConfig)> = match *s {
+                "dm" => [0.5, 1.0, 1.5, 2.0, 2.5]
+                    .iter()
+                    .map(|&f| {
+                        let dm = (base.dm as f64 * f) as usize;
+                        (format!("|Dm|={dm}"), ExpConfig { dm, ..base })
+                    })
+                    .collect(),
+                "d_size" => [10usize, 100, 1000, base.inputs.max(2000)]
+                    .iter()
+                    .map(|&inputs| (format!("|D|={inputs}"), ExpConfig { inputs, ..base }))
+                    .collect(),
+                other => panic!("unknown sweep `{other}` (use dm, d_size or all)"),
+            };
+            for (label, cfg) in points {
+                let plain = run_point(
+                    which,
+                    &ExpConfig {
+                        use_bdd: false,
+                        ..cfg
+                    },
+                );
+                let cached = run_point(
+                    which,
+                    &ExpConfig {
+                        use_bdd: true,
+                        ..cfg
+                    },
+                );
+                table.row([
+                    which.name().to_string(),
+                    s.to_string(),
+                    label,
+                    ms(plain.0),
+                    ms(cached.0),
+                    format!("{:.2}", cached.1),
+                ]);
+            }
+        }
+    }
+
+    println!("Fig. 12: average latency per interaction round");
+    println!(
+        "(defaults: d% = {:.0}, n% = {:.0}, |Dm| = {}, |D| = {})",
+        base.d * 100.0,
+        base.n * 100.0,
+        base.dm,
+        base.inputs
+    );
+    println!("{}", table.render());
+    table
+        .maybe_write_csv(args.str_or("out", ""))
+        .expect("writing CSV output");
+}

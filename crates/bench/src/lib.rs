@@ -1,0 +1,8 @@
+//! Experiment harness for the paper's evaluation (Sect. 6).
+//!
+//! Each binary in `src/bin/` regenerates one table or figure; shared
+//! plumbing (CLI parsing, CSV output, experiment runners) lives here.
+
+pub mod args;
+pub mod runner;
+pub mod table;

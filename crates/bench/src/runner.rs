@@ -1,0 +1,275 @@
+//! Shared experiment plumbing: workload construction, monitored runs,
+//! metric evaluation, and the `IncRep` comparison run.
+
+use std::time::Duration;
+
+use certainfix_cfd::{increp, rules_to_cfds, IncRepConfig};
+use certainfix_core::{
+    evaluate_changes, evaluate_rounds, CertainFixConfig, ChangeCounts, DataMonitor,
+    FixOutcome, InitialRegion, MonitorStats, RoundMetrics, SimulatedUser,
+};
+use certainfix_datagen::{Dataset, Dblp, DirtyConfig, Hosp, Workload};
+
+use crate::args::Args;
+
+/// Which dataset an experiment runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Which {
+    /// The hospital workload (19 attrs, 21 eRs).
+    Hosp,
+    /// The bibliography workload (12 attrs, 16 eRs).
+    Dblp,
+}
+
+impl Which {
+    /// Both workloads, in the paper's order.
+    pub const BOTH: [Which; 2] = [Which::Hosp, Which::Dblp];
+
+    /// Lower-case name as used in output rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Which::Hosp => "hosp",
+            Which::Dblp => "dblp",
+        }
+    }
+
+    /// Build the workload with `dm` master rows.
+    pub fn build(self, dm: usize) -> Box<dyn Workload> {
+        match self {
+            Which::Hosp => Box::new(Hosp::generate(dm)),
+            Which::Dblp => Box::new(Dblp::generate(dm)),
+        }
+    }
+}
+
+/// Full experiment configuration (paper defaults unless overridden).
+#[derive(Clone, Copy, Debug)]
+pub struct ExpConfig {
+    /// Master size `|Dm|` (paper default 10K).
+    pub dm: usize,
+    /// Input tuples `|D|` (paper default 10K; binaries default lower to
+    /// keep a full sweep under a minute — use `--inputs` to scale up).
+    pub inputs: usize,
+    /// Duplicate rate `d%` (paper default 0.30).
+    pub d: f64,
+    /// Noise rate `n%` (paper default 0.20).
+    pub n: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Oracle compliance (1.0 = assert every suggested attribute).
+    pub compliance: f64,
+    /// Use the BDD suggestion cache (`CertainFix+`).
+    pub use_bdd: bool,
+    /// Which precomputed region seeds round 1.
+    pub initial: InitialRegion,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            dm: 10_000,
+            inputs: 2_000,
+            d: 0.30,
+            n: 0.20,
+            seed: 0xC0FFEE,
+            compliance: 1.0,
+            use_bdd: true,
+            initial: InitialRegion::Best,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Read overrides from CLI flags.
+    pub fn from_args(args: &Args) -> ExpConfig {
+        let default = ExpConfig::default();
+        ExpConfig {
+            dm: args.usize_or("dm", default.dm),
+            inputs: args.usize_or("inputs", default.inputs),
+            d: args.f64_or("d", default.d),
+            n: args.f64_or("n", default.n),
+            seed: args.u64_or("seed", default.seed),
+            compliance: args.f64_or("compliance", default.compliance),
+            use_bdd: !args.has("no-bdd"),
+            initial: if args.str_or("initial", "best") == "median" {
+                InitialRegion::Median
+            } else {
+                InitialRegion::Best
+            },
+        }
+    }
+
+    fn dirty_config(&self) -> DirtyConfig {
+        DirtyConfig {
+            duplicate_rate: self.d,
+            noise_rate: self.n,
+            input_size: self.inputs,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Result of one monitored run.
+pub struct RunResult {
+    /// Per-round cumulative metrics (rounds `1..=max_rounds`).
+    pub metrics: Vec<RoundMetrics>,
+    /// Monitor statistics (timing, rounds, certain count).
+    pub stats: MonitorStats,
+    /// BDD cache statistics.
+    pub bdd: certainfix_core::bdd::BddStats,
+    /// The dataset used (for follow-up comparisons on the same data).
+    pub dataset: Dataset,
+    /// Raw per-tuple outcomes.
+    pub outcomes: Vec<FixOutcome>,
+}
+
+impl RunResult {
+    /// The maximum number of interaction rounds any tuple needed.
+    pub fn max_rounds(&self) -> usize {
+        self.outcomes
+            .iter()
+            .map(|o| o.rounds.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Metric row for round `k` (clamped to the last materialized row).
+    pub fn at_round(&self, k: usize) -> RoundMetrics {
+        let idx = k.clamp(1, self.metrics.len()).saturating_sub(1);
+        self.metrics[idx]
+    }
+}
+
+/// Run the monitored pipeline on `workload` under `cfg`, evaluating
+/// metrics for up to `report_rounds` rounds.
+pub fn run_monitored(
+    workload: &dyn Workload,
+    cfg: &ExpConfig,
+    report_rounds: usize,
+) -> RunResult {
+    let mut monitor = DataMonitor::with_config(
+        workload.rules().clone(),
+        workload.master().clone(),
+        cfg.use_bdd,
+        cfg.initial,
+        CertainFixConfig::default(),
+    );
+    let dataset = Dataset::generate(workload, &cfg.dirty_config());
+    let mut outcomes = Vec::with_capacity(dataset.len());
+    for (i, dt) in dataset.inputs.iter().enumerate() {
+        let mut user = if cfg.compliance >= 1.0 {
+            SimulatedUser::new(dt.clean.clone())
+        } else {
+            SimulatedUser::with_compliance(dt.clean.clone(), cfg.compliance, cfg.seed ^ i as u64)
+        };
+        outcomes.push(monitor.process(&dt.dirty, &mut user));
+    }
+    let evals: Vec<certainfix_core::TupleEval> = outcomes
+        .iter()
+        .zip(&dataset.inputs)
+        .map(|(o, dt)| certainfix_core::TupleEval {
+            outcome: o,
+            dirty: &dt.dirty,
+            clean: &dt.clean,
+        })
+        .collect();
+    let metrics = evaluate_rounds(&evals, report_rounds.max(1));
+    RunResult {
+        metrics,
+        stats: monitor.stats(),
+        bdd: monitor.bdd_stats(),
+        dataset,
+        outcomes,
+    }
+}
+
+/// Run the `IncRep` baseline on the same dirty data and evaluate its
+/// attribute-level counts. Returns the counts and the elapsed time.
+pub fn run_increp(workload: &dyn Workload, dataset: &Dataset) -> (ChangeCounts, Duration) {
+    let (cfds, _skipped) = rules_to_cfds(workload.rules());
+    let dirty_rel = dataset.dirty_relation(workload.schema().clone());
+    let started = std::time::Instant::now();
+    let report = increp(
+        &dirty_rel,
+        &cfds,
+        workload.master_index(),
+        &IncRepConfig::default(),
+    );
+    let elapsed = started.elapsed();
+    let cleans: Vec<&certainfix_relation::Tuple> =
+        dataset.inputs.iter().map(|dt| &dt.clean).collect();
+    let counts = evaluate_changes(
+        dataset
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(i, dt)| (&dt.dirty, report.repaired.tuple(i), cleans[i])),
+    );
+    (counts, elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ExpConfig {
+        ExpConfig {
+            dm: 300,
+            inputs: 80,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn monitored_run_produces_metrics() {
+        let w = Which::Hosp.build(small().dm);
+        let result = run_monitored(w.as_ref(), &small(), 4);
+        assert_eq!(result.metrics.len(), 4);
+        // recall_t(1) ≈ d and is non-decreasing in k
+        let r1 = result.metrics[0].recall_t;
+        assert!(r1 > 0.1 && r1 < 0.5, "recall_t(1) = {r1}");
+        for w in result.metrics.windows(2) {
+            assert!(w[1].recall_t >= w[0].recall_t);
+            assert!(w[1].recall_a >= w[0].recall_a);
+        }
+        // certain fixes are precise by construction
+        assert_eq!(result.metrics.last().unwrap().precision_a, 1.0);
+        assert!(result.max_rounds() >= 1);
+        assert_eq!(result.at_round(99), *result.metrics.last().unwrap());
+    }
+
+    #[test]
+    fn increp_comparison_runs() {
+        let cfg = small();
+        let w = Which::Dblp.build(cfg.dm);
+        let result = run_monitored(w.as_ref(), &cfg, 3);
+        let (counts, _) = run_increp(w.as_ref(), &result.dataset);
+        assert!(counts.erroneous > 0);
+        // IncRep changes things but is not fully precise in general
+        assert!(counts.precision() <= 1.0);
+    }
+
+    #[test]
+    fn config_from_args() {
+        let args = Args::parse(
+            "--dm 123 --inputs 45 --d 0.5 --n 0.1 --no-bdd --initial median"
+                .split_whitespace()
+                .map(String::from),
+        );
+        let cfg = ExpConfig::from_args(&args);
+        assert_eq!(cfg.dm, 123);
+        assert_eq!(cfg.inputs, 45);
+        assert_eq!(cfg.d, 0.5);
+        assert!(!cfg.use_bdd);
+        assert_eq!(cfg.initial, InitialRegion::Median);
+    }
+
+    #[test]
+    fn which_builds_both() {
+        for which in Which::BOTH {
+            let w = which.build(50);
+            assert_eq!(w.name(), which.name());
+            assert_eq!(w.master().len(), 50);
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Conditional functional dependencies.
+//!
+//! A CFD over schema `R` is `ψ = (X → B, tp)` where `X → B` is a
+//! standard FD and `tp` is a pattern tuple over `X ∪ {B}` whose cells
+//! are constants or `_` [Fan et al., TODS 2008]. When `tp[B]` is a
+//! constant (and usually all of `tp[X]`), `ψ` is a *constant* CFD and a
+//! single tuple can violate it; otherwise it is a *variable* CFD and
+//! violations are witnessed by tuple pairs (or, in the monitoring
+//! setting, by a tuple together with a clean reference relation).
+
+use std::fmt;
+
+use certainfix_relation::{
+    AttrId, FxHashMap, MasterIndex, PatternValue, Relation, Schema, Tuple, Value,
+};
+
+/// A CFD `(X → B, tp)`. Pattern cells are `Const` or wildcard
+/// (negations do not occur in standard CFDs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cfd {
+    name: String,
+    lhs: Vec<AttrId>,
+    /// Pattern on `X`, parallel to `lhs`; `None` = wildcard.
+    lhs_pattern: Vec<Option<Value>>,
+    rhs: AttrId,
+    /// Pattern on `B`; `None` = wildcard (variable CFD).
+    rhs_pattern: Option<Value>,
+}
+
+impl Cfd {
+    /// Build a CFD; `lhs_pattern` must be parallel to `lhs`.
+    pub fn new(
+        name: impl Into<String>,
+        lhs: Vec<AttrId>,
+        lhs_pattern: Vec<Option<Value>>,
+        rhs: AttrId,
+        rhs_pattern: Option<Value>,
+    ) -> Cfd {
+        assert_eq!(lhs.len(), lhs_pattern.len(), "pattern must parallel X");
+        assert!(!lhs.contains(&rhs), "B must not occur in X");
+        Cfd {
+            name: name.into(),
+            lhs,
+            lhs_pattern,
+            rhs,
+            rhs_pattern,
+        }
+    }
+
+    /// The CFD's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `X`.
+    pub fn lhs(&self) -> &[AttrId] {
+        &self.lhs
+    }
+
+    /// `B`.
+    pub fn rhs(&self) -> AttrId {
+        self.rhs
+    }
+
+    /// The pattern constant on `B`, if any.
+    pub fn rhs_pattern(&self) -> Option<&Value> {
+        self.rhs_pattern.as_ref()
+    }
+
+    /// `true` iff `tp[B]` is a constant — a constant CFD (when the `X`
+    /// pattern is also all constants it can be violated by one tuple).
+    pub fn is_constant(&self) -> bool {
+        self.rhs_pattern.is_some() && self.lhs_pattern.iter().all(Option::is_some)
+    }
+
+    /// Does `t[X]` match `tp[X]`? Tuples with nulls in `X` never match
+    /// (a missing value cannot witness a violation).
+    pub fn matches_lhs(&self, t: &Tuple) -> bool {
+        self.lhs.iter().zip(&self.lhs_pattern).all(|(&a, p)| {
+            let v = t.get(a);
+            !v.is_null() && p.as_ref().map(|c| v == c).unwrap_or(true)
+        })
+    }
+
+    /// Single-tuple violation (constant CFDs only): `t` matches `tp[X]`
+    /// but `t[B]` differs from the constant `tp[B]`.
+    pub fn violates_single(&self, t: &Tuple) -> bool {
+        match &self.rhs_pattern {
+            Some(b) => self.matches_lhs(t) && !t.get(self.rhs).is_null() && t.get(self.rhs) != b,
+            None => false,
+        }
+    }
+
+    /// Violation of `t` against a clean reference: `t` matches `tp[X]`,
+    /// some reference tuple agrees with `t` on `X` (and matches the
+    /// pattern), but prescribes a different `B`. Returns the prescribed
+    /// value. This is how a variable CFD is checked in the monitoring
+    /// setting where the reference relation is assumed clean.
+    pub fn violation_against<'m>(
+        &self,
+        t: &Tuple,
+        reference: &'m MasterIndex,
+    ) -> Option<(&'m Tuple, Value)> {
+        if !self.matches_lhs(t) {
+            return None;
+        }
+        let ids = reference.matches_projection(t, &self.lhs, &self.lhs);
+        for id in ids {
+            let r = reference.tuple(id);
+            if !self.matches_lhs(r) {
+                continue;
+            }
+            let expected = match &self.rhs_pattern {
+                Some(b) => b.clone(),
+                None => r.get(self.rhs).clone(),
+            };
+            if expected.is_null() {
+                continue;
+            }
+            let actual = t.get(self.rhs);
+            if actual != &expected {
+                return Some((r, expected));
+            }
+        }
+        None
+    }
+
+    /// Pairwise violations inside one relation (the classical CFD
+    /// semantics): pairs of row ids matching `tp[X]`, agreeing on `X`,
+    /// and disagreeing on `B` (or disagreeing with `tp[B]`).
+    pub fn violations(&self, rel: &Relation) -> Vec<Violation> {
+        let mut out = Vec::new();
+        // single-tuple violations
+        if self.is_constant() {
+            for (i, t) in rel.iter().enumerate() {
+                if self.violates_single(t) {
+                    out.push(Violation {
+                        cfd: self.name.clone(),
+                        rows: (i, i),
+                        attr: self.rhs,
+                    });
+                }
+            }
+            return out;
+        }
+        // pair violations: bucket by X projection
+        let mut buckets: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+        for (i, t) in rel.iter().enumerate() {
+            if self.matches_lhs(t) {
+                buckets
+                    .entry(t.project(&self.lhs))
+                    .or_default()
+                    .push(i);
+            }
+        }
+        for rows in buckets.values() {
+            for w in rows.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                let va = rel.tuple(a).get(self.rhs);
+                let vb = rel.tuple(b).get(self.rhs);
+                if !va.is_null() && !vb.is_null() && va != vb {
+                    out.push(Violation {
+                        cfd: self.name.clone(),
+                        rows: (a, b),
+                        attr: self.rhs,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Render against a schema: `ψ: ([AC] → city, (020 ‖ Ldn))`.
+    pub fn render(&self, schema: &Schema) -> String {
+        let lhs: Vec<String> = self
+            .lhs
+            .iter()
+            .zip(&self.lhs_pattern)
+            .map(|(&a, p)| match p {
+                Some(v) => format!("{}={}", schema.attr_name(a), v),
+                None => format!("{}=_", schema.attr_name(a)),
+            })
+            .collect();
+        let rhs = match &self.rhs_pattern {
+            Some(v) => format!("{}={}", schema.attr_name(self.rhs), v),
+            None => format!("{}=_", schema.attr_name(self.rhs)),
+        };
+        format!("{}: ([{}] → {})", self.name, lhs.join(", "), rhs)
+    }
+}
+
+impl fmt::Display for Cfd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: |X| = {} → {:?}", self.name, self.lhs.len(), self.rhs)
+    }
+}
+
+/// A detected violation: the CFD's name, witnessing row id(s) (equal
+/// for single-tuple violations) and the right-hand-side attribute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Name of the violated CFD.
+    pub cfd: String,
+    /// Witness rows (both equal for constant-CFD violations).
+    pub rows: (usize, usize),
+    /// The attribute in dispute.
+    pub attr: AttrId,
+}
+
+/// Helper mirroring [`certainfix_relation::PatternValue`] into the
+/// `Option<Value>` cells CFDs use.
+pub fn cell_from_pattern(p: &PatternValue) -> Option<Value> {
+    match p {
+        PatternValue::Const(v) => Some(v.clone()),
+        // negations can't be expressed in a CFD; drop to wildcard
+        PatternValue::Neq(_) | PatternValue::Wildcard => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certainfix_relation::{tuple, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new("R", ["AC", "city", "zip"]).unwrap()
+    }
+
+    fn constant_cfd(s: &Schema) -> Cfd {
+        // (AC = 020 → city = Ldn)
+        Cfd::new(
+            "c1",
+            vec![s.attr("AC").unwrap()],
+            vec![Some(Value::str("020"))],
+            s.attr("city").unwrap(),
+            Some(Value::str("Ldn")),
+        )
+    }
+
+    fn variable_cfd(s: &Schema) -> Cfd {
+        // (zip → city) with empty pattern
+        Cfd::new(
+            "v1",
+            vec![s.attr("zip").unwrap()],
+            vec![None],
+            s.attr("city").unwrap(),
+            None,
+        )
+    }
+
+    #[test]
+    fn example1_constant_violation() {
+        // t1: AC = 020, city = Edi violates (020 → Ldn)
+        let s = schema();
+        let c = constant_cfd(&s);
+        assert!(c.is_constant());
+        assert!(c.violates_single(&tuple!["020", "Edi", "EH7"]));
+        assert!(!c.violates_single(&tuple!["020", "Ldn", "EH7"]));
+        assert!(!c.violates_single(&tuple!["131", "Edi", "EH7"]));
+        // nulls don't witness violations
+        assert!(!c.violates_single(&tuple!["020", Value::Null, "EH7"]));
+    }
+
+    #[test]
+    fn variable_cfd_pair_violations() {
+        let s = schema();
+        let v = variable_cfd(&s);
+        assert!(!v.is_constant());
+        let rel = Relation::new(
+            s.clone(),
+            vec![
+                tuple!["020", "Ldn", "Z1"],
+                tuple!["020", "Edi", "Z1"], // conflicts with row 0 on zip Z1
+                tuple!["131", "Edi", "Z2"],
+            ],
+        )
+        .unwrap();
+        let vs = v.violations(&rel);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rows, (0, 1));
+        assert_eq!(vs[0].attr, s.attr("city").unwrap());
+    }
+
+    #[test]
+    fn constant_cfd_relation_scan() {
+        let s = schema();
+        let c = constant_cfd(&s);
+        let rel = Relation::new(
+            s,
+            vec![tuple!["020", "Edi", "Z1"], tuple!["020", "Ldn", "Z2"]],
+        )
+        .unwrap();
+        let vs = c.violations(&rel);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rows, (0, 0));
+    }
+
+    #[test]
+    fn violation_against_reference() {
+        let s = schema();
+        let v = variable_cfd(&s);
+        let master = MasterIndex::new(Arc::new(
+            Relation::new(
+                s.clone(),
+                vec![tuple!["131", "Edi", "Z1"], tuple!["020", "Ldn", "Z2"]],
+            )
+            .unwrap(),
+        ));
+        // dirty tuple: zip Z1 should imply city Edi
+        let t = tuple!["131", "Lnd", "Z1"];
+        let (_, expected) = v.violation_against(&t, &master).unwrap();
+        assert_eq!(expected, Value::str("Edi"));
+        // clean tuple: no violation
+        assert!(v
+            .violation_against(&tuple!["131", "Edi", "Z1"], &master)
+            .is_none());
+        // unmatched zip: no violation
+        assert!(v
+            .violation_against(&tuple!["131", "Lnd", "Z9"], &master)
+            .is_none());
+    }
+
+    #[test]
+    fn rendering() {
+        let s = schema();
+        assert_eq!(constant_cfd(&s).render(&s), "c1: ([AC=020] → city=Ldn)");
+        assert_eq!(variable_cfd(&s).render(&s), "v1: ([zip=_] → city=_)");
+        assert!(constant_cfd(&s).to_string().contains("c1"));
+    }
+
+    #[test]
+    fn cell_conversion() {
+        assert_eq!(
+            cell_from_pattern(&PatternValue::Const(Value::int(1))),
+            Some(Value::int(1))
+        );
+        assert_eq!(cell_from_pattern(&PatternValue::Wildcard), None);
+        assert_eq!(cell_from_pattern(&PatternValue::Neq(Value::int(1))), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rhs_in_lhs_panics() {
+        let s = schema();
+        let a = s.attr("AC").unwrap();
+        let _ = Cfd::new("bad", vec![a], vec![None], a, None);
+    }
+}

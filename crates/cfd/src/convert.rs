@@ -1,0 +1,138 @@
+//! Deriving a CFD set from editing rules.
+//!
+//! The paper's comparison runs `IncRep` "given a dirty database D and a
+//! set of constraints". To give the baseline constraints with the same
+//! information content as `Σ`, each editing rule
+//! `((X, Xm) → (B, Bm), tp)` whose attribute lists align by *name*
+//! between `R` and `Rm` becomes the CFD `(X ∪ Xp → B, tp)`: "tuples
+//! matching `tp` that agree on the key must agree on `B`". Rules with
+//! genuinely cross-attribute mappings (e.g. DBLP's
+//! `((a2, a1) → (hp2, hp1), ·)`) have no CFD counterpart — exactly the
+//! expressiveness gap Sect. 2 points out — and are skipped.
+
+use certainfix_relation::AttrId;
+use certainfix_rules::RuleSet;
+
+use crate::cfd::{cell_from_pattern, Cfd};
+
+/// Convert every name-aligned rule of `Σ` into a variable CFD.
+/// Returns the CFDs and the number of rules skipped as inexpressible.
+pub fn rules_to_cfds(rules: &RuleSet) -> (Vec<Cfd>, usize) {
+    let r = rules.r_schema();
+    let rm = rules.m_schema();
+    let mut out = Vec::new();
+    let mut skipped = 0usize;
+    'rules: for (_, rule) in rules.iter() {
+        // Every key pair and the fix pair must align by attribute name.
+        for (&x, &xm) in rule.lhs().iter().zip(rule.lhs_m()) {
+            if r.attr_name(x) != rm.attr_name(xm) {
+                skipped += 1;
+                continue 'rules;
+            }
+        }
+        if r.attr_name(rule.rhs()) != rm.attr_name(rule.rhs_m()) {
+            skipped += 1;
+            continue;
+        }
+        // X ∪ Xp with pattern cells: keys get wildcards, pattern attrs
+        // their (constant) cells; negations degrade to wildcards.
+        let mut lhs: Vec<AttrId> = rule.lhs().to_vec();
+        let mut pattern: Vec<Option<certainfix_relation::Value>> = vec![None; lhs.len()];
+        for (&a, cell) in rule.lhs_p().iter().zip(rule.pattern().cells()) {
+            match lhs.iter().position(|&x| x == a) {
+                Some(i) => pattern[i] = cell_from_pattern(cell),
+                None => {
+                    if a == rule.rhs() {
+                        // a pattern on B itself can't move to the lhs
+                        continue;
+                    }
+                    lhs.push(a);
+                    pattern.push(cell_from_pattern(cell));
+                }
+            }
+        }
+        out.push(Cfd::new(
+            format!("cfd({})", rule.name()),
+            lhs,
+            pattern,
+            rule.rhs(),
+            None,
+        ));
+    }
+    (out, skipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certainfix_relation::{Schema, Value};
+    use certainfix_rules::parse_rules;
+
+    #[test]
+    fn aligned_rules_convert() {
+        let r = Schema::new("R", ["zip", "AC", "city", "type"]).unwrap();
+        let rm = r.clone();
+        let rules = parse_rules(
+            "p1: match zip ~ zip set city := city when type = 1",
+            &r,
+            &rm,
+        )
+        .unwrap();
+        let (cfds, skipped) = rules_to_cfds(&rules);
+        assert_eq!(skipped, 0);
+        assert_eq!(cfds.len(), 1);
+        let c = &cfds[0];
+        assert_eq!(c.lhs().len(), 2, "zip plus the pattern attr type");
+        assert_eq!(c.rhs(), r.attr("city").unwrap());
+        assert_eq!(c.render(&r), "cfd(p1): ([zip=_, type=1] → city=_)");
+    }
+
+    #[test]
+    fn cross_attribute_rules_skipped() {
+        let r = Schema::new("R", ["a1", "a2", "hp1", "hp2"]).unwrap();
+        let rm = r.clone();
+        let rules = parse_rules(
+            "f2: match a2 ~ a1 set hp2 := hp1\nf3: match a1 ~ a1 set hp1 := hp1",
+            &r,
+            &rm,
+        )
+        .unwrap();
+        let (cfds, skipped) = rules_to_cfds(&rules);
+        assert_eq!(skipped, 1, "f2 is not expressible as a CFD");
+        assert_eq!(cfds.len(), 1);
+        assert_eq!(cfds[0].name(), "cfd(f3)");
+    }
+
+    #[test]
+    fn negated_patterns_degrade_to_wildcards() {
+        let r = Schema::new("R", ["zip", "AC", "city"]).unwrap();
+        let rm = r.clone();
+        let rules = parse_rules(
+            "p: match zip ~ zip set city := city when AC != '0800'",
+            &r,
+            &rm,
+        )
+        .unwrap();
+        let (cfds, _) = rules_to_cfds(&rules);
+        // AC joins the lhs as a wildcard (the ≠ condition is lost —
+        // CFDs cannot express it)
+        assert!(cfds[0].render(&r).contains("AC=_"));
+    }
+
+    #[test]
+    fn pattern_attr_equal_to_rhs_is_dropped() {
+        let r = Schema::new("R", ["AC", "city"]).unwrap();
+        let rm = r.clone();
+        // ϕ4-style: pattern on AC (the key), fixing city
+        let rules = parse_rules(
+            "p4: match AC ~ AC set city := city when AC = '0800'",
+            &r,
+            &rm,
+        )
+        .unwrap();
+        let (cfds, _) = rules_to_cfds(&rules);
+        assert_eq!(cfds.len(), 1);
+        assert_eq!(cfds[0].render(&r), "cfd(p4): ([AC=0800] → city=_)");
+        let _ = Value::Null; // silence unused-import lints in some cfgs
+    }
+}

@@ -1,0 +1,136 @@
+//! String edit distance for the repair cost model.
+//!
+//! `IncRep`'s cost of updating a value `v` to `v'` is
+//! `w(A, t) · dist(v, v') / max(|v|, |v'|)` — a weighted, normalized
+//! edit distance [Cong et al. 2007, Sect. 3]. We implement the
+//! restricted Damerau-Levenshtein distance (insertions, deletions,
+//! substitutions, adjacent transpositions), which is the variant data
+//! cleaning tools conventionally use for typo models.
+
+use certainfix_relation::Value;
+
+/// Restricted Damerau-Levenshtein distance over Unicode scalar values.
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    // three rolling rows: i-2, i-1, i
+    let mut prev2: Vec<usize> = vec![0; m + 1];
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut curr: Vec<usize> = vec![0; m + 1];
+    for i in 1..=n {
+        curr[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (prev[j] + 1) // deletion
+                .min(curr[j - 1] + 1) // insertion
+                .min(prev[j - 1] + cost); // substitution
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(prev2[j - 2] + 1); // transposition
+            }
+            curr[j] = best;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// Distance normalized to `[0, 1]` by the longer string; equal strings
+/// are 0, entirely different strings approach 1.
+pub fn normalized_distance(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 0.0;
+    }
+    damerau_levenshtein(a, b) as f64 / max as f64
+}
+
+/// Normalized distance lifted to [`Value`]s. Changing to/from a null
+/// costs 1 (inserting or deleting the whole value); differing types
+/// cost 1; equal values cost 0.
+pub fn value_distance(a: &Value, b: &Value) -> f64 {
+    match (a, b) {
+        _ if a == b => 0.0,
+        (Value::Null, _) | (_, Value::Null) => 1.0,
+        (Value::Str(x), Value::Str(y)) => normalized_distance(x, y),
+        (Value::Int(x), Value::Int(y)) => normalized_distance(&x.to_string(), &y.to_string()),
+        _ => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(damerau_levenshtein("", ""), 0);
+        assert_eq!(damerau_levenshtein("abc", ""), 3);
+        assert_eq!(damerau_levenshtein("", "abc"), 3);
+        assert_eq!(damerau_levenshtein("kitten", "sitting"), 3);
+        assert_eq!(damerau_levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn transpositions_cost_one() {
+        assert_eq!(damerau_levenshtein("ab", "ba"), 1);
+        assert_eq!(damerau_levenshtein("Edi", "Edi"), 0);
+        assert_eq!(damerau_levenshtein("Eid", "Edi"), 1);
+        // restricted variant: "ca" -> "abc" is 3 (no overlapping edits)
+        assert_eq!(damerau_levenshtein("ca", "abc"), 3);
+    }
+
+    #[test]
+    fn unicode_is_by_scalar() {
+        assert_eq!(damerau_levenshtein("naïve", "naive"), 1);
+        assert_eq!(damerau_levenshtein("日本", "本日"), 1);
+    }
+
+    #[test]
+    fn normalization_bounds() {
+        assert_eq!(normalized_distance("", ""), 0.0);
+        assert_eq!(normalized_distance("abc", "abc"), 0.0);
+        assert_eq!(normalized_distance("abc", "xyz"), 1.0);
+        let d = normalized_distance("020", "131");
+        assert!(d > 0.0 && d <= 1.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        for (a, b) in [("abc", "acb"), ("kitten", "sitting"), ("", "x")] {
+            assert_eq!(damerau_levenshtein(a, b), damerau_levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_spot_checks() {
+        let words = ["edinburgh", "edinburg", "london", "lodnon", ""];
+        for a in words {
+            for b in words {
+                for c in words {
+                    assert!(
+                        damerau_levenshtein(a, c)
+                            <= damerau_levenshtein(a, b) + damerau_levenshtein(b, c),
+                        "{a} {b} {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn value_distances() {
+        assert_eq!(value_distance(&Value::Null, &Value::Null), 0.0);
+        assert_eq!(value_distance(&Value::Null, &Value::str("x")), 1.0);
+        assert_eq!(value_distance(&Value::int(5), &Value::str("5")), 1.0);
+        assert_eq!(value_distance(&Value::str("a"), &Value::str("a")), 0.0);
+        assert!(value_distance(&Value::int(100), &Value::int(101)) < 1.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Conditional functional dependencies (CFDs) and the `IncRep`
+//! repairing baseline.
+//!
+//! The paper's Sect. 6 compares `CertainFix` against `IncRep`, the
+//! heuristic CFD-based repairing algorithm of
+//! [Cong, Fan, Geerts, Jia, Ma — *Improving Data Quality: Consistency
+//! and Accuracy*, VLDB 2007]. This crate provides everything that
+//! comparison needs:
+//!
+//! * [`Cfd`] — CFDs `(X → B, tp)` with violation detection for both
+//!   constant and variable CFDs,
+//! * [`distance`] — the restricted Damerau-Levenshtein edit distance
+//!   and its normalized form, used by the repair cost model,
+//! * [`convert`] — turning editing rules into CFDs when input and
+//!   master schemas align by attribute name (how the experiment derives
+//!   a comparable constraint set),
+//! * [`increp()`](increp::increp) — the cost-based repair: resolve each violation by the
+//!   cheapest attribute modification (`weight × normalized distance`),
+//!   which — unlike certain fixes — can pick the wrong side and corrupt
+//!   a correct attribute (the paper's Example 1 failure mode).
+
+pub mod cfd;
+pub mod convert;
+pub mod distance;
+pub mod increp;
+
+pub use cfd::{Cfd, Violation};
+pub use convert::rules_to_cfds;
+pub use distance::{damerau_levenshtein, normalized_distance, value_distance};
+pub use increp::{increp, Change, IncRepConfig, IncRepReport};

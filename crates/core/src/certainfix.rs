@@ -1,0 +1,422 @@
+//! Algorithm `CertainFix` (Fig. 3 of the paper): the per-tuple
+//! interaction loop.
+
+use certainfix_relation::{AttrId, AttrSet, MasterIndex, Tuple};
+use certainfix_rules::{DependencyGraph, RuleSet};
+use certainfix_reasoning::{suggest, Chase};
+
+use crate::oracle::UserOracle;
+use crate::transfix::transfix;
+
+/// Configuration of the interaction loop.
+#[derive(Clone, Debug)]
+pub struct CertainFixConfig {
+    /// Hard cap on interaction rounds (safety net; the loop normally
+    /// terminates earlier — see [`FixOutcome::gave_up`]).
+    pub max_rounds: usize,
+    /// Stop interacting once no editing rule can contribute anything
+    /// further (suggestions have degenerated to "type everything in").
+    /// This is the behaviour the paper observes for tuples irrelevant
+    /// to `Σ` and `Dm`: the process ends without a rule-backed certain
+    /// fix.
+    pub stop_when_rules_exhausted: bool,
+}
+
+impl Default for CertainFixConfig {
+    fn default() -> Self {
+        CertainFixConfig {
+            max_rounds: 16,
+            stop_when_rules_exhausted: true,
+        }
+    }
+}
+
+/// One round of interaction.
+#[derive(Clone, Debug)]
+pub struct RoundReport {
+    /// What the framework suggested.
+    pub suggested: Vec<AttrId>,
+    /// What the user asserted (⊆ suggestion, possibly strict).
+    pub asserted: Vec<AttrId>,
+    /// Asserted attributes whose value the user had to change.
+    pub user_changed: AttrSet,
+    /// Attributes written by rules in this round's `TransFix`.
+    pub rule_fixed: AttrSet,
+    /// Did the validation step confirm a unique fix for the asserted
+    /// set? (`false` only under inconsistent master data.)
+    pub validated_ok: bool,
+}
+
+/// Outcome of processing one tuple.
+#[derive(Clone, Debug)]
+pub struct FixOutcome {
+    /// The final tuple.
+    pub tuple: Tuple,
+    /// All validated attributes.
+    pub validated: AttrSet,
+    /// Union of attributes written by rules across rounds.
+    pub rule_fixed: AttrSet,
+    /// Union of attributes the user corrected (asserted with a value
+    /// different from the tuple's).
+    pub user_changed: AttrSet,
+    /// Whether a certain fix was reached (all attributes validated).
+    pub certain: bool,
+    /// First round (1-based) after which every attribute was validated.
+    pub certain_at_round: Option<usize>,
+    /// `true` iff at least one rule fired — i.e. the fix is backed by
+    /// master data rather than produced purely by user assertions.
+    pub rule_backed: bool,
+    /// `true` iff the loop stopped because no rule could contribute
+    /// (tuple irrelevant to `Σ`/`Dm`), leaving attributes unvalidated.
+    pub gave_up: bool,
+    /// Per-round trace.
+    pub rounds: Vec<RoundReport>,
+}
+
+impl FixOutcome {
+    /// Attributes still not validated.
+    pub fn unvalidated(&self, r_len: usize) -> AttrSet {
+        AttrSet::full(r_len) - self.validated
+    }
+}
+
+/// The interaction engine: borrows the precomputed structures and runs
+/// the Fig. 3 loop for one tuple at a time.
+pub struct CertainFix<'a> {
+    rules: &'a RuleSet,
+    master: &'a MasterIndex,
+    graph: &'a DependencyGraph,
+    config: CertainFixConfig,
+}
+
+impl<'a> CertainFix<'a> {
+    /// Bind the engine.
+    pub fn new(
+        rules: &'a RuleSet,
+        master: &'a MasterIndex,
+        graph: &'a DependencyGraph,
+        config: CertainFixConfig,
+    ) -> CertainFix<'a> {
+        CertainFix {
+            rules,
+            master,
+            graph,
+            config,
+        }
+    }
+
+    /// Run the loop on `dirty`, seeding the first round with
+    /// `initial_suggestion` (normally the highest-quality certain
+    /// region's `Z`). `next_suggestion` produces follow-up suggestions
+    /// — plain [`suggest()`](certainfix_reasoning::suggest::suggest) for `CertainFix`, the BDD-served variant for
+    /// `CertainFix+`.
+    pub fn run<O, F>(
+        &self,
+        dirty: &Tuple,
+        initial_suggestion: &[AttrId],
+        oracle: &mut O,
+        mut next_suggestion: F,
+    ) -> FixOutcome
+    where
+        O: UserOracle + ?Sized,
+        F: FnMut(&Tuple, AttrSet) -> Option<Vec<AttrId>>,
+    {
+        let r_len = self.rules.r_schema().len();
+        let full = AttrSet::full(r_len);
+        let chase = Chase::new(self.rules, self.master);
+
+        let mut tuple = dirty.clone();
+        let mut validated = AttrSet::EMPTY;
+        let mut rule_fixed = AttrSet::EMPTY;
+        let mut user_changed = AttrSet::EMPTY;
+        let mut rounds: Vec<RoundReport> = Vec::new();
+        let mut suggestion: Vec<AttrId> = initial_suggestion
+            .iter()
+            .copied()
+            .filter(|&a| !validated.contains(a))
+            .collect();
+        let mut gave_up = false;
+
+        while validated != full && rounds.len() < self.config.max_rounds {
+            if suggestion.is_empty() {
+                // nothing left to suggest (degenerate); ask for the rest
+                suggestion = (full - validated).to_vec();
+            }
+            // (2) user asserts S with correct values
+            let asserted = oracle.assert_correct(&tuple, &suggestion);
+            let mut round_user_changed = AttrSet::EMPTY;
+            let mut asserted_attrs = Vec::with_capacity(asserted.len());
+            for (a, v) in asserted {
+                if tuple.get(a) != &v {
+                    round_user_changed.insert(a);
+                }
+                tuple.set(a, v);
+                asserted_attrs.push(a);
+            }
+            let new_validated = validated | asserted_attrs.iter().copied().collect::<AttrSet>();
+
+            // validation: does t[Z′ ∪ S] lead to a unique fix?
+            let validated_ok = chase.run(&tuple, new_validated).is_unique();
+
+            // (3) TransFix propagates master values
+            let out = transfix(self.rules, self.master, self.graph, &tuple, new_validated);
+            tuple = out.tuple;
+            validated = out.validated;
+            rule_fixed |= out.fixed;
+            user_changed |= round_user_changed;
+            rounds.push(RoundReport {
+                suggested: suggestion.clone(),
+                asserted: asserted_attrs,
+                user_changed: round_user_changed,
+                rule_fixed: out.fixed,
+                validated_ok,
+            });
+
+            if validated == full {
+                break;
+            }
+
+            // (4) a new suggestion
+            match next_suggestion(&tuple, validated) {
+                Some(s) if !s.is_empty() => {
+                    // Does any rule still have something to contribute?
+                    // If the suggested set covers only itself (no rule
+                    // coverage beyond Z′ ∪ S), the rules are exhausted.
+                    let s_set: AttrSet = s.iter().copied().collect();
+                    let rules_exhausted = {
+                        let predicted =
+                            suggest(self.rules, self.master, &tuple, validated)
+                                .map(|sug| sug.covers)
+                                .unwrap_or(validated);
+                        predicted == validated | s_set && out.fixed.is_empty()
+                    };
+                    if rules_exhausted && self.config.stop_when_rules_exhausted {
+                        gave_up = true;
+                        break;
+                    }
+                    suggestion = s;
+                }
+                _ => {
+                    gave_up = true;
+                    break;
+                }
+            }
+        }
+
+        let certain = validated == full;
+        FixOutcome {
+            certain_at_round: certain.then_some(rounds.len()),
+            rule_backed: !rule_fixed.is_empty(),
+            tuple,
+            validated,
+            rule_fixed,
+            user_changed,
+            certain,
+            gave_up,
+            rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::SimulatedUser;
+    use certainfix_relation::{tuple, Relation, Schema, Value};
+    use certainfix_rules::parse_rules;
+    use std::sync::Arc;
+
+    fn fig1() -> (Arc<Schema>, RuleSet, MasterIndex, DependencyGraph) {
+        let r = Schema::new(
+            "R",
+            ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+        )
+        .unwrap();
+        let rm = Schema::new(
+            "Rm",
+            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"],
+        )
+        .unwrap();
+        let rules = parse_rules(
+            r#"
+            phi1: match zip ~ zip set AC := AC, str := str, city := city
+            phi2: match phn ~ Mphn set fn := FN, ln := LN when type = 2
+            phi3: match AC ~ AC, phn ~ Hphn set str := str, city := city, zip := zip when type = 1, AC != '0800'
+            phi4: match AC ~ AC set city := city when AC = '0800'
+            "#,
+            &r,
+            &rm,
+        )
+        .unwrap();
+        let master = MasterIndex::new(Arc::new(
+            Relation::new(
+                rm,
+                vec![
+                    tuple![
+                        "Robert", "Brady", "131", "6884563", "079172485", "51 Elm Row", "Edi",
+                        "EH7 4AH", "11/11/55", "M"
+                    ],
+                    tuple![
+                        "Mark", "Smith", "020", "6884563", "075568485", "20 Baker St.", "Lnd",
+                        "NW1 6XE", "25/12/67", "M"
+                    ],
+                ],
+            )
+            .unwrap(),
+        ));
+        let graph = DependencyGraph::new(&rules);
+        (r, rules, master, graph)
+    }
+
+    fn ids(r: &Schema, names: &[&str]) -> Vec<AttrId> {
+        names.iter().map(|n| r.attr(n).unwrap()).collect()
+    }
+
+    /// t1's ground truth: Robert Brady's record from s1 + his item.
+    fn t1_clean() -> Tuple {
+        tuple![
+            "Robert", "Brady", "131", "079172485", 2, "51 Elm Row", "Edi", "EH7 4AH", "CD"
+        ]
+    }
+
+    fn t1_dirty() -> Tuple {
+        tuple![
+            "Bob", "Brady", "020", "079172485", 2, "501 Elm St.", "Edi", "EH7 4AH", "CD"
+        ]
+    }
+
+    #[test]
+    fn one_round_certain_fix_for_master_backed_tuple() {
+        let (r, rules, master, graph) = fig1();
+        let engine = CertainFix::new(&rules, &master, &graph, CertainFixConfig::default());
+        let mut user = SimulatedUser::new(t1_clean());
+        let outcome = engine.run(
+            &t1_dirty(),
+            &ids(&r, &["zip", "phn", "type", "item"]),
+            &mut user,
+            |t, validated| suggest(&rules, &master, t, validated).map(|s| s.attrs),
+        );
+        assert!(outcome.certain);
+        assert_eq!(outcome.certain_at_round, Some(1));
+        assert!(outcome.rule_backed);
+        assert_eq!(outcome.tuple, t1_clean());
+        // fn, ln, AC, str, city were rule-fixed
+        assert_eq!(outcome.rule_fixed.len(), 5);
+        // the user changed nothing: suggested attrs were already right
+        assert!(outcome.user_changed.is_empty());
+        assert!(!outcome.gave_up);
+    }
+
+    #[test]
+    fn two_rounds_with_partial_initial_region() {
+        // Start from Z = {zip} only: round 1 fixes AC/str/city, then the
+        // suggestion pulls in phn/type/item and round 2 completes.
+        let (r, rules, master, graph) = fig1();
+        let engine = CertainFix::new(&rules, &master, &graph, CertainFixConfig::default());
+        let mut user = SimulatedUser::new(t1_clean());
+        let outcome = engine.run(&t1_dirty(), &ids(&r, &["zip"]), &mut user, |t, validated| {
+            suggest(&rules, &master, t, validated).map(|s| s.attrs)
+        });
+        assert!(outcome.certain);
+        assert_eq!(outcome.certain_at_round, Some(2));
+        assert_eq!(outcome.tuple, t1_clean());
+        assert_eq!(outcome.rounds.len(), 2);
+        // round 1 fixed AC/str/city via ϕ1
+        assert_eq!(outcome.rounds[0].rule_fixed.len(), 3);
+        // round 2's suggestion included phn and type
+        let sug2 = &outcome.rounds[1].suggested;
+        assert!(sug2.contains(&r.attr("phn").unwrap()));
+        assert!(sug2.contains(&r.attr("type").unwrap()));
+    }
+
+    #[test]
+    fn user_corrections_are_tracked() {
+        // Dirty zip: the user must change it during the assertion.
+        let (r, rules, master, graph) = fig1();
+        let engine = CertainFix::new(&rules, &master, &graph, CertainFixConfig::default());
+        let mut dirty = t1_dirty();
+        dirty.set(r.attr("zip").unwrap(), Value::str("WRONG"));
+        let mut user = SimulatedUser::new(t1_clean());
+        let outcome = engine.run(
+            &dirty,
+            &ids(&r, &["zip", "phn", "type", "item"]),
+            &mut user,
+            |t, validated| suggest(&rules, &master, t, validated).map(|s| s.attrs),
+        );
+        assert!(outcome.certain);
+        assert!(outcome
+            .user_changed
+            .contains(r.attr("zip").unwrap()));
+        assert_eq!(outcome.tuple, t1_clean());
+    }
+
+    #[test]
+    fn unmatched_tuple_gives_up_without_certain_fix() {
+        // An entity absent from Dm: no rule can ever fire; the loop
+        // stops as rule-exhausted instead of bothering the user with
+        // every attribute.
+        let (r, rules, master, graph) = fig1();
+        let engine = CertainFix::new(&rules, &master, &graph, CertainFixConfig::default());
+        let clean = tuple![
+            "Tim", "Poth", "990", "9978543", 1, "Baker St.", "Gla", "XX9 9XX", "BOOK"
+        ];
+        let mut dirty = clean.clone();
+        dirty.set(r.attr("city").unwrap(), Value::str("Glasgo"));
+        let mut user = SimulatedUser::new(clean);
+        let outcome = engine.run(
+            &dirty,
+            &ids(&r, &["zip", "phn", "type", "item"]),
+            &mut user,
+            |t, validated| suggest(&rules, &master, t, validated).map(|s| s.attrs),
+        );
+        assert!(!outcome.certain);
+        assert!(outcome.gave_up);
+        assert!(!outcome.rule_backed);
+        assert!(outcome.rule_fixed.is_empty());
+        assert!(outcome.rounds.len() <= 3);
+    }
+
+    #[test]
+    fn fully_user_driven_when_exhaustion_stop_disabled() {
+        let (r, rules, master, graph) = fig1();
+        let config = CertainFixConfig {
+            stop_when_rules_exhausted: false,
+            ..Default::default()
+        };
+        let engine = CertainFix::new(&rules, &master, &graph, config);
+        let clean = tuple![
+            "Tim", "Poth", "990", "9978543", 1, "Baker St.", "Gla", "XX9 9XX", "BOOK"
+        ];
+        let mut user = SimulatedUser::new(clean.clone());
+        let outcome = engine.run(
+            &clean,
+            &ids(&r, &["zip", "phn", "type", "item"]),
+            &mut user,
+            |t, validated| suggest(&rules, &master, t, validated).map(|s| s.attrs),
+        );
+        // the user eventually validates everything by hand
+        assert!(outcome.certain);
+        assert!(!outcome.rule_backed, "no rule fired");
+        assert_eq!(outcome.tuple, clean);
+    }
+
+    #[test]
+    fn rounds_are_bounded() {
+        let (r, rules, master, graph) = fig1();
+        let config = CertainFixConfig {
+            max_rounds: 2,
+            stop_when_rules_exhausted: false,
+        };
+        let engine = CertainFix::new(&rules, &master, &graph, config);
+        let clean = tuple![
+            "Tim", "Poth", "990", "9978543", 1, "Baker St.", "Gla", "XX9 9XX", "BOOK"
+        ];
+        // a user who only ever confirms one attribute per round
+        let mut user = SimulatedUser::with_compliance(clean.clone(), 0.0, 3);
+        let outcome = engine.run(&clean, &ids(&r, &["zip"]), &mut user, |t, validated| {
+            suggest(&rules, &master, t, validated).map(|s| s.attrs)
+        });
+        assert_eq!(outcome.rounds.len(), 2);
+        assert!(!outcome.certain);
+    }
+}

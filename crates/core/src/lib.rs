@@ -1,0 +1,35 @@
+//! The interactive `CertainFix` / `CertainFix+` framework (Sect. 5 of
+//! the paper): find certain fixes for tuples at the point of data
+//! entry, by interacting with users over editing rules and master data.
+//!
+//! Pipeline per input tuple (Fig. 3):
+//!
+//! 1. recommend the precomputed highest-quality certain region's `Z` as
+//!    the first suggestion;
+//! 2. the user asserts a set `S` of attributes correct (supplying
+//!    values where the entered ones were wrong);
+//! 3. validate `t[Z′ ∪ S]` (does it lead to a unique fix?), then run
+//!    [`transfix()`](transfix::transfix) to propagate master values along the rule
+//!    dependency graph;
+//! 4. if everything is validated, done — a certain fix; otherwise
+//!    compute a new suggestion ([`certainfix_reasoning::suggest()`](certainfix_reasoning::suggest())),
+//!    possibly served from the [`bdd`] cache (`Suggest+`), and repeat.
+//!
+//! [`DataMonitor`] packages the precomputation (dependency graph,
+//! region catalog, BDD) and processes tuple streams; [`metrics`]
+//! implements the paper's recall / precision / F-measure at both the
+//! tuple and attribute level.
+
+pub mod bdd;
+pub mod certainfix;
+pub mod metrics;
+pub mod monitor;
+pub mod oracle;
+pub mod transfix;
+
+pub use bdd::SuggestionBdd;
+pub use certainfix::{CertainFix, CertainFixConfig, FixOutcome, RoundReport};
+pub use metrics::{evaluate_changes, evaluate_rounds, ChangeCounts, RoundMetrics, TupleEval};
+pub use monitor::{DataMonitor, InitialRegion, MonitorStats};
+pub use oracle::{SimulatedUser, UserOracle};
+pub use transfix::{transfix, TransFixOutcome};

@@ -1,0 +1,317 @@
+//! Evaluation metrics (paper Sect. 6, "Experimental results").
+//!
+//! * `recall_t = #corrected tuples / #erroneous tuples` — a tuple
+//!   counts as corrected once it has a *rule-backed certain fix*: all
+//!   attributes validated with at least one editing rule contributing.
+//!   Tuples whose errors can only be typed in by the user (entities
+//!   absent from `Dm`) never count, which is why `recall_t` at round 1
+//!   equals the duplicate rate `d%` and plateaus in later rounds.
+//! * `recall_a = #corrected attributes / #erroneous attributes` —
+//!   attribute corrections *by rules only*; "the number of corrected
+//!   attributes does not include those fixed by the users".
+//! * `precision_a = #corrected attributes / #changed attributes` — for
+//!   `CertainFix` every change is justified by a validated region, so
+//!   precision is 1 by construction; the definition exists for the
+//!   `IncRep` comparison.
+//! * `F-measure = 2·recall·precision / (recall + precision)`.
+
+use certainfix_relation::{AttrSet, Tuple};
+
+use crate::certainfix::FixOutcome;
+
+/// One evaluated tuple: the monitoring outcome plus ground truth.
+pub struct TupleEval<'a> {
+    /// The monitor's outcome.
+    pub outcome: &'a FixOutcome,
+    /// The tuple as entered.
+    pub dirty: &'a Tuple,
+    /// The ground truth.
+    pub clean: &'a Tuple,
+}
+
+/// Metrics after `round` rounds of interaction (cumulative).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoundMetrics {
+    /// 1-based round number.
+    pub round: usize,
+    /// Tuple-level recall.
+    pub recall_t: f64,
+    /// Attribute-level recall (rule fixes only).
+    pub recall_a: f64,
+    /// Attribute-level precision of rule fixes.
+    pub precision_a: f64,
+    /// Harmonic mean of `recall_a` and `precision_a`.
+    pub f_measure: f64,
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn f_measure(recall: f64, precision: f64) -> f64 {
+    if recall + precision == 0.0 {
+        0.0
+    } else {
+        2.0 * recall * precision / (recall + precision)
+    }
+}
+
+/// Evaluate a batch of monitored tuples, producing cumulative metrics
+/// for rounds `1..=max_round`.
+pub fn evaluate_rounds(evals: &[TupleEval<'_>], max_round: usize) -> Vec<RoundMetrics> {
+    let erroneous_tuples = evals
+        .iter()
+        .filter(|e| e.dirty != e.clean)
+        .count();
+    let erroneous_attrs: usize = evals.iter().map(|e| e.dirty.diff(e.clean).len()).sum();
+
+    (1..=max_round)
+        .map(|round| {
+            let mut corrected_tuples = 0usize;
+            let mut corrected_attrs = 0usize;
+            let mut changed_attrs = 0usize;
+            for e in evals {
+                let error_set: AttrSet = e.dirty.diff(e.clean).into_iter().collect();
+                // cumulative rule fixes up to this round
+                let mut rule_fixed = AttrSet::EMPTY;
+                for r in e.outcome.rounds.iter().take(round) {
+                    rule_fixed |= r.rule_fixed;
+                }
+                // rule-written attrs that actually changed the entered value
+                for a in rule_fixed.iter() {
+                    let final_v = e.outcome.tuple.get(a);
+                    if final_v != e.dirty.get(a) {
+                        changed_attrs += 1;
+                        if final_v == e.clean.get(a) && error_set.contains(a) {
+                            corrected_attrs += 1;
+                        }
+                    }
+                }
+                // tuple-level: rule-backed certain fix reached by `round`
+                if e.dirty != e.clean
+                    && e.outcome.rule_backed
+                    && e.outcome
+                        .certain_at_round
+                        .is_some_and(|k| k <= round)
+                    && &e.outcome.tuple == e.clean
+                {
+                    corrected_tuples += 1;
+                }
+            }
+            let recall_t = ratio(corrected_tuples, erroneous_tuples);
+            let recall_a = ratio(corrected_attrs, erroneous_attrs);
+            let precision_a = if changed_attrs == 0 {
+                1.0
+            } else {
+                ratio(corrected_attrs, changed_attrs)
+            };
+            RoundMetrics {
+                round,
+                recall_t,
+                recall_a,
+                precision_a,
+                f_measure: f_measure(recall_a, precision_a),
+            }
+        })
+        .collect()
+}
+
+/// Attribute-level counts for a whole-relation repair (the `IncRep`
+/// comparison): compare each repaired tuple against dirty input and
+/// ground truth.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChangeCounts {
+    /// Attributes the repair modified.
+    pub changed: usize,
+    /// Modified attributes now equal to the truth.
+    pub corrected: usize,
+    /// Erroneous attributes in the input.
+    pub erroneous: usize,
+}
+
+impl ChangeCounts {
+    /// `recall_a` of the repair.
+    pub fn recall(&self) -> f64 {
+        ratio(self.corrected, self.erroneous)
+    }
+
+    /// `precision_a` of the repair.
+    pub fn precision(&self) -> f64 {
+        if self.changed == 0 {
+            1.0
+        } else {
+            ratio(self.corrected, self.changed)
+        }
+    }
+
+    /// F-measure of the repair.
+    pub fn f_measure(&self) -> f64 {
+        f_measure(self.recall(), self.precision())
+    }
+}
+
+/// Accumulate [`ChangeCounts`] over `(dirty, repaired, clean)` triples.
+pub fn evaluate_changes<'a, I>(triples: I) -> ChangeCounts
+where
+    I: IntoIterator<Item = (&'a Tuple, &'a Tuple, &'a Tuple)>,
+{
+    let mut counts = ChangeCounts::default();
+    for (dirty, repaired, clean) in triples {
+        counts.erroneous += dirty.diff(clean).len();
+        for a in dirty.diff(repaired) {
+            counts.changed += 1;
+            if repaired.get(a) == clean.get(a) {
+                counts.corrected += 1;
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certainfix::RoundReport;
+    use certainfix_relation::{tuple, AttrId};
+
+    fn outcome(
+        tuple: Tuple,
+        rule_fixed_by_round: Vec<AttrSet>,
+        certain_at_round: Option<usize>,
+        rule_backed: bool,
+    ) -> FixOutcome {
+        let total: AttrSet = rule_fixed_by_round
+            .iter()
+            .fold(AttrSet::EMPTY, |acc, s| acc | *s);
+        FixOutcome {
+            tuple,
+            validated: AttrSet::full(3),
+            rule_fixed: total,
+            user_changed: AttrSet::EMPTY,
+            certain: certain_at_round.is_some(),
+            certain_at_round,
+            rule_backed,
+            gave_up: false,
+            rounds: rule_fixed_by_round
+                .into_iter()
+                .map(|rf| RoundReport {
+                    suggested: vec![],
+                    asserted: vec![],
+                    user_changed: AttrSet::EMPTY,
+                    rule_fixed: rf,
+                    validated_ok: true,
+                })
+                .collect(),
+        }
+    }
+
+    fn aset(ids: &[u16]) -> AttrSet {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    #[test]
+    fn perfect_fix_counts_everything() {
+        let clean = tuple!["a", "b", "c"];
+        let dirty = tuple!["x", "b", "z"]; // errors on 0 and 2
+        let out = outcome(clean.clone(), vec![aset(&[0, 2])], Some(1), true);
+        let evals = [TupleEval {
+            outcome: &out,
+            dirty: &dirty,
+            clean: &clean,
+        }];
+        let m = evaluate_rounds(&evals, 2);
+        assert_eq!(m[0].recall_t, 1.0);
+        assert_eq!(m[0].recall_a, 1.0);
+        assert_eq!(m[0].precision_a, 1.0);
+        assert_eq!(m[0].f_measure, 1.0);
+        // cumulative: same at round 2
+        assert_eq!(m[1].recall_t, 1.0);
+    }
+
+    #[test]
+    fn user_only_fixes_do_not_count() {
+        let clean = tuple!["a", "b", "c"];
+        let dirty = tuple!["x", "b", "c"];
+        // certain via user assertions only: no rule fired
+        let out = outcome(clean.clone(), vec![AttrSet::EMPTY], Some(1), false);
+        let evals = [TupleEval {
+            outcome: &out,
+            dirty: &dirty,
+            clean: &clean,
+        }];
+        let m = evaluate_rounds(&evals, 1);
+        assert_eq!(m[0].recall_t, 0.0, "not rule-backed");
+        assert_eq!(m[0].recall_a, 0.0);
+        assert_eq!(m[0].precision_a, 1.0, "nothing changed by rules");
+    }
+
+    #[test]
+    fn recall_accumulates_over_rounds() {
+        let clean = tuple!["a", "b", "c"];
+        let dirty = tuple!["x", "y", "c"];
+        // round 1 fixes attr 0, round 2 fixes attr 1; certain at round 2
+        let out = outcome(
+            clean.clone(),
+            vec![aset(&[0]), aset(&[1])],
+            Some(2),
+            true,
+        );
+        let evals = [TupleEval {
+            outcome: &out,
+            dirty: &dirty,
+            clean: &clean,
+        }];
+        let m = evaluate_rounds(&evals, 2);
+        assert_eq!(m[0].recall_t, 0.0);
+        assert_eq!(m[0].recall_a, 0.5);
+        assert_eq!(m[1].recall_t, 1.0);
+        assert_eq!(m[1].recall_a, 1.0);
+    }
+
+    #[test]
+    fn clean_tuples_do_not_inflate_recall() {
+        let clean = tuple!["a", "b", "c"];
+        let out = outcome(clean.clone(), vec![AttrSet::EMPTY], Some(1), true);
+        let evals = [TupleEval {
+            outcome: &out,
+            dirty: &clean,
+            clean: &clean,
+        }];
+        let m = evaluate_rounds(&evals, 1);
+        // no erroneous tuples/attrs: recalls are 0/0 → 0
+        assert_eq!(m[0].recall_t, 0.0);
+        assert_eq!(m[0].recall_a, 0.0);
+    }
+
+    #[test]
+    fn change_counts_for_repairs() {
+        let dirty = tuple!["x", "b", "z"];
+        let clean = tuple!["a", "b", "c"];
+        // repaired: fixed attr 0 correctly, broke attr 1, missed attr 2
+        let repaired = tuple!["a", "WRONG", "z"];
+        let counts = evaluate_changes([(&dirty, &repaired, &clean)]);
+        assert_eq!(
+            counts,
+            ChangeCounts {
+                changed: 2,
+                corrected: 1,
+                erroneous: 2
+            }
+        );
+        assert_eq!(counts.recall(), 0.5);
+        assert_eq!(counts.precision(), 0.5);
+        assert!((counts.f_measure() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_change_counts() {
+        let counts = ChangeCounts::default();
+        assert_eq!(counts.recall(), 0.0);
+        assert_eq!(counts.precision(), 1.0);
+        assert_eq!(counts.f_measure(), 0.0);
+    }
+}

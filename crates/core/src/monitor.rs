@@ -1,0 +1,379 @@
+//! The data-monitoring façade (Fig. 2): precomputation + per-tuple
+//! processing for `CertainFix` and `CertainFix+`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use certainfix_relation::{AttrId, MasterIndex, Relation, Tuple};
+use certainfix_rules::{DependencyGraph, RuleSet};
+use certainfix_reasoning::{suggest, RegionCatalog};
+
+use crate::bdd::{Cursor, SuggestionBdd};
+use crate::certainfix::{CertainFix, CertainFixConfig, FixOutcome};
+use crate::oracle::UserOracle;
+
+/// Which precomputed region seeds the first suggestion (Exp-1(2)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum InitialRegion {
+    /// The highest-quality region (CRHQ).
+    #[default]
+    Best,
+    /// The median-quality region (CRMQ).
+    Median,
+}
+
+/// Aggregate processing statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MonitorStats {
+    /// Tuples processed.
+    pub tuples: u64,
+    /// Tuples that reached a certain fix.
+    pub certain: u64,
+    /// Total interaction rounds.
+    pub rounds: u64,
+    /// Wall-clock time spent inside `process`.
+    pub elapsed: Duration,
+}
+
+impl MonitorStats {
+    /// Mean rounds per tuple.
+    pub fn avg_rounds(&self) -> f64 {
+        if self.tuples == 0 {
+            0.0
+        } else {
+            self.rounds as f64 / self.tuples as f64
+        }
+    }
+
+    /// Mean latency per interaction round.
+    pub fn avg_round_latency(&self) -> Duration {
+        if self.rounds == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.rounds as u32
+        }
+    }
+}
+
+/// Owns `(Σ, Dm)` plus everything precomputed from them: the dependency
+/// graph (Fig. 4), the ranked certain-region catalog (ref.\[20\]'s
+/// `CompCRegion`), and — for `CertainFix+` — the BDD suggestion cache.
+pub struct DataMonitor {
+    rules: Arc<RuleSet>,
+    master: MasterIndex,
+    graph: DependencyGraph,
+    catalog: RegionCatalog,
+    initial: Vec<AttrId>,
+    config: CertainFixConfig,
+    use_bdd: bool,
+    bdd: SuggestionBdd,
+    stats: MonitorStats,
+}
+
+impl DataMonitor {
+    /// Build a monitor over `(Σ, Dm)`. `use_bdd` selects `CertainFix+`
+    /// (suggestions served from the BDD cache) over plain `CertainFix`.
+    pub fn new(rules: RuleSet, master: Arc<Relation>, use_bdd: bool) -> DataMonitor {
+        Self::with_config(
+            rules,
+            master,
+            use_bdd,
+            InitialRegion::Best,
+            CertainFixConfig::default(),
+        )
+    }
+
+    /// Full-control constructor.
+    pub fn with_config(
+        rules: RuleSet,
+        master: Arc<Relation>,
+        use_bdd: bool,
+        initial_region: InitialRegion,
+        config: CertainFixConfig,
+    ) -> DataMonitor {
+        let master = MasterIndex::new(master);
+        let graph = DependencyGraph::new(&rules);
+        let catalog = RegionCatalog::build(&rules, &master);
+        let region = match initial_region {
+            InitialRegion::Best => catalog.best(),
+            InitialRegion::Median => catalog.median(),
+        };
+        let initial = region
+            .map(|r| r.z().to_vec())
+            .unwrap_or_else(|| rules.r_schema().attr_ids().collect());
+        DataMonitor {
+            rules: Arc::new(rules),
+            master,
+            graph,
+            catalog,
+            initial,
+            config,
+            use_bdd,
+            bdd: SuggestionBdd::new(),
+            stats: MonitorStats::default(),
+        }
+    }
+
+    /// The rule set.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The indexed master data.
+    pub fn master(&self) -> &MasterIndex {
+        &self.master
+    }
+
+    /// The region catalog.
+    pub fn catalog(&self) -> &RegionCatalog {
+        &self.catalog
+    }
+
+    /// The initial suggestion (the seeded region's `Z`).
+    pub fn initial_suggestion(&self) -> &[AttrId] {
+        &self.initial
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    /// BDD cache statistics (all zeros for plain `CertainFix`).
+    pub fn bdd_stats(&self) -> crate::bdd::BddStats {
+        self.bdd.stats()
+    }
+
+    /// Batch repair (the paper's Sect. 7 outlook: "certain fixes in
+    /// data repairing rather than monitoring"): run the monitoring loop
+    /// over every tuple of an existing relation, returning the repaired
+    /// relation plus per-tuple outcomes. `oracle_for(i)` supplies the
+    /// (simulated or real) user for row `i`.
+    pub fn repair_relation<F, O>(
+        &mut self,
+        dirty: &Relation,
+        mut oracle_for: F,
+    ) -> (Relation, Vec<FixOutcome>)
+    where
+        F: FnMut(usize) -> O,
+        O: UserOracle,
+    {
+        let mut repaired = Relation::empty(dirty.schema().clone());
+        let mut outcomes = Vec::with_capacity(dirty.len());
+        for (i, t) in dirty.iter().enumerate() {
+            let mut oracle = oracle_for(i);
+            let outcome = self.process(t, &mut oracle);
+            repaired
+                .push(outcome.tuple.clone())
+                .expect("outcome tuples share the input schema");
+            outcomes.push(outcome);
+        }
+        (repaired, outcomes)
+    }
+
+    /// Process one input tuple with the given oracle.
+    pub fn process<O: UserOracle + ?Sized>(&mut self, dirty: &Tuple, oracle: &mut O) -> FixOutcome {
+        let started = Instant::now();
+        let engine = CertainFix::new(&self.rules, &self.master, &self.graph, self.config.clone());
+        let outcome = if self.use_bdd {
+            let mut cursor = Cursor::start();
+            let rules = self.rules.clone();
+            let master = self.master.clone();
+            let bdd = &mut self.bdd;
+            engine.run(dirty, &self.initial, oracle, |t, validated| {
+                bdd.suggest_plus(&rules, &master, t, validated, &mut cursor)
+            })
+        } else {
+            let rules = self.rules.clone();
+            let master = self.master.clone();
+            engine.run(dirty, &self.initial, oracle, |t, validated| {
+                suggest(&rules, &master, t, validated).map(|s| s.attrs)
+            })
+        };
+        self.stats.tuples += 1;
+        self.stats.rounds += outcome.rounds.len() as u64;
+        if outcome.certain {
+            self.stats.certain += 1;
+        }
+        self.stats.elapsed += started.elapsed();
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{evaluate_rounds, TupleEval};
+    use crate::oracle::SimulatedUser;
+    use certainfix_datagen::{Dataset, Dblp, DirtyConfig, Hosp, Workload};
+
+    fn run_monitor<W: Workload>(
+        workload: &W,
+        use_bdd: bool,
+        cfg: &DirtyConfig,
+    ) -> (Vec<FixOutcome>, Dataset, MonitorStats) {
+        let mut monitor = DataMonitor::new(
+            workload.rules().clone(),
+            workload.master().clone(),
+            use_bdd,
+        );
+        let dataset = Dataset::generate(workload, cfg);
+        let outcomes: Vec<FixOutcome> = dataset
+            .inputs
+            .iter()
+            .map(|dt| {
+                let mut user = SimulatedUser::new(dt.clean.clone());
+                monitor.process(&dt.dirty, &mut user)
+            })
+            .collect();
+        let stats = monitor.stats();
+        (outcomes, dataset, stats)
+    }
+
+    #[test]
+    fn hosp_duplicates_get_certain_fixes_in_one_round() {
+        let hosp = Hosp::generate(300);
+        let cfg = DirtyConfig {
+            duplicate_rate: 1.0,
+            noise_rate: 0.2,
+            input_size: 60,
+            seed: 1,
+        };
+        let (outcomes, dataset, stats) = run_monitor(&hosp, false, &cfg);
+        for (out, dt) in outcomes.iter().zip(&dataset.inputs) {
+            assert!(out.certain, "master-backed tuple must be certain");
+            assert_eq!(out.certain_at_round, Some(1));
+            assert!(out.rule_backed);
+            assert_eq!(&out.tuple, &dt.clean, "certain fix equals ground truth");
+        }
+        assert_eq!(stats.certain, 60);
+        assert_eq!(stats.avg_rounds(), 1.0);
+    }
+
+    #[test]
+    fn recall_t_at_round_one_tracks_duplicate_rate() {
+        let hosp = Hosp::generate(300);
+        let cfg = DirtyConfig {
+            duplicate_rate: 0.4,
+            noise_rate: 0.3,
+            input_size: 200,
+            seed: 2,
+        };
+        let (outcomes, dataset, _) = run_monitor(&hosp, false, &cfg);
+        let evals: Vec<TupleEval> = outcomes
+            .iter()
+            .zip(&dataset.inputs)
+            .map(|(o, dt)| TupleEval {
+                outcome: o,
+                dirty: &dt.dirty,
+                clean: &dt.clean,
+            })
+            .collect();
+        let m = evaluate_rounds(&evals, 1);
+        assert!(
+            (m[0].recall_t - 0.4).abs() < 0.12,
+            "recall_t(1) ≈ d%: got {}",
+            m[0].recall_t
+        );
+        assert_eq!(m[0].precision_a, 1.0, "certain fixes are never wrong");
+    }
+
+    #[test]
+    fn bdd_pipeline_produces_identical_fixes() {
+        let dblp = Dblp::generate(200);
+        let cfg = DirtyConfig {
+            duplicate_rate: 0.5,
+            noise_rate: 0.2,
+            input_size: 50,
+            seed: 3,
+        };
+        let (plain, ds1, _) = run_monitor(&dblp, false, &cfg);
+        let (cached, ds2, _) = run_monitor(&dblp, true, &cfg);
+        for (i, (a, b)) in plain.iter().zip(&cached).enumerate() {
+            assert_eq!(ds1.inputs[i].dirty, ds2.inputs[i].dirty);
+            assert_eq!(a.tuple, b.tuple, "tuple {i}");
+            assert_eq!(a.certain, b.certain);
+            assert_eq!(a.validated, b.validated);
+        }
+    }
+
+    #[test]
+    fn bdd_cache_actually_hits() {
+        let hosp = Hosp::generate(200);
+        let cfg = DirtyConfig {
+            duplicate_rate: 0.0, // fresh tuples always need suggestions
+            noise_rate: 0.2,
+            input_size: 30,
+            seed: 4,
+        };
+        let dataset = Dataset::generate(&hosp, &cfg);
+        let mut monitor = DataMonitor::new(hosp.rules().clone(), hosp.master().clone(), true);
+        for dt in &dataset.inputs {
+            let mut user = SimulatedUser::new(dt.clean.clone());
+            monitor.process(&dt.dirty, &mut user);
+        }
+        let stats = monitor.bdd_stats();
+        assert!(
+            stats.hits > stats.misses,
+            "after the first tuples the cache should serve most suggestions: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn median_region_is_not_better_than_best() {
+        let hosp = Hosp::generate(200);
+        let best = DataMonitor::with_config(
+            hosp.rules().clone(),
+            hosp.master().clone(),
+            false,
+            InitialRegion::Best,
+            CertainFixConfig::default(),
+        );
+        let median = DataMonitor::with_config(
+            hosp.rules().clone(),
+            hosp.master().clone(),
+            false,
+            InitialRegion::Median,
+            CertainFixConfig::default(),
+        );
+        assert!(best.initial_suggestion().len() <= median.initial_suggestion().len());
+    }
+
+    #[test]
+    fn repair_relation_batches_the_monitor() {
+        let hosp = Hosp::generate(150);
+        let cfg = DirtyConfig {
+            duplicate_rate: 1.0,
+            noise_rate: 0.2,
+            input_size: 25,
+            seed: 77,
+        };
+        let dataset = Dataset::generate(&hosp, &cfg);
+        let dirty = dataset.dirty_relation(hosp.schema().clone());
+        let mut monitor = DataMonitor::new(hosp.rules().clone(), hosp.master().clone(), true);
+        let (repaired, outcomes) = monitor.repair_relation(&dirty, |i| {
+            SimulatedUser::new(dataset.inputs[i].clean.clone())
+        });
+        assert_eq!(repaired.len(), 25);
+        assert_eq!(outcomes.len(), 25);
+        for (i, dt) in dataset.inputs.iter().enumerate() {
+            assert_eq!(repaired.tuple(i), &dt.clean);
+            assert!(outcomes[i].certain);
+        }
+        assert_eq!(monitor.stats().tuples, 25);
+    }
+
+    #[test]
+    fn fresh_tuples_do_not_reach_certain_fixes() {
+        let dblp = Dblp::generate(100);
+        let cfg = DirtyConfig {
+            duplicate_rate: 0.0,
+            noise_rate: 0.2,
+            input_size: 25,
+            seed: 5,
+        };
+        let (outcomes, _, stats) = run_monitor(&dblp, false, &cfg);
+        assert!(outcomes.iter().all(|o| !o.rule_backed));
+        assert_eq!(stats.certain, 0);
+    }
+}

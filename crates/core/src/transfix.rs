@@ -1,0 +1,289 @@
+//! Procedure `TransFix` (Fig. 5 of the paper).
+//!
+//! Given a tuple `t` with validated attributes `Z′`, `TransFix` walks
+//! the rule dependency graph (Fig. 4): it seeds a *usable* set with the
+//! rules whose premise is validated, applies them with matching master
+//! tuples, and upgrades downstream rules from the *not-yet-usable* set
+//! as their prerequisites become validated. Each rule is consumed at
+//! most once, giving the `O(card(Σ)·|Σ|)` bound of Sect. 5.1.
+//!
+//! Unlike the static-analysis chase, `TransFix` runs after the
+//! validation step has confirmed a unique fix, so disagreements are not
+//! supposed to occur; if the master data nevertheless disagrees (two
+//! master tuples sharing a key), the disputed update is *skipped* and
+//! reported, keeping the correctness guarantee ("the attributes updated
+//! are correct") intact.
+
+use certainfix_relation::{AttrSet, MasterIndex, Tuple, Value};
+use certainfix_rules::{DependencyGraph, RuleSet};
+
+/// Result of a `TransFix` run.
+#[derive(Clone, Debug)]
+pub struct TransFixOutcome {
+    /// The tuple with validated fixes applied.
+    pub tuple: Tuple,
+    /// The extended validated set `Z′`.
+    pub validated: AttrSet,
+    /// Attributes written by rules during this run.
+    pub fixed: AttrSet,
+    /// Applied `(rule index, master row)` pairs, in order.
+    pub steps: Vec<(usize, u32)>,
+    /// Rule indices whose prescriptions were skipped as disputed
+    /// (conflicting master evidence). Empty in the intended flow.
+    pub disputed: Vec<usize>,
+}
+
+/// Run `TransFix` on `t` with validated set `validated`.
+pub fn transfix(
+    rules: &RuleSet,
+    master: &MasterIndex,
+    graph: &DependencyGraph,
+    t: &Tuple,
+    validated: AttrSet,
+) -> TransFixOutcome {
+    debug_assert_eq!(graph.len(), rules.len());
+    let mut tuple = t.clone();
+    let mut z = validated;
+    let mut fixed = AttrSet::EMPTY;
+    let mut steps = Vec::new();
+    let mut disputed = Vec::new();
+
+    // usable[i]: premise validated; enqueued[i]: ever pushed to vset
+    let n = rules.len();
+    let mut enqueued = vec![false; n];
+    let mut in_uset = vec![false; n];
+    let mut vset: Vec<usize> = Vec::new();
+    for (i, rule) in rules.iter() {
+        if rule.premise().is_subset(&z) {
+            vset.push(i);
+            enqueued[i] = true;
+        }
+    }
+
+    while let Some(v) = vset.pop() {
+        let rule = rules.rule(v);
+        let b = rule.rhs();
+        // apply if the target is not yet validated (protected otherwise)
+        if !z.contains(b) && rule.pattern().matches(&tuple) {
+            let ids = master.matches_projection(&tuple, rule.lhs(), rule.lhs_m());
+            let mut prescription: Option<(Value, u32)> = None;
+            let mut conflict = false;
+            for id in ids {
+                let val = master.tuple(id).get(rule.rhs_m());
+                if val.is_null() {
+                    continue;
+                }
+                match &prescription {
+                    None => prescription = Some((val.clone(), id)),
+                    Some((seen, _)) if seen != val => {
+                        conflict = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if conflict {
+                disputed.push(v);
+            } else if let Some((val, id)) = prescription {
+                tuple.set(b, val);
+                z.insert(b);
+                fixed.insert(b);
+                steps.push((v, id));
+                // inspect successors: upgrade or register
+                for &u in graph.successors(v) {
+                    if enqueued[u] {
+                        if in_uset[u] && rules.rule(u).premise().is_subset(&z) {
+                            in_uset[u] = false;
+                            vset.push(u);
+                        }
+                        continue;
+                    }
+                    enqueued[u] = true;
+                    if rules.rule(u).premise().is_subset(&z) {
+                        vset.push(u);
+                    } else {
+                        in_uset[u] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    TransFixOutcome {
+        tuple,
+        validated: z,
+        fixed,
+        steps,
+        disputed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certainfix_relation::{tuple, Relation, Schema};
+    use certainfix_rules::parse_rules;
+    use std::sync::Arc;
+
+    fn fig1() -> (Arc<Schema>, RuleSet, MasterIndex, DependencyGraph) {
+        let r = Schema::new(
+            "R",
+            ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+        )
+        .unwrap();
+        let rm = Schema::new(
+            "Rm",
+            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"],
+        )
+        .unwrap();
+        let rules = parse_rules(
+            r#"
+            phi1: match zip ~ zip set AC := AC, str := str, city := city
+            phi2: match phn ~ Mphn set fn := FN, ln := LN when type = 2
+            phi3: match AC ~ AC, phn ~ Hphn set str := str, city := city, zip := zip when type = 1, AC != '0800'
+            phi4: match AC ~ AC set city := city when AC = '0800'
+            "#,
+            &r,
+            &rm,
+        )
+        .unwrap();
+        let master = MasterIndex::new(Arc::new(
+            Relation::new(
+                rm,
+                vec![
+                    tuple![
+                        "Robert", "Brady", "131", "6884563", "079172485", "51 Elm Row", "Edi",
+                        "EH7 4AH", "11/11/55", "M"
+                    ],
+                    tuple![
+                        "Mark", "Smith", "020", "6884563", "075568485", "20 Baker St.", "Lnd",
+                        "NW1 6XE", "25/12/67", "M"
+                    ],
+                ],
+            )
+            .unwrap(),
+        ));
+        let graph = DependencyGraph::new(&rules);
+        (r, rules, master, graph)
+    }
+
+    fn attrs(r: &Schema, names: &[&str]) -> AttrSet {
+        names.iter().map(|n| r.attr(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn example12_trace() {
+        // Z = {zip} on t1: ϕ1 fixes AC/str/city; Example 12's table.
+        let (r, rules, master, graph) = fig1();
+        let t1 = tuple![
+            "Bob", "Brady", "020", "079172485", 2, "501 Elm St.", "Edi", "EH7 4AH", "CD"
+        ];
+        let out = transfix(&rules, &master, &graph, &t1, attrs(&r, &["zip"]));
+        assert_eq!(out.validated, attrs(&r, &["zip", "AC", "str", "city"]));
+        assert_eq!(out.fixed, attrs(&r, &["AC", "str", "city"]));
+        assert_eq!(out.tuple.get(r.attr("AC").unwrap()), &Value::str("131"));
+        assert_eq!(
+            out.tuple.get(r.attr("str").unwrap()),
+            &Value::str("51 Elm Row")
+        );
+        assert!(out.disputed.is_empty());
+        assert_eq!(out.steps.len(), 3);
+    }
+
+    #[test]
+    fn cascades_through_the_graph() {
+        // Z = {AC, phn, type} on t3: ϕ3 fixes str/city/zip, which then
+        // enables ϕ1 (agreeing values from s2).
+        let (r, rules, master, graph) = fig1();
+        let t3 = tuple![
+            "Mark", "Smith", "020", "6884563", 1, "20 Baker St.", "Lnd", "EH7 4AH", "DVD"
+        ];
+        let out = transfix(&rules, &master, &graph, &t3, attrs(&r, &["AC", "phn", "type"]));
+        assert_eq!(
+            out.tuple.get(r.attr("zip").unwrap()),
+            &Value::str("NW1 6XE"),
+            "zip corrected from s2 via the home-phone rule"
+        );
+        assert!(out
+            .validated
+            .contains(r.attr("city").unwrap()));
+        assert!(out.disputed.is_empty());
+    }
+
+    #[test]
+    fn each_rule_fires_at_most_once() {
+        let (r, rules, master, graph) = fig1();
+        let t1 = tuple![
+            "Bob", "Brady", "020", "079172485", 2, "501 Elm St.", "Edi", "EH7 4AH", "CD"
+        ];
+        let out = transfix(
+            &rules,
+            &master,
+            &graph,
+            &t1,
+            attrs(&r, &["zip", "phn", "type", "item"]),
+        );
+        let mut seen = std::collections::HashSet::new();
+        for (rule, _) in &out.steps {
+            assert!(seen.insert(*rule), "rule {rule} fired twice");
+        }
+        assert!(out.steps.len() <= rules.len());
+    }
+
+    #[test]
+    fn disputed_updates_are_skipped() {
+        let r = Schema::new("R", ["zip", "city"]).unwrap();
+        let rm = r.clone();
+        let rules = parse_rules("p: match zip ~ zip set city := city", &r, &rm).unwrap();
+        let master = MasterIndex::new(Arc::new(
+            Relation::new(rm, vec![tuple!["Z1", "Edi"], tuple!["Z1", "Lnd"]]).unwrap(),
+        ));
+        let graph = DependencyGraph::new(&rules);
+        let t = tuple!["Z1", Value::Null];
+        let out = transfix(&rules, &master, &graph, &t, attrs(&r, &["zip"]));
+        assert_eq!(out.disputed, vec![0]);
+        assert!(out.tuple.get(r.attr("city").unwrap()).is_null());
+        assert!(!out.validated.contains(r.attr("city").unwrap()));
+    }
+
+    #[test]
+    fn null_master_values_do_not_fix() {
+        let r = Schema::new("R", ["zip", "city"]).unwrap();
+        let rm = r.clone();
+        let rules = parse_rules("p: match zip ~ zip set city := city", &r, &rm).unwrap();
+        let master = MasterIndex::new(Arc::new(
+            Relation::new(rm, vec![tuple!["Z1", Value::Null]]).unwrap(),
+        ));
+        let graph = DependencyGraph::new(&rules);
+        let out = transfix(
+            &rules,
+            &master,
+            &graph,
+            &tuple!["Z1", "x"],
+            attrs(&r, &["zip"]),
+        );
+        assert!(out.fixed.is_empty(), "a null prescription is no fix");
+    }
+
+    #[test]
+    fn agrees_with_chase_on_fig1() {
+        // TransFix and the chase must validate the same attributes and
+        // produce the same tuple whenever the chase reports uniqueness.
+        let (r, rules, master, graph) = fig1();
+        let chase = certainfix_reasoning::Chase::new(&rules, &master);
+        let t1 = tuple![
+            "Bob", "Brady", "020", "079172485", 2, "501 Elm St.", "Edi", "EH7 4AH", "CD"
+        ];
+        for z in [
+            attrs(&r, &["zip"]),
+            attrs(&r, &["zip", "phn", "type"]),
+            attrs(&r, &["phn", "type"]),
+            attrs(&r, &["item"]),
+        ] {
+            let fix = chase.run(&t1, z).fix().cloned().expect("unique");
+            let out = transfix(&rules, &master, &graph, &t1, z);
+            assert_eq!(out.validated, fix.validated, "Z = {z:?}");
+            assert_eq!(out.tuple, fix.tuple, "Z = {z:?}");
+        }
+    }
+}

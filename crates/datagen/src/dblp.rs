@@ -1,0 +1,258 @@
+//! The DBLP workload.
+//!
+//! The paper joins DBLP's inproceedings records with their proceedings
+//! (via the `crossref` foreign key) and author homepages into a
+//! 12-attribute relation, with 16 editing rules. Two of those rules
+//! (φ2, φ4) map an attribute to a *different* attribute of the master
+//! schema (`a2 ↦ a1`) — the cross-attribute capability CFDs cannot
+//! express (Sect. 6: "even when Rm and R share the same schema, some
+//! eRs still could not be syntactically expressed as CFDs").
+//!
+//! The generator produces key-consistent conferences, papers and
+//! authors; consecutive papers share an author so that the
+//! cross-attribute rules genuinely fire.
+
+use std::sync::Arc;
+
+use certainfix_relation::{MasterIndex, Relation, Schema, Tuple, Value};
+use certainfix_rules::{parse_rules, RuleSet};
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+use crate::dirty::Workload;
+
+/// The 12 attributes of the joined DBLP table (paper Sect. 6).
+pub const DBLP_ATTRS: [&str; 12] = [
+    "ptitle", "a1", "a2", "hp1", "hp2", "btitle", "publisher", "isbn", "crossref", "year",
+    "type", "pages",
+];
+
+/// The 16 editing rules of the DBLP workload (paper's φ1–φ7 families).
+pub const DBLP_RULES: &str = r#"
+    # φ1: an author determines their homepage
+    f1: match a1 ~ a1 set hp1 := hp1
+    # φ2: cross-attribute — a2 looked up among master a1 values
+    f2: match a2 ~ a1 set hp2 := hp1
+    # φ3: second-author homepage
+    f3: match a2 ~ a2 set hp2 := hp2
+    # φ4: cross-attribute — a1 looked up among master a2 values
+    f4: match a1 ~ a2 set hp1 := hp2
+    # φ5: (type, btitle, year) determines the proceedings block (3 rules)
+    f5: match type ~ type, btitle ~ btitle, year ~ year set isbn := isbn, publisher := publisher, crossref := crossref when type = 'inproceedings'
+    # φ6: (type, crossref) determines the proceedings block (4 rules)
+    f6: match type ~ type, crossref ~ crossref set btitle := btitle, year := year, isbn := isbn, publisher := publisher when type = 'inproceedings'
+    # φ7: (type, a1, a2, ptitle, pages) identifies the paper (5 rules)
+    f7: match type ~ type, a1 ~ a1, a2 ~ a2, ptitle ~ ptitle, pages ~ pages set isbn := isbn, publisher := publisher, year := year, btitle := btitle, crossref := crossref when type = 'inproceedings'
+"#;
+
+const PUBLISHERS: [&str; 6] = [
+    "Springer",
+    "ACM",
+    "IEEE Computer Society",
+    "Morgan Kaufmann",
+    "VLDB Endowment",
+    "Elsevier",
+];
+
+const TOPICS: [&str; 8] = [
+    "query optimization",
+    "data cleaning",
+    "stream processing",
+    "transaction management",
+    "graph analytics",
+    "schema mapping",
+    "record matching",
+    "provenance",
+];
+
+const VENUES: [&str; 10] = [
+    "VLDB", "SIGMOD", "ICDE", "EDBT", "PODS", "CIKM", "ICDT", "WWW", "KDD", "SIGIR",
+];
+
+/// Papers per conference.
+const PAPERS_PER_CONF: u64 = 25;
+
+/// Entity generator + master relation for the DBLP workload.
+pub struct Dblp {
+    schema: Arc<Schema>,
+    rules: RuleSet,
+    master: Arc<Relation>,
+    index: MasterIndex,
+    master_size: u64,
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    x ^= x >> 31;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 29;
+    x
+}
+
+impl Dblp {
+    /// Generate a DBLP workload with `master_size` master rows.
+    pub fn generate(master_size: usize) -> Dblp {
+        let schema = Schema::new("DBLP", DBLP_ATTRS).expect("static schema is valid");
+        let rules = parse_rules(DBLP_RULES, &schema, &schema).expect("static rules are valid");
+        debug_assert_eq!(rules.len(), 16);
+        let mut rel = Relation::empty(schema.clone());
+        for p in 0..master_size as u64 {
+            rel.push(Self::entity(&schema, p)).expect("arity ok");
+        }
+        let master = Arc::new(rel);
+        Dblp {
+            schema,
+            rules,
+            index: MasterIndex::new(master.clone()),
+            master,
+            master_size: master_size as u64,
+        }
+    }
+
+    fn author(k: u64) -> (String, String) {
+        (
+            format!("Author {}. Number{}", (b'A' + (k % 26) as u8) as char, k),
+            format!("https://dblp.example.org/~author{k}"),
+        )
+    }
+
+    /// The joined row for paper index `p` (conference `p / 25`).
+    fn entity(schema: &Schema, p: u64) -> Tuple {
+        let c = p / PAPERS_PER_CONF;
+        let venue = VENUES[(c % VENUES.len() as u64) as usize];
+        let year = 1990 + (c / VENUES.len() as u64) % 25;
+        let btitle = format!("Proc. {venue} {year} vol {c}");
+        let publisher = PUBLISHERS[(mix(c, 3) % 6) as usize];
+        let isbn = format!("978-{:04}-{:05}", c % 10000, mix(c, 5) % 100000);
+        let crossref = format!("conf/{}/{}", venue.to_lowercase(), c);
+        // consecutive papers share an author so cross-attribute rules fire
+        let (a1, hp1) = Self::author(p);
+        let (a2, hp2) = Self::author(p + 1);
+        let topic = TOPICS[(mix(p, 7) % 8) as usize];
+        let ptitle = format!("On {topic}: technique {p}");
+        let start = 1 + mix(p, 9) % 390;
+        let pages = format!("{}-{}", start, start + 8 + mix(p, 11) % 12);
+        let mut t = Tuple::nulls(schema.len());
+        let mut set = |name: &str, v: Value| {
+            t.set(schema.attr(name).unwrap(), v);
+        };
+        set("ptitle", Value::str(&ptitle));
+        set("a1", Value::str(&a1));
+        set("a2", Value::str(&a2));
+        set("hp1", Value::str(&hp1));
+        set("hp2", Value::str(&hp2));
+        set("btitle", Value::str(&btitle));
+        set("publisher", Value::str(publisher));
+        set("isbn", Value::str(&isbn));
+        set("crossref", Value::str(&crossref));
+        set("year", Value::int(year as i64));
+        set("type", Value::str("inproceedings"));
+        set("pages", Value::str(&pages));
+        t
+    }
+}
+
+impl Workload for Dblp {
+    fn name(&self) -> &'static str {
+        "dblp"
+    }
+
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    fn master(&self) -> &Arc<Relation> {
+        &self.master
+    }
+
+    fn master_index(&self) -> &MasterIndex {
+        &self.index
+    }
+
+    fn fresh_clean(&self, rng: &mut SmallRng) -> Tuple {
+        let p = 10_000_000 + self.master_size + rng.random_range(0..1_000_000u64);
+        Dblp::entity(&self.schema, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schema_and_rules_match_the_paper() {
+        let dblp = Dblp::generate(100);
+        assert_eq!(dblp.schema().len(), 12);
+        assert_eq!(dblp.rules().len(), 16);
+        assert_eq!(dblp.master().len(), 100);
+    }
+
+    #[test]
+    fn master_is_key_consistent() {
+        let dblp = Dblp::generate(400);
+        for (_, rule) in dblp.rules().iter() {
+            let idx = dblp.master_index().index_for(rule.lhs_m());
+            for tm in dblp.master().iter() {
+                let probe = tm.project(rule.lhs_m());
+                let rows = idx.lookup(&probe);
+                let mut vals: Vec<&Value> = rows
+                    .iter()
+                    .map(|&i| dblp.master().tuple(i as usize).get(rule.rhs_m()))
+                    .collect();
+                vals.dedup();
+                assert!(
+                    vals.len() <= 1,
+                    "rule {} key {probe:?} must be functional",
+                    rule.name()
+                );
+            }
+        }
+    }
+
+    /// The cross-attribute rule f2 (a2 ↦ a1) must actually fire: the
+    /// second author of paper p is the first author of paper p+1.
+    #[test]
+    fn cross_attribute_rules_have_support() {
+        let dblp = Dblp::generate(50);
+        let a1 = dblp.schema().attr("a1").unwrap();
+        let a2 = dblp.schema().attr("a2").unwrap();
+        let hp1 = dblp.schema().attr("hp1").unwrap();
+        let hp2 = dblp.schema().attr("hp2").unwrap();
+        let t0 = dblp.master().tuple(0);
+        let t1 = dblp.master().tuple(1);
+        assert_eq!(t0.get(a2), t1.get(a1), "author overlap");
+        assert_eq!(
+            t0.get(hp2),
+            t1.get(hp1),
+            "homepage consistent across a1/a2 columns"
+        );
+    }
+
+    #[test]
+    fn fresh_entities_share_no_keys() {
+        let dblp = Dblp::generate(100);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let fresh = dblp.fresh_clean(&mut rng);
+        for key in ["ptitle", "a1", "a2", "crossref"] {
+            let a = dblp.schema().attr(key).unwrap();
+            assert!(dblp.master().iter().all(|tm| tm.get(a) != fresh.get(a)));
+        }
+    }
+
+    #[test]
+    fn all_rows_are_inproceedings() {
+        let dblp = Dblp::generate(60);
+        let ty = dblp.schema().attr("type").unwrap();
+        assert!(dblp
+            .master()
+            .iter()
+            .all(|t| t.get(ty) == &Value::str("inproceedings")));
+    }
+}

@@ -1,0 +1,289 @@
+//! The dirty-data generator (paper Sect. 6, "Experimental data").
+//!
+//! Given a clean workload, the generator produces input tuples
+//! controlled by:
+//!
+//! * **duplicate rate `d%`** — the probability that an input tuple
+//!   matches a tuple in the master data (its errors are then fixable);
+//!   the remaining tuples describe fresh entities the master data knows
+//!   nothing about,
+//! * **noise rate `n%`** — the probability that each attribute of an
+//!   input tuple is corrupted (typo, value perturbation, or loss),
+//! * the master cardinality `|Dm|` (owned by the workload generator).
+//!
+//! Every dirty tuple stays paired with its ground truth, which both the
+//! simulated user and the evaluation metrics consume.
+
+use std::sync::Arc;
+
+use certainfix_relation::{MasterIndex, Relation, Schema, Tuple};
+use certainfix_rules::RuleSet;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::typo::corrupt_value;
+
+/// A clean, key-consistent workload: schema (shared by `R` and `Rm`),
+/// rule set, master relation, and a source of fresh entities.
+pub trait Workload {
+    /// Workload name (`hosp`, `dblp`).
+    fn name(&self) -> &'static str;
+    /// The shared schema of `R` and `Rm`.
+    fn schema(&self) -> &Arc<Schema>;
+    /// The editing rules `Σ`.
+    fn rules(&self) -> &RuleSet;
+    /// The master relation `Dm`.
+    fn master(&self) -> &Arc<Relation>;
+    /// `Dm` with its index cache.
+    fn master_index(&self) -> &MasterIndex;
+    /// A clean tuple describing an entity *not* present in `Dm`.
+    fn fresh_clean(&self, rng: &mut SmallRng) -> Tuple;
+}
+
+/// Knobs of the dirty-data generator. Paper defaults: `d% = 30`,
+/// `n% = 20`, 10K input tuples.
+#[derive(Clone, Copy, Debug)]
+pub struct DirtyConfig {
+    /// Probability an input tuple duplicates a master entity.
+    pub duplicate_rate: f64,
+    /// Per-attribute corruption probability.
+    pub noise_rate: f64,
+    /// Number of input tuples to generate.
+    pub input_size: usize,
+    /// RNG seed (generation is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for DirtyConfig {
+    fn default() -> Self {
+        DirtyConfig {
+            duplicate_rate: 0.3,
+            noise_rate: 0.2,
+            input_size: 1000,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// One generated input tuple with its ground truth.
+#[derive(Clone, Debug)]
+pub struct DirtyTuple {
+    /// The (possibly corrupted) tuple as it would arrive at data entry.
+    pub dirty: Tuple,
+    /// The ground truth.
+    pub clean: Tuple,
+    /// Master row this tuple duplicates, if any.
+    pub from_master: Option<u32>,
+}
+
+impl DirtyTuple {
+    /// Attributes whose dirty value differs from the truth.
+    pub fn error_attrs(&self) -> Vec<certainfix_relation::AttrId> {
+        self.dirty.diff(&self.clean)
+    }
+
+    /// `true` iff the tuple arrived with at least one error.
+    pub fn is_erroneous(&self) -> bool {
+        self.dirty != self.clean
+    }
+}
+
+/// A generated input set.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// The inputs, in arrival order.
+    pub inputs: Vec<DirtyTuple>,
+    /// The config that produced them.
+    pub config: DirtyConfig,
+}
+
+impl Dataset {
+    /// Generate `cfg.input_size` dirty tuples from `workload`.
+    pub fn generate<W: Workload + ?Sized>(workload: &W, cfg: &DirtyConfig) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let master = workload.master();
+        let mut inputs = Vec::with_capacity(cfg.input_size);
+        for _ in 0..cfg.input_size {
+            let (clean, from_master) = if !master.is_empty() && rng.random_bool(cfg.duplicate_rate)
+            {
+                let row = rng.random_range(0..master.len() as u32);
+                (master.tuple(row as usize).clone(), Some(row))
+            } else {
+                (workload.fresh_clean(&mut rng), None)
+            };
+            let mut dirty = clean.clone();
+            for (a, _) in clean.iter() {
+                if rng.random_bool(cfg.noise_rate) {
+                    let corrupted = corrupt_value(clean.get(a), &mut rng);
+                    dirty.set(a, corrupted);
+                }
+            }
+            inputs.push(DirtyTuple {
+                dirty,
+                clean,
+                from_master,
+            });
+        }
+        Dataset {
+            inputs,
+            config: *cfg,
+        }
+    }
+
+    /// Number of inputs.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// `true` iff no inputs were generated.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Count of tuples carrying at least one error.
+    pub fn erroneous(&self) -> usize {
+        self.inputs.iter().filter(|t| t.is_erroneous()).count()
+    }
+
+    /// Total erroneous attributes over all inputs.
+    pub fn erroneous_attrs(&self) -> usize {
+        self.inputs.iter().map(|t| t.error_attrs().len()).sum()
+    }
+
+    /// The dirty tuples as a relation (for whole-relation baselines
+    /// like `IncRep`).
+    pub fn dirty_relation(&self, schema: Arc<Schema>) -> Relation {
+        Relation::new(
+            schema,
+            self.inputs.iter().map(|t| t.dirty.clone()).collect(),
+        )
+        .expect("inputs share the workload schema")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hosp::Hosp;
+
+    #[test]
+    fn zero_noise_means_clean_inputs() {
+        let hosp = Hosp::generate(100);
+        let cfg = DirtyConfig {
+            noise_rate: 0.0,
+            input_size: 200,
+            ..Default::default()
+        };
+        let ds = Dataset::generate(&hosp, &cfg);
+        assert_eq!(ds.erroneous(), 0);
+        assert_eq!(ds.erroneous_attrs(), 0);
+    }
+
+    #[test]
+    fn full_duplicate_rate_draws_from_master() {
+        let hosp = Hosp::generate(100);
+        let cfg = DirtyConfig {
+            duplicate_rate: 1.0,
+            input_size: 100,
+            ..Default::default()
+        };
+        let ds = Dataset::generate(&hosp, &cfg);
+        assert!(ds.inputs.iter().all(|t| t.from_master.is_some()));
+        for t in &ds.inputs {
+            let row = t.from_master.unwrap() as usize;
+            assert_eq!(&t.clean, hosp.master().tuple(row));
+        }
+    }
+
+    #[test]
+    fn zero_duplicate_rate_is_all_fresh() {
+        let hosp = Hosp::generate(100);
+        let cfg = DirtyConfig {
+            duplicate_rate: 0.0,
+            input_size: 100,
+            ..Default::default()
+        };
+        let ds = Dataset::generate(&hosp, &cfg);
+        assert!(ds.inputs.iter().all(|t| t.from_master.is_none()));
+    }
+
+    #[test]
+    fn noise_rate_hits_roughly_the_expected_attr_count() {
+        let hosp = Hosp::generate(200);
+        let cfg = DirtyConfig {
+            noise_rate: 0.2,
+            input_size: 500,
+            ..Default::default()
+        };
+        let ds = Dataset::generate(&hosp, &cfg);
+        let expected = 0.2 * 500.0 * 19.0;
+        let got = ds.erroneous_attrs() as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.2,
+            "got {got}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn duplicate_rate_is_respected_statistically() {
+        let hosp = Hosp::generate(200);
+        let cfg = DirtyConfig {
+            duplicate_rate: 0.3,
+            input_size: 1000,
+            ..Default::default()
+        };
+        let ds = Dataset::generate(&hosp, &cfg);
+        let dups = ds.inputs.iter().filter(|t| t.from_master.is_some()).count();
+        assert!((200..400).contains(&dups), "dups = {dups}");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let hosp = Hosp::generate(50);
+        let cfg = DirtyConfig {
+            input_size: 50,
+            ..Default::default()
+        };
+        let a = Dataset::generate(&hosp, &cfg);
+        let b = Dataset::generate(&hosp, &cfg);
+        for (x, y) in a.inputs.iter().zip(&b.inputs) {
+            assert_eq!(x.dirty, y.dirty);
+            assert_eq!(x.clean, y.clean);
+        }
+    }
+
+    #[test]
+    fn dirty_relation_roundtrip() {
+        let hosp = Hosp::generate(20);
+        let ds = Dataset::generate(
+            &hosp,
+            &DirtyConfig {
+                input_size: 20,
+                ..Default::default()
+            },
+        );
+        let rel = ds.dirty_relation(hosp.schema().clone());
+        assert_eq!(rel.len(), 20);
+        assert_eq!(rel.tuple(3), &ds.inputs[3].dirty);
+    }
+
+    #[test]
+    fn error_attrs_diff() {
+        let hosp = Hosp::generate(10);
+        let ds = Dataset::generate(
+            &hosp,
+            &DirtyConfig {
+                noise_rate: 0.5,
+                input_size: 30,
+                ..Default::default()
+            },
+        );
+        for t in &ds.inputs {
+            let diff = t.error_attrs();
+            assert_eq!(diff.is_empty(), !t.is_erroneous());
+            for a in diff {
+                assert_ne!(t.dirty.get(a), t.clean.get(a));
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic workloads reproducing the paper's experimental setup
+//! (Sect. 6).
+//!
+//! The paper evaluates on two real datasets we do not have access to:
+//! **HOSP** (US Hospital Compare, 19 attributes, 21 eRs) and **DBLP**
+//! (bibliography join, 12 attributes, 16 eRs). The experiments depend
+//! only on the datasets' *dependency structure* — which the published
+//! rule sets describe exactly — and on three knobs of the paper's dirty
+//! data generator:
+//!
+//! * `d%` — duplicate rate: the probability that an input tuple matches
+//!   a master entity (relevance/completeness of `Dm`),
+//! * `n%` — noise rate: the fraction of erroneous attributes,
+//! * `|Dm|` — master data cardinality.
+//!
+//! [`hosp`] and [`dblp`] generate seeded master relations with the same
+//! schemas, the same rule sets, and key-consistent entities;
+//! [`dirty`] implements the knob-controlled corruption, keeping each
+//! input tuple paired with its ground truth.
+
+pub mod dblp;
+pub mod dirty;
+pub mod hosp;
+pub mod typo;
+
+pub use dblp::Dblp;
+pub use dirty::{Dataset, DirtyConfig, DirtyTuple, Workload};
+pub use hosp::Hosp;

@@ -1,0 +1,179 @@
+//! String corruption primitives for the dirty-data generator.
+
+use certainfix_relation::Value;
+use rand::{Rng, RngExt};
+
+/// Kinds of injected errors, mirroring common data-entry mistakes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// A single-character substitution.
+    Substitute,
+    /// A dropped character.
+    Delete,
+    /// An inserted character.
+    Insert,
+    /// Two adjacent characters swapped.
+    Transpose,
+    /// The value is lost entirely (missing field).
+    Null,
+}
+
+const KINDS: [ErrorKind; 5] = [
+    ErrorKind::Substitute,
+    ErrorKind::Delete,
+    ErrorKind::Insert,
+    ErrorKind::Transpose,
+    ErrorKind::Null,
+];
+
+const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+
+fn random_char<R: Rng>(rng: &mut R) -> char {
+    ALPHABET[rng.random_range(0..ALPHABET.len())] as char
+}
+
+/// Apply one typo of the given kind to a string. Guaranteed to return
+/// something different from the input (except for the degenerate empty
+/// string, which can only be corrupted by insertion or nulling).
+pub fn corrupt_string<R: Rng>(s: &str, kind: ErrorKind, rng: &mut R) -> Option<String> {
+    let chars: Vec<char> = s.chars().collect();
+    match kind {
+        ErrorKind::Null => None,
+        ErrorKind::Insert => {
+            let pos = rng.random_range(0..=chars.len());
+            let mut out: Vec<char> = chars.clone();
+            out.insert(pos, random_char(rng));
+            Some(out.into_iter().collect())
+        }
+        ErrorKind::Delete if !chars.is_empty() => {
+            let pos = rng.random_range(0..chars.len());
+            let mut out = chars.clone();
+            out.remove(pos);
+            Some(out.into_iter().collect())
+        }
+        ErrorKind::Substitute if !chars.is_empty() => {
+            let pos = rng.random_range(0..chars.len());
+            let mut out = chars.clone();
+            let mut c = random_char(rng);
+            while c == out[pos] {
+                c = random_char(rng);
+            }
+            out[pos] = c;
+            Some(out.into_iter().collect())
+        }
+        ErrorKind::Transpose if chars.len() >= 2 => {
+            // find a swappable adjacent pair (distinct chars)
+            let start = rng.random_range(0..chars.len() - 1);
+            let mut out = chars.clone();
+            for off in 0..chars.len() - 1 {
+                let i = (start + off) % (chars.len() - 1);
+                if out[i] != out[i + 1] {
+                    out.swap(i, i + 1);
+                    return Some(out.into_iter().collect());
+                }
+            }
+            // all-equal string: fall back to substitution
+            corrupt_string(s, ErrorKind::Substitute, rng)
+        }
+        // string too short for the requested kind: insert instead
+        _ => corrupt_string(s, ErrorKind::Insert, rng),
+    }
+}
+
+/// Corrupt a [`Value`]: strings get a random typo, integers get nudged,
+/// and any value may be nulled. Returns a value different from the
+/// input (or `Null`).
+pub fn corrupt_value<R: Rng>(v: &Value, rng: &mut R) -> Value {
+    let kind = KINDS[rng.random_range(0..KINDS.len())];
+    match (v, kind) {
+        (_, ErrorKind::Null) => Value::Null,
+        (Value::Null, _) => Value::str("spurious"),
+        (Value::Int(i), _) => {
+            let delta = rng.random_range(1..=9i64);
+            Value::Int(if rng.random_bool(0.5) {
+                i.wrapping_add(delta)
+            } else {
+                i.wrapping_sub(delta)
+            })
+        }
+        (Value::Str(s), kind) => match corrupt_string(s, kind, rng) {
+            Some(out) => Value::str(out),
+            None => Value::Null,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn corruption_changes_the_value() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let v = Value::str("edinburgh");
+            let c = corrupt_value(&v, &mut rng);
+            assert_ne!(c, v);
+        }
+    }
+
+    #[test]
+    fn int_corruption_changes_the_number() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let c = corrupt_value(&Value::int(100), &mut rng);
+            assert_ne!(c, Value::int(100));
+        }
+    }
+
+    #[test]
+    fn string_kinds_behave() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(corrupt_string("abc", ErrorKind::Null, &mut rng), None);
+        let ins = corrupt_string("abc", ErrorKind::Insert, &mut rng).unwrap();
+        assert_eq!(ins.chars().count(), 4);
+        let del = corrupt_string("abc", ErrorKind::Delete, &mut rng).unwrap();
+        assert_eq!(del.chars().count(), 2);
+        let sub = corrupt_string("abc", ErrorKind::Substitute, &mut rng).unwrap();
+        assert_eq!(sub.chars().count(), 3);
+        assert_ne!(sub, "abc");
+        let tr = corrupt_string("ab", ErrorKind::Transpose, &mut rng).unwrap();
+        assert_eq!(tr, "ba");
+    }
+
+    #[test]
+    fn degenerate_strings() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        // empty string: delete/substitute/transpose degrade to insert
+        let d = corrupt_string("", ErrorKind::Delete, &mut rng).unwrap();
+        assert_eq!(d.chars().count(), 1);
+        let t = corrupt_string("", ErrorKind::Transpose, &mut rng).unwrap();
+        assert_eq!(t.chars().count(), 1);
+        // all-equal string transpose falls back to substitution
+        let s = corrupt_string("aaa", ErrorKind::Transpose, &mut rng).unwrap();
+        assert_ne!(s, "aaa");
+        assert_eq!(s.chars().count(), 3);
+        // null corrupts to something non-null unless nulled again
+        let mut saw_non_null = false;
+        for _ in 0..50 {
+            if !corrupt_value(&Value::Null, &mut rng).is_null() {
+                saw_non_null = true;
+            }
+        }
+        assert!(saw_non_null);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = SmallRng::seed_from_u64(99);
+        let mut b = SmallRng::seed_from_u64(99);
+        for _ in 0..50 {
+            assert_eq!(
+                corrupt_value(&Value::str("determinism"), &mut a),
+                corrupt_value(&Value::str("determinism"), &mut b)
+            );
+        }
+    }
+}

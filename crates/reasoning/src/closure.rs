@@ -1,0 +1,123 @@
+//! Schema-level attribute closure under a rule set.
+//!
+//! `closure(Z)` is the least superset of `Z` closed under: if
+//! `lhs(ϕ) ∪ lhsp(ϕ) ⊆ closure` then `rhs(ϕ) ∈ closure`. It
+//! over-approximates the covered attribute set of Sect. 3 (it assumes a
+//! matching master tuple always exists) and is the shared core of
+//! certain-region derivation ([`crate::derive`]) and suggestion
+//! generation ([`crate::suggest`](mod@crate::suggest)): a region can only be certain if
+//! `closure(Z) = R`, and the master data then decides which pattern
+//! rows actually deliver.
+
+use certainfix_relation::AttrSet;
+use certainfix_rules::RuleSet;
+
+/// The closure plus a trace of which rules fired, in firing order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClosureTrace {
+    /// `closure(Z)`.
+    pub covered: AttrSet,
+    /// Rule indices that fired, in the round order they first became
+    /// applicable.
+    pub fired: Vec<usize>,
+}
+
+/// Compute `closure(z)` under `rules`, with the firing trace.
+pub fn closure(rules: &RuleSet, z: AttrSet) -> ClosureTrace {
+    let mut covered = z;
+    let mut fired = Vec::new();
+    let mut done = vec![false; rules.len()];
+    loop {
+        let mut changed = false;
+        for (i, rule) in rules.iter() {
+            if done[i] || covered.contains(rule.rhs()) {
+                continue;
+            }
+            if rule.premise().is_subset(&covered) {
+                covered.insert(rule.rhs());
+                fired.push(i);
+                done[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return ClosureTrace { covered, fired };
+        }
+    }
+}
+
+/// The rules that fire during the closure computation from `z` — the
+/// rule subset a region `(Z, ·)` can ever use.
+pub fn firing_rules(rules: &RuleSet, z: AttrSet) -> Vec<usize> {
+    closure(rules, z).fired
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certainfix_relation::{AttrId, Schema};
+    use certainfix_rules::parse_rules;
+
+    fn rules() -> RuleSet {
+        let r = Schema::new("R", ["a", "b", "c", "d", "e"]).unwrap();
+        let rm = r.clone();
+        parse_rules(
+            r#"
+            r1: match a ~ a set b := b
+            r2: match b ~ b set c := c when e = 1
+            r3: match a ~ a, c ~ c set d := d
+            "#,
+            &r,
+            &rm,
+        )
+        .unwrap()
+    }
+
+    fn set(ids: &[u16]) -> AttrSet {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    #[test]
+    fn chains_through_rules() {
+        // a → b; (b, pattern e) → c; (a, c) → d
+        let rs = rules();
+        let tr = closure(&rs, set(&[0, 4])); // {a, e}
+        assert_eq!(tr.covered, set(&[0, 1, 2, 3, 4]));
+        assert_eq!(tr.fired.len(), 3);
+        // r1 fires before r2 before r3
+        assert_eq!(tr.fired, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pattern_attrs_are_prerequisites() {
+        // without e, r2 cannot fire and c/d stay uncovered
+        let rs = rules();
+        let tr = closure(&rs, set(&[0]));
+        assert_eq!(tr.covered, set(&[0, 1]));
+        assert_eq!(tr.fired, vec![0]);
+    }
+
+    #[test]
+    fn already_covered_rhs_does_not_fire() {
+        let rs = rules();
+        let tr = closure(&rs, set(&[0, 1, 2, 3, 4]));
+        assert!(tr.fired.is_empty());
+        assert_eq!(tr.covered, set(&[0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn monotone_and_idempotent() {
+        let rs = rules();
+        let small = closure(&rs, set(&[0])).covered;
+        let large = closure(&rs, set(&[0, 4])).covered;
+        assert!(small.is_subset(&large));
+        assert_eq!(closure(&rs, small).covered, small, "idempotent");
+        assert_eq!(closure(&rs, large).covered, large);
+    }
+
+    #[test]
+    fn firing_rules_matches_trace() {
+        let rs = rules();
+        assert_eq!(firing_rules(&rs, set(&[0, 4])), vec![0, 1, 2]);
+    }
+}

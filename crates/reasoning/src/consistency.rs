@@ -1,0 +1,373 @@
+//! The consistency problem (Sect. 4.1).
+//!
+//! `(Σ, Dm)` is *consistent relative to* `(Z, Tc)` iff every tuple
+//! marked by the region has a unique fix. For concrete tableaux this is
+//! PTIME (Theorem 4) and decided directly by the chase. For tableaux
+//! with wildcards or negations on rule-relevant attributes, the checker
+//! performs the active-domain expansion from the proof of Theorem 4(I):
+//! each non-constant cell is instantiated over the attribute's decision
+//! domain (master values reachable through rule key mappings, pattern
+//! constants, plus one fresh value standing for "any other constant").
+//! The expansion is exact but exponential in the number of expanded
+//! cells — Theorem 1 says this cannot be avoided in general — so it
+//! runs under an explicit instantiation budget.
+
+use certainfix_relation::{
+    AttrId, FxHashSet, MasterIndex, PatternValue, Tuple, Value,
+};
+use certainfix_rules::RuleSet;
+
+use crate::chase::{Chase, ChaseResult, Conflict};
+use crate::error::AnalysisError;
+use crate::region::Region;
+
+/// Default instantiation budget for expansion-based analyses.
+pub const DEFAULT_BUDGET: u64 = 200_000;
+
+/// Result of a consistency check.
+#[derive(Clone, Debug)]
+pub struct ConsistencyReport {
+    /// `true` iff every checked instantiation has a unique fix.
+    pub consistent: bool,
+    /// A marked tuple without a unique fix, with its conflict.
+    pub witness: Option<(Tuple, Conflict)>,
+    /// Number of instantiations chased.
+    pub checked: u64,
+}
+
+/// Decide whether `(Σ, Dm)` is consistent relative to `region`.
+pub fn check_consistency(
+    rules: &RuleSet,
+    master: &MasterIndex,
+    region: &Region,
+    budget: u64,
+) -> Result<ConsistencyReport, AnalysisError> {
+    let chase = Chase::new(rules, master);
+    let mut checked = 0u64;
+    let mut enumerator = RowEnumerator::new(rules, master, region, budget)?;
+    while let Some(tuple) = enumerator.next_instance() {
+        checked += 1;
+        if let ChaseResult::Conflict(c) = chase.run(&tuple, region.z_set()) {
+            return Ok(ConsistencyReport {
+                consistent: false,
+                witness: Some((tuple, c)),
+                checked,
+            });
+        }
+    }
+    Ok(ConsistencyReport {
+        consistent: true,
+        witness: None,
+        checked,
+    })
+}
+
+/// The decision domain of attribute `a` of `R`: every constant whose
+/// identity the chase can distinguish on `a`, plus one fresh value.
+///
+/// Values are distinguishable only by (1) equality with a master value
+/// reachable through some rule's key mapping `λϕ(a)` and (2) equality
+/// with a pattern constant on `a`. All other constants behave alike, so
+/// one fresh representative suffices (the `dom` construction in the
+/// proofs of Theorems 1 and 4).
+pub fn decision_domain(rules: &RuleSet, master: &MasterIndex, a: AttrId) -> Vec<Value> {
+    let mut seen: FxHashSet<Value> = FxHashSet::default();
+    let mut out = Vec::new();
+    for (_, rule) in rules.iter() {
+        if let Some(ma) = rule.master_attr_for(a) {
+            for v in master.relation().active_domain(ma) {
+                if seen.insert(v.clone()) {
+                    out.push(v);
+                }
+            }
+        }
+        if let Some(cell) = rule.pattern().cell(a) {
+            let v = match cell {
+                PatternValue::Const(v) | PatternValue::Neq(v) => v.clone(),
+                PatternValue::Wildcard => continue,
+            };
+            if seen.insert(v.clone()) {
+                out.push(v);
+            }
+        }
+    }
+    out.push(fresh_value(&seen));
+    out
+}
+
+/// A value distinct from everything in `taken`.
+fn fresh_value(taken: &FxHashSet<Value>) -> Value {
+    let mut name = String::from("__fresh__");
+    loop {
+        let v = Value::str(&name);
+        if !taken.contains(&v) {
+            return v;
+        }
+        name.push('_');
+    }
+}
+
+/// Streams the instantiations of a region's rows.
+///
+/// For each row, each `Z`-attribute gets a candidate list:
+/// * rule-irrelevant attribute → `[Null]` (validated, never consulted);
+/// * `Const(v)` → `[v]`;
+/// * `Wildcard` → the decision domain;
+/// * `Neq(v)` → the decision domain minus `v`.
+pub(crate) struct RowEnumerator {
+    z: Vec<AttrId>,
+    arity: usize,
+    /// Per row: candidate lists aligned with `z`.
+    rows: Vec<Vec<Vec<Value>>>,
+    row: usize,
+    counters: Vec<usize>,
+    exhausted_row: bool,
+}
+
+impl RowEnumerator {
+    pub(crate) fn new(
+        rules: &RuleSet,
+        master: &MasterIndex,
+        region: &Region,
+        budget: u64,
+    ) -> Result<RowEnumerator, AnalysisError> {
+        let relevant = rules.touched_attrs();
+        let mut rows = Vec::with_capacity(region.tableau().len());
+        let mut total: u128 = 0;
+        for row in region.tableau().rows() {
+            let mut candidates: Vec<Vec<Value>> = Vec::with_capacity(region.z().len());
+            let mut count: u128 = 1;
+            for &a in region.z() {
+                let cell = row.cell(a).cloned().unwrap_or(PatternValue::Wildcard);
+                let cands: Vec<Value> = if !relevant.contains(a) {
+                    vec![Value::Null]
+                } else {
+                    match cell {
+                        PatternValue::Const(v) => vec![v],
+                        PatternValue::Wildcard => decision_domain(rules, master, a),
+                        PatternValue::Neq(v) => decision_domain(rules, master, a)
+                            .into_iter()
+                            .filter(|c| c != &v)
+                            .collect(),
+                    }
+                };
+                count = count.saturating_mul(cands.len().max(1) as u128);
+                candidates.push(cands);
+            }
+            total = total.saturating_add(count);
+            rows.push(candidates);
+        }
+        if total > budget as u128 {
+            return Err(AnalysisError::BudgetExceeded {
+                what: "region row instantiations",
+                needed: total,
+                budget,
+            });
+        }
+        Ok(RowEnumerator {
+            z: region.z().to_vec(),
+            arity: rules.r_schema().len(),
+            counters: vec![0; region.z().len()],
+            exhausted_row: rows.first().map(|r| r.iter().any(Vec::is_empty)).unwrap_or(true),
+            rows,
+            row: 0,
+        })
+    }
+
+    /// Next instantiated tuple (nulls outside `Z`), or `None`.
+    pub(crate) fn next_instance(&mut self) -> Option<Tuple> {
+        loop {
+            if self.row >= self.rows.len() {
+                return None;
+            }
+            if self.exhausted_row {
+                self.advance_row();
+                continue;
+            }
+            let cands = &self.rows[self.row];
+            let mut t = Tuple::nulls(self.arity);
+            for (i, &a) in self.z.iter().enumerate() {
+                t.set(a, cands[i][self.counters[i]].clone());
+            }
+            // odometer increment
+            let mut i = 0;
+            loop {
+                if i == self.counters.len() {
+                    self.exhausted_row = true;
+                    break;
+                }
+                self.counters[i] += 1;
+                if self.counters[i] < cands[i].len() {
+                    break;
+                }
+                self.counters[i] = 0;
+                i += 1;
+            }
+            if self.counters.is_empty() {
+                self.exhausted_row = true;
+            }
+            return Some(t);
+        }
+    }
+
+    fn advance_row(&mut self) {
+        self.row += 1;
+        self.counters.iter_mut().for_each(|c| *c = 0);
+        self.exhausted_row = self
+            .rows
+            .get(self.row)
+            .map(|r| r.iter().any(Vec::is_empty))
+            .unwrap_or(true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certainfix_relation::{tuple, PatternTuple, Relation, Schema, Tableau};
+    use certainfix_rules::parse_rules;
+    use std::sync::Arc;
+
+    fn fig1() -> (Arc<Schema>, RuleSet, MasterIndex) {
+        let r = Schema::new(
+            "R",
+            ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+        )
+        .unwrap();
+        let rm = Schema::new(
+            "Rm",
+            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"],
+        )
+        .unwrap();
+        let rules = parse_rules(
+            r#"
+            phi1: match zip ~ zip set AC := AC, str := str, city := city
+            phi2: match phn ~ Mphn set fn := FN, ln := LN when type = 2
+            phi3: match AC ~ AC, phn ~ Hphn set str := str, city := city, zip := zip when type = 1, AC != '0800'
+            phi4: match AC ~ AC set city := city when AC = '0800'
+            "#,
+            &r,
+            &rm,
+        )
+        .unwrap();
+        let master = Relation::new(
+            rm,
+            vec![
+                tuple![
+                    "Robert", "Brady", "131", "6884563", "079172485", "51 Elm Row", "Edi",
+                    "EH7 4AH", "11/11/55", "M"
+                ],
+                tuple![
+                    "Mark", "Smith", "020", "6884563", "075568485", "20 Baker St.", "Lnd",
+                    "NW1 6XE", "25/12/67", "M"
+                ],
+            ],
+        )
+        .unwrap();
+        (r.clone(), rules, MasterIndex::new(Arc::new(master)))
+    }
+
+    fn region_universal(r: &Schema, names: &[&str]) -> Region {
+        Region::universal(names.iter().map(|n| r.attr(n).unwrap()).collect()).unwrap()
+    }
+
+    #[test]
+    fn example10_inconsistent_region() {
+        // (Z_AHZ) = (AC, phn, type, zip) with unconstrained cells: t3's
+        // combination (AC from s2's key, zip from s1) has two fixes.
+        let (r, rules, master) = fig1();
+        let region = region_universal(&r, &["AC", "phn", "type", "zip"]);
+        let report = check_consistency(&rules, &master, &region, DEFAULT_BUDGET).unwrap();
+        assert!(!report.consistent);
+        let (witness, conflict) = report.witness.unwrap();
+        // str and city both conflict between ϕ1 (zip key) and ϕ3
+        // (AC/phn key); either may be reported first.
+        assert!(
+            conflict.attr == r.attr("city").unwrap() || conflict.attr == r.attr("str").unwrap()
+        );
+        // the witness is genuinely marked by the region
+        assert!(region.marks(&witness));
+    }
+
+    #[test]
+    fn consistent_region_with_type_pattern() {
+        // (Z_zm, T_zm) = ((zip, phn, type), {(_, _, 2)}) of Example 8:
+        // with type = 2 only ϕ1 and ϕ2 fire; s1/s2 are key-consistent,
+        // so every marked tuple has a unique fix.
+        let (r, rules, master) = fig1();
+        let z = ["zip", "phn", "type"]
+            .iter()
+            .map(|n| r.attr(n).unwrap())
+            .collect::<Vec<_>>();
+        let row = PatternTuple::new(vec![(
+            r.attr("type").unwrap(),
+            PatternValue::Const(Value::int(2)),
+        )]);
+        let region = Region::new(z, Tableau::new(vec![row])).unwrap();
+        let report = check_consistency(&rules, &master, &region, DEFAULT_BUDGET).unwrap();
+        assert!(report.consistent, "witness: {:?}", report.witness);
+        assert!(report.checked > 0);
+    }
+
+    #[test]
+    fn concrete_tableau_checks_single_instance() {
+        let (r, rules, master) = fig1();
+        let z: Vec<AttrId> = ["zip", "phn", "type"]
+            .iter()
+            .map(|n| r.attr(n).unwrap())
+            .collect();
+        let row = PatternTuple::new(vec![
+            (r.attr("zip").unwrap(), PatternValue::Const(Value::str("EH7 4AH"))),
+            (
+                r.attr("phn").unwrap(),
+                PatternValue::Const(Value::str("079172485")),
+            ),
+            (r.attr("type").unwrap(), PatternValue::Const(Value::int(2))),
+        ]);
+        let region = Region::new(z, Tableau::new(vec![row])).unwrap();
+        let report = check_consistency(&rules, &master, &region, DEFAULT_BUDGET).unwrap();
+        assert!(report.consistent);
+        assert_eq!(report.checked, 1);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let (r, rules, master) = fig1();
+        let region = region_universal(&r, &["AC", "phn", "type", "zip"]);
+        let err = check_consistency(&rules, &master, &region, 2).unwrap_err();
+        assert!(matches!(err, AnalysisError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn empty_tableau_is_vacuously_consistent() {
+        let (r, rules, master) = fig1();
+        let region = Region::new(vec![r.attr("zip").unwrap()], Tableau::empty()).unwrap();
+        let report = check_consistency(&rules, &master, &region, DEFAULT_BUDGET).unwrap();
+        assert!(report.consistent);
+        assert_eq!(report.checked, 0);
+    }
+
+    #[test]
+    fn decision_domain_collects_master_and_pattern_values() {
+        let (r, rules, master) = fig1();
+        let dom_ac = decision_domain(&rules, &master, r.attr("AC").unwrap());
+        // master ACs 131/020 (via ϕ3/ϕ4 key mapping) + pattern constant
+        // 0800 + fresh
+        assert!(dom_ac.contains(&Value::str("131")));
+        assert!(dom_ac.contains(&Value::str("020")));
+        assert!(dom_ac.contains(&Value::str("0800")));
+        assert!(dom_ac.iter().any(|v| v.as_str().is_some_and(|s| s.starts_with("__fresh__"))));
+        // an attribute never used as a key and never in a pattern has
+        // only the fresh value
+        let dom_item = decision_domain(&rules, &master, r.attr("item").unwrap());
+        assert_eq!(dom_item.len(), 1);
+    }
+
+    #[test]
+    fn fresh_value_avoids_collisions() {
+        let mut taken = FxHashSet::default();
+        taken.insert(Value::str("__fresh__"));
+        let v = fresh_value(&taken);
+        assert_ne!(v, Value::str("__fresh__"));
+    }
+}

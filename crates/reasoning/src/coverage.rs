@@ -1,0 +1,251 @@
+//! The coverage problem (Sect. 4.1): is `(Z, Tc)` a *certain region*?
+//!
+//! `(Z, Tc)` is a certain region for `(Σ, Dm)` iff every marked tuple
+//! has a certain fix — a unique fix whose covered attribute set is all
+//! of `R`. Shares the active-domain expansion machinery (and budget)
+//! with [`crate::consistency`].
+
+use certainfix_relation::{AttrSet, MasterIndex, Tuple};
+use certainfix_rules::RuleSet;
+
+use crate::chase::{Chase, ChaseResult, Conflict};
+use crate::closure::closure;
+use crate::consistency::RowEnumerator;
+use crate::error::AnalysisError;
+use crate::region::Region;
+
+/// Why a marked tuple failed to receive a certain fix.
+#[derive(Clone, Debug)]
+pub enum CoverageFailure {
+    /// No unique fix (consistency violation).
+    Conflict(Tuple, Conflict),
+    /// A unique fix exists but leaves attributes uncovered.
+    Uncovered(Tuple, AttrSet),
+}
+
+/// Result of a coverage check.
+#[derive(Clone, Debug)]
+pub struct CoverageReport {
+    /// `true` iff the region is a certain region for `(Σ, Dm)`.
+    pub certain: bool,
+    /// First failure found, if any.
+    pub failure: Option<CoverageFailure>,
+    /// Number of instantiations chased.
+    pub checked: u64,
+}
+
+/// Decide whether `region` is a certain region for `(Σ, Dm)`.
+///
+/// Fast path: if `closure(Z) ≠ R` at the schema level, no instantiation
+/// can cover `R` (the closure over-approximates coverage), so the
+/// region is rejected without enumeration — unless the tableau is
+/// empty, in which case the region is vacuously certain.
+pub fn check_coverage(
+    rules: &RuleSet,
+    master: &MasterIndex,
+    region: &Region,
+    budget: u64,
+) -> Result<CoverageReport, AnalysisError> {
+    let full = AttrSet::full(rules.r_schema().len());
+    if region.tableau().is_empty() {
+        return Ok(CoverageReport {
+            certain: true,
+            failure: None,
+            checked: 0,
+        });
+    }
+    let reachable = closure(rules, region.z_set()).covered;
+    if reachable != full {
+        return Ok(CoverageReport {
+            certain: false,
+            failure: Some(CoverageFailure::Uncovered(
+                Tuple::nulls(rules.r_schema().len()),
+                full - reachable,
+            )),
+            checked: 0,
+        });
+    }
+    let chase = Chase::new(rules, master);
+    let mut checked = 0u64;
+    let mut enumerator = RowEnumerator::new(rules, master, region, budget)?;
+    while let Some(tuple) = enumerator.next_instance() {
+        checked += 1;
+        match chase.run(&tuple, region.z_set()) {
+            ChaseResult::Conflict(c) => {
+                return Ok(CoverageReport {
+                    certain: false,
+                    failure: Some(CoverageFailure::Conflict(tuple, c)),
+                    checked,
+                });
+            }
+            ChaseResult::Fixed(fix) => {
+                if fix.validated != full {
+                    return Ok(CoverageReport {
+                        certain: false,
+                        failure: Some(CoverageFailure::Uncovered(tuple, full - fix.validated)),
+                        checked,
+                    });
+                }
+            }
+        }
+    }
+    Ok(CoverageReport {
+        certain: true,
+        failure: None,
+        checked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::DEFAULT_BUDGET;
+    use certainfix_relation::{
+        tuple, AttrId, PatternTuple, PatternValue, Relation, Schema, Tableau, Value,
+    };
+    use certainfix_rules::parse_rules;
+    use std::sync::Arc;
+
+    fn fig1() -> (Arc<Schema>, RuleSet, MasterIndex) {
+        let r = Schema::new(
+            "R",
+            ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+        )
+        .unwrap();
+        let rm = Schema::new(
+            "Rm",
+            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"],
+        )
+        .unwrap();
+        let rules = parse_rules(
+            r#"
+            phi1: match zip ~ zip set AC := AC, str := str, city := city
+            phi2: match phn ~ Mphn set fn := FN, ln := LN when type = 2
+            phi3: match AC ~ AC, phn ~ Hphn set str := str, city := city, zip := zip when type = 1, AC != '0800'
+            phi4: match AC ~ AC set city := city when AC = '0800'
+            "#,
+            &r,
+            &rm,
+        )
+        .unwrap();
+        let master = Relation::new(
+            rm,
+            vec![
+                tuple![
+                    "Robert", "Brady", "131", "6884563", "079172485", "51 Elm Row", "Edi",
+                    "EH7 4AH", "11/11/55", "M"
+                ],
+                tuple![
+                    "Mark", "Smith", "020", "6884563", "075568485", "20 Baker St.", "Lnd",
+                    "NW1 6XE", "25/12/67", "M"
+                ],
+            ],
+        )
+        .unwrap();
+        (r.clone(), rules, MasterIndex::new(Arc::new(master)))
+    }
+
+    fn z(r: &Schema, names: &[&str]) -> Vec<AttrId> {
+        names.iter().map(|n| r.attr(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn example9_zzmi_is_a_certain_region() {
+        // (Z_zmi, T_zmi): Z = (zip, phn, type, item), rows (z, p, 2, _)
+        // for (z, p) over s[zip, Mphn] of each master tuple.
+        let (r, rules, master) = fig1();
+        let zips = master.relation().active_domain(
+            master.relation().schema().attr("zip").unwrap(),
+        );
+        let mphns = master.relation().active_domain(
+            master.relation().schema().attr("Mphn").unwrap(),
+        );
+        let mut rows = Vec::new();
+        for (zv, pv) in zips.iter().zip(&mphns) {
+            rows.push(PatternTuple::new(vec![
+                (r.attr("zip").unwrap(), PatternValue::Const(zv.clone())),
+                (r.attr("phn").unwrap(), PatternValue::Const(pv.clone())),
+                (r.attr("type").unwrap(), PatternValue::Const(Value::int(2))),
+            ]));
+        }
+        let region = Region::new(z(&r, &["zip", "phn", "type", "item"]), Tableau::new(rows))
+            .unwrap();
+        let report = check_coverage(&rules, &master, &region, DEFAULT_BUDGET).unwrap();
+        assert!(report.certain, "failure: {:?}", report.failure);
+    }
+
+    #[test]
+    fn example8_missing_item_fails_coverage() {
+        // Without item in Z, Dm has no item info: not a certain region.
+        let (r, rules, master) = fig1();
+        let region = Region::universal(z(&r, &["zip", "phn", "type"])).unwrap();
+        let report = check_coverage(&rules, &master, &region, DEFAULT_BUDGET).unwrap();
+        assert!(!report.certain);
+        match report.failure {
+            Some(CoverageFailure::Uncovered(_, missing)) => {
+                assert!(missing.contains(r.attr("item").unwrap()));
+            }
+            other => panic!("expected Uncovered, got {other:?}"),
+        }
+        // rejected by the closure fast path, before any enumeration
+        assert_eq!(report.checked, 0);
+    }
+
+    #[test]
+    fn wildcard_key_fails_coverage_on_unmatched_values() {
+        // Z = all attributes' worth of closure, but a wildcard zip row
+        // admits zips matching no master tuple.
+        let (r, rules, master) = fig1();
+        let region =
+            Region::universal(z(&r, &["zip", "phn", "type", "item"])).unwrap();
+        let report = check_coverage(&rules, &master, &region, DEFAULT_BUDGET).unwrap();
+        assert!(!report.certain);
+        assert!(matches!(
+            report.failure,
+            Some(CoverageFailure::Uncovered(..)) | Some(CoverageFailure::Conflict(..))
+        ));
+    }
+
+    #[test]
+    fn inconsistency_fails_coverage() {
+        // Conflicting master data: same zip, two cities.
+        let r = Schema::new("R", ["zip", "city"]).unwrap();
+        let rm = Schema::new("Rm", ["zip", "city"]).unwrap();
+        let rules = parse_rules("p: match zip ~ zip set city := city", &r, &rm).unwrap();
+        let master = MasterIndex::new(Arc::new(
+            Relation::new(rm, vec![tuple!["Z1", "Edi"], tuple!["Z1", "Lnd"]]).unwrap(),
+        ));
+        let row = PatternTuple::new(vec![(
+            r.attr("zip").unwrap(),
+            PatternValue::Const(Value::str("Z1")),
+        )]);
+        let region =
+            Region::new(vec![r.attr("zip").unwrap()], Tableau::new(vec![row])).unwrap();
+        let report = check_coverage(&rules, &master, &region, DEFAULT_BUDGET).unwrap();
+        assert!(!report.certain);
+        assert!(matches!(report.failure, Some(CoverageFailure::Conflict(..))));
+    }
+
+    #[test]
+    fn empty_tableau_vacuously_certain() {
+        let (r, rules, master) = fig1();
+        let region = Region::new(z(&r, &["zip"]), Tableau::empty()).unwrap();
+        let report = check_coverage(&rules, &master, &region, DEFAULT_BUDGET).unwrap();
+        assert!(report.certain);
+        assert_eq!(report.checked, 0);
+    }
+
+    #[test]
+    fn full_z_is_always_certain() {
+        // Z = R: everything is user-validated; any row is certain.
+        let (r, rules, master) = fig1();
+        let all: Vec<AttrId> = r.attr_ids().collect();
+        let row = PatternTuple::new(vec![(
+            r.attr("type").unwrap(),
+            PatternValue::Const(Value::int(7)),
+        )]);
+        let region = Region::new(all, Tableau::new(vec![row])).unwrap();
+        let report = check_coverage(&rules, &master, &region, DEFAULT_BUDGET).unwrap();
+        assert!(report.certain);
+    }
+}

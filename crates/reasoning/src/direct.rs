@@ -1,0 +1,400 @@
+//! Direct fixes (special case (5) of Sect. 4.1; Theorem 5).
+//!
+//! Under the *direct fix* semantics (a) rule patterns only mention key
+//! attributes (`Xp ⊆ X`), and (b) fixes never extend the region: every
+//! step uses `(Z, Tc)` itself, so only rules with `lhs ∪ lhsp ⊆ Z` and
+//! `rhs ∉ Z` ever fire. Consistency and coverage then reduce to the
+//! SQL-style joins `Qϕ1,ϕ2` of the paper, evaluated here as hash joins
+//! over the master relation — PTIME in `|Σ|` and `|Dm|`.
+
+use certainfix_relation::{
+    AttrId, AttrSet, FxHashMap, MasterIndex, PatternValue, Value,
+};
+use certainfix_rules::{EditingRule, RuleSet};
+
+use crate::region::Region;
+
+/// A pair of master prescriptions that disagree — the witness returned
+/// by `Qϕ1,ϕ2`.
+#[derive(Clone, Debug)]
+pub struct DirectConflict {
+    /// Indices of the two rules.
+    pub rules: (usize, usize),
+    /// The disputed attribute `B`.
+    pub attr: AttrId,
+    /// The two prescribed values.
+    pub values: (Value, Value),
+}
+
+/// Report of the direct-fix analyses.
+#[derive(Clone, Debug)]
+pub struct DirectReport {
+    /// `true` iff no query `Qϕ1,ϕ2` is non-empty.
+    pub consistent: bool,
+    /// First conflict found.
+    pub conflict: Option<DirectConflict>,
+    /// For coverage: attributes of `R \ Z` with no applicable rule +
+    /// master support under some tableau row (empty iff covered).
+    pub uncovered: AttrSet,
+}
+
+/// Can a marked tuple satisfy both `tc`'s cell and the rule pattern's
+/// cell on the same attribute?
+fn cells_compatible(tc_cell: Option<&PatternValue>, tp_cell: &PatternValue) -> bool {
+    match (tc_cell, tp_cell) {
+        (None | Some(PatternValue::Wildcard), _) => true,
+        (Some(PatternValue::Const(v)), tp) => tp.matches(v),
+        // tc has a negation: some non-`v` value satisfying `tp` exists
+        // unless `tp` is the very constant excluded.
+        (Some(PatternValue::Neq(v)), PatternValue::Const(c)) => v != c,
+        (Some(PatternValue::Neq(_)), _) => true,
+    }
+}
+
+/// Rules applicable under the direct semantics for region `(Z, Tc)` and
+/// row `tc`: `lhs ∪ lhsp ⊆ Z`, `rhs ∉ Z`, and the rule pattern is
+/// jointly satisfiable with `tc` on every pattern attribute.
+fn applicable_direct<'a>(
+    rules: &'a RuleSet,
+    region: &Region,
+    tc: &certainfix_relation::PatternTuple,
+) -> Vec<(usize, &'a EditingRule)> {
+    let z = region.z_set();
+    rules
+        .iter()
+        .filter(|(_, rule)| {
+            rule.premise().is_subset(&z)
+                && !z.contains(rule.rhs())
+                && rule
+                    .lhs_p()
+                    .iter()
+                    .zip(rule.pattern().cells())
+                    .all(|(&a, tp_cell)| cells_compatible(tc.cell(a), tp_cell))
+        })
+        .collect()
+}
+
+/// `Qϕ` of Theorem 5: master rows matching both the rule's pattern
+/// (through the key mapping, for pattern attrs that are keys) and the
+/// row `tc` (through the key mapping). Returns `(key values in lhs
+/// order, prescribed B value)` per surviving master row.
+fn rule_result_set(
+    rule: &EditingRule,
+    tc: &certainfix_relation::PatternTuple,
+    master: &MasterIndex,
+) -> Vec<(Vec<Value>, Value)> {
+    let mut out = Vec::new();
+    'rows: for tm in master.relation().iter() {
+        for (i, &x) in rule.lhs().iter().enumerate() {
+            let mv = tm.get(rule.lhs_m()[i]);
+            // tc constraint on the key attribute
+            if let Some(cell) = tc.cell(x) {
+                if !cell.matches(mv) {
+                    continue 'rows;
+                }
+            }
+            // rule pattern constraint, when the pattern attr is a key
+            if let Some(tp_cell) = rule.pattern().cell(x) {
+                if !tp_cell.matches(mv) {
+                    continue 'rows;
+                }
+            }
+            if mv.is_null() {
+                continue 'rows;
+            }
+        }
+        let key: Vec<Value> = rule.lhs_m().iter().map(|&a| tm.get(a).clone()).collect();
+        out.push((key, tm.get(rule.rhs_m()).clone()));
+    }
+    out
+}
+
+/// Decide consistency of `(Σ, Dm)` relative to `region` under the
+/// direct-fix semantics.
+pub fn direct_consistent(rules: &RuleSet, master: &MasterIndex, region: &Region) -> DirectReport {
+    for tc in region.tableau().rows() {
+        let applicable = applicable_direct(rules, region, tc);
+        // Group by target attribute; only same-target pairs can clash.
+        for (pos1, &(i1, r1)) in applicable.iter().enumerate() {
+            let set1 = rule_result_set(r1, tc, master);
+            for &(i2, r2) in applicable.iter().skip(pos1) {
+                if r1.rhs() != r2.rhs() {
+                    continue;
+                }
+                let set2 = if i1 == i2 {
+                    set1.clone()
+                } else {
+                    rule_result_set(r2, tc, master)
+                };
+                // Join on the shared R-side key attributes.
+                let shared: Vec<AttrId> = r1
+                    .lhs()
+                    .iter()
+                    .copied()
+                    .filter(|a| r2.lhs().contains(a))
+                    .collect();
+                let proj1: Vec<usize> = shared
+                    .iter()
+                    .map(|a| r1.lhs().iter().position(|x| x == a).unwrap())
+                    .collect();
+                let proj2: Vec<usize> = shared
+                    .iter()
+                    .map(|a| r2.lhs().iter().position(|x| x == a).unwrap())
+                    .collect();
+                let mut seen: FxHashMap<Vec<Value>, Vec<&Value>> = FxHashMap::default();
+                for (key, b) in &set1 {
+                    let jk: Vec<Value> = proj1.iter().map(|&i| key[i].clone()).collect();
+                    seen.entry(jk).or_default().push(b);
+                }
+                for (key, b) in &set2 {
+                    let jk: Vec<Value> = proj2.iter().map(|&i| key[i].clone()).collect();
+                    if let Some(bs) = seen.get(&jk) {
+                        if let Some(other) = bs.iter().find(|v| **v != b) {
+                            return DirectReport {
+                                consistent: false,
+                                conflict: Some(DirectConflict {
+                                    rules: (i1, i2),
+                                    attr: r1.rhs(),
+                                    values: ((*other).clone(), b.clone()),
+                                }),
+                                uncovered: AttrSet::EMPTY,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+    DirectReport {
+        consistent: true,
+        conflict: None,
+        uncovered: AttrSet::EMPTY,
+    }
+}
+
+/// Decide whether `region` is a certain region under the direct-fix
+/// semantics: consistency plus, for each `B ∈ R \ Z` and each tableau
+/// row, an applicable rule fixing `B` whose key is pinned to constants
+/// by `tc` and matched by at least one master tuple (condition (2) in
+/// the proof of Theorem 5).
+pub fn direct_covers(rules: &RuleSet, master: &MasterIndex, region: &Region) -> DirectReport {
+    let consistency = direct_consistent(rules, master, region);
+    if !consistency.consistent {
+        return consistency;
+    }
+    let full = AttrSet::full(rules.r_schema().len());
+    let mut uncovered = AttrSet::EMPTY;
+    for b in (full - region.z_set()).iter() {
+        let mut covered_everywhere = true;
+        for tc in region.tableau().rows() {
+            let ok = applicable_direct(rules, region, tc).iter().any(|&(_, rule)| {
+                rule.rhs() == b
+                    && rule.lhs().iter().all(|&x| {
+                        matches!(tc.cell(x), Some(PatternValue::Const(_)))
+                    })
+                    && !rule_result_set(rule, tc, master).is_empty()
+            });
+            if !ok {
+                covered_everywhere = false;
+                break;
+            }
+        }
+        if !covered_everywhere {
+            uncovered.insert(b);
+        }
+    }
+    DirectReport {
+        consistent: true,
+        conflict: None,
+        uncovered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certainfix_relation::{tuple, PatternTuple, Relation, Schema, Tableau};
+    use certainfix_rules::parse_rules;
+    use std::sync::Arc;
+
+    fn setup(master_rows: Vec<certainfix_relation::Tuple>, dsl: &str) -> (Arc<Schema>, RuleSet, MasterIndex) {
+        let r = Schema::new("R", ["zip", "phn", "type", "ac", "city", "street"]).unwrap();
+        let rm = r.clone();
+        let rules = parse_rules(dsl, &r, &rm).unwrap();
+        let master = MasterIndex::new(Arc::new(Relation::new(rm, master_rows).unwrap()));
+        (r, rules, master)
+    }
+
+    fn region(r: &Schema, z: &[&str], rows: Vec<PatternTuple>) -> Region {
+        Region::new(
+            z.iter().map(|n| r.attr(n).unwrap()).collect(),
+            Tableau::new(rows),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn consistent_when_master_is_functional() {
+        let (r, rules, master) = setup(
+            vec![
+                tuple!["Z1", "P1", 1, "131", "Edi", "Elm"],
+                tuple!["Z2", "P2", 1, "020", "Lnd", "Oak"],
+            ],
+            "p1: match zip ~ zip set city := city\np2: match phn ~ phn set city := city",
+        );
+        let reg = region(
+            &r,
+            &["zip", "phn"],
+            vec![PatternTuple::new(vec![
+                (r.attr("zip").unwrap(), PatternValue::Const(Value::str("Z1"))),
+                (r.attr("phn").unwrap(), PatternValue::Const(Value::str("P1"))),
+            ])],
+        );
+        let rep = direct_consistent(&rules, &master, &reg);
+        assert!(rep.consistent);
+    }
+
+    #[test]
+    fn cross_rule_conflict_found() {
+        // zip Z1 says Edi, phn P1 says Lnd (they belong to different
+        // master tuples but a marked input can carry both keys).
+        let (r, rules, master) = setup(
+            vec![
+                tuple!["Z1", "PX", 1, "131", "Edi", "Elm"],
+                tuple!["Z9", "P1", 1, "020", "Lnd", "Oak"],
+            ],
+            "p1: match zip ~ zip set city := city\np2: match phn ~ phn set city := city",
+        );
+        let reg = region(
+            &r,
+            &["zip", "phn"],
+            vec![PatternTuple::new(vec![
+                (r.attr("zip").unwrap(), PatternValue::Const(Value::str("Z1"))),
+                (r.attr("phn").unwrap(), PatternValue::Const(Value::str("P1"))),
+            ])],
+        );
+        let rep = direct_consistent(&rules, &master, &reg);
+        assert!(!rep.consistent);
+        let c = rep.conflict.unwrap();
+        assert_eq!(c.attr, r.attr("city").unwrap());
+    }
+
+    #[test]
+    fn within_rule_conflict_found() {
+        // One rule, two master rows with the same key, different city.
+        let (r, rules, master) = setup(
+            vec![
+                tuple!["Z1", "P1", 1, "131", "Edi", "Elm"],
+                tuple!["Z1", "P2", 1, "131", "Lnd", "Oak"],
+            ],
+            "p1: match zip ~ zip set city := city",
+        );
+        let reg = region(
+            &r,
+            &["zip"],
+            vec![PatternTuple::new(vec![(
+                r.attr("zip").unwrap(),
+                PatternValue::Const(Value::str("Z1")),
+            )])],
+        );
+        let rep = direct_consistent(&rules, &master, &reg);
+        assert!(!rep.consistent);
+        let c = rep.conflict.unwrap();
+        assert_eq!(c.rules.0, c.rules.1);
+    }
+
+    #[test]
+    fn pattern_filters_prevent_false_conflicts() {
+        // The two rules fire on disjoint type values: no conflict even
+        // though their prescriptions differ.
+        let (r, rules, master) = setup(
+            vec![
+                tuple!["Z1", "P1", 1, "131", "Edi", "Elm"],
+                tuple!["Z1", "P1", 2, "020", "Lnd", "Oak"],
+            ],
+            "p1: match zip ~ zip, type ~ type set city := city when type = 1\n\
+             p2: match zip ~ zip, type ~ type set city := city when type = 2",
+        );
+        // tc pins type = 1: only p1 compatible.
+        let reg = region(
+            &r,
+            &["zip", "type"],
+            vec![PatternTuple::new(vec![
+                (r.attr("zip").unwrap(), PatternValue::Const(Value::str("Z1"))),
+                (r.attr("type").unwrap(), PatternValue::Const(Value::int(1))),
+            ])],
+        );
+        let rep = direct_consistent(&rules, &master, &reg);
+        assert!(rep.consistent);
+    }
+
+    #[test]
+    fn coverage_requires_constant_keys_and_support() {
+        let (r, rules, master) = setup(
+            vec![tuple!["Z1", "P1", 1, "131", "Edi", "Elm"]],
+            "p1: match zip ~ zip set city := city, ac := ac, street := street\n\
+             p2: match phn ~ phn set type := type",
+        );
+        // Row pins zip and phn to master values: everything except the
+        // Z attributes is covered.
+        let reg = region(
+            &r,
+            &["zip", "phn"],
+            vec![PatternTuple::new(vec![
+                (r.attr("zip").unwrap(), PatternValue::Const(Value::str("Z1"))),
+                (r.attr("phn").unwrap(), PatternValue::Const(Value::str("P1"))),
+            ])],
+        );
+        let rep = direct_covers(&rules, &master, &reg);
+        assert!(rep.consistent);
+        assert!(rep.uncovered.is_empty(), "uncovered: {rep:?}");
+
+        // A wildcard zip can't guarantee master support: city/ac/street
+        // become uncovered.
+        let reg2 = region(
+            &r,
+            &["zip", "phn"],
+            vec![PatternTuple::new(vec![(
+                r.attr("phn").unwrap(),
+                PatternValue::Const(Value::str("P1")),
+            )])],
+        );
+        let rep2 = direct_covers(&rules, &master, &reg2);
+        assert!(rep2.consistent);
+        assert!(rep2.uncovered.contains(r.attr("city").unwrap()));
+        assert!(!rep2.uncovered.contains(r.attr("type").unwrap()));
+    }
+
+    #[test]
+    fn unmatched_key_leaves_attr_uncovered() {
+        let (r, rules, master) = setup(
+            vec![tuple!["Z1", "P1", 1, "131", "Edi", "Elm"]],
+            "p1: match zip ~ zip set city := city",
+        );
+        let reg = region(
+            &r,
+            &["zip"],
+            vec![PatternTuple::new(vec![(
+                r.attr("zip").unwrap(),
+                PatternValue::Const(Value::str("NOPE")),
+            )])],
+        );
+        let rep = direct_covers(&rules, &master, &reg);
+        assert!(rep.uncovered.contains(r.attr("city").unwrap()));
+    }
+
+    #[test]
+    fn cell_compatibility_logic() {
+        use PatternValue::*;
+        let one = Value::int(1);
+        let two = Value::int(2);
+        assert!(cells_compatible(None, &Const(one.clone())));
+        assert!(cells_compatible(Some(&Wildcard), &Neq(one.clone())));
+        assert!(cells_compatible(Some(&Const(one.clone())), &Const(one.clone())));
+        assert!(!cells_compatible(Some(&Const(one.clone())), &Const(two.clone())));
+        assert!(!cells_compatible(Some(&Const(one.clone())), &Neq(one.clone())));
+        assert!(!cells_compatible(Some(&Neq(one.clone())), &Const(one.clone())));
+        assert!(cells_compatible(Some(&Neq(one.clone())), &Const(two.clone())));
+        assert!(cells_compatible(Some(&Neq(one)), &Neq(two)));
+    }
+}

@@ -1,0 +1,76 @@
+//! Errors for the analysis layer.
+
+use std::fmt;
+
+/// Errors raised by the static analyses.
+///
+/// The general consistency/coverage/Z problems are coNP-/NP-/#P-hard
+/// (Theorems 1, 2, 6, 9, 12); the exact algorithms here enumerate
+/// bounded active-domain instantiations and refuse to run past an
+/// explicit budget rather than silently taking exponential time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// An enumeration would exceed the configured budget.
+    BudgetExceeded {
+        /// What was being enumerated.
+        what: &'static str,
+        /// Instantiations needed (may be a lower bound).
+        needed: u128,
+        /// The configured cap.
+        budget: u64,
+    },
+    /// A region row constrains a rule-relevant attribute with a
+    /// non-constant cell and expansion was disabled.
+    NotConcrete {
+        /// The attribute's name.
+        attr: String,
+    },
+    /// `Z` contains an attribute id outside the schema.
+    BadRegion {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::BudgetExceeded {
+                what,
+                needed,
+                budget,
+            } => write!(
+                f,
+                "analysis budget exceeded while enumerating {what}: needs {needed} instantiations, budget is {budget}"
+            ),
+            AnalysisError::NotConcrete { attr } => write!(
+                f,
+                "pattern cell on rule-relevant attribute `{attr}` is not a constant; enable expansion or make the tableau concrete"
+            ),
+            AnalysisError::BadRegion { detail } => write!(f, "malformed region: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = AnalysisError::BudgetExceeded {
+            what: "pattern instantiations",
+            needed: 1_000_000,
+            budget: 1000,
+        };
+        assert!(e.to_string().contains("1000000"));
+        let e = AnalysisError::NotConcrete { attr: "AC".into() };
+        assert!(e.to_string().contains("`AC`"));
+        let e = AnalysisError::BadRegion {
+            detail: "dup".into(),
+        };
+        assert!(e.to_string().contains("dup"));
+    }
+}

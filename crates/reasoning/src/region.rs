@@ -1,0 +1,203 @@
+//! Regions `(Z, Tc)` (Sect. 3 of the paper).
+
+use std::fmt;
+
+use certainfix_relation::{AttrId, AttrSet, PatternTuple, Schema, Tableau, Tuple};
+use certainfix_rules::EditingRule;
+
+use crate::error::AnalysisError;
+
+/// A region `(Z, Tc)`: a list of distinct attributes of `R` and a
+/// pattern tableau over (a subset of) `Z`.
+///
+/// Pattern rows are sparse ([`PatternTuple`]); an attribute of `Z` not
+/// constrained by a row is implicitly a wildcard, exactly like the `_`
+/// cells the paper writes out. A tuple is *marked* by the region iff it
+/// matches some row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Region {
+    z: Vec<AttrId>,
+    z_set: AttrSet,
+    tableau: Tableau,
+}
+
+impl Region {
+    /// Build a region, validating that `Z` is duplicate-free and every
+    /// row only constrains attributes of `Z`.
+    pub fn new(z: Vec<AttrId>, tableau: Tableau) -> Result<Region, AnalysisError> {
+        let mut z_set = AttrSet::EMPTY;
+        for &a in &z {
+            if !z_set.insert(a) {
+                return Err(AnalysisError::BadRegion {
+                    detail: format!("attribute {a:?} repeats in Z"),
+                });
+            }
+        }
+        for row in tableau.rows() {
+            if !row.attr_set().is_subset(&z_set) {
+                return Err(AnalysisError::BadRegion {
+                    detail: "a tableau row constrains an attribute outside Z".to_string(),
+                });
+            }
+        }
+        Ok(Region { z, z_set, tableau })
+    }
+
+    /// A region whose tableau is the single empty pattern — it marks
+    /// *every* tuple and asserts exactly `t[Z]` correct.
+    pub fn universal(z: Vec<AttrId>) -> Result<Region, AnalysisError> {
+        Region::new(z, Tableau::new(vec![PatternTuple::empty()]))
+    }
+
+    /// The attribute list `Z`.
+    pub fn z(&self) -> &[AttrId] {
+        &self.z
+    }
+
+    /// `Z` as a set.
+    pub fn z_set(&self) -> AttrSet {
+        self.z_set
+    }
+
+    /// The tableau `Tc`.
+    pub fn tableau(&self) -> &Tableau {
+        &self.tableau
+    }
+
+    /// Is `t` marked by this region?
+    pub fn marks(&self, t: &Tuple) -> bool {
+        self.tableau.marks(t)
+    }
+
+    /// `ext(Z, Tc, ϕ)` (Sect. 3): extend `Z` with `rhs(ϕ)` and each row
+    /// with an (implicit) wildcard on it. If `rhs(ϕ) ∈ Z` already, the
+    /// region is returned unchanged.
+    pub fn ext(&self, rule: &EditingRule) -> Region {
+        let b = rule.rhs();
+        if self.z_set.contains(b) {
+            return self.clone();
+        }
+        let mut z = self.z.clone();
+        z.push(b);
+        let mut z_set = self.z_set;
+        z_set.insert(b);
+        Region {
+            z,
+            z_set,
+            tableau: self.tableau.clone(),
+        }
+    }
+
+    /// Render as `(Z = [..], |Tc| = n)` against a schema.
+    pub fn render(&self, schema: &Schema) -> String {
+        format!(
+            "(Z = {}, |Tc| = {})",
+            schema.render_attrs(&self.z),
+            self.tableau.len()
+        )
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(|Z| = {}, |Tc| = {})", self.z.len(), self.tableau.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certainfix_relation::{tuple, PatternValue, Value};
+    use certainfix_rules::EditingRule;
+    use certainfix_relation::Schema;
+
+    fn supplier_schema() -> std::sync::Arc<Schema> {
+        Schema::new(
+            "R",
+            ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example6_region_marks_t3() {
+        // (Z_AH, T_AH) = ((AC, phn, type), {(0800, _, 1)})
+        let r = supplier_schema();
+        let ac = r.attr("AC").unwrap();
+        let phn = r.attr("phn").unwrap();
+        let ty = r.attr("type").unwrap();
+        let row = PatternTuple::new(vec![
+            (ac, PatternValue::Const(Value::str("0800"))),
+            (ty, PatternValue::Const(Value::int(1))),
+        ]);
+        let region = Region::new(vec![ac, phn, ty], Tableau::new(vec![row])).unwrap();
+        // t3 of Fig. 1: AC = 0800, type = 1
+        let t3 = tuple![
+            "Mark", "Smith", "0800", "6884563", 1, "20 Baker St.", "Edi", "EH7 4AH", "BOOK"
+        ];
+        assert!(region.marks(&t3));
+        // t1 has AC = 020: not marked
+        let t1 = tuple![
+            "Bob", "Brady", "020", "079172485", 2, "501 Elm St.", "Edi", "EH7 4AH", "CD"
+        ];
+        assert!(!region.marks(&t1));
+        assert_eq!(region.z().len(), 3);
+        assert!(region.render(&r).contains("[AC, phn, type]"));
+    }
+
+    #[test]
+    fn example7_ext_adds_rhs() {
+        // ext(Z_AH, T_AH, ϕ3) adds str/city/zip one at a time.
+        let r = supplier_schema();
+        let rm = r.clone();
+        let ac = r.attr("AC").unwrap();
+        let phn = r.attr("phn").unwrap();
+        let ty = r.attr("type").unwrap();
+        let region = Region::universal(vec![ac, phn, ty]).unwrap();
+        let phi3_str = EditingRule::build(&r, &rm)
+            .name("phi3.str")
+            .key("AC", "AC")
+            .key("phn", "phn")
+            .fix("str", "str")
+            .when_eq("type", 1)
+            .finish()
+            .unwrap();
+        let ext = region.ext(&phi3_str);
+        assert_eq!(ext.z().len(), 4);
+        assert!(ext.z_set().contains(r.attr("str").unwrap()));
+        // extending again with the same rule is a no-op
+        let ext2 = ext.ext(&phi3_str);
+        assert_eq!(ext2, ext);
+        // the tableau is unchanged (implicit wildcard on the new attr)
+        assert_eq!(ext.tableau().len(), region.tableau().len());
+    }
+
+    #[test]
+    fn duplicate_z_rejected() {
+        let r = supplier_schema();
+        let ac = r.attr("AC").unwrap();
+        let err = Region::universal(vec![ac, ac]).unwrap_err();
+        assert!(matches!(err, AnalysisError::BadRegion { .. }));
+    }
+
+    #[test]
+    fn row_outside_z_rejected() {
+        let r = supplier_schema();
+        let ac = r.attr("AC").unwrap();
+        let zip = r.attr("zip").unwrap();
+        let row = PatternTuple::new(vec![(zip, PatternValue::Const(Value::str("x")))]);
+        let err = Region::new(vec![ac], Tableau::new(vec![row])).unwrap_err();
+        assert!(matches!(err, AnalysisError::BadRegion { .. }));
+    }
+
+    #[test]
+    fn universal_region_marks_everything() {
+        let r = supplier_schema();
+        let region = Region::universal(vec![r.attr("zip").unwrap()]).unwrap();
+        let t = tuple![
+            "a", "b", "c", "d", 9, "e", "f", "g", "h"
+        ];
+        assert!(region.marks(&t));
+        assert_eq!(region.to_string(), "(|Z| = 1, |Tc| = 1)");
+    }
+}

@@ -1,0 +1,417 @@
+//! Suggestions (Sect. 5.2): what else should the user assert?
+//!
+//! Once `t[Z]` is validated, a *suggestion* is a set `S` of attributes
+//! such that `(Z ∪ S, {tc})` is a certain region for some pattern `tc`
+//! that `t[Z]` satisfies. The S-minimum problem is NP-complete and
+//! approximation-hard (it contains Z-minimum), so this module provides
+//! the heuristic the framework actually runs:
+//!
+//! 1. derive the *applicable rules* `Σ_t[Z]` — rules refined with the
+//!    concrete values of `t[Z]` (Prop. 20 shows `Σ_t[Z]` suffices);
+//! 2. greedily pick attributes that maximize schema-level closure
+//!    growth under `Σ_t[Z]` until `closure(Z ∪ S) = R`;
+//! 3. locally minimize `S` by dropping redundant attributes.
+//!
+//! The fallback is always available: `S` can include attributes no rule
+//! fixes, which the user then validates directly (that is how `item`
+//! enters the certain region of Example 9).
+
+use certainfix_relation::{AttrId, AttrSet, MasterIndex, PatternValue, Tuple};
+use certainfix_rules::{EditingRule, RuleSet};
+
+use crate::closure::closure;
+
+/// A recommended set of attributes for the user to assert.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suggestion {
+    /// The attributes `S`, ascending.
+    pub attrs: Vec<AttrId>,
+    /// Schema-level prediction of what `Z ∪ S` will cover.
+    pub covers: AttrSet,
+}
+
+impl Suggestion {
+    /// `S` as a set.
+    pub fn attr_set(&self) -> AttrSet {
+        self.attrs.iter().copied().collect()
+    }
+}
+
+/// Derive the applicable-rule set `Σ_t[Z]` (Sect. 5.2).
+///
+/// For each `ϕ ∈ Σ` with pattern `tp[Xp]`, `ϕ+` is included iff:
+///
+/// * (a) `ϕ` does not *change* validated attributes: either
+///   `rhs(ϕ) ∉ Z`, or every master candidate agrees with the already
+///   validated `t[B]` (Example 14 lists such agreeing rules);
+/// * (b) `tp[Xp ∩ Z] ≈ t[Xp ∩ Z]` — the validated part of the pattern
+///   matches;
+/// * (c) some master tuple `tm` satisfies `tm[λϕ(Xp ∩ X)] ≈ tp[Xp ∩ X]`
+///   and `tm[λϕ(X ∩ Z)] = t[X ∩ Z]`.
+///
+/// `ϕ+` extends the pattern attributes with `X ∩ Z` and pins every
+/// pattern cell on a validated attribute to `t`'s concrete value.
+pub fn applicable_rules(
+    rules: &RuleSet,
+    master: &MasterIndex,
+    t: &Tuple,
+    validated: AttrSet,
+) -> Vec<EditingRule> {
+    let mut out = Vec::new();
+    'rules: for (_, rule) in rules.iter() {
+        // (b) validated pattern cells must match t.
+        for (&a, cell) in rule.lhs_p().iter().zip(rule.pattern().cells()) {
+            if validated.contains(a) && !cell.matches(t.get(a)) {
+                continue 'rules;
+            }
+        }
+        // (c) master support.
+        let validated_keys: Vec<(usize, AttrId)> = rule
+            .lhs()
+            .iter()
+            .enumerate()
+            .filter(|&(_, a)| validated.contains(*a))
+            .map(|(i, &a)| (i, a))
+            .collect();
+        let rhs_validated = validated.contains(rule.rhs());
+        let pattern_on_keys = rule
+            .lhs_p()
+            .iter()
+            .any(|a| rule.master_attr_for(*a).is_some());
+        if validated_keys.is_empty() {
+            // No validated key pins a master tuple yet.
+            if master.is_empty() {
+                continue;
+            }
+            if rhs_validated {
+                // Keeping the rule would require proving every candidate
+                // master agrees with the validated t[B] — a full scan for
+                // a rule the closure gains nothing from. Drop it.
+                continue;
+            }
+            if pattern_on_keys {
+                // Existence scan with early exit.
+                let supported = master.relation().iter().any(|tm| {
+                    rule.lhs_p()
+                        .iter()
+                        .zip(rule.pattern().cells())
+                        .all(|(&a, cell)| match rule.master_attr_for(a) {
+                            Some(ma) => cell.matches(tm.get(ma)),
+                            None => true,
+                        })
+                });
+                if !supported {
+                    continue;
+                }
+            }
+        } else {
+            let from: Vec<AttrId> = validated_keys.iter().map(|&(_, a)| a).collect();
+            let to: Vec<AttrId> = validated_keys
+                .iter()
+                .map(|&(i, _)| rule.lhs_m()[i])
+                .collect();
+            let candidates = master.matches_projection(t, &from, &to);
+            let mut supported = false;
+            let mut rhs_agrees = true;
+            for id in candidates {
+                let tm = master.tuple(id);
+                // pattern cells on key attributes, checked master-side
+                let pattern_ok = rule
+                    .lhs_p()
+                    .iter()
+                    .zip(rule.pattern().cells())
+                    .all(|(&a, cell)| match rule.master_attr_for(a) {
+                        Some(ma) => cell.matches(tm.get(ma)),
+                        None => true,
+                    });
+                if pattern_ok {
+                    supported = true;
+                    if !rhs_validated {
+                        // existence is all that matters: a weakly
+                        // selective validated key (e.g. only `type` of a
+                        // composite) can match most of Dm — don't scan it
+                        break;
+                    }
+                    if !tm.get(rule.rhs_m()).agrees_with(t.get(rule.rhs())) {
+                        rhs_agrees = false;
+                        break;
+                    }
+                }
+            }
+            if !supported {
+                continue;
+            }
+            // (a) a rule targeting a validated attribute is kept only if
+            // it cannot change it.
+            if rhs_validated && !rhs_agrees {
+                continue;
+            }
+        }
+        // Refine: extend Xp with X ∩ Z, pin validated cells to t.
+        let extra: Vec<(AttrId, PatternValue)> = rule
+            .lhs()
+            .iter()
+            .chain(rule.lhs_p())
+            .filter(|&&a| validated.contains(a))
+            .map(|&a| (a, PatternValue::Const(t.get(a).clone())))
+            .collect();
+        out.push(rule.with_pattern(rule.pattern().refined_with(&extra)));
+    }
+    out
+}
+
+/// Is `attrs` (still) a suggestion for `t` given the validated set?
+///
+/// This is the cheap re-*check* the BDD cache of Sect. 5.2 performs
+/// instead of re-*deriving* a suggestion: one `Σ_t[Z]` derivation and
+/// one closure, rather than a closure per candidate attribute per
+/// greedy step. The paper's optimization rests on exactly this
+/// asymmetry ("it is far less costly to check whether a region is
+/// certain than computing new certain regions").
+pub fn is_suggestion(
+    rules: &RuleSet,
+    master: &MasterIndex,
+    t: &Tuple,
+    validated: AttrSet,
+    attrs: &[AttrId],
+) -> bool {
+    let s: AttrSet = attrs.iter().copied().collect();
+    if !s.is_disjoint(&validated) || s.is_empty() {
+        return false;
+    }
+    let refined = applicable_rules(rules, master, t, validated);
+    let sigma_tz = RuleSet::from_rules(
+        rules.r_schema().clone(),
+        rules.m_schema().clone(),
+        refined,
+    )
+    .expect("refined rules share the original schemas");
+    let full = AttrSet::full(rules.r_schema().len());
+    closure(&sigma_tz, validated | s).covered == full
+}
+
+/// Compute a suggestion for `t` given the validated set, or `None` if
+/// every attribute is already validated.
+pub fn suggest(
+    rules: &RuleSet,
+    master: &MasterIndex,
+    t: &Tuple,
+    validated: AttrSet,
+) -> Option<Suggestion> {
+    let full = AttrSet::full(rules.r_schema().len());
+    if validated == full {
+        return None;
+    }
+    let refined = applicable_rules(rules, master, t, validated);
+    let sigma_tz = RuleSet::from_rules(
+        rules.r_schema().clone(),
+        rules.m_schema().clone(),
+        refined,
+    )
+    .expect("refined rules share the original schemas");
+
+    // Greedy: grow S until closure(Z ∪ S) = R.
+    let mut s = AttrSet::EMPTY;
+    let mut covered = closure(&sigma_tz, validated).covered;
+    while covered != full {
+        let mut best: Option<(AttrId, usize)> = None;
+        for a in (full - covered).iter() {
+            let gain = closure(&sigma_tz, covered | AttrSet::singleton(a))
+                .covered
+                .len();
+            if best.map(|(_, g)| gain > g).unwrap_or(true) {
+                best = Some((a, gain));
+            }
+        }
+        let (pick, _) = best.expect("uncovered attribute exists");
+        s.insert(pick);
+        covered = closure(&sigma_tz, validated | s).covered;
+    }
+
+    // Local minimization: drop redundant members of S.
+    for a in s.to_vec() {
+        let without = s - AttrSet::singleton(a);
+        if closure(&sigma_tz, validated | without).covered == full {
+            s = without;
+        }
+    }
+    let covers = closure(&sigma_tz, validated | s).covered;
+    Some(Suggestion {
+        attrs: s.to_vec(),
+        covers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certainfix_relation::{tuple, Relation, Schema, Value};
+    use certainfix_rules::parse_rules;
+    use std::sync::Arc;
+
+    fn fig1() -> (Arc<Schema>, RuleSet, MasterIndex) {
+        let r = Schema::new(
+            "R",
+            ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+        )
+        .unwrap();
+        let rm = Schema::new(
+            "Rm",
+            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"],
+        )
+        .unwrap();
+        let rules = parse_rules(
+            r#"
+            phi1: match zip ~ zip set AC := AC, str := str, city := city
+            phi2: match phn ~ Mphn set fn := FN, ln := LN when type = 2
+            phi3: match AC ~ AC, phn ~ Hphn set str := str, city := city, zip := zip when type = 1, AC != '0800'
+            phi4: match AC ~ AC set city := city when AC = '0800'
+            "#,
+            &r,
+            &rm,
+        )
+        .unwrap();
+        let master = Relation::new(
+            rm,
+            vec![
+                tuple![
+                    "Robert", "Brady", "131", "6884563", "079172485", "51 Elm Row", "Edi",
+                    "EH7 4AH", "11/11/55", "M"
+                ],
+                tuple![
+                    "Mark", "Smith", "020", "6884563", "075568485", "20 Baker St.", "Lnd",
+                    "NW1 6XE", "25/12/67", "M"
+                ],
+            ],
+        )
+        .unwrap();
+        (r.clone(), rules, MasterIndex::new(Arc::new(master)))
+    }
+
+    fn attrs(r: &Schema, names: &[&str]) -> AttrSet {
+        names.iter().map(|n| r.attr(n).unwrap()).collect()
+    }
+
+    /// t1 after Example 12's TransFix run: zip/AC/str/city fixed from s1.
+    fn t1_fixed() -> Tuple {
+        tuple![
+            "Bob", "Brady", "131", "079172485", 2, "51 Elm Row", "Edi", "EH7 4AH", "CD"
+        ]
+    }
+
+    #[test]
+    fn example14_applicable_rules() {
+        let (r, rules, master) = fig1();
+        let z = attrs(&r, &["zip", "AC", "str", "city"]);
+        let refined = applicable_rules(&rules, &master, &t1_fixed(), z);
+        let names: Vec<&str> = refined.iter().map(|r| r.name()).collect();
+        // ϕ4/ϕ5 of the paper = phi2.fn / phi2.ln here
+        assert!(names.contains(&"phi2.fn"), "names: {names:?}");
+        assert!(names.contains(&"phi2.ln"));
+        // ϕ+6..8 = the phi3 family with refined AC pattern
+        assert!(names.contains(&"phi3.str"));
+        assert!(names.contains(&"phi3.city"));
+        assert!(names.contains(&"phi3.zip"));
+        let phi3_str = refined.iter().find(|r| r.name() == "phi3.str").unwrap();
+        // the refined pattern pins AC to 131 (replacing ≠0800)
+        assert_eq!(
+            phi3_str.pattern().cell(r.attr("AC").unwrap()),
+            Some(&PatternValue::Const(Value::str("131")))
+        );
+        // and keeps type = 1
+        assert_eq!(
+            phi3_str.pattern().cell(r.attr("type").unwrap()),
+            Some(&PatternValue::Const(Value::int(1)))
+        );
+        // ϕ4 (toll-free city rule) requires AC = 0800, but AC = 131 is
+        // validated: excluded by (b).
+        assert!(!names.contains(&"phi4"));
+    }
+
+    #[test]
+    fn example13_suggestion_after_transfix() {
+        // After fixing t1[zip, AC, str, city], the suggestion should be
+        // {phn, type, item} (Example 13).
+        let (r, rules, master) = fig1();
+        let z = attrs(&r, &["zip", "AC", "str", "city"]);
+        let sug = suggest(&rules, &master, &t1_fixed(), z).unwrap();
+        assert_eq!(
+            sug.attr_set(),
+            attrs(&r, &["phn", "type", "item"]),
+            "suggested: {:?}",
+            sug.attrs
+        );
+        assert_eq!(sug.covers, AttrSet::full(r.len()));
+    }
+
+    #[test]
+    fn disagreeing_rule_on_validated_attr_is_dropped() {
+        // t's validated city disagrees with what ϕ1 would derive: the
+        // refined set must not contain phi1.city.
+        let (r, rules, master) = fig1();
+        let mut t = t1_fixed();
+        t.set(r.attr("city").unwrap(), Value::str("Gla"));
+        let z = attrs(&r, &["zip", "city"]);
+        let refined = applicable_rules(&rules, &master, &t, z);
+        let names: Vec<&str> = refined.iter().map(|r| r.name()).collect();
+        assert!(!names.contains(&"phi1.city"));
+        // the agreeing siblings survive
+        assert!(names.contains(&"phi1.AC"));
+    }
+
+    #[test]
+    fn no_master_support_drops_rule() {
+        let (r, rules, master) = fig1();
+        let mut t = t1_fixed();
+        t.set(r.attr("zip").unwrap(), Value::str("XX9 9XX"));
+        let z = attrs(&r, &["zip"]);
+        let refined = applicable_rules(&rules, &master, &t, z);
+        assert!(
+            refined.iter().all(|r| !r.name().starts_with("phi1")),
+            "no master tuple has zip XX9 9XX"
+        );
+    }
+
+    #[test]
+    fn suggestion_covers_unfixable_attrs_directly() {
+        // From Z = ∅-ish (only item validated), the suggestion must pull
+        // in enough keys; item is already there.
+        let (r, rules, master) = fig1();
+        let t = t1_fixed();
+        let z = attrs(&r, &["item"]);
+        let sug = suggest(&rules, &master, &t, z).unwrap();
+        assert_eq!(sug.covers, AttrSet::full(r.len()));
+        // S never includes already-validated attrs
+        assert!(!sug.attr_set().contains(r.attr("item").unwrap()));
+    }
+
+    #[test]
+    fn fully_validated_tuple_needs_no_suggestion() {
+        let (r, rules, master) = fig1();
+        assert!(suggest(&rules, &master, &t1_fixed(), AttrSet::full(r.len())).is_none());
+    }
+
+    #[test]
+    fn suggestion_is_minimal_wrt_dropping() {
+        let (r, rules, master) = fig1();
+        let z = attrs(&r, &["zip", "AC", "str", "city"]);
+        let sug = suggest(&rules, &master, &t1_fixed(), z).unwrap();
+        let refined = applicable_rules(&rules, &master, &t1_fixed(), z);
+        let sigma = RuleSet::from_rules(
+            rules.r_schema().clone(),
+            rules.m_schema().clone(),
+            refined,
+        )
+        .unwrap();
+        let full = AttrSet::full(r.len());
+        for a in sug.attr_set().iter() {
+            let without = sug.attr_set() - AttrSet::singleton(a);
+            assert_ne!(
+                closure(&sigma, z | without).covered,
+                full,
+                "dropping {:?} should break coverage",
+                r.attr_name(a)
+            );
+        }
+    }
+}

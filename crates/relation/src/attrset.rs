@@ -1,0 +1,259 @@
+//! One-word attribute bitsets.
+//!
+//! Regions `(Z, Tc)`, closures, and the bookkeeping of the fixing
+//! algorithms all manipulate *sets of attributes* of a single schema.
+//! Since schemas are capped at [`crate::MAX_ATTRS`] = 64 attributes, a
+//! set is a single `u64` with O(1) union/intersection/subset tests.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign, Sub};
+
+use crate::schema::{AttrId, Schema};
+
+/// A set of [`AttrId`]s of one schema, stored as a 64-bit mask.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct AttrSet(u64);
+
+impl AttrSet {
+    /// The empty set.
+    pub const EMPTY: AttrSet = AttrSet(0);
+
+    /// The set `{0, 1, .., n-1}` of the first `n` attributes.
+    ///
+    /// # Panics
+    /// Panics if `n > 64`.
+    pub fn full(n: usize) -> AttrSet {
+        assert!(n <= 64, "attribute sets hold at most 64 attributes");
+        if n == 64 {
+            AttrSet(u64::MAX)
+        } else {
+            AttrSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Set containing a single attribute.
+    pub fn singleton(a: AttrId) -> AttrSet {
+        AttrSet(1u64 << a.0)
+    }
+
+    /// Build from an iterator of ids (also available through the
+    /// standard `FromIterator`/`collect`).
+    pub fn collect_from<I: IntoIterator<Item = AttrId>>(iter: I) -> AttrSet {
+        let mut s = AttrSet::EMPTY;
+        for a in iter {
+            s.insert(a);
+        }
+        s
+    }
+
+    /// Insert an attribute; returns `true` if it was newly added.
+    pub fn insert(&mut self, a: AttrId) -> bool {
+        let bit = 1u64 << a.0;
+        let added = self.0 & bit == 0;
+        self.0 |= bit;
+        added
+    }
+
+    /// Remove an attribute; returns `true` if it was present.
+    pub fn remove(&mut self, a: AttrId) -> bool {
+        let bit = 1u64 << a.0;
+        let had = self.0 & bit != 0;
+        self.0 &= !bit;
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, a: AttrId) -> bool {
+        self.0 & (1u64 << a.0) != 0
+    }
+
+    /// `true` iff `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(&self, other: &AttrSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// `true` iff the sets share no attribute.
+    #[inline]
+    pub fn is_disjoint(&self, other: &AttrSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Number of attributes in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` iff the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Union.
+    #[inline]
+    pub fn union(&self, other: &AttrSet) -> AttrSet {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// Intersection.
+    #[inline]
+    pub fn intersection(&self, other: &AttrSet) -> AttrSet {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub fn difference(&self, other: &AttrSet) -> AttrSet {
+        AttrSet(self.0 & !other.0)
+    }
+
+    /// Iterate members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = AttrId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let tz = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(AttrId(tz as u16))
+            }
+        })
+    }
+
+    /// Members as a vector, ascending.
+    pub fn to_vec(&self) -> Vec<AttrId> {
+        self.iter().collect()
+    }
+
+    /// Render against a schema for diagnostics, e.g. `{zip, AC}`.
+    pub fn render(&self, schema: &Schema) -> String {
+        let names: Vec<&str> = self.iter().map(|a| schema.attr_name(a)).collect();
+        format!("{{{}}}", names.join(", "))
+    }
+
+    /// The raw mask (for hashing / compact storage).
+    pub fn bits(&self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from a raw mask.
+    pub fn from_bits(bits: u64) -> AttrSet {
+        AttrSet(bits)
+    }
+}
+
+impl BitOr for AttrSet {
+    type Output = AttrSet;
+    fn bitor(self, rhs: AttrSet) -> AttrSet {
+        self.union(&rhs)
+    }
+}
+
+impl BitOrAssign for AttrSet {
+    fn bitor_assign(&mut self, rhs: AttrSet) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for AttrSet {
+    type Output = AttrSet;
+    fn bitand(self, rhs: AttrSet) -> AttrSet {
+        self.intersection(&rhs)
+    }
+}
+
+impl Sub for AttrSet {
+    type Output = AttrSet;
+    fn sub(self, rhs: AttrSet) -> AttrSet {
+        self.difference(&rhs)
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> AttrSet {
+        AttrSet::collect_from(iter)
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u16]) -> AttrSet {
+        v.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = AttrSet::EMPTY;
+        assert!(s.insert(AttrId(3)));
+        assert!(!s.insert(AttrId(3)));
+        assert!(s.contains(AttrId(3)));
+        assert!(!s.contains(AttrId(2)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(AttrId(3)));
+        assert!(!s.remove(AttrId(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ids(&[0, 1, 2]);
+        let b = ids(&[2, 3]);
+        assert_eq!(a.union(&b), ids(&[0, 1, 2, 3]));
+        assert_eq!(a.intersection(&b), ids(&[2]));
+        assert_eq!(a.difference(&b), ids(&[0, 1]));
+        assert_eq!(a | b, a.union(&b));
+        assert_eq!(a & b, a.intersection(&b));
+        assert_eq!(a - b, a.difference(&b));
+        assert!(ids(&[1]).is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert!(ids(&[0]).is_disjoint(&ids(&[1])));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn full_and_iteration() {
+        assert_eq!(AttrSet::full(0), AttrSet::EMPTY);
+        assert_eq!(AttrSet::full(64).len(), 64);
+        assert_eq!(AttrSet::full(3).to_vec(), vec![AttrId(0), AttrId(1), AttrId(2)]);
+        let s = ids(&[63, 0, 17]);
+        assert_eq!(s.to_vec(), vec![AttrId(0), AttrId(17), AttrId(63)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn full_over_64_panics() {
+        let _ = AttrSet::full(65);
+    }
+
+    #[test]
+    fn render_against_schema() {
+        let schema = Schema::new("R", ["x", "y", "z"]).unwrap();
+        assert_eq!(ids(&[0, 2]).render(&schema), "{x, z}");
+        assert_eq!(AttrSet::EMPTY.render(&schema), "{}");
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let s = ids(&[5, 9]);
+        assert_eq!(AttrSet::from_bits(s.bits()), s);
+    }
+
+    #[test]
+    fn or_assign() {
+        let mut s = ids(&[1]);
+        s |= ids(&[2]);
+        assert_eq!(s, ids(&[1, 2]));
+    }
+}

@@ -1,0 +1,196 @@
+//! Minimal CSV serialization for relations.
+//!
+//! Master data and input streams live in files in any real deployment;
+//! this module provides a dependency-free reader/writer for the subset
+//! of CSV the workspace needs: comma separator, double-quote escaping,
+//! a header row carrying the schema, empty cells as nulls. Values are
+//! read back as integers when they round-trip exactly (so `score` stays
+//! an `Int` while `zip = 01234` stays a string).
+
+use std::sync::Arc;
+
+use crate::error::RelationError;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Serialize a relation to CSV with a header row.
+pub fn to_csv(rel: &Relation) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = rel
+        .schema()
+        .attr_names()
+        .map(escape_cell)
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for t in rel.iter() {
+        let row: Vec<String> = t
+            .values()
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                other => escape_cell(&other.render()),
+            })
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn escape_cell(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Parse a CSV document (with a header row) into a relation named
+/// `name`. Empty cells become nulls; cells that round-trip as `i64`
+/// become integers.
+pub fn from_csv(name: &str, csv: &str) -> Result<Relation, RelationError> {
+    let mut rows = parse_rows(csv);
+    if rows.is_empty() {
+        return Relation::new(Schema::new(name, Vec::<String>::new())?, Vec::new());
+    }
+    let header = rows.remove(0);
+    let schema: Arc<Schema> = Schema::new(name, header)?;
+    let mut rel = Relation::empty(schema.clone());
+    for cells in rows {
+        let values: Vec<Value> = cells.into_iter().map(parse_cell).collect();
+        rel.push(Tuple::for_schema(&schema, values)?)?;
+    }
+    Ok(rel)
+}
+
+fn parse_cell(cell: String) -> Value {
+    if cell.is_empty() {
+        return Value::Null;
+    }
+    match cell.parse::<i64>() {
+        // accept only canonical renderings so "01" keeps its zero
+        Ok(n) if n.to_string() == cell => Value::int(n),
+        _ => Value::from(cell),
+    }
+}
+
+/// Split a CSV document into rows of unescaped cells.
+fn parse_rows(csv: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut cell = String::new();
+    let mut in_quotes = false;
+    let mut chars = csv.chars().peekable();
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cell.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if cell.is_empty() => in_quotes = true,
+            ',' if !in_quotes => {
+                row.push(std::mem::take(&mut cell));
+            }
+            '\r' if !in_quotes => {}
+            '\n' if !in_quotes => {
+                row.push(std::mem::take(&mut cell));
+                rows.push(std::mem::take(&mut row));
+            }
+            other => cell.push(other),
+        }
+    }
+    if any && (!cell.is_empty() || !row.is_empty()) {
+        row.push(cell);
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+    use crate::tuple;
+
+    #[test]
+    fn roundtrip_with_nulls_and_ints() {
+        let s = Schema::new("R", ["zip", "city", "score"]).unwrap();
+        let rel = Relation::new(
+            s,
+            vec![
+                tuple!["EH7 4AH", "Edi", 42],
+                tuple!["01234", Value::Null, -7],
+            ],
+        )
+        .unwrap();
+        let csv = to_csv(&rel);
+        let back = from_csv("R", &csv).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.tuple(0), rel.tuple(0));
+        assert_eq!(back.tuple(1), rel.tuple(1));
+        // the zero-padded zip stayed a string, the score an int
+        assert_eq!(back.tuple(1).get(AttrId(0)), &Value::str("01234"));
+        assert_eq!(back.tuple(0).get(AttrId(2)), &Value::int(42));
+    }
+
+    #[test]
+    fn quoting_and_embedded_separators() {
+        let s = Schema::new("R", ["a", "b"]).unwrap();
+        let rel = Relation::new(
+            s,
+            vec![tuple!["x,y", "he said \"hi\""], tuple!["line\nbreak", "z"]],
+        )
+        .unwrap();
+        let back = from_csv("R", &to_csv(&rel)).unwrap();
+        assert_eq!(back.tuple(0), rel.tuple(0));
+        assert_eq!(back.tuple(1), rel.tuple(1));
+    }
+
+    #[test]
+    fn header_defines_the_schema() {
+        let rel = from_csv("M", "name,year\nAda,1815\n").unwrap();
+        assert_eq!(rel.schema().name(), "M");
+        assert_eq!(
+            rel.schema().attr_names().collect::<Vec<_>>(),
+            vec!["name", "year"]
+        );
+        assert_eq!(rel.tuple(0).get(AttrId(1)), &Value::int(1815));
+    }
+
+    #[test]
+    fn empty_and_headers_only() {
+        let rel = from_csv("E", "").unwrap();
+        assert!(rel.is_empty());
+        assert_eq!(rel.schema().len(), 0);
+        let rel = from_csv("H", "a,b\n").unwrap();
+        assert!(rel.is_empty());
+        assert_eq!(rel.schema().len(), 2);
+    }
+
+    #[test]
+    fn missing_trailing_newline_is_fine() {
+        let rel = from_csv("R", "a,b\n1,2").unwrap();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.tuple(0), &tuple![1, 2]);
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        assert!(from_csv("R", "a,b\n1\n").is_err());
+    }
+
+    #[test]
+    fn crlf_input() {
+        let rel = from_csv("R", "a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(rel.tuple(0), &tuple![1, 2]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types shared by the relational substrate.
+
+use std::fmt;
+
+/// Errors raised while constructing schemas, tuples or relations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A schema exceeded [`crate::MAX_ATTRS`] attributes.
+    SchemaTooLarge {
+        /// Schema name.
+        schema: String,
+        /// Offending attribute count.
+        attrs: usize,
+    },
+    /// The same attribute name occurred twice in one schema.
+    DuplicateAttr {
+        /// Schema name.
+        schema: String,
+        /// The duplicated attribute name.
+        attr: String,
+    },
+    /// A named attribute does not exist in the schema.
+    UnknownAttr {
+        /// Schema name.
+        schema: String,
+        /// The attribute that was requested.
+        attr: String,
+    },
+    /// A tuple's arity does not match its schema.
+    ArityMismatch {
+        /// Schema name.
+        schema: String,
+        /// Expected number of cells.
+        expected: usize,
+        /// Number of cells provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::SchemaTooLarge { schema, attrs } => write!(
+                f,
+                "schema `{schema}` has {attrs} attributes; at most {} are supported",
+                crate::MAX_ATTRS
+            ),
+            RelationError::DuplicateAttr { schema, attr } => {
+                write!(f, "schema `{schema}` declares attribute `{attr}` twice")
+            }
+            RelationError::UnknownAttr { schema, attr } => {
+                write!(f, "schema `{schema}` has no attribute named `{attr}`")
+            }
+            RelationError::ArityMismatch {
+                schema,
+                expected,
+                got,
+            } => write!(
+                f,
+                "tuple arity {got} does not match schema `{schema}` (expected {expected})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RelationError::UnknownAttr {
+            schema: "R".into(),
+            attr: "zip".into(),
+        };
+        assert_eq!(e.to_string(), "schema `R` has no attribute named `zip`");
+        let e = RelationError::ArityMismatch {
+            schema: "R".into(),
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("arity 2"));
+        let e = RelationError::SchemaTooLarge {
+            schema: "R".into(),
+            attrs: 99,
+        };
+        assert!(e.to_string().contains("99"));
+        let e = RelationError::DuplicateAttr {
+            schema: "R".into(),
+            attr: "a".into(),
+        };
+        assert!(e.to_string().contains("twice"));
+    }
+}

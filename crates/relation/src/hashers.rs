@@ -1,0 +1,116 @@
+//! A fast, non-cryptographic hasher for internal hash maps.
+//!
+//! The rule engine hashes short keys (attribute-id vectors, projected
+//! value lists) on its hot path; SipHash is needlessly slow there and
+//! HashDoS is not a concern for an in-process analysis library. This is
+//! the well-known "Fx" multiply-rotate hash used by rustc, implemented
+//! locally so the workspace needs no extra dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx hash state.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with the Fx hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with the Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(t: &T) -> u64 {
+        FxBuildHasher::default().hash_one(t)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+        assert_eq!(hash_of(&(1u32, 2u32)), hash_of(&(1u32, 2u32)));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(&"hello"), hash_of(&"hellp"));
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        // prefix-free-ish on byte slices of different lengths
+        assert_ne!(hash_of(&&b"ab"[..]), hash_of(&&b"ab\0"[..]));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<&str, i32> = FxHashMap::default();
+        m.insert("a", 1);
+        m.insert("b", 2);
+        assert_eq!(m.get("a"), Some(&1));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(10);
+        assert!(s.contains(&10));
+        assert!(!s.contains(&11));
+    }
+}

@@ -1,0 +1,213 @@
+//! Hash indexes over master data.
+//!
+//! Rule application must find master tuples `tm` with `tm[Xm] = t[X]`
+//! (Sect. 2). A `TransFix` run probes many different key lists `Xm`, so
+//! [`MasterIndex`] lazily builds and caches one [`KeyIndex`] per
+//! distinct attribute list. The paper's complexity analysis of
+//! `TransFix` ("it takes constant time to check whether there exists a
+//! master tuple that is applicable, by using a hash table that stores
+//! `tm[Xm]` as a key") is realized here.
+
+use std::sync::{Arc, RwLock};
+
+use crate::hashers::FxHashMap;
+use crate::relation::Relation;
+use crate::schema::AttrId;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// An index of a relation on one attribute list.
+///
+/// Rows whose key contains a null are not indexed: a null never agrees
+/// with any probe value (see [`Value::agrees_with`]).
+#[derive(Debug)]
+pub struct KeyIndex {
+    key: Vec<AttrId>,
+    map: FxHashMap<Box<[Value]>, Vec<u32>>,
+}
+
+impl KeyIndex {
+    /// Build the index eagerly.
+    pub fn build(rel: &Relation, key: &[AttrId]) -> KeyIndex {
+        let mut map: FxHashMap<Box<[Value]>, Vec<u32>> = FxHashMap::default();
+        'rows: for (i, t) in rel.iter().enumerate() {
+            let mut k = Vec::with_capacity(key.len());
+            for &a in key {
+                let v = t.get(a);
+                if v.is_null() {
+                    continue 'rows;
+                }
+                k.push(v.clone());
+            }
+            map.entry(k.into_boxed_slice()).or_default().push(i as u32);
+        }
+        KeyIndex {
+            key: key.to_vec(),
+            map,
+        }
+    }
+
+    /// The indexed attribute list.
+    pub fn key(&self) -> &[AttrId] {
+        &self.key
+    }
+
+    /// Row ids whose key equals `probe` (empty if the probe contains a
+    /// null or has no match).
+    pub fn lookup(&self, probe: &[Value]) -> &[u32] {
+        debug_assert_eq!(probe.len(), self.key.len());
+        if probe.iter().any(Value::is_null) {
+            return &[];
+        }
+        self.map.get(probe).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A master relation bundled with a cache of [`KeyIndex`]es.
+///
+/// Cloning is cheap (`Arc` inside); the cache is shared and grows
+/// monotonically as new key lists are probed.
+#[derive(Clone, Debug)]
+pub struct MasterIndex {
+    rel: Arc<Relation>,
+    cache: Arc<RwLock<FxHashMap<Vec<AttrId>, Arc<KeyIndex>>>>,
+}
+
+impl MasterIndex {
+    /// Wrap a master relation.
+    pub fn new(rel: Arc<Relation>) -> MasterIndex {
+        MasterIndex {
+            rel,
+            cache: Arc::new(RwLock::new(FxHashMap::default())),
+        }
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &Arc<Relation> {
+        &self.rel
+    }
+
+    /// Number of master tuples.
+    pub fn len(&self) -> usize {
+        self.rel.len()
+    }
+
+    /// `true` iff the master relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rel.is_empty()
+    }
+
+    /// Get (or lazily build) the index for `key`.
+    pub fn index_for(&self, key: &[AttrId]) -> Arc<KeyIndex> {
+        if let Some(idx) = self.cache.read().expect("index cache poisoned").get(key) {
+            return idx.clone();
+        }
+        let built = Arc::new(KeyIndex::build(&self.rel, key));
+        let mut w = self.cache.write().expect("index cache poisoned");
+        // Another thread may have raced us; keep the first build.
+        w.entry(key.to_vec()).or_insert(built).clone()
+    }
+
+    /// Master tuples `tm` with `tm[key] = probe` (by row id).
+    pub fn matches(&self, key: &[AttrId], probe: &[Value]) -> Vec<u32> {
+        self.index_for(key).lookup(probe).to_vec()
+    }
+
+    /// Master tuples matching the projection `t[from]` on master
+    /// attributes `to` — the `t[X] = tm[Xm]` probe of rule application.
+    pub fn matches_projection(&self, t: &Tuple, from: &[AttrId], to: &[AttrId]) -> Vec<u32> {
+        let probe = t.project(from);
+        self.matches(to, &probe)
+    }
+
+    /// Resolve a row id.
+    pub fn tuple(&self, id: u32) -> &Tuple {
+        self.rel.tuple(id as usize)
+    }
+
+    /// Number of cached indexes (diagnostics).
+    pub fn cached_indexes(&self) -> usize {
+        self.cache.read().expect("index cache poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple;
+
+    fn master() -> Arc<Relation> {
+        let s = Schema::new("Rm", ["zip", "ac", "city"]).unwrap();
+        Arc::new(
+            Relation::new(
+                s,
+                vec![
+                    tuple!["EH7 4AH", "131", "Edi"],
+                    tuple!["WC1H 9SE", "020", "Ldn"],
+                    tuple!["EH7 4AH", "131", "Edi"], // duplicate key
+                    tuple![Value::Null, "999", "Gla"], // null key: unindexed
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn lookup_by_single_attr() {
+        let idx = KeyIndex::build(&master(), &[AttrId(0)]);
+        assert_eq!(idx.lookup(&[Value::str("EH7 4AH")]), &[0, 2]);
+        assert_eq!(idx.lookup(&[Value::str("nope")]), &[] as &[u32]);
+        assert_eq!(idx.lookup(&[Value::Null]), &[] as &[u32]);
+        assert_eq!(idx.key(), &[AttrId(0)]);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn composite_keys() {
+        let idx = KeyIndex::build(&master(), &[AttrId(1), AttrId(2)]);
+        assert_eq!(idx.lookup(&[Value::str("020"), Value::str("Ldn")]), &[1]);
+        assert_eq!(
+            idx.lookup(&[Value::str("020"), Value::str("Edi")]),
+            &[] as &[u32]
+        );
+        // the null-zip row IS indexed here because its ac/city are non-null
+        assert_eq!(idx.lookup(&[Value::str("999"), Value::str("Gla")]), &[3]);
+    }
+
+    #[test]
+    fn master_index_caches() {
+        let m = MasterIndex::new(master());
+        assert_eq!(m.len(), 4);
+        assert!(!m.is_empty());
+        assert_eq!(m.cached_indexes(), 0);
+        let _ = m.index_for(&[AttrId(0)]);
+        let _ = m.index_for(&[AttrId(0)]);
+        let _ = m.index_for(&[AttrId(1)]);
+        assert_eq!(m.cached_indexes(), 2);
+        assert_eq!(m.matches(&[AttrId(1)], &[Value::str("131")]), vec![0, 2]);
+    }
+
+    #[test]
+    fn projection_probe() {
+        // input tuple with phn in position 0 matched against master ac in
+        // position 1 — attribute lists on both sides differ.
+        let m = MasterIndex::new(master());
+        let t = tuple!["131", "ignored"];
+        let hits = m.matches_projection(&t, &[AttrId(0)], &[AttrId(1)]);
+        assert_eq!(hits, vec![0, 2]);
+        assert_eq!(m.tuple(hits[0]).get(AttrId(2)), &Value::str("Edi"));
+    }
+
+    #[test]
+    fn null_probe_finds_nothing() {
+        let m = MasterIndex::new(master());
+        let t = tuple![Value::Null, "x"];
+        assert!(m.matches_projection(&t, &[AttrId(0)], &[AttrId(0)]).is_empty());
+    }
+}

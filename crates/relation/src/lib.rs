@@ -1,0 +1,45 @@
+//! Relational substrate for the `certain-fix` workspace.
+//!
+//! This crate provides the data model over which editing rules
+//! (Fan et al., *Towards Certain Fixes with Editing Rules and Master
+//! Data*, VLDB 2010) are defined:
+//!
+//! * [`Value`] — a dynamically typed cell value (`Null` / `Int` / `Str`),
+//! * [`Schema`] / [`AttrId`] / [`AttrSet`] — named attribute lists with a
+//!   one-word bitset over attribute positions,
+//! * [`Tuple`] — a row aligned to a schema,
+//! * [`PatternValue`] / [`PatternTuple`] / [`Tableau`] — the paper's
+//!   three-valued patterns (`a`, `ā`, `_`) and pattern tableaux,
+//! * [`Relation`] — a schema plus rows (used for master data `Dm` and
+//!   input sets `D`),
+//! * [`MasterIndex`] — lazily built hash indexes keyed on attribute lists,
+//!   used by the rule-application engine to find master tuples `tm` with
+//!   `tm[Xm] = t[X]` in expected O(1).
+//!
+//! Schemas are capped at [`MAX_ATTRS`] (64) attributes so that attribute
+//! sets fit in one machine word; the paper's schemas have 19 (HOSP) and
+//! 12 (DBLP) attributes.
+
+pub mod attrset;
+pub mod csv;
+pub mod error;
+pub mod hashers;
+pub mod index;
+pub mod multimaster;
+pub mod pattern;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use attrset::AttrSet;
+pub use error::RelationError;
+pub use hashers::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use csv::{from_csv, to_csv};
+pub use index::{KeyIndex, MasterIndex};
+pub use multimaster::{combine_masters, select_master, MASTER_ID_ATTR};
+pub use pattern::{PatternTuple, PatternValue, Tableau};
+pub use relation::Relation;
+pub use schema::{AttrId, Schema, MAX_ATTRS};
+pub use tuple::Tuple;
+pub use value::Value;

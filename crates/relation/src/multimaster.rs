@@ -1,0 +1,157 @@
+//! Encoding several master relations as one (Sect. 2, Remark (3)).
+//!
+//! The paper simplifies its exposition to a single master relation and
+//! notes: "given master schemas `Rm1, …, Rmk`, there exists a single
+//! master schema `Rm` such that each instance `Dm` of `Rm`
+//! characterizes an instance of `(Dm1, …, Dmk)`. Here `Rm` has a
+//! special attribute `id` such that `σ_{id=i}(Rm)` yields `Dmi`."
+//! This module implements exactly that encoding, so rule sets written
+//! against several master sources (a customer file plus a product
+//! catalog, say) can run on the single-relation engine: prefix each
+//! source's rules' master attributes with its source name and add an
+//! `id` pattern to the key through a constant column.
+
+use std::sync::Arc;
+
+use crate::error::RelationError;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// The reserved selector attribute.
+pub const MASTER_ID_ATTR: &str = "__master_id";
+
+/// Combine named master relations into one relation over the union
+/// schema: `__master_id` first, then each source's attributes prefixed
+/// with `"{source}."`. Every row holds its source's id and values, with
+/// nulls in the other sources' columns — nulls never match a rule key,
+/// so cross-source confusion is impossible by construction.
+pub fn combine_masters(
+    sources: &[(&str, &Relation)],
+) -> Result<Relation, RelationError> {
+    let mut attrs: Vec<String> = vec![MASTER_ID_ATTR.to_string()];
+    for (name, rel) in sources {
+        for a in rel.schema().attr_names() {
+            attrs.push(format!("{name}.{a}"));
+        }
+    }
+    let schema: Arc<Schema> = Schema::new("Rm*", attrs)?;
+    let mut out = Relation::empty(schema.clone());
+    let mut offset = 1usize; // column 0 is the id
+    for (name, rel) in sources {
+        for t in rel.iter() {
+            let mut row = Tuple::nulls(schema.len());
+            row.set(
+                schema.attr_or_err(MASTER_ID_ATTR)?,
+                Value::str(*name),
+            );
+            for (i, v) in t.values().iter().enumerate() {
+                row.set(crate::schema::AttrId((offset + i) as u16), v.clone());
+            }
+            out.push(row)?;
+        }
+        offset += rel.schema().len();
+    }
+    Ok(out)
+}
+
+/// `σ_{id=source}(Rm*)`: recover one source's rows, projected back onto
+/// its own schema.
+pub fn select_master(
+    combined: &Relation,
+    source: &str,
+    original: &Arc<Schema>,
+) -> Result<Relation, RelationError> {
+    let id = combined.schema().attr_or_err(MASTER_ID_ATTR)?;
+    let cols: Vec<crate::schema::AttrId> = original
+        .attr_names()
+        .map(|a| combined.schema().attr_or_err(&format!("{source}.{a}")))
+        .collect::<Result<_, _>>()?;
+    let mut out = Relation::empty(original.clone());
+    let wanted = Value::str(source);
+    for t in combined.iter() {
+        if t.get(id) == &wanted {
+            out.push(Tuple::new(t.project(&cols)))?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn sources() -> (Arc<Schema>, Relation, Arc<Schema>, Relation) {
+        let people = Schema::new("People", ["name", "zip"]).unwrap();
+        let dp = Relation::new(
+            people.clone(),
+            vec![tuple!["Brady", "EH7"], tuple!["Smith", "NW1"]],
+        )
+        .unwrap();
+        let items = Schema::new("Items", ["sku", "label"]).unwrap();
+        let di = Relation::new(items.clone(), vec![tuple!["S1", "CD"]]).unwrap();
+        (people, dp, items, di)
+    }
+
+    #[test]
+    fn union_schema_and_row_placement() {
+        let (_, dp, _, di) = sources();
+        let combined = combine_masters(&[("people", &dp), ("items", &di)]).unwrap();
+        assert_eq!(combined.schema().len(), 1 + 2 + 2);
+        assert_eq!(combined.len(), 3);
+        let id = combined.schema().attr(MASTER_ID_ATTR).unwrap();
+        let zip = combined.schema().attr("people.zip").unwrap();
+        let sku = combined.schema().attr("items.sku").unwrap();
+        // person rows: own columns set, item columns null
+        assert_eq!(combined.tuple(0).get(id), &Value::str("people"));
+        assert_eq!(combined.tuple(0).get(zip), &Value::str("EH7"));
+        assert!(combined.tuple(0).get(sku).is_null());
+        // item rows: the reverse
+        assert_eq!(combined.tuple(2).get(id), &Value::str("items"));
+        assert!(combined.tuple(2).get(zip).is_null());
+        assert_eq!(combined.tuple(2).get(sku), &Value::str("S1"));
+    }
+
+    #[test]
+    fn selection_recovers_each_source() {
+        let (people, dp, items, di) = sources();
+        let combined = combine_masters(&[("people", &dp), ("items", &di)]).unwrap();
+        let back_p = select_master(&combined, "people", &people).unwrap();
+        assert_eq!(back_p.len(), dp.len());
+        for i in 0..dp.len() {
+            assert_eq!(back_p.tuple(i), dp.tuple(i));
+        }
+        let back_i = select_master(&combined, "items", &items).unwrap();
+        assert_eq!(back_i.tuple(0), di.tuple(0));
+    }
+
+    #[test]
+    fn rules_on_the_combined_master_cannot_cross_sources() {
+        // A key probe against a person's column never matches an item
+        // row (its person columns are null).
+        let (_, dp, _, di) = sources();
+        let combined = combine_masters(&[("people", &dp), ("items", &di)]).unwrap();
+        let index = crate::index::MasterIndex::new(Arc::new(combined.clone()));
+        let zip = combined.schema().attr("people.zip").unwrap();
+        let hits = index.matches(&[zip], &[Value::str("EH7")]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(
+            combined
+                .tuple(hits[0] as usize)
+                .get(combined.schema().attr(MASTER_ID_ATTR).unwrap()),
+            &Value::str("people")
+        );
+    }
+
+    #[test]
+    fn schema_width_is_enforced() {
+        // combining beyond 64 attributes fails loudly
+        let wide = Schema::new("W", (0..40).map(|i| format!("a{i}")).collect::<Vec<_>>())
+            .unwrap();
+        let rel = Relation::empty(wide);
+        let err = combine_masters(&[("x", &rel), ("y", &rel)]).unwrap_err();
+        assert!(matches!(err, RelationError::SchemaTooLarge { .. }));
+    }
+}

@@ -1,0 +1,466 @@
+//! Pattern tuples and tableaux.
+//!
+//! The paper's patterns (Sect. 2) have three cell forms over an
+//! attribute `A`:
+//!
+//! * a constant `a` — the Boolean condition `x = a`,
+//! * a negated constant `ā` — the condition `x ≠ a`,
+//! * the unnamed wildcard `_` — no condition.
+//!
+//! A tuple `t` *matches* a pattern tuple `tc` over attributes `Xp`,
+//! written `t[Xp] ≈ tc[Xp]`, iff every cell condition holds. Editing
+//! rules carry a pattern tuple; regions `(Z, Tc)` carry a pattern
+//! *tableau* `Tc` (a set of pattern tuples over `Z`).
+
+use std::fmt;
+
+use crate::attrset::AttrSet;
+use crate::schema::{AttrId, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// One pattern cell: `_`, `a`, or `ā`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum PatternValue {
+    /// `_` — matches any value, including a missing one.
+    #[default]
+    Wildcard,
+    /// `a` — matches exactly this constant.
+    Const(Value),
+    /// `ā` — matches any *known* value different from this constant.
+    ///
+    /// A null cell does not satisfy `ā`: a missing value might be `a`.
+    Neq(Value),
+}
+
+impl PatternValue {
+    /// Evaluate the cell condition on a value.
+    pub fn matches(&self, v: &Value) -> bool {
+        match self {
+            PatternValue::Wildcard => true,
+            PatternValue::Const(c) => v.agrees_with(c),
+            PatternValue::Neq(c) => !v.is_null() && v != c,
+        }
+    }
+
+    /// `true` for the wildcard cell.
+    pub fn is_wildcard(&self) -> bool {
+        matches!(self, PatternValue::Wildcard)
+    }
+
+    /// `true` for a constant cell.
+    pub fn is_const(&self) -> bool {
+        matches!(self, PatternValue::Const(_))
+    }
+
+    /// The constant carried by `Const`, if any.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            PatternValue::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// `true` iff every value matched by `self` is matched by `other`.
+    ///
+    /// Used when checking whether a refined pattern subsumes another:
+    /// `a ⊑ _`, `a ⊑ b̄` (for `a ≠ b`), `ā ⊑ _`, `x ⊑ x`.
+    pub fn subsumed_by(&self, other: &PatternValue) -> bool {
+        match (self, other) {
+            (_, PatternValue::Wildcard) => true,
+            (PatternValue::Const(a), PatternValue::Const(b)) => a == b,
+            (PatternValue::Const(a), PatternValue::Neq(b)) => a != b,
+            (PatternValue::Neq(a), PatternValue::Neq(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for PatternValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternValue::Wildcard => write!(f, "_"),
+            PatternValue::Const(v) => write!(f, "{v}"),
+            PatternValue::Neq(v) => write!(f, "≠{v}"),
+        }
+    }
+}
+
+/// A pattern tuple `tp[Xp]`: parallel lists of attributes and cells.
+///
+/// The attribute list is kept explicit (rather than a full-width row)
+/// because patterns are sparse: `tp2[type] = (2)` constrains one of the
+/// supplier schema's ten attributes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct PatternTuple {
+    attrs: Vec<AttrId>,
+    cells: Vec<PatternValue>,
+}
+
+impl PatternTuple {
+    /// The empty pattern `()` — matches every tuple.
+    pub fn empty() -> PatternTuple {
+        PatternTuple::default()
+    }
+
+    /// Build from `(attr, cell)` pairs.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if an attribute repeats.
+    pub fn new(pairs: Vec<(AttrId, PatternValue)>) -> PatternTuple {
+        let (attrs, cells): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+        debug_assert!(
+            {
+                let mut seen = AttrSet::EMPTY;
+                attrs.iter().all(|&a| seen.insert(a))
+            },
+            "pattern tuple attributes must be distinct"
+        );
+        PatternTuple { attrs, cells }
+    }
+
+    /// Constrained attributes `Xp`.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Constrained attributes as a set.
+    pub fn attr_set(&self) -> AttrSet {
+        self.attrs.iter().copied().collect()
+    }
+
+    /// Pattern cells, parallel to [`Self::attrs`].
+    pub fn cells(&self) -> &[PatternValue] {
+        &self.cells
+    }
+
+    /// The cell constraining `a`, if any.
+    pub fn cell(&self, a: AttrId) -> Option<&PatternValue> {
+        self.attrs
+            .iter()
+            .position(|&x| x == a)
+            .map(|i| &self.cells[i])
+    }
+
+    /// `t[Xp] ≈ tp[Xp]` — the paper's match relation.
+    pub fn matches(&self, t: &Tuple) -> bool {
+        self.attrs
+            .iter()
+            .zip(&self.cells)
+            .all(|(&a, c)| c.matches(t.get(a)))
+    }
+
+    /// Normal form (Sect. 2, Notations (3)): drop wildcard cells. The
+    /// result matches exactly the same tuples.
+    pub fn normalize(&self) -> PatternTuple {
+        let pairs = self
+            .attrs
+            .iter()
+            .zip(&self.cells)
+            .filter(|(_, c)| !c.is_wildcard())
+            .map(|(&a, c)| (a, c.clone()))
+            .collect();
+        PatternTuple::new(pairs)
+    }
+
+    /// `true` iff no cell is a wildcard (after which `normalize` is a
+    /// no-op). Note this is per-cell; a *concrete* pattern additionally
+    /// has no negations — see [`Self::is_concrete`].
+    pub fn is_normalized(&self) -> bool {
+        self.cells.iter().all(|c| !c.is_wildcard())
+    }
+
+    /// Concrete patterns (special case (4) of Sect. 4.1): constants only.
+    pub fn is_concrete(&self) -> bool {
+        self.cells.iter().all(|c| c.is_const())
+    }
+
+    /// Positive patterns (special case (3) of Sect. 4.1): no negations.
+    pub fn is_positive(&self) -> bool {
+        self.cells
+            .iter()
+            .all(|c| !matches!(c, PatternValue::Neq(_)))
+    }
+
+    /// Number of constrained attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// `true` for the empty pattern.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Extend/override cells, keeping attribute order stable. Existing
+    /// constraints on the same attribute are replaced. Used to build
+    /// `Σ_t[Z]`-refined rules (Sect. 5.2) and `ext(Z, Tc, ϕ)`.
+    pub fn refined_with(&self, extra: &[(AttrId, PatternValue)]) -> PatternTuple {
+        let mut attrs = self.attrs.clone();
+        let mut cells = self.cells.clone();
+        for (a, c) in extra {
+            match attrs.iter().position(|x| x == a) {
+                Some(i) => cells[i] = c.clone(),
+                None => {
+                    attrs.push(*a);
+                    cells.push(c.clone());
+                }
+            }
+        }
+        PatternTuple { attrs, cells }
+    }
+
+    /// Instantiate this pattern from a concrete tuple: for every
+    /// constrained attribute take `t[A]` as a constant. Requires the
+    /// tuple to match first for the result to be meaningful.
+    pub fn instantiate_from(&self, t: &Tuple) -> PatternTuple {
+        let pairs = self
+            .attrs
+            .iter()
+            .map(|&a| (a, PatternValue::Const(t.get(a).clone())))
+            .collect();
+        PatternTuple::new(pairs)
+    }
+
+    /// `true` iff every tuple matching `self` also matches `other`
+    /// (sound, syntactic check: per-attribute cell subsumption).
+    pub fn subsumed_by(&self, other: &PatternTuple) -> bool {
+        other.attrs.iter().zip(&other.cells).all(|(&a, oc)| {
+            match self.cell(a) {
+                Some(sc) => sc.subsumed_by(oc),
+                // `self` leaves `a` unconstrained: only a wildcard in
+                // `other` is implied.
+                None => oc.is_wildcard(),
+            }
+        })
+    }
+
+    /// Render against a schema, e.g. `[type=1, AC≠0800]`.
+    pub fn render(&self, schema: &Schema) -> String {
+        if self.attrs.is_empty() {
+            return "()".to_string();
+        }
+        let cells: Vec<String> = self
+            .attrs
+            .iter()
+            .zip(&self.cells)
+            .map(|(&a, c)| match c {
+                PatternValue::Wildcard => format!("{}=_", schema.attr_name(a)),
+                PatternValue::Const(v) => format!("{}={}", schema.attr_name(a), v),
+                PatternValue::Neq(v) => format!("{}≠{}", schema.attr_name(a), v),
+            })
+            .collect();
+        format!("[{}]", cells.join(", "))
+    }
+}
+
+/// A pattern tableau: a set of pattern tuples over a common attribute
+/// list `Z` (the `Tc` of a region `(Z, Tc)`).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Tableau {
+    rows: Vec<PatternTuple>,
+}
+
+impl Tableau {
+    /// The empty tableau (marks no tuple).
+    pub fn empty() -> Tableau {
+        Tableau::default()
+    }
+
+    /// Build from rows.
+    pub fn new(rows: Vec<PatternTuple>) -> Tableau {
+        Tableau { rows }
+    }
+
+    /// Add a row.
+    pub fn push(&mut self, row: PatternTuple) {
+        self.rows.push(row);
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[PatternTuple] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// A tuple is *marked* by `(Z, Tc)` iff it matches some row.
+    pub fn marks(&self, t: &Tuple) -> bool {
+        self.rows.iter().any(|r| r.matches(t))
+    }
+
+    /// First row matching `t`, if any.
+    pub fn matching_row(&self, t: &Tuple) -> Option<&PatternTuple> {
+        self.rows.iter().find(|r| r.matches(t))
+    }
+
+    /// `true` iff every row is concrete.
+    pub fn is_concrete(&self) -> bool {
+        self.rows.iter().all(|r| r.is_concrete())
+    }
+
+    /// `true` iff no row carries a negation.
+    pub fn is_positive(&self) -> bool {
+        self.rows.iter().all(|r| r.is_positive())
+    }
+}
+
+impl FromIterator<PatternTuple> for Tableau {
+    fn from_iter<I: IntoIterator<Item = PatternTuple>>(iter: I) -> Tableau {
+        Tableau {
+            rows: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn a(i: u16) -> AttrId {
+        AttrId(i)
+    }
+
+    #[test]
+    fn cell_matching() {
+        let w = PatternValue::Wildcard;
+        let c = PatternValue::Const(Value::str("020"));
+        let n = PatternValue::Neq(Value::str("0800"));
+        assert!(w.matches(&Value::Null));
+        assert!(w.matches(&Value::str("anything")));
+        assert!(c.matches(&Value::str("020")));
+        assert!(!c.matches(&Value::str("131")));
+        assert!(!c.matches(&Value::Null));
+        assert!(n.matches(&Value::str("131")));
+        assert!(!n.matches(&Value::str("0800")));
+        assert!(!n.matches(&Value::Null), "null might be the negated value");
+    }
+
+    #[test]
+    fn cell_subsumption() {
+        use PatternValue::*;
+        let one = Const(Value::int(1));
+        let two = Const(Value::int(2));
+        let n1 = Neq(Value::int(1));
+        assert!(one.subsumed_by(&Wildcard));
+        assert!(one.subsumed_by(&one));
+        assert!(!one.subsumed_by(&two));
+        assert!(two.subsumed_by(&n1));
+        assert!(!one.subsumed_by(&n1));
+        assert!(n1.subsumed_by(&Wildcard));
+        assert!(n1.subsumed_by(&n1));
+        assert!(!Wildcard.subsumed_by(&one));
+    }
+
+    #[test]
+    fn pattern_tuple_matching_example3() {
+        // tp3[type, AC] = (1, ≠0800) from eR ϕ3 of the paper (Example 3).
+        let tp = PatternTuple::new(vec![
+            (a(0), PatternValue::Const(Value::int(1))),
+            (a(1), PatternValue::Neq(Value::str("0800"))),
+        ]);
+        assert!(tp.matches(&tuple![1, "020"]));
+        assert!(!tp.matches(&tuple![2, "020"]));
+        assert!(!tp.matches(&tuple![1, "0800"]));
+        assert!(PatternTuple::empty().matches(&tuple![1, "0800"]));
+    }
+
+    #[test]
+    fn normalization_drops_wildcards() {
+        let tp = PatternTuple::new(vec![
+            (a(0), PatternValue::Wildcard),
+            (a(1), PatternValue::Const(Value::int(2))),
+        ]);
+        assert!(!tp.is_normalized());
+        let n = tp.normalize();
+        assert!(n.is_normalized());
+        assert_eq!(n.len(), 1);
+        // equivalence on a few tuples
+        for t in [tuple![0, 2], tuple![5, 2], tuple![5, 3]] {
+            assert_eq!(tp.matches(&t), n.matches(&t));
+        }
+    }
+
+    #[test]
+    fn classification() {
+        let concrete = PatternTuple::new(vec![(a(0), PatternValue::Const(Value::int(1)))]);
+        assert!(concrete.is_concrete() && concrete.is_positive());
+        let pos = PatternTuple::new(vec![(a(0), PatternValue::Wildcard)]);
+        assert!(!pos.is_concrete());
+        assert!(pos.is_positive());
+        let neg = PatternTuple::new(vec![(a(0), PatternValue::Neq(Value::int(1)))]);
+        assert!(!neg.is_positive());
+    }
+
+    #[test]
+    fn refinement_overrides_and_appends() {
+        let tp = PatternTuple::new(vec![(a(0), PatternValue::Wildcard)]);
+        let r = tp.refined_with(&[
+            (a(0), PatternValue::Const(Value::int(1))),
+            (a(2), PatternValue::Const(Value::int(3))),
+        ]);
+        assert_eq!(r.cell(a(0)), Some(&PatternValue::Const(Value::int(1))));
+        assert_eq!(r.cell(a(2)), Some(&PatternValue::Const(Value::int(3))));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn instantiation_from_tuple() {
+        let tp = PatternTuple::new(vec![
+            (a(0), PatternValue::Wildcard),
+            (a(1), PatternValue::Neq(Value::int(9))),
+        ]);
+        let t = tuple!["x", 4];
+        let inst = tp.instantiate_from(&t);
+        assert!(inst.is_concrete());
+        assert!(inst.matches(&t));
+        assert!(!inst.matches(&tuple!["x", 5]));
+    }
+
+    #[test]
+    fn tuple_subsumption() {
+        let narrow = PatternTuple::new(vec![
+            (a(0), PatternValue::Const(Value::int(1))),
+            (a(1), PatternValue::Const(Value::int(2))),
+        ]);
+        let wide = PatternTuple::new(vec![(a(0), PatternValue::Const(Value::int(1)))]);
+        assert!(narrow.subsumed_by(&wide));
+        assert!(!wide.subsumed_by(&narrow));
+        assert!(narrow.subsumed_by(&PatternTuple::empty()));
+    }
+
+    #[test]
+    fn tableau_marking() {
+        let t1 = PatternTuple::new(vec![(a(0), PatternValue::Const(Value::int(1)))]);
+        let t2 = PatternTuple::new(vec![(a(0), PatternValue::Const(Value::int(2)))]);
+        let tab: Tableau = [t1, t2].into_iter().collect();
+        assert_eq!(tab.len(), 2);
+        assert!(tab.marks(&tuple![1]));
+        assert!(tab.marks(&tuple![2]));
+        assert!(!tab.marks(&tuple![3]));
+        assert!(tab.matching_row(&tuple![2]).is_some());
+        assert!(tab.is_concrete());
+        assert!(tab.is_positive());
+        assert!(!Tableau::empty().marks(&tuple![1]));
+    }
+
+    #[test]
+    fn render_with_schema() {
+        let schema = Schema::new("R", ["type", "AC"]).unwrap();
+        let tp = PatternTuple::new(vec![
+            (a(0), PatternValue::Const(Value::int(1))),
+            (a(1), PatternValue::Neq(Value::str("0800"))),
+        ]);
+        assert_eq!(tp.render(&schema), "[type=1, AC≠0800]");
+        assert_eq!(PatternTuple::empty().render(&schema), "()");
+    }
+}

@@ -1,0 +1,233 @@
+//! Relations: a schema plus rows.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::RelationError;
+use crate::schema::{AttrId, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// An instance of a relation schema — the master relation `Dm`, a set of
+/// input tuples `D`, or a test fixture.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    schema: Arc<Schema>,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// An empty instance of `schema`.
+    pub fn empty(schema: Arc<Schema>) -> Relation {
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Build from rows, checking each row's arity.
+    pub fn new(schema: Arc<Schema>, tuples: Vec<Tuple>) -> Result<Relation, RelationError> {
+        for t in &tuples {
+            if t.arity() != schema.len() {
+                return Err(RelationError::ArityMismatch {
+                    schema: schema.name().to_string(),
+                    expected: schema.len(),
+                    got: t.arity(),
+                });
+            }
+        }
+        Ok(Relation { schema, tuples })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Append a row, checking arity.
+    pub fn push(&mut self, t: Tuple) -> Result<(), RelationError> {
+        if t.arity() != self.schema.len() {
+            return Err(RelationError::ArityMismatch {
+                schema: self.schema.name().to_string(),
+                expected: self.schema.len(),
+                got: t.arity(),
+            });
+        }
+        self.tuples.push(t);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Row by index.
+    pub fn tuple(&self, i: usize) -> &Tuple {
+        &self.tuples[i]
+    }
+
+    /// Iterate rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.tuples.iter()
+    }
+
+    /// All rows as a slice.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Mutable access to a row (used by repair baselines).
+    pub fn tuple_mut(&mut self, i: usize) -> &mut Tuple {
+        &mut self.tuples[i]
+    }
+
+    /// Collect the *active domain* of an attribute: its distinct
+    /// non-null values, in first-seen order.
+    pub fn active_domain(&self, a: AttrId) -> Vec<Value> {
+        let mut seen = crate::hashers::FxHashSet::default();
+        let mut out = Vec::new();
+        for t in &self.tuples {
+            let v = t.get(a);
+            if !v.is_null() && seen.insert(v.clone()) {
+                out.push(v.clone());
+            }
+        }
+        out
+    }
+
+    /// Render the relation as an aligned text table (for examples and
+    /// debugging output; not a serialization format).
+    pub fn render_table(&self) -> String {
+        let mut widths: Vec<usize> = self
+            .schema
+            .attr_names()
+            .map(|n| n.chars().count())
+            .collect();
+        let rendered: Vec<Vec<String>> = self
+            .tuples
+            .iter()
+            .map(|t| {
+                t.values()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let s = v.to_string();
+                        widths[i] = widths[i].max(s.chars().count());
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        let header: Vec<String> = self
+            .schema
+            .attr_names()
+            .enumerate()
+            .map(|(i, n)| format!("{n:<w$}", w = widths[i]))
+            .collect();
+        out.push_str(&header.join(" | "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join(" | ").chars().count()));
+        out.push('\n');
+        for row in rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, s)| format!("{s:<w$}", w = widths[i]))
+                .collect();
+            out.push_str(&line.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instance with {} tuple(s)",
+            self.schema.name(),
+            self.tuples.len()
+        )
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new("R", ["a", "b"]).unwrap()
+    }
+
+    #[test]
+    fn construction_checks_arity() {
+        let s = schema();
+        assert!(Relation::new(s.clone(), vec![tuple![1, 2]]).is_ok());
+        assert!(Relation::new(s.clone(), vec![tuple![1]]).is_err());
+        let mut r = Relation::empty(s);
+        assert!(r.is_empty());
+        r.push(tuple![1, 2]).unwrap();
+        assert!(r.push(tuple![1, 2, 3]).is_err());
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuple(0), &tuple![1, 2]);
+    }
+
+    #[test]
+    fn active_domain_dedupes_and_skips_null() {
+        let s = schema();
+        let r = Relation::new(
+            s,
+            vec![tuple![1, "x"], tuple![1, Value::Null], tuple![2, "x"]],
+        )
+        .unwrap();
+        assert_eq!(
+            r.active_domain(AttrId(0)),
+            vec![Value::int(1), Value::int(2)]
+        );
+        assert_eq!(r.active_domain(AttrId(1)), vec![Value::str("x")]);
+    }
+
+    #[test]
+    fn iteration_and_display() {
+        let s = schema();
+        let r = Relation::new(s, vec![tuple![1, 2], tuple![3, 4]]).unwrap();
+        assert_eq!(r.iter().count(), 2);
+        assert_eq!((&r).into_iter().count(), 2);
+        assert_eq!(r.to_string(), "R instance with 2 tuple(s)");
+    }
+
+    #[test]
+    fn table_rendering() {
+        let s = schema();
+        let r = Relation::new(s, vec![tuple![10, "hello"]]).unwrap();
+        let table = r.render_table();
+        assert!(table.contains("a "));
+        assert!(table.contains("hello"));
+        assert!(table.lines().count() >= 3);
+    }
+
+    #[test]
+    fn tuple_mut_allows_in_place_repair() {
+        let s = schema();
+        let mut r = Relation::new(s, vec![tuple![1, 2]]).unwrap();
+        r.tuple_mut(0).set(AttrId(1), Value::int(9));
+        assert_eq!(r.tuple(0).get(AttrId(1)), &Value::int(9));
+    }
+}

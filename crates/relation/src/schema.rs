@@ -1,0 +1,206 @@
+//! Relation schemas and attribute identifiers.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::RelationError;
+use crate::hashers::FxHashMap;
+
+/// Maximum number of attributes in a schema.
+///
+/// Chosen so an attribute set fits in a single `u64` word
+/// ([`crate::AttrSet`]); the paper's evaluation schemas have 19 and 12
+/// attributes.
+pub const MAX_ATTRS: usize = 64;
+
+/// Positional identifier of an attribute within one [`Schema`].
+///
+/// `AttrId`s from different schemas must not be mixed; the rule layer
+/// keeps `R`-side and `Rm`-side ids in separate fields for this reason.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// The attribute position as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A named, ordered list of attributes.
+///
+/// Schemas are cheap to share (`Arc<Schema>`), immutable after
+/// construction, and resolve attribute names to [`AttrId`]s in O(1).
+#[derive(Debug, Clone)]
+pub struct Schema {
+    name: String,
+    attrs: Vec<String>,
+    by_name: FxHashMap<String, AttrId>,
+}
+
+impl Schema {
+    /// Build a schema from a name and attribute names.
+    ///
+    /// Fails if the attribute count exceeds [`MAX_ATTRS`] or a name is
+    /// duplicated.
+    pub fn new<S, I>(name: impl Into<String>, attrs: I) -> Result<Arc<Schema>, RelationError>
+    where
+        S: Into<String>,
+        I: IntoIterator<Item = S>,
+    {
+        let name = name.into();
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        if attrs.len() > MAX_ATTRS {
+            return Err(RelationError::SchemaTooLarge {
+                schema: name,
+                attrs: attrs.len(),
+            });
+        }
+        let mut by_name = FxHashMap::default();
+        for (i, a) in attrs.iter().enumerate() {
+            if by_name.insert(a.clone(), AttrId(i as u16)).is_some() {
+                return Err(RelationError::DuplicateAttr {
+                    schema: name,
+                    attr: a.clone(),
+                });
+            }
+        }
+        Ok(Arc::new(Schema {
+            name,
+            attrs,
+            by_name,
+        }))
+    }
+
+    /// The schema's name (`R`, `Rm`, `HOSP`, ...).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// `true` iff the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Resolve an attribute name.
+    pub fn attr(&self, name: &str) -> Option<AttrId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolve an attribute name, failing with a descriptive error.
+    pub fn attr_or_err(&self, name: &str) -> Result<AttrId, RelationError> {
+        self.attr(name).ok_or_else(|| RelationError::UnknownAttr {
+            schema: self.name.clone(),
+            attr: name.to_string(),
+        })
+    }
+
+    /// Resolve several attribute names at once.
+    pub fn attrs_or_err(&self, names: &[&str]) -> Result<Vec<AttrId>, RelationError> {
+        names.iter().map(|n| self.attr_or_err(n)).collect()
+    }
+
+    /// Name of an attribute id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range for this schema.
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        &self.attrs[id.index()]
+    }
+
+    /// All attribute ids, in schema order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.attrs.len() as u16).map(AttrId)
+    }
+
+    /// All attribute names, in schema order.
+    pub fn attr_names(&self) -> impl Iterator<Item = &str> {
+        self.attrs.iter().map(String::as_str)
+    }
+
+    /// Render a list of attribute ids as `[a, b, c]` for diagnostics.
+    pub fn render_attrs(&self, ids: &[AttrId]) -> String {
+        let names: Vec<&str> = ids.iter().map(|&id| self.attr_name(id)).collect();
+        format!("[{}]", names.join(", "))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.attrs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_resolution() {
+        let s = Schema::new("R", ["fn", "ln", "zip"]).unwrap();
+        assert_eq!(s.name(), "R");
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.attr("ln"), Some(AttrId(1)));
+        assert_eq!(s.attr("nope"), None);
+        assert_eq!(s.attr_name(AttrId(2)), "zip");
+        assert_eq!(
+            s.attr_ids().collect::<Vec<_>>(),
+            vec![AttrId(0), AttrId(1), AttrId(2)]
+        );
+        assert_eq!(s.attr_names().collect::<Vec<_>>(), vec!["fn", "ln", "zip"]);
+    }
+
+    #[test]
+    fn duplicate_attr_rejected() {
+        let err = Schema::new("R", ["a", "b", "a"]).unwrap_err();
+        assert_eq!(
+            err,
+            RelationError::DuplicateAttr {
+                schema: "R".into(),
+                attr: "a".into()
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_schema_rejected() {
+        let names: Vec<String> = (0..65).map(|i| format!("a{i}")).collect();
+        let err = Schema::new("big", names).unwrap_err();
+        assert!(matches!(err, RelationError::SchemaTooLarge { attrs: 65, .. }));
+    }
+
+    #[test]
+    fn max_size_schema_accepted() {
+        let names: Vec<String> = (0..64).map(|i| format!("a{i}")).collect();
+        assert!(Schema::new("big", names).is_ok());
+    }
+
+    #[test]
+    fn attr_or_err_reports_schema() {
+        let s = Schema::new("R", ["a"]).unwrap();
+        let err = s.attr_or_err("b").unwrap_err();
+        assert!(err.to_string().contains("`R`"));
+        assert_eq!(s.attrs_or_err(&["a"]).unwrap(), vec![AttrId(0)]);
+        assert!(s.attrs_or_err(&["a", "b"]).is_err());
+    }
+
+    #[test]
+    fn display_and_render() {
+        let s = Schema::new("R", ["x", "y"]).unwrap();
+        assert_eq!(s.to_string(), "R(x, y)");
+        assert_eq!(s.render_attrs(&[AttrId(1), AttrId(0)]), "[y, x]");
+    }
+}

@@ -1,0 +1,233 @@
+//! Tuples (rows) aligned to a schema.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::RelationError;
+use crate::schema::{AttrId, Schema};
+use crate::value::Value;
+
+/// A row of values, positionally aligned to a [`Schema`].
+///
+/// `Tuple` does not carry its schema (rows are stored densely inside
+/// [`crate::Relation`]); call sites that need names pass the schema
+/// explicitly. Cells default to [`Value::Null`].
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// A tuple of `arity` null cells.
+    pub fn nulls(arity: usize) -> Tuple {
+        Tuple {
+            values: vec![Value::Null; arity],
+        }
+    }
+
+    /// Build from an exact list of values.
+    pub fn new(values: Vec<Value>) -> Tuple {
+        Tuple { values }
+    }
+
+    /// Build from values, checking arity against a schema.
+    pub fn for_schema(schema: &Schema, values: Vec<Value>) -> Result<Tuple, RelationError> {
+        if values.len() != schema.len() {
+            return Err(RelationError::ArityMismatch {
+                schema: schema.name().to_string(),
+                expected: schema.len(),
+                got: values.len(),
+            });
+        }
+        Ok(Tuple { values })
+    }
+
+    /// Number of cells.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Read one cell.
+    #[inline]
+    pub fn get(&self, a: AttrId) -> &Value {
+        &self.values[a.index()]
+    }
+
+    /// Write one cell.
+    #[inline]
+    pub fn set(&mut self, a: AttrId, v: Value) {
+        self.values[a.index()] = v;
+    }
+
+    /// Project the tuple onto an attribute list (`t[X]` in the paper).
+    pub fn project(&self, attrs: &[AttrId]) -> Vec<Value> {
+        attrs.iter().map(|&a| self.values[a.index()].clone()).collect()
+    }
+
+    /// `true` iff `t[X] = s[Y]` position-wise, with null never agreeing.
+    ///
+    /// This is the match condition `t[X] = tm[Xm]` of rule application;
+    /// `attrs_self` and `attrs_other` must have equal length.
+    pub fn agrees_on(&self, attrs_self: &[AttrId], other: &Tuple, attrs_other: &[AttrId]) -> bool {
+        debug_assert_eq!(attrs_self.len(), attrs_other.len());
+        attrs_self
+            .iter()
+            .zip(attrs_other)
+            .all(|(&a, &b)| self.get(a).agrees_with(other.get(b)))
+    }
+
+    /// `true` iff no cell is null.
+    pub fn is_complete(&self) -> bool {
+        self.values.iter().all(|v| !v.is_null())
+    }
+
+    /// Attribute ids of the cells where `self` and `other` differ.
+    pub fn diff(&self, other: &Tuple) -> Vec<AttrId> {
+        debug_assert_eq!(self.arity(), other.arity());
+        (0..self.values.len() as u16)
+            .map(AttrId)
+            .filter(|&a| self.get(a) != other.get(a))
+            .collect()
+    }
+
+    /// Iterate `(AttrId, &Value)` pairs in schema order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Value)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (AttrId(i as u16), v))
+    }
+
+    /// The raw cell slice.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Render as `(v1, v2, ...)`.
+    pub fn render(&self) -> String {
+        let cells: Vec<String> = self.values.iter().map(|v| v.to_string()).collect();
+        format!("({})", cells.join(", "))
+    }
+
+    /// Render with attribute names against a schema.
+    pub fn render_named(&self, schema: &Schema) -> String {
+        let cells: Vec<String> = self
+            .iter()
+            .map(|(a, v)| format!("{}={}", schema.attr_name(a), v))
+            .collect();
+        format!("({})", cells.join(", "))
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Tuple {
+        Tuple::new(values)
+    }
+}
+
+/// Convenience builder used pervasively in tests and examples:
+/// `tuple!["Bob", "Brady", 20, Value::Null]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+/// Helper for building a tuple from named cells against a schema; unnamed
+/// attributes default to null. Used by data generators and tests.
+pub fn tuple_from_named(
+    schema: &Arc<Schema>,
+    cells: &[(&str, Value)],
+) -> Result<Tuple, RelationError> {
+    let mut t = Tuple::nulls(schema.len());
+    for (name, v) in cells {
+        let a = schema.attr_or_err(name)?;
+        t.set(a, v.clone());
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_project() {
+        let mut t = Tuple::nulls(3);
+        assert_eq!(t.arity(), 3);
+        assert!(t.get(AttrId(0)).is_null());
+        t.set(AttrId(1), Value::str("x"));
+        assert_eq!(t.get(AttrId(1)), &Value::str("x"));
+        assert_eq!(
+            t.project(&[AttrId(1), AttrId(0)]),
+            vec![Value::str("x"), Value::Null]
+        );
+        assert!(!t.is_complete());
+    }
+
+    #[test]
+    fn arity_checked_constructor() {
+        let s = Schema::new("R", ["a", "b"]).unwrap();
+        assert!(Tuple::for_schema(&s, vec![Value::int(1), Value::int(2)]).is_ok());
+        let err = Tuple::for_schema(&s, vec![Value::int(1)]).unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { got: 1, .. }));
+    }
+
+    #[test]
+    fn agreement_across_different_attr_lists() {
+        // t[phn] = tm[Mphn] style matching: positions differ.
+        let t = tuple!["079172485", "home"];
+        let tm = tuple!["ignored", "079172485"];
+        assert!(t.agrees_on(&[AttrId(0)], &tm, &[AttrId(1)]));
+        assert!(!t.agrees_on(&[AttrId(1)], &tm, &[AttrId(0)]));
+        // nulls never agree
+        let n = tuple![Value::Null];
+        assert!(!n.agrees_on(&[AttrId(0)], &n, &[AttrId(0)]));
+    }
+
+    #[test]
+    fn diff_lists_changed_attrs() {
+        let a = tuple![1, 2, 3];
+        let b = tuple![1, 9, 3];
+        assert_eq!(a.diff(&b), vec![AttrId(1)]);
+        assert!(a.diff(&a).is_empty());
+    }
+
+    #[test]
+    fn named_construction_and_rendering() {
+        let s = Schema::new("R", ["fn", "ln", "zip"]).unwrap();
+        let t = tuple_from_named(&s, &[("ln", Value::str("Brady")), ("fn", Value::str("Bob"))])
+            .unwrap();
+        assert_eq!(t.get(AttrId(0)), &Value::str("Bob"));
+        assert_eq!(t.get(AttrId(2)), &Value::Null);
+        assert_eq!(t.render(), "(Bob, Brady, ⊥)");
+        assert_eq!(t.render_named(&s), "(fn=Bob, ln=Brady, zip=⊥)");
+        assert!(tuple_from_named(&s, &[("nope", Value::Null)]).is_err());
+    }
+
+    #[test]
+    fn macro_builds_values() {
+        let t = tuple!["a", 5, Value::Null];
+        assert_eq!(t.values().len(), 3);
+        assert_eq!(t.get(AttrId(0)), &Value::str("a"));
+        assert_eq!(t.get(AttrId(1)), &Value::int(5));
+        assert!(t.get(AttrId(2)).is_null());
+    }
+
+    #[test]
+    fn iter_yields_pairs() {
+        let t = tuple![7, 8];
+        let pairs: Vec<(AttrId, Value)> = t.iter().map(|(a, v)| (a, v.clone())).collect();
+        assert_eq!(
+            pairs,
+            vec![(AttrId(0), Value::int(7)), (AttrId(1), Value::int(8))]
+        );
+    }
+}

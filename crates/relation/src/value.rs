@@ -1,0 +1,172 @@
+//! Cell values.
+//!
+//! The paper's data model is untyped constants drawn from attribute
+//! domains; we model them with a small dynamic [`Value`] enum. String
+//! payloads are reference counted (`Arc<str>`) because master data values
+//! are copied into input tuples on every rule application, and the
+//! fixing engine clones values heavily on its hot path.
+
+use std::borrow::Cow;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single cell value.
+///
+/// `Null` represents a *missing* value (e.g. the empty `str`/`zip` cells
+/// of tuple `t2` in Fig. 1 of the paper). Missing values never compare
+/// equal to any constant during rule matching — a rule can *fill* a null
+/// (by writing its `rhs`) but never *match* on one.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Value {
+    /// A missing / unknown cell.
+    #[default]
+    Null,
+    /// An integer constant.
+    Int(i64),
+    /// A string constant.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// `true` iff the cell is missing.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// View the value as a string slice when it is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// View the value as an integer when it is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Render the value for CSV-style output. `Null` renders as the empty
+    /// string; everything else via `Display`.
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Null => Cow::Borrowed(""),
+            Value::Int(i) => Cow::Owned(i.to_string()),
+            Value::Str(s) => Cow::Borrowed(s),
+        }
+    }
+
+    /// Equality used by rule matching: two cells "agree" iff both are
+    /// non-null and equal. A null never agrees with anything, including
+    /// another null (a missing value is an *unknown* constant).
+    pub fn agrees_with(&self, other: &Value) -> bool {
+        !self.is_null() && !other.is_null() && self == other
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "⊥"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "⊥"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_default() {
+        assert_eq!(Value::default(), Value::Null);
+        assert!(Value::Null.is_null());
+        assert!(!Value::int(3).is_null());
+    }
+
+    #[test]
+    fn agreement_requires_non_null_equality() {
+        assert!(Value::str("Edi").agrees_with(&Value::str("Edi")));
+        assert!(!Value::str("Edi").agrees_with(&Value::str("Ldn")));
+        assert!(!Value::Null.agrees_with(&Value::Null));
+        assert!(!Value::Null.agrees_with(&Value::int(1)));
+        assert!(!Value::int(1).agrees_with(&Value::Null));
+    }
+
+    #[test]
+    fn int_and_str_never_equal() {
+        assert_ne!(Value::int(20), Value::str("20"));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7), Value::Int(7));
+        assert_eq!(Value::from("abc"), Value::str("abc"));
+        assert_eq!(Value::from(String::from("abc")), Value::str("abc"));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::int(4).as_int(), Some(4));
+        assert_eq!(Value::Null.as_str(), None);
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn rendering() {
+        assert_eq!(Value::Null.render(), "");
+        assert_eq!(Value::int(-3).render(), "-3");
+        assert_eq!(Value::str("a b").render(), "a b");
+        assert_eq!(format!("{}", Value::Null), "⊥");
+        assert_eq!(format!("{:?}", Value::str("a")), "\"a\"");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vs = vec![Value::str("b"), Value::Null, Value::int(2), Value::str("a")];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![Value::Null, Value::int(2), Value::str("a"), Value::str("b")]
+        );
+    }
+}

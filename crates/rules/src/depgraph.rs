@@ -1,0 +1,206 @@
+//! The rule dependency graph of Sect. 5.1 (Fig. 4).
+//!
+//! For a rule set `Σ`, the dependency graph `G = (V, E)` has one node
+//! per rule and an edge `(u, v)` iff `Bu ∈ Xv ∪ Xpv` — fixing `rhs(ϕu)`
+//! may enable `ϕv`, so `ϕu` is applied before `ϕv`. The graph is
+//! computed once per `Σ` and reused across all input tuples
+//! (`TransFix` walks it).
+
+use std::fmt;
+
+use certainfix_relation::AttrSet;
+
+use crate::ruleset::RuleSet;
+
+/// Dependency graph over the rules of a [`RuleSet`], by rule index.
+#[derive(Clone, Debug)]
+pub struct DependencyGraph {
+    succ: Vec<Vec<usize>>,
+    pred: Vec<Vec<usize>>,
+}
+
+impl DependencyGraph {
+    /// Build the graph for `Σ`.
+    pub fn new(rules: &RuleSet) -> DependencyGraph {
+        let n = rules.len();
+        let premises: Vec<AttrSet> = rules.iter().map(|(_, r)| r.premise()).collect();
+        let mut succ = vec![Vec::new(); n];
+        let mut pred = vec![Vec::new(); n];
+        for (u, rule_u) in rules.iter() {
+            let b = rule_u.rhs();
+            for v in 0..n {
+                if u != v && premises[v].contains(b) {
+                    succ[u].push(v);
+                    pred[v].push(u);
+                }
+            }
+        }
+        DependencyGraph { succ, pred }
+    }
+
+    /// Number of nodes (= rules).
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// `true` iff there are no rules.
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// Rules whose applicability may be enabled by applying rule `u`.
+    pub fn successors(&self, u: usize) -> &[usize] {
+        &self.succ[u]
+    }
+
+    /// Rules whose application may enable rule `v`.
+    pub fn predecessors(&self, v: usize) -> &[usize] {
+        &self.pred[v]
+    }
+
+    /// Total edge count.
+    pub fn edge_count(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+
+    /// Rules with no predecessor — applicable only from the initial
+    /// validated region.
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&v| self.pred[v].is_empty())
+            .collect()
+    }
+
+    /// Render in Graphviz `dot` syntax, naming nodes by rule name.
+    pub fn render_dot(&self, rules: &RuleSet) -> String {
+        let mut out = String::from("digraph sigma {\n");
+        for (i, rule) in rules.iter() {
+            out.push_str(&format!("  n{i} [label=\"{}\"];\n", rule.name()));
+        }
+        for (u, vs) in self.succ.iter().enumerate() {
+            for &v in vs {
+                out.push_str(&format!("  n{u} -> n{v};\n"));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for DependencyGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dependency graph: {} node(s), {} edge(s)",
+            self.len(),
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_rules;
+    use certainfix_relation::Schema;
+
+    fn sigma0() -> RuleSet {
+        let r = Schema::new(
+            "R",
+            ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+        )
+        .unwrap();
+        let rm = Schema::new(
+            "Rm",
+            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"],
+        )
+        .unwrap();
+        parse_rules(
+            r#"
+            phi1: match zip ~ zip set AC := AC, str := str, city := city
+            phi2: match phn ~ Mphn set fn := FN, ln := LN when type = 2
+            phi3: match AC ~ AC, phn ~ Hphn set str := str, city := city, zip := zip when type = 1, AC != '0800'
+            phi4: match AC ~ AC set city := city when AC = '0800'
+            "#,
+            &r,
+            &rm,
+        )
+        .unwrap()
+    }
+
+    fn idx(rules: &RuleSet, name: &str) -> usize {
+        rules.iter().find(|(_, r)| r.name() == name).unwrap().0
+    }
+
+    #[test]
+    fn example11_edges() {
+        // Fig. 4 of the paper: ϕ1 (fix AC) feeds ϕ6–ϕ8 (lhs {AC, phn})
+        // and ϕ9 (lhs/pattern {AC}); ϕ8 (fix zip) feeds ϕ1–ϕ3.
+        let rules = sigma0();
+        let g = DependencyGraph::new(&rules);
+        assert_eq!(g.len(), 9);
+        let phi1_ac = idx(&rules, "phi1.AC");
+        let phi3_str = idx(&rules, "phi3.str");
+        let phi3_zip = idx(&rules, "phi3.zip");
+        let phi4 = idx(&rules, "phi4");
+        let succ = g.successors(phi1_ac);
+        assert!(succ.contains(&phi3_str));
+        assert!(succ.contains(&phi4), "AC is a pattern attr of ϕ4");
+        // ϕ3.zip fixes zip, enabling all three ϕ1.* rules
+        let succ_zip = g.successors(phi3_zip);
+        assert!(succ_zip.contains(&phi1_ac));
+        assert_eq!(
+            succ_zip.len(),
+            3,
+            "zip only occurs in the lhs of the phi1 family"
+        );
+        // predecessors mirror successors
+        assert!(g.predecessors(phi4).contains(&phi1_ac));
+        let edges = g.edge_count();
+        let mirrored: usize = (0..g.len()).map(|v| g.predecessors(v).len()).sum();
+        assert_eq!(edges, mirrored);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let rules = sigma0();
+        let g = DependencyGraph::new(&rules);
+        for u in 0..g.len() {
+            assert!(!g.successors(u).contains(&u));
+        }
+    }
+
+    #[test]
+    fn roots_have_no_predecessors() {
+        let rules = sigma0();
+        let g = DependencyGraph::new(&rules);
+        for r in g.roots() {
+            assert!(g.predecessors(r).is_empty());
+        }
+        // ϕ2 rules key on phn (never fixed by Σ0) with pattern on type
+        // (never fixed either): they are roots.
+        let phi2_fn = idx(&rules, "phi2.fn");
+        assert!(g.roots().contains(&phi2_fn));
+    }
+
+    #[test]
+    fn dot_rendering() {
+        let rules = sigma0();
+        let g = DependencyGraph::new(&rules);
+        let dot = g.render_dot(&rules);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("phi1.AC"));
+        assert!(dot.contains("->"));
+        assert!(g.to_string().contains("9 node(s)"));
+    }
+
+    #[test]
+    fn empty_ruleset() {
+        let r = Schema::new("R", ["a"]).unwrap();
+        let rules = RuleSet::new(r.clone(), r);
+        let g = DependencyGraph::new(&rules);
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.roots().is_empty());
+    }
+}

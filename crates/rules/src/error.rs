@@ -1,0 +1,134 @@
+//! Errors for rule construction and parsing.
+
+use std::fmt;
+
+use certainfix_relation::RelationError;
+
+/// Errors raised while building, validating or parsing editing rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleError {
+    /// `|X| != |Xm|`.
+    LhsArityMismatch {
+        /// Rule name.
+        rule: String,
+        /// `|X|`.
+        lhs: usize,
+        /// `|Xm|`.
+        lhs_m: usize,
+    },
+    /// `X` contains a repeated attribute.
+    DuplicateLhsAttr {
+        /// Rule name.
+        rule: String,
+        /// Offending attribute name.
+        attr: String,
+    },
+    /// `B ∈ X` — the paper requires `B ∈ R \ X`.
+    RhsInLhs {
+        /// Rule name.
+        rule: String,
+        /// The offending attribute name.
+        attr: String,
+    },
+    /// A rule with no lhs attribute and no pattern would fire on every
+    /// tuple with no master key to probe; the semantics requires a key.
+    EmptyLhs {
+        /// Rule name.
+        rule: String,
+    },
+    /// An attribute resolution failure from the relation layer.
+    Relation(RelationError),
+    /// A rule referenced a schema other than the rule set's `(R, Rm)`.
+    SchemaMismatch {
+        /// Rule name.
+        rule: String,
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+    /// DSL syntax error.
+    Parse {
+        /// 1-based line number in the DSL source.
+        line: usize,
+        /// Explanation.
+        msg: String,
+    },
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::LhsArityMismatch { rule, lhs, lhs_m } => write!(
+                f,
+                "rule `{rule}`: lhs lists must have equal length (|X| = {lhs}, |Xm| = {lhs_m})"
+            ),
+            RuleError::DuplicateLhsAttr { rule, attr } => {
+                write!(f, "rule `{rule}`: lhs attribute `{attr}` repeats")
+            }
+            RuleError::RhsInLhs { rule, attr } => write!(
+                f,
+                "rule `{rule}`: fixed attribute `{attr}` must not occur in the lhs (B ∈ R \\ X)"
+            ),
+            RuleError::EmptyLhs { rule } => {
+                write!(f, "rule `{rule}`: the lhs attribute list X must be non-empty")
+            }
+            RuleError::Relation(e) => write!(f, "{e}"),
+            RuleError::SchemaMismatch { rule, detail } => {
+                write!(f, "rule `{rule}`: schema mismatch: {detail}")
+            }
+            RuleError::Parse { line, msg } => write!(f, "rule DSL, line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuleError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for RuleError {
+    fn from(e: RelationError) -> Self {
+        RuleError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = RuleError::LhsArityMismatch {
+            rule: "phi".into(),
+            lhs: 2,
+            lhs_m: 1,
+        };
+        assert!(e.to_string().contains("|X| = 2"));
+        let e = RuleError::RhsInLhs {
+            rule: "phi".into(),
+            attr: "zip".into(),
+        };
+        assert!(e.to_string().contains("B ∈ R \\ X"));
+        let e = RuleError::Parse {
+            line: 3,
+            msg: "expected `set`".into(),
+        };
+        assert_eq!(e.to_string(), "rule DSL, line 3: expected `set`");
+        let e = RuleError::EmptyLhs { rule: "p".into() };
+        assert!(e.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn wraps_relation_errors() {
+        let inner = RelationError::UnknownAttr {
+            schema: "R".into(),
+            attr: "zap".into(),
+        };
+        let e: RuleError = inner.clone().into();
+        assert_eq!(e.to_string(), inner.to_string());
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,37 @@
+//! Editing rules (eRs).
+//!
+//! An editing rule over schemas `(R, Rm)` is a pair
+//! `ϕ = ((X, Xm) → (B, Bm), tp[Xp])` (Sect. 2 of the paper):
+//!
+//! * `X` / `Xm` — equal-length lists of distinct attributes of `R` / `Rm`,
+//! * `B ∈ R \ X` and `Bm ∈ Rm` — the attribute to fix and its master
+//!   source,
+//! * `tp[Xp]` — a pattern tuple over `R` restricting when `ϕ` applies.
+//!
+//! Applying `(ϕ, tm)` to an input tuple `t` (written `t →(ϕ,tm) t'`)
+//! requires `t[Xp] ≈ tp[Xp]` and `t[X] = tm[Xm]`, and produces `t'` with
+//! `t'[B] := tm[Bm]`.
+//!
+//! This crate provides:
+//! * [`EditingRule`] and its validating [`builder`](EditingRule::build),
+//! * [`RuleSet`] — a validated collection over fixed `(R, Rm)`,
+//! * [`apply`](mod@apply) — the application semantics, including master-index-backed
+//!   candidate search,
+//! * [`parse`] — a compact text DSL used by examples and the data
+//!   generators,
+//! * [`DependencyGraph`] — the rule ordering structure of Sect. 5.1
+//!   (Fig. 4) that drives `TransFix`.
+
+pub mod apply;
+pub mod depgraph;
+pub mod error;
+pub mod parse;
+pub mod rule;
+pub mod ruleset;
+
+pub use apply::{applies, apply, candidate_masters, distinct_fix_values};
+pub use depgraph::DependencyGraph;
+pub use error::RuleError;
+pub use parse::parse_rules;
+pub use rule::{EditingRule, RuleBuilder};
+pub use ruleset::RuleSet;

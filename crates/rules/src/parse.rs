@@ -1,0 +1,486 @@
+//! A compact text DSL for editing rules.
+//!
+//! One rule template per line; `#` starts a comment. The syntax mirrors
+//! how the paper writes rule *families* (e.g. "eR1 is expressed as three
+//! editing rules of the form ϕ1, for B1 ranging over {AC, str, city}"):
+//! a line may list several `set` targets and expands into one
+//! [`EditingRule`] per target.
+//!
+//! ```text
+//! # ϕ1..ϕ3:  ((zip, zip) → (B, B), tp = ())     for B ∈ {AC, str, city}
+//! phi1: match zip ~ zip set AC := AC, str := str, city := city
+//!
+//! # ϕ4, ϕ5:  ((phn, Mphn) → ..., tp[type] = (2))
+//! phi2: match phn ~ Mphn set fn := FN, ln := LN when type = 2
+//!
+//! # ϕ6..ϕ8:  with a negated pattern cell
+//! phi3: match AC ~ AC, phn ~ Hphn set str := str when type = 1, AC != '0800'
+//! ```
+//!
+//! * `match x ~ xm, ...` — the key pairs `(X, Xm)`;
+//! * `set b := bm, ...` — the fix targets; a line with `n` targets
+//!   yields `n` rules named `name` (single target) or `name.b`
+//!   (multiple);
+//! * `when a = v, b != v, ...` — optional pattern conditions. Values are
+//!   single-quoted strings or bare integers; bare words are strings.
+
+use std::sync::Arc;
+
+use certainfix_relation::{Schema, Value};
+
+use crate::error::RuleError;
+use crate::rule::EditingRule;
+use crate::ruleset::RuleSet;
+
+/// Parse a DSL document into a [`RuleSet`] over `(R, Rm)`.
+pub fn parse_rules(
+    src: &str,
+    r: &Arc<Schema>,
+    rm: &Arc<Schema>,
+) -> Result<RuleSet, RuleError> {
+    let mut set = RuleSet::new(r.clone(), rm.clone());
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        for rule in parse_line(line, lineno + 1, r, rm)? {
+            set.push(rule)?;
+        }
+    }
+    Ok(set)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` inside a quoted literal does not start a comment.
+    let mut in_quote = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\'' => in_quote = !in_quote,
+            '#' if !in_quote => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Colon,
+    Comma,
+    Tilde,
+    Assign, // :=
+    Eq,     // =
+    Neq,    // !=
+}
+
+fn err(line: usize, msg: impl Into<String>) -> RuleError {
+    RuleError::Parse {
+        line,
+        msg: msg.into(),
+    }
+}
+
+fn tokenize(line: &str, lineno: usize) -> Result<Vec<Tok>, RuleError> {
+    let mut toks = Vec::new();
+    let mut chars = line.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ',' => {
+                chars.next();
+                toks.push(Tok::Comma);
+            }
+            '~' => {
+                chars.next();
+                toks.push(Tok::Tilde);
+            }
+            ':' => {
+                chars.next();
+                if chars.peek().map(|&(_, c)| c) == Some('=') {
+                    chars.next();
+                    toks.push(Tok::Assign);
+                } else {
+                    toks.push(Tok::Colon);
+                }
+            }
+            '=' => {
+                chars.next();
+                toks.push(Tok::Eq);
+            }
+            '!' => {
+                chars.next();
+                if chars.peek().map(|&(_, c)| c) == Some('=') {
+                    chars.next();
+                    toks.push(Tok::Neq);
+                } else {
+                    return Err(err(lineno, "expected `!=`"));
+                }
+            }
+            '\'' => {
+                chars.next();
+                let start = i + 1;
+                let mut end = None;
+                for (j, c2) in chars.by_ref() {
+                    if c2 == '\'' {
+                        end = Some(j);
+                        break;
+                    }
+                }
+                let end = end.ok_or_else(|| err(lineno, "unterminated string literal"))?;
+                toks.push(Tok::Str(line[start..end].to_string()));
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '-' => {
+                let start = i;
+                let mut end = i + c.len_utf8();
+                chars.next();
+                while let Some(&(j, c2)) = chars.peek() {
+                    if c2.is_alphanumeric() || c2 == '_' || c2 == '-' {
+                        end = j + c2.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let word = &line[start..end];
+                match word.parse::<i64>() {
+                    Ok(n) => toks.push(Tok::Int(n)),
+                    Err(_) => toks.push(Tok::Ident(word.to_string())),
+                }
+            }
+            other => return Err(err(lineno, format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(toks)
+}
+
+struct Cursor {
+    toks: Vec<Tok>,
+    pos: usize,
+    line: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, RuleError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            // a bare number can be an attribute name in generated schemas
+            Some(Tok::Int(n)) => Ok(n.to_string()),
+            other => Err(err(
+                self.line,
+                format!("expected {what}, found {other:?}"),
+            )),
+        }
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<(), RuleError> {
+        match self.next() {
+            Some(ref got) if *got == t => Ok(()),
+            other => Err(err(
+                self.line,
+                format!("expected {what}, found {other:?}"),
+            )),
+        }
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn parse_value(cur: &mut Cursor) -> Result<Value, RuleError> {
+    match cur.next() {
+        Some(Tok::Str(s)) => Ok(Value::str(s)),
+        Some(Tok::Int(n)) => Ok(Value::int(n)),
+        Some(Tok::Ident(s)) => Ok(Value::str(s)),
+        other => Err(err(cur.line, format!("expected a value, found {other:?}"))),
+    }
+}
+
+fn parse_line(
+    line: &str,
+    lineno: usize,
+    r: &Arc<Schema>,
+    rm: &Arc<Schema>,
+) -> Result<Vec<EditingRule>, RuleError> {
+    let toks = tokenize(line, lineno)?;
+    let mut cur = Cursor {
+        toks,
+        pos: 0,
+        line: lineno,
+    };
+
+    let name = cur.expect_ident("a rule name")?;
+    cur.expect(Tok::Colon, "`:` after the rule name")?;
+
+    if !cur.keyword("match") {
+        return Err(err(lineno, "expected `match` after the rule name"));
+    }
+    let mut keys: Vec<(String, String)> = Vec::new();
+    loop {
+        let x = cur.expect_ident("an input attribute")?;
+        cur.expect(Tok::Tilde, "`~` between input and master attributes")?;
+        let xm = cur.expect_ident("a master attribute")?;
+        keys.push((x, xm));
+        if !cur.eat(&Tok::Comma) {
+            break;
+        }
+    }
+
+    if !cur.keyword("set") {
+        return Err(err(lineno, "expected `set` after the match clause"));
+    }
+    let mut targets: Vec<(String, String)> = Vec::new();
+    loop {
+        let b = cur.expect_ident("a target attribute")?;
+        cur.expect(Tok::Assign, "`:=` between target and master source")?;
+        let bm = cur.expect_ident("a master source attribute")?;
+        targets.push((b, bm));
+        if !cur.eat(&Tok::Comma) {
+            break;
+        }
+    }
+
+    #[derive(Clone)]
+    enum Cond {
+        Eq(String, Value),
+        Neq(String, Value),
+    }
+    let mut conds: Vec<Cond> = Vec::new();
+    if cur.keyword("when") {
+        loop {
+            let attr = cur.expect_ident("a pattern attribute")?;
+            match cur.next() {
+                Some(Tok::Eq) => conds.push(Cond::Eq(attr, parse_value(&mut cur)?)),
+                Some(Tok::Neq) => conds.push(Cond::Neq(attr, parse_value(&mut cur)?)),
+                other => {
+                    return Err(err(
+                        lineno,
+                        format!("expected `=` or `!=` in a condition, found {other:?}"),
+                    ))
+                }
+            }
+            if !cur.eat(&Tok::Comma) {
+                break;
+            }
+        }
+    }
+    if let Some(tok) = cur.peek() {
+        return Err(err(lineno, format!("trailing input: {tok:?}")));
+    }
+
+    let many = targets.len() > 1;
+    let mut out = Vec::with_capacity(targets.len());
+    for (b, bm) in targets {
+        let rule_name = if many { format!("{name}.{b}") } else { name.clone() };
+        let mut builder = EditingRule::build(r, rm).name(rule_name);
+        for (x, xm) in &keys {
+            builder = builder.key(x, xm);
+        }
+        builder = builder.fix(&b, &bm);
+        for c in &conds {
+            builder = match c {
+                Cond::Eq(a, v) => builder.when_eq(a, v.clone()),
+                Cond::Neq(a, v) => builder.when_neq(a, v.clone()),
+            };
+        }
+        out.push(builder.finish()?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certainfix_relation::PatternValue;
+
+    fn schemas() -> (Arc<Schema>, Arc<Schema>) {
+        let r = Schema::new(
+            "R",
+            ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+        )
+        .unwrap();
+        let rm = Schema::new(
+            "Rm",
+            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"],
+        )
+        .unwrap();
+        (r, rm)
+    }
+
+    /// The full Σ0 of Example 11 (ϕ1–ϕ9), written in the DSL.
+    pub(crate) const SIGMA0: &str = r#"
+        # eR1: three rules via zip
+        phi1: match zip ~ zip set AC := AC, str := str, city := city
+        # eR2: two rules via mobile phone
+        phi2: match phn ~ Mphn set fn := FN, ln := LN when type = 2
+        # eR3: three rules via home phone, non-toll-free
+        phi3: match AC ~ AC, phn ~ Hphn set str := str, city := city, zip := zip when type = 1, AC != '0800'
+        # eR4: toll-free numbers fix the city
+        phi4: match AC ~ AC set city := city when AC = '0800'
+    "#;
+
+    #[test]
+    fn parses_sigma0_into_nine_rules() {
+        let (r, rm) = schemas();
+        let set = parse_rules(SIGMA0, &r, &rm).unwrap();
+        assert_eq!(set.len(), 9);
+        let phi1_ac = set.by_name("phi1.AC").unwrap();
+        assert!(phi1_ac.pattern().is_empty());
+        assert_eq!(r.attr_name(phi1_ac.rhs()), "AC");
+        let phi3_zip = set.by_name("phi3.zip").unwrap();
+        assert_eq!(phi3_zip.lhs().len(), 2);
+        assert_eq!(
+            phi3_zip.pattern().cell(r.attr("type").unwrap()),
+            Some(&PatternValue::Const(Value::int(1)))
+        );
+        assert_eq!(
+            phi3_zip.pattern().cell(r.attr("AC").unwrap()),
+            Some(&PatternValue::Neq(Value::str("0800")))
+        );
+        // single target keeps the plain name
+        assert!(set.by_name("phi4").is_some());
+    }
+
+    #[test]
+    fn cross_attribute_mapping() {
+        // DBLP-style φ2: ((a2, a1) → (hp2, hp1), ...)
+        let r = Schema::new("R", ["a1", "a2", "hp1", "hp2"]).unwrap();
+        let rm = r.clone();
+        let set = parse_rules("f2: match a2 ~ a1 set hp2 := hp1", &r, &rm).unwrap();
+        let f2 = set.by_name("f2").unwrap();
+        assert_eq!(r.attr_name(f2.lhs()[0]), "a2");
+        assert_eq!(rm.attr_name(f2.lhs_m()[0]), "a1");
+        assert_eq!(r.attr_name(f2.rhs()), "hp2");
+        assert_eq!(rm.attr_name(f2.rhs_m()), "hp1");
+    }
+
+    #[test]
+    fn quoted_strings_preserve_leading_zeros() {
+        let (r, rm) = schemas();
+        let set =
+            parse_rules("p: match AC ~ AC set city := city when AC = '0800'", &r, &rm).unwrap();
+        let p = set.by_name("p").unwrap();
+        assert_eq!(
+            p.pattern().cell(r.attr("AC").unwrap()),
+            Some(&PatternValue::Const(Value::str("0800")))
+        );
+    }
+
+    #[test]
+    fn bare_words_are_strings_ints_are_ints() {
+        let (r, rm) = schemas();
+        let set = parse_rules(
+            "p: match zip ~ zip set AC := AC when city = Edi, type = 2",
+            &r,
+            &rm,
+        )
+        .unwrap();
+        let p = set.by_name("p").unwrap();
+        assert_eq!(
+            p.pattern().cell(r.attr("city").unwrap()),
+            Some(&PatternValue::Const(Value::str("Edi")))
+        );
+        assert_eq!(
+            p.pattern().cell(r.attr("type").unwrap()),
+            Some(&PatternValue::Const(Value::int(2)))
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let (r, rm) = schemas();
+        let set = parse_rules(
+            "# nothing here\n\n  \np: match zip ~ zip set AC := AC # trailing\n",
+            &r,
+            &rm,
+        )
+        .unwrap();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn hash_inside_quote_is_not_comment() {
+        let (r, rm) = schemas();
+        let set = parse_rules(
+            "p: match zip ~ zip set AC := AC when city = '#1'",
+            &r,
+            &rm,
+        )
+        .unwrap();
+        let p = set.by_name("p").unwrap();
+        assert_eq!(
+            p.pattern().cell(r.attr("city").unwrap()),
+            Some(&PatternValue::Const(Value::str("#1")))
+        );
+    }
+
+    #[test]
+    fn error_reporting_carries_line_numbers() {
+        let (r, rm) = schemas();
+        let e = parse_rules("\n\np match zip ~ zip set AC := AC", &r, &rm).unwrap_err();
+        match e {
+            RuleError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn syntax_errors() {
+        let (r, rm) = schemas();
+        for bad in [
+            "p: zip ~ zip set AC := AC",              // missing match
+            "p: match zip zip set AC := AC",          // missing ~
+            "p: match zip ~ zip AC := AC",            // missing set
+            "p: match zip ~ zip set AC = AC",         // = instead of :=
+            "p: match zip ~ zip set AC := AC when x", // dangling condition
+            "p: match zip ~ zip set AC := AC junk",   // trailing tokens
+            "p: match zip ~ zip set AC := AC when city = 'open", // unterminated
+            "p: match zip ~ zip set AC := AC when city ! Edi", // bad !
+            "p: match zip ~ zip set AC := AC when city = %",   // bad char
+        ] {
+            assert!(
+                matches!(parse_rules(bad, &r, &rm), Err(RuleError::Parse { .. })),
+                "should fail to parse: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_attribute_is_a_rule_error() {
+        let (r, rm) = schemas();
+        let e = parse_rules("p: match zap ~ zip set AC := AC", &r, &rm).unwrap_err();
+        assert!(matches!(e, RuleError::Relation(_)));
+    }
+}

@@ -1,0 +1,452 @@
+//! The [`EditingRule`] type and its validating builder.
+
+use std::fmt;
+use std::sync::Arc;
+
+use certainfix_relation::{AttrId, AttrSet, PatternTuple, PatternValue, Schema, Value};
+
+use crate::error::RuleError;
+
+/// An editing rule `ϕ = ((X, Xm) → (B, Bm), tp[Xp])` over `(R, Rm)`.
+///
+/// Invariants (enforced by [`RuleBuilder`]):
+/// * `|X| = |Xm| ≥ 1`, `X` has distinct attributes,
+/// * `B ∉ X`,
+/// * all `R`-side attribute ids are valid in `R`, all `Rm`-side ids in
+///   `Rm`,
+/// * the stored pattern is in *normal form* (no wildcard cells; Sect. 2,
+///   Notations (3)) — wildcards given to the builder are dropped, which
+///   preserves the rule's semantics exactly.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EditingRule {
+    name: String,
+    lhs: Vec<AttrId>,
+    lhs_m: Vec<AttrId>,
+    rhs: AttrId,
+    rhs_m: AttrId,
+    pattern: PatternTuple,
+}
+
+impl EditingRule {
+    /// Start building a rule against a pair of schemas.
+    pub fn build(r: &Arc<Schema>, rm: &Arc<Schema>) -> RuleBuilder {
+        RuleBuilder {
+            r: r.clone(),
+            rm: rm.clone(),
+            name: String::new(),
+            lhs: Vec::new(),
+            lhs_m: Vec::new(),
+            rhs: None,
+            pattern: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// The rule's name (`ϕ1`, `phi3`, ...).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `lhs(ϕ) = X` — the `R`-side key attributes.
+    pub fn lhs(&self) -> &[AttrId] {
+        &self.lhs
+    }
+
+    /// `lhsm(ϕ) = Xm` — the `Rm`-side key attributes.
+    pub fn lhs_m(&self) -> &[AttrId] {
+        &self.lhs_m
+    }
+
+    /// `rhs(ϕ) = B` — the attribute this rule fixes.
+    pub fn rhs(&self) -> AttrId {
+        self.rhs
+    }
+
+    /// `rhsm(ϕ) = Bm` — the master attribute whose value is copied.
+    pub fn rhs_m(&self) -> AttrId {
+        self.rhs_m
+    }
+
+    /// `lhsp(ϕ) = Xp` — the attributes constrained by the pattern.
+    pub fn lhs_p(&self) -> &[AttrId] {
+        self.pattern.attrs()
+    }
+
+    /// The (normalized) pattern tuple `tp[Xp]`.
+    pub fn pattern(&self) -> &PatternTuple {
+        &self.pattern
+    }
+
+    /// `X` as a set.
+    pub fn lhs_set(&self) -> AttrSet {
+        self.lhs.iter().copied().collect()
+    }
+
+    /// `X ∪ Xp` — everything that must be validated before the rule may
+    /// be applied to a tuple marked by a region (Sect. 3).
+    pub fn premise(&self) -> AttrSet {
+        self.lhs_set() | self.pattern.attr_set()
+    }
+
+    /// The master attribute in `Xm` aligned with `R`-attribute `a ∈ X`
+    /// (the `λϕ(·)` mapping of Sect. 5.2).
+    pub fn master_attr_for(&self, a: AttrId) -> Option<AttrId> {
+        self.lhs
+            .iter()
+            .position(|&x| x == a)
+            .map(|i| self.lhs_m[i])
+    }
+
+    /// `true` iff `Xp ⊆ X` — the *direct fix* restriction (a) of
+    /// Sect. 4.1, special case (5).
+    pub fn is_direct(&self) -> bool {
+        self.pattern.attr_set().is_subset(&self.lhs_set())
+    }
+
+    /// Replace the pattern (used to derive the refined rules `ϕ+` of
+    /// `Σ_t[Z]`, Sect. 5.2). The new pattern is normalized.
+    pub fn with_pattern(&self, pattern: PatternTuple) -> EditingRule {
+        EditingRule {
+            pattern: pattern.normalize(),
+            ..self.clone()
+        }
+    }
+
+    /// Render against the schemas, mirroring the paper's syntax:
+    /// `ϕ3: (([AC, phn], [AC, Hphn]) → (str, str), tp[type=1, AC≠0800])`.
+    pub fn render(&self, r: &Schema, rm: &Schema) -> String {
+        format!(
+            "{}: (({}, {}) → ({}, {}), tp{})",
+            self.name,
+            r.render_attrs(&self.lhs),
+            rm.render_attrs(&self.lhs_m),
+            r.attr_name(self.rhs),
+            rm.attr_name(self.rhs_m),
+            self.pattern.render(r)
+        )
+    }
+}
+
+impl fmt::Display for EditingRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: (({:?}, {:?}) → ({:?}, {:?}), |tp|={})",
+            self.name,
+            self.lhs,
+            self.lhs_m,
+            self.rhs,
+            self.rhs_m,
+            self.pattern.len()
+        )
+    }
+}
+
+/// Fluent, validating builder for [`EditingRule`].
+///
+/// Attribute names are resolved eagerly; the first error is remembered
+/// and returned by [`RuleBuilder::finish`].
+pub struct RuleBuilder {
+    r: Arc<Schema>,
+    rm: Arc<Schema>,
+    name: String,
+    lhs: Vec<AttrId>,
+    lhs_m: Vec<AttrId>,
+    rhs: Option<(AttrId, AttrId)>,
+    pattern: Vec<(AttrId, PatternValue)>,
+    error: Option<RuleError>,
+}
+
+impl RuleBuilder {
+    /// Name the rule.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Add a key pair: input attribute `x ∈ X` matched against master
+    /// attribute `xm ∈ Xm`.
+    pub fn key(mut self, x: &str, xm: &str) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match (self.r.attr_or_err(x), self.rm.attr_or_err(xm)) {
+            (Ok(a), Ok(b)) => {
+                self.lhs.push(a);
+                self.lhs_m.push(b);
+            }
+            (Err(e), _) | (_, Err(e)) => self.error = Some(e.into()),
+        }
+        self
+    }
+
+    /// Set the fixed attribute `B` and its master source `Bm`.
+    pub fn fix(mut self, b: &str, bm: &str) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match (self.r.attr_or_err(b), self.rm.attr_or_err(bm)) {
+            (Ok(a), Ok(c)) => self.rhs = Some((a, c)),
+            (Err(e), _) | (_, Err(e)) => self.error = Some(e.into()),
+        }
+        self
+    }
+
+    /// Add a pattern condition `t[attr] = v`.
+    pub fn when_eq(mut self, attr: &str, v: impl Into<Value>) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match self.r.attr_or_err(attr) {
+            Ok(a) => self.pattern.push((a, PatternValue::Const(v.into()))),
+            Err(e) => self.error = Some(e.into()),
+        }
+        self
+    }
+
+    /// Add a pattern condition `t[attr] ≠ v`.
+    pub fn when_neq(mut self, attr: &str, v: impl Into<Value>) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match self.r.attr_or_err(attr) {
+            Ok(a) => self.pattern.push((a, PatternValue::Neq(v.into()))),
+            Err(e) => self.error = Some(e.into()),
+        }
+        self
+    }
+
+    /// Add an explicit wildcard condition (a no-op after normalization;
+    /// accepted so DSL input like `tp1 = ()` round-trips).
+    pub fn when_any(mut self, attr: &str) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match self.r.attr_or_err(attr) {
+            Ok(a) => self.pattern.push((a, PatternValue::Wildcard)),
+            Err(e) => self.error = Some(e.into()),
+        }
+        self
+    }
+
+    /// Validate and produce the rule.
+    pub fn finish(self) -> Result<EditingRule, RuleError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let name = if self.name.is_empty() {
+            "<unnamed>".to_string()
+        } else {
+            self.name
+        };
+        if self.lhs.is_empty() {
+            return Err(RuleError::EmptyLhs { rule: name });
+        }
+        if self.lhs.len() != self.lhs_m.len() {
+            return Err(RuleError::LhsArityMismatch {
+                rule: name,
+                lhs: self.lhs.len(),
+                lhs_m: self.lhs_m.len(),
+            });
+        }
+        let mut seen = AttrSet::EMPTY;
+        for &a in &self.lhs {
+            if !seen.insert(a) {
+                return Err(RuleError::DuplicateLhsAttr {
+                    rule: name,
+                    attr: self.r.attr_name(a).to_string(),
+                });
+            }
+        }
+        let (rhs, rhs_m) = self.rhs.ok_or_else(|| RuleError::SchemaMismatch {
+            rule: name.clone(),
+            detail: "no fixed attribute; call .fix(B, Bm)".into(),
+        })?;
+        if seen.contains(rhs) {
+            return Err(RuleError::RhsInLhs {
+                rule: name,
+                attr: self.r.attr_name(rhs).to_string(),
+            });
+        }
+        // Deduplicate pattern attributes: later conditions override
+        // earlier ones (mirrors PatternTuple::refined_with).
+        let pattern = PatternTuple::empty()
+            .refined_with(&self.pattern)
+            .normalize();
+        Ok(EditingRule {
+            name,
+            lhs: self.lhs,
+            lhs_m: self.lhs_m,
+            rhs,
+            rhs_m,
+            pattern,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schemas() -> (Arc<Schema>, Arc<Schema>) {
+        let r = Schema::new(
+            "R",
+            ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+        )
+        .unwrap();
+        let rm = Schema::new(
+            "Rm",
+            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"],
+        )
+        .unwrap();
+        (r, rm)
+    }
+
+    #[test]
+    fn phi3_from_the_paper() {
+        // ϕ3: (([AC, phn], [AC, Hphn]) → (str, str), tp[type, AC] = (1, 0800̄))
+        let (r, rm) = schemas();
+        let phi3 = EditingRule::build(&r, &rm)
+            .name("phi3")
+            .key("AC", "AC")
+            .key("phn", "Hphn")
+            .fix("str", "str")
+            .when_eq("type", 1)
+            .when_neq("AC", "0800")
+            .finish()
+            .unwrap();
+        assert_eq!(phi3.name(), "phi3");
+        assert_eq!(phi3.lhs().len(), 2);
+        assert_eq!(phi3.lhs_m().len(), 2);
+        assert_eq!(r.attr_name(phi3.rhs()), "str");
+        assert_eq!(rm.attr_name(phi3.rhs_m()), "str");
+        assert_eq!(phi3.lhs_p().len(), 2);
+        assert!(!phi3.is_direct(), "type is a pattern attr outside X");
+        let rendered = phi3.render(&r, &rm);
+        assert!(rendered.contains("[AC, phn]"));
+        assert!(rendered.contains("AC≠0800"));
+        // premise = {AC, phn} ∪ {type, AC}
+        let premise = phi3.premise();
+        assert_eq!(premise.len(), 3);
+        assert!(premise.contains(r.attr("type").unwrap()));
+    }
+
+    #[test]
+    fn master_attr_alignment() {
+        let (r, rm) = schemas();
+        let phi = EditingRule::build(&r, &rm)
+            .key("AC", "AC")
+            .key("phn", "Hphn")
+            .fix("city", "city")
+            .finish()
+            .unwrap();
+        assert_eq!(
+            phi.master_attr_for(r.attr("phn").unwrap()),
+            Some(rm.attr("Hphn").unwrap())
+        );
+        assert_eq!(phi.master_attr_for(r.attr("zip").unwrap()), None);
+    }
+
+    #[test]
+    fn rhs_in_lhs_rejected() {
+        let (r, rm) = schemas();
+        let err = EditingRule::build(&r, &rm)
+            .name("bad")
+            .key("zip", "zip")
+            .fix("zip", "zip")
+            .finish()
+            .unwrap_err();
+        assert!(matches!(err, RuleError::RhsInLhs { .. }));
+    }
+
+    #[test]
+    fn duplicate_lhs_rejected() {
+        let (r, rm) = schemas();
+        let err = EditingRule::build(&r, &rm)
+            .name("bad")
+            .key("zip", "zip")
+            .key("zip", "city")
+            .fix("AC", "AC")
+            .finish()
+            .unwrap_err();
+        assert!(matches!(err, RuleError::DuplicateLhsAttr { .. }));
+    }
+
+    #[test]
+    fn empty_lhs_rejected() {
+        let (r, rm) = schemas();
+        let err = EditingRule::build(&r, &rm)
+            .name("bad")
+            .fix("AC", "AC")
+            .finish()
+            .unwrap_err();
+        assert!(matches!(err, RuleError::EmptyLhs { .. }));
+    }
+
+    #[test]
+    fn missing_fix_rejected() {
+        let (r, rm) = schemas();
+        let err = EditingRule::build(&r, &rm)
+            .name("bad")
+            .key("zip", "zip")
+            .finish()
+            .unwrap_err();
+        assert!(matches!(err, RuleError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_attribute_reported() {
+        let (r, rm) = schemas();
+        let err = EditingRule::build(&r, &rm)
+            .name("bad")
+            .key("nope", "zip")
+            .fix("AC", "AC")
+            .finish()
+            .unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn wildcards_are_normalized_away() {
+        let (r, rm) = schemas();
+        let rule = EditingRule::build(&r, &rm)
+            .key("zip", "zip")
+            .fix("AC", "AC")
+            .when_any("type")
+            .finish()
+            .unwrap();
+        assert!(rule.pattern().is_empty());
+        assert!(rule.is_direct());
+    }
+
+    #[test]
+    fn repeated_pattern_attr_last_wins() {
+        let (r, rm) = schemas();
+        let rule = EditingRule::build(&r, &rm)
+            .key("zip", "zip")
+            .fix("AC", "AC")
+            .when_eq("type", 1)
+            .when_eq("type", 2)
+            .finish()
+            .unwrap();
+        let cell = rule.pattern().cell(r.attr("type").unwrap()).unwrap();
+        assert_eq!(cell, &PatternValue::Const(Value::int(2)));
+        assert_eq!(rule.pattern().len(), 1);
+    }
+
+    #[test]
+    fn with_pattern_normalizes() {
+        let (r, rm) = schemas();
+        let rule = EditingRule::build(&r, &rm)
+            .key("zip", "zip")
+            .fix("AC", "AC")
+            .finish()
+            .unwrap();
+        let ty = r.attr("type").unwrap();
+        let refined = rule.with_pattern(PatternTuple::new(vec![
+            (ty, PatternValue::Wildcard),
+        ]));
+        assert!(refined.pattern().is_empty());
+        assert_eq!(refined.name(), rule.name());
+    }
+}

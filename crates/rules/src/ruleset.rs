@@ -1,0 +1,292 @@
+//! Rule sets: a validated collection of editing rules over one `(R, Rm)`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use certainfix_relation::{AttrId, AttrSet, FxHashMap, Schema};
+
+use crate::error::RuleError;
+use crate::rule::EditingRule;
+
+/// A set `Σ` of editing rules over fixed schemas `(R, Rm)`.
+///
+/// Besides storage, `RuleSet` maintains the derived views used all over
+/// the reasoning layer:
+/// * `rhs(Σ)` — the set of fixable attributes,
+/// * per-attribute buckets `rules_fixing(B)`,
+/// * name lookup.
+#[derive(Clone, Debug)]
+pub struct RuleSet {
+    r: Arc<Schema>,
+    rm: Arc<Schema>,
+    rules: Vec<EditingRule>,
+    by_rhs: Vec<Vec<usize>>,
+    by_name: FxHashMap<String, usize>,
+}
+
+impl RuleSet {
+    /// An empty rule set over `(R, Rm)`.
+    pub fn new(r: Arc<Schema>, rm: Arc<Schema>) -> RuleSet {
+        let by_rhs = vec![Vec::new(); r.len()];
+        RuleSet {
+            r,
+            rm,
+            rules: Vec::new(),
+            by_rhs,
+            by_name: FxHashMap::default(),
+        }
+    }
+
+    /// Build from rules.
+    pub fn from_rules(
+        r: Arc<Schema>,
+        rm: Arc<Schema>,
+        rules: Vec<EditingRule>,
+    ) -> Result<RuleSet, RuleError> {
+        let mut set = RuleSet::new(r, rm);
+        for rule in rules {
+            set.push(rule)?;
+        }
+        Ok(set)
+    }
+
+    /// Add a rule, checking that its attribute ids are valid for the
+    /// set's schemas.
+    pub fn push(&mut self, rule: EditingRule) -> Result<(), RuleError> {
+        let r_len = self.r.len() as u16;
+        let m_len = self.rm.len() as u16;
+        let bad_r = rule
+            .lhs()
+            .iter()
+            .chain(rule.lhs_p())
+            .chain(std::iter::once(&rule.rhs()))
+            .any(|a| a.0 >= r_len);
+        let bad_m = rule
+            .lhs_m()
+            .iter()
+            .chain(std::iter::once(&rule.rhs_m()))
+            .any(|a| a.0 >= m_len);
+        if bad_r || bad_m {
+            return Err(RuleError::SchemaMismatch {
+                rule: rule.name().to_string(),
+                detail: format!(
+                    "attribute id out of range for schemas {}/{}",
+                    self.r.name(),
+                    self.rm.name()
+                ),
+            });
+        }
+        let idx = self.rules.len();
+        self.by_rhs[rule.rhs().index()].push(idx);
+        self.by_name.insert(rule.name().to_string(), idx);
+        self.rules.push(rule);
+        Ok(())
+    }
+
+    /// The input schema `R`.
+    pub fn r_schema(&self) -> &Arc<Schema> {
+        &self.r
+    }
+
+    /// The master schema `Rm`.
+    pub fn m_schema(&self) -> &Arc<Schema> {
+        &self.rm
+    }
+
+    /// Number of rules (`card(Σ)`).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` iff there are no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Rule by index.
+    pub fn rule(&self, i: usize) -> &EditingRule {
+        &self.rules[i]
+    }
+
+    /// Rule by name.
+    pub fn by_name(&self, name: &str) -> Option<&EditingRule> {
+        self.by_name.get(name).map(|&i| &self.rules[i])
+    }
+
+    /// Iterate `(index, rule)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &EditingRule)> {
+        self.rules.iter().enumerate()
+    }
+
+    /// All rules.
+    pub fn rules(&self) -> &[EditingRule] {
+        &self.rules
+    }
+
+    /// Indices of rules with `rhs(ϕ) = b`.
+    pub fn rules_fixing(&self, b: AttrId) -> &[usize] {
+        &self.by_rhs[b.index()]
+    }
+
+    /// `rhs(Σ)` — attributes some rule can fix.
+    pub fn fixable_attrs(&self) -> AttrSet {
+        self.rules.iter().map(|r| r.rhs()).collect()
+    }
+
+    /// `R \ rhs(Σ)` — attributes *no* rule can fix; these must belong to
+    /// `Z` in any certain region (their correctness can only come from
+    /// the user). See Example 8's `item` attribute.
+    pub fn unfixable_attrs(&self) -> AttrSet {
+        AttrSet::full(self.r.len()) - self.fixable_attrs()
+    }
+
+    /// Attributes appearing anywhere in `Σ` on the `R` side
+    /// (`Z_Σ` in the proofs of Prop. 8/15).
+    pub fn touched_attrs(&self) -> AttrSet {
+        let mut s = AttrSet::EMPTY;
+        for rule in &self.rules {
+            s |= rule.premise();
+            s.insert(rule.rhs());
+        }
+        s
+    }
+
+    /// All `R`-side constants mentioned in rule patterns plus all values
+    /// used by the reasoning layer's active-domain constructions.
+    pub fn pattern_constants(&self) -> Vec<certainfix_relation::Value> {
+        let mut out = Vec::new();
+        for rule in &self.rules {
+            for cell in rule.pattern().cells() {
+                let v = match cell {
+                    certainfix_relation::PatternValue::Const(v)
+                    | certainfix_relation::PatternValue::Neq(v) => v.clone(),
+                    certainfix_relation::PatternValue::Wildcard => continue,
+                };
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Render all rules in paper syntax.
+    pub fn render(&self) -> String {
+        self.rules
+            .iter()
+            .map(|rule| rule.render(&self.r, &self.rm))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl fmt::Display for RuleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Σ with {} rule(s) on ({}, {})",
+            self.rules.len(),
+            self.r.name(),
+            self.rm.name()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use certainfix_relation::Value;
+
+    fn schemas() -> (Arc<Schema>, Arc<Schema>) {
+        let r = Schema::new("R", ["a", "b", "c", "d"]).unwrap();
+        let rm = Schema::new("Rm", ["a", "b", "c", "d"]).unwrap();
+        (r, rm)
+    }
+
+    fn rule(r: &Arc<Schema>, rm: &Arc<Schema>, name: &str, key: &str, fix: &str) -> EditingRule {
+        EditingRule::build(r, rm)
+            .name(name)
+            .key(key, key)
+            .fix(fix, fix)
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let (r, rm) = schemas();
+        let mut set = RuleSet::new(r.clone(), rm.clone());
+        assert!(set.is_empty());
+        set.push(rule(&r, &rm, "p1", "a", "b")).unwrap();
+        set.push(rule(&r, &rm, "p2", "b", "c")).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.by_name("p2").unwrap().name(), "p2");
+        assert!(set.by_name("p9").is_none());
+        assert_eq!(set.rule(0).name(), "p1");
+        assert_eq!(set.iter().count(), 2);
+        assert_eq!(set.rules_fixing(r.attr("c").unwrap()), &[1]);
+        assert!(set.rules_fixing(r.attr("a").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn fixable_and_unfixable() {
+        let (r, rm) = schemas();
+        let set = RuleSet::from_rules(
+            r.clone(),
+            rm.clone(),
+            vec![rule(&r, &rm, "p1", "a", "b"), rule(&r, &rm, "p2", "b", "c")],
+        )
+        .unwrap();
+        let fixable = set.fixable_attrs();
+        assert!(fixable.contains(r.attr("b").unwrap()));
+        assert!(fixable.contains(r.attr("c").unwrap()));
+        assert!(!fixable.contains(r.attr("a").unwrap()));
+        let unfixable = set.unfixable_attrs();
+        assert!(unfixable.contains(r.attr("a").unwrap()));
+        assert!(unfixable.contains(r.attr("d").unwrap()));
+        assert_eq!(fixable.union(&unfixable), AttrSet::full(4));
+    }
+
+    #[test]
+    fn touched_attrs_includes_pattern() {
+        let (r, rm) = schemas();
+        let phi = EditingRule::build(&r, &rm)
+            .name("p")
+            .key("a", "a")
+            .fix("b", "b")
+            .when_eq("c", 1)
+            .finish()
+            .unwrap();
+        let set = RuleSet::from_rules(r.clone(), rm, vec![phi]).unwrap();
+        let touched = set.touched_attrs();
+        assert_eq!(touched.len(), 3);
+        assert!(!touched.contains(r.attr("d").unwrap()));
+        assert_eq!(set.pattern_constants(), vec![Value::int(1)]);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let (r, rm) = schemas();
+        let wide_r = Schema::new("W", ["a", "b", "c", "d", "e"]).unwrap();
+        let phi = EditingRule::build(&wide_r, &rm)
+            .name("wide")
+            .key("e", "a")
+            .fix("a", "a")
+            .finish()
+            .unwrap();
+        let mut set = RuleSet::new(r, rm);
+        assert!(matches!(
+            set.push(phi),
+            Err(RuleError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn render_and_display() {
+        let (r, rm) = schemas();
+        let set =
+            RuleSet::from_rules(r.clone(), rm.clone(), vec![rule(&r, &rm, "p1", "a", "b")]).unwrap();
+        assert!(set.render().contains("p1"));
+        assert_eq!(set.to_string(), "Σ with 1 rule(s) on (R, Rm)");
+    }
+}

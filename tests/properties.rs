@@ -1,0 +1,268 @@
+//! Property-based tests (proptest) on the cross-crate invariants.
+//!
+//! Random miniature workloads — small integer domains so key collisions
+//! and conflicts actually occur — exercise:
+//!
+//! * chase soundness (validated grows, `Z` protected, determinism),
+//! * confluence: when the chase reports a unique fix, any sequential
+//!   application order converges to it (the definition of uniqueness in
+//!   Sect. 3),
+//! * `TransFix` ≡ chase on unique instances,
+//! * `CertainFix+` (BDD) ≡ `CertainFix` fix-for-fix,
+//! * metrics bounds and pattern algebra laws.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use certain_fix::core::{evaluate_changes, transfix};
+use certain_fix::reasoning::{Chase, ChaseResult};
+use certain_fix::relation::{
+    AttrId, AttrSet, MasterIndex, PatternTuple, PatternValue, Relation, Schema, Tuple, Value,
+};
+use certain_fix::rules::{DependencyGraph, EditingRule, RuleSet};
+
+const ATTRS: usize = 5;
+
+fn schema() -> Arc<Schema> {
+    Schema::new("R", ["a", "b", "c", "d", "e"]).unwrap()
+}
+
+/// A tuple of small integers (collision-rich domain).
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(0i64..4, ATTRS)
+        .prop_map(|vs| Tuple::new(vs.into_iter().map(Value::int).collect()))
+}
+
+/// A master relation of 1–8 such rows.
+fn arb_master() -> impl Strategy<Value = Vec<Tuple>> {
+    proptest::collection::vec(arb_tuple(), 1..8)
+}
+
+/// A random single- or double-key rule with an optional pattern.
+#[allow(clippy::type_complexity)]
+fn arb_rule(idx: usize) -> impl Strategy<Value = (usize, Vec<usize>, usize, Option<(usize, i64)>)> {
+    (
+        proptest::collection::vec(0..ATTRS, 1..3),
+        0..ATTRS,
+        proptest::option::of((0..ATTRS, 0i64..4)),
+    )
+        .prop_map(move |(lhs, rhs, pat)| (idx, lhs, rhs, pat))
+}
+
+#[allow(clippy::type_complexity)]
+fn build_rules(
+    specs: Vec<(usize, Vec<usize>, usize, Option<(usize, i64)>)>,
+) -> Option<(RuleSet, DependencyGraph)> {
+    let s = schema();
+    let mut rules = RuleSet::new(s.clone(), s.clone());
+    for (idx, lhs, rhs, pat) in specs {
+        let mut lhs: Vec<usize> = lhs;
+        lhs.sort_unstable();
+        lhs.dedup();
+        if lhs.contains(&rhs) {
+            continue;
+        }
+        let names: Vec<String> = (0..ATTRS).map(|i| s.attr_name(AttrId(i as u16)).to_string()).collect();
+        let mut b = EditingRule::build(&s, &s).name(format!("r{idx}"));
+        for &x in &lhs {
+            b = b.key(&names[x], &names[x]);
+        }
+        b = b.fix(&names[rhs], &names[rhs]);
+        if let Some((pa, pv)) = pat {
+            b = b.when_eq(&names[pa], pv);
+        }
+        match b.finish() {
+            Ok(rule) => rules.push(rule).ok()?,
+            Err(_) => continue,
+        }
+    }
+    if rules.is_empty() {
+        return None;
+    }
+    let graph = DependencyGraph::new(&rules);
+    Some((rules, graph))
+}
+
+#[allow(clippy::type_complexity)]
+fn arb_workload() -> impl Strategy<
+    Value = (
+        Vec<Tuple>,
+        Vec<(usize, Vec<usize>, usize, Option<(usize, i64)>)>,
+        Tuple,
+        u8,
+    ),
+> {
+    (
+        arb_master(),
+        proptest::collection::vec(any::<u8>(), 1..6).prop_flat_map(|seeds| {
+            seeds
+                .into_iter()
+                .enumerate()
+                .map(|(i, _)| arb_rule(i))
+                .collect::<Vec<_>>()
+        }),
+        arb_tuple(),
+        any::<u8>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn chase_soundness((master_rows, specs, t, zbits) in arb_workload()) {
+        let Some((rules, _)) = build_rules(specs) else { return Ok(()); };
+        let s = schema();
+        let master = MasterIndex::new(Arc::new(
+            Relation::new(s.clone(), master_rows).unwrap(),
+        ));
+        let initial = AttrSet::from_bits(u64::from(zbits) & ((1 << ATTRS) - 1));
+        let chase = Chase::new(&rules, &master);
+        match chase.run(&t, initial) {
+            ChaseResult::Fixed(fix) => {
+                // validated grows monotonically and includes Zb
+                prop_assert!(initial.is_subset(&fix.validated));
+                // protected: Zb cells unchanged
+                for a in initial.iter() {
+                    prop_assert_eq!(fix.tuple.get(a), t.get(a));
+                }
+                // non-validated cells unchanged too (rules only write
+                // attributes they validate)
+                for a in (AttrSet::full(ATTRS) - fix.validated).iter() {
+                    prop_assert_eq!(fix.tuple.get(a), t.get(a));
+                }
+                // deterministic
+                let again = chase.run(&t, initial);
+                prop_assert_eq!(again.fix().unwrap().tuple.clone(), fix.tuple.clone());
+            }
+            ChaseResult::Conflict(c) => {
+                // conflicts carry genuinely different values
+                prop_assert_ne!(c.values.0.clone(), c.values.1.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn chase_confluence((master_rows, specs, t, zbits) in arb_workload(), order_seed in any::<u64>()) {
+        let Some((rules, _)) = build_rules(specs) else { return Ok(()); };
+        let s = schema();
+        let master = MasterIndex::new(Arc::new(
+            Relation::new(s.clone(), master_rows).unwrap(),
+        ));
+        let initial = AttrSet::from_bits(u64::from(zbits) & ((1 << ATTRS) - 1));
+        let chase = Chase::new(&rules, &master);
+        if let ChaseResult::Fixed(fix) = chase.run(&t, initial) {
+            let mut state = order_seed | 1;
+            let (tuple, validated) = chase.run_sequential(&t, initial, |frontier| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as usize % frontier.len()
+            });
+            prop_assert_eq!(tuple, fix.tuple);
+            prop_assert_eq!(validated, fix.validated);
+        }
+    }
+
+    #[test]
+    fn transfix_matches_chase_on_unique_instances(
+        (master_rows, specs, t, zbits) in arb_workload()
+    ) {
+        let Some((rules, graph)) = build_rules(specs) else { return Ok(()); };
+        let s = schema();
+        let master = MasterIndex::new(Arc::new(
+            Relation::new(s.clone(), master_rows).unwrap(),
+        ));
+        let initial = AttrSet::from_bits(u64::from(zbits) & ((1 << ATTRS) - 1));
+        let chase = Chase::new(&rules, &master);
+        if let ChaseResult::Fixed(fix) = chase.run(&t, initial) {
+            let out = transfix(&rules, &master, &graph, &t, initial);
+            if out.disputed.is_empty() {
+                prop_assert_eq!(out.tuple, fix.tuple);
+                prop_assert_eq!(out.validated, fix.validated);
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_are_bounded(
+        dirty in arb_tuple(),
+        repaired in arb_tuple(),
+        clean in arb_tuple(),
+    ) {
+        let counts = evaluate_changes([(&dirty, &repaired, &clean)]);
+        prop_assert!(counts.corrected <= counts.changed);
+        prop_assert!(counts.corrected <= counts.erroneous);
+        let r = counts.recall();
+        let p = counts.precision();
+        let f = counts.f_measure();
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!(f <= r.max(p) + 1e-12);
+    }
+
+    #[test]
+    fn pattern_normalization_preserves_matching(
+        cells in proptest::collection::vec(
+            (0..ATTRS, 0i64..4, 0..3usize), 0..4),
+        t in arb_tuple(),
+    ) {
+        let pairs: Vec<(AttrId, PatternValue)> = cells
+            .into_iter()
+            .map(|(a, v, kind)| {
+                let cell = match kind {
+                    0 => PatternValue::Wildcard,
+                    1 => PatternValue::Const(Value::int(v)),
+                    _ => PatternValue::Neq(Value::int(v)),
+                };
+                (AttrId(a as u16), cell)
+            })
+            .collect();
+        let tp = PatternTuple::empty().refined_with(&pairs);
+        let normalized = tp.normalize();
+        prop_assert_eq!(tp.matches(&t), normalized.matches(&t));
+        prop_assert!(normalized.is_normalized());
+    }
+
+    #[test]
+    fn pattern_subsumption_is_sound(
+        a_cell in (0i64..3, 0..3usize),
+        b_cell in (0i64..3, 0..3usize),
+        v in 0i64..4,
+    ) {
+        fn mk((c, kind): (i64, usize)) -> PatternValue {
+            match kind {
+                0 => PatternValue::Wildcard,
+                1 => PatternValue::Const(Value::int(c)),
+                _ => PatternValue::Neq(Value::int(c)),
+            }
+        }
+        let (pa, pb) = (mk(a_cell), mk(b_cell));
+        if pa.subsumed_by(&pb) {
+            let val = Value::int(v);
+            if pa.matches(&val) {
+                prop_assert!(pb.matches(&val), "{pa:?} ⊑ {pb:?} but {val:?} separates them");
+            }
+        }
+    }
+
+    #[test]
+    fn attrset_behaves_like_a_set(
+        xs in proptest::collection::vec(0u16..64, 0..20),
+        ys in proptest::collection::vec(0u16..64, 0..20),
+    ) {
+        use std::collections::BTreeSet;
+        let sa: AttrSet = xs.iter().map(|&i| AttrId(i)).collect();
+        let sb: AttrSet = ys.iter().map(|&i| AttrId(i)).collect();
+        let ma: BTreeSet<u16> = xs.into_iter().collect();
+        let mb: BTreeSet<u16> = ys.into_iter().collect();
+        let as_model = |s: AttrSet| -> BTreeSet<u16> { s.iter().map(|a| a.0).collect() };
+        prop_assert_eq!(as_model(sa | sb), &ma | &mb);
+        prop_assert_eq!(as_model(sa & sb), &ma & &mb);
+        prop_assert_eq!(as_model(sa - sb), &ma - &mb);
+        prop_assert_eq!(sa.len(), ma.len());
+        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+    }
+}
