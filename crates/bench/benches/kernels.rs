@@ -7,17 +7,21 @@
 //!   amortizes away);
 //! * `is_suggestion` — the BDD cache's cheap re-check;
 //! * `region_catalog` — the offline certain-region deduction;
-//! * `increp_tuple` — the `IncRep` baseline over a small batch.
+//! * `increp_tuple` — the `IncRep` baseline over a small batch;
+//! * `value_eq` / `key_hash` / `index_lookup` — the interned-symbol
+//!   value representation against the seed's `Arc<str>` payloads, on
+//!   the exact operations rule application performs per cell.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 use certainfix_bench::runner::Which;
 use certainfix_cfd::{increp, rules_to_cfds, IncRepConfig};
 use certainfix_core::transfix;
 use certainfix_datagen::{Dataset, DirtyConfig};
 use certainfix_reasoning::{is_suggestion, suggest, Chase, RegionCatalog};
-use certainfix_relation::{AttrSet, Relation};
+use certainfix_relation::{AttrSet, FxBuildHasher, FxHashMap, Relation, Value};
 use certainfix_rules::DependencyGraph;
 
 fn bench_kernels(c: &mut Criterion) {
@@ -48,7 +52,7 @@ fn bench_kernels(c: &mut Criterion) {
             .map(|dt| {
                 let mut t = dt.dirty.clone();
                 for a in z.iter() {
-                    t.set(a, dt.clean.get(a).clone());
+                    t.set(a, *dt.clean.get(a));
                 }
                 t
             })
@@ -141,12 +145,179 @@ fn bench_kernels(c: &mut Criterion) {
     }
 }
 
+/// The seed's value representation, reconstructed for comparison:
+/// string payloads as reference-counted byte strings, equality and
+/// hashing over the bytes.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum ArcValue {
+    #[allow(dead_code)]
+    Null,
+    #[allow(dead_code)]
+    Int(i64),
+    Str(Arc<str>),
+}
+
+/// Composite `(zip, city)`-shaped keys in both representations, plus a
+/// probe sequence with ~50% hits — the shape of `tm[Xm] = t[X]` probes.
+#[allow(clippy::type_complexity)]
+fn value_workload() -> (
+    Vec<Box<[Value]>>,
+    Vec<Box<[ArcValue]>>,
+    Vec<Box<[Value]>>,
+    Vec<Box<[ArcValue]>>,
+) {
+    let text: Vec<(String, String)> = (0..4096)
+        .map(|i| {
+            (
+                format!("EH{:02} {}AH", i % 97, i % 10),
+                format!("city-of-{}", i % city_modulus(i)),
+            )
+        })
+        .collect();
+    let interned: Vec<Box<[Value]>> = text
+        .iter()
+        .map(|(zip, city)| vec![Value::str(zip), Value::str(city)].into_boxed_slice())
+        .collect();
+    let arced: Vec<Box<[ArcValue]>> = text
+        .iter()
+        .map(|(zip, city)| {
+            vec![
+                ArcValue::Str(Arc::from(zip.as_str())),
+                ArcValue::Str(Arc::from(city.as_str())),
+            ]
+            .into_boxed_slice()
+        })
+        .collect();
+    // probes: even indexes re-probe a present key, odd ones miss
+    let probe_text: Vec<(String, String)> = (0..4096)
+        .map(|i| {
+            if i % 2 == 0 {
+                text[(i * 31) % text.len()].clone()
+            } else {
+                (format!("ZZ{i} XX"), format!("nowhere-{i}"))
+            }
+        })
+        .collect();
+    let probes_interned = probe_text
+        .iter()
+        .map(|(zip, city)| vec![Value::str(zip), Value::str(city)].into_boxed_slice())
+        .collect();
+    let probes_arced = probe_text
+        .iter()
+        .map(|(zip, city)| {
+            vec![
+                ArcValue::Str(Arc::from(zip.as_str())),
+                ArcValue::Str(Arc::from(city.as_str())),
+            ]
+            .into_boxed_slice()
+        })
+        .collect();
+    (interned, arced, probes_interned, probes_arced)
+}
+
+/// A small co-prime modulus so city names repeat but not in lockstep
+/// with the zip pattern.
+fn city_modulus(i: usize) -> usize {
+    83 + (i % 3)
+}
+
+fn bench_value_representation(c: &mut Criterion) {
+    let (interned, arced, probes_i, probes_a) = value_workload();
+
+    // equality: every probe against every 64th key — pure compare loop
+    c.bench_with_input(BenchmarkId::new("value_eq", "interned"), &(), |b, ()| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &probes_i {
+                for k in interned.iter().step_by(64) {
+                    if p == k {
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+    c.bench_with_input(BenchmarkId::new("value_eq", "string"), &(), |b, ()| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &probes_a {
+                for k in arced.iter().step_by(64) {
+                    if p == k {
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+
+    // hashing: the per-probe cost of the hash-index path
+    let hasher = FxBuildHasher::default();
+    c.bench_with_input(BenchmarkId::new("key_hash", "interned"), &(), |b, ()| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &probes_i {
+                acc ^= std::hash::BuildHasher::hash_one(&hasher, p);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_with_input(BenchmarkId::new("key_hash", "string"), &(), |b, ()| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &probes_a {
+                acc ^= std::hash::BuildHasher::hash_one(&hasher, p);
+            }
+            black_box(acc)
+        })
+    });
+
+    // end-to-end index probe: build once, look up per probe
+    let map_i: FxHashMap<&[Value], u32> = interned
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (&**k, i as u32))
+        .collect();
+    let map_a: FxHashMap<&[ArcValue], u32> = arced
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (&**k, i as u32))
+        .collect();
+    c.bench_with_input(
+        BenchmarkId::new("index_lookup", "interned"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for p in &probes_i {
+                    if map_i.contains_key(&**p) {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        },
+    );
+    c.bench_with_input(BenchmarkId::new("index_lookup", "string"), &(), |b, ()| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &probes_a {
+                if map_a.contains_key(&**p) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
 criterion_group! {
     name = kernels;
     config = Criterion::default()
         .sample_size(20)
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_kernels
+    targets = bench_kernels, bench_value_representation
 }
 criterion_main!(kernels);

@@ -34,11 +34,8 @@ fn bench_pipeline(c: &mut Criterion) {
                     // one warm monitor per measurement batch: the BDD
                     // cache amortizes across tuples, exactly like the
                     // streaming setting of Fig. 12c/d
-                    let mut monitor = DataMonitor::new(
-                        w.rules().clone(),
-                        w.master().clone(),
-                        use_bdd,
-                    );
+                    let mut monitor =
+                        DataMonitor::new(w.rules().clone(), w.master().clone(), use_bdd);
                     let mut i = 0usize;
                     b.iter(|| {
                         let dt = &ds.inputs[i % ds.inputs.len()];

@@ -60,13 +60,7 @@ fn main() {
     let base = ExpConfig::from_args(&args);
     let vary = args.str_or("vary", "all").to_string();
     let mut table = Table::new([
-        "dataset",
-        "sweep",
-        "point",
-        "F k=1",
-        "F k=4",
-        "F IncRep",
-        "P IncRep",
+        "dataset", "sweep", "point", "F k=1", "F k=4", "F IncRep", "P IncRep",
     ]);
 
     let sweeps: Vec<&str> = if vary == "all" {

@@ -5,8 +5,8 @@ use std::time::Duration;
 
 use certainfix_cfd::{increp, rules_to_cfds, IncRepConfig};
 use certainfix_core::{
-    evaluate_changes, evaluate_rounds, CertainFixConfig, ChangeCounts, DataMonitor,
-    FixOutcome, InitialRegion, MonitorStats, RoundMetrics, SimulatedUser,
+    evaluate_changes, evaluate_rounds, CertainFixConfig, ChangeCounts, DataMonitor, FixOutcome,
+    InitialRegion, MonitorStats, RoundMetrics, SimulatedUser,
 };
 use certainfix_datagen::{Dataset, Dblp, DirtyConfig, Hosp, Workload};
 
@@ -142,11 +142,7 @@ impl RunResult {
 
 /// Run the monitored pipeline on `workload` under `cfg`, evaluating
 /// metrics for up to `report_rounds` rounds.
-pub fn run_monitored(
-    workload: &dyn Workload,
-    cfg: &ExpConfig,
-    report_rounds: usize,
-) -> RunResult {
+pub fn run_monitored(workload: &dyn Workload, cfg: &ExpConfig, report_rounds: usize) -> RunResult {
     let mut monitor = DataMonitor::with_config(
         workload.rules().clone(),
         workload.master().clone(),

@@ -111,8 +111,8 @@ impl Cfd {
                 continue;
             }
             let expected = match &self.rhs_pattern {
-                Some(b) => b.clone(),
-                None => r.get(self.rhs).clone(),
+                Some(b) => *b,
+                None => *r.get(self.rhs),
             };
             if expected.is_null() {
                 continue;
@@ -147,10 +147,7 @@ impl Cfd {
         let mut buckets: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
         for (i, t) in rel.iter().enumerate() {
             if self.matches_lhs(t) {
-                buckets
-                    .entry(t.project(&self.lhs))
-                    .or_default()
-                    .push(i);
+                buckets.entry(t.project(&self.lhs)).or_default().push(i);
             }
         }
         for rows in buckets.values() {
@@ -191,7 +188,13 @@ impl Cfd {
 
 impl fmt::Display for Cfd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: |X| = {} → {:?}", self.name, self.lhs.len(), self.rhs)
+        write!(
+            f,
+            "{}: |X| = {} → {:?}",
+            self.name,
+            self.lhs.len(),
+            self.rhs
+        )
     }
 }
 
@@ -211,7 +214,7 @@ pub struct Violation {
 /// `Option<Value>` cells CFDs use.
 pub fn cell_from_pattern(p: &PatternValue) -> Option<Value> {
     match p {
-        PatternValue::Const(v) => Some(v.clone()),
+        PatternValue::Const(v) => Some(*v),
         // negations can't be expressed in a CFD; drop to wildcard
         PatternValue::Neq(_) | PatternValue::Wildcard => None,
     }

@@ -59,7 +59,7 @@ pub fn value_distance(a: &Value, b: &Value) -> f64 {
     match (a, b) {
         _ if a == b => 0.0,
         (Value::Null, _) | (_, Value::Null) => 1.0,
-        (Value::Str(x), Value::Str(y)) => normalized_distance(x, y),
+        (Value::Str(x), Value::Str(y)) => normalized_distance(x.as_str(), y.as_str()),
         (Value::Int(x), Value::Int(y)) => normalized_distance(&x.to_string(), &y.to_string()),
         _ => 1.0,
     }

@@ -93,7 +93,7 @@ fn nearest_alternative(
     dom.iter()
         .filter(|v| *v != current)
         .take(sample.max(1))
-        .map(|v| (v.clone(), value_distance(current, v)))
+        .map(|v| (*v, value_distance(current, v)))
         .min_by(|x, y| x.1.partial_cmp(&y.1).unwrap_or(std::cmp::Ordering::Equal))
 }
 
@@ -120,8 +120,8 @@ pub fn increp(
                     continue;
                 };
                 let (attr, new) = repair;
-                let old = t.get(attr).clone();
-                repaired.tuple_mut(row).set(attr, new.clone());
+                let old = *t.get(attr);
+                repaired.tuple_mut(row).set(attr, new);
                 changes.push(Change {
                     row,
                     attr,
@@ -138,9 +138,7 @@ pub fn increp(
                 let t = repaired.tuple(row);
                 unresolved += cfds
                     .iter()
-                    .filter(|c| {
-                        c.violates_single(t) || c.violation_against(t, reference).is_some()
-                    })
+                    .filter(|c| c.violates_single(t) || c.violation_against(t, reference).is_some())
                     .count();
                 break;
             }
@@ -231,11 +229,7 @@ mod tests {
         // city "Ed" is one edit from the prescribed "Edi": cheapest fix
         // is the rhs.
         let (s, cfds, reference) = setup();
-        let dirty = Relation::new(
-            s.clone(),
-            vec![tuple!["EH7 4AH", "131", "Ed"]],
-        )
-        .unwrap();
+        let dirty = Relation::new(s.clone(), vec![tuple!["EH7 4AH", "131", "Ed"]]).unwrap();
         let rep = increp(&dirty, &cfds, &reference, &IncRepConfig::default());
         assert_eq!(
             rep.repaired.tuple(0).get(s.attr("city").unwrap()),
@@ -257,10 +251,7 @@ mod tests {
         let reference = MasterIndex::new(Arc::new(
             Relation::new(
                 s.clone(),
-                vec![
-                    tuple!["10001", "131", "Edi"],
-                    tuple!["10002", "020", "Ldn"],
-                ],
+                vec![tuple!["10001", "131", "Edi"], tuple!["10002", "020", "Ldn"]],
             )
             .unwrap(),
         ));

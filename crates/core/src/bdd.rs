@@ -14,9 +14,9 @@
 //! interaction rounds, resuming where it left off — mirroring "in the
 //! next round of interaction, checking resumes at node u".
 
+use certainfix_reasoning::{is_suggestion, suggest};
 use certainfix_relation::{AttrId, AttrSet, FxHashMap, MasterIndex, Tuple};
 use certainfix_rules::RuleSet;
-use certainfix_reasoning::{is_suggestion, suggest};
 
 #[derive(Clone, Debug)]
 struct Node {
@@ -193,12 +193,16 @@ mod tests {
     fn fig1() -> (Arc<Schema>, RuleSet, MasterIndex) {
         let r = Schema::new(
             "R",
-            ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+            [
+                "fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item",
+            ],
         )
         .unwrap();
         let rm = Schema::new(
             "Rm",
-            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"],
+            [
+                "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender",
+            ],
         )
         .unwrap();
         let rules = parse_rules(
@@ -216,12 +220,28 @@ mod tests {
                 rm,
                 vec![
                     tuple![
-                        "Robert", "Brady", "131", "6884563", "079172485", "51 Elm Row", "Edi",
-                        "EH7 4AH", "11/11/55", "M"
+                        "Robert",
+                        "Brady",
+                        "131",
+                        "6884563",
+                        "079172485",
+                        "51 Elm Row",
+                        "Edi",
+                        "EH7 4AH",
+                        "11/11/55",
+                        "M"
                     ],
                     tuple![
-                        "Mark", "Smith", "020", "6884563", "075568485", "20 Baker St.", "Lnd",
-                        "NW1 6XE", "25/12/67", "M"
+                        "Mark",
+                        "Smith",
+                        "020",
+                        "6884563",
+                        "075568485",
+                        "20 Baker St.",
+                        "Lnd",
+                        "NW1 6XE",
+                        "25/12/67",
+                        "M"
                     ],
                 ],
             )
@@ -237,7 +257,15 @@ mod tests {
     /// t1 after its first TransFix (Example 13's state).
     fn t1_fixed() -> Tuple {
         tuple![
-            "Bob", "Brady", "131", "079172485", 2, "51 Elm Row", "Edi", "EH7 4AH", "CD"
+            "Bob",
+            "Brady",
+            "131",
+            "079172485",
+            2,
+            "51 Elm Row",
+            "Edi",
+            "EH7 4AH",
+            "CD"
         ]
     }
 

@@ -1,9 +1,9 @@
 //! Algorithm `CertainFix` (Fig. 3 of the paper): the per-tuple
 //! interaction loop.
 
+use certainfix_reasoning::{suggest, Chase};
 use certainfix_relation::{AttrId, AttrSet, MasterIndex, Tuple};
 use certainfix_rules::{DependencyGraph, RuleSet};
-use certainfix_reasoning::{suggest, Chase};
 
 use crate::oracle::UserOracle;
 use crate::transfix::transfix;
@@ -184,10 +184,9 @@ impl<'a> CertainFix<'a> {
                     // coverage beyond Z′ ∪ S), the rules are exhausted.
                     let s_set: AttrSet = s.iter().copied().collect();
                     let rules_exhausted = {
-                        let predicted =
-                            suggest(self.rules, self.master, &tuple, validated)
-                                .map(|sug| sug.covers)
-                                .unwrap_or(validated);
+                        let predicted = suggest(self.rules, self.master, &tuple, validated)
+                            .map(|sug| sug.covers)
+                            .unwrap_or(validated);
                         predicted == validated | s_set && out.fixed.is_empty()
                     };
                     if rules_exhausted && self.config.stop_when_rules_exhausted {
@@ -229,12 +228,16 @@ mod tests {
     fn fig1() -> (Arc<Schema>, RuleSet, MasterIndex, DependencyGraph) {
         let r = Schema::new(
             "R",
-            ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+            [
+                "fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item",
+            ],
         )
         .unwrap();
         let rm = Schema::new(
             "Rm",
-            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"],
+            [
+                "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender",
+            ],
         )
         .unwrap();
         let rules = parse_rules(
@@ -253,12 +256,28 @@ mod tests {
                 rm,
                 vec![
                     tuple![
-                        "Robert", "Brady", "131", "6884563", "079172485", "51 Elm Row", "Edi",
-                        "EH7 4AH", "11/11/55", "M"
+                        "Robert",
+                        "Brady",
+                        "131",
+                        "6884563",
+                        "079172485",
+                        "51 Elm Row",
+                        "Edi",
+                        "EH7 4AH",
+                        "11/11/55",
+                        "M"
                     ],
                     tuple![
-                        "Mark", "Smith", "020", "6884563", "075568485", "20 Baker St.", "Lnd",
-                        "NW1 6XE", "25/12/67", "M"
+                        "Mark",
+                        "Smith",
+                        "020",
+                        "6884563",
+                        "075568485",
+                        "20 Baker St.",
+                        "Lnd",
+                        "NW1 6XE",
+                        "25/12/67",
+                        "M"
                     ],
                 ],
             )
@@ -275,13 +294,29 @@ mod tests {
     /// t1's ground truth: Robert Brady's record from s1 + his item.
     fn t1_clean() -> Tuple {
         tuple![
-            "Robert", "Brady", "131", "079172485", 2, "51 Elm Row", "Edi", "EH7 4AH", "CD"
+            "Robert",
+            "Brady",
+            "131",
+            "079172485",
+            2,
+            "51 Elm Row",
+            "Edi",
+            "EH7 4AH",
+            "CD"
         ]
     }
 
     fn t1_dirty() -> Tuple {
         tuple![
-            "Bob", "Brady", "020", "079172485", 2, "501 Elm St.", "Edi", "EH7 4AH", "CD"
+            "Bob",
+            "Brady",
+            "020",
+            "079172485",
+            2,
+            "501 Elm St.",
+            "Edi",
+            "EH7 4AH",
+            "CD"
         ]
     }
 
@@ -314,9 +349,12 @@ mod tests {
         let (r, rules, master, graph) = fig1();
         let engine = CertainFix::new(&rules, &master, &graph, CertainFixConfig::default());
         let mut user = SimulatedUser::new(t1_clean());
-        let outcome = engine.run(&t1_dirty(), &ids(&r, &["zip"]), &mut user, |t, validated| {
-            suggest(&rules, &master, t, validated).map(|s| s.attrs)
-        });
+        let outcome = engine.run(
+            &t1_dirty(),
+            &ids(&r, &["zip"]),
+            &mut user,
+            |t, validated| suggest(&rules, &master, t, validated).map(|s| s.attrs),
+        );
         assert!(outcome.certain);
         assert_eq!(outcome.certain_at_round, Some(2));
         assert_eq!(outcome.tuple, t1_clean());
@@ -344,9 +382,7 @@ mod tests {
             |t, validated| suggest(&rules, &master, t, validated).map(|s| s.attrs),
         );
         assert!(outcome.certain);
-        assert!(outcome
-            .user_changed
-            .contains(r.attr("zip").unwrap()));
+        assert!(outcome.user_changed.contains(r.attr("zip").unwrap()));
         assert_eq!(outcome.tuple, t1_clean());
     }
 
@@ -358,7 +394,15 @@ mod tests {
         let (r, rules, master, graph) = fig1();
         let engine = CertainFix::new(&rules, &master, &graph, CertainFixConfig::default());
         let clean = tuple![
-            "Tim", "Poth", "990", "9978543", 1, "Baker St.", "Gla", "XX9 9XX", "BOOK"
+            "Tim",
+            "Poth",
+            "990",
+            "9978543",
+            1,
+            "Baker St.",
+            "Gla",
+            "XX9 9XX",
+            "BOOK"
         ];
         let mut dirty = clean.clone();
         dirty.set(r.attr("city").unwrap(), Value::str("Glasgo"));
@@ -385,7 +429,15 @@ mod tests {
         };
         let engine = CertainFix::new(&rules, &master, &graph, config);
         let clean = tuple![
-            "Tim", "Poth", "990", "9978543", 1, "Baker St.", "Gla", "XX9 9XX", "BOOK"
+            "Tim",
+            "Poth",
+            "990",
+            "9978543",
+            1,
+            "Baker St.",
+            "Gla",
+            "XX9 9XX",
+            "BOOK"
         ];
         let mut user = SimulatedUser::new(clean.clone());
         let outcome = engine.run(
@@ -409,7 +461,15 @@ mod tests {
         };
         let engine = CertainFix::new(&rules, &master, &graph, config);
         let clean = tuple![
-            "Tim", "Poth", "990", "9978543", 1, "Baker St.", "Gla", "XX9 9XX", "BOOK"
+            "Tim",
+            "Poth",
+            "990",
+            "9978543",
+            1,
+            "Baker St.",
+            "Gla",
+            "XX9 9XX",
+            "BOOK"
         ];
         // a user who only ever confirms one attribute per round
         let mut user = SimulatedUser::with_compliance(clean.clone(), 0.0, 3);

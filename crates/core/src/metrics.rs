@@ -63,10 +63,7 @@ fn f_measure(recall: f64, precision: f64) -> f64 {
 /// Evaluate a batch of monitored tuples, producing cumulative metrics
 /// for rounds `1..=max_round`.
 pub fn evaluate_rounds(evals: &[TupleEval<'_>], max_round: usize) -> Vec<RoundMetrics> {
-    let erroneous_tuples = evals
-        .iter()
-        .filter(|e| e.dirty != e.clean)
-        .count();
+    let erroneous_tuples = evals.iter().filter(|e| e.dirty != e.clean).count();
     let erroneous_attrs: usize = evals.iter().map(|e| e.dirty.diff(e.clean).len()).sum();
 
     (1..=max_round)
@@ -94,9 +91,7 @@ pub fn evaluate_rounds(evals: &[TupleEval<'_>], max_round: usize) -> Vec<RoundMe
                 // tuple-level: rule-backed certain fix reached by `round`
                 if e.dirty != e.clean
                     && e.outcome.rule_backed
-                    && e.outcome
-                        .certain_at_round
-                        .is_some_and(|k| k <= round)
+                    && e.outcome.certain_at_round.is_some_and(|k| k <= round)
                     && &e.outcome.tuple == e.clean
                 {
                     corrected_tuples += 1;
@@ -254,12 +249,7 @@ mod tests {
         let clean = tuple!["a", "b", "c"];
         let dirty = tuple!["x", "y", "c"];
         // round 1 fixes attr 0, round 2 fixes attr 1; certain at round 2
-        let out = outcome(
-            clean.clone(),
-            vec![aset(&[0]), aset(&[1])],
-            Some(2),
-            true,
-        );
+        let out = outcome(clean.clone(), vec![aset(&[0]), aset(&[1])], Some(2), true);
         let evals = [TupleEval {
             outcome: &out,
             dirty: &dirty,

@@ -4,9 +4,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use certainfix_reasoning::{suggest, RegionCatalog};
 use certainfix_relation::{AttrId, MasterIndex, Relation, Tuple};
 use certainfix_rules::{DependencyGraph, RuleSet};
-use certainfix_reasoning::{suggest, RegionCatalog};
 
 use crate::bdd::{Cursor, SuggestionBdd};
 use crate::certainfix::{CertainFix, CertainFixConfig, FixOutcome};
@@ -212,11 +212,8 @@ mod tests {
         use_bdd: bool,
         cfg: &DirtyConfig,
     ) -> (Vec<FixOutcome>, Dataset, MonitorStats) {
-        let mut monitor = DataMonitor::new(
-            workload.rules().clone(),
-            workload.master().clone(),
-            use_bdd,
-        );
+        let mut monitor =
+            DataMonitor::new(workload.rules().clone(), workload.master().clone(), use_bdd);
         let dataset = Dataset::generate(workload, cfg);
         let outcomes: Vec<FixOutcome> = dataset
             .inputs

@@ -68,12 +68,12 @@ impl UserOracle for SimulatedUser {
         let mut out: Vec<(AttrId, Value)> = Vec::with_capacity(suggestion.len());
         for &a in suggestion {
             if self.compliance >= 1.0 || self.next_unit() < self.compliance {
-                out.push((a, self.clean.get(a).clone()));
+                out.push((a, *self.clean.get(a)));
             }
         }
         if out.is_empty() {
             if let Some(&a) = suggestion.first() {
-                out.push((a, self.clean.get(a).clone()));
+                out.push((a, *self.clean.get(a)));
             }
         }
         out

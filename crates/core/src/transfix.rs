@@ -74,7 +74,7 @@ pub fn transfix(
                     continue;
                 }
                 match &prescription {
-                    None => prescription = Some((val.clone(), id)),
+                    None => prescription = Some((*val, id)),
                     Some((seen, _)) if seen != val => {
                         conflict = true;
                         break;
@@ -128,12 +128,16 @@ mod tests {
     fn fig1() -> (Arc<Schema>, RuleSet, MasterIndex, DependencyGraph) {
         let r = Schema::new(
             "R",
-            ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+            [
+                "fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item",
+            ],
         )
         .unwrap();
         let rm = Schema::new(
             "Rm",
-            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"],
+            [
+                "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender",
+            ],
         )
         .unwrap();
         let rules = parse_rules(
@@ -152,12 +156,28 @@ mod tests {
                 rm,
                 vec![
                     tuple![
-                        "Robert", "Brady", "131", "6884563", "079172485", "51 Elm Row", "Edi",
-                        "EH7 4AH", "11/11/55", "M"
+                        "Robert",
+                        "Brady",
+                        "131",
+                        "6884563",
+                        "079172485",
+                        "51 Elm Row",
+                        "Edi",
+                        "EH7 4AH",
+                        "11/11/55",
+                        "M"
                     ],
                     tuple![
-                        "Mark", "Smith", "020", "6884563", "075568485", "20 Baker St.", "Lnd",
-                        "NW1 6XE", "25/12/67", "M"
+                        "Mark",
+                        "Smith",
+                        "020",
+                        "6884563",
+                        "075568485",
+                        "20 Baker St.",
+                        "Lnd",
+                        "NW1 6XE",
+                        "25/12/67",
+                        "M"
                     ],
                 ],
             )
@@ -176,7 +196,15 @@ mod tests {
         // Z = {zip} on t1: ϕ1 fixes AC/str/city; Example 12's table.
         let (r, rules, master, graph) = fig1();
         let t1 = tuple![
-            "Bob", "Brady", "020", "079172485", 2, "501 Elm St.", "Edi", "EH7 4AH", "CD"
+            "Bob",
+            "Brady",
+            "020",
+            "079172485",
+            2,
+            "501 Elm St.",
+            "Edi",
+            "EH7 4AH",
+            "CD"
         ];
         let out = transfix(&rules, &master, &graph, &t1, attrs(&r, &["zip"]));
         assert_eq!(out.validated, attrs(&r, &["zip", "AC", "str", "city"]));
@@ -196,17 +224,29 @@ mod tests {
         // enables ϕ1 (agreeing values from s2).
         let (r, rules, master, graph) = fig1();
         let t3 = tuple![
-            "Mark", "Smith", "020", "6884563", 1, "20 Baker St.", "Lnd", "EH7 4AH", "DVD"
+            "Mark",
+            "Smith",
+            "020",
+            "6884563",
+            1,
+            "20 Baker St.",
+            "Lnd",
+            "EH7 4AH",
+            "DVD"
         ];
-        let out = transfix(&rules, &master, &graph, &t3, attrs(&r, &["AC", "phn", "type"]));
+        let out = transfix(
+            &rules,
+            &master,
+            &graph,
+            &t3,
+            attrs(&r, &["AC", "phn", "type"]),
+        );
         assert_eq!(
             out.tuple.get(r.attr("zip").unwrap()),
             &Value::str("NW1 6XE"),
             "zip corrected from s2 via the home-phone rule"
         );
-        assert!(out
-            .validated
-            .contains(r.attr("city").unwrap()));
+        assert!(out.validated.contains(r.attr("city").unwrap()));
         assert!(out.disputed.is_empty());
     }
 
@@ -214,7 +254,15 @@ mod tests {
     fn each_rule_fires_at_most_once() {
         let (r, rules, master, graph) = fig1();
         let t1 = tuple![
-            "Bob", "Brady", "020", "079172485", 2, "501 Elm St.", "Edi", "EH7 4AH", "CD"
+            "Bob",
+            "Brady",
+            "020",
+            "079172485",
+            2,
+            "501 Elm St.",
+            "Edi",
+            "EH7 4AH",
+            "CD"
         ];
         let out = transfix(
             &rules,
@@ -272,7 +320,15 @@ mod tests {
         let (r, rules, master, graph) = fig1();
         let chase = certainfix_reasoning::Chase::new(&rules, &master);
         let t1 = tuple![
-            "Bob", "Brady", "020", "079172485", 2, "501 Elm St.", "Edi", "EH7 4AH", "CD"
+            "Bob",
+            "Brady",
+            "020",
+            "079172485",
+            2,
+            "501 Elm St.",
+            "Edi",
+            "EH7 4AH",
+            "CD"
         ];
         for z in [
             attrs(&r, &["zip"]),

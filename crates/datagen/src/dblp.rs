@@ -23,8 +23,18 @@ use crate::dirty::Workload;
 
 /// The 12 attributes of the joined DBLP table (paper Sect. 6).
 pub const DBLP_ATTRS: [&str; 12] = [
-    "ptitle", "a1", "a2", "hp1", "hp2", "btitle", "publisher", "isbn", "crossref", "year",
-    "type", "pages",
+    "ptitle",
+    "a1",
+    "a2",
+    "hp1",
+    "hp2",
+    "btitle",
+    "publisher",
+    "isbn",
+    "crossref",
+    "year",
+    "type",
+    "pages",
 ];
 
 /// The 16 editing rules of the DBLP workload (paper's φ1–φ7 families).

@@ -23,8 +23,25 @@ use crate::dirty::Workload;
 
 /// The 19 attributes of the joined HOSP table (paper Sect. 6).
 pub const HOSP_ATTRS: [&str; 19] = [
-    "zip", "ST", "phn", "mCode", "mName", "sAvg", "hName", "hType", "hOwner", "provider", "city",
-    "emergency", "condition", "score", "sample", "id", "addr1", "addr2", "addr3",
+    "zip",
+    "ST",
+    "phn",
+    "mCode",
+    "mName",
+    "sAvg",
+    "hName",
+    "hType",
+    "hOwner",
+    "provider",
+    "city",
+    "emergency",
+    "condition",
+    "score",
+    "sample",
+    "id",
+    "addr1",
+    "addr2",
+    "addr3",
 ];
 
 /// The 21 editing rules of the HOSP workload, in the rule DSL. The five
@@ -104,7 +121,14 @@ const CONDITIONS: [&str; 6] = [
 ];
 
 const STREETS: [&str; 8] = [
-    "Main", "Oak", "Maple", "Washington", "Church", "Park", "Elm", "High",
+    "Main",
+    "Oak",
+    "Maple",
+    "Washington",
+    "Church",
+    "Park",
+    "Elm",
+    "High",
 ];
 
 /// Number of distinct measures in the generated catalog.
@@ -180,8 +204,8 @@ impl Hosp {
         let m_code = format!("MC-{m:03}");
         let m_name = format!("{} measure {m}", CONDITIONS[(m % 6) as usize]);
         let condition = CONDITIONS[(m % 6) as usize];
-        let s_avg = (mix(m, CITIES.iter().position(|&(_, s)| s == st).unwrap() as u64) % 1000)
-            as i64;
+        let s_avg =
+            (mix(m, CITIES.iter().position(|&(_, s)| s == st).unwrap() as u64) % 1000) as i64;
         let score = (mix(h, m.wrapping_add(77)) % 1000) as i64;
         let sample = format!("{} patients", 30 + mix(h, 3) % 470);
         let mut t = Tuple::nulls(schema.len());
@@ -204,7 +228,11 @@ impl Hosp {
         set("city", Value::str(city));
         set(
             "emergency",
-            Value::str(if mix(h, 9).is_multiple_of(2) { "Yes" } else { "No" }),
+            Value::str(if mix(h, 9).is_multiple_of(2) {
+                "Yes"
+            } else {
+                "No"
+            }),
         );
         set("condition", Value::str(condition));
         set("score", Value::int(score));
@@ -219,7 +247,10 @@ impl Hosp {
             )),
         );
         set("addr2", Value::str(format!("Bldg {}", 1 + mix(h, 15) % 9)));
-        set("addr3", Value::str(format!("Suite {}", 1 + mix(h, 17) % 50)));
+        set(
+            "addr3",
+            Value::str(format!("Suite {}", 1 + mix(h, 17) % 50)),
+        );
         t
     }
 }
@@ -312,9 +343,7 @@ mod tests {
             for key in ["id", "phn", "zip", "provider", "hName"] {
                 let a = schema.attr(key).unwrap();
                 assert!(
-                    hosp.master()
-                        .iter()
-                        .all(|tm| tm.get(a) != fresh.get(a)),
+                    hosp.master().iter().all(|tm| tm.get(a) != fresh.get(a)),
                     "fresh {key} must not collide"
                 );
             }

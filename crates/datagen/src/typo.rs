@@ -96,7 +96,7 @@ pub fn corrupt_value<R: Rng>(v: &Value, rng: &mut R) -> Value {
                 i.wrapping_sub(delta)
             })
         }
-        (Value::Str(s), kind) => match corrupt_string(s, kind, rng) {
+        (Value::Str(s), kind) => match corrupt_string(s.as_str(), kind, rng) {
             Some(out) => Value::str(out),
             None => Value::Null,
         },

@@ -172,10 +172,7 @@ impl<'a> Chase<'a> {
             if !rule.pattern().matches(t) {
                 continue;
             }
-            for id in self
-                .master
-                .matches_projection(t, rule.lhs(), rule.lhs_m())
-            {
+            for id in self.master.matches_projection(t, rule.lhs(), rule.lhs_m()) {
                 out.push((i, id));
             }
         }
@@ -208,7 +205,7 @@ impl<'a> Chase<'a> {
                 vec![None; self.rules.r_schema().len()];
             for &(i, id) in &frontier {
                 let rule = self.rules.rule(i);
-                let v = self.master.tuple(id).get(rule.rhs_m()).clone();
+                let v = *self.master.tuple(id).get(rule.rhs_m());
                 let slot = &mut claims[rule.rhs().index()];
                 match slot {
                     None => *slot = Some((i, id, v)),
@@ -216,7 +213,7 @@ impl<'a> Chase<'a> {
                         if *w != v {
                             return ChaseResult::Conflict(Conflict {
                                 attr: rule.rhs(),
-                                values: (w.clone(), v),
+                                values: (*w, v),
                                 rules: (*j, i),
                                 kind: ConflictKind::SameRound,
                             });
@@ -228,7 +225,7 @@ impl<'a> Chase<'a> {
             // Step (f): apply one pair per target, extend Z.
             for (b, slot) in claims.iter().enumerate() {
                 if let Some((i, id, v)) = slot {
-                    tuple.set(AttrId(b as u16), v.clone());
+                    tuple.set(AttrId(b as u16), *v);
                     validated.insert(AttrId(b as u16));
                     steps.push((*i, *id));
                 }
@@ -272,7 +269,7 @@ impl<'a> Chase<'a> {
                         .unwrap_or(i);
                     return Some(Conflict {
                         attr: b,
-                        values: (tuple.get(b).clone(), v.clone()),
+                        values: (*tuple.get(b), *v),
                         rules: (deriver, i),
                         kind: ConflictKind::Overwrite,
                     });
@@ -301,7 +298,7 @@ impl<'a> Chase<'a> {
             let pick = choose(&frontier).min(frontier.len() - 1);
             let (i, id) = frontier[pick];
             let rule = self.rules.rule(i);
-            tuple.set(rule.rhs(), self.master.tuple(id).get(rule.rhs_m()).clone());
+            tuple.set(rule.rhs(), *self.master.tuple(id).get(rule.rhs_m()));
             validated.insert(rule.rhs());
         }
     }
@@ -319,12 +316,16 @@ mod tests {
     fn fig1() -> (Arc<Schema>, RuleSet, MasterIndex) {
         let r = Schema::new(
             "R",
-            ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+            [
+                "fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item",
+            ],
         )
         .unwrap();
         let rm = Schema::new(
             "Rm",
-            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"],
+            [
+                "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender",
+            ],
         )
         .unwrap();
         let rules = parse_rules(
@@ -343,13 +344,29 @@ mod tests {
             vec![
                 // s1: Robert Brady, Edinburgh
                 tuple![
-                    "Robert", "Brady", "131", "6884563", "079172485", "51 Elm Row", "Edi",
-                    "EH7 4AH", "11/11/55", "M"
+                    "Robert",
+                    "Brady",
+                    "131",
+                    "6884563",
+                    "079172485",
+                    "51 Elm Row",
+                    "Edi",
+                    "EH7 4AH",
+                    "11/11/55",
+                    "M"
                 ],
                 // s2: Mark Smith, London
                 tuple![
-                    "Mark", "Smith", "020", "6884563", "075568485", "20 Baker St.", "Lnd",
-                    "NW1 6XE", "25/12/67", "M"
+                    "Mark",
+                    "Smith",
+                    "020",
+                    "6884563",
+                    "075568485",
+                    "20 Baker St.",
+                    "Lnd",
+                    "NW1 6XE",
+                    "25/12/67",
+                    "M"
                 ],
             ],
         )
@@ -364,14 +381,30 @@ mod tests {
     /// t1 of Fig. 1.
     fn t1() -> Tuple {
         tuple![
-            "Bob", "Brady", "020", "079172485", 2, "501 Elm St.", "Edi", "EH7 4AH", "CD"
+            "Bob",
+            "Brady",
+            "020",
+            "079172485",
+            2,
+            "501 Elm St.",
+            "Edi",
+            "EH7 4AH",
+            "CD"
         ]
     }
 
     /// t3 of Fig. 1: AC and zip are mutually inconsistent.
     fn t3() -> Tuple {
         tuple![
-            "Mark", "Smith", "020", "6884563", 1, "20 Baker St.", "Lnd", "EH7 4AH", "DVD"
+            "Mark",
+            "Smith",
+            "020",
+            "6884563",
+            1,
+            "20 Baker St.",
+            "Lnd",
+            "EH7 4AH",
+            "DVD"
         ]
     }
 
@@ -434,7 +467,7 @@ mod tests {
         let city_a = r.attr("city").unwrap();
         assert!(conflict.attr == str_a || conflict.attr == city_a);
         if conflict.attr == city_a {
-            let vals = [conflict.values.0.clone(), conflict.values.1.clone()];
+            let vals = [conflict.values.0, conflict.values.1];
             assert!(vals.contains(&Value::str("Edi")));
             assert!(vals.contains(&Value::str("Lnd")));
         }
@@ -450,7 +483,10 @@ mod tests {
         let chase = Chase::new(&rules, &master);
         let result = chase.run(&t3(), attrs(&r, &["AC", "phn", "type"]));
         let fix = result.fix().expect("unique fix (Example 6)");
-        assert_eq!(fix.tuple.get(r.attr("zip").unwrap()), &Value::str("NW1 6XE"));
+        assert_eq!(
+            fix.tuple.get(r.attr("zip").unwrap()),
+            &Value::str("NW1 6XE")
+        );
         assert_eq!(fix.tuple.get(r.attr("city").unwrap()), &Value::str("Lnd"));
     }
 
@@ -460,7 +496,15 @@ mod tests {
         let (r, rules, master) = fig1();
         let chase = Chase::new(&rules, &master);
         let t4 = tuple![
-            "Tim", "Poth", "020", "9978543", 1, "Baker St.", "Lnd", "NW1 6XE", "BOOK"
+            "Tim",
+            "Poth",
+            "020",
+            "9978543",
+            1,
+            "Baker St.",
+            "Lnd",
+            "NW1 6XE",
+            "BOOK"
         ];
         let z = attrs(&r, &["AC", "phn", "type"]);
         let fix = chase.run(&t4, z).fix().cloned().unwrap();
@@ -536,11 +580,7 @@ mod tests {
         // master: key a=1 gives b=10, c=5; key c=5 gives b=99 (via a
         // second master tuple with c=5 but b=99).
         let master = MasterIndex::new(Arc::new(
-            Relation::new(
-                rm,
-                vec![tuple![1, 10, 5], tuple![2, 99, 5]],
-            )
-            .unwrap(),
+            Relation::new(rm, vec![tuple![1, 10, 5], tuple![2, 99, 5]]).unwrap(),
         ));
         let chase = Chase::new(&rules, &master);
         // Round 1: r1 and r3 fire from a=1 → b=10, c=5. Then r2 with
@@ -594,7 +634,9 @@ mod tests {
         for seed in 0u64..6 {
             let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
             let (tuple, validated) = chase.run_sequential(&t1(), z, |frontier| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 33) as usize % frontier.len()
             });
             assert_eq!(tuple, reference.tuple, "confluence (seed {seed})");

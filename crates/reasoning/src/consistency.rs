@@ -12,9 +12,7 @@
 //! cells — Theorem 1 says this cannot be avoided in general — so it
 //! runs under an explicit instantiation budget.
 
-use certainfix_relation::{
-    AttrId, FxHashSet, MasterIndex, PatternValue, Tuple, Value,
-};
+use certainfix_relation::{AttrId, FxHashSet, MasterIndex, PatternValue, Tuple, Value};
 use certainfix_rules::RuleSet;
 
 use crate::chase::{Chase, ChaseResult, Conflict};
@@ -76,17 +74,17 @@ pub fn decision_domain(rules: &RuleSet, master: &MasterIndex, a: AttrId) -> Vec<
     for (_, rule) in rules.iter() {
         if let Some(ma) = rule.master_attr_for(a) {
             for v in master.relation().active_domain(ma) {
-                if seen.insert(v.clone()) {
+                if seen.insert(v) {
                     out.push(v);
                 }
             }
         }
         if let Some(cell) = rule.pattern().cell(a) {
             let v = match cell {
-                PatternValue::Const(v) | PatternValue::Neq(v) => v.clone(),
+                PatternValue::Const(v) | PatternValue::Neq(v) => *v,
                 PatternValue::Wildcard => continue,
             };
-            if seen.insert(v.clone()) {
+            if seen.insert(v) {
                 out.push(v);
             }
         }
@@ -168,7 +166,10 @@ impl RowEnumerator {
             z: region.z().to_vec(),
             arity: rules.r_schema().len(),
             counters: vec![0; region.z().len()],
-            exhausted_row: rows.first().map(|r| r.iter().any(Vec::is_empty)).unwrap_or(true),
+            exhausted_row: rows
+                .first()
+                .map(|r| r.iter().any(Vec::is_empty))
+                .unwrap_or(true),
             rows,
             row: 0,
         })
@@ -187,7 +188,7 @@ impl RowEnumerator {
             let cands = &self.rows[self.row];
             let mut t = Tuple::nulls(self.arity);
             for (i, &a) in self.z.iter().enumerate() {
-                t.set(a, cands[i][self.counters[i]].clone());
+                t.set(a, cands[i][self.counters[i]]);
             }
             // odometer increment
             let mut i = 0;
@@ -231,12 +232,16 @@ mod tests {
     fn fig1() -> (Arc<Schema>, RuleSet, MasterIndex) {
         let r = Schema::new(
             "R",
-            ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+            [
+                "fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item",
+            ],
         )
         .unwrap();
         let rm = Schema::new(
             "Rm",
-            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"],
+            [
+                "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender",
+            ],
         )
         .unwrap();
         let rules = parse_rules(
@@ -254,12 +259,28 @@ mod tests {
             rm,
             vec![
                 tuple![
-                    "Robert", "Brady", "131", "6884563", "079172485", "51 Elm Row", "Edi",
-                    "EH7 4AH", "11/11/55", "M"
+                    "Robert",
+                    "Brady",
+                    "131",
+                    "6884563",
+                    "079172485",
+                    "51 Elm Row",
+                    "Edi",
+                    "EH7 4AH",
+                    "11/11/55",
+                    "M"
                 ],
                 tuple![
-                    "Mark", "Smith", "020", "6884563", "075568485", "20 Baker St.", "Lnd",
-                    "NW1 6XE", "25/12/67", "M"
+                    "Mark",
+                    "Smith",
+                    "020",
+                    "6884563",
+                    "075568485",
+                    "20 Baker St.",
+                    "Lnd",
+                    "NW1 6XE",
+                    "25/12/67",
+                    "M"
                 ],
             ],
         )
@@ -317,7 +338,10 @@ mod tests {
             .map(|n| r.attr(n).unwrap())
             .collect();
         let row = PatternTuple::new(vec![
-            (r.attr("zip").unwrap(), PatternValue::Const(Value::str("EH7 4AH"))),
+            (
+                r.attr("zip").unwrap(),
+                PatternValue::Const(Value::str("EH7 4AH")),
+            ),
             (
                 r.attr("phn").unwrap(),
                 PatternValue::Const(Value::str("079172485")),
@@ -356,7 +380,9 @@ mod tests {
         assert!(dom_ac.contains(&Value::str("131")));
         assert!(dom_ac.contains(&Value::str("020")));
         assert!(dom_ac.contains(&Value::str("0800")));
-        assert!(dom_ac.iter().any(|v| v.as_str().is_some_and(|s| s.starts_with("__fresh__"))));
+        assert!(dom_ac
+            .iter()
+            .any(|v| v.as_str().is_some_and(|s| s.starts_with("__fresh__"))));
         // an attribute never used as a key and never in a pattern has
         // only the fresh value
         let dom_item = decision_domain(&rules, &master, r.attr("item").unwrap());

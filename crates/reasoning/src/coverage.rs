@@ -109,12 +109,16 @@ mod tests {
     fn fig1() -> (Arc<Schema>, RuleSet, MasterIndex) {
         let r = Schema::new(
             "R",
-            ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+            [
+                "fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item",
+            ],
         )
         .unwrap();
         let rm = Schema::new(
             "Rm",
-            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"],
+            [
+                "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender",
+            ],
         )
         .unwrap();
         let rules = parse_rules(
@@ -132,12 +136,28 @@ mod tests {
             rm,
             vec![
                 tuple![
-                    "Robert", "Brady", "131", "6884563", "079172485", "51 Elm Row", "Edi",
-                    "EH7 4AH", "11/11/55", "M"
+                    "Robert",
+                    "Brady",
+                    "131",
+                    "6884563",
+                    "079172485",
+                    "51 Elm Row",
+                    "Edi",
+                    "EH7 4AH",
+                    "11/11/55",
+                    "M"
                 ],
                 tuple![
-                    "Mark", "Smith", "020", "6884563", "075568485", "20 Baker St.", "Lnd",
-                    "NW1 6XE", "25/12/67", "M"
+                    "Mark",
+                    "Smith",
+                    "020",
+                    "6884563",
+                    "075568485",
+                    "20 Baker St.",
+                    "Lnd",
+                    "NW1 6XE",
+                    "25/12/67",
+                    "M"
                 ],
             ],
         )
@@ -154,22 +174,22 @@ mod tests {
         // (Z_zmi, T_zmi): Z = (zip, phn, type, item), rows (z, p, 2, _)
         // for (z, p) over s[zip, Mphn] of each master tuple.
         let (r, rules, master) = fig1();
-        let zips = master.relation().active_domain(
-            master.relation().schema().attr("zip").unwrap(),
-        );
-        let mphns = master.relation().active_domain(
-            master.relation().schema().attr("Mphn").unwrap(),
-        );
+        let zips = master
+            .relation()
+            .active_domain(master.relation().schema().attr("zip").unwrap());
+        let mphns = master
+            .relation()
+            .active_domain(master.relation().schema().attr("Mphn").unwrap());
         let mut rows = Vec::new();
         for (zv, pv) in zips.iter().zip(&mphns) {
             rows.push(PatternTuple::new(vec![
-                (r.attr("zip").unwrap(), PatternValue::Const(zv.clone())),
-                (r.attr("phn").unwrap(), PatternValue::Const(pv.clone())),
+                (r.attr("zip").unwrap(), PatternValue::Const(*zv)),
+                (r.attr("phn").unwrap(), PatternValue::Const(*pv)),
                 (r.attr("type").unwrap(), PatternValue::Const(Value::int(2))),
             ]));
         }
-        let region = Region::new(z(&r, &["zip", "phn", "type", "item"]), Tableau::new(rows))
-            .unwrap();
+        let region =
+            Region::new(z(&r, &["zip", "phn", "type", "item"]), Tableau::new(rows)).unwrap();
         let report = check_coverage(&rules, &master, &region, DEFAULT_BUDGET).unwrap();
         assert!(report.certain, "failure: {:?}", report.failure);
     }
@@ -196,8 +216,7 @@ mod tests {
         // Z = all attributes' worth of closure, but a wildcard zip row
         // admits zips matching no master tuple.
         let (r, rules, master) = fig1();
-        let region =
-            Region::universal(z(&r, &["zip", "phn", "type", "item"])).unwrap();
+        let region = Region::universal(z(&r, &["zip", "phn", "type", "item"])).unwrap();
         let report = check_coverage(&rules, &master, &region, DEFAULT_BUDGET).unwrap();
         assert!(!report.certain);
         assert!(matches!(
@@ -219,11 +238,13 @@ mod tests {
             r.attr("zip").unwrap(),
             PatternValue::Const(Value::str("Z1")),
         )]);
-        let region =
-            Region::new(vec![r.attr("zip").unwrap()], Tableau::new(vec![row])).unwrap();
+        let region = Region::new(vec![r.attr("zip").unwrap()], Tableau::new(vec![row])).unwrap();
         let report = check_coverage(&rules, &master, &region, DEFAULT_BUDGET).unwrap();
         assert!(!report.certain);
-        assert!(matches!(report.failure, Some(CoverageFailure::Conflict(..))));
+        assert!(matches!(
+            report.failure,
+            Some(CoverageFailure::Conflict(..))
+        ));
     }
 
     #[test]

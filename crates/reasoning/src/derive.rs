@@ -315,7 +315,7 @@ impl DerivedRegion {
                 if let Some(ma) = mapped {
                     let v = tm.get(ma);
                     if !v.is_null() {
-                        cells.push((a, PatternValue::Const(v.clone())));
+                        cells.push((a, PatternValue::Const(*v)));
                     }
                 }
                 // otherwise: implicit wildcard
@@ -368,7 +368,7 @@ impl RegionCatalog {
                 let quality = (r_len - z.len()) as f64 / r_len as f64;
                 let mode_pattern = PatternTuple::new(
                     mode.iter()
-                        .map(|(a, v)| (*a, PatternValue::Const(v.clone())))
+                        .map(|(a, v)| (*a, PatternValue::Const(*v)))
                         .collect(),
                 );
                 let candidate = DerivedRegion {
@@ -439,10 +439,10 @@ fn enumerate_modes(rules: &RuleSet) -> Vec<Mode> {
                 match attrs.iter_mut().find(|(x, _)| *x == a) {
                     Some((_, vs)) => {
                         if !vs.contains(v) {
-                            vs.push(v.clone());
+                            vs.push(*v);
                         }
                     }
-                    None => attrs.push((a, vec![v.clone()])),
+                    None => attrs.push((a, vec![*v])),
                 }
             }
         }
@@ -455,7 +455,7 @@ fn enumerate_modes(rules: &RuleSet) -> Vec<Mode> {
             next.push(mode.clone());
             for v in &vs {
                 let mut m = mode.clone();
-                m.push((a, v.clone()));
+                m.push((a, *v));
                 next.push(m);
             }
             if next.len() >= MAX_MODES {
@@ -478,12 +478,16 @@ mod tests {
     fn fig1() -> (Arc<Schema>, RuleSet, MasterIndex) {
         let r = Schema::new(
             "R",
-            ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+            [
+                "fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item",
+            ],
         )
         .unwrap();
         let rm = Schema::new(
             "Rm",
-            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"],
+            [
+                "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender",
+            ],
         )
         .unwrap();
         let rules = parse_rules(
@@ -501,12 +505,28 @@ mod tests {
             rm,
             vec![
                 tuple![
-                    "Robert", "Brady", "131", "6884563", "079172485", "51 Elm Row", "Edi",
-                    "EH7 4AH", "11/11/55", "M"
+                    "Robert",
+                    "Brady",
+                    "131",
+                    "6884563",
+                    "079172485",
+                    "51 Elm Row",
+                    "Edi",
+                    "EH7 4AH",
+                    "11/11/55",
+                    "M"
                 ],
                 tuple![
-                    "Mark", "Smith", "020", "6884563", "075568485", "20 Baker St.", "Lnd",
-                    "NW1 6XE", "25/12/67", "M"
+                    "Mark",
+                    "Smith",
+                    "020",
+                    "6884563",
+                    "075568485",
+                    "20 Baker St.",
+                    "Lnd",
+                    "NW1 6XE",
+                    "25/12/67",
+                    "M"
                 ],
             ],
         )
@@ -572,12 +592,8 @@ mod tests {
         let modes = enumerate_modes(&rules);
         let ty = r.attr("type").unwrap();
         assert!(modes.iter().any(Vec::is_empty));
-        assert!(modes
-            .iter()
-            .any(|m| m.contains(&(ty, Value::int(2)))));
-        assert!(modes
-            .iter()
-            .any(|m| m.contains(&(ty, Value::int(1)))));
+        assert!(modes.iter().any(|m| m.contains(&(ty, Value::int(2)))));
+        assert!(modes.iter().any(|m| m.contains(&(ty, Value::int(1)))));
         // AC = 0800 from ϕ4 is a mode constant too
         let ac = r.attr("AC").unwrap();
         assert!(modes.iter().any(|m| m.contains(&(ac, Value::str("0800")))));
@@ -614,12 +630,28 @@ mod tests {
         assert_eq!(region.tableau().len(), 2, "one row per master tuple");
         // t1 corrected (zip EH7 4AH, phn 079172485, type 2) is marked
         let t1 = tuple![
-            "Bob", "Brady", "020", "079172485", 2, "501 Elm St.", "Edi", "EH7 4AH", "CD"
+            "Bob",
+            "Brady",
+            "020",
+            "079172485",
+            2,
+            "501 Elm St.",
+            "Edi",
+            "EH7 4AH",
+            "CD"
         ];
         assert!(region.marks(&t1));
         // a type-1 tuple is not marked
         let t2 = tuple![
-            "Bob", "Brady", "020", "079172485", 1, "501 Elm St.", "Edi", "EH7 4AH", "CD"
+            "Bob",
+            "Brady",
+            "020",
+            "079172485",
+            1,
+            "501 Elm St.",
+            "Edi",
+            "EH7 4AH",
+            "CD"
         ];
         assert!(!region.marks(&t2));
     }
@@ -633,9 +665,7 @@ mod tests {
             .iter()
             .find(|reg| reg.mode().cell(ty) == Some(&PatternValue::Const(Value::int(2))))
             .unwrap();
-        let mut t = tuple![
-            "a", "b", "c", "d", 2, "e", "f", "g", "h"
-        ];
+        let mut t = tuple!["a", "b", "c", "d", 2, "e", "f", "g", "h"];
         assert!(region.mode_matches(&t));
         t.set(ty, Value::int(1));
         assert!(!region.mode_matches(&t));

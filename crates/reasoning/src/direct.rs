@@ -7,9 +7,7 @@
 //! SQL-style joins `Qϕ1,ϕ2` of the paper, evaluated here as hash joins
 //! over the master relation — PTIME in `|Σ|` and `|Dm|`.
 
-use certainfix_relation::{
-    AttrId, AttrSet, FxHashMap, MasterIndex, PatternValue, Value,
-};
+use certainfix_relation::{AttrId, AttrSet, FxHashMap, MasterIndex, PatternValue, Value};
 use certainfix_rules::{EditingRule, RuleSet};
 
 use crate::region::Region;
@@ -103,8 +101,8 @@ fn rule_result_set(
                 continue 'rows;
             }
         }
-        let key: Vec<Value> = rule.lhs_m().iter().map(|&a| tm.get(a).clone()).collect();
-        out.push((key, tm.get(rule.rhs_m()).clone()));
+        let key: Vec<Value> = rule.lhs_m().iter().map(|&a| *tm.get(a)).collect();
+        out.push((key, *tm.get(rule.rhs_m())));
     }
     out
 }
@@ -143,11 +141,11 @@ pub fn direct_consistent(rules: &RuleSet, master: &MasterIndex, region: &Region)
                     .collect();
                 let mut seen: FxHashMap<Vec<Value>, Vec<&Value>> = FxHashMap::default();
                 for (key, b) in &set1 {
-                    let jk: Vec<Value> = proj1.iter().map(|&i| key[i].clone()).collect();
+                    let jk: Vec<Value> = proj1.iter().map(|&i| key[i]).collect();
                     seen.entry(jk).or_default().push(b);
                 }
                 for (key, b) in &set2 {
-                    let jk: Vec<Value> = proj2.iter().map(|&i| key[i].clone()).collect();
+                    let jk: Vec<Value> = proj2.iter().map(|&i| key[i]).collect();
                     if let Some(bs) = seen.get(&jk) {
                         if let Some(other) = bs.iter().find(|v| **v != b) {
                             return DirectReport {
@@ -155,7 +153,7 @@ pub fn direct_consistent(rules: &RuleSet, master: &MasterIndex, region: &Region)
                                 conflict: Some(DirectConflict {
                                     rules: (i1, i2),
                                     attr: r1.rhs(),
-                                    values: ((*other).clone(), b.clone()),
+                                    values: (*(*other), *b),
                                 }),
                                 uncovered: AttrSet::EMPTY,
                             };
@@ -187,13 +185,16 @@ pub fn direct_covers(rules: &RuleSet, master: &MasterIndex, region: &Region) -> 
     for b in (full - region.z_set()).iter() {
         let mut covered_everywhere = true;
         for tc in region.tableau().rows() {
-            let ok = applicable_direct(rules, region, tc).iter().any(|&(_, rule)| {
-                rule.rhs() == b
-                    && rule.lhs().iter().all(|&x| {
-                        matches!(tc.cell(x), Some(PatternValue::Const(_)))
-                    })
-                    && !rule_result_set(rule, tc, master).is_empty()
-            });
+            let ok = applicable_direct(rules, region, tc)
+                .iter()
+                .any(|&(_, rule)| {
+                    rule.rhs() == b
+                        && rule
+                            .lhs()
+                            .iter()
+                            .all(|&x| matches!(tc.cell(x), Some(PatternValue::Const(_))))
+                        && !rule_result_set(rule, tc, master).is_empty()
+                });
             if !ok {
                 covered_everywhere = false;
                 break;
@@ -217,7 +218,10 @@ mod tests {
     use certainfix_rules::parse_rules;
     use std::sync::Arc;
 
-    fn setup(master_rows: Vec<certainfix_relation::Tuple>, dsl: &str) -> (Arc<Schema>, RuleSet, MasterIndex) {
+    fn setup(
+        master_rows: Vec<certainfix_relation::Tuple>,
+        dsl: &str,
+    ) -> (Arc<Schema>, RuleSet, MasterIndex) {
         let r = Schema::new("R", ["zip", "phn", "type", "ac", "city", "street"]).unwrap();
         let rm = r.clone();
         let rules = parse_rules(dsl, &r, &rm).unwrap();
@@ -246,8 +250,14 @@ mod tests {
             &r,
             &["zip", "phn"],
             vec![PatternTuple::new(vec![
-                (r.attr("zip").unwrap(), PatternValue::Const(Value::str("Z1"))),
-                (r.attr("phn").unwrap(), PatternValue::Const(Value::str("P1"))),
+                (
+                    r.attr("zip").unwrap(),
+                    PatternValue::Const(Value::str("Z1")),
+                ),
+                (
+                    r.attr("phn").unwrap(),
+                    PatternValue::Const(Value::str("P1")),
+                ),
             ])],
         );
         let rep = direct_consistent(&rules, &master, &reg);
@@ -269,8 +279,14 @@ mod tests {
             &r,
             &["zip", "phn"],
             vec![PatternTuple::new(vec![
-                (r.attr("zip").unwrap(), PatternValue::Const(Value::str("Z1"))),
-                (r.attr("phn").unwrap(), PatternValue::Const(Value::str("P1"))),
+                (
+                    r.attr("zip").unwrap(),
+                    PatternValue::Const(Value::str("Z1")),
+                ),
+                (
+                    r.attr("phn").unwrap(),
+                    PatternValue::Const(Value::str("P1")),
+                ),
             ])],
         );
         let rep = direct_consistent(&rules, &master, &reg);
@@ -320,7 +336,10 @@ mod tests {
             &r,
             &["zip", "type"],
             vec![PatternTuple::new(vec![
-                (r.attr("zip").unwrap(), PatternValue::Const(Value::str("Z1"))),
+                (
+                    r.attr("zip").unwrap(),
+                    PatternValue::Const(Value::str("Z1")),
+                ),
                 (r.attr("type").unwrap(), PatternValue::Const(Value::int(1))),
             ])],
         );
@@ -341,8 +360,14 @@ mod tests {
             &r,
             &["zip", "phn"],
             vec![PatternTuple::new(vec![
-                (r.attr("zip").unwrap(), PatternValue::Const(Value::str("Z1"))),
-                (r.attr("phn").unwrap(), PatternValue::Const(Value::str("P1"))),
+                (
+                    r.attr("zip").unwrap(),
+                    PatternValue::Const(Value::str("Z1")),
+                ),
+                (
+                    r.attr("phn").unwrap(),
+                    PatternValue::Const(Value::str("P1")),
+                ),
             ])],
         );
         let rep = direct_covers(&rules, &master, &reg);
@@ -388,13 +413,13 @@ mod tests {
         use PatternValue::*;
         let one = Value::int(1);
         let two = Value::int(2);
-        assert!(cells_compatible(None, &Const(one.clone())));
-        assert!(cells_compatible(Some(&Wildcard), &Neq(one.clone())));
-        assert!(cells_compatible(Some(&Const(one.clone())), &Const(one.clone())));
-        assert!(!cells_compatible(Some(&Const(one.clone())), &Const(two.clone())));
-        assert!(!cells_compatible(Some(&Const(one.clone())), &Neq(one.clone())));
-        assert!(!cells_compatible(Some(&Neq(one.clone())), &Const(one.clone())));
-        assert!(cells_compatible(Some(&Neq(one.clone())), &Const(two.clone())));
+        assert!(cells_compatible(None, &Const(one)));
+        assert!(cells_compatible(Some(&Wildcard), &Neq(one)));
+        assert!(cells_compatible(Some(&Const(one)), &Const(one)));
+        assert!(!cells_compatible(Some(&Const(one)), &Const(two)));
+        assert!(!cells_compatible(Some(&Const(one)), &Neq(one)));
+        assert!(!cells_compatible(Some(&Neq(one)), &Const(one)));
+        assert!(cells_compatible(Some(&Neq(one)), &Const(two)));
         assert!(cells_compatible(Some(&Neq(one)), &Neq(two)));
     }
 }

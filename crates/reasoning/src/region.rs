@@ -107,14 +107,16 @@ impl fmt::Display for Region {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use certainfix_relation::Schema;
     use certainfix_relation::{tuple, PatternValue, Value};
     use certainfix_rules::EditingRule;
-    use certainfix_relation::Schema;
 
     fn supplier_schema() -> std::sync::Arc<Schema> {
         Schema::new(
             "R",
-            ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+            [
+                "fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item",
+            ],
         )
         .unwrap()
     }
@@ -133,12 +135,28 @@ mod tests {
         let region = Region::new(vec![ac, phn, ty], Tableau::new(vec![row])).unwrap();
         // t3 of Fig. 1: AC = 0800, type = 1
         let t3 = tuple![
-            "Mark", "Smith", "0800", "6884563", 1, "20 Baker St.", "Edi", "EH7 4AH", "BOOK"
+            "Mark",
+            "Smith",
+            "0800",
+            "6884563",
+            1,
+            "20 Baker St.",
+            "Edi",
+            "EH7 4AH",
+            "BOOK"
         ];
         assert!(region.marks(&t3));
         // t1 has AC = 020: not marked
         let t1 = tuple![
-            "Bob", "Brady", "020", "079172485", 2, "501 Elm St.", "Edi", "EH7 4AH", "CD"
+            "Bob",
+            "Brady",
+            "020",
+            "079172485",
+            2,
+            "501 Elm St.",
+            "Edi",
+            "EH7 4AH",
+            "CD"
         ];
         assert!(!region.marks(&t1));
         assert_eq!(region.z().len(), 3);
@@ -194,9 +212,7 @@ mod tests {
     fn universal_region_marks_everything() {
         let r = supplier_schema();
         let region = Region::universal(vec![r.attr("zip").unwrap()]).unwrap();
-        let t = tuple![
-            "a", "b", "c", "d", 9, "e", "f", "g", "h"
-        ];
+        let t = tuple!["a", "b", "c", "d", 9, "e", "f", "g", "h"];
         assert!(region.marks(&t));
         assert_eq!(region.to_string(), "(|Z| = 1, |Tc| = 1)");
     }

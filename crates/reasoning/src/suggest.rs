@@ -116,14 +116,14 @@ pub fn applicable_rules(
             for id in candidates {
                 let tm = master.tuple(id);
                 // pattern cells on key attributes, checked master-side
-                let pattern_ok = rule
-                    .lhs_p()
-                    .iter()
-                    .zip(rule.pattern().cells())
-                    .all(|(&a, cell)| match rule.master_attr_for(a) {
-                        Some(ma) => cell.matches(tm.get(ma)),
-                        None => true,
-                    });
+                let pattern_ok =
+                    rule.lhs_p()
+                        .iter()
+                        .zip(rule.pattern().cells())
+                        .all(|(&a, cell)| match rule.master_attr_for(a) {
+                            Some(ma) => cell.matches(tm.get(ma)),
+                            None => true,
+                        });
                 if pattern_ok {
                     supported = true;
                     if !rhs_validated {
@@ -153,7 +153,7 @@ pub fn applicable_rules(
             .iter()
             .chain(rule.lhs_p())
             .filter(|&&a| validated.contains(a))
-            .map(|&a| (a, PatternValue::Const(t.get(a).clone())))
+            .map(|&a| (a, PatternValue::Const(*t.get(a))))
             .collect();
         out.push(rule.with_pattern(rule.pattern().refined_with(&extra)));
     }
@@ -180,12 +180,8 @@ pub fn is_suggestion(
         return false;
     }
     let refined = applicable_rules(rules, master, t, validated);
-    let sigma_tz = RuleSet::from_rules(
-        rules.r_schema().clone(),
-        rules.m_schema().clone(),
-        refined,
-    )
-    .expect("refined rules share the original schemas");
+    let sigma_tz = RuleSet::from_rules(rules.r_schema().clone(), rules.m_schema().clone(), refined)
+        .expect("refined rules share the original schemas");
     let full = AttrSet::full(rules.r_schema().len());
     closure(&sigma_tz, validated | s).covered == full
 }
@@ -203,12 +199,8 @@ pub fn suggest(
         return None;
     }
     let refined = applicable_rules(rules, master, t, validated);
-    let sigma_tz = RuleSet::from_rules(
-        rules.r_schema().clone(),
-        rules.m_schema().clone(),
-        refined,
-    )
-    .expect("refined rules share the original schemas");
+    let sigma_tz = RuleSet::from_rules(rules.r_schema().clone(), rules.m_schema().clone(), refined)
+        .expect("refined rules share the original schemas");
 
     // Greedy: grow S until closure(Z ∪ S) = R.
     let mut s = AttrSet::EMPTY;
@@ -252,12 +244,16 @@ mod tests {
     fn fig1() -> (Arc<Schema>, RuleSet, MasterIndex) {
         let r = Schema::new(
             "R",
-            ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+            [
+                "fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item",
+            ],
         )
         .unwrap();
         let rm = Schema::new(
             "Rm",
-            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"],
+            [
+                "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender",
+            ],
         )
         .unwrap();
         let rules = parse_rules(
@@ -275,12 +271,28 @@ mod tests {
             rm,
             vec![
                 tuple![
-                    "Robert", "Brady", "131", "6884563", "079172485", "51 Elm Row", "Edi",
-                    "EH7 4AH", "11/11/55", "M"
+                    "Robert",
+                    "Brady",
+                    "131",
+                    "6884563",
+                    "079172485",
+                    "51 Elm Row",
+                    "Edi",
+                    "EH7 4AH",
+                    "11/11/55",
+                    "M"
                 ],
                 tuple![
-                    "Mark", "Smith", "020", "6884563", "075568485", "20 Baker St.", "Lnd",
-                    "NW1 6XE", "25/12/67", "M"
+                    "Mark",
+                    "Smith",
+                    "020",
+                    "6884563",
+                    "075568485",
+                    "20 Baker St.",
+                    "Lnd",
+                    "NW1 6XE",
+                    "25/12/67",
+                    "M"
                 ],
             ],
         )
@@ -295,7 +307,15 @@ mod tests {
     /// t1 after Example 12's TransFix run: zip/AC/str/city fixed from s1.
     fn t1_fixed() -> Tuple {
         tuple![
-            "Bob", "Brady", "131", "079172485", 2, "51 Elm Row", "Edi", "EH7 4AH", "CD"
+            "Bob",
+            "Brady",
+            "131",
+            "079172485",
+            2,
+            "51 Elm Row",
+            "Edi",
+            "EH7 4AH",
+            "CD"
         ]
     }
 
@@ -397,12 +417,9 @@ mod tests {
         let z = attrs(&r, &["zip", "AC", "str", "city"]);
         let sug = suggest(&rules, &master, &t1_fixed(), z).unwrap();
         let refined = applicable_rules(&rules, &master, &t1_fixed(), z);
-        let sigma = RuleSet::from_rules(
-            rules.r_schema().clone(),
-            rules.m_schema().clone(),
-            refined,
-        )
-        .unwrap();
+        let sigma =
+            RuleSet::from_rules(rules.r_schema().clone(), rules.m_schema().clone(), refined)
+                .unwrap();
         let full = AttrSet::full(r.len());
         for a in sug.attr_set().iter() {
             let without = sug.attr_set() - AttrSet::singleton(a);

@@ -74,7 +74,7 @@ fn candidate_patterns(
         let mut next = Vec::with_capacity(out.len() * dom.len());
         for tc in &out {
             for v in &dom {
-                next.push(tc.refined_with(&[(a, PatternValue::Const(v.clone()))]));
+                next.push(tc.refined_with(&[(a, PatternValue::Const(*v))]));
             }
         }
         out = next;
@@ -96,7 +96,10 @@ pub fn z_validate(
         return Ok(None);
     }
     for tc in candidate_patterns(rules, master, z, budget)? {
-        let region = Region::new(z.to_vec(), certainfix_relation::Tableau::new(vec![tc.clone()]))?;
+        let region = Region::new(
+            z.to_vec(),
+            certainfix_relation::Tableau::new(vec![tc.clone()]),
+        )?;
         let report = check_coverage(rules, master, &region, budget.max_chases)?;
         if report.certain {
             return Ok(Some(tc));
@@ -175,7 +178,15 @@ pub fn z_minimum(
         for i in start..candidates.len() {
             let next = picked | AttrSet::singleton(candidates[i]);
             if let Some(z) = search(
-                rules, master, budget, candidates, seed, full, extra - 1, i + 1, next,
+                rules,
+                master,
+                budget,
+                candidates,
+                seed,
+                full,
+                extra - 1,
+                i + 1,
+                next,
             )? {
                 return Ok(Some(z));
             }
@@ -233,7 +244,9 @@ mod tests {
             .expect("Z = {a} admits a certain tableau");
         // the witness pins a to a master key (1 or 2)
         let cell = witness.cell(r.attr("a").unwrap()).unwrap();
-        assert!(matches!(cell, PatternValue::Const(v) if v == &Value::int(1) || v == &Value::int(2)));
+        assert!(
+            matches!(cell, PatternValue::Const(v) if v == &Value::int(1) || v == &Value::int(2))
+        );
     }
 
     #[test]
@@ -252,14 +265,20 @@ mod tests {
         let z = vec![r.attr("a").unwrap()];
         // dom(a) = {1, 2, fresh}; 1 and 2 yield certain regions, fresh
         // matches no master tuple.
-        assert_eq!(z_count(&rules, &master, &z, &ZBudget::default()).unwrap(), 2);
+        assert_eq!(
+            z_count(&rules, &master, &z, &ZBudget::default()).unwrap(),
+            2
+        );
     }
 
     #[test]
     fn z_count_zero_when_closure_insufficient() {
         let (r, rules, master) = simple();
         let z = vec![r.attr("c").unwrap()];
-        assert_eq!(z_count(&rules, &master, &z, &ZBudget::default()).unwrap(), 0);
+        assert_eq!(
+            z_count(&rules, &master, &z, &ZBudget::default()).unwrap(),
+            0
+        );
     }
 
     #[test]
@@ -298,11 +317,7 @@ mod tests {
         let rm = r.clone();
         let rules = parse_rules("r1: match a ~ a set b := b", &r, &rm).unwrap();
         let master = MasterIndex::new(Arc::new(
-            Relation::new(
-                rm,
-                vec![tuple![1, 10], tuple![1, 11], tuple![2, 20]],
-            )
-            .unwrap(),
+            Relation::new(rm, vec![tuple![1, 10], tuple![1, 11], tuple![2, 20]]).unwrap(),
         ));
         let z = vec![r.attr("a").unwrap()];
         let witness = z_validate(&rules, &master, &z, &ZBudget::default())
@@ -313,6 +328,9 @@ mod tests {
             Some(&PatternValue::Const(Value::int(2)))
         );
         // counting sees exactly one valid pattern
-        assert_eq!(z_count(&rules, &master, &z, &ZBudget::default()).unwrap(), 1);
+        assert_eq!(
+            z_count(&rules, &master, &z, &ZBudget::default()).unwrap(),
+            1
+        );
     }
 }

@@ -226,7 +226,10 @@ mod tests {
     fn full_and_iteration() {
         assert_eq!(AttrSet::full(0), AttrSet::EMPTY);
         assert_eq!(AttrSet::full(64).len(), 64);
-        assert_eq!(AttrSet::full(3).to_vec(), vec![AttrId(0), AttrId(1), AttrId(2)]);
+        assert_eq!(
+            AttrSet::full(3).to_vec(),
+            vec![AttrId(0), AttrId(1), AttrId(2)]
+        );
         let s = ids(&[63, 0, 17]);
         assert_eq!(s.to_vec(), vec![AttrId(0), AttrId(17), AttrId(63)]);
     }

@@ -18,11 +18,7 @@ use crate::value::Value;
 /// Serialize a relation to CSV with a header row.
 pub fn to_csv(rel: &Relation) -> String {
     let mut out = String::new();
-    let header: Vec<String> = rel
-        .schema()
-        .attr_names()
-        .map(escape_cell)
-        .collect();
+    let header: Vec<String> = rel.schema().attr_names().map(escape_cell).collect();
     out.push_str(&header.join(","));
     out.push('\n');
     for t in rel.iter() {

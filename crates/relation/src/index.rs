@@ -33,11 +33,11 @@ impl KeyIndex {
         'rows: for (i, t) in rel.iter().enumerate() {
             let mut k = Vec::with_capacity(key.len());
             for &a in key {
-                let v = t.get(a);
+                let v = *t.get(a);
                 if v.is_null() {
                     continue 'rows;
                 }
-                k.push(v.clone());
+                k.push(v);
             }
             map.entry(k.into_boxed_slice()).or_default().push(i as u32);
         }
@@ -208,6 +208,8 @@ mod tests {
     fn null_probe_finds_nothing() {
         let m = MasterIndex::new(master());
         let t = tuple![Value::Null, "x"];
-        assert!(m.matches_projection(&t, &[AttrId(0)], &[AttrId(0)]).is_empty());
+        assert!(m
+            .matches_projection(&t, &[AttrId(0)], &[AttrId(0)])
+            .is_empty());
     }
 }

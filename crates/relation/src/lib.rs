@@ -4,7 +4,12 @@
 //! (Fan et al., *Towards Certain Fixes with Editing Rules and Master
 //! Data*, VLDB 2010) are defined:
 //!
-//! * [`Value`] — a dynamically typed cell value (`Null` / `Int` / `Str`),
+//! * [`Sym`] / [`Interner`] — interned string symbols: every string cell
+//!   is a `u32` id into a process-wide, append-only interner, so value
+//!   equality/hashing is O(1) on a machine word (see [`symbol`] for the
+//!   lifetime rules — interned strings are immortal),
+//! * [`Value`] — a dynamically typed cell value (`Null` / `Int` /
+//!   `Str(Sym)`) that is `Copy` and 16 bytes wide,
 //! * [`Schema`] / [`AttrId`] / [`AttrSet`] — named attribute lists with a
 //!   one-word bitset over attribute positions,
 //! * [`Tuple`] — a row aligned to a schema,
@@ -29,17 +34,19 @@ pub mod multimaster;
 pub mod pattern;
 pub mod relation;
 pub mod schema;
+pub mod symbol;
 pub mod tuple;
 pub mod value;
 
 pub use attrset::AttrSet;
+pub use csv::{from_csv, to_csv};
 pub use error::RelationError;
 pub use hashers::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use csv::{from_csv, to_csv};
 pub use index::{KeyIndex, MasterIndex};
 pub use multimaster::{combine_masters, select_master, MASTER_ID_ATTR};
 pub use pattern::{PatternTuple, PatternValue, Tableau};
 pub use relation::Relation;
 pub use schema::{AttrId, Schema, MAX_ATTRS};
+pub use symbol::{Interner, Sym};
 pub use tuple::Tuple;
 pub use value::Value;

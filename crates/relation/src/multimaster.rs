@@ -27,9 +27,7 @@ pub const MASTER_ID_ATTR: &str = "__master_id";
 /// with `"{source}."`. Every row holds its source's id and values, with
 /// nulls in the other sources' columns — nulls never match a rule key,
 /// so cross-source confusion is impossible by construction.
-pub fn combine_masters(
-    sources: &[(&str, &Relation)],
-) -> Result<Relation, RelationError> {
+pub fn combine_masters(sources: &[(&str, &Relation)]) -> Result<Relation, RelationError> {
     let mut attrs: Vec<String> = vec![MASTER_ID_ATTR.to_string()];
     for (name, rel) in sources {
         for a in rel.schema().attr_names() {
@@ -42,12 +40,9 @@ pub fn combine_masters(
     for (name, rel) in sources {
         for t in rel.iter() {
             let mut row = Tuple::nulls(schema.len());
-            row.set(
-                schema.attr_or_err(MASTER_ID_ATTR)?,
-                Value::str(*name),
-            );
+            row.set(schema.attr_or_err(MASTER_ID_ATTR)?, Value::str(*name));
             for (i, v) in t.values().iter().enumerate() {
-                row.set(crate::schema::AttrId((offset + i) as u16), v.clone());
+                row.set(crate::schema::AttrId((offset + i) as u16), *v);
             }
             out.push(row)?;
         }
@@ -148,8 +143,7 @@ mod tests {
     #[test]
     fn schema_width_is_enforced() {
         // combining beyond 64 attributes fails loudly
-        let wide = Schema::new("W", (0..40).map(|i| format!("a{i}")).collect::<Vec<_>>())
-            .unwrap();
+        let wide = Schema::new("W", (0..40).map(|i| format!("a{i}")).collect::<Vec<_>>()).unwrap();
         let rel = Relation::empty(wide);
         let err = combine_masters(&[("x", &rel), ("y", &rel)]).unwrap_err();
         assert!(matches!(err, RelationError::SchemaTooLarge { .. }));

@@ -217,7 +217,7 @@ impl PatternTuple {
         let pairs = self
             .attrs
             .iter()
-            .map(|&a| (a, PatternValue::Const(t.get(a).clone())))
+            .map(|&a| (a, PatternValue::Const(*t.get(a))))
             .collect();
         PatternTuple::new(pairs)
     }

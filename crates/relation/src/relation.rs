@@ -94,8 +94,8 @@ impl Relation {
         let mut out = Vec::new();
         for t in &self.tuples {
             let v = t.get(a);
-            if !v.is_null() && seen.insert(v.clone()) {
-                out.push(v.clone());
+            if !v.is_null() && seen.insert(*v) {
+                out.push(*v);
             }
         }
         out

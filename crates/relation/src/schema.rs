@@ -179,7 +179,10 @@ mod tests {
     fn oversized_schema_rejected() {
         let names: Vec<String> = (0..65).map(|i| format!("a{i}")).collect();
         let err = Schema::new("big", names).unwrap_err();
-        assert!(matches!(err, RelationError::SchemaTooLarge { attrs: 65, .. }));
+        assert!(matches!(
+            err,
+            RelationError::SchemaTooLarge { attrs: 65, .. }
+        ));
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! Interned string symbols.
+//!
+//! Every string cell value in the workspace is a [`Sym`]: a `u32` id
+//! into a process-wide [`Interner`]. Interning makes [`crate::Value`]
+//! a 16-byte `Copy` word, and turns the hot-path operations of rule
+//! application — equality of `t[X]` against `tm[Xm]`, hashing of
+//! projected key lists, copying master values into input tuples — into
+//! integer operations instead of `Arc` traffic and byte comparisons.
+//!
+//! # Lifetime rules
+//!
+//! The interner is append-only and leaks: a string, once interned,
+//! stays resolvable for the life of the process, which is what makes
+//! [`Sym::as_str`] return `&'static str` with no guard object. This is
+//! the right trade for the monitoring workload (master data and the
+//! attribute domains are bounded; input strings recur), but it means a
+//! `Sym` should not be minted for unbounded garbage — corrupt
+//! free-text that will never be compared again is still better kept
+//! out of [`crate::Value`] construction loops than interned
+//! gratuitously. Long-running deployments ingesting adversarially
+//! unique strings should watch [`Interner::len`] (on
+//! [`Interner::global`]) as a growth metric and cap or reject
+//! free-text fields upstream; a scoped, evictable interner is the
+//! planned escape hatch if a workload ever needs one.
+//!
+//! # Concurrency
+//!
+//! `intern` takes a sharded lock only on the *miss* path; repeat
+//! interning of a known string takes a shard read lock. `resolve` is
+//! lock-free: symbol ids index an append-only table of chunks whose
+//! slots are published with release/acquire atomics, so readers never
+//! block writers and vice versa.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+use crate::hashers::{FxHashMap, FxHasher};
+
+/// Number of lock shards for the string → id map (power of two).
+const SHARDS: usize = 16;
+
+/// log2 of the first chunk's capacity.
+const CHUNK_SHIFT: u32 = 10;
+
+/// Number of resolution chunks; chunk `k` holds `1024 << k` slots.
+const CHUNKS: usize = 22;
+
+/// Largest id representable by the chunk table.
+const MAX_SYMS: u64 = (1u64 << (CHUNK_SHIFT + CHUNKS as u32)) - (1 << CHUNK_SHIFT);
+
+/// An interned string: a dense `u32` id in the global [`Interner`].
+///
+/// Equality and hashing are O(1) on the id — two `Sym`s are equal iff
+/// their strings are equal, because the interner deduplicates.
+/// Ordering compares the *resolved strings*, so sorting symbols sorts
+/// their text (matching the pre-interning semantics of
+/// [`crate::Value`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// Intern `s` in the global interner.
+    #[inline]
+    pub fn intern(s: &str) -> Sym {
+        Interner::global().intern(s)
+    }
+
+    /// Intern an owned string (reuses the allocation on a miss).
+    #[inline]
+    pub fn intern_owned(s: String) -> Sym {
+        Interner::global().intern_owned(s)
+    }
+
+    /// The interned text. Lock-free; never fails for a `Sym` obtained
+    /// from [`Sym::intern`].
+    #[inline]
+    pub fn as_str(self) -> &'static str {
+        Interner::global().resolve(self)
+    }
+
+    /// The raw id (dense, starting at 0, in interning order).
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Sym) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Sym {
+    fn cmp(&self, other: &Sym) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            return std::cmp::Ordering::Equal;
+        }
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::intern(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Sym {
+        Sym::intern_owned(s)
+    }
+}
+
+/// The append-only, process-wide string interner backing [`Sym`].
+pub struct Interner {
+    /// string → id, sharded by string hash. Keys borrow the leaked
+    /// strings owned by the chunk table.
+    shards: [RwLock<FxHashMap<&'static str, u32>>; SHARDS],
+    /// id → string. Chunk `k` is a lazily allocated array of
+    /// `1024 << k` slots; a slot holds a pointer to a leaked `String`.
+    chunks: [AtomicPtr<AtomicPtr<String>>; CHUNKS],
+    /// Next id to hand out.
+    next: AtomicU64,
+}
+
+impl Interner {
+    fn new() -> Interner {
+        Interner {
+            shards: std::array::from_fn(|_| RwLock::new(FxHashMap::default())),
+            chunks: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide interner used by [`Sym`] and [`crate::Value`].
+    pub fn global() -> &'static Interner {
+        static GLOBAL: OnceLock<Interner> = OnceLock::new();
+        GLOBAL.get_or_init(Interner::new)
+    }
+
+    fn shard_of(s: &str) -> usize {
+        let mut h = FxHasher::default();
+        s.hash(&mut h);
+        h.finish() as usize & (SHARDS - 1)
+    }
+
+    /// Intern by reference, copying the string only on a miss.
+    pub fn intern(&self, s: &str) -> Sym {
+        let shard = &self.shards[Self::shard_of(s)];
+        if let Some(&id) = shard.read().expect("interner poisoned").get(s) {
+            return Sym(id);
+        }
+        self.intern_slow(shard, || s.to_owned())
+    }
+
+    /// Intern an owned string, reusing its allocation on a miss.
+    pub fn intern_owned(&self, s: String) -> Sym {
+        let shard = &self.shards[Self::shard_of(&s)];
+        if let Some(&id) = shard.read().expect("interner poisoned").get(s.as_str()) {
+            return Sym(id);
+        }
+        self.intern_slow(shard, move || s)
+    }
+
+    fn intern_slow(
+        &self,
+        shard: &RwLock<FxHashMap<&'static str, u32>>,
+        make: impl FnOnce() -> String,
+    ) -> Sym {
+        let owned = make();
+        let mut w = shard.write().expect("interner poisoned");
+        // Another thread may have interned the same string between our
+        // read probe and taking the write lock.
+        if let Some(&id) = w.get(owned.as_str()) {
+            return Sym(id);
+        }
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        assert!(id < MAX_SYMS, "interner capacity exhausted");
+        let id = id as u32;
+        let leaked: &'static String = Box::leak(Box::new(owned));
+        // Publish the slot before the id escapes: the release store
+        // pairs with the acquire load in `resolve`.
+        self.slot(id)
+            .store(leaked as *const String as *mut String, Ordering::Release);
+        w.insert(leaked.as_str(), id);
+        Sym(id)
+    }
+
+    /// The text of `sym`. Lock-free.
+    ///
+    /// # Panics
+    /// Panics on an id never returned by this interner (only possible
+    /// by forging a `Sym`).
+    pub fn resolve(&self, sym: Sym) -> &'static str {
+        let (chunk_idx, idx) = Self::locate(sym.0);
+        let chunk = self.chunks[chunk_idx].load(Ordering::Acquire);
+        assert!(!chunk.is_null(), "unknown symbol id {}", sym.0);
+        // SAFETY: a non-null chunk is a live array of `1024 << k`
+        // slots, and `locate` bounds `idx` by exactly that capacity.
+        let p = unsafe { &*chunk.add(idx) }.load(Ordering::Acquire);
+        assert!(!p.is_null(), "unknown symbol id {}", sym.0);
+        // SAFETY: slots only ever hold pointers to leaked (immortal,
+        // immutable) strings, published with release ordering.
+        unsafe { (*p).as_str() }
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.next.load(Ordering::Relaxed) as usize
+    }
+
+    /// `true` before the first interning.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Map an id to (chunk index, index within chunk).
+    #[inline]
+    fn locate(id: u32) -> (usize, usize) {
+        let slot = id as u64 + (1 << CHUNK_SHIFT);
+        let chunk_idx = (63 - slot.leading_zeros() - CHUNK_SHIFT) as usize;
+        let idx = (slot - (1u64 << (chunk_idx as u32 + CHUNK_SHIFT))) as usize;
+        (chunk_idx, idx)
+    }
+
+    /// The slot for `id`, allocating its chunk if needed.
+    fn slot(&self, id: u32) -> &AtomicPtr<String> {
+        let (chunk_idx, idx) = Self::locate(id);
+        let head = &self.chunks[chunk_idx];
+        let mut chunk = head.load(Ordering::Acquire);
+        if chunk.is_null() {
+            let cap = 1usize << (chunk_idx as u32 + CHUNK_SHIFT);
+            let fresh: Box<[AtomicPtr<String>]> =
+                (0..cap).map(|_| AtomicPtr::new(ptr::null_mut())).collect();
+            let fresh = Box::into_raw(fresh) as *mut AtomicPtr<String>;
+            match head.compare_exchange(ptr::null_mut(), fresh, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => chunk = fresh,
+                Err(winner) => {
+                    // SAFETY: `fresh` was just created by Box::into_raw
+                    // with length `cap` and lost the race unpublished.
+                    drop(unsafe { Box::from_raw(ptr::slice_from_raw_parts_mut(fresh, cap)) });
+                    chunk = winner;
+                }
+            }
+        }
+        // SAFETY: `chunk` is a live array of `1024 << chunk_idx` slots
+        // and `locate` bounds `idx` by that capacity.
+        unsafe { &*chunk.add(idx) }
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let s = Sym::intern("EH7 4AH");
+        assert_eq!(s.as_str(), "EH7 4AH");
+        assert_eq!(Sym::intern_owned("EH7 4AH".to_owned()).as_str(), "EH7 4AH");
+        assert_eq!(Sym::intern("").as_str(), "");
+    }
+
+    #[test]
+    fn dedup_same_string_same_sym() {
+        let a = Sym::intern("edinburgh");
+        let b = Sym::intern("edinburgh");
+        let c = Sym::intern_owned(String::from("edinburgh"));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a.id(), b.id());
+        assert_ne!(a, Sym::intern("glasgow"));
+    }
+
+    #[test]
+    fn ordering_follows_strings_not_ids() {
+        // interning order deliberately inverted relative to text order
+        let z = Sym::intern("zzz-order-test");
+        let a = Sym::intern("aaa-order-test");
+        assert!(a < z);
+        assert!(z > a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn display_and_debug_resolve() {
+        let s = Sym::intern("Edi");
+        assert_eq!(format!("{s}"), "Edi");
+        assert_eq!(format!("{s:?}"), "\"Edi\"");
+    }
+
+    #[test]
+    fn cross_thread_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|i| {
+                            // every thread interns the same 100 strings,
+                            // in a thread-dependent order
+                            let i = (i + 13 * t) % 100;
+                            (i, Sym::intern(&format!("xthread-{i}")))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<(i32, Sym)>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for per_thread in &results {
+            for &(i, sym) in per_thread {
+                assert_eq!(sym.as_str(), format!("xthread-{i}"));
+                // all threads agree on the id for a given string
+                let reference = results[0].iter().find(|(j, _)| *j == i).unwrap().1;
+                assert_eq!(sym, reference);
+            }
+        }
+    }
+
+    #[test]
+    fn interner_len_grows_monotonically() {
+        let before = Interner::global().len();
+        let _ = Sym::intern("len-probe-one");
+        let _ = Sym::intern("len-probe-two");
+        let _ = Sym::intern("len-probe-one");
+        let after = Interner::global().len();
+        assert!(after >= before + 2);
+        assert!(!Interner::global().is_empty());
+    }
+
+    #[test]
+    fn locate_covers_chunk_boundaries() {
+        assert_eq!(Interner::locate(0), (0, 0));
+        assert_eq!(Interner::locate(1023), (0, 1023));
+        assert_eq!(Interner::locate(1024), (1, 0));
+        assert_eq!(Interner::locate(3071), (1, 2047));
+        assert_eq!(Interner::locate(3072), (2, 0));
+        // every id maps within its chunk's capacity
+        for id in [0u32, 1, 1023, 1024, 4095, 1 << 20, u32::MAX / 2] {
+            let (k, i) = Interner::locate(id);
+            assert!(k < CHUNKS);
+            assert!(i < (1usize << (k as u32 + CHUNK_SHIFT)));
+        }
+    }
+
+    #[test]
+    fn sym_is_small_and_copy() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Sym>();
+        assert_eq!(std::mem::size_of::<Sym>(), 4);
+        assert_eq!(std::mem::size_of::<Option<Sym>>(), 8);
+    }
+}

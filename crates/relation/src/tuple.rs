@@ -60,8 +60,9 @@ impl Tuple {
     }
 
     /// Project the tuple onto an attribute list (`t[X]` in the paper).
+    /// `Value` is `Copy`, so this is a word-sized gather.
     pub fn project(&self, attrs: &[AttrId]) -> Vec<Value> {
-        attrs.iter().map(|&a| self.values[a.index()].clone()).collect()
+        attrs.iter().map(|&a| self.values[a.index()]).collect()
     }
 
     /// `true` iff `t[X] = s[Y]` position-wise, with null never agreeing.
@@ -149,7 +150,7 @@ pub fn tuple_from_named(
     let mut t = Tuple::nulls(schema.len());
     for (name, v) in cells {
         let a = schema.attr_or_err(name)?;
-        t.set(a, v.clone());
+        t.set(a, *v);
     }
     Ok(t)
 }
@@ -203,8 +204,11 @@ mod tests {
     #[test]
     fn named_construction_and_rendering() {
         let s = Schema::new("R", ["fn", "ln", "zip"]).unwrap();
-        let t = tuple_from_named(&s, &[("ln", Value::str("Brady")), ("fn", Value::str("Bob"))])
-            .unwrap();
+        let t = tuple_from_named(
+            &s,
+            &[("ln", Value::str("Brady")), ("fn", Value::str("Bob"))],
+        )
+        .unwrap();
         assert_eq!(t.get(AttrId(0)), &Value::str("Bob"));
         assert_eq!(t.get(AttrId(2)), &Value::Null);
         assert_eq!(t.render(), "(Bob, Brady, ⊥)");
@@ -224,7 +228,7 @@ mod tests {
     #[test]
     fn iter_yields_pairs() {
         let t = tuple![7, 8];
-        let pairs: Vec<(AttrId, Value)> = t.iter().map(|(a, v)| (a, v.clone())).collect();
+        let pairs: Vec<(AttrId, Value)> = t.iter().map(|(a, v)| (a, *v)).collect();
         assert_eq!(
             pairs,
             vec![(AttrId(0), Value::int(7)), (AttrId(1), Value::int(8))]

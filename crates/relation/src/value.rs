@@ -2,13 +2,17 @@
 //!
 //! The paper's data model is untyped constants drawn from attribute
 //! domains; we model them with a small dynamic [`Value`] enum. String
-//! payloads are reference counted (`Arc<str>`) because master data values
-//! are copied into input tuples on every rule application, and the
-//! fixing engine clones values heavily on its hot path.
+//! payloads are interned [`Sym`]bols (see [`crate::symbol`]), so a
+//! `Value` is a 16-byte `Copy` word: the fixing engine copies master
+//! values into input tuples and compares/hashes projected key lists on
+//! every rule application, and all of those are now machine-word
+//! integer operations. Resolution back to text happens only at
+//! display and CSV boundaries.
 
 use std::borrow::Cow;
 use std::fmt;
-use std::sync::Arc;
+
+use crate::symbol::Sym;
 
 /// A single cell value.
 ///
@@ -16,21 +20,28 @@ use std::sync::Arc;
 /// of tuple `t2` in Fig. 1 of the paper). Missing values never compare
 /// equal to any constant during rule matching — a rule can *fill* a null
 /// (by writing its `rhs`) but never *match* on one.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+///
+/// Equality and hashing are O(1): `Str` compares interned ids, which
+/// the global [`crate::Interner`] keeps in bijection with string
+/// contents. Ordering still compares string *text* (via [`Sym`]'s
+/// `Ord`), so sorted output is identical to the pre-interning
+/// representation: `Null < Int(_) < Str(_)`, integers numerically,
+/// strings lexicographically.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum Value {
     /// A missing / unknown cell.
     #[default]
     Null,
     /// An integer constant.
     Int(i64),
-    /// A string constant.
-    Str(Arc<str>),
+    /// An interned string constant.
+    Str(Sym),
 }
 
 impl Value {
-    /// Build a string value.
+    /// Build a string value (interning its text).
     pub fn str(s: impl AsRef<str>) -> Self {
-        Value::Str(Arc::from(s.as_ref()))
+        Value::Str(Sym::intern(s.as_ref()))
     }
 
     /// Build an integer value.
@@ -44,9 +55,20 @@ impl Value {
     }
 
     /// View the value as a string slice when it is a `Str`.
-    pub fn as_str(&self) -> Option<&str> {
+    ///
+    /// Interned strings live for the life of the process, hence the
+    /// `'static` borrow.
+    pub fn as_str(&self) -> Option<&'static str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The interned symbol when the value is a `Str`.
+    pub fn as_sym(&self) -> Option<Sym> {
+        match self {
+            Value::Str(s) => Some(*s),
             _ => None,
         }
     }
@@ -61,11 +83,11 @@ impl Value {
 
     /// Render the value for CSV-style output. `Null` renders as the empty
     /// string; everything else via `Display`.
-    pub fn render(&self) -> Cow<'_, str> {
+    pub fn render(&self) -> Cow<'static, str> {
         match self {
             Value::Null => Cow::Borrowed(""),
             Value::Int(i) => Cow::Owned(i.to_string()),
-            Value::Str(s) => Cow::Borrowed(s),
+            Value::Str(s) => Cow::Borrowed(s.as_str()),
         }
     }
 
@@ -111,7 +133,13 @@ impl From<&str> for Value {
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
-        Value::Str(Arc::from(s))
+        Value::Str(Sym::intern_owned(s))
+    }
+}
+
+impl From<Sym> for Value {
+    fn from(s: Sym) -> Self {
+        Value::Str(s)
     }
 }
 
@@ -149,6 +177,9 @@ mod tests {
         assert_eq!(Value::int(4).as_int(), Some(4));
         assert_eq!(Value::Null.as_str(), None);
         assert_eq!(Value::str("x").as_int(), None);
+        assert_eq!(Value::from(Sym::intern("abc")), Value::str("abc"));
+        assert_eq!(Value::str("abc").as_sym(), Some(Sym::intern("abc")));
+        assert_eq!(Value::int(1).as_sym(), None);
     }
 
     #[test]
@@ -168,5 +199,18 @@ mod tests {
             vs,
             vec![Value::Null, Value::int(2), Value::str("a"), Value::str("b")]
         );
+    }
+
+    #[test]
+    fn value_is_a_copy_word() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Value>();
+        assert!(std::mem::size_of::<Value>() <= 16);
+    }
+
+    #[test]
+    fn equal_strings_share_one_symbol() {
+        let (a, b) = (Value::str("shared"), Value::str("shared"));
+        assert_eq!(a.as_sym(), b.as_sym());
     }
 }

@@ -25,7 +25,7 @@ pub fn apply(rule: &EditingRule, t: &Tuple, tm: &Tuple) -> Option<Tuple> {
         return None;
     }
     let mut out = t.clone();
-    out.set(rule.rhs(), tm.get(rule.rhs_m()).clone());
+    out.set(rule.rhs(), *tm.get(rule.rhs_m()));
     Some(out)
 }
 
@@ -50,7 +50,7 @@ pub fn candidate_masters(rule: &EditingRule, t: &Tuple, master: &MasterIndex) ->
 pub fn distinct_fix_values(rule: &EditingRule, t: &Tuple, master: &MasterIndex) -> Vec<Value> {
     let mut out: Vec<Value> = Vec::new();
     for id in candidate_masters(rule, t, master) {
-        let v = master.tuple(id).get(rule.rhs_m()).clone();
+        let v = *master.tuple(id).get(rule.rhs_m());
         if !out.contains(&v) {
             out.push(v);
         }
@@ -62,8 +62,8 @@ pub fn distinct_fix_values(rule: &EditingRule, t: &Tuple, master: &MasterIndex) 
 mod tests {
     use super::*;
     use crate::rule::EditingRule;
-    use certainfix_relation::{Relation, Schema, Value};
     use certainfix_relation::tuple;
+    use certainfix_relation::{Relation, Schema, Value};
     use std::sync::Arc;
 
     /// Fig. 1 of the paper, trimmed to the attributes exercised here.
@@ -71,19 +71,34 @@ mod tests {
     /// Rm(FN, LN, AC, Hphn, Mphn, str, city, zip)
     fn fixture() -> (Arc<Schema>, Arc<Schema>, MasterIndex) {
         let r = Schema::new("R", ["fn", "ln", "AC", "phn", "type", "str", "city", "zip"]).unwrap();
-        let rm =
-            Schema::new("Rm", ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip"]).unwrap();
+        let rm = Schema::new(
+            "Rm",
+            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip"],
+        )
+        .unwrap();
         let master = Relation::new(
             rm.clone(),
             vec![
                 // s1
                 tuple![
-                    "Robert", "Brady", "131", "6884563", "079172485", "51 Elm Row", "Edi",
+                    "Robert",
+                    "Brady",
+                    "131",
+                    "6884563",
+                    "079172485",
+                    "51 Elm Row",
+                    "Edi",
                     "EH7 4AH"
                 ],
                 // s2
                 tuple![
-                    "Mark", "Smith", "020", "6884563", "075568485", "20 Baker St.", "Lnd",
+                    "Mark",
+                    "Smith",
+                    "020",
+                    "6884563",
+                    "075568485",
+                    "20 Baker St.",
+                    "Lnd",
                     "NW1 6XE"
                 ],
             ],
@@ -95,7 +110,14 @@ mod tests {
     /// t1 of Fig. 1: AC=020 is wrong, zip is correct.
     fn t1() -> Tuple {
         tuple![
-            "Bob", "Brady", "020", "079172485", 2, "501 Elm St.", "Edi", "EH7 4AH"
+            "Bob",
+            "Brady",
+            "020",
+            "079172485",
+            2,
+            "501 Elm St.",
+            "Edi",
+            "EH7 4AH"
         ]
     }
 
@@ -198,7 +220,11 @@ mod tests {
         let rm = Schema::new("Rm", ["zip", "city"]).unwrap();
         let master = Relation::new(
             rm.clone(),
-            vec![tuple!["Z1", "Edi"], tuple!["Z1", "Lnd"], tuple!["Z2", "Gla"]],
+            vec![
+                tuple!["Z1", "Edi"],
+                tuple!["Z1", "Lnd"],
+                tuple!["Z2", "Gla"],
+            ],
         )
         .unwrap();
         let m = MasterIndex::new(Arc::new(master));
@@ -228,7 +254,14 @@ mod tests {
             .finish()
             .unwrap();
         let t2 = tuple![
-            "Robert", "Brady", "020", "6884563", 1, Value::Null, "Edi", Value::Null
+            "Robert",
+            "Brady",
+            "020",
+            "6884563",
+            1,
+            Value::Null,
+            "Edi",
+            Value::Null
         ];
         // t2[AC, phn] matches s2[AC, Hphn]
         let ids = candidate_masters(&phi3_zip, &t2, &m);

@@ -69,7 +69,10 @@ impl fmt::Display for RuleError {
                 "rule `{rule}`: fixed attribute `{attr}` must not occur in the lhs (B ∈ R \\ X)"
             ),
             RuleError::EmptyLhs { rule } => {
-                write!(f, "rule `{rule}`: the lhs attribute list X must be non-empty")
+                write!(
+                    f,
+                    "rule `{rule}`: the lhs attribute list X must be non-empty"
+                )
             }
             RuleError::Relation(e) => write!(f, "{e}"),
             RuleError::SchemaMismatch { rule, detail } => {

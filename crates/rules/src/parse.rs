@@ -33,11 +33,7 @@ use crate::rule::EditingRule;
 use crate::ruleset::RuleSet;
 
 /// Parse a DSL document into a [`RuleSet`] over `(R, Rm)`.
-pub fn parse_rules(
-    src: &str,
-    r: &Arc<Schema>,
-    rm: &Arc<Schema>,
-) -> Result<RuleSet, RuleError> {
+pub fn parse_rules(src: &str, r: &Arc<Schema>, rm: &Arc<Schema>) -> Result<RuleSet, RuleError> {
     let mut set = RuleSet::new(r.clone(), rm.clone());
     for (lineno, raw) in src.lines().enumerate() {
         let line = strip_comment(raw).trim();
@@ -183,20 +179,14 @@ impl Cursor {
             Some(Tok::Ident(s)) => Ok(s),
             // a bare number can be an attribute name in generated schemas
             Some(Tok::Int(n)) => Ok(n.to_string()),
-            other => Err(err(
-                self.line,
-                format!("expected {what}, found {other:?}"),
-            )),
+            other => Err(err(self.line, format!("expected {what}, found {other:?}"))),
         }
     }
 
     fn expect(&mut self, t: Tok, what: &str) -> Result<(), RuleError> {
         match self.next() {
             Some(ref got) if *got == t => Ok(()),
-            other => Err(err(
-                self.line,
-                format!("expected {what}, found {other:?}"),
-            )),
+            other => Err(err(self.line, format!("expected {what}, found {other:?}"))),
         }
     }
 
@@ -303,7 +293,11 @@ fn parse_line(
     let many = targets.len() > 1;
     let mut out = Vec::with_capacity(targets.len());
     for (b, bm) in targets {
-        let rule_name = if many { format!("{name}.{b}") } else { name.clone() };
+        let rule_name = if many {
+            format!("{name}.{b}")
+        } else {
+            name.clone()
+        };
         let mut builder = EditingRule::build(r, rm).name(rule_name);
         for (x, xm) in &keys {
             builder = builder.key(x, xm);
@@ -311,8 +305,8 @@ fn parse_line(
         builder = builder.fix(&b, &bm);
         for c in &conds {
             builder = match c {
-                Cond::Eq(a, v) => builder.when_eq(a, v.clone()),
-                Cond::Neq(a, v) => builder.when_neq(a, v.clone()),
+                Cond::Eq(a, v) => builder.when_eq(a, *v),
+                Cond::Neq(a, v) => builder.when_neq(a, *v),
             };
         }
         out.push(builder.finish()?);
@@ -328,12 +322,16 @@ mod tests {
     fn schemas() -> (Arc<Schema>, Arc<Schema>) {
         let r = Schema::new(
             "R",
-            ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+            [
+                "fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item",
+            ],
         )
         .unwrap();
         let rm = Schema::new(
             "Rm",
-            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"],
+            [
+                "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender",
+            ],
         )
         .unwrap();
         (r, rm)
@@ -389,8 +387,12 @@ mod tests {
     #[test]
     fn quoted_strings_preserve_leading_zeros() {
         let (r, rm) = schemas();
-        let set =
-            parse_rules("p: match AC ~ AC set city := city when AC = '0800'", &r, &rm).unwrap();
+        let set = parse_rules(
+            "p: match AC ~ AC set city := city when AC = '0800'",
+            &r,
+            &rm,
+        )
+        .unwrap();
         let p = set.by_name("p").unwrap();
         assert_eq!(
             p.pattern().cell(r.attr("AC").unwrap()),
@@ -433,12 +435,7 @@ mod tests {
     #[test]
     fn hash_inside_quote_is_not_comment() {
         let (r, rm) = schemas();
-        let set = parse_rules(
-            "p: match zip ~ zip set AC := AC when city = '#1'",
-            &r,
-            &rm,
-        )
-        .unwrap();
+        let set = parse_rules("p: match zip ~ zip set AC := AC when city = '#1'", &r, &rm).unwrap();
         let p = set.by_name("p").unwrap();
         assert_eq!(
             p.pattern().cell(r.attr("city").unwrap()),
@@ -460,15 +457,15 @@ mod tests {
     fn syntax_errors() {
         let (r, rm) = schemas();
         for bad in [
-            "p: zip ~ zip set AC := AC",              // missing match
-            "p: match zip zip set AC := AC",          // missing ~
-            "p: match zip ~ zip AC := AC",            // missing set
-            "p: match zip ~ zip set AC = AC",         // = instead of :=
-            "p: match zip ~ zip set AC := AC when x", // dangling condition
-            "p: match zip ~ zip set AC := AC junk",   // trailing tokens
+            "p: zip ~ zip set AC := AC",                         // missing match
+            "p: match zip zip set AC := AC",                     // missing ~
+            "p: match zip ~ zip AC := AC",                       // missing set
+            "p: match zip ~ zip set AC = AC",                    // = instead of :=
+            "p: match zip ~ zip set AC := AC when x",            // dangling condition
+            "p: match zip ~ zip set AC := AC junk",              // trailing tokens
             "p: match zip ~ zip set AC := AC when city = 'open", // unterminated
-            "p: match zip ~ zip set AC := AC when city ! Edi", // bad !
-            "p: match zip ~ zip set AC := AC when city = %",   // bad char
+            "p: match zip ~ zip set AC := AC when city ! Edi",   // bad !
+            "p: match zip ~ zip set AC := AC when city = %",     // bad char
         ] {
             assert!(
                 matches!(parse_rules(bad, &r, &rm), Err(RuleError::Parse { .. })),

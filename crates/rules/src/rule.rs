@@ -91,10 +91,7 @@ impl EditingRule {
     /// The master attribute in `Xm` aligned with `R`-attribute `a ∈ X`
     /// (the `λϕ(·)` mapping of Sect. 5.2).
     pub fn master_attr_for(&self, a: AttrId) -> Option<AttrId> {
-        self.lhs
-            .iter()
-            .position(|&x| x == a)
-            .map(|i| self.lhs_m[i])
+        self.lhs.iter().position(|&x| x == a).map(|i| self.lhs_m[i])
     }
 
     /// `true` iff `Xp ⊆ X` — the *direct fix* restriction (a) of
@@ -291,12 +288,16 @@ mod tests {
     fn schemas() -> (Arc<Schema>, Arc<Schema>) {
         let r = Schema::new(
             "R",
-            ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+            [
+                "fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item",
+            ],
         )
         .unwrap();
         let rm = Schema::new(
             "Rm",
-            ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"],
+            [
+                "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender",
+            ],
         )
         .unwrap();
         (r, rm)
@@ -443,9 +444,7 @@ mod tests {
             .finish()
             .unwrap();
         let ty = r.attr("type").unwrap();
-        let refined = rule.with_pattern(PatternTuple::new(vec![
-            (ty, PatternValue::Wildcard),
-        ]));
+        let refined = rule.with_pattern(PatternTuple::new(vec![(ty, PatternValue::Wildcard)]));
         assert!(refined.pattern().is_empty());
         assert_eq!(refined.name(), rule.name());
     }

@@ -159,7 +159,7 @@ impl RuleSet {
             for cell in rule.pattern().cells() {
                 let v = match cell {
                     certainfix_relation::PatternValue::Const(v)
-                    | certainfix_relation::PatternValue::Neq(v) => v.clone(),
+                    | certainfix_relation::PatternValue::Neq(v) => *v,
                     certainfix_relation::PatternValue::Wildcard => continue,
                 };
                 if !out.contains(&v) {
@@ -284,8 +284,8 @@ mod tests {
     #[test]
     fn render_and_display() {
         let (r, rm) = schemas();
-        let set =
-            RuleSet::from_rules(r.clone(), rm.clone(), vec![rule(&r, &rm, "p1", "a", "b")]).unwrap();
+        let set = RuleSet::from_rules(r.clone(), rm.clone(), vec![rule(&r, &rm, "p1", "a", "b")])
+            .unwrap();
         assert!(set.render().contains("p1"));
         assert_eq!(set.to_string(), "Σ with 1 rule(s) on (R, Rm)");
     }

@@ -36,7 +36,7 @@ fn main() {
         .map(|full| {
             let mut t = Tuple::nulls(schema.len());
             for &a in &keep_ids {
-                t.set(a, full.get(a).clone());
+                t.set(a, *full.get(a));
             }
             (t, full.clone())
         })

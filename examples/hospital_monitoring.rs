@@ -9,9 +9,7 @@
 //!
 //! Run with: `cargo run --release --example hospital_monitoring`
 
-use certain_fix::core::{
-    evaluate_rounds, DataMonitor, SimulatedUser, TupleEval,
-};
+use certain_fix::core::{evaluate_rounds, DataMonitor, SimulatedUser, TupleEval};
 use certain_fix::datagen::{Dataset, DirtyConfig, Hosp, Workload};
 
 fn main() {

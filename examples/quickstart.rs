@@ -19,12 +19,16 @@ fn main() {
     // R: supplier input tuples; Rm: the master relation of Fig. 1b.
     let r = Schema::new(
         "R",
-        ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+        [
+            "fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item",
+        ],
     )
     .expect("valid schema");
     let rm = Schema::new(
         "Rm",
-        ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"],
+        [
+            "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender",
+        ],
     )
     .expect("valid schema");
 
@@ -52,12 +56,28 @@ fn main() {
             rm.clone(),
             vec![
                 certain_fix::relation::tuple![
-                    "Robert", "Brady", "131", "6884563", "079172485", "51 Elm Row", "Edi",
-                    "EH7 4AH", "11/11/55", "M"
+                    "Robert",
+                    "Brady",
+                    "131",
+                    "6884563",
+                    "079172485",
+                    "51 Elm Row",
+                    "Edi",
+                    "EH7 4AH",
+                    "11/11/55",
+                    "M"
                 ],
                 certain_fix::relation::tuple![
-                    "Mark", "Smith", "020", "6884563", "075568485", "20 Baker St.", "Lnd",
-                    "NW1 6XE", "25/12/67", "M"
+                    "Mark",
+                    "Smith",
+                    "020",
+                    "6884563",
+                    "075568485",
+                    "20 Baker St.",
+                    "Lnd",
+                    "NW1 6XE",
+                    "25/12/67",
+                    "M"
                 ],
             ],
         )
@@ -69,11 +89,27 @@ fn main() {
     // AC = 020 contradicts zip EH7 4AH; "Bob" is non-standard; the
     // street is stale.
     let t1 = certain_fix::relation::tuple![
-        "Bob", "Brady", "020", "079172485", 2, "501 Elm St.", "Edi", "EH7 4AH", "CD"
+        "Bob",
+        "Brady",
+        "020",
+        "079172485",
+        2,
+        "501 Elm St.",
+        "Edi",
+        "EH7 4AH",
+        "CD"
     ];
     // Ground truth (what a careful clerk would have entered):
     let truth = certain_fix::relation::tuple![
-        "Robert", "Brady", "131", "079172485", 2, "51 Elm Row", "Edi", "EH7 4AH", "CD"
+        "Robert",
+        "Brady",
+        "131",
+        "079172485",
+        2,
+        "51 Elm Row",
+        "Edi",
+        "EH7 4AH",
+        "CD"
     ];
     println!("Input  t1: {}", t1.render_named(&r));
 

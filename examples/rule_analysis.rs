@@ -15,11 +15,11 @@
 
 use std::sync::Arc;
 
-use certain_fix::reasoning::{
-    check_consistency, check_coverage, comp_cregion, direct_covers, gregion, z_count,
-    z_minimum, z_validate, Region, ZBudget,
-};
 use certain_fix::prelude::*;
+use certain_fix::reasoning::{
+    check_consistency, check_coverage, comp_cregion, direct_covers, gregion, z_count, z_minimum,
+    z_validate, Region, ZBudget,
+};
 use certain_fix::relation::tuple;
 use certain_fix::rules::parse_rules;
 

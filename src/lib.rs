@@ -40,8 +40,8 @@ pub mod prelude {
     };
     pub use certainfix_reasoning::{Chase, ChaseResult, Region, RegionCatalog};
     pub use certainfix_relation::{
-        AttrId, AttrSet, MasterIndex, PatternTuple, PatternValue, Relation, Schema, Tableau,
-        Tuple, Value,
+        AttrId, AttrSet, MasterIndex, PatternTuple, PatternValue, Relation, Schema, Tableau, Tuple,
+        Value,
     };
     pub use certainfix_rules::{parse_rules, DependencyGraph, EditingRule, RuleSet};
 }

@@ -5,9 +5,7 @@
 use std::sync::Arc;
 
 use certain_fix::cfd::{increp, rules_to_cfds, IncRepConfig};
-use certain_fix::core::{
-    evaluate_changes, evaluate_rounds, DataMonitor, SimulatedUser, TupleEval,
-};
+use certain_fix::core::{evaluate_changes, evaluate_rounds, DataMonitor, SimulatedUser, TupleEval};
 use certain_fix::datagen::{Dataset, Dblp, DirtyConfig, Hosp, Workload};
 use certain_fix::reasoning::{comp_cregion_in_mode, gregion_in_mode};
 use certain_fix::relation::Value;
@@ -107,7 +105,10 @@ fn fig10_shape_recall_tracks_duplicate_rate_not_noise() {
             .collect();
         at_d.push(evaluate_rounds(&evals, 1)[0].recall_t);
     }
-    assert!(at_d[0] < at_d[1] && at_d[1] < at_d[2], "recall grows with d%: {at_d:?}");
+    assert!(
+        at_d[0] < at_d[1] && at_d[1] < at_d[2],
+        "recall grows with d%: {at_d:?}"
+    );
     // recall_t(1) ≈ d%
     assert!((at_d[1] - 0.3).abs() < 0.1, "recall_t(1) ≈ d%: {}", at_d[1]);
 
@@ -164,10 +165,18 @@ fn fig11_shape_increp_degrades_with_noise_ours_does_not() {
 
         let (cfds, _) = rules_to_cfds(hosp.rules());
         let dirty_rel = ds.dirty_relation(hosp.schema().clone());
-        let report = increp(&dirty_rel, &cfds, hosp.master_index(), &IncRepConfig::default());
-        let counts = evaluate_changes(ds.inputs.iter().enumerate().map(|(i, dt)| {
-            (&dt.dirty, report.repaired.tuple(i), &dt.clean)
-        }));
+        let report = increp(
+            &dirty_rel,
+            &cfds,
+            hosp.master_index(),
+            &IncRepConfig::default(),
+        );
+        let counts = evaluate_changes(
+            ds.inputs
+                .iter()
+                .enumerate()
+                .map(|(i, dt)| (&dt.dirty, report.repaired.tuple(i), &dt.clean)),
+        );
         theirs.push(counts.f_measure());
     }
     // IncRep degrades with noise; we stay comparable
@@ -258,7 +267,12 @@ fn increp_works_through_the_facade() {
     assert_eq!(skipped, 0, "HOSP rules align by name");
     assert_eq!(cfds.len(), 21);
     let dirty_rel = ds.dirty_relation(hosp.schema().clone());
-    let report = increp(&dirty_rel, &cfds, hosp.master_index(), &IncRepConfig::default());
+    let report = increp(
+        &dirty_rel,
+        &cfds,
+        hosp.master_index(),
+        &IncRepConfig::default(),
+    );
     let counts = evaluate_changes(
         ds.inputs
             .iter()

@@ -5,8 +5,8 @@
 
 use std::sync::Arc;
 
-use certain_fix::core::{evaluate_changes, DataMonitor, SimulatedUser};
 use certain_fix::cfd::{increp, Cfd, IncRepConfig};
+use certain_fix::core::{evaluate_changes, DataMonitor, SimulatedUser};
 use certain_fix::prelude::*;
 use certain_fix::reasoning::{applicable_rules, check_coverage, suggest};
 use certain_fix::relation::tuple;
@@ -14,7 +14,9 @@ use certain_fix::relation::tuple;
 fn supplier_schema() -> Arc<Schema> {
     Schema::new(
         "R",
-        ["fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item"],
+        [
+            "fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item",
+        ],
     )
     .unwrap()
 }
@@ -22,7 +24,9 @@ fn supplier_schema() -> Arc<Schema> {
 fn master_schema() -> Arc<Schema> {
     Schema::new(
         "Rm",
-        ["FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender"],
+        [
+            "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender",
+        ],
     )
     .unwrap()
 }
@@ -49,12 +53,28 @@ fn master(rm: &Arc<Schema>) -> Arc<Relation> {
             rm.clone(),
             vec![
                 tuple![
-                    "Robert", "Brady", "131", "6884563", "079172485", "51 Elm Row", "Edi",
-                    "EH7 4AH", "11/11/55", "M"
+                    "Robert",
+                    "Brady",
+                    "131",
+                    "6884563",
+                    "079172485",
+                    "51 Elm Row",
+                    "Edi",
+                    "EH7 4AH",
+                    "11/11/55",
+                    "M"
                 ],
                 tuple![
-                    "Mark", "Smith", "020", "6884563", "075568485", "20 Baker St.", "Lnd",
-                    "NW1 6XE", "25/12/67", "M"
+                    "Mark",
+                    "Smith",
+                    "020",
+                    "6884563",
+                    "075568485",
+                    "20 Baker St.",
+                    "Lnd",
+                    "NW1 6XE",
+                    "25/12/67",
+                    "M"
                 ],
             ],
         )
@@ -66,10 +86,26 @@ fn master(rm: &Arc<Schema>) -> Arc<Relation> {
 fn t1() -> (Tuple, Tuple) {
     (
         tuple![
-            "Bob", "Brady", "020", "079172485", 2, "501 Elm St.", "Edi", "EH7 4AH", "CD"
+            "Bob",
+            "Brady",
+            "020",
+            "079172485",
+            2,
+            "501 Elm St.",
+            "Edi",
+            "EH7 4AH",
+            "CD"
         ],
         tuple![
-            "Robert", "Brady", "131", "079172485", 2, "51 Elm Row", "Edi", "EH7 4AH", "CD"
+            "Robert",
+            "Brady",
+            "131",
+            "079172485",
+            2,
+            "51 Elm Row",
+            "Edi",
+            "EH7 4AH",
+            "CD"
         ],
     )
 }
@@ -134,11 +170,11 @@ fn example9_certain_region_and_full_fix() {
             PatternTuple::new(vec![
                 (
                     r.attr("zip").unwrap(),
-                    PatternValue::Const(s.get(rm.attr("zip").unwrap()).clone()),
+                    PatternValue::Const(*s.get(rm.attr("zip").unwrap())),
                 ),
                 (
                     r.attr("phn").unwrap(),
-                    PatternValue::Const(s.get(rm.attr("Mphn").unwrap()).clone()),
+                    PatternValue::Const(*s.get(rm.attr("Mphn").unwrap())),
                 ),
                 (r.attr("type").unwrap(), PatternValue::Const(Value::int(2))),
             ])

@@ -63,7 +63,9 @@ fn build_rules(
         if lhs.contains(&rhs) {
             continue;
         }
-        let names: Vec<String> = (0..ATTRS).map(|i| s.attr_name(AttrId(i as u16)).to_string()).collect();
+        let names: Vec<String> = (0..ATTRS)
+            .map(|i| s.attr_name(AttrId(i as u16)).to_string())
+            .collect();
         let mut b = EditingRule::build(&s, &s).name(format!("r{idx}"));
         for &x in &lhs {
             b = b.key(&names[x], &names[x]);
@@ -245,6 +247,64 @@ proptest! {
             if pa.matches(&val) {
                 prop_assert!(pb.matches(&val), "{pa:?} ⊑ {pb:?} but {val:?} separates them");
             }
+        }
+    }
+
+    #[test]
+    fn value_semantics_survive_interning(
+        a_spec in (0..3usize, 0i64..6, 0u8..8),
+        b_spec in (0..3usize, 0i64..6, 0u8..8),
+    ) {
+        // Build values through the interned representation and check
+        // that the observable semantics match the seed's Arc<str>
+        // representation: equality/ordering follow the *text*, hashing
+        // is consistent with equality, and nulls never agree.
+        fn mk((kind, n, s): (usize, i64, u8)) -> (Value, Option<String>) {
+            match kind {
+                0 => (Value::Null, None),
+                1 => (Value::int(n), None),
+                _ => {
+                    let text = format!("v{s}");
+                    (Value::str(&text), Some(text))
+                }
+            }
+        }
+        let ((va, ta), (vb, tb)) = (mk(a_spec), mk(b_spec));
+        // string-backed values compare exactly as their text does
+        if let (Some(ta), Some(tb)) = (&ta, &tb) {
+            prop_assert_eq!(va == vb, ta == tb);
+            prop_assert_eq!(va.cmp(&vb), ta.cmp(tb));
+            prop_assert_eq!(va.as_str().unwrap(), ta.as_str());
+        }
+        // total order ranks Null < Int < Str, ints numerically
+        match (&va, &vb) {
+            (Value::Null, Value::Int(_) | Value::Str(_)) => {
+                prop_assert!(va < vb);
+            }
+            (Value::Int(_), Value::Str(_)) => prop_assert!(va < vb),
+            (Value::Int(x), Value::Int(y)) => {
+                prop_assert_eq!(va.cmp(&vb), x.cmp(y));
+            }
+            _ => {}
+        }
+        // agreement requires both sides non-null and equal
+        prop_assert_eq!(
+            va.agrees_with(&vb),
+            !va.is_null() && !vb.is_null() && va == vb
+        );
+        prop_assert!(!Value::Null.agrees_with(&va));
+        prop_assert!(!va.agrees_with(&Value::Null));
+        // hashing is consistent with equality (required by the index)
+        use certain_fix::relation::FxBuildHasher;
+        use std::hash::BuildHasher;
+        let h = FxBuildHasher::default();
+        if va == vb {
+            prop_assert_eq!(h.hash_one(va), h.hash_one(vb));
+        }
+        // interning round-trips and deduplicates
+        if let Some(ta) = &ta {
+            prop_assert_eq!(va, Value::str(ta));
+            prop_assert_eq!(va.as_sym(), Value::str(ta).as_sym());
         }
     }
 

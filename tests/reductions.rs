@@ -107,7 +107,9 @@ fn theorem6_satisfiable_formula_validates() {
     // the witness must be a satisfying assignment
     for (j, clause) in clauses.iter().enumerate() {
         let sat = clause.iter().any(|l| {
-            let cell = witness.cell(r.attr(&format!("X{}", l.0 + 1)).unwrap()).unwrap();
+            let cell = witness
+                .cell(r.attr(&format!("X{}", l.0 + 1)).unwrap())
+                .unwrap();
             cell.as_const() == Some(&Value::int(i64::from(l.1)))
         });
         assert!(sat, "witness falsifies clause {}", j + 1);

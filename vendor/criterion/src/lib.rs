@@ -1,0 +1,205 @@
+//! Minimal, API-compatible stand-in for the `criterion` crate.
+//!
+//! Implements the subset this workspace's benches use: `Criterion`
+//! with `sample_size` / `measurement_time` / `warm_up_time`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is
+//! real — each sample times a batch of iterations — but reporting is
+//! a plain stdout table (median and mean ns/iter), with none of
+//! criterion's statistics, baselines, or plots.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver and configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent running the routine before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, |b| f(b));
+        self
+    }
+
+    /// Run a benchmark identified by a [`BenchmarkId`], passing `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.id, |b| f(b, input));
+        self
+    }
+
+    fn run_one(&mut self, id: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            mode: Mode::WarmUp,
+            budget: self.warm_up_time,
+            sample_size: self.sample_size,
+            iters_per_sample: 1,
+            samples_ns: Vec::new(),
+        };
+        routine(&mut b); // warm up and calibrate iters_per_sample
+        b.mode = Mode::Measure;
+        b.budget = self.measurement_time;
+        routine(&mut b);
+        b.report(id);
+    }
+}
+
+enum Mode {
+    WarmUp,
+    Measure,
+}
+
+/// Times closures handed to it by the benchmark routine.
+pub struct Bencher {
+    mode: Mode,
+    budget: Duration,
+    sample_size: usize,
+    iters_per_sample: u64,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f`, called repeatedly; the return value is black-boxed.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::WarmUp => {
+                // run for the warm-up budget while counting iterations,
+                // then size measurement batches so all samples fit the
+                // measurement budget
+                let start = Instant::now();
+                let mut iters: u64 = 0;
+                while start.elapsed() < self.budget {
+                    std::hint::black_box(f());
+                    iters += 1;
+                }
+                let per_iter = self.budget.as_nanos() as f64 / iters.max(1) as f64;
+                let measure_ns = self.budget.as_nanos() as f64 * 6.0; // measurement ≈ 3s vs 0.5s warm-up
+                let total_iters = (measure_ns / per_iter).max(1.0) as u64;
+                self.iters_per_sample = (total_iters / self.sample_size as u64).max(1);
+            }
+            Mode::Measure => {
+                self.samples_ns.clear();
+                for _ in 0..self.sample_size {
+                    let start = Instant::now();
+                    for _ in 0..self.iters_per_sample {
+                        std::hint::black_box(f());
+                    }
+                    let ns = start.elapsed().as_nanos() as f64;
+                    self.samples_ns.push(ns / self.iters_per_sample as f64);
+                }
+            }
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<48} (no samples)");
+            return;
+        }
+        self.samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = self.samples_ns[self.samples_ns.len() / 2];
+        let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
+        println!(
+            "{id:<48} median {:>12}  mean {:>12}  ({} samples x {} iters)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            self.samples_ns.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A benchmark name of the form `group/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build `"{group}/{parameter}"`.
+    pub fn new(group: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", group.into()),
+        }
+    }
+}
+
+/// Declare a group of benchmark functions with a shared configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate a `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
