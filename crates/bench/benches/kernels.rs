@@ -18,10 +18,10 @@ use std::sync::Arc;
 
 use certainfix_bench::runner::Which;
 use certainfix_cfd::{increp, rules_to_cfds, IncRepConfig};
-use certainfix_core::transfix;
+use certainfix_core::{transfix, BatchRepairEngine, RepairContext, SimulatedUser};
 use certainfix_datagen::{Dataset, DirtyConfig};
 use certainfix_reasoning::{is_suggestion, suggest, Chase, RegionCatalog};
-use certainfix_relation::{AttrSet, FxBuildHasher, FxHashMap, Relation, Value};
+use certainfix_relation::{AttrSet, FxBuildHasher, FxHashMap, Relation, Tuple, Value};
 use certainfix_rules::DependencyGraph;
 
 fn bench_kernels(c: &mut Criterion) {
@@ -312,6 +312,48 @@ fn bench_value_representation(c: &mut Criterion) {
     });
 }
 
+/// The acceptance kernel for the sharded engine: sequential vs
+/// parallel throughput on a 50k-tuple HOSP batch. The 4-worker variant
+/// should reach ≥ 2× the sequential tuples/s on a ≥ 4-core machine
+/// (tuple repairs are independent; the only shared state is the
+/// read-mostly master index and the lock-free interner).
+fn bench_batch_repair(c: &mut Criterion) {
+    let w = Which::Hosp.build(10_000);
+    let ds = Dataset::generate(
+        w.as_ref(),
+        &DirtyConfig {
+            duplicate_rate: 0.3,
+            noise_rate: 0.2,
+            input_size: 50_000,
+            seed: 21,
+        },
+    );
+    let dirty: Vec<Tuple> = ds.inputs.iter().map(|dt| dt.dirty.clone()).collect();
+    let engine = BatchRepairEngine::new(RepairContext::new(
+        w.rules().clone(),
+        w.master().clone(),
+        true,
+    ));
+    // warm the lazily built master key indexes out of the measurement
+    engine.repair(&dirty[..64], 1, |i| {
+        SimulatedUser::new(ds.inputs[i].clean.clone())
+    });
+    for threads in [1usize, 2, 4] {
+        c.bench_with_input(
+            BenchmarkId::new("batch_repair", format!("hosp50k/threads{threads}")),
+            &dirty,
+            |b, dirty| {
+                b.iter(|| {
+                    let report = engine.repair(dirty, threads, |i| {
+                        SimulatedUser::new(ds.inputs[i].clean.clone())
+                    });
+                    black_box((report.stats.certain, report.throughput()))
+                })
+            },
+        );
+    }
+}
+
 criterion_group! {
     name = kernels;
     config = Criterion::default()
@@ -320,4 +362,12 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_kernels, bench_value_representation
 }
-criterion_main!(kernels);
+criterion_group! {
+    name = batch;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_batch_repair
+}
+criterion_main!(kernels, batch);

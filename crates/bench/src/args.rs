@@ -1,19 +1,125 @@
 //! A tiny `--key value` argument parser for the experiment binaries.
 //!
 //! No external CLI crate is pulled in; the experiments only need a
-//! handful of numeric flags (`--dm`, `--inputs`, `--d`, `--n`,
-//! `--seed`, `--vary`, `--out`, `--compliance`).
+//! handful of numeric flags. Each binary declares its accepted flag
+//! set as a [`Spec`]; parsing rejects unknown flags, valued flags
+//! without a value, and stray positional arguments instead of silently
+//! running the experiment with defaults (the ROADMAP's typo'd-flag
+//! trap). [`Args::from_env_strict`] prints a usage line and exits with
+//! status 2 on any parse error.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
-/// Parsed arguments: flag → value (`--flag` without a value stores "").
+/// The flag set one experiment binary accepts.
+#[derive(Debug, Clone)]
+pub struct Spec {
+    bin: &'static str,
+    /// Flags that require a value (`--dm 5000`).
+    valued: Vec<&'static str>,
+    /// Presence-only flags (`--no-bdd`).
+    boolean: Vec<&'static str>,
+}
+
+impl Spec {
+    /// An empty spec for `bin` (shown in the usage line).
+    pub fn new(bin: &'static str) -> Spec {
+        Spec {
+            bin,
+            valued: Vec::new(),
+            boolean: Vec::new(),
+        }
+    }
+
+    /// The flags every `ExpConfig`-driven binary shares: `--dm`,
+    /// `--inputs`, `--d`, `--n`, `--seed`, `--compliance`,
+    /// `--initial`, `--threads`, `--out`, and the boolean `--no-bdd`.
+    pub fn exp(bin: &'static str) -> Spec {
+        Spec::new(bin)
+            .valued(&[
+                "dm",
+                "inputs",
+                "d",
+                "n",
+                "seed",
+                "compliance",
+                "initial",
+                "threads",
+                "out",
+            ])
+            .boolean(&["no-bdd"])
+    }
+
+    /// Add valued flags.
+    pub fn valued(mut self, names: &[&'static str]) -> Spec {
+        self.valued.extend_from_slice(names);
+        self
+    }
+
+    /// Add boolean flags.
+    pub fn boolean(mut self, names: &[&'static str]) -> Spec {
+        self.boolean.extend_from_slice(names);
+        self
+    }
+
+    fn takes_value(&self, name: &str) -> Option<bool> {
+        if self.valued.contains(&name) {
+            Some(true)
+        } else if self.boolean.contains(&name) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// One-line usage summary, e.g.
+    /// `usage: fig9 [--dm <v>] [--inputs <v>] [--no-bdd]`.
+    pub fn usage_line(&self) -> String {
+        let mut line = format!("usage: {}", self.bin);
+        for v in &self.valued {
+            line.push_str(&format!(" [--{v} <v>]"));
+        }
+        for b in &self.boolean {
+            line.push_str(&format!(" [--{b}]"));
+        }
+        line
+    }
+}
+
+/// A rejected command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// A flag the binary does not declare.
+    Unknown(String),
+    /// A valued flag with no value following it.
+    MissingValue(String),
+    /// A token that is not a flag (the binaries take no positionals).
+    Unexpected(String),
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::Unknown(flag) => write!(f, "unknown flag `--{flag}`"),
+            ArgsError::MissingValue(flag) => write!(f, "flag `--{flag}` requires a value"),
+            ArgsError::Unexpected(tok) => write!(f, "unexpected argument `{tok}`"),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// Parsed arguments: flag → value (boolean flags store "").
 #[derive(Debug, Default, Clone)]
 pub struct Args {
     flags: BTreeMap<String, String>,
 }
 
 impl Args {
-    /// Parse from an iterator of arguments (excluding the binary name).
+    /// Lenient parse (no spec): every `--flag [value]` pair is kept,
+    /// non-flag tokens are skipped. Used by unit tests and library
+    /// callers that assemble flag maps programmatically; the binaries
+    /// go through [`Args::from_env_strict`].
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Args {
         let mut flags = BTreeMap::new();
         let mut iter = args.into_iter().peekable();
@@ -29,9 +135,50 @@ impl Args {
         Args { flags }
     }
 
-    /// Parse the process's own arguments.
-    pub fn from_env() -> Args {
-        Args::parse(std::env::args().skip(1))
+    /// Strict parse against a declared flag set.
+    ///
+    /// * an undeclared `--flag` is [`ArgsError::Unknown`];
+    /// * a declared valued flag at the end of the line or followed by
+    ///   another `--flag` is [`ArgsError::MissingValue`];
+    /// * a non-flag token is [`ArgsError::Unexpected`] (boolean flags
+    ///   do not consume the next token, so `--no-bdd 5` rejects `5`).
+    pub fn parse_strict<I: IntoIterator<Item = String>>(
+        args: I,
+        spec: &Spec,
+    ) -> Result<Args, ArgsError> {
+        let mut flags = BTreeMap::new();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(ArgsError::Unexpected(arg));
+            };
+            match spec.takes_value(name) {
+                None => return Err(ArgsError::Unknown(name.to_string())),
+                Some(false) => {
+                    flags.insert(name.to_string(), String::new());
+                }
+                Some(true) => match iter.next() {
+                    Some(v) if !v.starts_with("--") => {
+                        flags.insert(name.to_string(), v);
+                    }
+                    _ => return Err(ArgsError::MissingValue(name.to_string())),
+                },
+            }
+        }
+        Ok(Args { flags })
+    }
+
+    /// Parse the process's own arguments against `spec`; on error,
+    /// print the error and the usage line to stderr and exit 2.
+    pub fn from_env_strict(spec: &Spec) -> Args {
+        match Args::parse_strict(std::env::args().skip(1), spec) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("{}: {e}", spec.bin);
+                eprintln!("{}", spec.usage_line());
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Raw flag value.
@@ -79,6 +226,16 @@ mod tests {
         Args::parse(s.split_whitespace().map(String::from))
     }
 
+    fn strict(s: &str, spec: &Spec) -> Result<Args, ArgsError> {
+        Args::parse_strict(s.split_whitespace().map(String::from), spec)
+    }
+
+    fn spec() -> Spec {
+        Spec::new("test-bin")
+            .valued(&["dm", "d", "vary"])
+            .boolean(&["quiet", "no-bdd"])
+    }
+
     #[test]
     fn parses_key_value_pairs() {
         let a = parse("--dm 5000 --d 0.3 --vary n --quiet");
@@ -109,5 +266,95 @@ mod tests {
     fn bad_numbers_fall_back() {
         let a = parse("--dm abc");
         assert_eq!(a.usize_or("dm", 7), 7);
+    }
+
+    #[test]
+    fn strict_accepts_declared_flags() {
+        let a = strict("--dm 5000 --quiet --d -0.5 --vary n", &spec()).unwrap();
+        assert_eq!(a.usize_or("dm", 0), 5000);
+        assert_eq!(a.f64_or("d", 0.0), -0.5, "negative values are values");
+        assert!(a.has("quiet"));
+        let empty = strict("", &spec()).unwrap();
+        assert!(!empty.has("dm"));
+    }
+
+    #[test]
+    fn strict_rejects_unknown_flags() {
+        assert_eq!(
+            strict("--dm 10 --dmm 20", &spec()).unwrap_err(),
+            ArgsError::Unknown("dmm".into())
+        );
+        // a typo'd boolean is equally fatal
+        assert_eq!(
+            strict("--no-bdd --no-bddd", &spec()).unwrap_err(),
+            ArgsError::Unknown("no-bddd".into())
+        );
+    }
+
+    #[test]
+    fn strict_rejects_missing_values() {
+        // valued flag at the end of the line
+        assert_eq!(
+            strict("--dm", &spec()).unwrap_err(),
+            ArgsError::MissingValue("dm".into())
+        );
+        // valued flag swallowed by the next flag
+        assert_eq!(
+            strict("--dm --quiet", &spec()).unwrap_err(),
+            ArgsError::MissingValue("dm".into())
+        );
+    }
+
+    #[test]
+    fn strict_bare_flag_semantics() {
+        // bare boolean flag: fine
+        let a = strict("--quiet", &spec()).unwrap();
+        assert!(a.has("quiet"));
+        assert_eq!(a.get("quiet"), Some(""));
+        // boolean flags do not consume values: the trailing token is a
+        // stray positional
+        assert_eq!(
+            strict("--quiet 5", &spec()).unwrap_err(),
+            ArgsError::Unexpected("5".into())
+        );
+        // and plain positionals are rejected outright
+        assert_eq!(
+            strict("fig9.csv", &spec()).unwrap_err(),
+            ArgsError::Unexpected("fig9.csv".into())
+        );
+    }
+
+    #[test]
+    fn usage_line_lists_the_spec() {
+        let u = spec().usage_line();
+        assert!(u.starts_with("usage: test-bin"));
+        assert!(u.contains("[--dm <v>]"));
+        assert!(u.contains("[--quiet]"));
+    }
+
+    #[test]
+    fn exp_spec_covers_the_shared_flags() {
+        let s = Spec::exp("x");
+        for f in ["dm", "inputs", "d", "n", "seed", "compliance", "threads"] {
+            assert_eq!(s.takes_value(f), Some(true), "{f}");
+        }
+        assert_eq!(s.takes_value("no-bdd"), Some(false));
+        assert_eq!(s.takes_value("nope"), None);
+    }
+
+    #[test]
+    fn errors_display_the_flag() {
+        assert_eq!(
+            ArgsError::Unknown("dmm".into()).to_string(),
+            "unknown flag `--dmm`"
+        );
+        assert_eq!(
+            ArgsError::MissingValue("dm".into()).to_string(),
+            "flag `--dm` requires a value"
+        );
+        assert_eq!(
+            ArgsError::Unexpected("x".into()).to_string(),
+            "unexpected argument `x`"
+        );
     }
 }

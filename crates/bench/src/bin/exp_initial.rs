@@ -14,13 +14,13 @@
 //! Usage: `cargo run --release -p certainfix-bench --bin exp_initial
 //!         [--dm N] [--inputs N] [--seed S] [--out file.csv]`
 
-use certainfix_bench::args::Args;
+use certainfix_bench::args::{Args, Spec};
 use certainfix_bench::runner::{run_monitored, ExpConfig, Which};
 use certainfix_bench::table::{f3, Table};
 use certainfix_core::InitialRegion;
 
 fn main() {
-    let args = Args::from_env();
+    let args = Args::from_env_strict(&Spec::exp("exp_initial"));
     let base = ExpConfig::from_args(&args);
     let mut table = Table::new(["dataset", "CRHQ", "CRMQ"]);
 

@@ -12,14 +12,14 @@
 //!
 //! Usage: `cargo run -p certainfix-bench --bin exp_regions [--dm N] [--out file.csv]`
 
-use certainfix_bench::args::Args;
+use certainfix_bench::args::{Args, Spec};
 use certainfix_bench::runner::Which;
 use certainfix_bench::table::Table;
 use certainfix_reasoning::{comp_cregion_in_mode, gregion_in_mode, RegionCatalog};
 use certainfix_relation::{AttrId, MasterIndex, Value};
 
 fn main() {
-    let args = Args::from_env();
+    let args = Args::from_env_strict(&Spec::new("exp_regions").valued(&["dm", "out"]));
     let dm = args.usize_or("dm", 1000);
     let mut table = Table::new(["dataset", "CompCRegion", "GRegion", "CompC Z", "GRegion Z"]);
 

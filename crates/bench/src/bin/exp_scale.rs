@@ -1,0 +1,202 @@
+//! Scaling sweep for the sharded parallel batch-repair engine: thread
+//! count × batch size on both workloads.
+//!
+//! For every `(dataset, threads, batch)` point the dirty stream is
+//! generated in batches ([`Dataset::batches`]) and each batch is
+//! repaired by [`BatchRepairEngine`] with that many shard workers;
+//! the row reports wall-clock throughput, merged statistics, recall at
+//! the final round, and the interner watermark.
+//!
+//! A machine-readable JSON document goes to **stdout** (this is what
+//! CI's smoke job archives as `BENCH_smoke.json`); the human-readable
+//! table goes to stderr.
+//!
+//! Usage: `cargo run --release -p certainfix-bench --bin exp_scale --
+//!         [--dm N] [--inputs N] [--threads T] [--batch B]
+//!         [--d F] [--n F] [--seed S] [--out file.csv] [--no-bdd]`
+//!
+//! `--threads T` caps the swept thread counts (1, 2, 4, … up to `T`;
+//! 0 = this machine's available parallelism). `--batch B` pins a single
+//! batch size instead of the default sweep.
+
+use std::fmt::Write as _;
+
+use certainfix_bench::args::{Args, Spec};
+use certainfix_bench::runner::{build_engine, run_batch, ExpConfig, Which};
+use certainfix_bench::table::{f3, Table};
+use certainfix_core::BatchRepairEngine;
+use certainfix_datagen::Dataset;
+
+/// One measured sweep point.
+struct Row {
+    dataset: &'static str,
+    threads: usize,
+    batch: usize,
+    tuples: u64,
+    certain: u64,
+    rounds: u64,
+    elapsed_ms: f64,
+    wall_ms: f64,
+    throughput_tps: f64,
+    recall_t: f64,
+    interner_syms: u64,
+}
+
+fn thread_points(cap: usize) -> Vec<usize> {
+    let mut points = Vec::new();
+    let mut t = 1;
+    while t < cap {
+        points.push(t);
+        t *= 2;
+    }
+    points.push(cap);
+    points
+}
+
+fn batch_points(pinned: Option<usize>, inputs: usize) -> Vec<usize> {
+    let mut points: Vec<usize> = match pinned {
+        Some(b) => vec![b.clamp(1, inputs.max(1))],
+        None => [256usize, 1024, inputs]
+            .into_iter()
+            .map(|b| b.clamp(1, inputs.max(1)))
+            .collect(),
+    };
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render_json(base: &ExpConfig, rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"exp_scale\",");
+    let _ = writeln!(out, "  \"dm\": {},", base.dm);
+    let _ = writeln!(out, "  \"inputs\": {},", base.inputs);
+    let _ = writeln!(out, "  \"d\": {},", base.d);
+    let _ = writeln!(out, "  \"n\": {},", base.n);
+    let _ = writeln!(out, "  \"use_bdd\": {},", base.use_bdd);
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"dataset\": \"{}\", \"threads\": {}, \"batch\": {}, \"tuples\": {}, \
+             \"certain\": {}, \"rounds\": {}, \"elapsed_ms\": {:.3}, \"wall_ms\": {:.3}, \
+             \"throughput_tps\": {:.1}, \"recall_t\": {:.4}, \"interner_syms\": {}}}",
+            json_escape(r.dataset),
+            r.threads,
+            r.batch,
+            r.tuples,
+            r.certain,
+            r.rounds,
+            r.elapsed_ms,
+            r.wall_ms,
+            r.throughput_tps,
+            r.recall_t,
+            r.interner_syms,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let spec = Spec::exp("exp_scale").valued(&["batch"]);
+    let args = Args::from_env_strict(&spec);
+    let mut base = ExpConfig::from_args(&args);
+    if !args.has("threads") {
+        base.threads = BatchRepairEngine::auto_threads();
+    }
+    let pinned_batch = args.has("batch").then(|| args.usize_or("batch", 1024));
+
+    let mut rows: Vec<Row> = Vec::new();
+    for which in Which::BOTH {
+        let w = which.build(base.dm);
+        let engine = build_engine(w.as_ref(), &base);
+        for &threads in &thread_points(base.threads.max(1)) {
+            for &batch in &batch_points(pinned_batch, base.inputs) {
+                let cfg = ExpConfig { threads, ..base };
+                let mut tuples = 0u64;
+                let mut certain = 0u64;
+                let mut rounds = 0u64;
+                let mut elapsed_ms = 0.0f64;
+                let mut wall_ms = 0.0f64;
+                let mut recall_t = 0.0f64;
+                let mut interner_syms = 0u64;
+                let mut corrected = 0usize;
+                let mut erroneous = 0usize;
+                for ds in Dataset::batches(w.as_ref(), &cfg.dirty_config(), batch) {
+                    // 8 rounds covers every observed interaction depth,
+                    // so the last row is the final (plateaued) recall
+                    let result = run_batch(&engine, ds, &cfg, 8);
+                    let last = result.metrics.last().expect("rounds >= 1");
+                    tuples += result.stats.tuples;
+                    certain += result.stats.certain;
+                    rounds += result.stats.rounds;
+                    elapsed_ms += result.stats.elapsed.as_secs_f64() * 1e3;
+                    wall_ms += result.wall.as_secs_f64() * 1e3;
+                    interner_syms = interner_syms.max(result.stats.interner_syms);
+                    corrected += last.corrected_tuples;
+                    erroneous += last.erroneous_tuples;
+                }
+                if erroneous > 0 {
+                    recall_t = corrected as f64 / erroneous as f64;
+                }
+                let throughput_tps = if wall_ms > 0.0 {
+                    tuples as f64 / (wall_ms / 1e3)
+                } else {
+                    0.0
+                };
+                rows.push(Row {
+                    dataset: which.name(),
+                    threads,
+                    batch,
+                    tuples,
+                    certain,
+                    rounds,
+                    elapsed_ms,
+                    wall_ms,
+                    throughput_tps,
+                    recall_t,
+                    interner_syms,
+                });
+            }
+        }
+    }
+
+    let mut table = Table::new([
+        "dataset", "threads", "batch", "tuples", "certain", "wall ms", "tuples/s", "recall_t",
+        "interner",
+    ]);
+    for r in &rows {
+        table.row([
+            r.dataset.to_string(),
+            r.threads.to_string(),
+            r.batch.to_string(),
+            r.tuples.to_string(),
+            r.certain.to_string(),
+            format!("{:.1}", r.wall_ms),
+            format!("{:.0}", r.throughput_tps),
+            f3(r.recall_t),
+            r.interner_syms.to_string(),
+        ]);
+    }
+    eprintln!(
+        "exp_scale: |Dm| = {}, |D| = {}, d% = {:.0}, n% = {:.0}, bdd = {}",
+        base.dm,
+        base.inputs,
+        base.d * 100.0,
+        base.n * 100.0,
+        base.use_bdd
+    );
+    eprint!("{}", table.render());
+    table
+        .maybe_write_csv(args.str_or("out", ""))
+        .expect("writing CSV output");
+
+    // machine-readable output on stdout — what CI archives
+    print!("{}", render_json(&base, &rows));
+}

@@ -10,7 +10,7 @@
 //! Usage: `cargo run --release -p certainfix-bench --bin fig10
 //!         [--vary d|dm|n|all] [--dm N] [--inputs N] [--out file.csv]`
 
-use certainfix_bench::args::Args;
+use certainfix_bench::args::{Args, Spec};
 use certainfix_bench::runner::{run_monitored, ExpConfig, Which};
 use certainfix_bench::table::{f3, Table};
 
@@ -46,7 +46,7 @@ fn sweep(which: Which, base: &ExpConfig, vary: &str, table: &mut Table) {
 }
 
 fn main() {
-    let args = Args::from_env();
+    let args = Args::from_env_strict(&Spec::exp("fig10").valued(&["vary"]));
     let base = ExpConfig::from_args(&args);
     let vary = args.str_or("vary", "all").to_string();
     let mut table = Table::new(["dataset", "sweep", "point", "k=1", "k=2", "k=3", "k=4"]);

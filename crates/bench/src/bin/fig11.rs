@@ -16,7 +16,7 @@
 //! Usage: `cargo run --release -p certainfix-bench --bin fig11
 //!         [--vary d|dm|n|all] [--dm N] [--inputs N] [--out file.csv]`
 
-use certainfix_bench::args::Args;
+use certainfix_bench::args::{Args, Spec};
 use certainfix_bench::runner::{run_increp, run_monitored, ExpConfig, Which};
 use certainfix_bench::table::{f3, Table};
 
@@ -56,7 +56,7 @@ fn sweep(which: Which, base: &ExpConfig, vary: &str, table: &mut Table) {
 }
 
 fn main() {
-    let args = Args::from_env();
+    let args = Args::from_env_strict(&Spec::exp("fig11").valued(&["vary"]));
     let base = ExpConfig::from_args(&args);
     let vary = args.str_or("vary", "all").to_string();
     let mut table = Table::new([

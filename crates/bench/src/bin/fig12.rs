@@ -11,7 +11,7 @@
 //! Usage: `cargo run --release -p certainfix-bench --bin fig12
 //!         [--vary dm|d_size|all] [--dm N] [--inputs N] [--out file.csv]`
 
-use certainfix_bench::args::Args;
+use certainfix_bench::args::{Args, Spec};
 use certainfix_bench::runner::{run_monitored, ExpConfig, Which};
 use certainfix_bench::table::{ms, Table};
 
@@ -31,7 +31,7 @@ fn run_point(which: Which, cfg: &ExpConfig) -> (std::time::Duration, f64) {
 }
 
 fn main() {
-    let args = Args::from_env();
+    let args = Args::from_env_strict(&Spec::exp("fig12").valued(&["vary"]));
     let base = ExpConfig::from_args(&args);
     let vary = args.str_or("vary", "all").to_string();
     let mut table = Table::new([

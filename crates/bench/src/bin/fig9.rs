@@ -14,12 +14,12 @@
 //! Usage: `cargo run --release -p certainfix-bench --bin fig9
 //!         [--dm N] [--inputs N] [--compliance C] [--out file.csv]`
 
-use certainfix_bench::args::Args;
+use certainfix_bench::args::{Args, Spec};
 use certainfix_bench::runner::{run_monitored, ExpConfig, Which};
 use certainfix_bench::table::{f3, Table};
 
 fn main() {
-    let args = Args::from_env();
+    let args = Args::from_env_strict(&Spec::exp("fig9"));
     let mut base = ExpConfig::from_args(&args);
     if !args.has("compliance") {
         // partial compliance reveals the multi-round shape of Fig. 9

@@ -5,10 +5,12 @@ use std::time::Duration;
 
 use certainfix_cfd::{increp, rules_to_cfds, IncRepConfig};
 use certainfix_core::{
-    evaluate_changes, evaluate_rounds, CertainFixConfig, ChangeCounts, DataMonitor, FixOutcome,
-    InitialRegion, MonitorStats, RoundMetrics, SimulatedUser,
+    evaluate_changes, evaluate_rounds, merge_round_series, BatchRepairEngine, CertainFixConfig,
+    ChangeCounts, FixOutcome, InitialRegion, MonitorStats, RoundMetrics, ShardReport,
+    SimulatedUser, TupleEval,
 };
 use certainfix_datagen::{Dataset, Dblp, DirtyConfig, Hosp, Workload};
+use certainfix_relation::Tuple;
 
 use crate::args::Args;
 
@@ -62,6 +64,9 @@ pub struct ExpConfig {
     pub use_bdd: bool,
     /// Which precomputed region seeds round 1.
     pub initial: InitialRegion,
+    /// Shard workers for batch repair (1 = sequential; 0 = one per
+    /// available core).
+    pub threads: usize,
 }
 
 impl Default for ExpConfig {
@@ -75,6 +80,7 @@ impl Default for ExpConfig {
             compliance: 1.0,
             use_bdd: true,
             initial: InitialRegion::Best,
+            threads: 1,
         }
     }
 }
@@ -83,6 +89,10 @@ impl ExpConfig {
     /// Read overrides from CLI flags.
     pub fn from_args(args: &Args) -> ExpConfig {
         let default = ExpConfig::default();
+        let threads = match args.usize_or("threads", default.threads) {
+            0 => BatchRepairEngine::auto_threads(),
+            t => t,
+        };
         ExpConfig {
             dm: args.usize_or("dm", default.dm),
             inputs: args.usize_or("inputs", default.inputs),
@@ -96,10 +106,12 @@ impl ExpConfig {
             } else {
                 InitialRegion::Best
             },
+            threads,
         }
     }
 
-    fn dirty_config(&self) -> DirtyConfig {
+    /// The dirty-data generator knobs this config implies.
+    pub fn dirty_config(&self) -> DirtyConfig {
         DirtyConfig {
             duplicate_rate: self.d,
             noise_rate: self.n,
@@ -111,12 +123,19 @@ impl ExpConfig {
 
 /// Result of one monitored run.
 pub struct RunResult {
-    /// Per-round cumulative metrics (rounds `1..=max_rounds`).
+    /// Per-round cumulative metrics (rounds `1..=max_rounds`),
+    /// evaluated shard-by-shard and merged.
     pub metrics: Vec<RoundMetrics>,
-    /// Monitor statistics (timing, rounds, certain count).
+    /// Merged monitor statistics (timing, rounds, certain count,
+    /// interner watermark). With `threads > 1`, `elapsed` sums worker
+    /// time across shards; `wall` is the batch's wall clock.
     pub stats: MonitorStats,
-    /// BDD cache statistics.
+    /// Merged BDD cache statistics.
     pub bdd: certainfix_core::bdd::BddStats,
+    /// Wall-clock time of the repair batch.
+    pub wall: Duration,
+    /// Per-shard breakdown (one entry when sequential).
+    pub shards: Vec<ShardReport>,
     /// The dataset used (for follow-up comparisons on the same data).
     pub dataset: Dataset,
     /// Raw per-tuple outcomes.
@@ -140,43 +159,76 @@ impl RunResult {
     }
 }
 
-/// Run the monitored pipeline on `workload` under `cfg`, evaluating
-/// metrics for up to `report_rounds` rounds.
-pub fn run_monitored(workload: &dyn Workload, cfg: &ExpConfig, report_rounds: usize) -> RunResult {
-    let mut monitor = DataMonitor::with_config(
+/// Build the batch-repair engine for a workload under `cfg`.
+pub fn build_engine(workload: &dyn Workload, cfg: &ExpConfig) -> BatchRepairEngine {
+    BatchRepairEngine::with_config(
         workload.rules().clone(),
         workload.master().clone(),
         cfg.use_bdd,
         cfg.initial,
         CertainFixConfig::default(),
-    );
-    let dataset = Dataset::generate(workload, &cfg.dirty_config());
-    let mut outcomes = Vec::with_capacity(dataset.len());
-    for (i, dt) in dataset.inputs.iter().enumerate() {
-        let mut user = if cfg.compliance >= 1.0 {
+    )
+}
+
+/// Repair one already-generated batch with `cfg.threads` shard workers
+/// and evaluate per-shard metrics, merged into whole-batch rows. The
+/// oracle for input `i` is seeded from the *dataset's* seed (which
+/// [`Dataset::batches`] decorrelates per batch) and `i` only, so
+/// results are independent of both the shard count and the position of
+/// the batch in a stream.
+pub fn run_batch(
+    engine: &BatchRepairEngine,
+    dataset: Dataset,
+    cfg: &ExpConfig,
+    report_rounds: usize,
+) -> RunResult {
+    let dirty: Vec<Tuple> = dataset.inputs.iter().map(|dt| dt.dirty.clone()).collect();
+    let oracle_seed = dataset.config.seed;
+    let report = engine.repair(&dirty, cfg.threads.max(1), |i| {
+        let dt = &dataset.inputs[i];
+        if cfg.compliance >= 1.0 {
             SimulatedUser::new(dt.clean.clone())
         } else {
-            SimulatedUser::with_compliance(dt.clean.clone(), cfg.compliance, cfg.seed ^ i as u64)
-        };
-        outcomes.push(monitor.process(&dt.dirty, &mut user));
+            SimulatedUser::with_compliance(dt.clean.clone(), cfg.compliance, oracle_seed ^ i as u64)
+        }
+    });
+    let report_rounds = report_rounds.max(1);
+    let mut metrics: Option<Vec<RoundMetrics>> = None;
+    for shard in &report.shards {
+        let evals: Vec<TupleEval> = shard
+            .range
+            .clone()
+            .map(|i| TupleEval {
+                outcome: &report.outcomes[i],
+                dirty: &dataset.inputs[i].dirty,
+                clean: &dataset.inputs[i].clean,
+            })
+            .collect();
+        let m = evaluate_rounds(&evals, report_rounds);
+        match &mut metrics {
+            None => metrics = Some(m),
+            Some(acc) => merge_round_series(acc, &m),
+        }
     }
-    let evals: Vec<certainfix_core::TupleEval> = outcomes
-        .iter()
-        .zip(&dataset.inputs)
-        .map(|(o, dt)| certainfix_core::TupleEval {
-            outcome: o,
-            dirty: &dt.dirty,
-            clean: &dt.clean,
-        })
-        .collect();
-    let metrics = evaluate_rounds(&evals, report_rounds.max(1));
     RunResult {
-        metrics,
-        stats: monitor.stats(),
-        bdd: monitor.bdd_stats(),
+        metrics: metrics.unwrap_or_else(|| evaluate_rounds(&[], report_rounds)),
+        stats: report.stats,
+        bdd: report.bdd,
+        wall: report.wall,
+        shards: report.shards,
         dataset,
-        outcomes,
+        outcomes: report.outcomes,
     }
+}
+
+/// Run the monitored pipeline on `workload` under `cfg`, evaluating
+/// metrics for up to `report_rounds` rounds. `cfg.threads > 1` repairs
+/// the stream with that many shard workers; the outcomes and merged
+/// metrics are the same either way.
+pub fn run_monitored(workload: &dyn Workload, cfg: &ExpConfig, report_rounds: usize) -> RunResult {
+    let engine = build_engine(workload, cfg);
+    let dataset = Dataset::generate(workload, &cfg.dirty_config());
+    run_batch(&engine, dataset, cfg, report_rounds)
 }
 
 /// Run the `IncRep` baseline on the same dirty data and evaluate its
@@ -248,7 +300,7 @@ mod tests {
     #[test]
     fn config_from_args() {
         let args = Args::parse(
-            "--dm 123 --inputs 45 --d 0.5 --n 0.1 --no-bdd --initial median"
+            "--dm 123 --inputs 45 --d 0.5 --n 0.1 --no-bdd --initial median --threads 3"
                 .split_whitespace()
                 .map(String::from),
         );
@@ -258,6 +310,36 @@ mod tests {
         assert_eq!(cfg.d, 0.5);
         assert!(!cfg.use_bdd);
         assert_eq!(cfg.initial, InitialRegion::Median);
+        assert_eq!(cfg.threads, 3);
+    }
+
+    #[test]
+    fn threads_zero_resolves_to_available_parallelism() {
+        let args = Args::parse("--threads 0".split_whitespace().map(String::from));
+        let cfg = ExpConfig::from_args(&args);
+        assert!(cfg.threads >= 1);
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_metrics() {
+        // plain CertainFix: the engine's full bit-identical guarantee
+        let base = ExpConfig {
+            use_bdd: false,
+            ..small()
+        };
+        let seq = run_monitored(Which::Hosp.build(base.dm).as_ref(), &base, 3);
+        let par = run_monitored(
+            Which::Hosp.build(base.dm).as_ref(),
+            &ExpConfig { threads: 4, ..base },
+            3,
+        );
+        assert_eq!(par.shards.len(), 4);
+        assert_eq!(seq.metrics, par.metrics, "merged rows are bit-identical");
+        assert_eq!(seq.stats.certain, par.stats.certain);
+        assert_eq!(seq.stats.rounds, par.stats.rounds);
+        for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
+            assert_eq!(a.tuple, b.tuple);
+        }
     }
 
     #[test]

@@ -64,6 +64,17 @@ pub struct BddStats {
     pub dedup_reuses: u64,
 }
 
+impl BddStats {
+    /// Fold another cache's counters into this one (used when merging
+    /// per-shard caches after a parallel batch repair).
+    pub fn merge(&mut self, other: &BddStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.failed_checks += other.failed_checks;
+        self.dedup_reuses += other.dedup_reuses;
+    }
+}
+
 /// The suggestion BDD.
 #[derive(Debug, Default)]
 pub struct SuggestionBdd {

@@ -1,0 +1,573 @@
+//! The sharded parallel batch-repair engine.
+//!
+//! The paper's repair model is embarrassingly parallel across tuples:
+//! [`CertainFix`] and [`transfix`](crate::transfix::transfix) read a
+//! shared immutable `(Σ, Dm)` precomputation and mutate only the tuple
+//! they are repairing. [`BatchRepairEngine`] exploits that: it splits a
+//! batch of dirty tuples into contiguous shards and repairs the shards
+//! concurrently with scoped worker threads, each worker owning its own
+//! [`SuggestionBdd`] cache and [`MonitorStats`] accumulator over a
+//! shared [`RepairContext`].
+//!
+//! # Determinism
+//!
+//! Every tuple's repair depends only on the tuple itself, its oracle,
+//! and the shared immutable context — never on other tuples in the
+//! batch. Outcomes are stitched back in input order, and the merged
+//! statistics are integer sums, so for plain `CertainFix`
+//! (`use_bdd = false`) the repaired tuples, the merged count fields of
+//! [`MonitorStats`], and any [`RoundMetrics`](crate::RoundMetrics)
+//! evaluated per shard and [`merged`](crate::metrics::merge_round_series)
+//! are **bit-identical to a sequential run regardless of shard count or
+//! interleaving**. With the BDD cache enabled each shard warms its own
+//! cache, which can serve a different (but equally valid) suggestion
+//! order; final repaired tuples still agree, but round traces may not.
+//! The wall-clock observables ([`MonitorStats::elapsed`] and the
+//! interner watermark) are exempt from the guarantee by nature.
+
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+use certainfix_reasoning::{suggest, RegionCatalog};
+use certainfix_relation::{AttrId, Interner, MasterIndex, Relation, Tuple};
+use certainfix_rules::{DependencyGraph, RuleSet};
+use std::sync::Arc;
+
+use crate::bdd::{BddStats, Cursor, SuggestionBdd};
+use crate::certainfix::{CertainFix, CertainFixConfig, FixOutcome};
+use crate::monitor::{InitialRegion, MonitorStats};
+use crate::oracle::UserOracle;
+
+/// Everything precomputed from `(Σ, Dm)` that repair workers share by
+/// reference: the rule set, the indexed master data, the dependency
+/// graph (Fig. 4), the ranked certain-region catalog, and the initial
+/// suggestion. Immutable after construction (the [`MasterIndex`] cache
+/// grows internally behind its own lock), hence `Sync`.
+pub struct RepairContext {
+    rules: Arc<RuleSet>,
+    master: MasterIndex,
+    graph: DependencyGraph,
+    catalog: RegionCatalog,
+    initial: Vec<AttrId>,
+    config: CertainFixConfig,
+    use_bdd: bool,
+}
+
+impl RepairContext {
+    /// Build a context over `(Σ, Dm)`. `use_bdd` selects `CertainFix+`
+    /// (per-worker BDD suggestion caches) over plain `CertainFix`.
+    pub fn new(rules: RuleSet, master: Arc<Relation>, use_bdd: bool) -> RepairContext {
+        Self::with_config(
+            rules,
+            master,
+            use_bdd,
+            InitialRegion::Best,
+            CertainFixConfig::default(),
+        )
+    }
+
+    /// Full-control constructor.
+    pub fn with_config(
+        rules: RuleSet,
+        master: Arc<Relation>,
+        use_bdd: bool,
+        initial_region: InitialRegion,
+        config: CertainFixConfig,
+    ) -> RepairContext {
+        let master = MasterIndex::new(master);
+        let graph = DependencyGraph::new(&rules);
+        let catalog = RegionCatalog::build(&rules, &master);
+        let region = match initial_region {
+            InitialRegion::Best => catalog.best(),
+            InitialRegion::Median => catalog.median(),
+        };
+        let initial = region
+            .map(|r| r.z().to_vec())
+            .unwrap_or_else(|| rules.r_schema().attr_ids().collect());
+        RepairContext {
+            rules: Arc::new(rules),
+            master,
+            graph,
+            catalog,
+            initial,
+            config,
+            use_bdd,
+        }
+    }
+
+    /// The rule set.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The indexed master data.
+    pub fn master(&self) -> &MasterIndex {
+        &self.master
+    }
+
+    /// The region catalog.
+    pub fn catalog(&self) -> &RegionCatalog {
+        &self.catalog
+    }
+
+    /// The initial suggestion (the seeded region's `Z`).
+    pub fn initial_suggestion(&self) -> &[AttrId] {
+        &self.initial
+    }
+
+    /// `true` iff suggestions are served from a BDD cache.
+    pub fn uses_bdd(&self) -> bool {
+        self.use_bdd
+    }
+
+    /// Run the Fig. 3 interaction loop for one tuple, charging the
+    /// given per-worker cache and statistics accumulator. This is the
+    /// single per-tuple pipeline shared by the sequential
+    /// [`DataMonitor`](crate::DataMonitor) and the parallel engine's
+    /// shard workers — both produce outcomes through this exact code
+    /// path, which is what makes the determinism guarantee hold by
+    /// construction rather than by parallel maintenance of two loops.
+    pub fn process_with<O: UserOracle + ?Sized>(
+        &self,
+        bdd: &mut SuggestionBdd,
+        stats: &mut MonitorStats,
+        dirty: &Tuple,
+        oracle: &mut O,
+    ) -> FixOutcome {
+        let started = Instant::now();
+        let engine = CertainFix::new(&self.rules, &self.master, &self.graph, self.config.clone());
+        let outcome = if self.use_bdd {
+            let mut cursor = Cursor::start();
+            engine.run(dirty, &self.initial, oracle, |t, validated| {
+                bdd.suggest_plus(&self.rules, &self.master, t, validated, &mut cursor)
+            })
+        } else {
+            engine.run(dirty, &self.initial, oracle, |t, validated| {
+                suggest(&self.rules, &self.master, t, validated).map(|s| s.attrs)
+            })
+        };
+        stats.tuples += 1;
+        stats.rounds += outcome.rounds.len() as u64;
+        if outcome.certain {
+            stats.certain += 1;
+        }
+        stats.elapsed += started.elapsed();
+        stats.interner_syms = stats.interner_syms.max(Interner::global().len() as u64);
+        outcome
+    }
+}
+
+/// Per-shard accounting of one [`BatchRepairEngine::repair`] call.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Shard index (0-based, in input order).
+    pub shard: usize,
+    /// The input indexes this shard repaired.
+    pub range: Range<usize>,
+    /// The shard worker's statistics.
+    pub stats: MonitorStats,
+    /// The shard worker's BDD cache statistics.
+    pub bdd: BddStats,
+}
+
+/// The merged result of one batch repair.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-tuple outcomes, in input order.
+    pub outcomes: Vec<FixOutcome>,
+    /// Merged statistics ([`MonitorStats::merge`] over all shards;
+    /// `elapsed` is summed worker time, not wall clock).
+    pub stats: MonitorStats,
+    /// Merged BDD cache statistics.
+    pub bdd: BddStats,
+    /// Wall-clock time of the whole batch (what throughput divides by).
+    pub wall: Duration,
+    /// Per-shard breakdown, in shard order.
+    pub shards: Vec<ShardReport>,
+}
+
+impl BatchReport {
+    /// Batch throughput in tuples per second (wall clock).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.outcomes.len() as f64 / secs
+        }
+    }
+}
+
+/// The sharded parallel batch-repair engine: a [`RepairContext`] plus
+/// the scoped-thread fan-out/merge machinery.
+pub struct BatchRepairEngine {
+    ctx: RepairContext,
+}
+
+impl BatchRepairEngine {
+    /// Wrap a prepared context.
+    pub fn new(ctx: RepairContext) -> BatchRepairEngine {
+        BatchRepairEngine { ctx }
+    }
+
+    /// Shorthand: build the context and the engine in one step.
+    pub fn with_config(
+        rules: RuleSet,
+        master: Arc<Relation>,
+        use_bdd: bool,
+        initial_region: InitialRegion,
+        config: CertainFixConfig,
+    ) -> BatchRepairEngine {
+        BatchRepairEngine::new(RepairContext::with_config(
+            rules,
+            master,
+            use_bdd,
+            initial_region,
+            config,
+        ))
+    }
+
+    /// The shared context.
+    pub fn context(&self) -> &RepairContext {
+        &self.ctx
+    }
+
+    /// This machine's available parallelism (the `--threads 0` / "auto"
+    /// resolution used by the bench layer).
+    pub fn auto_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// Repair `dirty` with up to `threads` concurrent shard workers.
+    ///
+    /// The batch is split into `threads` contiguous shards (the last
+    /// may be short). `oracle_for(i)` supplies the (simulated or real)
+    /// user for input index `i`; it is called from worker threads, so
+    /// it must be `Sync` — and for the determinism guarantee it must
+    /// depend only on `i`, not on call order.
+    pub fn repair<F, O>(&self, dirty: &[Tuple], threads: usize, oracle_for: F) -> BatchReport
+    where
+        F: Fn(usize) -> O + Sync,
+        O: UserOracle,
+    {
+        let started = Instant::now();
+        let n = dirty.len();
+        if n == 0 {
+            return BatchReport {
+                outcomes: Vec::new(),
+                stats: MonitorStats::default(),
+                bdd: BddStats::default(),
+                wall: started.elapsed(),
+                shards: Vec::new(),
+            };
+        }
+        let threads = threads.clamp(1, n);
+        let chunk = n.div_ceil(threads);
+        let mut slots: Vec<Option<(Vec<FixOutcome>, MonitorStats, BddStats)>> = Vec::new();
+        slots.resize_with(threads, || None);
+
+        let ctx = &self.ctx;
+        let oracle_for = &oracle_for;
+        std::thread::scope(|s| {
+            for (i, (tuples, slot)) in dirty.chunks(chunk).zip(slots.iter_mut()).enumerate() {
+                let base = i * chunk;
+                s.spawn(move || {
+                    let mut bdd = SuggestionBdd::new();
+                    let mut stats = MonitorStats::default();
+                    let outcomes: Vec<FixOutcome> = tuples
+                        .iter()
+                        .enumerate()
+                        .map(|(j, t)| {
+                            let mut oracle = oracle_for(base + j);
+                            ctx.process_with(&mut bdd, &mut stats, t, &mut oracle)
+                        })
+                        .collect();
+                    *slot = Some((outcomes, stats, bdd.stats()));
+                });
+            }
+        });
+
+        let mut outcomes = Vec::with_capacity(n);
+        let mut stats = MonitorStats::default();
+        let mut bdd = BddStats::default();
+        let mut shards = Vec::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            // `chunks` yields ceil(n/chunk) <= threads pieces; trailing
+            // slots stay empty when the division is uneven.
+            let Some((outs, s, b)) = slot else { continue };
+            let range = outcomes.len()..outcomes.len() + outs.len();
+            stats.merge(&s);
+            bdd.merge(&b);
+            shards.push(ShardReport {
+                shard: i,
+                range,
+                stats: s,
+                bdd: b,
+            });
+            outcomes.extend(outs);
+        }
+        debug_assert_eq!(outcomes.len(), n);
+        BatchReport {
+            outcomes,
+            stats,
+            bdd,
+            wall: started.elapsed(),
+            shards,
+        }
+    }
+
+    /// Repair every tuple of a relation (the batch analogue of
+    /// [`DataMonitor::repair_relation`](crate::DataMonitor::repair_relation)),
+    /// returning the repaired relation plus the full report.
+    pub fn repair_relation<F, O>(
+        &self,
+        dirty: &Relation,
+        threads: usize,
+        oracle_for: F,
+    ) -> (Relation, BatchReport)
+    where
+        F: Fn(usize) -> O + Sync,
+        O: UserOracle,
+    {
+        let tuples: Vec<Tuple> = dirty.iter().cloned().collect();
+        let report = self.repair(&tuples, threads, oracle_for);
+        let mut repaired = Relation::empty(dirty.schema().clone());
+        for out in &report.outcomes {
+            repaired
+                .push(out.tuple.clone())
+                .expect("outcome tuples share the input schema");
+        }
+        (repaired, report)
+    }
+}
+
+/// Compile-time audit: the types shard workers share by reference must
+/// be `Send + Sync`. A regression here (an `Rc`, a `Cell`, a raw
+/// pointer without the right marker) fails the build, not a review.
+#[allow(dead_code)]
+fn _send_sync_audit() {
+    fn check<T: Send + Sync>() {}
+    check::<RepairContext>();
+    check::<BatchRepairEngine>();
+    check::<RuleSet>();
+    check::<MasterIndex>();
+    check::<DependencyGraph>();
+    check::<RegionCatalog>();
+    check::<Tuple>();
+    check::<FixOutcome>();
+    check::<MonitorStats>();
+    check::<BddStats>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{evaluate_rounds, merge_round_series, RoundMetrics, TupleEval};
+    use crate::monitor::DataMonitor;
+    use crate::oracle::SimulatedUser;
+    use certainfix_datagen::{Dataset, DirtyConfig, Hosp, Workload};
+
+    fn hosp_batch(dm: usize, inputs: usize) -> (Hosp, Dataset, Vec<Tuple>) {
+        let hosp = Hosp::generate(dm);
+        let cfg = DirtyConfig {
+            duplicate_rate: 0.3,
+            noise_rate: 0.2,
+            input_size: inputs,
+            seed: 0xD15EA5E,
+        };
+        let ds = Dataset::generate(&hosp, &cfg);
+        let dirty: Vec<Tuple> = ds.inputs.iter().map(|dt| dt.dirty.clone()).collect();
+        (hosp, ds, dirty)
+    }
+
+    fn eval_by_shard(report: &BatchReport, ds: &Dataset, rounds: usize) -> Vec<RoundMetrics> {
+        let mut merged: Option<Vec<RoundMetrics>> = None;
+        for shard in &report.shards {
+            let evals: Vec<TupleEval> = shard
+                .range
+                .clone()
+                .map(|i| TupleEval {
+                    outcome: &report.outcomes[i],
+                    dirty: &ds.inputs[i].dirty,
+                    clean: &ds.inputs[i].clean,
+                })
+                .collect();
+            let m = evaluate_rounds(&evals, rounds);
+            match &mut merged {
+                None => merged = Some(m),
+                Some(acc) => merge_round_series(acc, &m),
+            }
+        }
+        merged.expect("at least one shard")
+    }
+
+    /// The satellite determinism test: the same 10k-tuple dirty HOSP
+    /// batch repaired with 1, 2, and 8 shards produces identical final
+    /// tuples and identical merged `MonitorStats` counts and
+    /// `RoundMetrics` rows.
+    #[test]
+    fn sharded_repair_is_deterministic_1_2_8() {
+        let (hosp, ds, dirty) = hosp_batch(500, 10_000);
+        let engine = BatchRepairEngine::new(RepairContext::new(
+            hosp.rules().clone(),
+            hosp.master().clone(),
+            false,
+        ));
+        let oracle_for = |i: usize| SimulatedUser::new(ds.inputs[i].clean.clone());
+
+        let sequential = engine.repair(&dirty, 1, oracle_for);
+        let seq_metrics = eval_by_shard(&sequential, &ds, 4);
+        assert_eq!(sequential.shards.len(), 1);
+
+        for threads in [2usize, 8] {
+            let parallel = engine.repair(&dirty, threads, oracle_for);
+            assert_eq!(parallel.shards.len(), threads);
+            for (i, (a, b)) in sequential
+                .outcomes
+                .iter()
+                .zip(&parallel.outcomes)
+                .enumerate()
+            {
+                assert_eq!(a.tuple, b.tuple, "tuple {i} with {threads} shards");
+                assert_eq!(a.certain, b.certain, "tuple {i}");
+                assert_eq!(a.validated, b.validated, "tuple {i}");
+                assert_eq!(a.rule_fixed, b.rule_fixed, "tuple {i}");
+                assert_eq!(a.rounds.len(), b.rounds.len(), "tuple {i}");
+            }
+            // merged deterministic MonitorStats fields
+            assert_eq!(sequential.stats.tuples, parallel.stats.tuples);
+            assert_eq!(sequential.stats.certain, parallel.stats.certain);
+            assert_eq!(sequential.stats.rounds, parallel.stats.rounds);
+            // merged per-shard metric rows are bit-identical
+            assert_eq!(seq_metrics, eval_by_shard(&parallel, &ds, 4));
+        }
+    }
+
+    /// With the BDD cache each shard warms its own diagram, so round
+    /// traces may differ across shard counts — but the repaired tuples
+    /// must still agree with the sequential run.
+    #[test]
+    fn bdd_shards_agree_on_final_tuples() {
+        let (hosp, ds, dirty) = hosp_batch(300, 600);
+        let engine = BatchRepairEngine::new(RepairContext::new(
+            hosp.rules().clone(),
+            hosp.master().clone(),
+            true,
+        ));
+        let oracle_for = |i: usize| SimulatedUser::new(ds.inputs[i].clean.clone());
+        let sequential = engine.repair(&dirty, 1, oracle_for);
+        for threads in [2usize, 4] {
+            let parallel = engine.repair(&dirty, threads, oracle_for);
+            for (i, (a, b)) in sequential
+                .outcomes
+                .iter()
+                .zip(&parallel.outcomes)
+                .enumerate()
+            {
+                assert_eq!(a.tuple, b.tuple, "tuple {i} with {threads} shards");
+                assert_eq!(a.certain, b.certain, "tuple {i}");
+            }
+            assert_eq!(sequential.stats.certain, parallel.stats.certain);
+        }
+    }
+
+    #[test]
+    fn engine_matches_the_sequential_monitor() {
+        let (hosp, ds, dirty) = hosp_batch(300, 200);
+        let engine = BatchRepairEngine::new(RepairContext::new(
+            hosp.rules().clone(),
+            hosp.master().clone(),
+            true,
+        ));
+        let report = engine.repair(&dirty, 4, |i| {
+            SimulatedUser::new(ds.inputs[i].clean.clone())
+        });
+        let mut monitor = DataMonitor::new(hosp.rules().clone(), hosp.master().clone(), true);
+        for (i, dt) in ds.inputs.iter().enumerate() {
+            let mut user = SimulatedUser::new(dt.clean.clone());
+            let out = monitor.process(&dt.dirty, &mut user);
+            assert_eq!(out.tuple, report.outcomes[i].tuple, "tuple {i}");
+            assert_eq!(out.certain, report.outcomes[i].certain, "tuple {i}");
+        }
+        assert_eq!(monitor.stats().certain, report.stats.certain);
+        assert_eq!(monitor.stats().tuples, report.stats.tuples);
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_input_in_order() {
+        let (hosp, ds, dirty) = hosp_batch(100, 103);
+        let engine = BatchRepairEngine::new(RepairContext::new(
+            hosp.rules().clone(),
+            hosp.master().clone(),
+            false,
+        ));
+        let report = engine.repair(&dirty, 4, |i| {
+            SimulatedUser::new(ds.inputs[i].clean.clone())
+        });
+        assert_eq!(report.outcomes.len(), 103);
+        let mut next = 0usize;
+        for (k, shard) in report.shards.iter().enumerate() {
+            assert_eq!(shard.shard, k);
+            assert_eq!(shard.range.start, next);
+            assert!(!shard.range.is_empty());
+            next = shard.range.end;
+        }
+        assert_eq!(next, 103);
+        // watermark was captured (the interner is never empty here)
+        assert!(report.stats.interner_syms > 0);
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn more_threads_than_tuples_is_clamped() {
+        let (hosp, ds, dirty) = hosp_batch(50, 3);
+        let engine = BatchRepairEngine::new(RepairContext::new(
+            hosp.rules().clone(),
+            hosp.master().clone(),
+            false,
+        ));
+        let report = engine.repair(&dirty, 64, |i| {
+            SimulatedUser::new(ds.inputs[i].clean.clone())
+        });
+        assert_eq!(report.outcomes.len(), 3);
+        assert!(report.shards.len() <= 3);
+        assert_eq!(report.stats.tuples, 3);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let hosp = Hosp::generate(20);
+        let engine = BatchRepairEngine::new(RepairContext::new(
+            hosp.rules().clone(),
+            hosp.master().clone(),
+            false,
+        ));
+        let report = engine.repair(&[], 8, |_| {
+            SimulatedUser::new(hosp.master().tuple(0).clone())
+        });
+        assert!(report.outcomes.is_empty());
+        assert!(report.shards.is_empty());
+        assert_eq!(report.stats.tuples, 0);
+        assert_eq!(report.throughput(), 0.0);
+    }
+
+    #[test]
+    fn repair_relation_round_trips() {
+        let (hosp, ds, _) = hosp_batch(150, 40);
+        let dirty_rel = ds.dirty_relation(hosp.schema().clone());
+        let engine = BatchRepairEngine::new(RepairContext::new(
+            hosp.rules().clone(),
+            hosp.master().clone(),
+            true,
+        ));
+        let (repaired, report) = engine.repair_relation(&dirty_rel, 3, |i| {
+            SimulatedUser::new(ds.inputs[i].clean.clone())
+        });
+        assert_eq!(repaired.len(), 40);
+        for (i, out) in report.outcomes.iter().enumerate() {
+            assert_eq!(repaired.tuple(i), &out.tuple);
+        }
+    }
+}

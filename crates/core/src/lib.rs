@@ -22,6 +22,7 @@
 
 pub mod bdd;
 pub mod certainfix;
+pub mod engine;
 pub mod metrics;
 pub mod monitor;
 pub mod oracle;
@@ -29,7 +30,10 @@ pub mod transfix;
 
 pub use bdd::SuggestionBdd;
 pub use certainfix::{CertainFix, CertainFixConfig, FixOutcome, RoundReport};
-pub use metrics::{evaluate_changes, evaluate_rounds, ChangeCounts, RoundMetrics, TupleEval};
+pub use engine::{BatchRepairEngine, BatchReport, RepairContext, ShardReport};
+pub use metrics::{
+    evaluate_changes, evaluate_rounds, merge_round_series, ChangeCounts, RoundMetrics, TupleEval,
+};
 pub use monitor::{DataMonitor, InitialRegion, MonitorStats};
 pub use oracle::{SimulatedUser, UserOracle};
 pub use transfix::{transfix, TransFixOutcome};

@@ -30,10 +30,26 @@ pub struct TupleEval<'a> {
 }
 
 /// Metrics after `round` rounds of interaction (cumulative).
+///
+/// The raw counts are carried alongside the derived ratios so that
+/// per-shard evaluations can be [`merge`](RoundMetrics::merge)d into a
+/// whole-batch row that is bit-identical to evaluating the whole batch
+/// at once: merging sums the integer counts and recomputes the ratios
+/// from the sums, so no floating-point averaging error can creep in.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RoundMetrics {
     /// 1-based round number.
     pub round: usize,
+    /// Erroneous tuples corrected by a rule-backed certain fix.
+    pub corrected_tuples: usize,
+    /// Erroneous tuples in the input.
+    pub erroneous_tuples: usize,
+    /// Erroneous attributes corrected by rules.
+    pub corrected_attrs: usize,
+    /// Attributes changed by rules.
+    pub changed_attrs: usize,
+    /// Erroneous attributes in the input.
+    pub erroneous_attrs: usize,
     /// Tuple-level recall.
     pub recall_t: f64,
     /// Attribute-level recall (rule fixes only).
@@ -42,6 +58,65 @@ pub struct RoundMetrics {
     pub precision_a: f64,
     /// Harmonic mean of `recall_a` and `precision_a`.
     pub f_measure: f64,
+}
+
+impl RoundMetrics {
+    /// Derive the ratio fields from raw counts.
+    pub fn from_counts(
+        round: usize,
+        corrected_tuples: usize,
+        erroneous_tuples: usize,
+        corrected_attrs: usize,
+        changed_attrs: usize,
+        erroneous_attrs: usize,
+    ) -> RoundMetrics {
+        let recall_t = ratio(corrected_tuples, erroneous_tuples);
+        let recall_a = ratio(corrected_attrs, erroneous_attrs);
+        let precision_a = if changed_attrs == 0 {
+            1.0
+        } else {
+            ratio(corrected_attrs, changed_attrs)
+        };
+        RoundMetrics {
+            round,
+            corrected_tuples,
+            erroneous_tuples,
+            corrected_attrs,
+            changed_attrs,
+            erroneous_attrs,
+            recall_t,
+            recall_a,
+            precision_a,
+            f_measure: f_measure(recall_a, precision_a),
+        }
+    }
+
+    /// Fold another shard's row for the *same round* into this one:
+    /// counts add, ratios are recomputed from the summed counts.
+    ///
+    /// # Panics
+    /// Panics if the rounds differ — merging rows of different rounds
+    /// is always a bookkeeping bug.
+    pub fn merge(&mut self, other: &RoundMetrics) {
+        assert_eq!(self.round, other.round, "merging different rounds");
+        *self = RoundMetrics::from_counts(
+            self.round,
+            self.corrected_tuples + other.corrected_tuples,
+            self.erroneous_tuples + other.erroneous_tuples,
+            self.corrected_attrs + other.corrected_attrs,
+            self.changed_attrs + other.changed_attrs,
+            self.erroneous_attrs + other.erroneous_attrs,
+        );
+    }
+}
+
+/// Merge two per-round series element-wise (both must cover the same
+/// `1..=max_round` range, as produced by [`evaluate_rounds`]).
+pub fn merge_round_series(acc: &mut [RoundMetrics], other: &[RoundMetrics]) {
+    assert_eq!(acc.len(), other.len(), "merging different round ranges");
+    for (a, b) in acc.iter_mut().zip(other) {
+        a.merge(b);
+    }
 }
 
 fn ratio(num: usize, den: usize) -> f64 {
@@ -97,20 +172,14 @@ pub fn evaluate_rounds(evals: &[TupleEval<'_>], max_round: usize) -> Vec<RoundMe
                     corrected_tuples += 1;
                 }
             }
-            let recall_t = ratio(corrected_tuples, erroneous_tuples);
-            let recall_a = ratio(corrected_attrs, erroneous_attrs);
-            let precision_a = if changed_attrs == 0 {
-                1.0
-            } else {
-                ratio(corrected_attrs, changed_attrs)
-            };
-            RoundMetrics {
+            RoundMetrics::from_counts(
                 round,
-                recall_t,
-                recall_a,
-                precision_a,
-                f_measure: f_measure(recall_a, precision_a),
-            }
+                corrected_tuples,
+                erroneous_tuples,
+                corrected_attrs,
+                changed_attrs,
+                erroneous_attrs,
+            )
         })
         .collect()
 }
@@ -295,6 +364,55 @@ mod tests {
         assert_eq!(counts.recall(), 0.5);
         assert_eq!(counts.precision(), 0.5);
         assert!((counts.f_measure() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharded_evaluation_merges_to_the_whole_batch_row() {
+        let clean = tuple!["a", "b", "c"];
+        let dirty1 = tuple!["x", "b", "z"];
+        let out1 = outcome(clean.clone(), vec![aset(&[0, 2])], Some(1), true);
+        let dirty2 = tuple!["x", "y", "c"];
+        let out2 = outcome(clean.clone(), vec![aset(&[0]), aset(&[1])], Some(2), true);
+        let e1 = TupleEval {
+            outcome: &out1,
+            dirty: &dirty1,
+            clean: &clean,
+        };
+        let e2 = TupleEval {
+            outcome: &out2,
+            dirty: &dirty2,
+            clean: &clean,
+        };
+        // whole batch at once
+        let whole = evaluate_rounds(
+            &[
+                TupleEval {
+                    outcome: &out1,
+                    dirty: &dirty1,
+                    clean: &clean,
+                },
+                TupleEval {
+                    outcome: &out2,
+                    dirty: &dirty2,
+                    clean: &clean,
+                },
+            ],
+            2,
+        );
+        // one shard per tuple, merged
+        let mut merged = evaluate_rounds(&[e1], 2);
+        merge_round_series(&mut merged, &evaluate_rounds(&[e2], 2));
+        assert_eq!(merged, whole, "merge must be bit-identical");
+        assert_eq!(merged[0].erroneous_tuples, 2);
+        assert_eq!(merged[1].corrected_tuples, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "merging different rounds")]
+    fn merging_mismatched_rounds_panics() {
+        let mut a = RoundMetrics::from_counts(1, 0, 0, 0, 0, 0);
+        let b = RoundMetrics::from_counts(2, 0, 0, 0, 0, 0);
+        a.merge(&b);
     }
 
     #[test]

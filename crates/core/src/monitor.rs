@@ -2,14 +2,15 @@
 //! processing for `CertainFix` and `CertainFix+`.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use certainfix_reasoning::{suggest, RegionCatalog};
+use certainfix_reasoning::RegionCatalog;
 use certainfix_relation::{AttrId, MasterIndex, Relation, Tuple};
-use certainfix_rules::{DependencyGraph, RuleSet};
+use certainfix_rules::RuleSet;
 
-use crate::bdd::{Cursor, SuggestionBdd};
-use crate::certainfix::{CertainFix, CertainFixConfig, FixOutcome};
+use crate::bdd::SuggestionBdd;
+use crate::certainfix::{CertainFixConfig, FixOutcome};
+use crate::engine::RepairContext;
 use crate::oracle::UserOracle;
 
 /// Which precomputed region seeds the first suggestion (Exp-1(2)).
@@ -23,6 +24,11 @@ pub enum InitialRegion {
 }
 
 /// Aggregate processing statistics.
+///
+/// `tuples` / `certain` / `rounds` are deterministic counts: merging
+/// per-shard instances reproduces the sequential run's values exactly.
+/// `elapsed` and `interner_syms` are wall-clock observables and are
+/// excluded from that guarantee.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MonitorStats {
     /// Tuples processed.
@@ -33,9 +39,25 @@ pub struct MonitorStats {
     pub rounds: u64,
     /// Wall-clock time spent inside `process`.
     pub elapsed: Duration,
+    /// High-water mark of [`certainfix_relation::Interner::len`] on the
+    /// global interner, sampled after each processed tuple — the
+    /// ROADMAP monitoring hook for the append-only interner's growth
+    /// under streaming ingest.
+    pub interner_syms: u64,
 }
 
 impl MonitorStats {
+    /// Fold another accumulator (typically a shard worker's) into this
+    /// one: counts and elapsed time add, the interner watermark takes
+    /// the maximum. Merging the shards of a parallel batch repair in
+    /// any order yields count fields identical to a sequential run's.
+    pub fn merge(&mut self, other: &MonitorStats) {
+        self.tuples += other.tuples;
+        self.certain += other.certain;
+        self.rounds += other.rounds;
+        self.elapsed += other.elapsed;
+        self.interner_syms = self.interner_syms.max(other.interner_syms);
+    }
     /// Mean rounds per tuple.
     pub fn avg_rounds(&self) -> f64 {
         if self.tuples == 0 {
@@ -55,17 +77,14 @@ impl MonitorStats {
     }
 }
 
-/// Owns `(Σ, Dm)` plus everything precomputed from them: the dependency
-/// graph (Fig. 4), the ranked certain-region catalog (ref.\[20\]'s
-/// `CompCRegion`), and — for `CertainFix+` — the BDD suggestion cache.
+/// Owns a [`RepairContext`] — `(Σ, Dm)` plus everything precomputed
+/// from them: the dependency graph (Fig. 4), the ranked certain-region
+/// catalog (ref.\[20\]'s `CompCRegion`) — and, for `CertainFix+`, the
+/// BDD suggestion cache. This is the sequential, stateful façade; the
+/// parallel batch path over the same context is
+/// [`BatchRepairEngine`](crate::BatchRepairEngine).
 pub struct DataMonitor {
-    rules: Arc<RuleSet>,
-    master: MasterIndex,
-    graph: DependencyGraph,
-    catalog: RegionCatalog,
-    initial: Vec<AttrId>,
-    config: CertainFixConfig,
-    use_bdd: bool,
+    ctx: RepairContext,
     bdd: SuggestionBdd,
     stats: MonitorStats,
 }
@@ -91,47 +110,47 @@ impl DataMonitor {
         initial_region: InitialRegion,
         config: CertainFixConfig,
     ) -> DataMonitor {
-        let master = MasterIndex::new(master);
-        let graph = DependencyGraph::new(&rules);
-        let catalog = RegionCatalog::build(&rules, &master);
-        let region = match initial_region {
-            InitialRegion::Best => catalog.best(),
-            InitialRegion::Median => catalog.median(),
-        };
-        let initial = region
-            .map(|r| r.z().to_vec())
-            .unwrap_or_else(|| rules.r_schema().attr_ids().collect());
-        DataMonitor {
-            rules: Arc::new(rules),
+        Self::from_context(RepairContext::with_config(
+            rules,
             master,
-            graph,
-            catalog,
-            initial,
-            config,
             use_bdd,
+            initial_region,
+            config,
+        ))
+    }
+
+    /// Wrap an already-built context.
+    pub fn from_context(ctx: RepairContext) -> DataMonitor {
+        DataMonitor {
+            ctx,
             bdd: SuggestionBdd::new(),
             stats: MonitorStats::default(),
         }
     }
 
+    /// The shared precomputation.
+    pub fn context(&self) -> &RepairContext {
+        &self.ctx
+    }
+
     /// The rule set.
     pub fn rules(&self) -> &RuleSet {
-        &self.rules
+        self.ctx.rules()
     }
 
     /// The indexed master data.
     pub fn master(&self) -> &MasterIndex {
-        &self.master
+        self.ctx.master()
     }
 
     /// The region catalog.
     pub fn catalog(&self) -> &RegionCatalog {
-        &self.catalog
+        self.ctx.catalog()
     }
 
     /// The initial suggestion (the seeded region's `Z`).
     pub fn initial_suggestion(&self) -> &[AttrId] {
-        &self.initial
+        self.ctx.initial_suggestion()
     }
 
     /// Statistics so far.
@@ -173,30 +192,8 @@ impl DataMonitor {
 
     /// Process one input tuple with the given oracle.
     pub fn process<O: UserOracle + ?Sized>(&mut self, dirty: &Tuple, oracle: &mut O) -> FixOutcome {
-        let started = Instant::now();
-        let engine = CertainFix::new(&self.rules, &self.master, &self.graph, self.config.clone());
-        let outcome = if self.use_bdd {
-            let mut cursor = Cursor::start();
-            let rules = self.rules.clone();
-            let master = self.master.clone();
-            let bdd = &mut self.bdd;
-            engine.run(dirty, &self.initial, oracle, |t, validated| {
-                bdd.suggest_plus(&rules, &master, t, validated, &mut cursor)
-            })
-        } else {
-            let rules = self.rules.clone();
-            let master = self.master.clone();
-            engine.run(dirty, &self.initial, oracle, |t, validated| {
-                suggest(&rules, &master, t, validated).map(|s| s.attrs)
-            })
-        };
-        self.stats.tuples += 1;
-        self.stats.rounds += outcome.rounds.len() as u64;
-        if outcome.certain {
-            self.stats.certain += 1;
-        }
-        self.stats.elapsed += started.elapsed();
-        outcome
+        self.ctx
+            .process_with(&mut self.bdd, &mut self.stats, dirty, oracle)
     }
 }
 
@@ -358,6 +355,46 @@ mod tests {
             assert!(outcomes[i].certain);
         }
         assert_eq!(monitor.stats().tuples, 25);
+    }
+
+    #[test]
+    fn stats_merge_sums_counts_and_maxes_the_watermark() {
+        let a = MonitorStats {
+            tuples: 10,
+            certain: 4,
+            rounds: 12,
+            elapsed: std::time::Duration::from_millis(5),
+            interner_syms: 100,
+        };
+        let b = MonitorStats {
+            tuples: 7,
+            certain: 3,
+            rounds: 9,
+            elapsed: std::time::Duration::from_millis(3),
+            interner_syms: 250,
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.tuples, 17);
+        assert_eq!(merged.certain, 7);
+        assert_eq!(merged.rounds, 21);
+        assert_eq!(merged.elapsed, std::time::Duration::from_millis(8));
+        assert_eq!(merged.interner_syms, 250, "watermark is a max, not a sum");
+    }
+
+    #[test]
+    fn processing_tracks_the_interner_watermark() {
+        let hosp = Hosp::generate(50);
+        let cfg = DirtyConfig {
+            duplicate_rate: 1.0,
+            noise_rate: 0.2,
+            input_size: 5,
+            seed: 9,
+        };
+        let (_, _, stats) = run_monitor(&hosp, false, &cfg);
+        let global = certainfix_relation::Interner::global().len() as u64;
+        assert!(stats.interner_syms > 0);
+        assert!(stats.interner_syms <= global);
     }
 
     #[test]

@@ -295,6 +295,75 @@ mod tests {
     }
 
     #[test]
+    fn disputed_attribute_is_left_exactly_as_entered() {
+        // Two master tuples share the key Z1 but disagree on city AND
+        // on street; the entered (non-null) values must survive both
+        // disputed updates untouched, stay unvalidated, and both rules
+        // must be reported.
+        let r = Schema::new("R", ["zip", "city", "str"]).unwrap();
+        let rm = r.clone();
+        let rules = parse_rules(
+            "pc: match zip ~ zip set city := city\nps: match zip ~ zip set str := str",
+            &r,
+            &rm,
+        )
+        .unwrap();
+        let master = MasterIndex::new(Arc::new(
+            Relation::new(
+                rm,
+                vec![
+                    tuple!["Z1", "Edi", "51 Elm Row"],
+                    tuple!["Z1", "Lnd", "20 Baker St."],
+                ],
+            )
+            .unwrap(),
+        ));
+        let graph = DependencyGraph::new(&rules);
+        let t = tuple!["Z1", "Glasgo", "somewhere"];
+        let out = transfix(&rules, &master, &graph, &t, attrs(&r, &["zip"]));
+        let city = r.attr("city").unwrap();
+        let strt = r.attr("str").unwrap();
+        let mut disputed = out.disputed.clone();
+        disputed.sort_unstable();
+        assert_eq!(disputed, vec![0, 1], "both rules hit conflicting evidence");
+        assert_eq!(
+            out.tuple.get(city),
+            &Value::str("Glasgo"),
+            "disputed attribute keeps the entered value"
+        );
+        assert_eq!(out.tuple.get(strt), &Value::str("somewhere"));
+        assert!(!out.validated.contains(city));
+        assert!(!out.validated.contains(strt));
+        assert!(out.fixed.is_empty());
+        assert!(out.steps.is_empty());
+        // the rest of the tuple is untouched too
+        assert_eq!(out.tuple, t);
+    }
+
+    #[test]
+    fn agreeing_duplicates_are_not_disputed() {
+        // Two master tuples share the key AND the prescribed value:
+        // no conflict, the fix applies.
+        let r = Schema::new("R", ["zip", "city"]).unwrap();
+        let rm = r.clone();
+        let rules = parse_rules("p: match zip ~ zip set city := city", &r, &rm).unwrap();
+        let master = MasterIndex::new(Arc::new(
+            Relation::new(rm, vec![tuple!["Z1", "Edi"], tuple!["Z1", "Edi"]]).unwrap(),
+        ));
+        let graph = DependencyGraph::new(&rules);
+        let out = transfix(
+            &rules,
+            &master,
+            &graph,
+            &tuple!["Z1", "Lnd"],
+            attrs(&r, &["zip"]),
+        );
+        assert!(out.disputed.is_empty());
+        assert_eq!(out.tuple.get(r.attr("city").unwrap()), &Value::str("Edi"));
+        assert!(out.validated.contains(r.attr("city").unwrap()));
+    }
+
+    #[test]
     fn null_master_values_do_not_fix() {
         let r = Schema::new("R", ["zip", "city"]).unwrap();
         let rm = r.clone();

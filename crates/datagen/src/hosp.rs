@@ -228,11 +228,7 @@ impl Hosp {
         set("city", Value::str(city));
         set(
             "emergency",
-            Value::str(if mix(h, 9).is_multiple_of(2) {
-                "Yes"
-            } else {
-                "No"
-            }),
+            Value::str(if mix(h, 9) % 2 == 0 { "Yes" } else { "No" }),
         );
         set("condition", Value::str(condition));
         set("score", Value::int(score));

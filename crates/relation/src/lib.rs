@@ -50,3 +50,25 @@ pub use schema::{AttrId, Schema, MAX_ATTRS};
 pub use symbol::{Interner, Sym};
 pub use tuple::Tuple;
 pub use value::Value;
+
+/// Compile-time audit: everything the parallel batch-repair engine
+/// shares across worker threads must be `Send + Sync`. The interner's
+/// raw-pointer chunk table and the `&'static str` handed out by
+/// [`Sym::as_str`] make this worth pinning down in the type system: a
+/// future change that sneaks in an `Rc`, a `Cell`, or an unmarked raw
+/// pointer fails this function's type-check instead of a code review.
+#[allow(dead_code)]
+fn _send_sync_audit() {
+    fn check<T: Send + Sync>() {}
+    check::<Sym>();
+    check::<Value>();
+    check::<Tuple>();
+    check::<Schema>();
+    check::<AttrSet>();
+    check::<Relation>();
+    check::<KeyIndex>();
+    check::<MasterIndex>();
+    check::<Interner>();
+    check::<PatternTuple>();
+    check::<Tableau>();
+}

@@ -35,3 +35,13 @@ pub use error::RuleError;
 pub use parse::parse_rules;
 pub use rule::{EditingRule, RuleBuilder};
 pub use ruleset::RuleSet;
+
+/// Compile-time audit: rule sets and dependency graphs are shared by
+/// reference across the parallel batch-repair engine's worker threads.
+#[allow(dead_code)]
+fn _send_sync_audit() {
+    fn check<T: Send + Sync>() {}
+    check::<EditingRule>();
+    check::<RuleSet>();
+    check::<DependencyGraph>();
+}

@@ -250,7 +250,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Sizes accepted by [`vec`]: an exact `usize` or a `Range<usize>`.
+    /// Sizes accepted by [`vec()`]: an exact `usize` or a `Range<usize>`.
     pub trait SizeRange {
         /// Pick a length.
         fn pick(&self, rng: &mut TestRng) -> usize;
@@ -269,7 +269,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S, C> {
         element: S,
         size: C,
