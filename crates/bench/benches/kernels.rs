@@ -18,7 +18,9 @@ use std::sync::Arc;
 
 use certainfix_bench::runner::Which;
 use certainfix_cfd::{increp, rules_to_cfds, IncRepConfig};
-use certainfix_core::{transfix, BatchRepairEngine, RepairContext, SimulatedUser};
+use certainfix_core::{
+    transfix, BatchRepairEngine, RepairContext, RepairOptions, Schedule, SimulatedUser,
+};
 use certainfix_datagen::{Dataset, DirtyConfig};
 use certainfix_reasoning::{is_suggestion, suggest, Chase, RegionCatalog};
 use certainfix_relation::{AttrSet, FxBuildHasher, FxHashMap, Relation, Tuple, Value};
@@ -35,6 +37,7 @@ fn bench_kernels(c: &mut Criterion) {
                 noise_rate: 0.2,
                 input_size: 64,
                 seed: 7,
+                ..Default::default()
             },
         );
         let catalog = RegionCatalog::build(w.rules(), w.master_index());
@@ -312,45 +315,78 @@ fn bench_value_representation(c: &mut Criterion) {
     });
 }
 
-/// The acceptance kernel for the sharded engine: sequential vs
+/// The acceptance kernel for the parallel engine: sequential vs
 /// parallel throughput on a 50k-tuple HOSP batch. The 4-worker variant
 /// should reach ≥ 2× the sequential tuples/s on a ≥ 4-core machine
 /// (tuple repairs are independent; the only shared state is the
-/// read-mostly master index and the lock-free interner).
+/// read-mostly master index, the lock-free interner, and — when
+/// enabled — the sharded suggestion cache).
+///
+/// Two batch shapes are measured:
+///
+/// * `hosp50k` — the paper's uniform stream, where contiguous shards
+///   are already balanced and `steal` should only have to match
+///   `shard`;
+/// * `hosp50k-skewed` — zipf-ish hardness concentrated at the head of
+///   the stream (`skew = 1.0`), the adversarial case for `shard`
+///   (worker 0 swallows the whole hard region) and the acceptance
+///   case for `steal` + shared cache: at 4 workers on a ≥ 4-core
+///   machine it must be measurably faster than `shard` at 4 workers.
 fn bench_batch_repair(c: &mut Criterion) {
     let w = Which::Hosp.build(10_000);
-    let ds = Dataset::generate(
-        w.as_ref(),
-        &DirtyConfig {
-            duplicate_rate: 0.3,
-            noise_rate: 0.2,
-            input_size: 50_000,
-            seed: 21,
-        },
-    );
-    let dirty: Vec<Tuple> = ds.inputs.iter().map(|dt| dt.dirty.clone()).collect();
-    let engine = BatchRepairEngine::new(RepairContext::new(
-        w.rules().clone(),
-        w.master().clone(),
-        true,
-    ));
-    // warm the lazily built master key indexes out of the measurement
-    engine.repair(&dirty[..64], 1, |i| {
-        SimulatedUser::new(ds.inputs[i].clean.clone())
-    });
-    for threads in [1usize, 2, 4] {
-        c.bench_with_input(
-            BenchmarkId::new("batch_repair", format!("hosp50k/threads{threads}")),
-            &dirty,
-            |b, dirty| {
-                b.iter(|| {
-                    let report = engine.repair(dirty, threads, |i| {
-                        SimulatedUser::new(ds.inputs[i].clean.clone())
-                    });
-                    black_box((report.stats.certain, report.throughput()))
-                })
+    // the skewed shape pairs a mostly-duplicate (1-round) tail with a
+    // mostly-fresh, noise-saturated head: the per-tuple work ratio
+    // between head and tail is ~2x, all of it dealt to shard worker 0
+    for (shape, d, skew) in [("hosp50k", 0.3, 0.0), ("hosp50k-skewed", 0.9, 1.0)] {
+        let ds = Dataset::generate(
+            w.as_ref(),
+            &DirtyConfig {
+                duplicate_rate: d,
+                noise_rate: 0.2,
+                input_size: 50_000,
+                seed: 21,
+                skew,
             },
         );
+        let dirty: Vec<Tuple> = ds.inputs.iter().map(|dt| dt.dirty.clone()).collect();
+        for (mode, schedule, shared_cache) in [
+            ("shard", Schedule::Shard, false),
+            ("steal+shared", Schedule::Steal, true),
+        ] {
+            // a fresh engine per mode: the shared cache persists across
+            // iterations (the streaming setting), but must not leak
+            // between the modes under comparison
+            let engine = BatchRepairEngine::new(RepairContext::new(
+                w.rules().clone(),
+                w.master().clone(),
+                true,
+            ));
+            // warm the lazily built master key indexes out of the
+            // measurement
+            engine.repair(&dirty[..64], 1, |i| {
+                SimulatedUser::new(ds.inputs[i].clean.clone())
+            });
+            for threads in [1usize, 4] {
+                let opts = RepairOptions {
+                    threads,
+                    schedule,
+                    shared_cache,
+                    chunk: 0,
+                };
+                c.bench_with_input(
+                    BenchmarkId::new("batch_repair", format!("{shape}/{mode}/threads{threads}")),
+                    &dirty,
+                    |b, dirty| {
+                        b.iter(|| {
+                            let report = engine.repair_opts(dirty, &opts, |i| {
+                                SimulatedUser::new(ds.inputs[i].clean.clone())
+                            });
+                            black_box((report.stats.certain, report.throughput()))
+                        })
+                    },
+                );
+            }
+        }
     }
 }
 

@@ -21,6 +21,7 @@ fn bench_pipeline(c: &mut Criterion) {
                     noise_rate: 0.2,
                     input_size: 256,
                     seed: 11,
+                    ..Default::default()
                 },
             );
             for use_bdd in [false, true] {

@@ -33,7 +33,9 @@ impl Spec {
 
     /// The flags every `ExpConfig`-driven binary shares: `--dm`,
     /// `--inputs`, `--d`, `--n`, `--seed`, `--compliance`,
-    /// `--initial`, `--threads`, `--out`, and the boolean `--no-bdd`.
+    /// `--initial`, `--threads`, `--schedule {shard,steal}`,
+    /// `--shared-cache {on,off}`, `--skew`, `--out`, and the boolean
+    /// `--no-bdd`.
     pub fn exp(bin: &'static str) -> Spec {
         Spec::new(bin)
             .valued(&[
@@ -45,6 +47,9 @@ impl Spec {
                 "compliance",
                 "initial",
                 "threads",
+                "schedule",
+                "shared-cache",
+                "skew",
                 "out",
             ])
             .boolean(&["no-bdd"])
@@ -335,7 +340,18 @@ mod tests {
     #[test]
     fn exp_spec_covers_the_shared_flags() {
         let s = Spec::exp("x");
-        for f in ["dm", "inputs", "d", "n", "seed", "compliance", "threads"] {
+        for f in [
+            "dm",
+            "inputs",
+            "d",
+            "n",
+            "seed",
+            "compliance",
+            "threads",
+            "schedule",
+            "shared-cache",
+            "skew",
+        ] {
             assert_eq!(s.takes_value(f), Some(true), "{f}");
         }
         assert_eq!(s.takes_value("no-bdd"), Some(false));

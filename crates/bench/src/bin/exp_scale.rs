@@ -1,23 +1,25 @@
-//! Scaling sweep for the sharded parallel batch-repair engine: thread
-//! count × batch size on both workloads.
+//! Scaling sweep for the parallel batch-repair engine: thread count ×
+//! batch size on both workloads, under either scheduler.
 //!
 //! For every `(dataset, threads, batch)` point the dirty stream is
 //! generated in batches ([`Dataset::batches`]) and each batch is
-//! repaired by [`BatchRepairEngine`] with that many shard workers;
-//! the row reports wall-clock throughput, merged statistics, recall at
-//! the final round, and the interner watermark.
+//! repaired by [`BatchRepairEngine`] with that many workers; the row
+//! reports wall-clock throughput, merged statistics, recall at the
+//! final round, shared-cache traffic, and the interner watermark.
 //!
 //! A machine-readable JSON document goes to **stdout** (this is what
-//! CI's smoke job archives as `BENCH_smoke.json`); the human-readable
-//! table goes to stderr.
+//! CI's smoke and schedule-determinism jobs archive as
+//! `BENCH_*.json`); the human-readable table goes to stderr.
 //!
 //! Usage: `cargo run --release -p certainfix-bench --bin exp_scale --
 //!         [--dm N] [--inputs N] [--threads T] [--batch B]
+//!         [--schedule shard|steal] [--shared-cache on|off] [--skew F]
 //!         [--d F] [--n F] [--seed S] [--out file.csv] [--no-bdd]`
 //!
 //! `--threads T` caps the swept thread counts (1, 2, 4, … up to `T`;
-//! 0 = this machine's available parallelism). `--batch B` pins a single
-//! batch size instead of the default sweep.
+//! 0 = this machine's available parallelism, echoed *resolved* in the
+//! JSON output — the literal 0 never appears there). `--batch B` pins
+//! a single batch size instead of the default sweep.
 
 use std::fmt::Write as _;
 
@@ -40,6 +42,8 @@ struct Row {
     throughput_tps: f64,
     recall_t: f64,
     interner_syms: u64,
+    shared_hits: u64,
+    shared_misses: u64,
 }
 
 fn thread_points(cap: usize) -> Vec<usize> {
@@ -77,14 +81,21 @@ fn render_json(base: &ExpConfig, rows: &[Row]) -> String {
     let _ = writeln!(out, "  \"inputs\": {},", base.inputs);
     let _ = writeln!(out, "  \"d\": {},", base.d);
     let _ = writeln!(out, "  \"n\": {},", base.n);
+    let _ = writeln!(out, "  \"skew\": {},", base.skew);
     let _ = writeln!(out, "  \"use_bdd\": {},", base.use_bdd);
+    // the *resolved* thread cap: `--threads 0` ("all cores") is echoed
+    // as the detected core count, never as a literal 0
+    let _ = writeln!(out, "  \"threads\": {},", base.threads.max(1));
+    let _ = writeln!(out, "  \"schedule\": \"{}\",", base.schedule.name());
+    let _ = writeln!(out, "  \"shared_cache\": {},", base.shared_cache);
     let _ = writeln!(out, "  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             out,
             "    {{\"dataset\": \"{}\", \"threads\": {}, \"batch\": {}, \"tuples\": {}, \
              \"certain\": {}, \"rounds\": {}, \"elapsed_ms\": {:.3}, \"wall_ms\": {:.3}, \
-             \"throughput_tps\": {:.1}, \"recall_t\": {:.4}, \"interner_syms\": {}}}",
+             \"throughput_tps\": {:.1}, \"recall_t\": {:.4}, \"interner_syms\": {}, \
+             \"shared_hits\": {}, \"shared_misses\": {}}}",
             json_escape(r.dataset),
             r.threads,
             r.batch,
@@ -96,6 +107,8 @@ fn render_json(base: &ExpConfig, rows: &[Row]) -> String {
             r.throughput_tps,
             r.recall_t,
             r.interner_syms,
+            r.shared_hits,
+            r.shared_misses,
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -115,10 +128,17 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     for which in Which::BOTH {
         let w = which.build(base.dm);
-        let engine = build_engine(w.as_ref(), &base);
         for &threads in &thread_points(base.threads.max(1)) {
             for &batch in &batch_points(pinned_batch, base.inputs) {
                 let cfg = ExpConfig { threads, ..base };
+                // a fresh engine per sweep point: its lifetime shared
+                // suggestion cache stays warm *across the batches of
+                // one row* (the streaming setting) but must not leak
+                // between rows, or the later thread counts would be
+                // measured against a pool the threads=1 row paid to
+                // fill and the scaling comparison would conflate
+                // parallelism with cache warmth
+                let engine = build_engine(w.as_ref(), &cfg);
                 let mut tuples = 0u64;
                 let mut certain = 0u64;
                 let mut rounds = 0u64;
@@ -126,6 +146,8 @@ fn main() {
                 let mut wall_ms = 0.0f64;
                 let mut recall_t = 0.0f64;
                 let mut interner_syms = 0u64;
+                let mut shared_hits = 0u64;
+                let mut shared_misses = 0u64;
                 let mut corrected = 0usize;
                 let mut erroneous = 0usize;
                 for ds in Dataset::batches(w.as_ref(), &cfg.dirty_config(), batch) {
@@ -139,6 +161,8 @@ fn main() {
                     elapsed_ms += result.stats.elapsed.as_secs_f64() * 1e3;
                     wall_ms += result.wall.as_secs_f64() * 1e3;
                     interner_syms = interner_syms.max(result.stats.interner_syms);
+                    shared_hits += result.stats.shared_hits;
+                    shared_misses += result.stats.shared_misses;
                     corrected += last.corrected_tuples;
                     erroneous += last.erroneous_tuples;
                 }
@@ -162,6 +186,8 @@ fn main() {
                     throughput_tps,
                     recall_t,
                     interner_syms,
+                    shared_hits,
+                    shared_misses,
                 });
             }
         }
@@ -169,7 +195,7 @@ fn main() {
 
     let mut table = Table::new([
         "dataset", "threads", "batch", "tuples", "certain", "wall ms", "tuples/s", "recall_t",
-        "interner",
+        "sh_hits", "interner",
     ]);
     for r in &rows {
         table.row([
@@ -181,16 +207,21 @@ fn main() {
             format!("{:.1}", r.wall_ms),
             format!("{:.0}", r.throughput_tps),
             f3(r.recall_t),
+            r.shared_hits.to_string(),
             r.interner_syms.to_string(),
         ]);
     }
     eprintln!(
-        "exp_scale: |Dm| = {}, |D| = {}, d% = {:.0}, n% = {:.0}, bdd = {}",
+        "exp_scale: |Dm| = {}, |D| = {}, d% = {:.0}, n% = {:.0}, skew = {}, bdd = {}, \
+         schedule = {}, shared cache = {}",
         base.dm,
         base.inputs,
         base.d * 100.0,
         base.n * 100.0,
-        base.use_bdd
+        base.skew,
+        base.use_bdd,
+        base.schedule.name(),
+        base.shared_cache
     );
     eprint!("{}", table.render());
     table

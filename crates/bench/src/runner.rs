@@ -6,8 +6,8 @@ use std::time::Duration;
 use certainfix_cfd::{increp, rules_to_cfds, IncRepConfig};
 use certainfix_core::{
     evaluate_changes, evaluate_rounds, merge_round_series, BatchRepairEngine, CertainFixConfig,
-    ChangeCounts, FixOutcome, InitialRegion, MonitorStats, RoundMetrics, ShardReport,
-    SimulatedUser, TupleEval,
+    ChangeCounts, FixOutcome, InitialRegion, MonitorStats, RepairOptions, RoundMetrics, Schedule,
+    SimulatedUser, TupleEval, WorkerReport,
 };
 use certainfix_datagen::{Dataset, Dblp, DirtyConfig, Hosp, Workload};
 use certainfix_relation::Tuple;
@@ -64,9 +64,17 @@ pub struct ExpConfig {
     pub use_bdd: bool,
     /// Which precomputed region seeds round 1.
     pub initial: InitialRegion,
-    /// Shard workers for batch repair (1 = sequential; 0 = one per
-    /// available core).
+    /// Batch-repair workers (1 = sequential; 0 = one per available
+    /// core).
     pub threads: usize,
+    /// Scheduling policy for parallel batch repair.
+    pub schedule: Schedule,
+    /// Pool computed suggestions across workers in the engine's shared
+    /// cache.
+    pub shared_cache: bool,
+    /// Zipf-ish positional hardness skew of the dirty stream
+    /// ([`DirtyConfig::skew`]; 0 = the paper's uniform stream).
+    pub skew: f64,
 }
 
 impl Default for ExpConfig {
@@ -81,19 +89,55 @@ impl Default for ExpConfig {
             use_bdd: true,
             initial: InitialRegion::Best,
             threads: 1,
+            schedule: Schedule::Steal,
+            shared_cache: true,
+            skew: 0.0,
         }
     }
 }
 
 impl ExpConfig {
-    /// Read overrides from CLI flags.
+    /// Read overrides from CLI flags; an *invalid value* for an
+    /// enumerated flag (`--initial`, `--schedule`, `--shared-cache`)
+    /// prints the error to stderr and exits 2, matching the strict
+    /// treatment of unknown flag names — a typo'd mode must never
+    /// silently run the experiment under the default mode.
     pub fn from_args(args: &Args) -> ExpConfig {
+        match Self::try_from_args(args) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// [`from_args`](Self::from_args) without the exit: invalid
+    /// enumerated values come back as `Err`.
+    pub fn try_from_args(args: &Args) -> Result<ExpConfig, String> {
         let default = ExpConfig::default();
         let threads = match args.usize_or("threads", default.threads) {
             0 => BatchRepairEngine::auto_threads(),
             t => t,
         };
-        ExpConfig {
+        let initial = match args.str_or("initial", "best") {
+            "best" => InitialRegion::Best,
+            "median" => InitialRegion::Median,
+            other => return Err(format!("invalid --initial `{other}` (best|median)")),
+        };
+        let schedule = Schedule::parse(args.str_or("schedule", default.schedule.name()))
+            .ok_or_else(|| {
+                format!(
+                    "invalid --schedule `{}` (shard|steal)",
+                    args.str_or("schedule", "")
+                )
+            })?;
+        let shared_cache = match args.str_or("shared-cache", "on") {
+            "on" => true,
+            "off" => false,
+            other => return Err(format!("invalid --shared-cache `{other}` (on|off)")),
+        };
+        Ok(ExpConfig {
             dm: args.usize_or("dm", default.dm),
             inputs: args.usize_or("inputs", default.inputs),
             d: args.f64_or("d", default.d),
@@ -101,13 +145,12 @@ impl ExpConfig {
             seed: args.u64_or("seed", default.seed),
             compliance: args.f64_or("compliance", default.compliance),
             use_bdd: !args.has("no-bdd"),
-            initial: if args.str_or("initial", "best") == "median" {
-                InitialRegion::Median
-            } else {
-                InitialRegion::Best
-            },
+            initial,
             threads,
-        }
+            schedule,
+            shared_cache,
+            skew: args.f64_or("skew", default.skew),
+        })
     }
 
     /// The dirty-data generator knobs this config implies.
@@ -117,6 +160,18 @@ impl ExpConfig {
             noise_rate: self.n,
             input_size: self.inputs,
             seed: self.seed,
+            skew: self.skew,
+        }
+    }
+
+    /// The engine knobs this config implies. `threads` passes through
+    /// verbatim — the engine itself resolves 0 to one worker per core.
+    pub fn repair_options(&self) -> RepairOptions {
+        RepairOptions {
+            threads: self.threads,
+            schedule: self.schedule,
+            shared_cache: self.shared_cache,
+            chunk: 0,
         }
     }
 }
@@ -134,8 +189,8 @@ pub struct RunResult {
     pub bdd: certainfix_core::bdd::BddStats,
     /// Wall-clock time of the repair batch.
     pub wall: Duration,
-    /// Per-shard breakdown (one entry when sequential).
-    pub shards: Vec<ShardReport>,
+    /// Per-worker breakdown (one entry when sequential).
+    pub workers: Vec<WorkerReport>,
     /// The dataset used (for follow-up comparisons on the same data).
     pub dataset: Dataset,
     /// Raw per-tuple outcomes.
@@ -170,12 +225,14 @@ pub fn build_engine(workload: &dyn Workload, cfg: &ExpConfig) -> BatchRepairEngi
     )
 }
 
-/// Repair one already-generated batch with `cfg.threads` shard workers
-/// and evaluate per-shard metrics, merged into whole-batch rows. The
-/// oracle for input `i` is seeded from the *dataset's* seed (which
+/// Repair one already-generated batch with `cfg.threads` workers under
+/// `cfg`'s schedule and cache knobs, and evaluate per-worker metrics,
+/// merged into whole-batch rows (the merge sums raw counts, so the
+/// rows are independent of how the scheduler partitioned the batch).
+/// The oracle for input `i` is seeded from the *dataset's* seed (which
 /// [`Dataset::batches`] decorrelates per batch) and `i` only, so
-/// results are independent of both the shard count and the position of
-/// the batch in a stream.
+/// results are independent of the worker count, the schedule, and the
+/// position of the batch in a stream.
 pub fn run_batch(
     engine: &BatchRepairEngine,
     dataset: Dataset,
@@ -184,7 +241,7 @@ pub fn run_batch(
 ) -> RunResult {
     let dirty: Vec<Tuple> = dataset.inputs.iter().map(|dt| dt.dirty.clone()).collect();
     let oracle_seed = dataset.config.seed;
-    let report = engine.repair(&dirty, cfg.threads.max(1), |i| {
+    let report = engine.repair_opts(&dirty, &cfg.repair_options(), |i| {
         let dt = &dataset.inputs[i];
         if cfg.compliance >= 1.0 {
             SimulatedUser::new(dt.clean.clone())
@@ -194,10 +251,9 @@ pub fn run_batch(
     });
     let report_rounds = report_rounds.max(1);
     let mut metrics: Option<Vec<RoundMetrics>> = None;
-    for shard in &report.shards {
-        let evals: Vec<TupleEval> = shard
-            .range
-            .clone()
+    for worker in &report.workers {
+        let evals: Vec<TupleEval> = worker
+            .indexes()
             .map(|i| TupleEval {
                 outcome: &report.outcomes[i],
                 dirty: &dataset.inputs[i].dirty,
@@ -215,7 +271,7 @@ pub fn run_batch(
         stats: report.stats,
         bdd: report.bdd,
         wall: report.wall,
-        shards: report.shards,
+        workers: report.workers,
         dataset,
         outcomes: report.outcomes,
     }
@@ -223,8 +279,9 @@ pub fn run_batch(
 
 /// Run the monitored pipeline on `workload` under `cfg`, evaluating
 /// metrics for up to `report_rounds` rounds. `cfg.threads > 1` repairs
-/// the stream with that many shard workers; the outcomes and merged
-/// metrics are the same either way.
+/// the stream with that many workers (under `cfg.schedule`); for plain
+/// `CertainFix` with the caches off, the outcomes and merged metrics
+/// are the same either way.
 pub fn run_monitored(workload: &dyn Workload, cfg: &ExpConfig, report_rounds: usize) -> RunResult {
     let engine = build_engine(workload, cfg);
     let dataset = Dataset::generate(workload, &cfg.dirty_config());
@@ -300,7 +357,8 @@ mod tests {
     #[test]
     fn config_from_args() {
         let args = Args::parse(
-            "--dm 123 --inputs 45 --d 0.5 --n 0.1 --no-bdd --initial median --threads 3"
+            "--dm 123 --inputs 45 --d 0.5 --n 0.1 --no-bdd --initial median --threads 3 \
+             --schedule shard --shared-cache off --skew 1.5"
                 .split_whitespace()
                 .map(String::from),
         );
@@ -311,6 +369,44 @@ mod tests {
         assert!(!cfg.use_bdd);
         assert_eq!(cfg.initial, InitialRegion::Median);
         assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.schedule, Schedule::Shard);
+        assert!(!cfg.shared_cache);
+        assert_eq!(cfg.skew, 1.5);
+        assert_eq!(cfg.dirty_config().skew, 1.5);
+    }
+
+    #[test]
+    fn invalid_enumerated_values_are_rejected() {
+        for bad in [
+            "--schedule sahrd",
+            "--schedule Shard",
+            "--shared-cache Off",
+            "--shared-cache false",
+            "--initial worst",
+        ] {
+            let args = Args::parse(bad.split_whitespace().map(String::from));
+            let err = ExpConfig::try_from_args(&args).unwrap_err();
+            assert!(err.starts_with("invalid --"), "{bad}: {err}");
+        }
+        // threads 0 passes through repair_options for the engine's
+        // own one-worker-per-core resolution
+        let cfg = ExpConfig {
+            threads: 0,
+            ..ExpConfig::default()
+        };
+        assert_eq!(cfg.repair_options().threads, 0);
+    }
+
+    #[test]
+    fn config_defaults_to_stealing_with_the_shared_cache() {
+        let cfg = ExpConfig::from_args(&Args::parse(std::iter::empty::<String>()));
+        assert_eq!(cfg.schedule, Schedule::Steal);
+        assert!(cfg.shared_cache);
+        assert_eq!(cfg.skew, 0.0);
+        let opts = cfg.repair_options();
+        assert_eq!(opts.schedule, Schedule::Steal);
+        assert!(opts.shared_cache);
+        assert_eq!(opts.threads, 1);
     }
 
     #[test]
@@ -322,23 +418,35 @@ mod tests {
 
     #[test]
     fn parallel_run_matches_sequential_metrics() {
-        // plain CertainFix: the engine's full bit-identical guarantee
+        // plain CertainFix with both caches off: the engine's full
+        // bit-identical guarantee, in both schedule modes
         let base = ExpConfig {
             use_bdd: false,
+            shared_cache: false,
+            skew: 0.6,
             ..small()
         };
         let seq = run_monitored(Which::Hosp.build(base.dm).as_ref(), &base, 3);
-        let par = run_monitored(
-            Which::Hosp.build(base.dm).as_ref(),
-            &ExpConfig { threads: 4, ..base },
-            3,
-        );
-        assert_eq!(par.shards.len(), 4);
-        assert_eq!(seq.metrics, par.metrics, "merged rows are bit-identical");
-        assert_eq!(seq.stats.certain, par.stats.certain);
-        assert_eq!(seq.stats.rounds, par.stats.rounds);
-        for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
-            assert_eq!(a.tuple, b.tuple);
+        for schedule in [Schedule::Shard, Schedule::Steal] {
+            let par = run_monitored(
+                Which::Hosp.build(base.dm).as_ref(),
+                &ExpConfig {
+                    threads: 4,
+                    schedule,
+                    ..base
+                },
+                3,
+            );
+            assert_eq!(par.workers.len(), 4);
+            assert_eq!(
+                seq.metrics, par.metrics,
+                "merged rows are bit-identical under {schedule:?}"
+            );
+            assert_eq!(seq.stats.certain, par.stats.certain);
+            assert_eq!(seq.stats.rounds, par.stats.rounds);
+            for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
+                assert_eq!(a.tuple, b.tuple);
+            }
         }
     }
 

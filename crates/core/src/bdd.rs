@@ -18,6 +18,8 @@ use certainfix_reasoning::{is_suggestion, suggest};
 use certainfix_relation::{AttrId, AttrSet, FxHashMap, MasterIndex, Tuple};
 use certainfix_rules::RuleSet;
 
+use crate::sharedcache::SharedSuggestionCache;
+
 #[derive(Clone, Debug)]
 struct Node {
     suggestion: Vec<AttrId>,
@@ -62,16 +64,24 @@ pub struct BddStats {
     pub failed_checks: u64,
     /// Nodes reused through structural deduplication.
     pub dedup_reuses: u64,
+    /// Local misses answered by the [`SharedSuggestionCache`] instead
+    /// of a fresh computation.
+    pub shared_hits: u64,
+    /// Local misses the shared cache could not answer either (computed
+    /// fresh and published).
+    pub shared_misses: u64,
 }
 
 impl BddStats {
     /// Fold another cache's counters into this one (used when merging
-    /// per-shard caches after a parallel batch repair).
+    /// per-worker caches after a parallel batch repair).
     pub fn merge(&mut self, other: &BddStats) {
         self.hits += other.hits;
         self.misses += other.misses;
         self.failed_checks += other.failed_checks;
         self.dedup_reuses += other.dedup_reuses;
+        self.shared_hits += other.shared_hits;
+        self.shared_misses += other.shared_misses;
     }
 }
 
@@ -147,6 +157,24 @@ impl SuggestionBdd {
         validated: AttrSet,
         cursor: &mut Cursor,
     ) -> Option<Vec<AttrId>> {
+        self.suggest_plus_with(rules, master, t, validated, cursor, None)
+    }
+
+    /// [`suggest_plus`](Self::suggest_plus) with an optional
+    /// [`SharedSuggestionCache`] behind the local diagram: when the
+    /// walk ends in a miss, candidates other workers pooled for the
+    /// same validated set are re-checked before falling back to
+    /// [`certainfix_reasoning::suggest()`](certainfix_reasoning::suggest()); fresh results are
+    /// published for other workers.
+    pub fn suggest_plus_with(
+        &mut self,
+        rules: &RuleSet,
+        master: &MasterIndex,
+        t: &Tuple,
+        validated: AttrSet,
+        cursor: &mut Cursor,
+        shared: Option<&SharedSuggestionCache>,
+    ) -> Option<Vec<AttrId>> {
         if validated == AttrSet::full(rules.r_schema().len()) {
             return None;
         }
@@ -171,15 +199,15 @@ impl SuggestionBdd {
                     // walked into a false-edge cycle: every cached
                     // candidate on this path failed; compute fresh
                     // without extending the diagram.
-                    let computed = suggest(rules, master, t, validated)?;
+                    let computed = self.compute_or_shared(rules, master, t, validated, shared)?;
                     self.stats.misses += 1;
                     cursor.at = Some(CursorAt::Root);
-                    return Some(computed.attrs);
+                    return Some(computed);
                 }
                 None => {
-                    let computed = suggest(rules, master, t, validated)?;
+                    let computed = self.compute_or_shared(rules, master, t, validated, shared)?;
                     self.stats.misses += 1;
-                    let node = self.intern(&computed.attrs);
+                    let node = self.intern(&computed);
                     // interning may return a node already on this walk;
                     // linking it would close a cycle on the very path we
                     // just failed through — leave the slot empty then.
@@ -187,9 +215,37 @@ impl SuggestionBdd {
                         *self.slot(at) = Some(node);
                     }
                     cursor.at = Some(CursorAt::Hi(node));
-                    return Some(computed.attrs);
+                    return Some(computed);
                 }
             }
+        }
+    }
+
+    /// The diagram-miss fallback: the shared cache when one is wired
+    /// in (counting `shared_hits` / `shared_misses`), a fresh
+    /// computation otherwise. Either way the returned suggestion is
+    /// valid for `(t, validated)` — shared candidates are re-checked
+    /// before being served.
+    fn compute_or_shared(
+        &mut self,
+        rules: &RuleSet,
+        master: &MasterIndex,
+        t: &Tuple,
+        validated: AttrSet,
+        shared: Option<&SharedSuggestionCache>,
+    ) -> Option<Vec<AttrId>> {
+        match shared {
+            Some(cache) => {
+                let mut hit = false;
+                let computed = cache.suggest_through(rules, master, t, validated, &mut hit);
+                if hit {
+                    self.stats.shared_hits += 1;
+                } else {
+                    self.stats.shared_misses += 1;
+                }
+                computed
+            }
+            None => suggest(rules, master, t, validated).map(|s| s.attrs),
         }
     }
 }
@@ -408,6 +464,42 @@ mod tests {
         assert!(s.iter().all(|a| !z.contains(*a)));
         assert_eq!(bdd.stats().failed_checks, 2);
         assert_eq!(bdd.stats().misses, 1);
+    }
+
+    #[test]
+    fn shared_cache_answers_another_workers_miss() {
+        let (r, rules, master) = fig1();
+        let shared = SharedSuggestionCache::new();
+        let z = attrs(&r, &["zip", "AC", "str", "city"]);
+
+        // worker 1: empty diagram, empty shared cache — computes fresh
+        // and publishes
+        let mut bdd1 = SuggestionBdd::new();
+        let mut c1 = Cursor::start();
+        let s1 = bdd1
+            .suggest_plus_with(&rules, &master, &t1_fixed(), z, &mut c1, Some(&shared))
+            .unwrap();
+        assert_eq!(bdd1.stats().shared_misses, 1);
+        assert_eq!(bdd1.stats().shared_hits, 0);
+        assert_eq!(shared.len(), 1);
+
+        // worker 2: its own empty diagram misses locally, but the
+        // shared cache answers with the exact same suggestion
+        let mut bdd2 = SuggestionBdd::new();
+        let mut c2 = Cursor::start();
+        let s2 = bdd2
+            .suggest_plus_with(&rules, &master, &t1_fixed(), z, &mut c2, Some(&shared))
+            .unwrap();
+        assert_eq!(s1, s2, "the pooled candidate passes the check");
+        assert_eq!(bdd2.stats().shared_hits, 1);
+        assert_eq!(bdd2.stats().shared_misses, 0);
+        assert_eq!(shared.stats().hits, 1);
+
+        // merged BddStats carry both workers' shared counters
+        let mut merged = bdd1.stats();
+        merged.merge(&bdd2.stats());
+        assert_eq!(merged.shared_hits, 1);
+        assert_eq!(merged.shared_misses, 1);
     }
 
     #[test]

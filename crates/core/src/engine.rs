@@ -1,31 +1,46 @@
-//! The sharded parallel batch-repair engine.
+//! The parallel batch-repair engine: work-stealing (or contiguous
+//! shard) scheduling over a shared immutable repair context.
 //!
 //! The paper's repair model is embarrassingly parallel across tuples:
 //! [`CertainFix`] and [`transfix`](crate::transfix::transfix) read a
 //! shared immutable `(Σ, Dm)` precomputation and mutate only the tuple
-//! they are repairing. [`BatchRepairEngine`] exploits that: it splits a
-//! batch of dirty tuples into contiguous shards and repairs the shards
-//! concurrently with scoped worker threads, each worker owning its own
-//! [`SuggestionBdd`] cache and [`MonitorStats`] accumulator over a
-//! shared [`RepairContext`].
+//! they are repairing. [`BatchRepairEngine`] exploits that: the batch
+//! is cut into fixed-size *chunks* of consecutive tuples, the chunks
+//! are dealt to per-worker queues, and scoped worker threads drain
+//! them — their own queue first, then (under [`Schedule::Steal`])
+//! anything left in other workers' queues. Claiming is lock-free: each
+//! queue is a half-open chunk range with an atomic cursor, and both the
+//! owner and thieves claim via `fetch_add`, so a chunk is handed out
+//! exactly once and an uneven batch (one region full of hard
+//! multi-round tuples) keeps every core busy instead of stalling the
+//! worker that happened to be dealt the hard region.
+//!
+//! Each worker owns its own [`SuggestionBdd`] cache and
+//! [`MonitorStats`] accumulator; behind the per-worker caches an
+//! optional [`SharedSuggestionCache`] pools computed suggestions
+//! across workers (and across batches repaired by the same engine).
 //!
 //! # Determinism
 //!
 //! Every tuple's repair depends only on the tuple itself, its oracle,
 //! and the shared immutable context — never on other tuples in the
-//! batch. Outcomes are stitched back in input order, and the merged
-//! statistics are integer sums, so for plain `CertainFix`
-//! (`use_bdd = false`) the repaired tuples, the merged count fields of
-//! [`MonitorStats`], and any [`RoundMetrics`](crate::RoundMetrics)
-//! evaluated per shard and [`merged`](crate::metrics::merge_round_series)
-//! are **bit-identical to a sequential run regardless of shard count or
-//! interleaving**. With the BDD cache enabled each shard warms its own
-//! cache, which can serve a different (but equally valid) suggestion
-//! order; final repaired tuples still agree, but round traces may not.
-//! The wall-clock observables ([`MonitorStats::elapsed`] and the
-//! interner watermark) are exempt from the guarantee by nature.
+//! batch or on which worker claims it. Outcomes are stitched back in
+//! input order, and the merged statistics are integer sums, so for
+//! plain `CertainFix` (`use_bdd = false`, shared cache off) the
+//! repaired tuples, the merged count fields of [`MonitorStats`], and
+//! any [`RoundMetrics`](crate::RoundMetrics) evaluated per worker and
+//! [`merged`](crate::metrics::merge_round_series) are **bit-identical
+//! to a sequential run regardless of schedule, worker count, or
+//! interleaving**. With the BDD cache and/or the shared cache enabled,
+//! served suggestions are *checked* rather than recomputed, which can
+//! yield a different (but equally valid) suggestion order; final
+//! repaired tuples still agree, but round traces may not. The
+//! wall-clock observables ([`MonitorStats::elapsed`], the interner
+//! watermark, and the shared-cache hit/miss counters) are exempt from
+//! the guarantee by nature.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use certainfix_reasoning::{suggest, RegionCatalog};
@@ -37,6 +52,7 @@ use crate::bdd::{BddStats, Cursor, SuggestionBdd};
 use crate::certainfix::{CertainFix, CertainFixConfig, FixOutcome};
 use crate::monitor::{InitialRegion, MonitorStats};
 use crate::oracle::UserOracle;
+use crate::sharedcache::{SharedCacheStats, SharedSuggestionCache};
 
 /// Everything precomputed from `(Σ, Dm)` that repair workers share by
 /// reference: the rule set, the indexed master data, the dependency
@@ -124,8 +140,8 @@ impl RepairContext {
     /// given per-worker cache and statistics accumulator. This is the
     /// single per-tuple pipeline shared by the sequential
     /// [`DataMonitor`](crate::DataMonitor) and the parallel engine's
-    /// shard workers — both produce outcomes through this exact code
-    /// path, which is what makes the determinism guarantee hold by
+    /// workers — both produce outcomes through this exact code path,
+    /// which is what makes the determinism guarantee hold by
     /// construction rather than by parallel maintenance of two loops.
     pub fn process_with<O: UserOracle + ?Sized>(
         &self,
@@ -134,13 +150,49 @@ impl RepairContext {
         dirty: &Tuple,
         oracle: &mut O,
     ) -> FixOutcome {
+        self.process_with_shared(bdd, stats, None, dirty, oracle)
+    }
+
+    /// [`process_with`](Self::process_with) with an optional
+    /// [`SharedSuggestionCache`] behind the per-worker cache. Probes of
+    /// the shared cache are charged to `stats` (`shared_hits` /
+    /// `shared_misses`) whichever suggestion path — BDD or plain — is
+    /// in effect.
+    pub fn process_with_shared<O: UserOracle + ?Sized>(
+        &self,
+        bdd: &mut SuggestionBdd,
+        stats: &mut MonitorStats,
+        shared: Option<&SharedSuggestionCache>,
+        dirty: &Tuple,
+        oracle: &mut O,
+    ) -> FixOutcome {
         let started = Instant::now();
         let engine = CertainFix::new(&self.rules, &self.master, &self.graph, self.config.clone());
         let outcome = if self.use_bdd {
+            let before = bdd.stats();
             let mut cursor = Cursor::start();
-            engine.run(dirty, &self.initial, oracle, |t, validated| {
-                bdd.suggest_plus(&self.rules, &self.master, t, validated, &mut cursor)
-            })
+            let outcome = engine.run(dirty, &self.initial, oracle, |t, validated| {
+                bdd.suggest_plus_with(&self.rules, &self.master, t, validated, &mut cursor, shared)
+            });
+            let after = bdd.stats();
+            stats.shared_hits += after.shared_hits - before.shared_hits;
+            stats.shared_misses += after.shared_misses - before.shared_misses;
+            outcome
+        } else if let Some(cache) = shared {
+            let (mut hits, mut misses) = (0u64, 0u64);
+            let outcome = engine.run(dirty, &self.initial, oracle, |t, validated| {
+                let mut hit = false;
+                let s = cache.suggest_through(&self.rules, &self.master, t, validated, &mut hit);
+                if hit {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+                s
+            });
+            stats.shared_hits += hits;
+            stats.shared_misses += misses;
+            outcome
         } else {
             engine.run(dirty, &self.initial, oracle, |t, validated| {
                 suggest(&self.rules, &self.master, t, validated).map(|s| s.attrs)
@@ -157,17 +209,95 @@ impl RepairContext {
     }
 }
 
-/// Per-shard accounting of one [`BatchRepairEngine::repair`] call.
+/// How a batch is dealt to (and kept on) the workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// One contiguous shard per worker, no rebalancing — the PR 2
+    /// partitioner. Minimal coordination, but a skewed batch stalls on
+    /// the worker dealt the hard region.
+    Shard,
+    /// Chunked per-worker queues with lock-free stealing: a worker
+    /// that drains its own queue claims chunks from the others', so
+    /// skew costs at most one trailing chunk of imbalance.
+    #[default]
+    Steal,
+}
+
+impl Schedule {
+    /// Parse a CLI-style mode name (`"shard"` / `"steal"`).
+    pub fn parse(s: &str) -> Option<Schedule> {
+        match s {
+            "shard" => Some(Schedule::Shard),
+            "steal" => Some(Schedule::Steal),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style mode name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Schedule::Shard => "shard",
+            Schedule::Steal => "steal",
+        }
+    }
+}
+
+/// Knobs of one [`BatchRepairEngine::repair_opts`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct RepairOptions {
+    /// Worker threads (`0` = one per available core, clamped to the
+    /// batch size).
+    pub threads: usize,
+    /// The scheduling policy.
+    pub schedule: Schedule,
+    /// Pool computed suggestions in the engine's
+    /// [`SharedSuggestionCache`] so a suggestion computed once is
+    /// visible to every worker (and to later batches).
+    pub shared_cache: bool,
+    /// Chunk granularity for [`Schedule::Steal`] (`0` = auto: about 8
+    /// chunks per worker, capped at 512 tuples). Ignored by
+    /// [`Schedule::Shard`], which always deals one chunk per worker.
+    pub chunk: usize,
+}
+
+impl Default for RepairOptions {
+    fn default() -> Self {
+        RepairOptions {
+            threads: 1,
+            schedule: Schedule::default(),
+            shared_cache: true,
+            chunk: 0,
+        }
+    }
+}
+
+/// Per-worker accounting of one [`BatchRepairEngine::repair_opts`]
+/// call.
 #[derive(Clone, Debug)]
-pub struct ShardReport {
-    /// Shard index (0-based, in input order).
-    pub shard: usize,
-    /// The input indexes this shard repaired.
-    pub range: Range<usize>,
-    /// The shard worker's statistics.
+pub struct WorkerReport {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// The input ranges this worker repaired: ascending, disjoint,
+    /// adjacent chunks coalesced. Exactly one element under
+    /// [`Schedule::Shard`]; possibly several (or none, if every chunk
+    /// was stolen first) under [`Schedule::Steal`].
+    pub ranges: Vec<Range<usize>>,
+    /// The worker's statistics.
     pub stats: MonitorStats,
-    /// The shard worker's BDD cache statistics.
+    /// The worker's local BDD cache statistics.
     pub bdd: BddStats,
+}
+
+impl WorkerReport {
+    /// Number of tuples this worker repaired.
+    pub fn tuples(&self) -> usize {
+        self.ranges.iter().map(ExactSizeIterator::len).sum()
+    }
+
+    /// The input indexes this worker repaired, ascending.
+    pub fn indexes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.ranges.iter().flat_map(Clone::clone)
+    }
 }
 
 /// The merged result of one batch repair.
@@ -175,15 +305,19 @@ pub struct ShardReport {
 pub struct BatchReport {
     /// Per-tuple outcomes, in input order.
     pub outcomes: Vec<FixOutcome>,
-    /// Merged statistics ([`MonitorStats::merge`] over all shards;
+    /// Merged statistics ([`MonitorStats::merge`] over all workers;
     /// `elapsed` is summed worker time, not wall clock).
     pub stats: MonitorStats,
-    /// Merged BDD cache statistics.
+    /// Merged local BDD cache statistics.
     pub bdd: BddStats,
+    /// Snapshot of the engine's [`SharedSuggestionCache`] counters
+    /// after the batch (cumulative over the engine's lifetime), when
+    /// the shared cache was enabled for this repair.
+    pub shared: Option<SharedCacheStats>,
     /// Wall-clock time of the whole batch (what throughput divides by).
     pub wall: Duration,
-    /// Per-shard breakdown, in shard order.
-    pub shards: Vec<ShardReport>,
+    /// Per-worker breakdown, in worker order.
+    pub workers: Vec<WorkerReport>,
 }
 
 impl BatchReport {
@@ -198,16 +332,56 @@ impl BatchReport {
     }
 }
 
-/// The sharded parallel batch-repair engine: a [`RepairContext`] plus
-/// the scoped-thread fan-out/merge machinery.
+/// One worker's chunk queue: a half-open range of chunk indexes with
+/// an atomic claim cursor. The owner and thieves both claim through
+/// [`ChunkQueue::claim`]; `fetch_add` hands each chunk out exactly
+/// once, and an overshot cursor simply means the queue is empty.
+struct ChunkQueue {
+    next: AtomicUsize,
+    end: usize,
+}
+
+impl ChunkQueue {
+    fn new(range: Range<usize>) -> ChunkQueue {
+        ChunkQueue {
+            next: AtomicUsize::new(range.start),
+            end: range.end,
+        }
+    }
+
+    /// Claim the next chunk, if any. `Relaxed` suffices: claim
+    /// uniqueness comes from the atomicity of the read-modify-write,
+    /// and the claimed data (the input slice) is immutable, so no
+    /// cross-thread ordering is needed.
+    fn claim(&self) -> Option<usize> {
+        let c = self.next.fetch_add(1, Ordering::Relaxed);
+        (c < self.end).then_some(c)
+    }
+}
+
+/// What one worker hands back to the stitcher.
+struct WorkerOut {
+    /// `(chunk index, outcomes)` in claim order.
+    chunks: Vec<(usize, Vec<FixOutcome>)>,
+    stats: MonitorStats,
+    bdd: BddStats,
+}
+
+/// The parallel batch-repair engine: a [`RepairContext`], the
+/// engine-lifetime [`SharedSuggestionCache`], and the scheduling /
+/// fan-out / merge machinery.
 pub struct BatchRepairEngine {
     ctx: RepairContext,
+    shared: SharedSuggestionCache,
 }
 
 impl BatchRepairEngine {
     /// Wrap a prepared context.
     pub fn new(ctx: RepairContext) -> BatchRepairEngine {
-        BatchRepairEngine { ctx }
+        BatchRepairEngine {
+            ctx,
+            shared: SharedSuggestionCache::new(),
+        }
     }
 
     /// Shorthand: build the context and the engine in one step.
@@ -232,6 +406,14 @@ impl BatchRepairEngine {
         &self.ctx
     }
 
+    /// The engine-lifetime shared suggestion cache (consulted by
+    /// workers when [`RepairOptions::shared_cache`] is on; it persists
+    /// across [`repair_opts`](Self::repair_opts) calls, so later
+    /// batches start warm).
+    pub fn shared_cache(&self) -> &SharedSuggestionCache {
+        &self.shared
+    }
+
     /// This machine's available parallelism (the `--threads 0` / "auto"
     /// resolution used by the bench layer).
     pub fn auto_threads() -> usize {
@@ -240,14 +422,36 @@ impl BatchRepairEngine {
             .unwrap_or(1)
     }
 
-    /// Repair `dirty` with up to `threads` concurrent shard workers.
-    ///
-    /// The batch is split into `threads` contiguous shards (the last
-    /// may be short). `oracle_for(i)` supplies the (simulated or real)
-    /// user for input index `i`; it is called from worker threads, so
-    /// it must be `Sync` — and for the determinism guarantee it must
-    /// depend only on `i`, not on call order.
+    /// Repair `dirty` with up to `threads` workers under the default
+    /// options ([`Schedule::Steal`] with the shared cache on); see
+    /// [`repair_opts`](Self::repair_opts).
     pub fn repair<F, O>(&self, dirty: &[Tuple], threads: usize, oracle_for: F) -> BatchReport
+    where
+        F: Fn(usize) -> O + Sync,
+        O: UserOracle,
+    {
+        self.repair_opts(
+            dirty,
+            &RepairOptions {
+                threads,
+                ..RepairOptions::default()
+            },
+            oracle_for,
+        )
+    }
+
+    /// Repair `dirty` under `opts`.
+    ///
+    /// `oracle_for(i)` supplies the (simulated or real) user for input
+    /// index `i`; it is called from worker threads, so it must be
+    /// `Sync` — and for the determinism guarantee it must depend only
+    /// on `i`, not on call order.
+    pub fn repair_opts<F, O>(
+        &self,
+        dirty: &[Tuple],
+        opts: &RepairOptions,
+        oracle_for: F,
+    ) -> BatchReport
     where
         F: Fn(usize) -> O + Sync,
         O: UserOracle,
@@ -259,62 +463,119 @@ impl BatchRepairEngine {
                 outcomes: Vec::new(),
                 stats: MonitorStats::default(),
                 bdd: BddStats::default(),
+                shared: opts.shared_cache.then(|| self.shared.stats()),
                 wall: started.elapsed(),
-                shards: Vec::new(),
+                workers: Vec::new(),
             };
         }
-        let threads = threads.clamp(1, n);
-        let chunk = n.div_ceil(threads);
-        let mut slots: Vec<Option<(Vec<FixOutcome>, MonitorStats, BddStats)>> = Vec::new();
-        slots.resize_with(threads, || None);
+        let threads = match opts.threads {
+            0 => Self::auto_threads(),
+            t => t,
+        }
+        .clamp(1, n);
+        let steal = opts.schedule == Schedule::Steal;
+        let chunk_size = match opts.schedule {
+            Schedule::Shard => n.div_ceil(threads),
+            Schedule::Steal if opts.chunk > 0 => opts.chunk.min(n),
+            Schedule::Steal => (n / (threads * 8)).clamp(1, 512),
+        };
+        let n_chunks = n.div_ceil(chunk_size);
+        let workers = threads.min(n_chunks);
+        // deal contiguous runs of chunks to the worker queues, so the
+        // initial assignment matches Shard and stealing only kicks in
+        // when the dealt load turns out to be uneven
+        let per_worker = n_chunks.div_ceil(workers);
+        let queues: Vec<ChunkQueue> = (0..workers)
+            .map(|w| {
+                ChunkQueue::new(
+                    (w * per_worker).min(n_chunks)..((w + 1) * per_worker).min(n_chunks),
+                )
+            })
+            .collect();
+
+        let mut slots: Vec<Option<WorkerOut>> = Vec::new();
+        slots.resize_with(workers, || None);
 
         let ctx = &self.ctx;
+        let shared = opts.shared_cache.then_some(&self.shared);
         let oracle_for = &oracle_for;
+        let queues = &queues;
         std::thread::scope(|s| {
-            for (i, (tuples, slot)) in dirty.chunks(chunk).zip(slots.iter_mut()).enumerate() {
-                let base = i * chunk;
+            for (w, slot) in slots.iter_mut().enumerate() {
                 s.spawn(move || {
                     let mut bdd = SuggestionBdd::new();
                     let mut stats = MonitorStats::default();
-                    let outcomes: Vec<FixOutcome> = tuples
-                        .iter()
-                        .enumerate()
-                        .map(|(j, t)| {
-                            let mut oracle = oracle_for(base + j);
-                            ctx.process_with(&mut bdd, &mut stats, t, &mut oracle)
-                        })
-                        .collect();
-                    *slot = Some((outcomes, stats, bdd.stats()));
+                    let mut chunks: Vec<(usize, Vec<FixOutcome>)> = Vec::new();
+                    let run_chunk = |c: usize,
+                                     bdd: &mut SuggestionBdd,
+                                     stats: &mut MonitorStats| {
+                        let lo = c * chunk_size;
+                        let hi = ((c + 1) * chunk_size).min(n);
+                        let outs: Vec<FixOutcome> = (lo..hi)
+                            .map(|i| {
+                                let mut oracle = oracle_for(i);
+                                ctx.process_with_shared(bdd, stats, shared, &dirty[i], &mut oracle)
+                            })
+                            .collect();
+                        (c, outs)
+                    };
+                    while let Some(c) = queues[w].claim() {
+                        chunks.push(run_chunk(c, &mut bdd, &mut stats));
+                    }
+                    if steal {
+                        // one pass over the victims suffices: queues
+                        // only ever shrink, so a queue drained inside
+                        // the inner loop stays drained
+                        for v in (w + 1..workers).chain(0..w) {
+                            while let Some(c) = queues[v].claim() {
+                                chunks.push(run_chunk(c, &mut bdd, &mut stats));
+                            }
+                        }
+                    }
+                    *slot = Some(WorkerOut {
+                        chunks,
+                        stats,
+                        bdd: bdd.stats(),
+                    });
                 });
             }
         });
 
-        let mut outcomes = Vec::with_capacity(n);
+        // stitch outcomes back into input order and merge statistics
+        let mut by_chunk: Vec<Option<Vec<FixOutcome>>> = Vec::new();
+        by_chunk.resize_with(n_chunks, || None);
         let mut stats = MonitorStats::default();
         let mut bdd = BddStats::default();
-        let mut shards = Vec::new();
-        for (i, slot) in slots.into_iter().enumerate() {
-            // `chunks` yields ceil(n/chunk) <= threads pieces; trailing
-            // slots stay empty when the division is uneven.
-            let Some((outs, s, b)) = slot else { continue };
-            let range = outcomes.len()..outcomes.len() + outs.len();
-            stats.merge(&s);
-            bdd.merge(&b);
-            shards.push(ShardReport {
-                shard: i,
-                range,
-                stats: s,
-                bdd: b,
+        let mut reports = Vec::with_capacity(workers);
+        for (w, slot) in slots.into_iter().enumerate() {
+            let out = slot.expect("every spawned worker publishes its slot");
+            let mut claimed: Vec<usize> = out.chunks.iter().map(|&(c, _)| c).collect();
+            claimed.sort_unstable();
+            stats.merge(&out.stats);
+            bdd.merge(&out.bdd);
+            reports.push(WorkerReport {
+                worker: w,
+                ranges: coalesce_ranges(&claimed, chunk_size, n),
+                stats: out.stats,
+                bdd: out.bdd,
             });
-            outcomes.extend(outs);
+            for (c, outs) in out.chunks {
+                debug_assert!(by_chunk[c].is_none(), "chunk {c} claimed twice");
+                by_chunk[c] = Some(outs);
+            }
+        }
+        let mut outcomes = Vec::with_capacity(n);
+        for outs in by_chunk {
+            outcomes.extend(outs.expect("every chunk claimed exactly once"));
         }
         debug_assert_eq!(outcomes.len(), n);
         BatchReport {
             outcomes,
             stats,
             bdd,
+            shared: opts.shared_cache.then(|| self.shared.stats()),
             wall: started.elapsed(),
-            shards,
+            workers: reports,
         }
     }
 
@@ -343,14 +604,31 @@ impl BatchRepairEngine {
     }
 }
 
-/// Compile-time audit: the types shard workers share by reference must
-/// be `Send + Sync`. A regression here (an `Rc`, a `Cell`, a raw
-/// pointer without the right marker) fails the build, not a review.
+/// Turn a sorted list of claimed chunk indexes into coalesced input
+/// ranges.
+fn coalesce_ranges(claimed: &[usize], chunk_size: usize, n: usize) -> Vec<Range<usize>> {
+    let mut ranges: Vec<Range<usize>> = Vec::new();
+    for &c in claimed {
+        let lo = c * chunk_size;
+        let hi = ((c + 1) * chunk_size).min(n);
+        match ranges.last_mut() {
+            Some(last) if last.end == lo => last.end = hi,
+            _ => ranges.push(lo..hi),
+        }
+    }
+    ranges
+}
+
+/// Compile-time audit: the types workers share by reference must be
+/// `Send + Sync`. A regression here (an `Rc`, a `Cell`, a raw pointer
+/// without the right marker) fails the build, not a review.
 #[allow(dead_code)]
 fn _send_sync_audit() {
     fn check<T: Send + Sync>() {}
     check::<RepairContext>();
     check::<BatchRepairEngine>();
+    check::<SharedSuggestionCache>();
+    check::<ChunkQueue>();
     check::<RuleSet>();
     check::<MasterIndex>();
     check::<DependencyGraph>();
@@ -369,25 +647,38 @@ mod tests {
     use crate::oracle::SimulatedUser;
     use certainfix_datagen::{Dataset, DirtyConfig, Hosp, Workload};
 
-    fn hosp_batch(dm: usize, inputs: usize) -> (Hosp, Dataset, Vec<Tuple>) {
+    fn hosp_batch_skewed(dm: usize, inputs: usize, skew: f64) -> (Hosp, Dataset, Vec<Tuple>) {
         let hosp = Hosp::generate(dm);
         let cfg = DirtyConfig {
             duplicate_rate: 0.3,
             noise_rate: 0.2,
             input_size: inputs,
             seed: 0xD15EA5E,
+            skew,
         };
         let ds = Dataset::generate(&hosp, &cfg);
         let dirty: Vec<Tuple> = ds.inputs.iter().map(|dt| dt.dirty.clone()).collect();
         (hosp, ds, dirty)
     }
 
-    fn eval_by_shard(report: &BatchReport, ds: &Dataset, rounds: usize) -> Vec<RoundMetrics> {
+    fn hosp_batch(dm: usize, inputs: usize) -> (Hosp, Dataset, Vec<Tuple>) {
+        hosp_batch_skewed(dm, inputs, 0.0)
+    }
+
+    fn plain_opts(threads: usize, schedule: Schedule) -> RepairOptions {
+        RepairOptions {
+            threads,
+            schedule,
+            shared_cache: false,
+            chunk: 0,
+        }
+    }
+
+    fn eval_by_worker(report: &BatchReport, ds: &Dataset, rounds: usize) -> Vec<RoundMetrics> {
         let mut merged: Option<Vec<RoundMetrics>> = None;
-        for shard in &report.shards {
-            let evals: Vec<TupleEval> = shard
-                .range
-                .clone()
+        for worker in &report.workers {
+            let evals: Vec<TupleEval> = worker
+                .indexes()
                 .map(|i| TupleEval {
                     outcome: &report.outcomes[i],
                     dirty: &ds.inputs[i].dirty,
@@ -400,13 +691,24 @@ mod tests {
                 Some(acc) => merge_round_series(acc, &m),
             }
         }
-        merged.expect("at least one shard")
+        merged.expect("at least one worker")
     }
 
-    /// The satellite determinism test: the same 10k-tuple dirty HOSP
-    /// batch repaired with 1, 2, and 8 shards produces identical final
-    /// tuples and identical merged `MonitorStats` counts and
-    /// `RoundMetrics` rows.
+    fn assert_outcomes_identical(a: &BatchReport, b: &BatchReport, what: &str) {
+        assert_eq!(a.outcomes.len(), b.outcomes.len());
+        for (i, (x, y)) in a.outcomes.iter().zip(&b.outcomes).enumerate() {
+            assert_eq!(x.tuple, y.tuple, "tuple {i} ({what})");
+            assert_eq!(x.certain, y.certain, "tuple {i} ({what})");
+            assert_eq!(x.validated, y.validated, "tuple {i} ({what})");
+            assert_eq!(x.rule_fixed, y.rule_fixed, "tuple {i} ({what})");
+            assert_eq!(x.rounds.len(), y.rounds.len(), "tuple {i} ({what})");
+        }
+    }
+
+    /// The PR 2 determinism guarantee, preserved for shard mode: the
+    /// same 10k-tuple dirty HOSP batch repaired with 1, 2, and 8
+    /// workers produces identical final tuples and identical merged
+    /// `MonitorStats` counts and `RoundMetrics` rows.
     #[test]
     fn sharded_repair_is_deterministic_1_2_8() {
         let (hosp, ds, dirty) = hosp_batch(500, 10_000);
@@ -417,39 +719,64 @@ mod tests {
         ));
         let oracle_for = |i: usize| SimulatedUser::new(ds.inputs[i].clean.clone());
 
-        let sequential = engine.repair(&dirty, 1, oracle_for);
-        let seq_metrics = eval_by_shard(&sequential, &ds, 4);
-        assert_eq!(sequential.shards.len(), 1);
+        let sequential = engine.repair_opts(&dirty, &plain_opts(1, Schedule::Shard), oracle_for);
+        let seq_metrics = eval_by_worker(&sequential, &ds, 4);
+        assert_eq!(sequential.workers.len(), 1);
 
         for threads in [2usize, 8] {
-            let parallel = engine.repair(&dirty, threads, oracle_for);
-            assert_eq!(parallel.shards.len(), threads);
-            for (i, (a, b)) in sequential
-                .outcomes
-                .iter()
-                .zip(&parallel.outcomes)
-                .enumerate()
-            {
-                assert_eq!(a.tuple, b.tuple, "tuple {i} with {threads} shards");
-                assert_eq!(a.certain, b.certain, "tuple {i}");
-                assert_eq!(a.validated, b.validated, "tuple {i}");
-                assert_eq!(a.rule_fixed, b.rule_fixed, "tuple {i}");
-                assert_eq!(a.rounds.len(), b.rounds.len(), "tuple {i}");
-            }
+            let parallel =
+                engine.repair_opts(&dirty, &plain_opts(threads, Schedule::Shard), oracle_for);
+            assert_eq!(parallel.workers.len(), threads);
+            assert_outcomes_identical(&sequential, &parallel, &format!("{threads} shards"));
             // merged deterministic MonitorStats fields
             assert_eq!(sequential.stats.tuples, parallel.stats.tuples);
             assert_eq!(sequential.stats.certain, parallel.stats.certain);
             assert_eq!(sequential.stats.rounds, parallel.stats.rounds);
-            // merged per-shard metric rows are bit-identical
-            assert_eq!(seq_metrics, eval_by_shard(&parallel, &ds, 4));
+            // merged per-worker metric rows are bit-identical
+            assert_eq!(seq_metrics, eval_by_worker(&parallel, &ds, 4));
         }
     }
 
-    /// With the BDD cache each shard warms its own diagram, so round
-    /// traces may differ across shard counts — but the repaired tuples
-    /// must still agree with the sequential run.
+    /// The satellite determinism test for the new scheduler: a
+    /// *skewed* 10k-tuple HOSP batch (hard tuples concentrated at the
+    /// head of the stream) repaired in steal mode with 1, 2, and 8
+    /// workers produces identical final tuples and identical merged
+    /// `MonitorStats` counts and `RoundMetrics` rows — work stealing
+    /// redistributes the skew without perturbing a single outcome.
     #[test]
-    fn bdd_shards_agree_on_final_tuples() {
+    fn stealing_repair_is_deterministic_1_2_8_on_skewed_batch() {
+        let (hosp, ds, dirty) = hosp_batch_skewed(500, 10_000, 1.0);
+        let engine = BatchRepairEngine::new(RepairContext::new(
+            hosp.rules().clone(),
+            hosp.master().clone(),
+            false,
+        ));
+        let oracle_for = |i: usize| SimulatedUser::new(ds.inputs[i].clean.clone());
+
+        let sequential = engine.repair_opts(&dirty, &plain_opts(1, Schedule::Steal), oracle_for);
+        let seq_metrics = eval_by_worker(&sequential, &ds, 4);
+        let shard = engine.repair_opts(&dirty, &plain_opts(4, Schedule::Shard), oracle_for);
+        assert_outcomes_identical(&sequential, &shard, "shard vs steal baseline");
+        assert_eq!(seq_metrics, eval_by_worker(&shard, &ds, 4));
+
+        for threads in [2usize, 8] {
+            let parallel =
+                engine.repair_opts(&dirty, &plain_opts(threads, Schedule::Steal), oracle_for);
+            assert_eq!(parallel.workers.len(), threads);
+            assert_outcomes_identical(&sequential, &parallel, &format!("{threads} stealers"));
+            assert_eq!(sequential.stats.tuples, parallel.stats.tuples);
+            assert_eq!(sequential.stats.certain, parallel.stats.certain);
+            assert_eq!(sequential.stats.rounds, parallel.stats.rounds);
+            assert_eq!(seq_metrics, eval_by_worker(&parallel, &ds, 4));
+        }
+    }
+
+    /// With the BDD cache each worker warms its own diagram, so round
+    /// traces may differ across worker counts — but the repaired
+    /// tuples must still agree with the sequential run, with and
+    /// without the shared cache layered behind.
+    #[test]
+    fn bdd_workers_agree_on_final_tuples() {
         let (hosp, ds, dirty) = hosp_batch(300, 600);
         let engine = BatchRepairEngine::new(RepairContext::new(
             hosp.rules().clone(),
@@ -457,20 +784,107 @@ mod tests {
             true,
         ));
         let oracle_for = |i: usize| SimulatedUser::new(ds.inputs[i].clean.clone());
-        let sequential = engine.repair(&dirty, 1, oracle_for);
+        let sequential = engine.repair_opts(
+            &dirty,
+            &RepairOptions {
+                threads: 1,
+                schedule: Schedule::Steal,
+                shared_cache: false,
+                chunk: 0,
+            },
+            oracle_for,
+        );
         for threads in [2usize, 4] {
-            let parallel = engine.repair(&dirty, threads, oracle_for);
-            for (i, (a, b)) in sequential
-                .outcomes
-                .iter()
-                .zip(&parallel.outcomes)
-                .enumerate()
-            {
-                assert_eq!(a.tuple, b.tuple, "tuple {i} with {threads} shards");
-                assert_eq!(a.certain, b.certain, "tuple {i}");
+            for shared_cache in [false, true] {
+                let parallel = engine.repair_opts(
+                    &dirty,
+                    &RepairOptions {
+                        threads,
+                        schedule: Schedule::Steal,
+                        shared_cache,
+                        chunk: 0,
+                    },
+                    oracle_for,
+                );
+                for (i, (a, b)) in sequential
+                    .outcomes
+                    .iter()
+                    .zip(&parallel.outcomes)
+                    .enumerate()
+                {
+                    assert_eq!(a.tuple, b.tuple, "tuple {i} with {threads} workers");
+                    assert_eq!(a.certain, b.certain, "tuple {i}");
+                }
+                assert_eq!(sequential.stats.certain, parallel.stats.certain);
             }
-            assert_eq!(sequential.stats.certain, parallel.stats.certain);
         }
+    }
+
+    /// The satellite cache-sharing test at the engine level: with the
+    /// shared cache on, suggestions computed by one worker are
+    /// observed (and served) across the batch — the engine's pool is
+    /// non-empty and observed hits landed in the merged, per-worker
+    /// monitor statistics.
+    #[test]
+    fn shared_cache_is_populated_and_hit_across_workers() {
+        let (hosp, ds, dirty) = hosp_batch(200, 800);
+        let engine = BatchRepairEngine::new(RepairContext::new(
+            hosp.rules().clone(),
+            hosp.master().clone(),
+            true,
+        ));
+        let oracle_for = |i: usize| SimulatedUser::new(ds.inputs[i].clean.clone());
+        // warm pass: a single worker computes suggestions and publishes
+        // them into the engine-lifetime pool (this also pins down the
+        // cross-batch persistence — the pool outlives the repair call)
+        let warm = engine.repair_opts(
+            &dirty,
+            &RepairOptions {
+                threads: 1,
+                schedule: Schedule::Steal,
+                shared_cache: true,
+                chunk: 0,
+            },
+            oracle_for,
+        );
+        assert!(!engine.shared_cache().is_empty(), "suggestions were pooled");
+        assert!(warm.stats.shared_misses > 0, "the cold pass computed them");
+
+        // parallel pass on fresh (cold-diagram) workers: every worker's
+        // early local misses probe the warm pool, so pooled suggestions
+        // are observed across workers — and with the deterministic
+        // shard partition over a fixed pool, no timing enters the
+        // counters at all
+        let report = engine.repair_opts(
+            &dirty,
+            &RepairOptions {
+                threads: 4,
+                schedule: Schedule::Shard,
+                shared_cache: true,
+                chunk: 0,
+            },
+            oracle_for,
+        );
+        let shared = report.shared.as_ref().expect("shared stats snapshot");
+        assert_eq!(
+            shared.hits + shared.misses,
+            warm.stats.shared_hits
+                + warm.stats.shared_misses
+                + report.stats.shared_hits
+                + report.stats.shared_misses,
+            "cache-side counters (cumulative) agree with the worker-side sums"
+        );
+        assert!(
+            report.stats.shared_hits > 0,
+            "pooled suggestions were served across workers: {shared:?}"
+        );
+        // worker-side counters merge through MonitorStats::merge
+        let mut remerged = MonitorStats::default();
+        for w in &report.workers {
+            remerged.merge(&w.stats);
+        }
+        assert_eq!(remerged.shared_hits, report.stats.shared_hits);
+        assert_eq!(remerged.shared_misses, report.stats.shared_misses);
     }
 
     #[test]
@@ -503,21 +917,60 @@ mod tests {
             hosp.master().clone(),
             false,
         ));
-        let report = engine.repair(&dirty, 4, |i| {
+        let report = engine.repair_opts(&dirty, &plain_opts(4, Schedule::Shard), |i| {
             SimulatedUser::new(ds.inputs[i].clean.clone())
         });
         assert_eq!(report.outcomes.len(), 103);
         let mut next = 0usize;
-        for (k, shard) in report.shards.iter().enumerate() {
-            assert_eq!(shard.shard, k);
-            assert_eq!(shard.range.start, next);
-            assert!(!shard.range.is_empty());
-            next = shard.range.end;
+        for (k, worker) in report.workers.iter().enumerate() {
+            assert_eq!(worker.worker, k);
+            assert_eq!(worker.ranges.len(), 1, "one contiguous shard per worker");
+            assert_eq!(worker.ranges[0].start, next);
+            assert!(!worker.ranges[0].is_empty());
+            next = worker.ranges[0].end;
         }
         assert_eq!(next, 103);
         // watermark was captured (the interner is never empty here)
         assert!(report.stats.interner_syms > 0);
         assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn stolen_ranges_partition_the_input() {
+        let (hosp, ds, dirty) = hosp_batch(100, 509);
+        let engine = BatchRepairEngine::new(RepairContext::new(
+            hosp.rules().clone(),
+            hosp.master().clone(),
+            false,
+        ));
+        let report = engine.repair_opts(
+            &dirty,
+            &RepairOptions {
+                threads: 4,
+                schedule: Schedule::Steal,
+                shared_cache: false,
+                chunk: 16,
+            },
+            |i| SimulatedUser::new(ds.inputs[i].clean.clone()),
+        );
+        assert_eq!(report.outcomes.len(), 509);
+        // every index covered exactly once across all workers
+        let mut seen = vec![false; 509];
+        for worker in &report.workers {
+            // ranges ascending and coalesced
+            for pair in worker.ranges.windows(2) {
+                assert!(pair[0].end < pair[1].start, "ascending, non-adjacent");
+            }
+            for i in worker.indexes() {
+                assert!(!seen[i], "index {i} repaired twice");
+                seen[i] = true;
+            }
+            assert_eq!(worker.tuples() as u64, worker.stats.tuples);
+        }
+        assert!(seen.iter().all(|&s| s), "every index repaired");
+        // per-worker stats merge back to the batch totals
+        let total: u64 = report.workers.iter().map(|w| w.stats.tuples).sum();
+        assert_eq!(total, 509);
     }
 
     #[test]
@@ -532,8 +985,29 @@ mod tests {
             SimulatedUser::new(ds.inputs[i].clean.clone())
         });
         assert_eq!(report.outcomes.len(), 3);
-        assert!(report.shards.len() <= 3);
+        assert!(report.workers.len() <= 3);
         assert_eq!(report.stats.tuples, 3);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_auto() {
+        let (hosp, ds, dirty) = hosp_batch(50, 20);
+        let engine = BatchRepairEngine::new(RepairContext::new(
+            hosp.rules().clone(),
+            hosp.master().clone(),
+            false,
+        ));
+        let report = engine.repair_opts(
+            &dirty,
+            &RepairOptions {
+                threads: 0,
+                ..RepairOptions::default()
+            },
+            |i| SimulatedUser::new(ds.inputs[i].clean.clone()),
+        );
+        assert_eq!(report.outcomes.len(), 20);
+        assert!(!report.workers.is_empty());
+        assert!(report.workers.len() <= BatchRepairEngine::auto_threads().clamp(1, 20));
     }
 
     #[test]
@@ -548,7 +1022,7 @@ mod tests {
             SimulatedUser::new(hosp.master().tuple(0).clone())
         });
         assert!(report.outcomes.is_empty());
-        assert!(report.shards.is_empty());
+        assert!(report.workers.is_empty());
         assert_eq!(report.stats.tuples, 0);
         assert_eq!(report.throughput(), 0.0);
     }
@@ -569,5 +1043,15 @@ mod tests {
         for (i, out) in report.outcomes.iter().enumerate() {
             assert_eq!(repaired.tuple(i), &out.tuple);
         }
+    }
+
+    #[test]
+    fn schedule_parses_and_names() {
+        assert_eq!(Schedule::parse("shard"), Some(Schedule::Shard));
+        assert_eq!(Schedule::parse("steal"), Some(Schedule::Steal));
+        assert_eq!(Schedule::parse("work-stealing"), None);
+        assert_eq!(Schedule::Shard.name(), "shard");
+        assert_eq!(Schedule::Steal.name(), "steal");
+        assert_eq!(Schedule::default(), Schedule::Steal);
     }
 }

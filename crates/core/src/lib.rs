@@ -26,14 +26,18 @@ pub mod engine;
 pub mod metrics;
 pub mod monitor;
 pub mod oracle;
+pub mod sharedcache;
 pub mod transfix;
 
 pub use bdd::SuggestionBdd;
 pub use certainfix::{CertainFix, CertainFixConfig, FixOutcome, RoundReport};
-pub use engine::{BatchRepairEngine, BatchReport, RepairContext, ShardReport};
+pub use engine::{
+    BatchRepairEngine, BatchReport, RepairContext, RepairOptions, Schedule, WorkerReport,
+};
 pub use metrics::{
     evaluate_changes, evaluate_rounds, merge_round_series, ChangeCounts, RoundMetrics, TupleEval,
 };
 pub use monitor::{DataMonitor, InitialRegion, MonitorStats};
 pub use oracle::{SimulatedUser, UserOracle};
+pub use sharedcache::{SharedCacheStats, SharedSuggestionCache};
 pub use transfix::{transfix, TransFixOutcome};

@@ -26,9 +26,10 @@ pub enum InitialRegion {
 /// Aggregate processing statistics.
 ///
 /// `tuples` / `certain` / `rounds` are deterministic counts: merging
-/// per-shard instances reproduces the sequential run's values exactly.
-/// `elapsed` and `interner_syms` are wall-clock observables and are
-/// excluded from that guarantee.
+/// per-worker instances reproduces the sequential run's values
+/// exactly. `elapsed`, `interner_syms`, and the shared-cache probe
+/// counters are wall-clock/scheduling observables and are excluded
+/// from that guarantee.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MonitorStats {
     /// Tuples processed.
@@ -44,19 +45,32 @@ pub struct MonitorStats {
     /// ROADMAP monitoring hook for the append-only interner's growth
     /// under streaming ingest.
     pub interner_syms: u64,
+    /// Probes of the
+    /// [`SharedSuggestionCache`](crate::SharedSuggestionCache)
+    /// answered by a pooled candidate (0 when the shared cache is
+    /// off).
+    pub shared_hits: u64,
+    /// Probes of the shared cache that fell through to a fresh
+    /// computation.
+    pub shared_misses: u64,
 }
 
 impl MonitorStats {
     /// Fold another accumulator (typically a shard worker's) into this
-    /// one: counts and elapsed time add, the interner watermark takes
-    /// the maximum. Merging the shards of a parallel batch repair in
-    /// any order yields count fields identical to a sequential run's.
+    /// one: counts, elapsed time, and shared-cache probe counters add;
+    /// the interner watermark takes the maximum (so the merged
+    /// watermark is monotone: it never drops below any constituent's,
+    /// in whatever order shards are folded). Merging the shards of a
+    /// parallel batch repair in any order yields count fields
+    /// identical to a sequential run's.
     pub fn merge(&mut self, other: &MonitorStats) {
         self.tuples += other.tuples;
         self.certain += other.certain;
         self.rounds += other.rounds;
         self.elapsed += other.elapsed;
         self.interner_syms = self.interner_syms.max(other.interner_syms);
+        self.shared_hits += other.shared_hits;
+        self.shared_misses += other.shared_misses;
     }
     /// Mean rounds per tuple.
     pub fn avg_rounds(&self) -> f64 {
@@ -232,6 +246,7 @@ mod tests {
             noise_rate: 0.2,
             input_size: 60,
             seed: 1,
+            ..Default::default()
         };
         let (outcomes, dataset, stats) = run_monitor(&hosp, false, &cfg);
         for (out, dt) in outcomes.iter().zip(&dataset.inputs) {
@@ -252,6 +267,7 @@ mod tests {
             noise_rate: 0.3,
             input_size: 200,
             seed: 2,
+            ..Default::default()
         };
         let (outcomes, dataset, _) = run_monitor(&hosp, false, &cfg);
         let evals: Vec<TupleEval> = outcomes
@@ -280,6 +296,7 @@ mod tests {
             noise_rate: 0.2,
             input_size: 50,
             seed: 3,
+            ..Default::default()
         };
         let (plain, ds1, _) = run_monitor(&dblp, false, &cfg);
         let (cached, ds2, _) = run_monitor(&dblp, true, &cfg);
@@ -299,6 +316,7 @@ mod tests {
             noise_rate: 0.2,
             input_size: 30,
             seed: 4,
+            ..Default::default()
         };
         let dataset = Dataset::generate(&hosp, &cfg);
         let mut monitor = DataMonitor::new(hosp.rules().clone(), hosp.master().clone(), true);
@@ -341,6 +359,7 @@ mod tests {
             noise_rate: 0.2,
             input_size: 25,
             seed: 77,
+            ..Default::default()
         };
         let dataset = Dataset::generate(&hosp, &cfg);
         let dirty = dataset.dirty_relation(hosp.schema().clone());
@@ -365,6 +384,8 @@ mod tests {
             rounds: 12,
             elapsed: std::time::Duration::from_millis(5),
             interner_syms: 100,
+            shared_hits: 6,
+            shared_misses: 2,
         };
         let b = MonitorStats {
             tuples: 7,
@@ -372,6 +393,8 @@ mod tests {
             rounds: 9,
             elapsed: std::time::Duration::from_millis(3),
             interner_syms: 250,
+            shared_hits: 1,
+            shared_misses: 4,
         };
         let mut merged = a;
         merged.merge(&b);
@@ -380,6 +403,63 @@ mod tests {
         assert_eq!(merged.rounds, 21);
         assert_eq!(merged.elapsed, std::time::Duration::from_millis(8));
         assert_eq!(merged.interner_syms, 250, "watermark is a max, not a sum");
+        assert_eq!(merged.shared_hits, 7, "shared probes sum");
+        assert_eq!(merged.shared_misses, 6);
+    }
+
+    /// The ROADMAP monitoring-hook satellite: the `interner_syms`
+    /// watermark is *monotone* across merged shards — folding any
+    /// sequence of shard accumulators never lowers it, the running
+    /// value is non-decreasing fold by fold, and the result is the
+    /// same in every merge order.
+    #[test]
+    fn interner_watermark_is_monotone_across_merged_shards() {
+        let shard = |w: u64| MonitorStats {
+            tuples: 1,
+            interner_syms: w,
+            ..MonitorStats::default()
+        };
+        let watermarks = [120u64, 40, 300, 7, 300, 299];
+        let shards: Vec<MonitorStats> = watermarks.iter().map(|&w| shard(w)).collect();
+
+        // fold forward: the running watermark never decreases, and it
+        // always dominates every shard folded so far
+        let mut acc = MonitorStats::default();
+        let mut last = 0u64;
+        for (i, s) in shards.iter().enumerate() {
+            acc.merge(s);
+            assert!(acc.interner_syms >= last, "watermark dropped at fold {i}");
+            assert!(
+                acc.interner_syms >= s.interner_syms,
+                "merged watermark below shard {i}'s"
+            );
+            last = acc.interner_syms;
+        }
+        assert_eq!(acc.interner_syms, 300);
+        assert_eq!(acc.tuples, 6, "counts still sum alongside the max");
+
+        // merge order is immaterial: reverse and pairwise-tree orders
+        // land on the same watermark
+        let mut rev = MonitorStats::default();
+        for s in shards.iter().rev() {
+            rev.merge(s);
+        }
+        assert_eq!(rev.interner_syms, acc.interner_syms);
+        let mut pairs: Vec<MonitorStats> = shards
+            .chunks(2)
+            .map(|pair| {
+                let mut m = pair[0];
+                if let Some(b) = pair.get(1) {
+                    m.merge(b);
+                }
+                m
+            })
+            .collect();
+        let mut tree = pairs.remove(0);
+        for p in &pairs {
+            tree.merge(p);
+        }
+        assert_eq!(tree.interner_syms, acc.interner_syms);
     }
 
     #[test]
@@ -390,6 +470,7 @@ mod tests {
             noise_rate: 0.2,
             input_size: 5,
             seed: 9,
+            ..Default::default()
         };
         let (_, _, stats) = run_monitor(&hosp, false, &cfg);
         let global = certainfix_relation::Interner::global().len() as u64;
@@ -405,6 +486,7 @@ mod tests {
             noise_rate: 0.2,
             input_size: 25,
             seed: 5,
+            ..Default::default()
         };
         let (outcomes, _, stats) = run_monitor(&dblp, false, &cfg);
         assert!(outcomes.iter().all(|o| !o.rule_backed));

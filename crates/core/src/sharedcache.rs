@@ -1,0 +1,324 @@
+//! The shared concurrent suggestion cache.
+//!
+//! Computing a suggestion (the greedy set-cover loop of
+//! [`certainfix_reasoning::suggest()`](certainfix_reasoning::suggest())) is the single most expensive
+//! step of an interaction round; *checking* whether a previously
+//! computed suggestion also works for another tuple is one closure
+//! ([`certainfix_reasoning::is_suggestion`]) — that asymmetry is what
+//! the paper's `Suggest+` BDD exploits within one worker. This cache
+//! exploits it **across** workers: every suggestion any worker computes
+//! is published into a process-shared pool, organized by the validated
+//! [`AttrSet`] it was computed under, and any other worker whose local
+//! diagram misses re-checks the pooled candidates before paying for a
+//! fresh computation.
+//!
+//! # Design
+//!
+//! A sharded hash map: `SHARDS` independent `RwLock<FxHashMap>` slices
+//! selected from the key's hash, so lookups of different keys rarely
+//! contend and hits take only a shard *read* lock. Keys and stored
+//! candidates are the `Copy` one-word bitsets and id-lists of PR 1's
+//! interned value layer (an [`AttrSet`] is a `u64`, an
+//! [`AttrId`] a `u16`), so hashing, equality, and candidate dedup are
+//! integer operations with no string traffic. Candidate checks run
+//! *outside* the lock on a snapshot of the (short, deduplicated)
+//! candidate list. Each shard carries its own atomic hit/miss
+//! counters; workers additionally count their own probes into
+//! [`MonitorStats`](crate::MonitorStats), whose
+//! [`merge`](crate::MonitorStats::merge) surfaces them per batch.
+//!
+//! # Determinism
+//!
+//! Like the per-worker BDD, reuse is **checked**: a candidate is served
+//! only after [`is_suggestion`] accepts it for the probing tuple, so
+//! every served suggestion is valid and the final repaired tuples are
+//! unaffected — but a checked candidate may differ from what a fresh
+//! computation would have produced, so round *traces* (and
+//! trace-derived metrics) can differ from a run without the cache.
+//! Runs that must be bit-identical to sequential plain `CertainFix`
+//! should disable both caches; see the engine's determinism notes.
+//!
+//! # Growth
+//!
+//! The pool is insert-only but doubly capped (keys per shard,
+//! candidates per key); a dropped insert only costs future misses,
+//! never correctness. Occupancy is observable via
+//! [`SharedSuggestionCache::len`] and [`SharedCacheStats::entries`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use certainfix_reasoning::{is_suggestion, suggest};
+use certainfix_relation::{AttrId, AttrSet, FxHashMap, MasterIndex, Tuple};
+use certainfix_rules::RuleSet;
+
+/// Number of lock shards (power of two).
+const SHARDS: usize = 16;
+
+/// One lock shard: its slice of the candidate pool plus counters.
+#[derive(Debug, Default)]
+struct CacheShard {
+    /// validated-set bits → candidate suggestions, in publication order.
+    map: RwLock<FxHashMap<u64, Vec<Arc<[AttrId]>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Counters of one cache shard, snapshot by
+/// [`SharedSuggestionCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Probes answered by a checked candidate of this shard.
+    pub hits: u64,
+    /// Probes no candidate of this shard could answer.
+    pub misses: u64,
+    /// Candidates currently pooled in this shard.
+    pub entries: u64,
+}
+
+/// Aggregated cache statistics (plus the per-shard breakdown).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Total probes served from the pool.
+    pub hits: u64,
+    /// Total probes that fell through to a fresh computation.
+    pub misses: u64,
+    /// Total candidates pooled.
+    pub entries: u64,
+    /// Per-shard counters, in shard order.
+    pub per_shard: Vec<ShardCounters>,
+}
+
+impl SharedCacheStats {
+    /// Hit rate in `[0, 1]` (0 when the cache was never probed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The shared concurrent suggestion cache; see the [module
+/// docs](self) for design and determinism notes.
+#[derive(Debug)]
+pub struct SharedSuggestionCache {
+    shards: Box<[CacheShard]>,
+}
+
+impl Default for SharedSuggestionCache {
+    fn default() -> Self {
+        SharedSuggestionCache::new()
+    }
+}
+
+impl SharedSuggestionCache {
+    /// Distinct validated-set keys one shard accepts before dropping
+    /// new keys (a pure hit-rate trade, never a correctness one).
+    pub const MAX_KEYS_PER_SHARD: usize = 1 << 14;
+
+    /// Candidates pooled per validated-set key before dropping more.
+    pub const MAX_CANDIDATES_PER_KEY: usize = 64;
+
+    /// An empty cache.
+    pub fn new() -> SharedSuggestionCache {
+        SharedSuggestionCache {
+            shards: (0..SHARDS).map(|_| CacheShard::default()).collect(),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &CacheShard {
+        // splitmix-style mix so dense validated-set words spread over
+        // the shards instead of clustering in the low bits
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 56) as usize & (SHARDS - 1)]
+    }
+
+    /// The candidates pooled for `validated`, in publication order.
+    pub fn candidates(&self, validated: AttrSet) -> Vec<Arc<[AttrId]>> {
+        self.shard(validated.bits())
+            .map
+            .read()
+            .expect("suggestion cache shard poisoned")
+            .get(&validated.bits())
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Publish a computed suggestion for `validated`. Deduplicated;
+    /// dropped silently once a cap is reached.
+    pub fn publish(&self, validated: AttrSet, suggestion: &[AttrId]) {
+        let shard = self.shard(validated.bits());
+        let mut map = shard.map.write().expect("suggestion cache shard poisoned");
+        if !map.contains_key(&validated.bits()) && map.len() >= Self::MAX_KEYS_PER_SHARD {
+            return;
+        }
+        let pool = map.entry(validated.bits()).or_default();
+        if pool.len() < Self::MAX_CANDIDATES_PER_KEY && !pool.iter().any(|c| **c == *suggestion) {
+            pool.push(Arc::from(suggestion));
+        }
+    }
+
+    /// Serve a suggestion for `t` under `validated`: re-check pooled
+    /// candidates first (a hit), else compute fresh, publish, and
+    /// return it (a miss). `hit` reports which path answered. Checks
+    /// run on a snapshot outside the shard lock.
+    pub fn suggest_through(
+        &self,
+        rules: &RuleSet,
+        master: &MasterIndex,
+        t: &Tuple,
+        validated: AttrSet,
+        hit: &mut bool,
+    ) -> Option<Vec<AttrId>> {
+        let shard = self.shard(validated.bits());
+        for cand in self.candidates(validated) {
+            if is_suggestion(rules, master, t, validated, &cand) {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                *hit = true;
+                return Some(cand.to_vec());
+            }
+        }
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        *hit = false;
+        let computed = suggest(rules, master, t, validated).map(|s| s.attrs);
+        if let Some(attrs) = &computed {
+            self.publish(validated, attrs);
+        }
+        computed
+    }
+
+    /// Total pooled candidates across all shards and keys.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.map
+                    .read()
+                    .expect("suggestion cache shard poisoned")
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// `true` iff nothing has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot aggregated and per-shard counters.
+    pub fn stats(&self) -> SharedCacheStats {
+        let per_shard: Vec<ShardCounters> = self
+            .shards
+            .iter()
+            .map(|s| ShardCounters {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                entries: s
+                    .map
+                    .read()
+                    .expect("suggestion cache shard poisoned")
+                    .values()
+                    .map(|v| v.len() as u64)
+                    .sum(),
+            })
+            .collect();
+        SharedCacheStats {
+            hits: per_shard.iter().map(|c| c.hits).sum(),
+            misses: per_shard.iter().map(|c| c.misses).sum(),
+            entries: per_shard.iter().map(|c| c.entries).sum(),
+            per_shard,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aset(bits: u64) -> AttrSet {
+        AttrSet::from_bits(bits)
+    }
+
+    fn sugg(ids: &[u16]) -> Vec<AttrId> {
+        ids.iter().map(|&i| AttrId(i)).collect()
+    }
+
+    #[test]
+    fn publish_then_candidates_round_trip() {
+        let cache = SharedSuggestionCache::new();
+        assert!(cache.is_empty());
+        cache.publish(aset(0b011), &sugg(&[2, 3]));
+        cache.publish(aset(0b011), &sugg(&[4]));
+        cache.publish(aset(0b100), &sugg(&[0]));
+        let pool = cache.candidates(aset(0b011));
+        assert_eq!(pool.len(), 2);
+        assert_eq!(&*pool[0], &sugg(&[2, 3])[..]);
+        assert_eq!(cache.len(), 3);
+        assert!(cache.candidates(aset(0b111)).is_empty());
+    }
+
+    #[test]
+    fn publishing_is_deduplicated() {
+        let cache = SharedSuggestionCache::new();
+        cache.publish(aset(1), &sugg(&[5]));
+        cache.publish(aset(1), &sugg(&[5]));
+        assert_eq!(cache.len(), 1, "identical candidate pooled once");
+    }
+
+    #[test]
+    fn candidate_cap_is_enforced() {
+        let cache = SharedSuggestionCache::new();
+        for i in 0..(SharedSuggestionCache::MAX_CANDIDATES_PER_KEY as u16 + 10) {
+            cache.publish(aset(7), &sugg(&[i]));
+        }
+        assert_eq!(
+            cache.candidates(aset(7)).len(),
+            SharedSuggestionCache::MAX_CANDIDATES_PER_KEY
+        );
+    }
+
+    /// The satellite cache-sharing test, at the cache's own level: a
+    /// suggestion published by one worker thread is observed by
+    /// another. (The engine-level version lives in `engine::tests`.)
+    #[test]
+    fn publish_by_one_thread_is_observed_by_another() {
+        let cache = SharedSuggestionCache::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                cache.publish(aset(0b101), &sugg(&[5, 6]));
+            })
+            .join()
+            .expect("writer thread");
+            s.spawn(|| {
+                let seen = cache.candidates(aset(0b101));
+                assert_eq!(seen.len(), 1, "published candidate visible");
+                assert_eq!(&*seen[0], &sugg(&[5, 6])[..]);
+            })
+            .join()
+            .expect("reader thread");
+        });
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn stats_sum_per_shard_counters() {
+        let cache = SharedSuggestionCache::new();
+        for bits in 1..100u64 {
+            cache.publish(aset(bits), &sugg(&[1]));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.per_shard.len(), SHARDS);
+        assert_eq!(stats.entries, 99);
+        assert!(
+            stats.per_shard.iter().filter(|c| c.entries > 0).count() > 1,
+            "keys spread across shards"
+        );
+        assert_eq!(stats.hits + stats.misses, 0, "no probes yet");
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+}

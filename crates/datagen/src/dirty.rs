@@ -52,6 +52,17 @@ pub struct DirtyConfig {
     pub input_size: usize,
     /// RNG seed (generation is fully deterministic given the seed).
     pub seed: u64,
+    /// Zipf-ish positional skew of per-tuple *hardness* (0 = the
+    /// uniform stream of the paper). With `skew > 0` the tuple at
+    /// position `i` gets the hardness multiplier
+    /// `m(i) = min((N / (i+1))^skew, 16)`: its duplicate rate is
+    /// divided by `m(i)` (hard tuples are mostly fresh entities, which
+    /// need the most interaction rounds) and its noise rate multiplied
+    /// by `m(i)` (capped at 0.9). The head of the stream is therefore
+    /// disproportionately expensive to repair — the adversarial shape
+    /// for a contiguous-shard scheduler, whose first shard swallows
+    /// the whole hard region.
+    pub skew: f64,
 }
 
 impl Default for DirtyConfig {
@@ -61,7 +72,38 @@ impl Default for DirtyConfig {
             noise_rate: 0.2,
             input_size: 1000,
             seed: 0xC0FFEE,
+            skew: 0.0,
         }
+    }
+}
+
+impl DirtyConfig {
+    /// Hardness cap: the head tuple is at most this many times harder
+    /// than the tail.
+    pub const MAX_HARDNESS: f64 = 16.0;
+
+    /// The hardness multiplier `m(i)` for position `i` (see
+    /// [`DirtyConfig::skew`]); 1 everywhere when `skew <= 0`.
+    pub fn hardness(&self, i: usize) -> f64 {
+        if self.skew <= 0.0 || self.input_size == 0 {
+            return 1.0;
+        }
+        (self.input_size as f64 / (i as f64 + 1.0))
+            .powf(self.skew)
+            .clamp(1.0, Self::MAX_HARDNESS)
+    }
+
+    /// Effective `(duplicate_rate, noise_rate)` for position `i`.
+    /// Exactly the configured pair when `skew <= 0`.
+    fn rates_at(&self, i: usize) -> (f64, f64) {
+        if self.skew <= 0.0 {
+            return (self.duplicate_rate, self.noise_rate);
+        }
+        let m = self.hardness(i);
+        (
+            (self.duplicate_rate / m).max(0.0),
+            (self.noise_rate * m).min(0.9),
+        )
     }
 }
 
@@ -103,9 +145,9 @@ impl Dataset {
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let master = workload.master();
         let mut inputs = Vec::with_capacity(cfg.input_size);
-        for _ in 0..cfg.input_size {
-            let (clean, from_master) = if !master.is_empty() && rng.random_bool(cfg.duplicate_rate)
-            {
+        for i in 0..cfg.input_size {
+            let (duplicate_rate, noise_rate) = cfg.rates_at(i);
+            let (clean, from_master) = if !master.is_empty() && rng.random_bool(duplicate_rate) {
                 let row = rng.random_range(0..master.len() as u32);
                 (master.tuple(row as usize).clone(), Some(row))
             } else {
@@ -113,7 +155,7 @@ impl Dataset {
             };
             let mut dirty = clean.clone();
             for (a, _) in clean.iter() {
-                if rng.random_bool(cfg.noise_rate) {
+                if rng.random_bool(noise_rate) {
                     let corrupted = corrupt_value(clean.get(a), &mut rng);
                     dirty.set(a, corrupted);
                 }
@@ -137,6 +179,8 @@ impl Dataset {
     /// batch can be regenerated independently without replaying its
     /// predecessors; batch 0 uses `cfg.seed` itself, so a single batch
     /// covering the whole stream is identical to [`Dataset::generate`].
+    /// With `skew > 0` the positional hardness profile restarts at
+    /// every batch head (each batch is its own zipf-ish stream).
     pub fn batches<'a, W: Workload + ?Sized>(
         workload: &'a W,
         cfg: &DirtyConfig,
@@ -357,6 +401,84 @@ mod tests {
             assert_eq!(a.dirty, b.dirty);
             assert_eq!(a.clean, b.clean);
             assert_eq!(a.from_master, b.from_master);
+        }
+    }
+
+    #[test]
+    fn zero_skew_is_the_uniform_stream() {
+        let hosp = Hosp::generate(60);
+        let cfg = DirtyConfig {
+            input_size: 200,
+            ..Default::default()
+        };
+        assert_eq!(cfg.hardness(0), 1.0);
+        assert_eq!(cfg.hardness(199), 1.0);
+        // bit-identical to an explicitly-zero skew config
+        let a = Dataset::generate(&hosp, &cfg);
+        let b = Dataset::generate(&hosp, &DirtyConfig { skew: 0.0, ..cfg });
+        for (x, y) in a.inputs.iter().zip(&b.inputs) {
+            assert_eq!(x.dirty, y.dirty);
+            assert_eq!(x.from_master, y.from_master);
+        }
+    }
+
+    #[test]
+    fn hardness_is_zipfish_capped_and_monotone() {
+        let cfg = DirtyConfig {
+            input_size: 10_000,
+            skew: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(cfg.hardness(0), DirtyConfig::MAX_HARDNESS, "head capped");
+        assert_eq!(cfg.hardness(9_999), 1.0, "tail at baseline");
+        let mid = cfg.hardness(2_499);
+        assert!((mid - 4.0).abs() < 0.01, "m(N/4) = 4 at skew 1: {mid}");
+        for i in (0..10_000).step_by(97) {
+            assert!(cfg.hardness(i) >= cfg.hardness(i + 3), "non-increasing");
+        }
+    }
+
+    #[test]
+    fn skew_front_loads_errors_and_starves_the_head_of_duplicates() {
+        let hosp = Hosp::generate(300);
+        let cfg = DirtyConfig {
+            input_size: 2_000,
+            skew: 1.0,
+            ..Default::default()
+        };
+        let ds = Dataset::generate(&hosp, &cfg);
+        let tenth = cfg.input_size / 10;
+        let head = &ds.inputs[..tenth];
+        let tail = &ds.inputs[cfg.input_size - tenth..];
+        let errs = |s: &[DirtyTuple]| s.iter().map(|t| t.error_attrs().len()).sum::<usize>();
+        let dups = |s: &[DirtyTuple]| s.iter().filter(|t| t.from_master.is_some()).count();
+        assert!(
+            errs(head) > 2 * errs(tail),
+            "head noisier: {} vs {}",
+            errs(head),
+            errs(tail)
+        );
+        assert!(
+            dups(head) < dups(tail),
+            "head mostly fresh: {} vs {}",
+            dups(head),
+            dups(tail)
+        );
+    }
+
+    #[test]
+    fn skewed_generation_is_deterministic() {
+        let hosp = Hosp::generate(50);
+        let cfg = DirtyConfig {
+            input_size: 120,
+            skew: 0.8,
+            ..Default::default()
+        };
+        let a = Dataset::generate(&hosp, &cfg);
+        let b = Dataset::generate(&hosp, &cfg);
+        for (x, y) in a.inputs.iter().zip(&b.inputs) {
+            assert_eq!(x.dirty, y.dirty);
+            assert_eq!(x.clean, y.clean);
         }
     }
 

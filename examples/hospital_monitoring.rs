@@ -28,6 +28,7 @@ fn main() {
         noise_rate: 0.2,
         input_size: 500,
         seed: 2024,
+        ..Default::default()
     };
     let dataset = Dataset::generate(&hosp, &cfg);
     println!(

@@ -57,6 +57,7 @@ fn fig9_shape_recall_saturates_within_few_rounds() {
         noise_rate: 0.2,
         input_size: 150,
         seed: 9,
+        ..Default::default()
     };
     let (outcomes, ds) = run_pipeline(&hosp, &cfg, true);
     let evals: Vec<TupleEval> = outcomes
@@ -92,6 +93,7 @@ fn fig10_shape_recall_tracks_duplicate_rate_not_noise() {
             noise_rate: 0.2,
             input_size: 200,
             seed: 10,
+            ..Default::default()
         };
         let (outcomes, ds) = run_pipeline(&dblp, &cfg, true);
         let evals: Vec<TupleEval> = outcomes
@@ -120,6 +122,7 @@ fn fig10_shape_recall_tracks_duplicate_rate_not_noise() {
             noise_rate: n,
             input_size: 200,
             seed: 11,
+            ..Default::default()
         };
         let (outcomes, ds) = run_pipeline(&dblp, &cfg, true);
         let evals: Vec<TupleEval> = outcomes
@@ -150,6 +153,7 @@ fn fig11_shape_increp_degrades_with_noise_ours_does_not() {
             noise_rate: n,
             input_size: 150,
             seed: 12,
+            ..Default::default()
         };
         let (outcomes, ds) = run_pipeline(&hosp, &cfg, true);
         let evals: Vec<TupleEval> = outcomes
@@ -203,6 +207,7 @@ fn certain_fixes_never_touch_an_attribute_wrongly() {
                 noise_rate: 0.3,
                 input_size: 120,
                 seed: 13,
+                ..Default::default()
             },
             true,
         ),
@@ -213,6 +218,7 @@ fn certain_fixes_never_touch_an_attribute_wrongly() {
                 noise_rate: 0.3,
                 input_size: 120,
                 seed: 14,
+                ..Default::default()
             },
             false,
         ),
@@ -240,6 +246,7 @@ fn bdd_and_plain_agree_on_a_mixed_stream() {
         noise_rate: 0.25,
         input_size: 100,
         seed: 15,
+        ..Default::default()
     };
     let (plain, _) = run_pipeline(&dblp, &cfg, false);
     let (cached, _) = run_pipeline(&dblp, &cfg, true);
@@ -261,6 +268,7 @@ fn increp_works_through_the_facade() {
             noise_rate: 0.1,
             input_size: 40,
             seed: 16,
+            ..Default::default()
         },
     );
     let (cfds, skipped) = rules_to_cfds(hosp.rules());
