@@ -363,7 +363,7 @@ fn bench_batch_repair(c: &mut Criterion) {
             ));
             // warm the lazily built master key indexes out of the
             // measurement
-            engine.repair(&dirty[..64], 1, |i| {
+            engine.repair_opts(&dirty[..64], &RepairOptions::default(), |i| {
                 SimulatedUser::new(ds.inputs[i].clean.clone())
             });
             for threads in [1usize, 4] {

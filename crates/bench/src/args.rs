@@ -34,8 +34,9 @@ impl Spec {
     /// The flags every `ExpConfig`-driven binary shares: `--dm`,
     /// `--inputs`, `--d`, `--n`, `--seed`, `--compliance`,
     /// `--initial`, `--threads`, `--schedule {shard,steal}`,
-    /// `--shared-cache {on,off}`, `--skew`, `--out`, and the boolean
-    /// `--no-bdd`.
+    /// `--shared-cache {on,off}`, `--skew`,
+    /// `--ingest {batch,stream}`, `--batch`, `--depth`, `--out`, and
+    /// the boolean `--no-bdd`.
     pub fn exp(bin: &'static str) -> Spec {
         Spec::new(bin)
             .valued(&[
@@ -50,6 +51,9 @@ impl Spec {
                 "schedule",
                 "shared-cache",
                 "skew",
+                "ingest",
+                "batch",
+                "depth",
                 "out",
             ])
             .boolean(&["no-bdd"])
@@ -351,6 +355,9 @@ mod tests {
             "schedule",
             "shared-cache",
             "skew",
+            "ingest",
+            "batch",
+            "depth",
         ] {
             assert_eq!(s.takes_value(f), Some(true), "{f}");
         }

@@ -13,21 +13,32 @@
 //!
 //! Usage: `cargo run --release -p certainfix-bench --bin exp_scale --
 //!         [--dm N] [--inputs N] [--threads T] [--batch B]
+//!         [--ingest batch|stream] [--depth D]
 //!         [--schedule shard|steal] [--shared-cache on|off] [--skew F]
 //!         [--d F] [--n F] [--seed S] [--out file.csv] [--no-bdd]`
 //!
 //! `--threads T` caps the swept thread counts (1, 2, 4, … up to `T`;
 //! 0 = this machine's available parallelism, echoed *resolved* in the
 //! JSON output — the literal 0 never appears there). `--batch B` pins
-//! a single batch size instead of the default sweep.
+//! a single batch size instead of the default sweep. `--ingest stream`
+//! feeds each row's batches through a bounded channel (`--depth D`
+//! in-flight batches) drained by a `RepairSession` instead of calling
+//! the engine batch-by-batch; for plain `CertainFix` with the caches
+//! off — at the default full `--compliance` — the merged metric counts
+//! are bit-identical either way (the CI `schedule-determinism` job
+//! asserts exactly that). With partial compliance the two modes seed
+//! the simulated users differently (batch mode keys them to each
+//! sub-batch's decorrelated seed, stream mode to the global stream
+//! index), so their counts may legitimately differ.
 
 use std::fmt::Write as _;
 
 use certainfix_bench::args::{Args, Spec};
-use certainfix_bench::runner::{build_engine, run_batch, ExpConfig, Which};
+use certainfix_bench::runner::{build_engine, run_batch, run_stream, ExpConfig, Ingest, Which};
+use certainfix_bench::sweep::{batch_points, json_escape, thread_points};
 use certainfix_bench::table::{f3, Table};
 use certainfix_core::BatchRepairEngine;
-use certainfix_datagen::Dataset;
+use certainfix_datagen::{Dataset, DirtyTuple};
 
 /// One measured sweep point.
 struct Row {
@@ -46,34 +57,6 @@ struct Row {
     shared_misses: u64,
 }
 
-fn thread_points(cap: usize) -> Vec<usize> {
-    let mut points = Vec::new();
-    let mut t = 1;
-    while t < cap {
-        points.push(t);
-        t *= 2;
-    }
-    points.push(cap);
-    points
-}
-
-fn batch_points(pinned: Option<usize>, inputs: usize) -> Vec<usize> {
-    let mut points: Vec<usize> = match pinned {
-        Some(b) => vec![b.clamp(1, inputs.max(1))],
-        None => [256usize, 1024, inputs]
-            .into_iter()
-            .map(|b| b.clamp(1, inputs.max(1)))
-            .collect(),
-    };
-    points.sort_unstable();
-    points.dedup();
-    points
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
 fn render_json(base: &ExpConfig, rows: &[Row]) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"experiment\": \"exp_scale\",");
@@ -88,6 +71,8 @@ fn render_json(base: &ExpConfig, rows: &[Row]) -> String {
     let _ = writeln!(out, "  \"threads\": {},", base.threads.max(1));
     let _ = writeln!(out, "  \"schedule\": \"{}\",", base.schedule.name());
     let _ = writeln!(out, "  \"shared_cache\": {},", base.shared_cache);
+    let _ = writeln!(out, "  \"ingest\": \"{}\",", base.ingest.name());
+    let _ = writeln!(out, "  \"depth\": {},", base.depth);
     let _ = writeln!(out, "  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
@@ -117,7 +102,7 @@ fn render_json(base: &ExpConfig, rows: &[Row]) -> String {
 }
 
 fn main() {
-    let spec = Spec::exp("exp_scale").valued(&["batch"]);
+    let spec = Spec::exp("exp_scale");
     let args = Args::from_env_strict(&spec);
     let mut base = ExpConfig::from_args(&args);
     if !args.has("threads") {
@@ -129,7 +114,7 @@ fn main() {
     for which in Which::BOTH {
         let w = which.build(base.dm);
         for &threads in &thread_points(base.threads.max(1)) {
-            for &batch in &batch_points(pinned_batch, base.inputs) {
+            for &batch in &batch_points(pinned_batch, &[256, 1024, base.inputs], base.inputs) {
                 let cfg = ExpConfig { threads, ..base };
                 // a fresh engine per sweep point: its lifetime shared
                 // suggestion cache stays warm *across the batches of
@@ -150,10 +135,34 @@ fn main() {
                 let mut shared_misses = 0u64;
                 let mut corrected = 0usize;
                 let mut erroneous = 0usize;
-                for ds in Dataset::batches(w.as_ref(), &cfg.dirty_config(), batch) {
-                    // 8 rounds covers every observed interaction depth,
-                    // so the last row is the final (plateaued) recall
-                    let result = run_batch(&engine, ds, &cfg, 8);
+                // both ingest modes consume the same generated stream:
+                // the decorrelated per-batch substreams of
+                // `Dataset::batches`, repaired 8 rounds deep (8 covers
+                // every observed interaction depth, so the last metric
+                // row is the final, plateaued recall); only the
+                // partial-compliance oracle seeds differ between the
+                // modes (see the module docs)
+                let results = match base.ingest {
+                    Ingest::Batch => Dataset::batches(w.as_ref(), &cfg.dirty_config(), batch)
+                        .map(|ds| run_batch(&engine, ds, &cfg, 8))
+                        .collect::<Vec<_>>(),
+                    Ingest::Stream => {
+                        // materialize the identical stream, then drain
+                        // it through the bounded channel in
+                        // `batch`-sized producer batches
+                        let inputs: Vec<DirtyTuple> =
+                            Dataset::batches(w.as_ref(), &cfg.dirty_config(), batch)
+                                .flat_map(|ds| ds.inputs)
+                                .collect();
+                        let ds = Dataset {
+                            inputs,
+                            config: cfg.dirty_config(),
+                        };
+                        let stream_cfg = ExpConfig { batch, ..cfg };
+                        vec![run_stream(&engine, ds, &stream_cfg, 8)]
+                    }
+                };
+                for result in results {
                     let last = result.metrics.last().expect("rounds >= 1");
                     tuples += result.stats.tuples;
                     certain += result.stats.certain;
@@ -213,7 +222,7 @@ fn main() {
     }
     eprintln!(
         "exp_scale: |Dm| = {}, |D| = {}, d% = {:.0}, n% = {:.0}, skew = {}, bdd = {}, \
-         schedule = {}, shared cache = {}",
+         schedule = {}, shared cache = {}, ingest = {}",
         base.dm,
         base.inputs,
         base.d * 100.0,
@@ -221,7 +230,8 @@ fn main() {
         base.skew,
         base.use_bdd,
         base.schedule.name(),
-        base.shared_cache
+        base.shared_cache,
+        base.ingest.name()
     );
     eprint!("{}", table.render());
     table

@@ -1,0 +1,204 @@
+//! Streaming-ingest sweep for the session API: producer batch size ×
+//! channel depth × thread count on both workloads.
+//!
+//! Every point generates the same dirty stream, then a producer thread
+//! feeds it in `batch`-sized batches through a bounded channel of
+//! `depth` in-flight batches while a `RepairSession` drains it with
+//! `threads` workers ([`run_stream`]) — the paper's point-of-entry
+//! monitoring shape, with real backpressure. Rows report wall-clock
+//! throughput, merged statistics, final-round recall, shared-cache
+//! traffic, and the interner watermark; for plain `CertainFix` with
+//! the caches off the deterministic count fields are identical at
+//! every `(batch, depth, threads)` point (the batching never perturbs
+//! an outcome).
+//!
+//! A machine-readable JSON document goes to **stdout** (CI's
+//! `schedule-determinism` job archives it as the `BENCH_stream`
+//! artifact); the human-readable table goes to stderr.
+//!
+//! Usage: `cargo run --release -p certainfix-bench --bin exp_stream --
+//!         [--dm N] [--inputs N] [--threads T] [--batch B] [--depth D]
+//!         [--schedule shard|steal] [--shared-cache on|off] [--skew F]
+//!         [--d F] [--n F] [--seed S] [--out file.csv] [--no-bdd]`
+//!
+//! `--threads T` caps the swept thread counts (0 = this machine's
+//! available parallelism); `--batch B` / `--depth D` pin a single
+//! producer batch size / channel depth instead of the default sweeps.
+//! This binary is stream-only: `--ingest batch` exits 2 (use
+//! `exp_scale` for the batch baseline).
+
+use std::fmt::Write as _;
+
+use certainfix_bench::args::{Args, Spec};
+use certainfix_bench::runner::{build_engine, run_stream, ExpConfig, Ingest, Which};
+use certainfix_bench::sweep::{batch_points, json_escape, thread_points};
+use certainfix_bench::table::{f3, Table};
+use certainfix_core::BatchRepairEngine;
+use certainfix_datagen::Dataset;
+
+/// One measured sweep point.
+struct Row {
+    dataset: &'static str,
+    threads: usize,
+    batch: usize,
+    depth: usize,
+    tuples: u64,
+    certain: u64,
+    rounds: u64,
+    elapsed_ms: f64,
+    wall_ms: f64,
+    throughput_tps: f64,
+    recall_t: f64,
+    interner_syms: u64,
+    shared_hits: u64,
+    shared_misses: u64,
+}
+
+fn depth_points(pinned: Option<usize>) -> Vec<usize> {
+    match pinned {
+        Some(d) => vec![d.max(1)],
+        None => vec![1, 2, 8],
+    }
+}
+
+fn render_json(base: &ExpConfig, rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"exp_stream\",");
+    let _ = writeln!(out, "  \"ingest\": \"stream\",");
+    let _ = writeln!(out, "  \"dm\": {},", base.dm);
+    let _ = writeln!(out, "  \"inputs\": {},", base.inputs);
+    let _ = writeln!(out, "  \"d\": {},", base.d);
+    let _ = writeln!(out, "  \"n\": {},", base.n);
+    let _ = writeln!(out, "  \"skew\": {},", base.skew);
+    let _ = writeln!(out, "  \"use_bdd\": {},", base.use_bdd);
+    let _ = writeln!(out, "  \"threads\": {},", base.threads.max(1));
+    let _ = writeln!(out, "  \"schedule\": \"{}\",", base.schedule.name());
+    let _ = writeln!(out, "  \"shared_cache\": {},", base.shared_cache);
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"dataset\": \"{}\", \"threads\": {}, \"batch\": {}, \"depth\": {}, \
+             \"tuples\": {}, \"certain\": {}, \"rounds\": {}, \"elapsed_ms\": {:.3}, \
+             \"wall_ms\": {:.3}, \"throughput_tps\": {:.1}, \"recall_t\": {:.4}, \
+             \"interner_syms\": {}, \"shared_hits\": {}, \"shared_misses\": {}}}",
+            json_escape(r.dataset),
+            r.threads,
+            r.batch,
+            r.depth,
+            r.tuples,
+            r.certain,
+            r.rounds,
+            r.elapsed_ms,
+            r.wall_ms,
+            r.throughput_tps,
+            r.recall_t,
+            r.interner_syms,
+            r.shared_hits,
+            r.shared_misses,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = Args::from_env_strict(&Spec::exp("exp_stream"));
+    let mut base = ExpConfig::from_args(&args);
+    if base.ingest == Ingest::Batch && args.has("ingest") {
+        // this binary *is* the streaming sweep — silently running the
+        // stream path under an explicit `--ingest batch` would mislabel
+        // every comparison built on it
+        eprintln!("exp_stream: this binary is stream-only; for `--ingest batch` use exp_scale");
+        std::process::exit(2);
+    }
+    if !args.has("threads") {
+        base.threads = BatchRepairEngine::auto_threads();
+    }
+    let pinned_batch = args.has("batch").then_some(base.batch);
+    let pinned_depth = args.has("depth").then_some(base.depth);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for which in Which::BOTH {
+        let w = which.build(base.dm);
+        for &threads in &thread_points(base.threads.max(1)) {
+            for &batch in &batch_points(pinned_batch, &[64, 256, 1024], base.inputs) {
+                for &depth in &depth_points(pinned_depth) {
+                    let cfg = ExpConfig {
+                        threads,
+                        batch,
+                        depth,
+                        ..base
+                    };
+                    // a fresh engine per point: the engine-lifetime
+                    // shared cache stays warm across the batches of
+                    // one stream but must not leak between points
+                    let engine = build_engine(w.as_ref(), &cfg);
+                    let dataset = Dataset::generate(w.as_ref(), &cfg.dirty_config());
+                    let result = run_stream(&engine, dataset, &cfg, 8);
+                    let last = result.metrics.last().expect("rounds >= 1");
+                    let wall_ms = result.wall.as_secs_f64() * 1e3;
+                    rows.push(Row {
+                        dataset: which.name(),
+                        threads,
+                        batch,
+                        depth,
+                        tuples: result.stats.tuples,
+                        certain: result.stats.certain,
+                        rounds: result.stats.rounds,
+                        elapsed_ms: result.stats.elapsed.as_secs_f64() * 1e3,
+                        wall_ms,
+                        throughput_tps: if wall_ms > 0.0 {
+                            result.stats.tuples as f64 / (wall_ms / 1e3)
+                        } else {
+                            0.0
+                        },
+                        recall_t: last.recall_t,
+                        interner_syms: result.stats.interner_syms,
+                        shared_hits: result.stats.shared_hits,
+                        shared_misses: result.stats.shared_misses,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut table = Table::new([
+        "dataset", "threads", "batch", "depth", "tuples", "certain", "wall ms", "tuples/s",
+        "recall_t", "sh_hits",
+    ]);
+    for r in &rows {
+        table.row([
+            r.dataset.to_string(),
+            r.threads.to_string(),
+            r.batch.to_string(),
+            r.depth.to_string(),
+            r.tuples.to_string(),
+            r.certain.to_string(),
+            format!("{:.1}", r.wall_ms),
+            format!("{:.0}", r.throughput_tps),
+            f3(r.recall_t),
+            r.shared_hits.to_string(),
+        ]);
+    }
+    eprintln!(
+        "exp_stream: |Dm| = {}, |D| = {}, d% = {:.0}, n% = {:.0}, skew = {}, bdd = {}, \
+         schedule = {}, shared cache = {}",
+        base.dm,
+        base.inputs,
+        base.d * 100.0,
+        base.n * 100.0,
+        base.skew,
+        base.use_bdd,
+        base.schedule.name(),
+        base.shared_cache
+    );
+    eprint!("{}", table.render());
+    table
+        .maybe_write_csv(args.str_or("out", ""))
+        .expect("writing CSV output");
+
+    // machine-readable output on stdout — what CI archives
+    print!("{}", render_json(&base, &rows));
+}

@@ -5,4 +5,5 @@
 
 pub mod args;
 pub mod runner;
+pub mod sweep;
 pub mod table;

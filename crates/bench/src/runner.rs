@@ -7,12 +7,47 @@ use certainfix_cfd::{increp, rules_to_cfds, IncRepConfig};
 use certainfix_core::{
     evaluate_changes, evaluate_rounds, merge_round_series, BatchRepairEngine, CertainFixConfig,
     ChangeCounts, FixOutcome, InitialRegion, MonitorStats, RepairOptions, RoundMetrics, Schedule,
-    SimulatedUser, TupleEval, WorkerReport,
+    SessionReport, SimulatedUser, TupleEval, WorkerReport,
 };
 use certainfix_datagen::{Dataset, Dblp, DirtyConfig, Hosp, Workload};
 use certainfix_relation::Tuple;
 
 use crate::args::Args;
+
+/// How a run feeds tuples to the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Ingest {
+    /// The whole generated stream as one
+    /// [`RepairSession::push_batch`](certainfix_core::RepairSession::push_batch)
+    /// call (the PR 2/3 batch path).
+    #[default]
+    Batch,
+    /// Backpressured streaming: a producer thread feeds the stream in
+    /// batches through a bounded [`ChannelSource`](certainfix_core::ChannelSource), and the session
+    /// drains it — the paper's point-of-entry monitoring shape. For
+    /// plain `CertainFix` with the caches off the merged metrics are
+    /// bit-identical to [`Ingest::Batch`].
+    Stream,
+}
+
+impl Ingest {
+    /// Parse a CLI-style mode name (`"batch"` / `"stream"`).
+    pub fn parse(s: &str) -> Option<Ingest> {
+        match s {
+            "batch" => Some(Ingest::Batch),
+            "stream" => Some(Ingest::Stream),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style mode name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Ingest::Batch => "batch",
+            Ingest::Stream => "stream",
+        }
+    }
+}
 
 /// Which dataset an experiment runs on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,6 +110,14 @@ pub struct ExpConfig {
     /// Zipf-ish positional hardness skew of the dirty stream
     /// ([`DirtyConfig::skew`]; 0 = the paper's uniform stream).
     pub skew: f64,
+    /// How the stream reaches the engine (one batch, or backpressured
+    /// streaming through a bounded channel).
+    pub ingest: Ingest,
+    /// Producer batch size for [`Ingest::Stream`] (`0` = a 256-tuple
+    /// default, clamped to the stream).
+    pub batch: usize,
+    /// Channel depth (in-flight batches) for [`Ingest::Stream`].
+    pub depth: usize,
 }
 
 impl Default for ExpConfig {
@@ -92,6 +135,9 @@ impl Default for ExpConfig {
             schedule: Schedule::Steal,
             shared_cache: true,
             skew: 0.0,
+            ingest: Ingest::Batch,
+            batch: 0,
+            depth: 2,
         }
     }
 }
@@ -137,6 +183,13 @@ impl ExpConfig {
             "off" => false,
             other => return Err(format!("invalid --shared-cache `{other}` (on|off)")),
         };
+        let ingest =
+            Ingest::parse(args.str_or("ingest", default.ingest.name())).ok_or_else(|| {
+                format!(
+                    "invalid --ingest `{}` (batch|stream)",
+                    args.str_or("ingest", "")
+                )
+            })?;
         Ok(ExpConfig {
             dm: args.usize_or("dm", default.dm),
             inputs: args.usize_or("inputs", default.inputs),
@@ -150,7 +203,19 @@ impl ExpConfig {
             schedule,
             shared_cache,
             skew: args.f64_or("skew", default.skew),
+            ingest,
+            batch: args.usize_or("batch", default.batch),
+            depth: args.usize_or("depth", default.depth),
         })
+    }
+
+    /// The producer batch size [`Ingest::Stream`] uses for a stream of
+    /// `inputs` tuples (`--batch 0` = a 256-tuple default, clamped).
+    pub fn stream_batch(&self, inputs: usize) -> usize {
+        match self.batch {
+            0 => 256.min(inputs).max(1),
+            b => b.min(inputs.max(1)),
+        }
     }
 
     /// The dirty-data generator knobs this config implies.
@@ -187,9 +252,13 @@ pub struct RunResult {
     pub stats: MonitorStats,
     /// Merged BDD cache statistics.
     pub bdd: certainfix_core::bdd::BddStats,
-    /// Wall-clock time of the repair batch.
+    /// Wall-clock time of the run: the repair batch's wall for the
+    /// batch path, the end-to-end streaming duration (source stalls
+    /// included) for [`run_stream`].
     pub wall: Duration,
-    /// Per-worker breakdown (one entry when sequential).
+    /// Per-worker breakdown, with ranges in *global* stream positions
+    /// (one entry when sequential; one entry per `(batch, worker)`
+    /// when streamed).
     pub workers: Vec<WorkerReport>,
     /// The dataset used (for follow-up comparisons on the same data).
     pub dataset: Dataset,
@@ -225,14 +294,80 @@ pub fn build_engine(workload: &dyn Workload, cfg: &ExpConfig) -> BatchRepairEngi
     )
 }
 
-/// Repair one already-generated batch with `cfg.threads` workers under
-/// `cfg`'s schedule and cache knobs, and evaluate per-worker metrics,
-/// merged into whole-batch rows (the merge sums raw counts, so the
-/// rows are independent of how the scheduler partitioned the batch).
-/// The oracle for input `i` is seeded from the *dataset's* seed (which
+/// The oracle factory every runner shares: the user for global stream
+/// index `i`, seeded from the *dataset's* seed (which
 /// [`Dataset::batches`] decorrelates per batch) and `i` only, so
-/// results are independent of the worker count, the schedule, and the
-/// position of the batch in a stream.
+/// results are independent of the worker count, the schedule, the
+/// batching, and the position of the batch in a stream.
+fn oracle_factory(
+    dataset: &Dataset,
+    compliance: f64,
+) -> impl Fn(usize) -> SimulatedUser + Sync + '_ {
+    let seed = dataset.config.seed;
+    move |i| {
+        let dt = &dataset.inputs[i];
+        if compliance >= 1.0 {
+            SimulatedUser::new(dt.clean.clone())
+        } else {
+            SimulatedUser::with_compliance(dt.clean.clone(), compliance, seed ^ i as u64)
+        }
+    }
+}
+
+/// Fold a [`SessionReport`] into a [`RunResult`]: evaluate metric rows
+/// per `(batch, worker)` slice and merge them (the merge sums raw
+/// counts, so the rows are independent of how the session and the
+/// scheduler partitioned the stream), concatenate outcomes in stream
+/// order, and shift worker ranges to global stream positions.
+fn fold_session(report: SessionReport, dataset: Dataset, report_rounds: usize) -> RunResult {
+    let report_rounds = report_rounds.max(1);
+    let mut metrics: Option<Vec<RoundMetrics>> = None;
+    let mut workers: Vec<WorkerReport> = Vec::new();
+    for (offset, batch) in report.batches_with_offsets() {
+        for worker in &batch.workers {
+            let evals: Vec<TupleEval> = worker
+                .indexes()
+                .map(|i| TupleEval {
+                    outcome: &batch.outcomes[i],
+                    dirty: &dataset.inputs[offset + i].dirty,
+                    clean: &dataset.inputs[offset + i].clean,
+                })
+                .collect();
+            let m = evaluate_rounds(&evals, report_rounds);
+            match &mut metrics {
+                None => metrics = Some(m),
+                Some(acc) => merge_round_series(acc, &m),
+            }
+            workers.push(WorkerReport {
+                worker: worker.worker,
+                ranges: worker
+                    .ranges
+                    .iter()
+                    .map(|r| r.start + offset..r.end + offset)
+                    .collect(),
+                stats: worker.stats,
+                bdd: worker.bdd,
+            });
+        }
+    }
+    let (stats, bdd, wall) = (report.stats, report.bdd, report.wall);
+    let outcomes = report.into_outcomes();
+    RunResult {
+        metrics: metrics.unwrap_or_else(|| evaluate_rounds(&[], report_rounds)),
+        stats,
+        bdd,
+        wall,
+        workers,
+        dataset,
+        outcomes,
+    }
+}
+
+/// Repair one already-generated batch with `cfg.threads` workers under
+/// `cfg`'s schedule and cache knobs — a thin shim over a one-batch
+/// [`RepairSession`](certainfix_core::RepairSession) borrowed from the
+/// engine — and evaluate per-worker metrics, merged into whole-batch
+/// rows.
 pub fn run_batch(
     engine: &BatchRepairEngine,
     dataset: Dataset,
@@ -240,52 +375,58 @@ pub fn run_batch(
     report_rounds: usize,
 ) -> RunResult {
     let dirty: Vec<Tuple> = dataset.inputs.iter().map(|dt| dt.dirty.clone()).collect();
-    let oracle_seed = dataset.config.seed;
-    let report = engine.repair_opts(&dirty, &cfg.repair_options(), |i| {
-        let dt = &dataset.inputs[i];
-        if cfg.compliance >= 1.0 {
-            SimulatedUser::new(dt.clean.clone())
-        } else {
-            SimulatedUser::with_compliance(dt.clean.clone(), cfg.compliance, oracle_seed ^ i as u64)
-        }
-    });
-    let report_rounds = report_rounds.max(1);
-    let mut metrics: Option<Vec<RoundMetrics>> = None;
-    for worker in &report.workers {
-        let evals: Vec<TupleEval> = worker
-            .indexes()
-            .map(|i| TupleEval {
-                outcome: &report.outcomes[i],
-                dirty: &dataset.inputs[i].dirty,
-                clean: &dataset.inputs[i].clean,
-            })
-            .collect();
-        let m = evaluate_rounds(&evals, report_rounds);
-        match &mut metrics {
-            None => metrics = Some(m),
-            Some(acc) => merge_round_series(acc, &m),
-        }
-    }
-    RunResult {
-        metrics: metrics.unwrap_or_else(|| evaluate_rounds(&[], report_rounds)),
-        stats: report.stats,
-        bdd: report.bdd,
-        wall: report.wall,
-        workers: report.workers,
-        dataset,
-        outcomes: report.outcomes,
-    }
+    let mut session = engine.session_opts(cfg.repair_options());
+    session.push_batch(&dirty, oracle_factory(&dataset, cfg.compliance));
+    fold_session(session.finish(), dataset, report_rounds)
+}
+
+/// Stream an already-generated dataset through a bounded channel
+/// ([`RepairSession::stream_slice`](certainfix_core::RepairSession::stream_slice)):
+/// a producer thread sends the dirty tuples in `cfg.stream_batch`-sized
+/// batches through a [`ChannelSource`](certainfix_core::ChannelSource) of `cfg.depth` in-flight
+/// batches, and a borrowed session drains it. The tuple sequence and
+/// the per-index oracles are exactly those of [`run_batch`], so for
+/// plain `CertainFix` with the caches off the outcomes and merged
+/// metrics are bit-identical to the batch path. Unlike [`run_batch`],
+/// the result's `wall` is the *end-to-end* streaming duration
+/// (producer start to drain finish, source stalls included) — that is
+/// what a backpressure sweep must divide throughput by.
+pub fn run_stream(
+    engine: &BatchRepairEngine,
+    dataset: Dataset,
+    cfg: &ExpConfig,
+    report_rounds: usize,
+) -> RunResult {
+    let dirty: Vec<Tuple> = dataset.inputs.iter().map(|dt| dt.dirty.clone()).collect();
+    let batch = cfg.stream_batch(dirty.len());
+    let started = std::time::Instant::now();
+    let mut session = engine.session_opts(cfg.repair_options());
+    session.stream_slice(
+        &dirty,
+        batch,
+        cfg.depth,
+        oracle_factory(&dataset, cfg.compliance),
+    );
+    let end_to_end = started.elapsed();
+    let mut result = fold_session(session.finish(), dataset, report_rounds);
+    result.wall = end_to_end;
+    result
 }
 
 /// Run the monitored pipeline on `workload` under `cfg`, evaluating
-/// metrics for up to `report_rounds` rounds. `cfg.threads > 1` repairs
-/// the stream with that many workers (under `cfg.schedule`); for plain
-/// `CertainFix` with the caches off, the outcomes and merged metrics
-/// are the same either way.
+/// metrics for up to `report_rounds` rounds, feeding the engine
+/// through `cfg.ingest` (one batch, or backpressured streaming).
+/// `cfg.threads > 1` repairs the stream with that many workers (under
+/// `cfg.schedule`); for plain `CertainFix` with the caches off, the
+/// outcomes and merged metrics are the same whichever ingest path,
+/// worker count, or schedule is chosen.
 pub fn run_monitored(workload: &dyn Workload, cfg: &ExpConfig, report_rounds: usize) -> RunResult {
     let engine = build_engine(workload, cfg);
     let dataset = Dataset::generate(workload, &cfg.dirty_config());
-    run_batch(&engine, dataset, cfg, report_rounds)
+    match cfg.ingest {
+        Ingest::Batch => run_batch(&engine, dataset, cfg, report_rounds),
+        Ingest::Stream => run_stream(&engine, dataset, cfg, report_rounds),
+    }
 }
 
 /// Run the `IncRep` baseline on the same dirty data and evaluate its
@@ -358,7 +499,7 @@ mod tests {
     fn config_from_args() {
         let args = Args::parse(
             "--dm 123 --inputs 45 --d 0.5 --n 0.1 --no-bdd --initial median --threads 3 \
-             --schedule shard --shared-cache off --skew 1.5"
+             --schedule shard --shared-cache off --skew 1.5 --ingest stream --batch 64 --depth 4"
                 .split_whitespace()
                 .map(String::from),
         );
@@ -373,6 +514,24 @@ mod tests {
         assert!(!cfg.shared_cache);
         assert_eq!(cfg.skew, 1.5);
         assert_eq!(cfg.dirty_config().skew, 1.5);
+        assert_eq!(cfg.ingest, Ingest::Stream);
+        assert_eq!(cfg.batch, 64);
+        assert_eq!(cfg.depth, 4);
+        assert_eq!(cfg.stream_batch(1000), 64);
+        assert_eq!(cfg.stream_batch(10), 10, "batch clamps to the stream");
+    }
+
+    #[test]
+    fn stream_batch_defaults_and_parses() {
+        let cfg = ExpConfig::default();
+        assert_eq!(cfg.ingest, Ingest::Batch);
+        assert_eq!(cfg.stream_batch(10_000), 256, "0 means the 256 default");
+        assert_eq!(cfg.stream_batch(100), 100);
+        assert_eq!(cfg.stream_batch(0), 1, "never a zero batch");
+        assert_eq!(Ingest::parse("batch"), Some(Ingest::Batch));
+        assert_eq!(Ingest::parse("stream"), Some(Ingest::Stream));
+        assert_eq!(Ingest::parse("streaming"), None);
+        assert_eq!(Ingest::Stream.name(), "stream");
     }
 
     #[test]
@@ -383,6 +542,8 @@ mod tests {
             "--shared-cache Off",
             "--shared-cache false",
             "--initial worst",
+            "--ingest Stream",
+            "--ingest streaming",
         ] {
             let args = Args::parse(bad.split_whitespace().map(String::from));
             let err = ExpConfig::try_from_args(&args).unwrap_err();
@@ -448,6 +609,61 @@ mod tests {
                 assert_eq!(a.tuple, b.tuple);
             }
         }
+    }
+
+    /// The signature guarantee of the session redesign, exercised at
+    /// the runner level: a streamed run (bounded channel, several
+    /// batches, several workers) merges to metrics and outcomes
+    /// bit-identical to the one-batch path for plain `CertainFix` with
+    /// the caches off.
+    #[test]
+    fn streamed_run_matches_the_batch_path() {
+        let base = ExpConfig {
+            use_bdd: false,
+            shared_cache: false,
+            skew: 0.8,
+            threads: 2,
+            batch: 16,
+            depth: 2,
+            ..small()
+        };
+        let batch = run_monitored(
+            Which::Hosp.build(base.dm).as_ref(),
+            &ExpConfig {
+                ingest: Ingest::Batch,
+                ..base
+            },
+            3,
+        );
+        let stream = run_monitored(
+            Which::Hosp.build(base.dm).as_ref(),
+            &ExpConfig {
+                ingest: Ingest::Stream,
+                ..base
+            },
+            3,
+        );
+        assert!(stream.workers.len() > batch.workers.len(), "really batched");
+        assert_eq!(batch.metrics, stream.metrics, "merged rows bit-identical");
+        assert_eq!(batch.stats.tuples, stream.stats.tuples);
+        assert_eq!(batch.stats.certain, stream.stats.certain);
+        assert_eq!(batch.stats.rounds, stream.stats.rounds);
+        assert_eq!(batch.outcomes.len(), stream.outcomes.len());
+        for (i, (a, b)) in batch.outcomes.iter().zip(&stream.outcomes).enumerate() {
+            assert_eq!(a.tuple, b.tuple, "tuple {i}");
+            assert_eq!(a.certain, b.certain, "tuple {i}");
+        }
+        // streamed worker ranges are global: together they tile the stream
+        let mut seen = vec![false; stream.outcomes.len()];
+        for w in &stream.workers {
+            for r in &w.ranges {
+                for i in r.clone() {
+                    assert!(!seen[i], "index {i} covered twice");
+                    seen[i] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every index covered");
     }
 
     #[test]

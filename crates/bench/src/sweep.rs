@@ -1,0 +1,69 @@
+//! Sweep-point generation and JSON plumbing shared by the sweep
+//! binaries (`exp_scale`, `exp_stream`).
+
+/// Doubling thread counts up to (and always including) `cap`:
+/// `1, 2, 4, …, cap`.
+pub fn thread_points(cap: usize) -> Vec<usize> {
+    let mut points = Vec::new();
+    let mut t = 1;
+    while t < cap {
+        points.push(t);
+        t *= 2;
+    }
+    points.push(cap);
+    points
+}
+
+/// Batch sizes to sweep: the pinned size alone when given, otherwise
+/// `defaults` — each clamped to `1..=inputs`, sorted, deduplicated.
+pub fn batch_points(pinned: Option<usize>, defaults: &[usize], inputs: usize) -> Vec<usize> {
+    let mut points: Vec<usize> = match pinned {
+        Some(b) => vec![b.clamp(1, inputs.max(1))],
+        None => defaults
+            .iter()
+            .map(|&b| b.clamp(1, inputs.max(1)))
+            .collect(),
+    };
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_points_double_up_to_the_cap() {
+        assert_eq!(thread_points(1), vec![1]);
+        assert_eq!(thread_points(4), vec![1, 2, 4]);
+        assert_eq!(thread_points(6), vec![1, 2, 4, 6]);
+    }
+
+    #[test]
+    fn batch_points_pin_clamp_and_dedup() {
+        assert_eq!(batch_points(Some(500), &[64, 256], 100), vec![100]);
+        assert_eq!(batch_points(None, &[256, 1024, 100], 100), vec![100]);
+        assert_eq!(
+            batch_points(None, &[64, 256, 1024], 500),
+            vec![64, 256, 500]
+        );
+        assert_eq!(batch_points(Some(0), &[], 100), vec![1]);
+        assert_eq!(
+            batch_points(None, &[64], 0),
+            vec![1],
+            "empty stream still sweeps"
+        );
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_backslashes() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

@@ -20,6 +20,13 @@
 //! optional [`SharedSuggestionCache`] pools computed suggestions
 //! across workers (and across batches repaired by the same engine).
 //!
+//! Multi-batch (and streaming) ingest lives one layer up, in
+//! [`session`](crate::session): a
+//! [`RepairSession`](crate::session::RepairSession) drains any
+//! [`TupleSource`](crate::session::TupleSource) through this engine
+//! batch by batch; the one-shot methods below are thin shims over a
+//! one-batch session.
+//!
 //! # Determinism
 //!
 //! Every tuple's repair depends only on the tuple itself, its oracle,
@@ -422,9 +429,28 @@ impl BatchRepairEngine {
             .unwrap_or(1)
     }
 
+    /// A borrowed [`RepairSession`](crate::session::RepairSession)
+    /// over this engine under the default options; pooled suggestions
+    /// persist in the engine after the session ends.
+    pub fn session(&self) -> crate::session::RepairSession<'_> {
+        self.session_opts(RepairOptions::default())
+    }
+
+    /// A borrowed session over this engine under `opts` — the primary
+    /// entry point for repairing several batches (or draining a
+    /// [`TupleSource`](crate::session::TupleSource)) against one warm
+    /// engine.
+    pub fn session_opts(&self, opts: RepairOptions) -> crate::session::RepairSession<'_> {
+        crate::session::RepairSession::borrowed(self, opts)
+    }
+
     /// Repair `dirty` with up to `threads` workers under the default
     /// options ([`Schedule::Steal`] with the shared cache on); see
     /// [`repair_opts`](Self::repair_opts).
+    #[deprecated(
+        since = "0.2.0",
+        note = "superseded by the session API: `engine.session_opts(..).push_batch(..)` or `RepairSessionBuilder`"
+    )]
     pub fn repair<F, O>(&self, dirty: &[Tuple], threads: usize, oracle_for: F) -> BatchReport
     where
         F: Fn(usize) -> O + Sync,
@@ -440,13 +466,36 @@ impl BatchRepairEngine {
         )
     }
 
-    /// Repair `dirty` under `opts`.
+    /// Repair `dirty` under `opts` — a thin shim over a one-batch
+    /// [`RepairSession`](crate::session::RepairSession).
     ///
     /// `oracle_for(i)` supplies the (simulated or real) user for input
     /// index `i`; it is called from worker threads, so it must be
     /// `Sync` — and for the determinism guarantee it must depend only
     /// on `i`, not on call order.
     pub fn repair_opts<F, O>(
+        &self,
+        dirty: &[Tuple],
+        opts: &RepairOptions,
+        oracle_for: F,
+    ) -> BatchReport
+    where
+        F: Fn(usize) -> O + Sync,
+        O: UserOracle,
+    {
+        let mut session = self.session_opts(*opts);
+        session.push_batch(dirty, oracle_for);
+        session
+            .finish()
+            .batches
+            .pop()
+            .expect("exactly one batch was pushed")
+    }
+
+    /// The scheduling / fan-out / merge primitive every session batch
+    /// runs through: deal `dirty` to the workers under `opts`, repair,
+    /// stitch outcomes back in input order, merge statistics.
+    pub(crate) fn fan_out<F, O>(
         &self,
         dirty: &[Tuple],
         opts: &RepairOptions,
@@ -582,6 +631,10 @@ impl BatchRepairEngine {
     /// Repair every tuple of a relation (the batch analogue of
     /// [`DataMonitor::repair_relation`](crate::DataMonitor::repair_relation)),
     /// returning the repaired relation plus the full report.
+    #[deprecated(
+        since = "0.2.0",
+        note = "superseded by the session API: drain a `SliceSource` over `Relation::tuples` through a `RepairSession`"
+    )]
     pub fn repair_relation<F, O>(
         &self,
         dirty: &Relation,
@@ -592,8 +645,16 @@ impl BatchRepairEngine {
         F: Fn(usize) -> O + Sync,
         O: UserOracle,
     {
-        let tuples: Vec<Tuple> = dirty.iter().cloned().collect();
-        let report = self.repair(&tuples, threads, oracle_for);
+        let mut session = self.session_opts(RepairOptions {
+            threads,
+            ..RepairOptions::default()
+        });
+        session.push_batch(dirty.tuples(), oracle_for);
+        let report = session
+            .finish()
+            .batches
+            .pop()
+            .expect("exactly one batch was pushed");
         let mut repaired = Relation::empty(dirty.schema().clone());
         for out in &report.outcomes {
             repaired
@@ -895,9 +956,14 @@ mod tests {
             hosp.master().clone(),
             true,
         ));
-        let report = engine.repair(&dirty, 4, |i| {
-            SimulatedUser::new(ds.inputs[i].clean.clone())
-        });
+        let report = engine.repair_opts(
+            &dirty,
+            &RepairOptions {
+                threads: 4,
+                ..RepairOptions::default()
+            },
+            |i| SimulatedUser::new(ds.inputs[i].clean.clone()),
+        );
         let mut monitor = DataMonitor::new(hosp.rules().clone(), hosp.master().clone(), true);
         for (i, dt) in ds.inputs.iter().enumerate() {
             let mut user = SimulatedUser::new(dt.clean.clone());
@@ -981,9 +1047,14 @@ mod tests {
             hosp.master().clone(),
             false,
         ));
-        let report = engine.repair(&dirty, 64, |i| {
-            SimulatedUser::new(ds.inputs[i].clean.clone())
-        });
+        let report = engine.repair_opts(
+            &dirty,
+            &RepairOptions {
+                threads: 64,
+                ..RepairOptions::default()
+            },
+            |i| SimulatedUser::new(ds.inputs[i].clean.clone()),
+        );
         assert_eq!(report.outcomes.len(), 3);
         assert!(report.workers.len() <= 3);
         assert_eq!(report.stats.tuples, 3);
@@ -1018,16 +1089,24 @@ mod tests {
             hosp.master().clone(),
             false,
         ));
-        let report = engine.repair(&[], 8, |_| {
-            SimulatedUser::new(hosp.master().tuple(0).clone())
-        });
+        let report = engine.repair_opts(
+            &[],
+            &RepairOptions {
+                threads: 8,
+                ..RepairOptions::default()
+            },
+            |_| SimulatedUser::new(hosp.master().tuple(0).clone()),
+        );
         assert!(report.outcomes.is_empty());
         assert!(report.workers.is_empty());
         assert_eq!(report.stats.tuples, 0);
         assert_eq!(report.throughput(), 0.0);
     }
 
+    /// The deprecated one-shot shims stay equivalent to the session
+    /// path they forward to.
     #[test]
+    #[allow(deprecated)]
     fn repair_relation_round_trips() {
         let (hosp, ds, _) = hosp_batch(150, 40);
         let dirty_rel = ds.dirty_relation(hosp.schema().clone());

@@ -18,7 +18,10 @@
 //! [`DataMonitor`] packages the precomputation (dependency graph,
 //! region catalog, BDD) and processes tuple streams; [`metrics`]
 //! implements the paper's recall / precision / F-measure at both the
-//! tuple and attribute level.
+//! tuple and attribute level. The unified entry-point surface is the
+//! [`session`] API: a [`RepairSession`] drains any [`TupleSource`]
+//! (slice, generator batches, or a bounded channel) through the
+//! work-stealing [`BatchRepairEngine`] and emits a [`SessionReport`].
 
 pub mod bdd;
 pub mod certainfix;
@@ -26,6 +29,7 @@ pub mod engine;
 pub mod metrics;
 pub mod monitor;
 pub mod oracle;
+pub mod session;
 pub mod sharedcache;
 pub mod transfix;
 
@@ -39,5 +43,9 @@ pub use metrics::{
 };
 pub use monitor::{DataMonitor, InitialRegion, MonitorStats};
 pub use oracle::{SimulatedUser, UserOracle};
+pub use session::{
+    BatchesSource, ChannelSource, RepairSession, RepairSessionBuilder, SessionReport, SliceSource,
+    TupleSource,
+};
 pub use sharedcache::{SharedCacheStats, SharedSuggestionCache};
 pub use transfix::{transfix, TransFixOutcome};

@@ -10,8 +10,9 @@ use certainfix_rules::RuleSet;
 
 use crate::bdd::SuggestionBdd;
 use crate::certainfix::{CertainFixConfig, FixOutcome};
-use crate::engine::RepairContext;
+use crate::engine::{BatchRepairEngine, RepairContext};
 use crate::oracle::UserOracle;
+use crate::session::{SliceSource, TupleSource};
 
 /// Which precomputed region seeds the first suggestion (Exp-1(2)).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -81,12 +82,16 @@ impl MonitorStats {
         }
     }
 
-    /// Mean latency per interaction round.
+    /// Mean latency per interaction round. Computed in `f64` seconds:
+    /// `Duration` division only takes a `u32` divisor, and casting a
+    /// long session's cumulative round count down to `u32` would
+    /// silently truncate (dividing by a wrapped value — possibly 0 —
+    /// once `rounds` exceeds `u32::MAX`).
     pub fn avg_round_latency(&self) -> Duration {
         if self.rounds == 0 {
             Duration::ZERO
         } else {
-            self.elapsed / self.rounds as u32
+            Duration::from_secs_f64(self.elapsed.as_secs_f64() / self.rounds as f64)
         }
     }
 }
@@ -94,11 +99,13 @@ impl MonitorStats {
 /// Owns a [`RepairContext`] — `(Σ, Dm)` plus everything precomputed
 /// from them: the dependency graph (Fig. 4), the ranked certain-region
 /// catalog (ref.\[20\]'s `CompCRegion`) — and, for `CertainFix+`, the
-/// BDD suggestion cache. This is the sequential, stateful façade; the
-/// parallel batch path over the same context is
-/// [`BatchRepairEngine`](crate::BatchRepairEngine).
+/// BDD suggestion cache. This is the sequential, stateful façade
+/// (one tuple at a time through [`process`](Self::process), or a
+/// [`TupleSource`] through [`ingest`](Self::ingest)); the parallel
+/// path over the same context is a
+/// [`RepairSession`](crate::session::RepairSession).
 pub struct DataMonitor {
-    ctx: RepairContext,
+    engine: BatchRepairEngine,
     bdd: SuggestionBdd,
     stats: MonitorStats,
 }
@@ -136,7 +143,7 @@ impl DataMonitor {
     /// Wrap an already-built context.
     pub fn from_context(ctx: RepairContext) -> DataMonitor {
         DataMonitor {
-            ctx,
+            engine: BatchRepairEngine::new(ctx),
             bdd: SuggestionBdd::new(),
             stats: MonitorStats::default(),
         }
@@ -144,27 +151,27 @@ impl DataMonitor {
 
     /// The shared precomputation.
     pub fn context(&self) -> &RepairContext {
-        &self.ctx
+        self.engine.context()
     }
 
     /// The rule set.
     pub fn rules(&self) -> &RuleSet {
-        self.ctx.rules()
+        self.context().rules()
     }
 
     /// The indexed master data.
     pub fn master(&self) -> &MasterIndex {
-        self.ctx.master()
+        self.context().master()
     }
 
     /// The region catalog.
     pub fn catalog(&self) -> &RegionCatalog {
-        self.ctx.catalog()
+        self.context().catalog()
     }
 
     /// The initial suggestion (the seeded region's `Z`).
     pub fn initial_suggestion(&self) -> &[AttrId] {
-        self.ctx.initial_suggestion()
+        self.context().initial_suggestion()
     }
 
     /// Statistics so far.
@@ -177,36 +184,63 @@ impl DataMonitor {
         self.bdd.stats()
     }
 
+    /// Sequentially drain a [`TupleSource`] through this monitor's own
+    /// persistent BDD cache and statistics — the point-of-entry
+    /// streaming loop of the paper, one tuple at a time.
+    /// `oracle_for(i)` receives the tuple's index within this ingest
+    /// stream (tuples drained by this call before it). For parallel
+    /// draining use a [`RepairSession`](crate::session::RepairSession)
+    /// instead.
+    pub fn ingest<S, F, O>(&mut self, mut source: S, mut oracle_for: F) -> Vec<FixOutcome>
+    where
+        S: TupleSource,
+        F: FnMut(usize) -> O,
+        O: UserOracle,
+    {
+        let (lower, upper) = source.size_hint();
+        let mut outcomes = Vec::with_capacity(upper.unwrap_or(lower));
+        while let Some(batch) = source.next_batch() {
+            for t in &batch {
+                let mut oracle = oracle_for(outcomes.len());
+                outcomes.push(self.process(t, &mut oracle));
+            }
+        }
+        outcomes
+    }
+
     /// Batch repair (the paper's Sect. 7 outlook: "certain fixes in
     /// data repairing rather than monitoring"): run the monitoring loop
     /// over every tuple of an existing relation, returning the repaired
     /// relation plus per-tuple outcomes. `oracle_for(i)` supplies the
-    /// (simulated or real) user for row `i`.
+    /// (simulated or real) user for row `i`. A thin shim over
+    /// [`ingest`](Self::ingest) of a [`SliceSource`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "superseded by `DataMonitor::ingest` (sequential) or a `RepairSession` (parallel)"
+    )]
     pub fn repair_relation<F, O>(
         &mut self,
         dirty: &Relation,
-        mut oracle_for: F,
+        oracle_for: F,
     ) -> (Relation, Vec<FixOutcome>)
     where
         F: FnMut(usize) -> O,
         O: UserOracle,
     {
+        let outcomes = self.ingest(SliceSource::new(dirty.tuples()), oracle_for);
         let mut repaired = Relation::empty(dirty.schema().clone());
-        let mut outcomes = Vec::with_capacity(dirty.len());
-        for (i, t) in dirty.iter().enumerate() {
-            let mut oracle = oracle_for(i);
-            let outcome = self.process(t, &mut oracle);
+        for out in &outcomes {
             repaired
-                .push(outcome.tuple.clone())
+                .push(out.tuple.clone())
                 .expect("outcome tuples share the input schema");
-            outcomes.push(outcome);
         }
         (repaired, outcomes)
     }
 
     /// Process one input tuple with the given oracle.
     pub fn process<O: UserOracle + ?Sized>(&mut self, dirty: &Tuple, oracle: &mut O) -> FixOutcome {
-        self.ctx
+        self.engine
+            .context()
             .process_with(&mut self.bdd, &mut self.stats, dirty, oracle)
     }
 }
@@ -351,7 +385,9 @@ mod tests {
         assert!(best.initial_suggestion().len() <= median.initial_suggestion().len());
     }
 
+    /// The deprecated relation shim forwards to `ingest` unchanged.
     #[test]
+    #[allow(deprecated)]
     fn repair_relation_batches_the_monitor() {
         let hosp = Hosp::generate(150);
         let cfg = DirtyConfig {
@@ -374,6 +410,79 @@ mod tests {
             assert!(outcomes[i].certain);
         }
         assert_eq!(monitor.stats().tuples, 25);
+    }
+
+    /// The satellite fix: `avg_round_latency` must not truncate the
+    /// round count through `u32` — a long session whose cumulative
+    /// rounds exceed `u32::MAX` used to divide by a wrapped (possibly
+    /// zero) divisor.
+    #[test]
+    fn avg_round_latency_survives_u32_overflowing_round_counts() {
+        let mut stats = MonitorStats {
+            rounds: u64::from(u32::MAX) + 2, // wraps to 1 as u32
+            elapsed: Duration::from_secs(4_295),
+            ..MonitorStats::default()
+        };
+        let avg = stats.avg_round_latency();
+        // ≈ 1µs per round; the wrapped-u32 division would report the
+        // whole 4 295 s as a single round's latency
+        assert!(avg < Duration::from_micros(2), "avg = {avg:?}");
+        assert!(avg > Duration::ZERO);
+
+        // and a wrapped-to-zero divisor must not panic
+        stats.rounds = u64::from(u32::MAX) + 1; // wraps to 0 as u32
+        assert!(stats.avg_round_latency() > Duration::ZERO);
+
+        // ordinary sessions keep the exact quotient
+        let small = MonitorStats {
+            rounds: 4,
+            elapsed: Duration::from_millis(10),
+            ..MonitorStats::default()
+        };
+        assert_eq!(small.avg_round_latency(), Duration::from_nanos(2_500_000));
+        assert_eq!(MonitorStats::default().avg_round_latency(), Duration::ZERO);
+    }
+
+    /// `ingest` drains a source through the monitor's own state:
+    /// identical outcomes and statistics to one `process` call per
+    /// tuple, whatever the batching.
+    #[test]
+    fn ingest_matches_tuple_at_a_time_processing() {
+        use crate::session::SliceSource;
+        let hosp = Hosp::generate(120);
+        let cfg = DirtyConfig {
+            duplicate_rate: 0.4,
+            noise_rate: 0.2,
+            input_size: 40,
+            seed: 21,
+            ..Default::default()
+        };
+        let dataset = Dataset::generate(&hosp, &cfg);
+        let dirty: Vec<_> = dataset.inputs.iter().map(|dt| dt.dirty.clone()).collect();
+
+        let mut by_tuple = DataMonitor::new(hosp.rules().clone(), hosp.master().clone(), true);
+        let expected: Vec<FixOutcome> = dataset
+            .inputs
+            .iter()
+            .map(|dt| {
+                let mut user = SimulatedUser::new(dt.clean.clone());
+                by_tuple.process(&dt.dirty, &mut user)
+            })
+            .collect();
+
+        let mut streamed = DataMonitor::new(hosp.rules().clone(), hosp.master().clone(), true);
+        let outcomes = streamed.ingest(SliceSource::with_batch(&dirty, 7), |i| {
+            SimulatedUser::new(dataset.inputs[i].clean.clone())
+        });
+        assert_eq!(outcomes.len(), expected.len());
+        for (i, (a, b)) in outcomes.iter().zip(&expected).enumerate() {
+            assert_eq!(a.tuple, b.tuple, "tuple {i}");
+            assert_eq!(a.certain, b.certain, "tuple {i}");
+            assert_eq!(a.rounds.len(), b.rounds.len(), "tuple {i}");
+        }
+        assert_eq!(streamed.stats().tuples, by_tuple.stats().tuples);
+        assert_eq!(streamed.stats().rounds, by_tuple.stats().rounds);
+        assert_eq!(streamed.stats().certain, by_tuple.stats().certain);
     }
 
     #[test]

@@ -237,6 +237,21 @@ pub struct Batches<'a, W: ?Sized> {
     index: u64,
 }
 
+impl<W: ?Sized> Batches<'_, W> {
+    /// Tuples (not batches) still to be generated — what a streaming
+    /// consumer preallocates outcome buffers from. Decreases by each
+    /// yielded batch's size; [`Iterator::size_hint`] derives the batch
+    /// count from it.
+    pub fn remaining_tuples(&self) -> usize {
+        self.remaining
+    }
+
+    /// The configured batch size (the last batch may be smaller).
+    pub fn batch_size(&self) -> usize {
+        self.batch
+    }
+}
+
 impl<W: Workload + ?Sized> Iterator for Batches<'_, W> {
     type Item = Dataset;
 
@@ -383,6 +398,42 @@ mod tests {
             .iter()
             .zip(&batches[1].inputs)
             .any(|(x, y)| x.dirty != y.dirty));
+    }
+
+    /// The satellite contract for streaming consumers: `size_hint` is
+    /// exact at every point of the iteration (so `ExactSizeIterator`
+    /// preallocation is sound), counting partial tail batches, and
+    /// `remaining_tuples` tracks the tuples — not batches — left.
+    #[test]
+    fn batches_size_hint_is_exact_throughout() {
+        let hosp = Hosp::generate(30);
+        let cfg = DirtyConfig {
+            input_size: 103,
+            ..Default::default()
+        };
+        let mut it = Dataset::batches(&hosp, &cfg, 40);
+        assert_eq!(it.batch_size(), 40);
+        let mut expected_tuples = 103usize;
+        loop {
+            let batches_left = expected_tuples.div_ceil(40);
+            assert_eq!(it.remaining_tuples(), expected_tuples);
+            assert_eq!(it.size_hint(), (batches_left, Some(batches_left)));
+            assert_eq!(it.len(), batches_left, "ExactSizeIterator agrees");
+            match it.next() {
+                Some(ds) => expected_tuples -= ds.len(),
+                None => break,
+            }
+        }
+        assert_eq!(expected_tuples, 0, "the hint drained to zero exactly");
+        // exhausted iterators stay exhausted and keep reporting zero
+        assert_eq!(it.len(), 0);
+        assert_eq!(it.remaining_tuples(), 0);
+        assert!(it.next().is_none());
+
+        // a collect sized by the hint allocates exactly once
+        let all: Vec<Dataset> = Dataset::batches(&hosp, &cfg, 25).collect();
+        assert_eq!(all.len(), Dataset::batches(&hosp, &cfg, 25).len());
+        assert_eq!(all.iter().map(Dataset::len).sum::<usize>(), 103);
     }
 
     #[test]

@@ -24,5 +24,5 @@ pub mod hosp;
 pub mod typo;
 
 pub use dblp::Dblp;
-pub use dirty::{Dataset, DirtyConfig, DirtyTuple, Workload};
+pub use dirty::{Batches, Dataset, DirtyConfig, DirtyTuple, Workload};
 pub use hosp::Hosp;

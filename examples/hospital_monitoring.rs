@@ -1,16 +1,19 @@
 //! Hospital data-entry monitoring (the paper's HOSP workload).
 //!
-//! Simulates a stream of hospital/measure records arriving at a data
-//! entry point: 30% duplicate master entities (their errors are
-//! certain-fixable), 20% of attributes are corrupted. The monitor asks
-//! the clerk to confirm a *two-attribute* certain region (phone number
-//! and measure code) and derives the other seventeen attributes from
-//! master data.
+//! Simulates a *stream* of hospital/measure records arriving at a data
+//! entry point: a producer thread plays the role of the entry queue,
+//! feeding 100-record batches through a bounded channel, and a
+//! `RepairSession` with two repair workers drains it — 30% of records
+//! duplicate master entities (their errors are certain-fixable), 20%
+//! of attributes are corrupted. The monitor asks the clerk to confirm
+//! a *two-attribute* certain region (phone number and measure code)
+//! and derives the other seventeen attributes from master data.
 //!
 //! Run with: `cargo run --release --example hospital_monitoring`
 
-use certain_fix::core::{evaluate_rounds, DataMonitor, SimulatedUser, TupleEval};
+use certain_fix::core::{evaluate_rounds, RepairSessionBuilder, SimulatedUser, TupleEval};
 use certain_fix::datagen::{Dataset, DirtyConfig, Hosp, Workload};
+use certain_fix::relation::Tuple;
 
 fn main() {
     let master_size = 2_000;
@@ -38,33 +41,55 @@ fn main() {
         dataset.erroneous_attrs()
     );
 
-    let mut monitor = DataMonitor::new(hosp.rules().clone(), hosp.master().clone(), true);
+    let mut session = RepairSessionBuilder::new(hosp.rules().clone(), hosp.master().clone())
+        .bdd(true)
+        .threads(2)
+        .build();
     println!(
         "initial certain region Z = {} (assure these and the rest follows)",
-        hosp.schema().render_attrs(monitor.initial_suggestion())
+        hosp.schema()
+            .render_attrs(session.engine().context().initial_suggestion())
     );
 
-    let mut outcomes = Vec::with_capacity(dataset.len());
-    for dt in &dataset.inputs {
-        let mut clerk = SimulatedUser::new(dt.clean.clone());
-        outcomes.push(monitor.process(&dt.dirty, &mut clerk));
+    // the entry point: a producer thread feeds 100-record batches of
+    // arriving records through a bounded channel (backpressure: at
+    // most two batches in flight), and the session's workers repair
+    // them as they land
+    let dirty: Vec<Tuple> = dataset.inputs.iter().map(|dt| dt.dirty.clone()).collect();
+    session.stream_slice(&dirty, 100, 2, |i| {
+        SimulatedUser::new(dataset.inputs[i].clean.clone())
+    });
+    let report = session.finish();
+
+    println!("batch  tuples  certain  rounds");
+    for (k, batch) in report.batches.iter().enumerate() {
+        println!(
+            "    {}     {}      {}     {}",
+            k, batch.stats.tuples, batch.stats.certain, batch.stats.rounds
+        );
     }
 
-    let stats = monitor.stats();
+    let stats = &report.stats;
     println!(
-        "\nprocessed {} tuples in {:?} ({} certain fixes, {:.2} rounds avg, {:.3} ms/round)",
+        "\nprocessed {} tuples in {} batches ({} certain fixes, {:.2} rounds avg, \
+         {:.3} ms/round, {:.0} tuples/s)",
         stats.tuples,
-        stats.elapsed,
+        report.batches.len(),
         stats.certain,
         stats.avg_rounds(),
-        stats.avg_round_latency().as_secs_f64() * 1e3
+        stats.avg_round_latency().as_secs_f64() * 1e3,
+        report.throughput()
     );
-    let bdd = monitor.bdd_stats();
     println!(
-        "suggestion cache: {} hits, {} misses, {} failed checks",
-        bdd.hits, bdd.misses, bdd.failed_checks
+        "suggestion cache: {} hits, {} misses, {} failed checks; shared pool: {} hits, {} misses",
+        report.bdd.hits,
+        report.bdd.misses,
+        report.bdd.failed_checks,
+        stats.shared_hits,
+        stats.shared_misses
     );
 
+    let outcomes: Vec<_> = report.outcomes().collect();
     let evals: Vec<TupleEval> = outcomes
         .iter()
         .zip(&dataset.inputs)

@@ -35,8 +35,9 @@ pub use certainfix_rules as rules;
 /// Commonly used items, importable as `use certain_fix::prelude::*`.
 pub mod prelude {
     pub use certainfix_core::{
-        CertainFix, CertainFixConfig, DataMonitor, FixOutcome, InitialRegion, SimulatedUser,
-        UserOracle,
+        BatchesSource, CertainFix, CertainFixConfig, ChannelSource, DataMonitor, FixOutcome,
+        InitialRegion, RepairSession, RepairSessionBuilder, SessionReport, SimulatedUser,
+        SliceSource, TupleSource, UserOracle,
     };
     pub use certainfix_reasoning::{Chase, ChaseResult, Region, RegionCatalog};
     pub use certainfix_relation::{

@@ -5,7 +5,10 @@
 use std::sync::Arc;
 
 use certain_fix::cfd::{increp, rules_to_cfds, IncRepConfig};
-use certain_fix::core::{evaluate_changes, evaluate_rounds, DataMonitor, SimulatedUser, TupleEval};
+use certain_fix::core::{
+    evaluate_changes, evaluate_rounds, BatchesSource, DataMonitor, RepairSessionBuilder,
+    SimulatedUser, TupleEval,
+};
 use certain_fix::datagen::{Dataset, Dblp, DirtyConfig, Hosp, Workload};
 use certain_fix::reasoning::{comp_cregion_in_mode, gregion_in_mode};
 use certain_fix::relation::Value;
@@ -290,4 +293,50 @@ fn increp_works_through_the_facade() {
     assert!(counts.changed > 0, "IncRep repairs something");
     assert!(counts.recall() > 0.0);
     let _ = Arc::strong_count(hosp.master());
+}
+
+#[test]
+fn session_over_generator_batches_matches_the_sequential_monitor() {
+    // The facade-level session walkthrough: drain the dirty-data
+    // generator's decorrelated batch stream through a parallel
+    // RepairSession (via BatchesSource) and check it agrees with the
+    // sequential DataMonitor fed the identical stream — plain
+    // CertainFix, caches off, so agreement is bit-exact by the
+    // session's determinism contract.
+    let hosp = Hosp::generate(200);
+    let cfg = DirtyConfig {
+        duplicate_rate: 0.4,
+        noise_rate: 0.2,
+        input_size: 120,
+        seed: 77,
+        ..Default::default()
+    };
+    // materialize the same stream the source will yield (batch
+    // generation is deterministic and independently regenerable)
+    let inputs: Vec<_> = Dataset::batches(&hosp, &cfg, 50)
+        .flat_map(|ds| ds.inputs)
+        .collect();
+
+    let mut session = RepairSessionBuilder::new(hosp.rules().clone(), hosp.master().clone())
+        .threads(2)
+        .shared_cache(false)
+        .build();
+    let drained = session.drain(BatchesSource::new(Dataset::batches(&hosp, &cfg, 50)), |i| {
+        SimulatedUser::new(inputs[i].clean.clone())
+    });
+    assert_eq!(drained, 120);
+    let report = session.finish();
+    assert_eq!(report.batches.len(), 3, "120 tuples in batches of 50");
+
+    let mut monitor = DataMonitor::new(hosp.rules().clone(), hosp.master().clone(), false);
+    for (i, (out, dt)) in report.outcomes().zip(&inputs).enumerate() {
+        let mut user = SimulatedUser::new(dt.clean.clone());
+        let seq = monitor.process(&dt.dirty, &mut user);
+        assert_eq!(out.tuple, seq.tuple, "tuple {i}");
+        assert_eq!(out.certain, seq.certain, "tuple {i}");
+        assert_eq!(out.rounds.len(), seq.rounds.len(), "tuple {i}");
+    }
+    assert_eq!(report.stats.tuples, monitor.stats().tuples);
+    assert_eq!(report.stats.certain, monitor.stats().certain);
+    assert_eq!(report.stats.rounds, monitor.stats().rounds);
 }
