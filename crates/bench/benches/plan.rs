@@ -1,0 +1,201 @@
+//! Criterion kernels for the compiled rule-plan probe layer
+//! (`BENCH_plan` in CI).
+//!
+//! Three altitudes, each an A/B of the legacy lock-and-clone
+//! `MasterIndex` path against the compiled [`RulePlan`]:
+//!
+//! * `plan_probe` — the bare `tm[Xm] = t[X]` candidate probe, per rule
+//!   per tuple (the unit the paper's "constant time by hash table"
+//!   argument is about);
+//! * `transfix_plan` — one full `TransFix` pass over a master-backed
+//!   tuple, the per-round fixing cost;
+//! * `batch_repair_plan` — the end-to-end hosp50k batch-repair kernel
+//!   (plain `CertainFix`, caches off, one worker) with `--plan on`
+//!   vs `--plan off` contexts. Outcomes are bit-identical by the
+//!   determinism contract; only the probe layer differs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use certainfix_bench::runner::Which;
+use certainfix_core::{
+    transfix, transfix_with, BatchRepairEngine, CertainFixConfig, InitialRegion, RepairContext,
+    RepairOptions, Schedule, SimulatedUser,
+};
+use certainfix_datagen::{Dataset, DirtyConfig};
+use certainfix_relation::{AttrSet, Tuple};
+use certainfix_rules::{candidate_masters, DependencyGraph, ProbeScratch, RulePlan};
+
+fn bench_plan_probe(c: &mut Criterion) {
+    let w = Which::Hosp.build(10_000);
+    let plan = RulePlan::compile(w.rules(), w.master_index());
+    let ds = Dataset::generate(
+        w.as_ref(),
+        &DirtyConfig {
+            duplicate_rate: 1.0,
+            noise_rate: 0.2,
+            input_size: 64,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    let tuples: Vec<Tuple> = ds.inputs.iter().map(|dt| dt.dirty.clone()).collect();
+
+    c.bench_with_input(
+        BenchmarkId::new("plan_probe", "legacy"),
+        &tuples,
+        |b, tuples| {
+            let mut i = 0;
+            b.iter(|| {
+                let t = &tuples[i % tuples.len()];
+                i += 1;
+                let mut hits = 0usize;
+                for (_, rule) in w.rules().iter() {
+                    hits += candidate_masters(rule, t, w.master_index()).len();
+                }
+                black_box(hits)
+            });
+        },
+    );
+    c.bench_with_input(
+        BenchmarkId::new("plan_probe", "compiled"),
+        &tuples,
+        |b, tuples| {
+            let mut scratch = ProbeScratch::new();
+            let mut i = 0;
+            b.iter(|| {
+                let t = &tuples[i % tuples.len()];
+                i += 1;
+                let mut hits = 0usize;
+                for (r, _) in plan.iter() {
+                    hits += plan.candidates(r, t, &mut scratch).len();
+                }
+                black_box(hits)
+            });
+        },
+    );
+
+    // one full TransFix pass from the best region's Z
+    let graph = DependencyGraph::new(w.rules());
+    let catalog = certainfix_reasoning::RegionCatalog::build(w.rules(), w.master_index());
+    let z: AttrSet = catalog
+        .best()
+        .expect("catalog non-empty")
+        .z()
+        .iter()
+        .copied()
+        .collect();
+    let prepared: Vec<Tuple> = ds
+        .inputs
+        .iter()
+        .map(|dt| {
+            let mut t = dt.dirty.clone();
+            for a in z.iter() {
+                t.set(a, *dt.clean.get(a));
+            }
+            t
+        })
+        .collect();
+    c.bench_with_input(
+        BenchmarkId::new("transfix_plan", "legacy"),
+        &prepared,
+        |b, tuples| {
+            let mut i = 0;
+            b.iter(|| {
+                let t = &tuples[i % tuples.len()];
+                i += 1;
+                black_box(transfix(w.rules(), w.master_index(), &graph, t, z))
+            });
+        },
+    );
+    c.bench_with_input(
+        BenchmarkId::new("transfix_plan", "compiled"),
+        &prepared,
+        |b, tuples| {
+            let mut scratch = ProbeScratch::new();
+            let mut i = 0;
+            b.iter(|| {
+                let t = &tuples[i % tuples.len()];
+                i += 1;
+                black_box(transfix_with(
+                    w.rules(),
+                    w.master_index(),
+                    &graph,
+                    Some(&plan),
+                    &mut scratch,
+                    t,
+                    z,
+                ))
+            });
+        },
+    );
+}
+
+/// The acceptance kernel: the hosp50k batch repaired through a plan-on
+/// vs a plan-off context. Plain `CertainFix`, both caches off, one
+/// worker — the configuration whose outcomes are bit-identical across
+/// the toggle, so the measured difference is purely the probe layer.
+fn bench_batch_repair_plan(c: &mut Criterion) {
+    let w = Which::Hosp.build(10_000);
+    let ds = Dataset::generate(
+        w.as_ref(),
+        &DirtyConfig {
+            duplicate_rate: 0.3,
+            noise_rate: 0.2,
+            input_size: 50_000,
+            seed: 21,
+            ..Default::default()
+        },
+    );
+    let dirty: Vec<Tuple> = ds.inputs.iter().map(|dt| dt.dirty.clone()).collect();
+    let opts = RepairOptions {
+        threads: 1,
+        schedule: Schedule::Steal,
+        shared_cache: false,
+        chunk: 0,
+    };
+    for (mode, use_plan) in [("off", false), ("on", true)] {
+        let engine = BatchRepairEngine::new(RepairContext::with_plan_mode(
+            w.rules().clone(),
+            w.master().clone(),
+            false,
+            InitialRegion::Best,
+            CertainFixConfig::default(),
+            use_plan,
+        ));
+        // warm the lazily built master key indexes out of the measurement
+        engine.repair_opts(&dirty[..64], &opts, |i| {
+            SimulatedUser::new(ds.inputs[i].clean.clone())
+        });
+        c.bench_with_input(
+            BenchmarkId::new("batch_repair_plan", format!("hosp50k/plan-{mode}")),
+            &dirty,
+            |b, dirty| {
+                b.iter(|| {
+                    let report = engine.repair_opts(dirty, &opts, |i| {
+                        SimulatedUser::new(ds.inputs[i].clean.clone())
+                    });
+                    black_box((report.stats.certain, report.throughput()))
+                })
+            },
+        );
+    }
+}
+
+criterion_group! {
+    name = probes;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_plan_probe
+}
+criterion_group! {
+    name = batch;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_batch_repair_plan
+}
+criterion_main!(probes, batch);

@@ -35,8 +35,9 @@ impl Spec {
     /// `--inputs`, `--d`, `--n`, `--seed`, `--compliance`,
     /// `--initial`, `--threads`, `--schedule {shard,steal}`,
     /// `--shared-cache {on,off}`, `--skew`,
-    /// `--ingest {batch,stream}`, `--batch`, `--depth`, `--out`, and
-    /// the boolean `--no-bdd`.
+    /// `--ingest {batch,stream}`, `--batch`, `--depth`,
+    /// `--plan {on,off}` (the compiled-rule-plan probe layer A/B),
+    /// `--out`, and the boolean `--no-bdd`.
     pub fn exp(bin: &'static str) -> Spec {
         Spec::new(bin)
             .valued(&[
@@ -54,6 +55,7 @@ impl Spec {
                 "ingest",
                 "batch",
                 "depth",
+                "plan",
                 "out",
             ])
             .boolean(&["no-bdd"])

@@ -118,6 +118,11 @@ pub struct ExpConfig {
     pub batch: usize,
     /// Channel depth (in-flight batches) for [`Ingest::Stream`].
     pub depth: usize,
+    /// Probe through the compiled rule plan (`--plan on`, the default)
+    /// or the legacy lock-and-clone `MasterIndex` path (`--plan off`).
+    /// Outcomes are bit-identical either way; the flag exists so the
+    /// plan's speedup is measured, not asserted.
+    pub plan: bool,
 }
 
 impl Default for ExpConfig {
@@ -138,6 +143,7 @@ impl Default for ExpConfig {
             ingest: Ingest::Batch,
             batch: 0,
             depth: 2,
+            plan: true,
         }
     }
 }
@@ -190,6 +196,11 @@ impl ExpConfig {
                     args.str_or("ingest", "")
                 )
             })?;
+        let plan = match args.str_or("plan", "on") {
+            "on" => true,
+            "off" => false,
+            other => return Err(format!("invalid --plan `{other}` (on|off)")),
+        };
         Ok(ExpConfig {
             dm: args.usize_or("dm", default.dm),
             inputs: args.usize_or("inputs", default.inputs),
@@ -206,6 +217,7 @@ impl ExpConfig {
             ingest,
             batch: args.usize_or("batch", default.batch),
             depth: args.usize_or("depth", default.depth),
+            plan,
         })
     }
 
@@ -283,15 +295,17 @@ impl RunResult {
     }
 }
 
-/// Build the batch-repair engine for a workload under `cfg`.
+/// Build the batch-repair engine for a workload under `cfg`
+/// (including the `--plan` probe-layer choice).
 pub fn build_engine(workload: &dyn Workload, cfg: &ExpConfig) -> BatchRepairEngine {
-    BatchRepairEngine::with_config(
+    BatchRepairEngine::new(certainfix_core::RepairContext::with_plan_mode(
         workload.rules().clone(),
         workload.master().clone(),
         cfg.use_bdd,
         cfg.initial,
         CertainFixConfig::default(),
-    )
+        cfg.plan,
+    ))
 }
 
 /// The oracle factory every runner shares: the user for global stream
@@ -499,11 +513,13 @@ mod tests {
     fn config_from_args() {
         let args = Args::parse(
             "--dm 123 --inputs 45 --d 0.5 --n 0.1 --no-bdd --initial median --threads 3 \
-             --schedule shard --shared-cache off --skew 1.5 --ingest stream --batch 64 --depth 4"
+             --schedule shard --shared-cache off --skew 1.5 --ingest stream --batch 64 --depth 4 \
+             --plan off"
                 .split_whitespace()
                 .map(String::from),
         );
         let cfg = ExpConfig::from_args(&args);
+        assert!(!cfg.plan, "--plan off selects the legacy probe path");
         assert_eq!(cfg.dm, 123);
         assert_eq!(cfg.inputs, 45);
         assert_eq!(cfg.d, 0.5);
@@ -544,6 +560,8 @@ mod tests {
             "--initial worst",
             "--ingest Stream",
             "--ingest streaming",
+            "--plan On",
+            "--plan true",
         ] {
             let args = Args::parse(bad.split_whitespace().map(String::from));
             let err = ExpConfig::try_from_args(&args).unwrap_err();
@@ -563,6 +581,7 @@ mod tests {
         let cfg = ExpConfig::from_args(&Args::parse(std::iter::empty::<String>()));
         assert_eq!(cfg.schedule, Schedule::Steal);
         assert!(cfg.shared_cache);
+        assert!(cfg.plan, "the compiled plan is the default probe layer");
         assert_eq!(cfg.skew, 0.0);
         let opts = cfg.repair_options();
         assert_eq!(opts.schedule, Schedule::Steal);
@@ -608,6 +627,43 @@ mod tests {
             for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
                 assert_eq!(a.tuple, b.tuple);
             }
+        }
+    }
+
+    /// The tentpole's A/B guarantee at the runner level: `--plan on`
+    /// and `--plan off` runs produce bit-identical metric rows,
+    /// deterministic counts, and outcomes on a skewed stream.
+    #[test]
+    fn plan_on_and_off_produce_identical_runs() {
+        let base = ExpConfig {
+            use_bdd: false,
+            shared_cache: false,
+            skew: 1.0,
+            threads: 2,
+            ..small()
+        };
+        let on = run_monitored(
+            Which::Hosp.build(base.dm).as_ref(),
+            &ExpConfig { plan: true, ..base },
+            3,
+        );
+        let off = run_monitored(
+            Which::Hosp.build(base.dm).as_ref(),
+            &ExpConfig {
+                plan: false,
+                ..base
+            },
+            3,
+        );
+        assert_eq!(on.metrics, off.metrics, "metric rows bit-identical");
+        assert_eq!(on.stats.tuples, off.stats.tuples);
+        assert_eq!(on.stats.certain, off.stats.certain);
+        assert_eq!(on.stats.rounds, off.stats.rounds);
+        assert!(on.stats.plan_probes > 0, "plan leg probed the plan");
+        assert_eq!(off.stats.plan_probes, 0, "legacy leg did not");
+        for (i, (a, b)) in on.outcomes.iter().zip(&off.outcomes).enumerate() {
+            assert_eq!(a.tuple, b.tuple, "tuple {i}");
+            assert_eq!(a.certain, b.certain, "tuple {i}");
         }
     }
 

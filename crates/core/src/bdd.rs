@@ -14,9 +14,9 @@
 //! interaction rounds, resuming where it left off — mirroring "in the
 //! next round of interaction, checking resumes at node u".
 
-use certainfix_reasoning::{is_suggestion, suggest};
+use certainfix_reasoning::{is_suggestion_with, suggest_with};
 use certainfix_relation::{AttrId, AttrSet, FxHashMap, MasterIndex, Tuple};
-use certainfix_rules::RuleSet;
+use certainfix_rules::{ProbeScratch, RulePlan, RuleSet};
 
 use crate::sharedcache::SharedSuggestionCache;
 
@@ -157,15 +157,27 @@ impl SuggestionBdd {
         validated: AttrSet,
         cursor: &mut Cursor,
     ) -> Option<Vec<AttrId>> {
-        self.suggest_plus_with(rules, master, t, validated, cursor, None)
+        self.suggest_plus_with(
+            rules,
+            master,
+            t,
+            validated,
+            cursor,
+            None,
+            None,
+            &mut ProbeScratch::new(),
+        )
     }
 
     /// [`suggest_plus`](Self::suggest_plus) with an optional
-    /// [`SharedSuggestionCache`] behind the local diagram: when the
+    /// [`SharedSuggestionCache`] behind the local diagram — when the
     /// walk ends in a miss, candidates other workers pooled for the
     /// same validated set are re-checked before falling back to
     /// [`certainfix_reasoning::suggest()`](certainfix_reasoning::suggest()); fresh results are
-    /// published for other workers.
+    /// published for other workers — and an optional compiled
+    /// [`RulePlan`] plus a caller-owned [`ProbeScratch`] routing the
+    /// checks' and computations' master probes.
+    #[allow(clippy::too_many_arguments)]
     pub fn suggest_plus_with(
         &mut self,
         rules: &RuleSet,
@@ -174,6 +186,8 @@ impl SuggestionBdd {
         validated: AttrSet,
         cursor: &mut Cursor,
         shared: Option<&SharedSuggestionCache>,
+        plan: Option<&RulePlan>,
+        scratch: &mut ProbeScratch,
     ) -> Option<Vec<AttrId>> {
         if validated == AttrSet::full(rules.r_schema().len()) {
             return None;
@@ -187,7 +201,7 @@ impl SuggestionBdd {
                 Some(i) if !visited.contains(&i) => {
                     visited.push(i);
                     let cached = self.nodes[i].suggestion.clone();
-                    if is_suggestion(rules, master, t, validated, &cached) {
+                    if is_suggestion_with(rules, master, t, validated, &cached, plan, scratch) {
                         self.stats.hits += 1;
                         cursor.at = Some(CursorAt::Hi(i));
                         return Some(cached);
@@ -199,13 +213,15 @@ impl SuggestionBdd {
                     // walked into a false-edge cycle: every cached
                     // candidate on this path failed; compute fresh
                     // without extending the diagram.
-                    let computed = self.compute_or_shared(rules, master, t, validated, shared)?;
+                    let computed =
+                        self.compute_or_shared(rules, master, t, validated, shared, plan, scratch)?;
                     self.stats.misses += 1;
                     cursor.at = Some(CursorAt::Root);
                     return Some(computed);
                 }
                 None => {
-                    let computed = self.compute_or_shared(rules, master, t, validated, shared)?;
+                    let computed =
+                        self.compute_or_shared(rules, master, t, validated, shared, plan, scratch)?;
                     self.stats.misses += 1;
                     let node = self.intern(&computed);
                     // interning may return a node already on this walk;
@@ -226,6 +242,7 @@ impl SuggestionBdd {
     /// computation otherwise. Either way the returned suggestion is
     /// valid for `(t, validated)` — shared candidates are re-checked
     /// before being served.
+    #[allow(clippy::too_many_arguments)]
     fn compute_or_shared(
         &mut self,
         rules: &RuleSet,
@@ -233,11 +250,14 @@ impl SuggestionBdd {
         t: &Tuple,
         validated: AttrSet,
         shared: Option<&SharedSuggestionCache>,
+        plan: Option<&RulePlan>,
+        scratch: &mut ProbeScratch,
     ) -> Option<Vec<AttrId>> {
         match shared {
             Some(cache) => {
                 let mut hit = false;
-                let computed = cache.suggest_through(rules, master, t, validated, &mut hit);
+                let computed = cache
+                    .suggest_through_with(rules, master, t, validated, &mut hit, plan, scratch);
                 if hit {
                     self.stats.shared_hits += 1;
                 } else {
@@ -245,7 +265,7 @@ impl SuggestionBdd {
                 }
                 computed
             }
-            None => suggest(rules, master, t, validated).map(|s| s.attrs),
+            None => suggest_with(rules, master, t, validated, plan, scratch).map(|s| s.attrs),
         }
     }
 }
@@ -477,7 +497,16 @@ mod tests {
         let mut bdd1 = SuggestionBdd::new();
         let mut c1 = Cursor::start();
         let s1 = bdd1
-            .suggest_plus_with(&rules, &master, &t1_fixed(), z, &mut c1, Some(&shared))
+            .suggest_plus_with(
+                &rules,
+                &master,
+                &t1_fixed(),
+                z,
+                &mut c1,
+                Some(&shared),
+                None,
+                &mut ProbeScratch::new(),
+            )
             .unwrap();
         assert_eq!(bdd1.stats().shared_misses, 1);
         assert_eq!(bdd1.stats().shared_hits, 0);
@@ -488,7 +517,16 @@ mod tests {
         let mut bdd2 = SuggestionBdd::new();
         let mut c2 = Cursor::start();
         let s2 = bdd2
-            .suggest_plus_with(&rules, &master, &t1_fixed(), z, &mut c2, Some(&shared))
+            .suggest_plus_with(
+                &rules,
+                &master,
+                &t1_fixed(),
+                z,
+                &mut c2,
+                Some(&shared),
+                None,
+                &mut ProbeScratch::new(),
+            )
             .unwrap();
         assert_eq!(s1, s2, "the pooled candidate passes the check");
         assert_eq!(bdd2.stats().shared_hits, 1);

@@ -1,12 +1,12 @@
 //! Algorithm `CertainFix` (Fig. 3 of the paper): the per-tuple
 //! interaction loop.
 
-use certainfix_reasoning::{suggest, Chase};
+use certainfix_reasoning::{suggest_with, Chase};
 use certainfix_relation::{AttrId, AttrSet, MasterIndex, Tuple};
-use certainfix_rules::{DependencyGraph, RuleSet};
+use certainfix_rules::{DependencyGraph, ProbeScratch, RulePlan, RuleSet};
 
 use crate::oracle::UserOracle;
-use crate::transfix::transfix;
+use crate::transfix::transfix_with;
 
 /// Configuration of the interaction loop.
 #[derive(Clone, Debug)]
@@ -82,10 +82,17 @@ impl FixOutcome {
 
 /// The interaction engine: borrows the precomputed structures and runs
 /// the Fig. 3 loop for one tuple at a time.
+///
+/// With [`with_plan`](Self::with_plan), the per-round `TransFix` pass
+/// and the validation chase route their key probes through a compiled
+/// [`RulePlan`]; a worker-owned [`ProbeScratch`] passed to
+/// [`run_scratch`](Self::run_scratch) makes the steady-state probe
+/// layer allocation-free across all the tuples the worker drains.
 pub struct CertainFix<'a> {
     rules: &'a RuleSet,
     master: &'a MasterIndex,
     graph: &'a DependencyGraph,
+    plan: Option<&'a RulePlan>,
     config: CertainFixConfig,
 }
 
@@ -101,29 +108,62 @@ impl<'a> CertainFix<'a> {
             rules,
             master,
             graph,
+            plan: None,
             config,
         }
+    }
+
+    /// Route probes through a compiled plan (compiled from the same
+    /// `(rules, master)` pair). Outcomes are bit-identical either way.
+    pub fn with_plan(mut self, plan: Option<&'a RulePlan>) -> CertainFix<'a> {
+        self.plan = plan;
+        self
     }
 
     /// Run the loop on `dirty`, seeding the first round with
     /// `initial_suggestion` (normally the highest-quality certain
     /// region's `Z`). `next_suggestion` produces follow-up suggestions
     /// — plain [`suggest()`](certainfix_reasoning::suggest::suggest) for `CertainFix`, the BDD-served variant for
-    /// `CertainFix+`.
+    /// `CertainFix+`; it receives the run's [`ProbeScratch`] so a
+    /// plan-routed suggestion path reuses the same warm probe buffer.
     pub fn run<O, F>(
         &self,
         dirty: &Tuple,
         initial_suggestion: &[AttrId],
         oracle: &mut O,
-        mut next_suggestion: F,
+        next_suggestion: F,
     ) -> FixOutcome
     where
         O: UserOracle + ?Sized,
-        F: FnMut(&Tuple, AttrSet) -> Option<Vec<AttrId>>,
+        F: FnMut(&Tuple, AttrSet, &mut ProbeScratch) -> Option<Vec<AttrId>>,
+    {
+        self.run_scratch(
+            dirty,
+            initial_suggestion,
+            oracle,
+            next_suggestion,
+            &mut ProbeScratch::new(),
+        )
+    }
+
+    /// [`run`](Self::run) with a caller-owned probe scratch: the
+    /// engine's workers hold one per thread so every tuple they repair
+    /// reuses the same warm probe buffer.
+    pub fn run_scratch<O, F>(
+        &self,
+        dirty: &Tuple,
+        initial_suggestion: &[AttrId],
+        oracle: &mut O,
+        mut next_suggestion: F,
+        scratch: &mut ProbeScratch,
+    ) -> FixOutcome
+    where
+        O: UserOracle + ?Sized,
+        F: FnMut(&Tuple, AttrSet, &mut ProbeScratch) -> Option<Vec<AttrId>>,
     {
         let r_len = self.rules.r_schema().len();
         let full = AttrSet::full(r_len);
-        let chase = Chase::new(self.rules, self.master);
+        let chase = Chase::new(self.rules, self.master).with_plan(self.plan);
 
         let mut tuple = dirty.clone();
         let mut validated = AttrSet::EMPTY;
@@ -156,10 +196,18 @@ impl<'a> CertainFix<'a> {
             let new_validated = validated | asserted_attrs.iter().copied().collect::<AttrSet>();
 
             // validation: does t[Z′ ∪ S] lead to a unique fix?
-            let validated_ok = chase.run(&tuple, new_validated).is_unique();
+            let validated_ok = chase.run_with(&tuple, new_validated, scratch).is_unique();
 
             // (3) TransFix propagates master values
-            let out = transfix(self.rules, self.master, self.graph, &tuple, new_validated);
+            let out = transfix_with(
+                self.rules,
+                self.master,
+                self.graph,
+                self.plan,
+                scratch,
+                &tuple,
+                new_validated,
+            );
             tuple = out.tuple;
             validated = out.validated;
             rule_fixed |= out.fixed;
@@ -177,16 +225,23 @@ impl<'a> CertainFix<'a> {
             }
 
             // (4) a new suggestion
-            match next_suggestion(&tuple, validated) {
+            match next_suggestion(&tuple, validated, scratch) {
                 Some(s) if !s.is_empty() => {
                     // Does any rule still have something to contribute?
                     // If the suggested set covers only itself (no rule
                     // coverage beyond Z′ ∪ S), the rules are exhausted.
                     let s_set: AttrSet = s.iter().copied().collect();
                     let rules_exhausted = {
-                        let predicted = suggest(self.rules, self.master, &tuple, validated)
-                            .map(|sug| sug.covers)
-                            .unwrap_or(validated);
+                        let predicted = suggest_with(
+                            self.rules,
+                            self.master,
+                            &tuple,
+                            validated,
+                            self.plan,
+                            scratch,
+                        )
+                        .map(|sug| sug.covers)
+                        .unwrap_or(validated);
                         predicted == validated | s_set && out.fixed.is_empty()
                     };
                     if rules_exhausted && self.config.stop_when_rules_exhausted {
@@ -221,6 +276,7 @@ impl<'a> CertainFix<'a> {
 mod tests {
     use super::*;
     use crate::oracle::SimulatedUser;
+    use certainfix_reasoning::suggest;
     use certainfix_relation::{tuple, Relation, Schema, Value};
     use certainfix_rules::parse_rules;
     use std::sync::Arc;
@@ -329,7 +385,7 @@ mod tests {
             &t1_dirty(),
             &ids(&r, &["zip", "phn", "type", "item"]),
             &mut user,
-            |t, validated| suggest(&rules, &master, t, validated).map(|s| s.attrs),
+            |t, validated, _| suggest(&rules, &master, t, validated).map(|s| s.attrs),
         );
         assert!(outcome.certain);
         assert_eq!(outcome.certain_at_round, Some(1));
@@ -353,7 +409,7 @@ mod tests {
             &t1_dirty(),
             &ids(&r, &["zip"]),
             &mut user,
-            |t, validated| suggest(&rules, &master, t, validated).map(|s| s.attrs),
+            |t, validated, _| suggest(&rules, &master, t, validated).map(|s| s.attrs),
         );
         assert!(outcome.certain);
         assert_eq!(outcome.certain_at_round, Some(2));
@@ -379,7 +435,7 @@ mod tests {
             &dirty,
             &ids(&r, &["zip", "phn", "type", "item"]),
             &mut user,
-            |t, validated| suggest(&rules, &master, t, validated).map(|s| s.attrs),
+            |t, validated, _| suggest(&rules, &master, t, validated).map(|s| s.attrs),
         );
         assert!(outcome.certain);
         assert!(outcome.user_changed.contains(r.attr("zip").unwrap()));
@@ -411,7 +467,7 @@ mod tests {
             &dirty,
             &ids(&r, &["zip", "phn", "type", "item"]),
             &mut user,
-            |t, validated| suggest(&rules, &master, t, validated).map(|s| s.attrs),
+            |t, validated, _| suggest(&rules, &master, t, validated).map(|s| s.attrs),
         );
         assert!(!outcome.certain);
         assert!(outcome.gave_up);
@@ -444,7 +500,7 @@ mod tests {
             &clean,
             &ids(&r, &["zip", "phn", "type", "item"]),
             &mut user,
-            |t, validated| suggest(&rules, &master, t, validated).map(|s| s.attrs),
+            |t, validated, _| suggest(&rules, &master, t, validated).map(|s| s.attrs),
         );
         // the user eventually validates everything by hand
         assert!(outcome.certain);
@@ -473,7 +529,7 @@ mod tests {
         ];
         // a user who only ever confirms one attribute per round
         let mut user = SimulatedUser::with_compliance(clean.clone(), 0.0, 3);
-        let outcome = engine.run(&clean, &ids(&r, &["zip"]), &mut user, |t, validated| {
+        let outcome = engine.run(&clean, &ids(&r, &["zip"]), &mut user, |t, validated, _| {
             suggest(&rules, &master, t, validated).map(|s| s.attrs)
         });
         assert_eq!(outcome.rounds.len(), 2);

@@ -31,10 +31,15 @@
 //!
 //! Every tuple's repair depends only on the tuple itself, its oracle,
 //! and the shared immutable context — never on other tuples in the
-//! batch or on which worker claims it. Outcomes are stitched back in
-//! input order, and the merged statistics are integer sums, so for
-//! plain `CertainFix` (`use_bdd = false`, shared cache off) the
-//! repaired tuples, the merged count fields of [`MonitorStats`], and
+//! batch or on which worker claims it. The compiled
+//! [`RulePlan`] probe layer
+//! ([`RepairContext::uses_plan`]) reads the same hash maps as the
+//! legacy `MasterIndex` path, so toggling it changes *no* outcome and
+//! no deterministic count (only the probe counters it feeds). Outcomes
+//! are stitched back in input order, and the merged statistics are
+//! integer sums, so for plain `CertainFix` (`use_bdd = false`, shared
+//! cache off) the repaired tuples, the merged count fields of
+//! [`MonitorStats`], and
 //! any [`RoundMetrics`](crate::RoundMetrics) evaluated per worker and
 //! [`merged`](crate::metrics::merge_round_series) are **bit-identical
 //! to a sequential run regardless of schedule, worker count, or
@@ -50,9 +55,9 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use certainfix_reasoning::{suggest, RegionCatalog};
+use certainfix_reasoning::{suggest_with, RegionCatalog};
 use certainfix_relation::{AttrId, Interner, MasterIndex, Relation, Tuple};
-use certainfix_rules::{DependencyGraph, RuleSet};
+use certainfix_rules::{DependencyGraph, ProbeScratch, RulePlan, RuleSet};
 use std::sync::Arc;
 
 use crate::bdd::{BddStats, Cursor, SuggestionBdd};
@@ -62,18 +67,22 @@ use crate::oracle::UserOracle;
 use crate::sharedcache::{SharedCacheStats, SharedSuggestionCache};
 
 /// Everything precomputed from `(Σ, Dm)` that repair workers share by
-/// reference: the rule set, the indexed master data, the dependency
-/// graph (Fig. 4), the ranked certain-region catalog, and the initial
-/// suggestion. Immutable after construction (the [`MasterIndex`] cache
-/// grows internally behind its own lock), hence `Sync`.
+/// reference: the rule set, the indexed master data, the compiled
+/// [`RulePlan`] (pinned per-rule key indexes and probe layouts), the
+/// dependency graph (Fig. 4), the ranked certain-region catalog, and
+/// the initial suggestion. Immutable after construction (the
+/// [`MasterIndex`] cache and the plan's sub-index slots grow
+/// internally behind their own synchronization), hence `Sync`.
 pub struct RepairContext {
     rules: Arc<RuleSet>,
     master: MasterIndex,
+    plan: RulePlan,
     graph: DependencyGraph,
     catalog: RegionCatalog,
     initial: Vec<AttrId>,
     config: CertainFixConfig,
     use_bdd: bool,
+    use_plan: bool,
 }
 
 impl RepairContext {
@@ -89,7 +98,9 @@ impl RepairContext {
         )
     }
 
-    /// Full-control constructor.
+    /// Full-control constructor; repairs run through the compiled rule
+    /// plan (use [`with_plan_mode`](Self::with_plan_mode) to A/B the
+    /// legacy probe path).
     pub fn with_config(
         rules: RuleSet,
         master: Arc<Relation>,
@@ -97,7 +108,26 @@ impl RepairContext {
         initial_region: InitialRegion,
         config: CertainFixConfig,
     ) -> RepairContext {
+        Self::with_plan_mode(rules, master, use_bdd, initial_region, config, true)
+    }
+
+    /// [`with_config`](Self::with_config) plus the probe-layer toggle:
+    /// `use_plan = false` routes every repair through the legacy
+    /// lock-and-clone `MasterIndex` probes instead of the compiled
+    /// plan. Outcomes (and the deterministic [`MonitorStats`] counts,
+    /// modulo the probe counters themselves) are bit-identical either
+    /// way — the toggle exists so the bench layer can *measure* the
+    /// plan instead of asserting it.
+    pub fn with_plan_mode(
+        rules: RuleSet,
+        master: Arc<Relation>,
+        use_bdd: bool,
+        initial_region: InitialRegion,
+        config: CertainFixConfig,
+        use_plan: bool,
+    ) -> RepairContext {
         let master = MasterIndex::new(master);
+        let plan = RulePlan::compile(&rules, &master);
         let graph = DependencyGraph::new(&rules);
         let catalog = RegionCatalog::build(&rules, &master);
         let region = match initial_region {
@@ -110,11 +140,13 @@ impl RepairContext {
         RepairContext {
             rules: Arc::new(rules),
             master,
+            plan,
             graph,
             catalog,
             initial,
             config,
             use_bdd,
+            use_plan,
         }
     }
 
@@ -126,6 +158,18 @@ impl RepairContext {
     /// The indexed master data.
     pub fn master(&self) -> &MasterIndex {
         &self.master
+    }
+
+    /// The compiled rule plan (always built; consulted by repairs iff
+    /// [`uses_plan`](Self::uses_plan)).
+    pub fn plan(&self) -> &RulePlan {
+        &self.plan
+    }
+
+    /// The plan when repairs are configured to use it, `None` under
+    /// the legacy probe path.
+    pub fn active_plan(&self) -> Option<&RulePlan> {
+        self.use_plan.then_some(&self.plan)
     }
 
     /// The region catalog.
@@ -141,6 +185,11 @@ impl RepairContext {
     /// `true` iff suggestions are served from a BDD cache.
     pub fn uses_bdd(&self) -> bool {
         self.use_bdd
+    }
+
+    /// `true` iff repairs probe through the compiled rule plan.
+    pub fn uses_plan(&self) -> bool {
+        self.use_plan
     }
 
     /// Run the Fig. 3 interaction loop for one tuple, charging the
@@ -173,43 +222,102 @@ impl RepairContext {
         dirty: &Tuple,
         oracle: &mut O,
     ) -> FixOutcome {
+        self.process_with_full(bdd, stats, shared, &mut ProbeScratch::new(), dirty, oracle)
+    }
+
+    /// The full per-tuple pipeline: [`process_with_shared`](Self::process_with_shared)
+    /// plus a caller-owned [`ProbeScratch`]. Workers (and the
+    /// sequential [`DataMonitor`](crate::DataMonitor)) hold one scratch
+    /// per thread, so the compiled plan's probe layer reuses one warm
+    /// buffer across every tuple the thread repairs; the scratch's
+    /// probe/allocation counters are drained into `stats` after each
+    /// tuple.
+    pub fn process_with_full<O: UserOracle + ?Sized>(
+        &self,
+        bdd: &mut SuggestionBdd,
+        stats: &mut MonitorStats,
+        shared: Option<&SharedSuggestionCache>,
+        scratch: &mut ProbeScratch,
+        dirty: &Tuple,
+        oracle: &mut O,
+    ) -> FixOutcome {
         let started = Instant::now();
-        let engine = CertainFix::new(&self.rules, &self.master, &self.graph, self.config.clone());
+        let plan = self.active_plan();
+        let engine = CertainFix::new(&self.rules, &self.master, &self.graph, self.config.clone())
+            .with_plan(plan);
         let outcome = if self.use_bdd {
             let before = bdd.stats();
             let mut cursor = Cursor::start();
-            let outcome = engine.run(dirty, &self.initial, oracle, |t, validated| {
-                bdd.suggest_plus_with(&self.rules, &self.master, t, validated, &mut cursor, shared)
-            });
+            let outcome = engine.run_scratch(
+                dirty,
+                &self.initial,
+                oracle,
+                |t, validated, sc| {
+                    bdd.suggest_plus_with(
+                        &self.rules,
+                        &self.master,
+                        t,
+                        validated,
+                        &mut cursor,
+                        shared,
+                        plan,
+                        sc,
+                    )
+                },
+                scratch,
+            );
             let after = bdd.stats();
             stats.shared_hits += after.shared_hits - before.shared_hits;
             stats.shared_misses += after.shared_misses - before.shared_misses;
             outcome
         } else if let Some(cache) = shared {
             let (mut hits, mut misses) = (0u64, 0u64);
-            let outcome = engine.run(dirty, &self.initial, oracle, |t, validated| {
-                let mut hit = false;
-                let s = cache.suggest_through(&self.rules, &self.master, t, validated, &mut hit);
-                if hit {
-                    hits += 1;
-                } else {
-                    misses += 1;
-                }
-                s
-            });
+            let outcome = engine.run_scratch(
+                dirty,
+                &self.initial,
+                oracle,
+                |t, validated, sc| {
+                    let mut hit = false;
+                    let s = cache.suggest_through_with(
+                        &self.rules,
+                        &self.master,
+                        t,
+                        validated,
+                        &mut hit,
+                        plan,
+                        sc,
+                    );
+                    if hit {
+                        hits += 1;
+                    } else {
+                        misses += 1;
+                    }
+                    s
+                },
+                scratch,
+            );
             stats.shared_hits += hits;
             stats.shared_misses += misses;
             outcome
         } else {
-            engine.run(dirty, &self.initial, oracle, |t, validated| {
-                suggest(&self.rules, &self.master, t, validated).map(|s| s.attrs)
-            })
+            engine.run_scratch(
+                dirty,
+                &self.initial,
+                oracle,
+                |t, validated, sc| {
+                    suggest_with(&self.rules, &self.master, t, validated, plan, sc).map(|s| s.attrs)
+                },
+                scratch,
+            )
         };
         stats.tuples += 1;
         stats.rounds += outcome.rounds.len() as u64;
         if outcome.certain {
             stats.certain += 1;
         }
+        let (probes, allocs) = scratch.take_counters();
+        stats.plan_probes += probes;
+        stats.probe_allocs += allocs;
         stats.elapsed += started.elapsed();
         stats.interner_syms = stats.interner_syms.max(Interner::global().len() as u64);
         outcome
@@ -554,22 +662,34 @@ impl BatchRepairEngine {
                 s.spawn(move || {
                     let mut bdd = SuggestionBdd::new();
                     let mut stats = MonitorStats::default();
+                    // one probe scratch per worker: every tuple this
+                    // thread repairs reuses the same warm buffer
+                    let mut scratch = ProbeScratch::new();
                     let mut chunks: Vec<(usize, Vec<FixOutcome>)> = Vec::new();
-                    let run_chunk = |c: usize,
-                                     bdd: &mut SuggestionBdd,
-                                     stats: &mut MonitorStats| {
-                        let lo = c * chunk_size;
-                        let hi = ((c + 1) * chunk_size).min(n);
-                        let outs: Vec<FixOutcome> = (lo..hi)
-                            .map(|i| {
-                                let mut oracle = oracle_for(i);
-                                ctx.process_with_shared(bdd, stats, shared, &dirty[i], &mut oracle)
-                            })
-                            .collect();
-                        (c, outs)
-                    };
+                    let run_chunk =
+                        |c: usize,
+                         bdd: &mut SuggestionBdd,
+                         stats: &mut MonitorStats,
+                         scratch: &mut ProbeScratch| {
+                            let lo = c * chunk_size;
+                            let hi = ((c + 1) * chunk_size).min(n);
+                            let outs: Vec<FixOutcome> = (lo..hi)
+                                .map(|i| {
+                                    let mut oracle = oracle_for(i);
+                                    ctx.process_with_full(
+                                        bdd,
+                                        stats,
+                                        shared,
+                                        scratch,
+                                        &dirty[i],
+                                        &mut oracle,
+                                    )
+                                })
+                                .collect();
+                            (c, outs)
+                        };
                     while let Some(c) = queues[w].claim() {
-                        chunks.push(run_chunk(c, &mut bdd, &mut stats));
+                        chunks.push(run_chunk(c, &mut bdd, &mut stats, &mut scratch));
                     }
                     if steal {
                         // one pass over the victims suffices: queues
@@ -577,7 +697,7 @@ impl BatchRepairEngine {
                         // the inner loop stays drained
                         for v in (w + 1..workers).chain(0..w) {
                             while let Some(c) = queues[v].claim() {
-                                chunks.push(run_chunk(c, &mut bdd, &mut stats));
+                                chunks.push(run_chunk(c, &mut bdd, &mut stats, &mut scratch));
                             }
                         }
                     }
@@ -692,6 +812,7 @@ fn _send_sync_audit() {
     check::<ChunkQueue>();
     check::<RuleSet>();
     check::<MasterIndex>();
+    check::<RulePlan>();
     check::<DependencyGraph>();
     check::<RegionCatalog>();
     check::<Tuple>();
@@ -946,6 +1067,60 @@ mod tests {
         }
         assert_eq!(remerged.shared_hits, report.stats.shared_hits);
         assert_eq!(remerged.shared_misses, report.stats.shared_misses);
+    }
+
+    /// The tentpole's determinism contract at the engine level: plan-on
+    /// and plan-off contexts produce bit-identical outcomes and merged
+    /// deterministic stats (modulo the probe counters themselves) on a
+    /// skewed batch, across worker counts — and the plan path actually
+    /// probed through the compiled layer.
+    #[test]
+    fn plan_on_and_off_are_bit_identical() {
+        let (hosp, ds, dirty) = hosp_batch_skewed(300, 2_000, 1.0);
+        let mk = |use_plan: bool| {
+            BatchRepairEngine::new(RepairContext::with_plan_mode(
+                hosp.rules().clone(),
+                hosp.master().clone(),
+                false,
+                InitialRegion::Best,
+                crate::certainfix::CertainFixConfig::default(),
+                use_plan,
+            ))
+        };
+        let on = mk(true);
+        let off = mk(false);
+        assert!(on.context().uses_plan());
+        assert!(!off.context().uses_plan());
+        assert_eq!(on.context().plan().len(), hosp.rules().len());
+        let oracle_for = |i: usize| SimulatedUser::new(ds.inputs[i].clean.clone());
+        let baseline = off.repair_opts(&dirty, &plain_opts(1, Schedule::Steal), oracle_for);
+        assert_eq!(
+            baseline.stats.plan_probes, 0,
+            "legacy path never counts plan probes"
+        );
+        for threads in [1usize, 2, 4] {
+            let planned = on.repair_opts(&dirty, &plain_opts(threads, Schedule::Steal), oracle_for);
+            assert_outcomes_identical(&baseline, &planned, &format!("plan on, {threads} workers"));
+            assert_eq!(baseline.stats.tuples, planned.stats.tuples);
+            assert_eq!(baseline.stats.certain, planned.stats.certain);
+            assert_eq!(baseline.stats.rounds, planned.stats.rounds);
+            assert!(
+                planned.stats.plan_probes > 0,
+                "the compiled layer served the probes"
+            );
+            // each worker warms one scratch buffer; after that the
+            // steady-state lookup path allocates nothing
+            assert!(
+                planned.stats.probe_allocs <= threads as u64,
+                "probe allocations bounded by worker count: {} > {threads}",
+                planned.stats.probe_allocs
+            );
+        }
+        // plan_probes is itself deterministic: same count sequentially
+        // and with 4 stealing workers
+        let p1 = on.repair_opts(&dirty, &plain_opts(1, Schedule::Steal), oracle_for);
+        let p4 = on.repair_opts(&dirty, &plain_opts(4, Schedule::Steal), oracle_for);
+        assert_eq!(p1.stats.plan_probes, p4.stats.plan_probes);
     }
 
     #[test]

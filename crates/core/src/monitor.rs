@@ -26,11 +26,12 @@ pub enum InitialRegion {
 
 /// Aggregate processing statistics.
 ///
-/// `tuples` / `certain` / `rounds` are deterministic counts: merging
-/// per-worker instances reproduces the sequential run's values
-/// exactly. `elapsed`, `interner_syms`, and the shared-cache probe
-/// counters are wall-clock/scheduling observables and are excluded
-/// from that guarantee.
+/// `tuples` / `certain` / `rounds` / `plan_probes` are deterministic
+/// counts: merging per-worker instances reproduces the sequential
+/// run's values exactly. `elapsed`, `interner_syms`, `probe_allocs`
+/// (each worker warms its own scratch buffer), and the shared-cache
+/// probe counters are wall-clock/scheduling observables and are
+/// excluded from that guarantee.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MonitorStats {
     /// Tuples processed.
@@ -54,16 +55,27 @@ pub struct MonitorStats {
     /// Probes of the shared cache that fell through to a fresh
     /// computation.
     pub shared_misses: u64,
+    /// Key probes issued through the compiled
+    /// [`RulePlan`](certainfix_rules::RulePlan)'s scratch-buffered
+    /// layer in the `TransFix`/validation hot path (0 with the plan
+    /// off). Deterministic: depends only on the tuples and the
+    /// context, not on scheduling.
+    pub plan_probes: u64,
+    /// Probe-buffer (re)allocations in that layer. In steady state
+    /// this stays at one small constant per worker (the initial buffer
+    /// warm-up) — the monitoring hook for the "zero per-probe heap
+    /// allocations" property.
+    pub probe_allocs: u64,
 }
 
 impl MonitorStats {
     /// Fold another accumulator (typically a shard worker's) into this
-    /// one: counts, elapsed time, and shared-cache probe counters add;
-    /// the interner watermark takes the maximum (so the merged
-    /// watermark is monotone: it never drops below any constituent's,
-    /// in whatever order shards are folded). Merging the shards of a
-    /// parallel batch repair in any order yields count fields
-    /// identical to a sequential run's.
+    /// one: counts, elapsed time, and probe counters add; the interner
+    /// watermark takes the maximum (so the merged watermark is
+    /// monotone: it never drops below any constituent's, in whatever
+    /// order shards are folded). Merging the shards of a parallel
+    /// batch repair in any order yields count fields identical to a
+    /// sequential run's.
     pub fn merge(&mut self, other: &MonitorStats) {
         self.tuples += other.tuples;
         self.certain += other.certain;
@@ -72,6 +84,8 @@ impl MonitorStats {
         self.interner_syms = self.interner_syms.max(other.interner_syms);
         self.shared_hits += other.shared_hits;
         self.shared_misses += other.shared_misses;
+        self.plan_probes += other.plan_probes;
+        self.probe_allocs += other.probe_allocs;
     }
     /// Mean rounds per tuple.
     pub fn avg_rounds(&self) -> f64 {
@@ -108,6 +122,7 @@ pub struct DataMonitor {
     engine: BatchRepairEngine,
     bdd: SuggestionBdd,
     stats: MonitorStats,
+    scratch: certainfix_rules::ProbeScratch,
 }
 
 impl DataMonitor {
@@ -146,6 +161,7 @@ impl DataMonitor {
             engine: BatchRepairEngine::new(ctx),
             bdd: SuggestionBdd::new(),
             stats: MonitorStats::default(),
+            scratch: certainfix_rules::ProbeScratch::new(),
         }
     }
 
@@ -239,9 +255,14 @@ impl DataMonitor {
 
     /// Process one input tuple with the given oracle.
     pub fn process<O: UserOracle + ?Sized>(&mut self, dirty: &Tuple, oracle: &mut O) -> FixOutcome {
-        self.engine
-            .context()
-            .process_with(&mut self.bdd, &mut self.stats, dirty, oracle)
+        self.engine.context().process_with_full(
+            &mut self.bdd,
+            &mut self.stats,
+            None,
+            &mut self.scratch,
+            dirty,
+            oracle,
+        )
     }
 }
 
@@ -495,6 +516,8 @@ mod tests {
             interner_syms: 100,
             shared_hits: 6,
             shared_misses: 2,
+            plan_probes: 40,
+            probe_allocs: 1,
         };
         let b = MonitorStats {
             tuples: 7,
@@ -504,6 +527,8 @@ mod tests {
             interner_syms: 250,
             shared_hits: 1,
             shared_misses: 4,
+            plan_probes: 2,
+            probe_allocs: 1,
         };
         let mut merged = a;
         merged.merge(&b);
@@ -514,6 +539,8 @@ mod tests {
         assert_eq!(merged.interner_syms, 250, "watermark is a max, not a sum");
         assert_eq!(merged.shared_hits, 7, "shared probes sum");
         assert_eq!(merged.shared_misses, 6);
+        assert_eq!(merged.plan_probes, 42, "plan probes sum");
+        assert_eq!(merged.probe_allocs, 2, "scratch warm-ups sum");
     }
 
     /// The ROADMAP monitoring-hook satellite: the `interner_syms`

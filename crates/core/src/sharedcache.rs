@@ -30,7 +30,8 @@
 //! # Determinism
 //!
 //! Like the per-worker BDD, reuse is **checked**: a candidate is served
-//! only after [`is_suggestion`] accepts it for the probing tuple, so
+//! only after [`certainfix_reasoning::is_suggestion`] accepts it for
+//! the probing tuple, so
 //! every served suggestion is valid and the final repaired tuples are
 //! unaffected — but a checked candidate may differ from what a fresh
 //! computation would have produced, so round *traces* (and
@@ -48,9 +49,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use certainfix_reasoning::{is_suggestion, suggest};
+use certainfix_reasoning::{is_suggestion_with, suggest_with};
 use certainfix_relation::{AttrId, AttrSet, FxHashMap, MasterIndex, Tuple};
-use certainfix_rules::RuleSet;
+use certainfix_rules::{ProbeScratch, RulePlan, RuleSet};
 
 /// Number of lock shards (power of two).
 const SHARDS: usize = 16;
@@ -173,9 +174,35 @@ impl SharedSuggestionCache {
         validated: AttrSet,
         hit: &mut bool,
     ) -> Option<Vec<AttrId>> {
+        self.suggest_through_with(
+            rules,
+            master,
+            t,
+            validated,
+            hit,
+            None,
+            &mut ProbeScratch::new(),
+        )
+    }
+
+    /// [`suggest_through`](Self::suggest_through) with an optional
+    /// compiled [`RulePlan`] and a caller-owned [`ProbeScratch`]
+    /// routing the candidate re-checks' and the fallback computation's
+    /// master probes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn suggest_through_with(
+        &self,
+        rules: &RuleSet,
+        master: &MasterIndex,
+        t: &Tuple,
+        validated: AttrSet,
+        hit: &mut bool,
+        plan: Option<&RulePlan>,
+        scratch: &mut ProbeScratch,
+    ) -> Option<Vec<AttrId>> {
         let shard = self.shard(validated.bits());
         for cand in self.candidates(validated) {
-            if is_suggestion(rules, master, t, validated, &cand) {
+            if is_suggestion_with(rules, master, t, validated, &cand, plan, scratch) {
                 shard.hits.fetch_add(1, Ordering::Relaxed);
                 *hit = true;
                 return Some(cand.to_vec());
@@ -183,7 +210,7 @@ impl SharedSuggestionCache {
         }
         shard.misses.fetch_add(1, Ordering::Relaxed);
         *hit = false;
-        let computed = suggest(rules, master, t, validated).map(|s| s.attrs);
+        let computed = suggest_with(rules, master, t, validated, plan, scratch).map(|s| s.attrs);
         if let Some(attrs) = &computed {
             self.publish(validated, attrs);
         }

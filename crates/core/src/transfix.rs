@@ -15,7 +15,7 @@
 //! are correct") intact.
 
 use certainfix_relation::{AttrSet, MasterIndex, Tuple, Value};
-use certainfix_rules::{DependencyGraph, RuleSet};
+use certainfix_rules::{DependencyGraph, ProbeScratch, RulePlan, RuleSet};
 
 /// Result of a `TransFix` run.
 #[derive(Clone, Debug)]
@@ -41,7 +41,36 @@ pub fn transfix(
     t: &Tuple,
     validated: AttrSet,
 ) -> TransFixOutcome {
+    transfix_with(
+        rules,
+        master,
+        graph,
+        None,
+        &mut ProbeScratch::new(),
+        t,
+        validated,
+    )
+}
+
+/// [`transfix`] with an optional compiled [`RulePlan`] and a
+/// caller-owned [`ProbeScratch`] — the allocation-free hot path.
+///
+/// With a plan, each rule's key probe goes straight to its pinned
+/// index: no `RwLock`, no key-list hashing, the projection lands in
+/// the reused scratch buffer, and the hit list is *borrowed* from the
+/// index rather than cloned. The plan probes the same hash maps as the
+/// legacy path, so the outcome is bit-identical with or without it.
+pub fn transfix_with(
+    rules: &RuleSet,
+    master: &MasterIndex,
+    graph: &DependencyGraph,
+    plan: Option<&RulePlan>,
+    scratch: &mut ProbeScratch,
+    t: &Tuple,
+    validated: AttrSet,
+) -> TransFixOutcome {
     debug_assert_eq!(graph.len(), rules.len());
+    debug_assert!(plan.map_or(true, |p| p.len() == rules.len()));
     let mut tuple = t.clone();
     let mut z = validated;
     let mut fixed = AttrSet::EMPTY;
@@ -60,28 +89,44 @@ pub fn transfix(
         }
     }
 
+    // One prescription scan over a candidate id list, shared by the
+    // plan-backed (borrowed ids) and legacy (owned ids) probes.
+    fn prescribe(
+        master: &MasterIndex,
+        rhs_m: certainfix_relation::AttrId,
+        ids: &[u32],
+    ) -> (Option<(Value, u32)>, bool) {
+        let mut prescription: Option<(Value, u32)> = None;
+        for &id in ids {
+            let val = master.tuple(id).get(rhs_m);
+            if val.is_null() {
+                continue;
+            }
+            match &prescription {
+                None => prescription = Some((*val, id)),
+                Some((seen, _)) if seen != val => return (prescription, true),
+                _ => {}
+            }
+        }
+        (prescription, false)
+    }
+
     while let Some(v) = vset.pop() {
         let rule = rules.rule(v);
         let b = rule.rhs();
         // apply if the target is not yet validated (protected otherwise)
         if !z.contains(b) && rule.pattern().matches(&tuple) {
-            let ids = master.matches_projection(&tuple, rule.lhs(), rule.lhs_m());
-            let mut prescription: Option<(Value, u32)> = None;
-            let mut conflict = false;
-            for id in ids {
-                let val = master.tuple(id).get(rule.rhs_m());
-                if val.is_null() {
-                    continue;
+            let (prescription, conflict) = match plan {
+                Some(p) => {
+                    // pattern checked above; probe the pinned index and
+                    // scan the borrowed hit list without copying it
+                    prescribe(master, rule.rhs_m(), p.probe(v, &tuple, scratch))
                 }
-                match &prescription {
-                    None => prescription = Some((*val, id)),
-                    Some((seen, _)) if seen != val => {
-                        conflict = true;
-                        break;
-                    }
-                    _ => {}
+                None => {
+                    let ids = master.matches_projection(&tuple, rule.lhs(), rule.lhs_m());
+                    prescribe(master, rule.rhs_m(), &ids)
                 }
-            }
+            };
             if conflict {
                 disputed.push(v);
             } else if let Some((val, id)) = prescription {
@@ -380,6 +425,65 @@ mod tests {
             attrs(&r, &["zip"]),
         );
         assert!(out.fixed.is_empty(), "a null prescription is no fix");
+    }
+
+    /// The compiled-plan hot path is bit-identical to the legacy
+    /// probes: same fixes, same validated sets, same step order, same
+    /// disputes — including the conflicting-master shape.
+    #[test]
+    fn plan_backed_transfix_matches_legacy() {
+        use certainfix_rules::{ProbeScratch, RulePlan};
+        let (r, rules, master, graph) = fig1();
+        let plan = RulePlan::compile(&rules, &master);
+        let mut scratch = ProbeScratch::new();
+        let t1 = tuple![
+            "Bob",
+            "Brady",
+            "020",
+            "079172485",
+            2,
+            "501 Elm St.",
+            "Edi",
+            "EH7 4AH",
+            "CD"
+        ];
+        for z in [
+            attrs(&r, &["zip"]),
+            attrs(&r, &["zip", "phn", "type"]),
+            attrs(&r, &["AC", "phn", "type"]),
+            attrs(&r, &["item"]),
+            AttrSet::EMPTY,
+        ] {
+            let legacy = transfix(&rules, &master, &graph, &t1, z);
+            let planned = transfix_with(&rules, &master, &graph, Some(&plan), &mut scratch, &t1, z);
+            assert_eq!(planned.tuple, legacy.tuple, "Z = {z:?}");
+            assert_eq!(planned.validated, legacy.validated);
+            assert_eq!(planned.fixed, legacy.fixed);
+            assert_eq!(planned.steps, legacy.steps);
+            assert_eq!(planned.disputed, legacy.disputed);
+        }
+        // disputed evidence agrees too
+        let r2 = Schema::new("R", ["zip", "city"]).unwrap();
+        let rm2 = r2.clone();
+        let rules2 = parse_rules("p: match zip ~ zip set city := city", &r2, &rm2).unwrap();
+        let master2 = MasterIndex::new(Arc::new(
+            Relation::new(rm2, vec![tuple!["Z1", "Edi"], tuple!["Z1", "Lnd"]]).unwrap(),
+        ));
+        let plan2 = RulePlan::compile(&rules2, &master2);
+        let graph2 = DependencyGraph::new(&rules2);
+        let t = tuple!["Z1", Value::Null];
+        let a = transfix(&rules2, &master2, &graph2, &t, attrs(&r2, &["zip"]));
+        let b = transfix_with(
+            &rules2,
+            &master2,
+            &graph2,
+            Some(&plan2),
+            &mut scratch,
+            &t,
+            attrs(&r2, &["zip"]),
+        );
+        assert_eq!(a.disputed, b.disputed);
+        assert_eq!(a.tuple, b.tuple);
     }
 
     #[test]

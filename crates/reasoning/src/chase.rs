@@ -34,7 +34,7 @@
 use std::fmt;
 
 use certainfix_relation::{AttrId, AttrSet, MasterIndex, Tuple, Value};
-use certainfix_rules::RuleSet;
+use certainfix_rules::{ProbeScratch, RulePlan, RuleSet};
 
 /// Why two prescriptions clashed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -137,16 +137,34 @@ impl ChaseResult {
 }
 
 /// The chase engine: borrows `(Σ, Dm)` and runs on many tuples.
+///
+/// With [`with_plan`](Chase::with_plan) the frontier's key probes go
+/// through a compiled [`RulePlan`] (pinned indexes, reusable probe
+/// buffer) instead of the `MasterIndex` convenience path; the probed
+/// maps are the same, so results are bit-identical either way.
 #[derive(Clone, Copy)]
 pub struct Chase<'a> {
     rules: &'a RuleSet,
     master: &'a MasterIndex,
+    plan: Option<&'a RulePlan>,
 }
 
 impl<'a> Chase<'a> {
     /// Bind the engine to a rule set and indexed master data.
     pub fn new(rules: &'a RuleSet, master: &'a MasterIndex) -> Chase<'a> {
-        Chase { rules, master }
+        Chase {
+            rules,
+            master,
+            plan: None,
+        }
+    }
+
+    /// Route key probes through a compiled plan (must have been
+    /// compiled from the same `(rules, master)` pair).
+    pub fn with_plan(mut self, plan: Option<&'a RulePlan>) -> Chase<'a> {
+        debug_assert!(plan.map_or(true, |p| p.len() == self.rules.len()));
+        self.plan = plan;
+        self
     }
 
     /// The rule set.
@@ -164,6 +182,17 @@ impl<'a> Chase<'a> {
     /// targets a validated attribute are excluded (the target is
     /// *protected*).
     pub fn frontier(&self, t: &Tuple, validated: AttrSet) -> Vec<Step> {
+        self.frontier_with(t, validated, &mut ProbeScratch::new())
+    }
+
+    /// [`frontier`](Self::frontier) with a caller-owned probe scratch
+    /// (meaningful when a plan is bound: probes then reuse the buffer).
+    pub fn frontier_with(
+        &self,
+        t: &Tuple,
+        validated: AttrSet,
+        scratch: &mut ProbeScratch,
+    ) -> Vec<Step> {
         let mut out = Vec::new();
         for (i, rule) in self.rules.iter() {
             if validated.contains(rule.rhs()) || !rule.premise().is_subset(&validated) {
@@ -172,8 +201,18 @@ impl<'a> Chase<'a> {
             if !rule.pattern().matches(t) {
                 continue;
             }
-            for id in self.master.matches_projection(t, rule.lhs(), rule.lhs_m()) {
-                out.push((i, id));
+            match self.plan {
+                Some(plan) => {
+                    // pattern already checked; the raw key probe suffices
+                    for &id in plan.probe(i, t, scratch) {
+                        out.push((i, id));
+                    }
+                }
+                None => {
+                    for id in self.master.matches_projection(t, rule.lhs(), rule.lhs_m()) {
+                        out.push((i, id));
+                    }
+                }
             }
         }
         out
@@ -181,13 +220,20 @@ impl<'a> Chase<'a> {
 
     /// Run the chase from `t` with `initial` validated.
     pub fn run(&self, t: &Tuple, initial: AttrSet) -> ChaseResult {
+        self.run_with(t, initial, &mut ProbeScratch::new())
+    }
+
+    /// [`run`](Self::run) with a caller-owned probe scratch, so a
+    /// worker draining many tuples reuses one probe buffer across all
+    /// of them.
+    pub fn run_with(&self, t: &Tuple, initial: AttrSet, scratch: &mut ProbeScratch) -> ChaseResult {
         let mut tuple = t.clone();
         let mut validated = initial;
         let mut steps: Vec<Step> = Vec::new();
         let mut rounds = 0usize;
 
         loop {
-            let frontier = self.frontier(&tuple, validated);
+            let frontier = self.frontier_with(&tuple, validated, scratch);
             if frontier.is_empty() {
                 return ChaseResult::Fixed(Fix {
                     tuple,
@@ -233,7 +279,7 @@ impl<'a> Chase<'a> {
 
             // Step (g): any now-applicable rule disagreeing with a
             // *derived* attribute value is an order-dependence witness.
-            if let Some(c) = self.overwrite_conflict(&tuple, validated, initial, &steps) {
+            if let Some(c) = self.overwrite_conflict(&tuple, validated, initial, &steps, scratch) {
                 return ChaseResult::Conflict(c);
             }
         }
@@ -245,6 +291,7 @@ impl<'a> Chase<'a> {
         validated: AttrSet,
         initial: AttrSet,
         steps: &[Step],
+        scratch: &mut ProbeScratch,
     ) -> Option<Conflict> {
         let derived = validated - initial;
         for (i, rule) in self.rules.iter() {
@@ -255,24 +302,40 @@ impl<'a> Chase<'a> {
             if !rule.pattern().matches(tuple) {
                 continue;
             }
-            for id in self
-                .master
-                .matches_projection(tuple, rule.lhs(), rule.lhs_m())
-            {
-                let v = self.master.tuple(id).get(rule.rhs_m());
-                if !v.agrees_with(tuple.get(b)) {
-                    // find which step derived b, for diagnostics
-                    let deriver = steps
-                        .iter()
-                        .find(|&&(j, _)| self.rules.rule(j).rhs() == b)
-                        .map(|&(j, _)| j)
-                        .unwrap_or(i);
-                    return Some(Conflict {
-                        attr: b,
-                        values: (*tuple.get(b), *v),
-                        rules: (deriver, i),
-                        kind: ConflictKind::Overwrite,
-                    });
+            let hit = |v: &Value, this: &Self| {
+                if v.agrees_with(tuple.get(b)) {
+                    return None;
+                }
+                // find which step derived b, for diagnostics
+                let deriver = steps
+                    .iter()
+                    .find(|&&(j, _)| this.rules.rule(j).rhs() == b)
+                    .map(|&(j, _)| j)
+                    .unwrap_or(i);
+                Some(Conflict {
+                    attr: b,
+                    values: (*tuple.get(b), *v),
+                    rules: (deriver, i),
+                    kind: ConflictKind::Overwrite,
+                })
+            };
+            match self.plan {
+                Some(plan) => {
+                    for &id in plan.probe(i, tuple, scratch) {
+                        if let Some(c) = hit(self.master.tuple(id).get(rule.rhs_m()), self) {
+                            return Some(c);
+                        }
+                    }
+                }
+                None => {
+                    for id in self
+                        .master
+                        .matches_projection(tuple, rule.lhs(), rule.lhs_m())
+                    {
+                        if let Some(c) = hit(self.master.tuple(id).get(rule.rhs_m()), self) {
+                            return Some(c);
+                        }
+                    }
                 }
             }
         }
@@ -654,6 +717,43 @@ mod tests {
             .cloned()
             .unwrap();
         assert!(fix.rounds <= r.len());
+    }
+
+    /// The plan-backed chase is bit-identical to the legacy probes on
+    /// every Fig. 1 scenario — fixes, validated sets, steps, rounds,
+    /// and conflicts alike.
+    #[test]
+    fn plan_backed_chase_matches_legacy() {
+        use certainfix_rules::{ProbeScratch, RulePlan};
+        let (r, rules, master) = fig1();
+        let plan = RulePlan::compile(&rules, &master);
+        let legacy = Chase::new(&rules, &master);
+        let planned = Chase::new(&rules, &master).with_plan(Some(&plan));
+        let mut scratch = ProbeScratch::new();
+        for t in [t1(), t3()] {
+            for z in [
+                attrs(&r, &["zip"]),
+                attrs(&r, &["zip", "phn", "type"]),
+                attrs(&r, &["AC", "phn", "type", "zip"]),
+                attrs(&r, &["item"]),
+                AttrSet::EMPTY,
+            ] {
+                let a = legacy.run(&t, z);
+                let b = planned.run_with(&t, z, &mut scratch);
+                match (&a, &b) {
+                    (ChaseResult::Fixed(fa), ChaseResult::Fixed(fb)) => {
+                        assert_eq!(fa.tuple, fb.tuple, "Z = {z:?}");
+                        assert_eq!(fa.validated, fb.validated);
+                        assert_eq!(fa.steps, fb.steps);
+                        assert_eq!(fa.rounds, fb.rounds);
+                    }
+                    (ChaseResult::Conflict(ca), ChaseResult::Conflict(cb)) => {
+                        assert_eq!(ca, cb, "Z = {z:?}");
+                    }
+                    _ => panic!("outcome kind diverged for Z = {z:?}"),
+                }
+            }
+        }
     }
 
     #[test]

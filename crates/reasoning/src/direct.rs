@@ -8,7 +8,7 @@
 //! over the master relation — PTIME in `|Σ|` and `|Dm|`.
 
 use certainfix_relation::{AttrId, AttrSet, FxHashMap, MasterIndex, PatternValue, Value};
-use certainfix_rules::{EditingRule, RuleSet};
+use certainfix_rules::{EditingRule, RulePlan, RuleSet};
 
 use crate::region::Region;
 
@@ -176,6 +176,24 @@ pub fn direct_consistent(rules: &RuleSet, master: &MasterIndex, region: &Region)
 /// by `tc` and matched by at least one master tuple (condition (2) in
 /// the proof of Theorem 5).
 pub fn direct_covers(rules: &RuleSet, master: &MasterIndex, region: &Region) -> DirectReport {
+    direct_covers_with(rules, master, region, None)
+}
+
+/// [`direct_covers`] with an optional compiled [`RulePlan`].
+///
+/// The support check only fires for rules whose key attributes are all
+/// pinned to *constants* by the tableau row — exactly the shape a hash
+/// probe answers. With a plan, the `Qϕ`-non-emptiness scan over `Dm`
+/// becomes one lookup of those constants in the rule's pinned full-key
+/// index; without one, the full `rule_result_set` scan runs as
+/// before. Verdicts are identical either way.
+pub fn direct_covers_with(
+    rules: &RuleSet,
+    master: &MasterIndex,
+    region: &Region,
+    plan: Option<&RulePlan>,
+) -> DirectReport {
+    debug_assert!(plan.map_or(true, |p| p.len() == rules.len()));
     let consistency = direct_consistent(rules, master, region);
     if !consistency.consistent {
         return consistency;
@@ -187,13 +205,16 @@ pub fn direct_covers(rules: &RuleSet, master: &MasterIndex, region: &Region) -> 
         for tc in region.tableau().rows() {
             let ok = applicable_direct(rules, region, tc)
                 .iter()
-                .any(|&(_, rule)| {
+                .any(|&(i, rule)| {
                     rule.rhs() == b
                         && rule
                             .lhs()
                             .iter()
                             .all(|&x| matches!(tc.cell(x), Some(PatternValue::Const(_))))
-                        && !rule_result_set(rule, tc, master).is_empty()
+                        && match plan {
+                            Some(p) => plan_supports(p, i, rule, tc),
+                            None => !rule_result_set(rule, tc, master).is_empty(),
+                        }
                 });
             if !ok {
                 covered_everywhere = false;
@@ -209,6 +230,36 @@ pub fn direct_covers(rules: &RuleSet, master: &MasterIndex, region: &Region) -> 
         conflict: None,
         uncovered,
     }
+}
+
+/// Plan-backed replacement for the `!rule_result_set(..).is_empty()`
+/// support check when every key cell of `tc` is a constant: verify the
+/// rule's own pattern cells on key attributes accept those constants,
+/// then probe the pinned full-key index with them. Equivalent to the
+/// scan — both demand master rows with `tm[Xm]` equal to the (non-null)
+/// constants.
+fn plan_supports(
+    plan: &RulePlan,
+    i: usize,
+    rule: &EditingRule,
+    tc: &certainfix_relation::PatternTuple,
+) -> bool {
+    let mut probe: Vec<Value> = Vec::with_capacity(rule.lhs().len());
+    for &x in rule.lhs() {
+        match tc.cell(x) {
+            Some(PatternValue::Const(v)) => {
+                // the rule pattern may also constrain the key attribute
+                if let Some(tp_cell) = rule.pattern().cell(x) {
+                    if !tp_cell.matches(v) {
+                        return false;
+                    }
+                }
+                probe.push(*v);
+            }
+            _ => return false,
+        }
+    }
+    !plan.lookup(i, &probe).is_empty()
 }
 
 #[cfg(test)]
@@ -388,6 +439,62 @@ mod tests {
         assert!(rep2.consistent);
         assert!(rep2.uncovered.contains(r.attr("city").unwrap()));
         assert!(!rep2.uncovered.contains(r.attr("type").unwrap()));
+    }
+
+    /// The plan-probed coverage check agrees with the full-scan check
+    /// on covered, uncovered, and unmatched-key regions.
+    #[test]
+    fn plan_backed_coverage_matches_scan() {
+        use certainfix_rules::RulePlan;
+        let (r, rules, master) = setup(
+            vec![
+                tuple!["Z1", "P1", 1, "131", "Edi", "Elm"],
+                tuple!["Z2", "P2", 2, "020", "Lnd", "Oak"],
+            ],
+            "p1: match zip ~ zip set city := city, ac := ac, street := street\n\
+             p2: match phn ~ phn set type := type\n\
+             p3: match zip ~ zip, type ~ type set street := street when type = 1",
+        );
+        let plan = RulePlan::compile(&rules, &master);
+        let regions = [
+            region(
+                &r,
+                &["zip", "phn", "type"],
+                vec![PatternTuple::new(vec![
+                    (
+                        r.attr("zip").unwrap(),
+                        PatternValue::Const(Value::str("Z1")),
+                    ),
+                    (
+                        r.attr("phn").unwrap(),
+                        PatternValue::Const(Value::str("P1")),
+                    ),
+                    (r.attr("type").unwrap(), PatternValue::Const(Value::int(1))),
+                ])],
+            ),
+            region(
+                &r,
+                &["zip"],
+                vec![PatternTuple::new(vec![(
+                    r.attr("zip").unwrap(),
+                    PatternValue::Const(Value::str("NOPE")),
+                )])],
+            ),
+            region(
+                &r,
+                &["zip", "phn"],
+                vec![PatternTuple::new(vec![(
+                    r.attr("phn").unwrap(),
+                    PatternValue::Const(Value::str("P2")),
+                )])],
+            ),
+        ];
+        for (k, reg) in regions.iter().enumerate() {
+            let scan = direct_covers(&rules, &master, reg);
+            let probed = direct_covers_with(&rules, &master, reg, Some(&plan));
+            assert_eq!(scan.consistent, probed.consistent, "region {k}");
+            assert_eq!(scan.uncovered, probed.uncovered, "region {k}");
+        }
     }
 
     #[test]

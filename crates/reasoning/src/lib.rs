@@ -43,8 +43,11 @@ pub use coverage::{check_coverage, CoverageReport};
 pub use derive::{
     comp_cregion, comp_cregion_in_mode, gregion, gregion_in_mode, DerivedRegion, RegionCatalog,
 };
-pub use direct::{direct_consistent, direct_covers, DirectReport};
+pub use direct::{direct_consistent, direct_covers, direct_covers_with, DirectReport};
 pub use error::AnalysisError;
 pub use region::Region;
-pub use suggest::{applicable_rules, is_suggestion, suggest, Suggestion};
+pub use suggest::{
+    applicable_rules, applicable_rules_with, is_suggestion, is_suggestion_with, suggest,
+    suggest_with, Suggestion,
+};
 pub use zproblems::{z_count, z_minimum, z_validate, ZBudget};

@@ -17,7 +17,7 @@
 //! enters the certain region of Example 9).
 
 use certainfix_relation::{AttrId, AttrSet, MasterIndex, PatternValue, Tuple};
-use certainfix_rules::{EditingRule, RuleSet};
+use certainfix_rules::{EditingRule, ProbeScratch, RulePlan, RuleSet};
 
 use crate::closure::closure;
 
@@ -57,28 +57,57 @@ pub fn applicable_rules(
     t: &Tuple,
     validated: AttrSet,
 ) -> Vec<EditingRule> {
+    applicable_rules_with(rules, master, t, validated, None, &mut ProbeScratch::new())
+}
+
+/// [`applicable_rules`] with an optional compiled [`RulePlan`].
+///
+/// With a plan, each rule's *validated-key split* — which key positions
+/// of `X` lie in `Z`, and the master columns they align with — is
+/// resolved through the plan's precomputed layout and per-subset index
+/// slots instead of rebuilding `from`/`to` vectors and re-hashing a key
+/// list per rule per call; the `λϕ` lookups of the master-side pattern
+/// check use the plan's precomputed alignment. The derived rule set is
+/// identical either way.
+pub fn applicable_rules_with(
+    rules: &RuleSet,
+    master: &MasterIndex,
+    t: &Tuple,
+    validated: AttrSet,
+    plan: Option<&RulePlan>,
+    scratch: &mut ProbeScratch,
+) -> Vec<EditingRule> {
+    debug_assert!(plan.map_or(true, |p| p.len() == rules.len()));
     let mut out = Vec::new();
-    'rules: for (_, rule) in rules.iter() {
+    'rules: for (i, rule) in rules.iter() {
         // (b) validated pattern cells must match t.
         for (&a, cell) in rule.lhs_p().iter().zip(rule.pattern().cells()) {
             if validated.contains(a) && !cell.matches(t.get(a)) {
                 continue 'rules;
             }
         }
-        // (c) master support.
-        let validated_keys: Vec<(usize, AttrId)> = rule
-            .lhs()
-            .iter()
-            .enumerate()
-            .filter(|&(_, a)| validated.contains(*a))
-            .map(|(i, &a)| (i, a))
-            .collect();
+        // (c) master support. The λϕ alignment of pattern attrs with
+        // master columns comes precomputed from the plan when bound.
+        let compiled = plan.map(|p| p.rule(i));
+        let pattern_master = |j: usize, a: AttrId| -> Option<AttrId> {
+            match compiled {
+                Some(c) => c.pattern_master()[j],
+                None => rule.master_attr_for(a),
+            }
+        };
         let rhs_validated = validated.contains(rule.rhs());
-        let pattern_on_keys = rule
-            .lhs_p()
-            .iter()
-            .any(|a| rule.master_attr_for(*a).is_some());
-        if validated_keys.is_empty() {
+        let pattern_on_keys = match compiled {
+            Some(c) => c.pattern_on_keys(),
+            None => rule
+                .lhs_p()
+                .iter()
+                .any(|a| rule.master_attr_for(*a).is_some()),
+        };
+        let no_validated_keys = match compiled {
+            Some(c) => c.validated_mask(validated) == 0,
+            None => !rule.lhs().iter().any(|a| validated.contains(*a)),
+        };
+        if no_validated_keys {
             // No validated key pins a master tuple yet.
             if master.is_empty() {
                 continue;
@@ -95,7 +124,8 @@ pub fn applicable_rules(
                     rule.lhs_p()
                         .iter()
                         .zip(rule.pattern().cells())
-                        .all(|(&a, cell)| match rule.master_attr_for(a) {
+                        .enumerate()
+                        .all(|(j, (&a, cell))| match pattern_master(j, a) {
                             Some(ma) => cell.matches(tm.get(ma)),
                             None => true,
                         })
@@ -105,36 +135,64 @@ pub fn applicable_rules(
                 }
             }
         } else {
-            let from: Vec<AttrId> = validated_keys.iter().map(|&(_, a)| a).collect();
-            let to: Vec<AttrId> = validated_keys
-                .iter()
-                .map(|&(i, _)| rule.lhs_m()[i])
-                .collect();
-            let candidates = master.matches_projection(t, &from, &to);
             let mut supported = false;
             let mut rhs_agrees = true;
-            for id in candidates {
+            let mut check = |id: u32| -> bool {
+                // returns `true` to stop the scan
                 let tm = master.tuple(id);
                 // pattern cells on key attributes, checked master-side
-                let pattern_ok =
-                    rule.lhs_p()
-                        .iter()
-                        .zip(rule.pattern().cells())
-                        .all(|(&a, cell)| match rule.master_attr_for(a) {
-                            Some(ma) => cell.matches(tm.get(ma)),
-                            None => true,
-                        });
+                let pattern_ok = rule
+                    .lhs_p()
+                    .iter()
+                    .zip(rule.pattern().cells())
+                    .enumerate()
+                    .all(|(j, (&a, cell))| match pattern_master(j, a) {
+                        Some(ma) => cell.matches(tm.get(ma)),
+                        None => true,
+                    });
                 if pattern_ok {
                     supported = true;
                     if !rhs_validated {
                         // existence is all that matters: a weakly
                         // selective validated key (e.g. only `type` of a
                         // composite) can match most of Dm — don't scan it
-                        break;
+                        return true;
                     }
                     if !tm.get(rule.rhs_m()).agrees_with(t.get(rule.rhs())) {
                         rhs_agrees = false;
-                        break;
+                        return true;
+                    }
+                }
+                false
+            };
+            match plan {
+                Some(p) => {
+                    let hits = p
+                        .validated_candidates(i, t, validated, scratch)
+                        .expect("mask is non-zero on this branch");
+                    for &id in hits.iter() {
+                        if check(id) {
+                            break;
+                        }
+                    }
+                }
+                None => {
+                    let validated_keys: Vec<(usize, AttrId)> = rule
+                        .lhs()
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, a)| validated.contains(*a))
+                        .map(|(i, &a)| (i, a))
+                        .collect();
+                    let from: Vec<AttrId> = validated_keys.iter().map(|&(_, a)| a).collect();
+                    let to: Vec<AttrId> = validated_keys
+                        .iter()
+                        .map(|&(i, _)| rule.lhs_m()[i])
+                        .collect();
+                    for id in master.matches_projection(t, &from, &to) {
+                        if check(id) {
+                            break;
+                        }
                     }
                 }
             }
@@ -175,11 +233,33 @@ pub fn is_suggestion(
     validated: AttrSet,
     attrs: &[AttrId],
 ) -> bool {
+    is_suggestion_with(
+        rules,
+        master,
+        t,
+        validated,
+        attrs,
+        None,
+        &mut ProbeScratch::new(),
+    )
+}
+
+/// [`is_suggestion`] with an optional compiled [`RulePlan`] routing
+/// the underlying `Σ_t[Z]` derivation's probes.
+pub fn is_suggestion_with(
+    rules: &RuleSet,
+    master: &MasterIndex,
+    t: &Tuple,
+    validated: AttrSet,
+    attrs: &[AttrId],
+    plan: Option<&RulePlan>,
+    scratch: &mut ProbeScratch,
+) -> bool {
     let s: AttrSet = attrs.iter().copied().collect();
     if !s.is_disjoint(&validated) || s.is_empty() {
         return false;
     }
-    let refined = applicable_rules(rules, master, t, validated);
+    let refined = applicable_rules_with(rules, master, t, validated, plan, scratch);
     let sigma_tz = RuleSet::from_rules(rules.r_schema().clone(), rules.m_schema().clone(), refined)
         .expect("refined rules share the original schemas");
     let full = AttrSet::full(rules.r_schema().len());
@@ -194,11 +274,25 @@ pub fn suggest(
     t: &Tuple,
     validated: AttrSet,
 ) -> Option<Suggestion> {
+    suggest_with(rules, master, t, validated, None, &mut ProbeScratch::new())
+}
+
+/// [`suggest`] with an optional compiled [`RulePlan`] routing the
+/// `Σ_t[Z]` derivation's probes (the closure computations are
+/// plan-independent). Identical suggestions either way.
+pub fn suggest_with(
+    rules: &RuleSet,
+    master: &MasterIndex,
+    t: &Tuple,
+    validated: AttrSet,
+    plan: Option<&RulePlan>,
+    scratch: &mut ProbeScratch,
+) -> Option<Suggestion> {
     let full = AttrSet::full(rules.r_schema().len());
     if validated == full {
         return None;
     }
-    let refined = applicable_rules(rules, master, t, validated);
+    let refined = applicable_rules_with(rules, master, t, validated, plan, scratch);
     let sigma_tz = RuleSet::from_rules(rules.r_schema().clone(), rules.m_schema().clone(), refined)
         .expect("refined rules share the original schemas");
 
@@ -403,6 +497,46 @@ mod tests {
         assert_eq!(sug.covers, AttrSet::full(r.len()));
         // S never includes already-validated attrs
         assert!(!sug.attr_set().contains(r.attr("item").unwrap()));
+    }
+
+    /// Plan-routed derivation is bit-identical to the legacy path:
+    /// same refined rules (names, patterns), same suggestions, same
+    /// `is_suggestion` verdicts — across validated-set shapes including
+    /// no-validated-key and rhs-validated branches.
+    #[test]
+    fn plan_backed_derivation_matches_legacy() {
+        use certainfix_rules::RulePlan;
+        let (r, rules, master) = fig1();
+        let plan = RulePlan::compile(&rules, &master);
+        let mut scratch = ProbeScratch::new();
+        let zs = [
+            attrs(&r, &["zip", "AC", "str", "city"]),
+            attrs(&r, &["zip"]),
+            attrs(&r, &["item"]),
+            attrs(&r, &["type"]),
+            attrs(&r, &["phn", "type"]),
+            AttrSet::EMPTY,
+        ];
+        for z in zs {
+            let legacy = applicable_rules(&rules, &master, &t1_fixed(), z);
+            let planned =
+                applicable_rules_with(&rules, &master, &t1_fixed(), z, Some(&plan), &mut scratch);
+            assert_eq!(legacy, planned, "Z = {z:?}");
+            let s1 = suggest(&rules, &master, &t1_fixed(), z);
+            let s2 = suggest_with(&rules, &master, &t1_fixed(), z, Some(&plan), &mut scratch);
+            assert_eq!(s1, s2, "Z = {z:?}");
+            if let Some(s) = s1 {
+                assert!(is_suggestion_with(
+                    &rules,
+                    &master,
+                    &t1_fixed(),
+                    z,
+                    &s.attrs,
+                    Some(&plan),
+                    &mut scratch,
+                ));
+            }
+        }
     }
 
     #[test]

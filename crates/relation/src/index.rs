@@ -7,8 +7,25 @@
 //! `TransFix` ("it takes constant time to check whether there exists a
 //! master tuple that is applicable, by using a hash table that stores
 //! `tm[Xm]` as a key") is realized here.
+//!
+//! Two probe disciplines coexist:
+//!
+//! * the convenience path ([`MasterIndex::matches_projection`]) hashes
+//!   the key list, takes the cache's read lock, and returns an owned
+//!   `Vec<u32>` — fine for one-off analyses;
+//! * the compile-once-probe-many path: pin the [`Arc<KeyIndex>`]
+//!   returned by [`MasterIndex::index_for`] once, then probe it through
+//!   [`KeyIndex::lookup_projection`] with a caller-owned scratch buffer.
+//!   Steady-state probes touch neither the lock nor the allocator and
+//!   borrow the hit list straight out of the index. The compiled rule
+//!   plans of `certainfix-rules` are built on this path.
+//!
+//! Index *builds* are single-flight: two workers racing on a cold key
+//! list block on one [`OnceLock`] and share the one built index instead
+//! of both paying for (and one discarding) a full build.
 
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::hashers::FxHashMap;
 use crate::relation::Relation;
@@ -62,20 +79,40 @@ impl KeyIndex {
         self.map.get(probe).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// The `t[from] = tm[key]` probe of rule application, with a
+    /// caller-owned scratch buffer: project `t[from]` into `probe`
+    /// (cleared first) and look the projection up. Once `probe` has
+    /// warmed to the widest key it is reused for, this path performs
+    /// **zero heap allocations** and returns the hit list by borrow.
+    pub fn lookup_projection(&self, t: &Tuple, from: &[AttrId], probe: &mut Vec<Value>) -> &[u32] {
+        debug_assert_eq!(from.len(), self.key.len());
+        probe.clear();
+        probe.extend(from.iter().map(|&a| *t.get(a)));
+        self.lookup(probe)
+    }
+
     /// Number of distinct keys.
     pub fn distinct_keys(&self) -> usize {
         self.map.len()
     }
 }
 
+/// One cache slot: filled exactly once, by whichever thread wins the
+/// [`OnceLock`] race; losers block on the lock and share the result.
+type IndexSlot = Arc<OnceLock<Arc<KeyIndex>>>;
+
 /// A master relation bundled with a cache of [`KeyIndex`]es.
 ///
 /// Cloning is cheap (`Arc` inside); the cache is shared and grows
-/// monotonically as new key lists are probed.
+/// monotonically as new key lists are probed. Builds are single-flight
+/// (see the [module docs](self)) and counted —
+/// [`MasterIndex::index_builds`] is the monitoring hook asserting that
+/// racing workers never duplicate a build.
 #[derive(Clone, Debug)]
 pub struct MasterIndex {
     rel: Arc<Relation>,
-    cache: Arc<RwLock<FxHashMap<Vec<AttrId>, Arc<KeyIndex>>>>,
+    cache: Arc<RwLock<FxHashMap<Vec<AttrId>, IndexSlot>>>,
+    builds: Arc<AtomicU64>,
 }
 
 impl MasterIndex {
@@ -84,6 +121,7 @@ impl MasterIndex {
         MasterIndex {
             rel,
             cache: Arc::new(RwLock::new(FxHashMap::default())),
+            builds: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -103,14 +141,35 @@ impl MasterIndex {
     }
 
     /// Get (or lazily build) the index for `key`.
+    ///
+    /// Builds are *single-flight*: the slot for `key` is reserved under
+    /// the write lock, but the build itself runs outside any lock,
+    /// serialized per key by the slot's [`OnceLock`] — concurrent
+    /// callers for the same cold key block until the one build
+    /// finishes and then share it. Callers on the steady-state path
+    /// should pin the returned `Arc` instead of re-calling this (each
+    /// call hashes `key` and takes the read lock).
     pub fn index_for(&self, key: &[AttrId]) -> Arc<KeyIndex> {
-        if let Some(idx) = self.cache.read().expect("index cache poisoned").get(key) {
-            return idx.clone();
-        }
-        let built = Arc::new(KeyIndex::build(&self.rel, key));
-        let mut w = self.cache.write().expect("index cache poisoned");
-        // Another thread may have raced us; keep the first build.
-        w.entry(key.to_vec()).or_insert(built).clone()
+        let slot = {
+            let r = self.cache.read().expect("index cache poisoned");
+            r.get(key).cloned()
+        };
+        let slot = slot.unwrap_or_else(|| {
+            let mut w = self.cache.write().expect("index cache poisoned");
+            w.entry(key.to_vec()).or_default().clone()
+        });
+        slot.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(KeyIndex::build(&self.rel, key))
+        })
+        .clone()
+    }
+
+    /// Number of [`KeyIndex`] builds actually executed (diagnostics;
+    /// with single-flight builds this equals the number of distinct
+    /// key lists ever probed, however many workers raced on them).
+    pub fn index_builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
     }
 
     /// Master tuples `tm` with `tm[key] = probe` (by row id).
@@ -123,6 +182,26 @@ impl MasterIndex {
     pub fn matches_projection(&self, t: &Tuple, from: &[AttrId], to: &[AttrId]) -> Vec<u32> {
         let probe = t.project(from);
         self.matches(to, &probe)
+    }
+
+    /// [`matches_projection`](Self::matches_projection) with reusable
+    /// buffers: the projection goes through `probe` and the hit list is
+    /// copied into `out` (both cleared first). One lock acquisition and
+    /// — once the buffers are warm — zero heap allocations per call.
+    /// Hot paths that can also pin the index should prefer
+    /// [`KeyIndex::lookup_projection`], which skips the lock *and* the
+    /// copy.
+    pub fn matches_projection_into(
+        &self,
+        t: &Tuple,
+        from: &[AttrId],
+        to: &[AttrId],
+        probe: &mut Vec<Value>,
+        out: &mut Vec<u32>,
+    ) {
+        let idx = self.index_for(to);
+        out.clear();
+        out.extend_from_slice(idx.lookup_projection(t, from, probe));
     }
 
     /// Resolve a row id.
@@ -211,5 +290,67 @@ mod tests {
         assert!(m
             .matches_projection(&t, &[AttrId(0)], &[AttrId(0)])
             .is_empty());
+    }
+
+    #[test]
+    fn lookup_projection_reuses_the_probe_buffer() {
+        let m = MasterIndex::new(master());
+        let idx = m.index_for(&[AttrId(1)]);
+        let mut probe: Vec<Value> = Vec::new();
+        let t = tuple!["131", "ignored"];
+        assert_eq!(idx.lookup_projection(&t, &[AttrId(0)], &mut probe), &[0, 2]);
+        let cap = probe.capacity();
+        // warm buffer: repeated probes never grow it
+        for _ in 0..8 {
+            let miss = tuple!["000", "ignored"];
+            assert_eq!(
+                idx.lookup_projection(&miss, &[AttrId(0)], &mut probe),
+                &[] as &[u32]
+            );
+            assert_eq!(probe.capacity(), cap);
+        }
+        // null projections find nothing, as with owned probes
+        let n = tuple![Value::Null, "x"];
+        assert!(idx
+            .lookup_projection(&n, &[AttrId(0)], &mut probe)
+            .is_empty());
+    }
+
+    #[test]
+    fn matches_projection_into_agrees_with_owned_path() {
+        let m = MasterIndex::new(master());
+        let mut probe = Vec::new();
+        let mut out = Vec::new();
+        for t in [
+            tuple!["131", "x"],
+            tuple!["nope", "x"],
+            tuple![Value::Null, "x"],
+        ] {
+            m.matches_projection_into(&t, &[AttrId(0)], &[AttrId(1)], &mut probe, &mut out);
+            assert_eq!(out, m.matches_projection(&t, &[AttrId(0)], &[AttrId(1)]));
+        }
+    }
+
+    /// The single-flight satellite: many threads racing on the same
+    /// cold key list trigger exactly one build; distinct key lists each
+    /// build once.
+    #[test]
+    fn cold_index_builds_are_single_flight() {
+        let m = MasterIndex::new(master());
+        assert_eq!(m.index_builds(), 0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    let idx = m.index_for(&[AttrId(0)]);
+                    assert_eq!(idx.key(), &[AttrId(0)]);
+                });
+            }
+        });
+        assert_eq!(m.index_builds(), 1, "racing workers shared one build");
+        assert_eq!(m.cached_indexes(), 1);
+        let _ = m.index_for(&[AttrId(1), AttrId(2)]);
+        let _ = m.index_for(&[AttrId(1), AttrId(2)]);
+        assert_eq!(m.index_builds(), 2);
     }
 }

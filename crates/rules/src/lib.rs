@@ -20,12 +20,16 @@
 //! * [`parse`] — a compact text DSL used by examples and the data
 //!   generators,
 //! * [`DependencyGraph`] — the rule ordering structure of Sect. 5.1
-//!   (Fig. 4) that drives `TransFix`.
+//!   (Fig. 4) that drives `TransFix`,
+//! * [`plan`] — compiled rule plans ([`RulePlan`]): the
+//!   build-once/probe-many layer that makes the hot engines'
+//!   `tm[Xm] = t[X]` probes allocation- and lock-free.
 
 pub mod apply;
 pub mod depgraph;
 pub mod error;
 pub mod parse;
+pub mod plan;
 pub mod rule;
 pub mod ruleset;
 
@@ -33,6 +37,7 @@ pub use apply::{applies, apply, candidate_masters, distinct_fix_values};
 pub use depgraph::DependencyGraph;
 pub use error::RuleError;
 pub use parse::parse_rules;
+pub use plan::{CompiledRule, CompiledRuleSet, PlanHits, ProbeScratch, RulePlan};
 pub use rule::{EditingRule, RuleBuilder};
 pub use ruleset::RuleSet;
 

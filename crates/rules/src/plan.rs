@@ -1,0 +1,636 @@
+//! Compiled rule plans: the allocation-free probe layer.
+//!
+//! The paper's complexity argument for `TransFix` assumes each "is a
+//! master tuple applicable?" check is one hash probe. The convenience
+//! path (`candidate_masters` → `MasterIndex::matches_projection` →
+//! `index_for`) pays far more than that per probe: an `RwLock` read,
+//! a hash of the `Vec<AttrId>` key list, a freshly allocated projection
+//! `Vec<Value>`, and a cloned `Vec<u32>` hit list — per rule, per
+//! round, per tuple. Following the compile-once-probe-many discipline
+//! of compiled/factorised query engines, a [`RulePlan`] is built **once**
+//! per `(RuleSet, MasterIndex)` pair and precomputes, per rule:
+//!
+//! * the pinned [`Arc<KeyIndex>`] for the full key list `Xm` (no lock,
+//!   no key hashing on the steady-state path),
+//! * the projection layout `X` and the pattern pre-check `tp[Xp]`,
+//! * the `λϕ` alignment of each pattern attribute with its master
+//!   column (`pattern_master`), used by the suggestion derivation,
+//! * the rule's premise set and rhs/master fix column,
+//! * a lock-free table of *sub-key* indexes — one slot per subset of
+//!   `X` — so the `t[X ∩ Z] = tm[λϕ(X ∩ Z)]` probes of
+//!   `applicable_rules` (Sect. 5.2) resolve their validated-key split
+//!   without rebuilding `from`/`to` vectors or re-hashing key lists.
+//!
+//! Per-probe state lives in a caller-owned [`ProbeScratch`]; once its
+//! buffer has warmed, a probe performs **zero heap allocations** and
+//! returns the hit list by borrow from the pinned index. The scratch
+//! also counts probes and buffer (re)allocations, surfaced by the core
+//! crate as `MonitorStats::{plan_probes, probe_allocs}`.
+//!
+//! # Determinism contract
+//!
+//! For any rule, tuple, and master data, the plan-backed probes return
+//! exactly the row ids, in exactly the order, of the legacy
+//! [`candidate_masters`](crate::apply::candidate_masters) path — both
+//! read the same [`KeyIndex`] maps. Engines may therefore switch
+//! between the two per configuration (`--plan on|off` in the bench
+//! layer) without perturbing a single outcome.
+
+use std::sync::{Arc, OnceLock};
+
+use certainfix_relation::{AttrId, AttrSet, KeyIndex, MasterIndex, PatternTuple, Tuple, Value};
+
+use crate::ruleset::RuleSet;
+
+/// Caller-owned reusable probe state: the projection buffer plus probe
+/// and allocation counters.
+///
+/// One scratch per worker (or per sequential engine) suffices; the
+/// buffer warms to the widest key list it ever projects and is then
+/// reused allocation-free. The counters are cumulative until
+/// [`take_counters`](Self::take_counters) drains them.
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    probe: Vec<Value>,
+    probes: u64,
+    allocs: u64,
+}
+
+impl ProbeScratch {
+    /// A fresh scratch (no buffer allocated yet).
+    pub fn new() -> ProbeScratch {
+        ProbeScratch::default()
+    }
+
+    /// Probes performed since the last [`take_counters`](Self::take_counters).
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Probe-buffer (re)allocations since the last drain. After warmup
+    /// this stays at zero — the steady-state lookup path is
+    /// allocation-free.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Drain `(probes, allocs)`, resetting both counters (the buffer
+    /// keeps its capacity).
+    pub fn take_counters(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.probes),
+            std::mem::take(&mut self.allocs),
+        )
+    }
+
+    /// Probe `idx` with `t[from]` through the buffer
+    /// ([`KeyIndex::lookup_projection`]), counting one probe and any
+    /// capacity growth.
+    fn lookup<'p>(&mut self, idx: &'p KeyIndex, t: &Tuple, from: &[AttrId]) -> &'p [u32] {
+        let cap = self.probe.capacity();
+        let hits = idx.lookup_projection(t, from, &mut self.probe);
+        if self.probe.capacity() != cap {
+            self.allocs += 1;
+        }
+        self.probes += 1;
+        hits
+    }
+
+    /// Probe `idx` with the masked subset of `t[attrs]` (ascending
+    /// positions).
+    fn lookup_masked<'p>(
+        &mut self,
+        idx: &'p KeyIndex,
+        t: &Tuple,
+        attrs: &[AttrId],
+        mask: u64,
+    ) -> &'p [u32] {
+        let cap = self.probe.capacity();
+        self.probe.clear();
+        for (i, &a) in attrs.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                self.probe.push(*t.get(a));
+            }
+        }
+        if self.probe.capacity() != cap {
+            self.allocs += 1;
+        }
+        self.probes += 1;
+        idx.lookup(&self.probe)
+    }
+}
+
+/// Widest key list for which per-subset index slots are preallocated
+/// (`2^MAX_SUB_KEY_BITS` slots per rule). Wider rules fall back to the
+/// shared [`MasterIndex`] cache for their sub-key probes.
+const MAX_SUB_KEY_BITS: usize = 6;
+
+/// One rule, compiled against a master index.
+#[derive(Debug)]
+pub struct CompiledRule {
+    lhs: Box<[AttrId]>,
+    lhs_m: Box<[AttrId]>,
+    lhs_set: AttrSet,
+    rhs: AttrId,
+    rhs_m: AttrId,
+    premise: AttrSet,
+    pattern: PatternTuple,
+    /// `λϕ` for each pattern attribute: the master column aligned with
+    /// it when the pattern attribute is also a key, `None` otherwise.
+    pattern_master: Box<[Option<AttrId>]>,
+    /// `true` iff some pattern attribute is a key (precomputed for the
+    /// no-validated-key branch of `applicable_rules`).
+    pattern_on_keys: bool,
+    /// The pinned full-key index (`Xm`).
+    index: Arc<KeyIndex>,
+    /// Lock-free per-subset index slots (`1 << |X|` entries when
+    /// `|X| ≤ MAX_SUB_KEY_BITS`, empty otherwise). Slot `m` indexes the
+    /// master columns `{Xm[i] : bit i of m}`; built on first use,
+    /// read with one atomic load thereafter.
+    sub: Box<[OnceLock<Arc<KeyIndex>>]>,
+}
+
+impl CompiledRule {
+    /// `lhs(ϕ) = X`.
+    pub fn lhs(&self) -> &[AttrId] {
+        &self.lhs
+    }
+
+    /// `lhsm(ϕ) = Xm`.
+    pub fn lhs_m(&self) -> &[AttrId] {
+        &self.lhs_m
+    }
+
+    /// `X` as a set.
+    pub fn lhs_set(&self) -> AttrSet {
+        self.lhs_set
+    }
+
+    /// `rhs(ϕ) = B`.
+    pub fn rhs(&self) -> AttrId {
+        self.rhs
+    }
+
+    /// `rhsm(ϕ) = Bm`.
+    pub fn rhs_m(&self) -> AttrId {
+        self.rhs_m
+    }
+
+    /// `X ∪ Xp` — what must be validated before the rule may fire.
+    pub fn premise(&self) -> AttrSet {
+        self.premise
+    }
+
+    /// The (normalized) pattern `tp[Xp]`.
+    pub fn pattern(&self) -> &PatternTuple {
+        &self.pattern
+    }
+
+    /// `lhsp(ϕ) = Xp`.
+    pub fn lhs_p(&self) -> &[AttrId] {
+        self.pattern.attrs()
+    }
+
+    /// Per pattern cell, the master column `λϕ` aligns it with (when
+    /// the pattern attribute is also a key). Parallel to
+    /// [`lhs_p`](Self::lhs_p).
+    pub fn pattern_master(&self) -> &[Option<AttrId>] {
+        &self.pattern_master
+    }
+
+    /// `true` iff some pattern attribute is also a key attribute.
+    pub fn pattern_on_keys(&self) -> bool {
+        self.pattern_on_keys
+    }
+
+    /// The pinned full-key index.
+    pub fn index(&self) -> &Arc<KeyIndex> {
+        &self.index
+    }
+
+    /// Bitmask (over lhs positions, ascending) of key attributes in
+    /// `validated`.
+    pub fn validated_mask(&self, validated: AttrSet) -> u64 {
+        let mut mask = 0u64;
+        for (i, &a) in self.lhs.iter().enumerate() {
+            if validated.contains(a) {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+}
+
+/// Hit list returned by [`RulePlan::validated_candidates`]: borrowed
+/// from a pinned index on the steady-state path, owned only on the
+/// cold fallback for rules with more key attributes than the slot
+/// table covers.
+#[derive(Debug)]
+pub enum PlanHits<'p> {
+    /// Borrowed from a pinned [`KeyIndex`].
+    Borrowed(&'p [u32]),
+    /// Copied out of the shared master cache (wide-key fallback).
+    Owned(Vec<u32>),
+}
+
+impl std::ops::Deref for PlanHits<'_> {
+    type Target = [u32];
+
+    fn deref(&self) -> &[u32] {
+        match self {
+            PlanHits::Borrowed(s) => s,
+            PlanHits::Owned(v) => v,
+        }
+    }
+}
+
+/// A rule set compiled against one master index; see the
+/// [module docs](self).
+///
+/// Also known as the *compiled rule set*: build once per
+/// `(RuleSet, MasterIndex)`, share by reference across workers (the
+/// plan is `Sync` — its mutable parts are `OnceLock` slots).
+#[derive(Debug)]
+pub struct RulePlan {
+    master: MasterIndex,
+    rules: Box<[CompiledRule]>,
+}
+
+/// Alias matching the paper-facing name used in docs and the ROADMAP.
+pub type CompiledRuleSet = RulePlan;
+
+impl RulePlan {
+    /// Compile `rules` against `master`: pin one full-key index per
+    /// rule (building it if cold — builds are single-flight in the
+    /// [`MasterIndex`]) and precompute the per-rule probe layout.
+    pub fn compile(rules: &RuleSet, master: &MasterIndex) -> RulePlan {
+        let compiled = rules
+            .iter()
+            .map(|(_, rule)| {
+                let pattern_master: Box<[Option<AttrId>]> = rule
+                    .lhs_p()
+                    .iter()
+                    .map(|&a| rule.master_attr_for(a))
+                    .collect();
+                let pattern_on_keys = pattern_master.iter().any(Option::is_some);
+                let sub_len = if rule.lhs().len() <= MAX_SUB_KEY_BITS {
+                    1usize << rule.lhs().len()
+                } else {
+                    0
+                };
+                let mut sub = Vec::with_capacity(sub_len);
+                sub.resize_with(sub_len, OnceLock::new);
+                CompiledRule {
+                    lhs: rule.lhs().into(),
+                    lhs_m: rule.lhs_m().into(),
+                    lhs_set: rule.lhs_set(),
+                    rhs: rule.rhs(),
+                    rhs_m: rule.rhs_m(),
+                    premise: rule.premise(),
+                    pattern: rule.pattern().clone(),
+                    pattern_master,
+                    pattern_on_keys,
+                    index: master.index_for(rule.lhs_m()),
+                    sub: sub.into_boxed_slice(),
+                }
+            })
+            .collect();
+        RulePlan {
+            master: master.clone(),
+            rules: compiled,
+        }
+    }
+
+    /// The master index the plan was compiled against.
+    pub fn master(&self) -> &MasterIndex {
+        &self.master
+    }
+
+    /// Number of compiled rules (equals the source rule set's).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` iff the plan compiles no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The compiled form of rule `i`.
+    pub fn rule(&self, i: usize) -> &CompiledRule {
+        &self.rules[i]
+    }
+
+    /// Iterate `(index, compiled rule)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &CompiledRule)> {
+        self.rules.iter().enumerate()
+    }
+
+    /// The candidate masters of rule `i` on `t` — all `tm` with
+    /// `tm[Xm] = t[X]`, empty when the pattern does not match or `t[X]`
+    /// contains a null. Identical ids, in identical order, to
+    /// [`candidate_masters`](crate::apply::candidate_masters); borrows
+    /// the hit list from the pinned index and allocates nothing once
+    /// the scratch is warm.
+    pub fn candidates<'p>(&'p self, i: usize, t: &Tuple, scratch: &mut ProbeScratch) -> &'p [u32] {
+        let rule = &self.rules[i];
+        if !rule.pattern.matches(t) {
+            return &[];
+        }
+        self.probe(i, t, scratch)
+    }
+
+    /// The raw key probe of rule `i` (no pattern pre-check): all `tm`
+    /// with `tm[Xm] = t[X]`.
+    pub fn probe<'p>(&'p self, i: usize, t: &Tuple, scratch: &mut ProbeScratch) -> &'p [u32] {
+        let rule = &self.rules[i];
+        scratch.lookup(&rule.index, t, &rule.lhs)
+    }
+
+    /// Look rule `i`'s pinned full-key index up with caller-supplied
+    /// probe values (in `Xm` order). Used by offline analyses that
+    /// probe with pattern constants rather than a tuple projection.
+    pub fn lookup<'p>(&'p self, i: usize, probe: &[Value]) -> &'p [u32] {
+        self.rules[i].index.lookup(probe)
+    }
+
+    /// The `t[X ∩ Z] = tm[λϕ(X ∩ Z)]` probe of `applicable_rules`
+    /// (Sect. 5.2): candidates of rule `i` matching `t` on the
+    /// validated subset of its key. Returns `None` when no key
+    /// attribute is validated (`mask == 0`); the sub-key index is
+    /// served from the plan's lock-free slot table (or the shared
+    /// master cache for extra-wide keys), so the steady-state split
+    /// needs no `from`/`to` vectors and no lock.
+    pub fn validated_candidates<'p>(
+        &'p self,
+        i: usize,
+        t: &Tuple,
+        validated: AttrSet,
+        scratch: &mut ProbeScratch,
+    ) -> Option<PlanHits<'p>> {
+        let rule = &self.rules[i];
+        let mask = rule.validated_mask(validated);
+        if mask == 0 {
+            return None;
+        }
+        if mask.count_ones() as usize == rule.lhs.len() {
+            return Some(PlanHits::Borrowed(scratch.lookup(
+                &rule.index,
+                t,
+                &rule.lhs,
+            )));
+        }
+        let sub_key = |mask: u64| -> Vec<AttrId> {
+            rule.lhs_m
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| mask & (1 << j) != 0)
+                .map(|(_, &a)| a)
+                .collect()
+        };
+        if (mask as usize) < rule.sub.len() {
+            let idx = rule.sub[mask as usize].get_or_init(|| self.master.index_for(&sub_key(mask)));
+            Some(PlanHits::Borrowed(
+                scratch.lookup_masked(idx, t, &rule.lhs, mask),
+            ))
+        } else {
+            // extra-wide key list: no preallocated slot — go through
+            // the shared master cache and copy the (short) hit list
+            let idx = self.master.index_for(&sub_key(mask));
+            Some(PlanHits::Owned(
+                scratch.lookup_masked(&idx, t, &rule.lhs, mask).to_vec(),
+            ))
+        }
+    }
+
+    /// The fix value rule `i` prescribes from master row `id`
+    /// (`tm[Bm]`).
+    pub fn fix_value(&self, i: usize, id: u32) -> Value {
+        *self.master.tuple(id).get(self.rules[i].rhs_m)
+    }
+
+    /// The distinct values `tm[Bm]` over rule `i`'s candidate masters,
+    /// written into `out` (cleared first) in ascending [`Value`] order
+    /// — the same order as
+    /// [`distinct_fix_values`](crate::apply::distinct_fix_values).
+    pub fn distinct_fix_values_into(
+        &self,
+        i: usize,
+        t: &Tuple,
+        scratch: &mut ProbeScratch,
+        out: &mut Vec<Value>,
+    ) {
+        out.clear();
+        let rhs_m = self.rules[i].rhs_m;
+        let ids = self.candidates(i, t, scratch);
+        out.extend(ids.iter().map(|&id| *self.master.tuple(id).get(rhs_m)));
+        out.sort_unstable();
+        out.dedup();
+    }
+}
+
+/// Compile-time audit: the plan is shared by reference across repair
+/// workers, so it (and its scratch-free parts) must be `Send + Sync`.
+#[allow(dead_code)]
+fn _send_sync_audit() {
+    fn check<T: Send + Sync>() {}
+    check::<RulePlan>();
+    check::<CompiledRule>();
+    check::<ProbeScratch>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::{candidate_masters, distinct_fix_values};
+    use crate::parse::parse_rules;
+    use certainfix_relation::{tuple, Relation, Schema};
+    use std::sync::Arc;
+
+    fn fig1() -> (Arc<Schema>, RuleSet, MasterIndex) {
+        let r = Schema::new(
+            "R",
+            [
+                "fn", "ln", "AC", "phn", "type", "str", "city", "zip", "item",
+            ],
+        )
+        .unwrap();
+        let rm = Schema::new(
+            "Rm",
+            [
+                "FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender",
+            ],
+        )
+        .unwrap();
+        let rules = parse_rules(
+            r#"
+            phi1: match zip ~ zip set AC := AC, str := str, city := city
+            phi2: match phn ~ Mphn set fn := FN, ln := LN when type = 2
+            phi3: match AC ~ AC, phn ~ Hphn set str := str, city := city, zip := zip when type = 1, AC != '0800'
+            "#,
+            &r,
+            &rm,
+        )
+        .unwrap();
+        let master = Relation::new(
+            rm,
+            vec![
+                tuple![
+                    "Robert",
+                    "Brady",
+                    "131",
+                    "6884563",
+                    "079172485",
+                    "51 Elm Row",
+                    "Edi",
+                    "EH7 4AH",
+                    "11/11/55",
+                    "M"
+                ],
+                tuple![
+                    "Mark",
+                    "Smith",
+                    "020",
+                    "6884563",
+                    "075568485",
+                    "20 Baker St.",
+                    "Lnd",
+                    "NW1 6XE",
+                    "25/12/67",
+                    "M"
+                ],
+            ],
+        )
+        .unwrap();
+        (r, rules, MasterIndex::new(Arc::new(master)))
+    }
+
+    fn t1() -> Tuple {
+        tuple![
+            "Bob",
+            "Brady",
+            "020",
+            "079172485",
+            2,
+            "501 Elm St.",
+            "Edi",
+            "EH7 4AH",
+            "CD"
+        ]
+    }
+
+    #[test]
+    fn compile_pins_one_index_per_rule() {
+        let (_, rules, master) = fig1();
+        assert_eq!(master.cached_indexes(), 0);
+        let plan = RulePlan::compile(&rules, &master);
+        assert_eq!(plan.len(), rules.len());
+        assert!(!plan.is_empty());
+        // distinct key lists: {zip}, {Mphn}, {AC, Hphn}
+        assert_eq!(master.cached_indexes(), 3);
+        let builds = master.index_builds();
+        // recompiling reuses every cached index
+        let _again = RulePlan::compile(&rules, &master);
+        assert_eq!(master.index_builds(), builds);
+    }
+
+    #[test]
+    fn plan_candidates_match_legacy_for_every_rule() {
+        let (_, rules, master) = fig1();
+        let plan = RulePlan::compile(&rules, &master);
+        let mut scratch = ProbeScratch::new();
+        for (i, rule) in rules.iter() {
+            let legacy = candidate_masters(rule, &t1(), &master);
+            assert_eq!(plan.candidates(i, &t1(), &mut scratch), &legacy[..], "{i}");
+        }
+        assert!(scratch.probes() > 0);
+    }
+
+    #[test]
+    fn steady_state_probes_do_not_allocate() {
+        let (_, rules, master) = fig1();
+        let plan = RulePlan::compile(&rules, &master);
+        let mut scratch = ProbeScratch::new();
+        // warmup: the widest key list sizes the buffer
+        for (i, _) in rules.iter() {
+            let _ = plan.candidates(i, &t1(), &mut scratch);
+        }
+        let _ = scratch.take_counters();
+        for _ in 0..16 {
+            for (i, _) in rules.iter() {
+                let _ = plan.candidates(i, &t1(), &mut scratch);
+            }
+        }
+        let (probes, allocs) = scratch.take_counters();
+        assert!(probes > 0, "pattern-passing rules probed");
+        assert_eq!(allocs, 0, "steady-state lookups are allocation-free");
+    }
+
+    #[test]
+    fn validated_candidates_resolve_the_key_split() {
+        let (r, rules, master) = fig1();
+        let plan = RulePlan::compile(&rules, &master);
+        let mut scratch = ProbeScratch::new();
+        let phi3 = 5; // phi3.str is rule index 5 (phi1 ×3, phi2 ×2, then phi3)
+        let cr = plan.rule(phi3);
+        assert_eq!(cr.lhs().len(), 2, "phi3 keys on AC, phn");
+
+        // no validated keys → None
+        assert!(plan
+            .validated_candidates(phi3, &t1(), AttrSet::EMPTY, &mut scratch)
+            .is_none());
+
+        // AC validated only: the sub-key probe on AC alone. t1[AC]=020
+        // matches s2's AC.
+        let z = AttrSet::singleton(r.attr("AC").unwrap());
+        let hits = plan
+            .validated_candidates(phi3, &t1(), z, &mut scratch)
+            .unwrap();
+        assert_eq!(&*hits, &[1]);
+        assert!(matches!(hits, PlanHits::Borrowed(_)));
+
+        // both keys validated: the pinned full index answers. t1[phn]
+        // is the mobile number, which is nobody's home phone.
+        let z2 = z | AttrSet::singleton(r.attr("phn").unwrap());
+        let hits2 = plan
+            .validated_candidates(phi3, &t1(), z2, &mut scratch)
+            .unwrap();
+        assert!(hits2.is_empty());
+
+        // the sub-slot was built once and is reused
+        let builds = master.index_builds();
+        for _ in 0..4 {
+            let _ = plan.validated_candidates(phi3, &t1(), z, &mut scratch);
+        }
+        assert_eq!(master.index_builds(), builds);
+    }
+
+    #[test]
+    fn distinct_fix_values_into_matches_legacy() {
+        let (_, rules, master) = fig1();
+        let plan = RulePlan::compile(&rules, &master);
+        let mut scratch = ProbeScratch::new();
+        let mut out = Vec::new();
+        for (i, rule) in rules.iter() {
+            plan.distinct_fix_values_into(i, &t1(), &mut scratch, &mut out);
+            assert_eq!(out, distinct_fix_values(rule, &t1(), &master), "rule {i}");
+        }
+    }
+
+    #[test]
+    fn null_keys_and_pattern_mismatch_yield_empty() {
+        let (r, rules, master) = fig1();
+        let plan = RulePlan::compile(&rules, &master);
+        let mut scratch = ProbeScratch::new();
+        let mut t = t1();
+        t.set(r.attr("zip").unwrap(), Value::Null);
+        assert!(plan.candidates(0, &t, &mut scratch).is_empty(), "null key");
+        let mut t2 = t1();
+        t2.set(r.attr("type").unwrap(), Value::int(9));
+        // phi2.fn (index 3) requires type = 2
+        assert!(
+            plan.candidates(3, &t2, &mut scratch).is_empty(),
+            "pattern mismatch"
+        );
+    }
+}

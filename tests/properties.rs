@@ -9,18 +9,27 @@
 //!   Sect. 3),
 //! * `TransFix` ≡ chase on unique instances,
 //! * `CertainFix+` (BDD) ≡ `CertainFix` fix-for-fix,
+//! * the compiled [`RulePlan`] probe layer ≡ the legacy `MasterIndex`
+//!   path (candidates, distinct fix values, chase, `TransFix`, and
+//!   whole `CertainFix` outcomes — including null-key and
+//!   pattern-mismatch edges),
 //! * metrics bounds and pattern algebra laws.
 
 use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use certain_fix::core::{evaluate_changes, transfix};
-use certain_fix::reasoning::{Chase, ChaseResult};
+use certain_fix::core::{
+    evaluate_changes, transfix, transfix_with, CertainFix, CertainFixConfig, SimulatedUser,
+};
+use certain_fix::reasoning::{suggest, suggest_with, Chase, ChaseResult};
 use certain_fix::relation::{
     AttrId, AttrSet, MasterIndex, PatternTuple, PatternValue, Relation, Schema, Tuple, Value,
 };
-use certain_fix::rules::{DependencyGraph, EditingRule, RuleSet};
+use certain_fix::rules::{
+    candidate_masters, distinct_fix_values, DependencyGraph, EditingRule, ProbeScratch, RulePlan,
+    RuleSet,
+};
 
 const ATTRS: usize = 5;
 
@@ -185,6 +194,83 @@ proptest! {
                 prop_assert_eq!(out.validated, fix.validated);
             }
         }
+    }
+
+    /// The tentpole's determinism contract, randomized: on arbitrary
+    /// miniature workloads the compiled plan and the legacy probe path
+    /// agree on candidate masters, distinct fix values, chase results,
+    /// `TransFix`, and complete `CertainFix` outcomes — including
+    /// null-key and pattern-mismatch edges.
+    #[test]
+    fn compiled_plan_matches_legacy_probes(
+        (master_rows, specs, t, zbits) in arb_workload(),
+        null_at in 0..ATTRS,
+    ) {
+        let Some((rules, graph)) = build_rules(specs) else { return Ok(()); };
+        let s = schema();
+        let master = MasterIndex::new(Arc::new(
+            Relation::new(s.clone(), master_rows.clone()).unwrap(),
+        ));
+        let plan = RulePlan::compile(&rules, &master);
+        let mut scratch = ProbeScratch::new();
+        // a null-key variant of t exercises the null edge explicitly
+        let mut t_null = t.clone();
+        t_null.set(AttrId(null_at as u16), Value::Null);
+        let mut vals = Vec::new();
+        for probe_t in [&t, &t_null] {
+            for (i, rule) in rules.iter() {
+                let legacy = candidate_masters(rule, probe_t, &master);
+                prop_assert_eq!(plan.candidates(i, probe_t, &mut scratch), &legacy[..]);
+                plan.distinct_fix_values_into(i, probe_t, &mut scratch, &mut vals);
+                prop_assert_eq!(&vals, &distinct_fix_values(rule, probe_t, &master));
+            }
+        }
+        let initial = AttrSet::from_bits(u64::from(zbits) & ((1 << ATTRS) - 1));
+        // chase parity (result kind and content)
+        let legacy_chase = Chase::new(&rules, &master);
+        let plan_chase = Chase::new(&rules, &master).with_plan(Some(&plan));
+        match (legacy_chase.run(&t, initial), plan_chase.run(&t, initial)) {
+            (ChaseResult::Fixed(a), ChaseResult::Fixed(b)) => {
+                prop_assert_eq!(a.tuple, b.tuple);
+                prop_assert_eq!(a.validated, b.validated);
+                prop_assert_eq!(a.steps, b.steps);
+            }
+            (ChaseResult::Conflict(a), ChaseResult::Conflict(b)) => {
+                prop_assert_eq!(a, b);
+            }
+            _ => prop_assert!(false, "chase result kind diverged"),
+        }
+        // TransFix parity
+        let a = transfix(&rules, &master, &graph, &t, initial);
+        let b = transfix_with(&rules, &master, &graph, Some(&plan), &mut scratch, &t, initial);
+        prop_assert_eq!(a.tuple, b.tuple);
+        prop_assert_eq!(a.validated, b.validated);
+        prop_assert_eq!(a.steps, b.steps);
+        prop_assert_eq!(a.disputed, b.disputed);
+        // whole-outcome parity: the full interaction loop with a
+        // simulated user whose ground truth is the first master row
+        let clean = master_rows[0].clone();
+        let initial_suggestion: Vec<AttrId> = initial.iter().collect();
+        let legacy_fix = CertainFix::new(&rules, &master, &graph, CertainFixConfig::default());
+        let plan_fix = CertainFix::new(&rules, &master, &graph, CertainFixConfig::default())
+            .with_plan(Some(&plan));
+        let mut u1 = SimulatedUser::new(clean.clone());
+        let out1 = legacy_fix.run(&t, &initial_suggestion, &mut u1, |tt, v, _| {
+            suggest(&rules, &master, tt, v).map(|sg| sg.attrs)
+        });
+        let mut u2 = SimulatedUser::new(clean);
+        let out2 = plan_fix.run_scratch(
+            &t,
+            &initial_suggestion,
+            &mut u2,
+            |tt, v, sc| suggest_with(&rules, &master, tt, v, Some(&plan), sc).map(|sg| sg.attrs),
+            &mut scratch,
+        );
+        prop_assert_eq!(out1.tuple, out2.tuple);
+        prop_assert_eq!(out1.validated, out2.validated);
+        prop_assert_eq!(out1.rule_fixed, out2.rule_fixed);
+        prop_assert_eq!(out1.certain, out2.certain);
+        prop_assert_eq!(out1.rounds.len(), out2.rounds.len());
     }
 
     #[test]
