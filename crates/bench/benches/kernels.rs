@@ -346,6 +346,7 @@ fn bench_batch_repair(c: &mut Criterion) {
                 input_size: 50_000,
                 seed: 21,
                 skew,
+                ..Default::default()
             },
         );
         let dirty: Vec<Tuple> = ds.inputs.iter().map(|dt| dt.dirty.clone()).collect();

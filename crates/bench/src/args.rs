@@ -37,6 +37,7 @@ impl Spec {
     /// `--shared-cache {on,off}`, `--skew`,
     /// `--ingest {batch,stream}`, `--batch`, `--depth`,
     /// `--plan {on,off}` (the compiled-rule-plan probe layer A/B),
+    /// `--chunk` (work-stealing chunk = block-probe size; 0 = auto),
     /// `--out`, and the boolean `--no-bdd`.
     pub fn exp(bin: &'static str) -> Spec {
         Spec::new(bin)
@@ -56,6 +57,7 @@ impl Spec {
                 "batch",
                 "depth",
                 "plan",
+                "chunk",
                 "out",
             ])
             .boolean(&["no-bdd"])
@@ -360,6 +362,8 @@ mod tests {
             "ingest",
             "batch",
             "depth",
+            "plan",
+            "chunk",
         ] {
             assert_eq!(s.takes_value(f), Some(true), "{f}");
         }

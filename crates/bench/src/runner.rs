@@ -123,6 +123,11 @@ pub struct ExpConfig {
     /// Outcomes are bit-identical either way; the flag exists so the
     /// plan's speedup is measured, not asserted.
     pub plan: bool,
+    /// Work-stealing chunk size (`--chunk`; 0 = the engine's auto
+    /// sizing). A stolen chunk is also the block-probe unit, and
+    /// outcomes are bit-identical at every value — the flag exists so
+    /// CI can pin different block sizes against each other.
+    pub chunk: usize,
 }
 
 impl Default for ExpConfig {
@@ -144,6 +149,7 @@ impl Default for ExpConfig {
             batch: 0,
             depth: 2,
             plan: true,
+            chunk: 0,
         }
     }
 }
@@ -218,6 +224,7 @@ impl ExpConfig {
             batch: args.usize_or("batch", default.batch),
             depth: args.usize_or("depth", default.depth),
             plan,
+            chunk: args.usize_or("chunk", default.chunk),
         })
     }
 
@@ -238,6 +245,7 @@ impl ExpConfig {
             input_size: self.inputs,
             seed: self.seed,
             skew: self.skew,
+            ..DirtyConfig::default()
         }
     }
 
@@ -248,7 +256,7 @@ impl ExpConfig {
             threads: self.threads,
             schedule: self.schedule,
             shared_cache: self.shared_cache,
-            chunk: 0,
+            chunk: self.chunk,
         }
     }
 }

@@ -6,7 +6,7 @@ use certainfix_relation::{AttrId, AttrSet, MasterIndex, Tuple};
 use certainfix_rules::{DependencyGraph, ProbeScratch, RulePlan, RuleSet};
 
 use crate::oracle::UserOracle;
-use crate::transfix::transfix_with;
+use crate::transfix::{transfix_block, transfix_with};
 
 /// Configuration of the interaction loop.
 #[derive(Clone, Debug)]
@@ -270,6 +270,195 @@ impl<'a> CertainFix<'a> {
             rounds,
         }
     }
+
+    /// Run the Fig. 3 loop for a whole **block** of independent tuples
+    /// in round lockstep, so each round's `TransFix` pass vectorizes
+    /// its probes through [`transfix_block`] (key probes grouped,
+    /// sort-grouped by value, pattern checks hoisted to a bitmask).
+    /// `oracles[j]` answers for `dirty[j]`.
+    ///
+    /// **Bit-identity:** each tuple's per-round call sequence (oracle
+    /// assertion, validation chase, `TransFix`, follow-up suggestion)
+    /// is exactly the one [`run_scratch`](Self::run_scratch) performs
+    /// for it alone, and the tuples are independent, so every
+    /// [`FixOutcome`] — and the logical probe count — equals the
+    /// single-tuple path at every block size.
+    pub fn run_block_scratch<O, F>(
+        &self,
+        dirty: &[Tuple],
+        initial_suggestion: &[AttrId],
+        oracles: &mut [O],
+        mut next_suggestion: F,
+        scratch: &mut ProbeScratch,
+    ) -> Vec<FixOutcome>
+    where
+        O: UserOracle,
+        F: FnMut(&Tuple, AttrSet, &mut ProbeScratch) -> Option<Vec<AttrId>>,
+    {
+        debug_assert_eq!(dirty.len(), oracles.len());
+        let r_len = self.rules.r_schema().len();
+        let full = AttrSet::full(r_len);
+        let chase = Chase::new(self.rules, self.master).with_plan(self.plan);
+
+        struct St {
+            tuple: Tuple,
+            validated: AttrSet,
+            rule_fixed: AttrSet,
+            user_changed: AttrSet,
+            rounds: Vec<RoundReport>,
+            suggestion: Vec<AttrId>,
+            gave_up: bool,
+            done: bool,
+        }
+        /// Round state carried from the assertion phase to the
+        /// post-`TransFix` phase of one active tuple.
+        struct Prep {
+            j: usize,
+            suggested: Vec<AttrId>,
+            asserted: Vec<AttrId>,
+            user_changed: AttrSet,
+            new_validated: AttrSet,
+            validated_ok: bool,
+        }
+        let mut sts: Vec<St> = dirty
+            .iter()
+            .map(|t| St {
+                tuple: t.clone(),
+                validated: AttrSet::EMPTY,
+                rule_fixed: AttrSet::EMPTY,
+                user_changed: AttrSet::EMPTY,
+                rounds: Vec::new(),
+                suggestion: initial_suggestion.to_vec(),
+                gave_up: false,
+                done: false,
+            })
+            .collect();
+
+        loop {
+            // (2) per tuple: suggestion top-up, user assertion, and the
+            // validation chase — same order as the single-tuple loop
+            let mut preps: Vec<Prep> = Vec::new();
+            for (j, st) in sts.iter_mut().enumerate() {
+                if st.done {
+                    continue;
+                }
+                if st.validated == full || st.rounds.len() >= self.config.max_rounds {
+                    st.done = true;
+                    continue;
+                }
+                if st.suggestion.is_empty() {
+                    st.suggestion = (full - st.validated).to_vec();
+                }
+                let asserted = oracles[j].assert_correct(&st.tuple, &st.suggestion);
+                let mut round_user_changed = AttrSet::EMPTY;
+                let mut asserted_attrs = Vec::with_capacity(asserted.len());
+                for (a, v) in asserted {
+                    if st.tuple.get(a) != &v {
+                        round_user_changed.insert(a);
+                    }
+                    st.tuple.set(a, v);
+                    asserted_attrs.push(a);
+                }
+                let new_validated =
+                    st.validated | asserted_attrs.iter().copied().collect::<AttrSet>();
+                let validated_ok = chase
+                    .run_with(&st.tuple, new_validated, scratch)
+                    .is_unique();
+                preps.push(Prep {
+                    j,
+                    suggested: st.suggestion.clone(),
+                    asserted: asserted_attrs,
+                    user_changed: round_user_changed,
+                    new_validated,
+                    validated_ok,
+                });
+            }
+            if preps.is_empty() {
+                break;
+            }
+
+            // (3) one vectorized TransFix pass over the active tuples
+            let items: Vec<(&Tuple, AttrSet)> = preps
+                .iter()
+                .map(|p| (&sts[p.j].tuple, p.new_validated))
+                .collect();
+            let outs = transfix_block(
+                self.rules,
+                self.master,
+                self.graph,
+                self.plan,
+                scratch,
+                &items,
+            );
+            drop(items);
+
+            // (4) per tuple: absorb the fixes and pick the next round's
+            // suggestion
+            for (p, out) in preps.into_iter().zip(outs) {
+                let st = &mut sts[p.j];
+                st.tuple = out.tuple;
+                st.validated = out.validated;
+                st.rule_fixed |= out.fixed;
+                st.user_changed |= p.user_changed;
+                st.rounds.push(RoundReport {
+                    suggested: p.suggested,
+                    asserted: p.asserted,
+                    user_changed: p.user_changed,
+                    rule_fixed: out.fixed,
+                    validated_ok: p.validated_ok,
+                });
+                if st.validated == full {
+                    st.done = true;
+                    continue;
+                }
+                match next_suggestion(&st.tuple, st.validated, scratch) {
+                    Some(s) if !s.is_empty() => {
+                        let s_set: AttrSet = s.iter().copied().collect();
+                        let rules_exhausted = {
+                            let predicted = suggest_with(
+                                self.rules,
+                                self.master,
+                                &st.tuple,
+                                st.validated,
+                                self.plan,
+                                scratch,
+                            )
+                            .map(|sug| sug.covers)
+                            .unwrap_or(st.validated);
+                            predicted == st.validated | s_set && out.fixed.is_empty()
+                        };
+                        if rules_exhausted && self.config.stop_when_rules_exhausted {
+                            st.gave_up = true;
+                            st.done = true;
+                        } else {
+                            st.suggestion = s;
+                        }
+                    }
+                    _ => {
+                        st.gave_up = true;
+                        st.done = true;
+                    }
+                }
+            }
+        }
+
+        sts.into_iter()
+            .map(|st| {
+                let certain = st.validated == full;
+                FixOutcome {
+                    certain_at_round: certain.then_some(st.rounds.len()),
+                    rule_backed: !st.rule_fixed.is_empty(),
+                    tuple: st.tuple,
+                    validated: st.validated,
+                    rule_fixed: st.rule_fixed,
+                    user_changed: st.user_changed,
+                    certain,
+                    gave_up: st.gave_up,
+                    rounds: st.rounds,
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -506,6 +695,86 @@ mod tests {
         assert!(outcome.certain);
         assert!(!outcome.rule_backed, "no rule fired");
         assert_eq!(outcome.tuple, clean);
+    }
+
+    /// The round-lockstep block loop is bit-identical to running the
+    /// single-tuple loop per tuple — outcomes, round traces, and the
+    /// logical probe count — at every block size, across certain /
+    /// gave-up / user-corrected tuples.
+    #[test]
+    fn block_loop_matches_single_tuple_loop() {
+        use certainfix_reasoning::suggest_with;
+        use certainfix_rules::{ProbeScratch, RulePlan};
+        let (r, rules, master, graph) = fig1();
+        let plan = RulePlan::compile(&rules, &master);
+        let engine = CertainFix::new(&rules, &master, &graph, CertainFixConfig::default())
+            .with_plan(Some(&plan));
+        let unmatched_clean = tuple![
+            "Tim",
+            "Poth",
+            "990",
+            "9978543",
+            1,
+            "Baker St.",
+            "Gla",
+            "XX9 9XX",
+            "BOOK"
+        ];
+        let mut unmatched_dirty = unmatched_clean.clone();
+        unmatched_dirty.set(r.attr("city").unwrap(), Value::str("Glasgo"));
+        let mut wrong_zip = t1_dirty();
+        wrong_zip.set(r.attr("zip").unwrap(), Value::str("WRONG"));
+        let dirties = [t1_dirty(), unmatched_dirty, wrong_zip, t1_clean()];
+        let cleans = [t1_clean(), unmatched_clean, t1_clean(), t1_clean()];
+        let init = ids(&r, &["zip", "phn", "type", "item"]);
+        let next = |t: &Tuple, v: AttrSet, sc: &mut ProbeScratch| {
+            suggest_with(&rules, &master, t, v, Some(&plan), sc).map(|s| s.attrs)
+        };
+
+        let mut single = ProbeScratch::new();
+        let want: Vec<FixOutcome> = dirties
+            .iter()
+            .zip(&cleans)
+            .map(|(d, c)| {
+                let mut user = SimulatedUser::new(c.clone());
+                engine.run_scratch(d, &init, &mut user, next, &mut single)
+            })
+            .collect();
+        let (want_probes, _, _) = single.take_counters();
+
+        for size in [1, 2, 4] {
+            let mut scratch = ProbeScratch::new();
+            let got: Vec<FixOutcome> = dirties
+                .chunks(size)
+                .zip(cleans.chunks(size))
+                .flat_map(|(ds, cs)| {
+                    let mut users: Vec<SimulatedUser> =
+                        cs.iter().map(|c| SimulatedUser::new(c.clone())).collect();
+                    engine.run_block_scratch(ds, &init, &mut users, next, &mut scratch)
+                })
+                .collect();
+            assert_eq!(got.len(), want.len());
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!(a.tuple, b.tuple, "block size {size}");
+                assert_eq!(a.validated, b.validated);
+                assert_eq!(a.rule_fixed, b.rule_fixed);
+                assert_eq!(a.user_changed, b.user_changed);
+                assert_eq!(a.certain, b.certain);
+                assert_eq!(a.certain_at_round, b.certain_at_round);
+                assert_eq!(a.rule_backed, b.rule_backed);
+                assert_eq!(a.gave_up, b.gave_up);
+                assert_eq!(a.rounds.len(), b.rounds.len());
+                for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+                    assert_eq!(ra.suggested, rb.suggested);
+                    assert_eq!(ra.asserted, rb.asserted);
+                    assert_eq!(ra.user_changed, rb.user_changed);
+                    assert_eq!(ra.rule_fixed, rb.rule_fixed);
+                    assert_eq!(ra.validated_ok, rb.validated_ok);
+                }
+            }
+            let (probes, _, _) = scratch.take_counters();
+            assert_eq!(probes, want_probes, "logical probes at block size {size}");
+        }
     }
 
     #[test]

@@ -315,12 +315,70 @@ impl RepairContext {
         if outcome.certain {
             stats.certain += 1;
         }
-        let (probes, allocs) = scratch.take_counters();
+        let (probes, allocs, fallbacks) = scratch.take_counters();
         stats.plan_probes += probes;
         stats.probe_allocs += allocs;
+        stats.plan_fallbacks += fallbacks;
         stats.elapsed += started.elapsed();
         stats.interner_syms = stats.interner_syms.max(Interner::global().len() as u64);
         outcome
+    }
+
+    /// The block pipeline: repair a contiguous run of `dirty` tuples as
+    /// one probe block through
+    /// [`CertainFix::run_block_scratch`] — each round's `TransFix`
+    /// probes are vectorized across the block (grouped by shared probe
+    /// key, sort-grouped by key value, pattern checks hoisted to a
+    /// bitmask). `oracle_for(base + k)` supplies the user for
+    /// `dirty[k]`.
+    ///
+    /// Plain-mode only (no BDD suggestion cache, no shared cache —
+    /// those paths thread per-worker caches whose canonical query order
+    /// is part of their own determinism story). Outcomes are
+    /// bit-identical to calling
+    /// [`process_with_full`](Self::process_with_full) per tuple, at
+    /// every block size.
+    pub fn process_block_full<O, F>(
+        &self,
+        stats: &mut MonitorStats,
+        scratch: &mut ProbeScratch,
+        dirty: &[Tuple],
+        base: usize,
+        oracle_for: &F,
+    ) -> Vec<FixOutcome>
+    where
+        O: UserOracle,
+        F: Fn(usize) -> O + ?Sized,
+    {
+        debug_assert!(!self.use_bdd, "block repairs are plain-mode only");
+        let started = Instant::now();
+        let plan = self.active_plan();
+        let engine = CertainFix::new(&self.rules, &self.master, &self.graph, self.config.clone())
+            .with_plan(plan);
+        let mut oracles: Vec<O> = (0..dirty.len()).map(|k| oracle_for(base + k)).collect();
+        let outcomes = engine.run_block_scratch(
+            dirty,
+            &self.initial,
+            &mut oracles,
+            |t, validated, sc| {
+                suggest_with(&self.rules, &self.master, t, validated, plan, sc).map(|s| s.attrs)
+            },
+            scratch,
+        );
+        for outcome in &outcomes {
+            stats.tuples += 1;
+            stats.rounds += outcome.rounds.len() as u64;
+            if outcome.certain {
+                stats.certain += 1;
+            }
+        }
+        let (probes, allocs, fallbacks) = scratch.take_counters();
+        stats.plan_probes += probes;
+        stats.probe_allocs += allocs;
+        stats.plan_fallbacks += fallbacks;
+        stats.elapsed += started.elapsed();
+        stats.interner_syms = stats.interner_syms.max(Interner::global().len() as u64);
+        outcomes
     }
 }
 
@@ -655,6 +713,12 @@ impl BatchRepairEngine {
 
         let ctx = &self.ctx;
         let shared = opts.shared_cache.then_some(&self.shared);
+        // plain-mode repairs batch each claimed chunk through the
+        // vectorized block pipeline; BDD / shared-cache repairs keep
+        // the per-tuple path (their caches' canonical query order is
+        // part of their own determinism story). Outcomes are identical
+        // either way — the block layer is bit-identical by construction.
+        let block_mode = ctx.uses_plan() && !ctx.uses_bdd() && shared.is_none();
         let oracle_for = &oracle_for;
         let queues = &queues;
         std::thread::scope(|s| {
@@ -673,19 +737,30 @@ impl BatchRepairEngine {
                          scratch: &mut ProbeScratch| {
                             let lo = c * chunk_size;
                             let hi = ((c + 1) * chunk_size).min(n);
-                            let outs: Vec<FixOutcome> = (lo..hi)
-                                .map(|i| {
-                                    let mut oracle = oracle_for(i);
-                                    ctx.process_with_full(
-                                        bdd,
-                                        stats,
-                                        shared,
-                                        scratch,
-                                        &dirty[i],
-                                        &mut oracle,
-                                    )
-                                })
-                                .collect();
+                            let outs: Vec<FixOutcome> = if block_mode && hi - lo >= 2 {
+                                // a claimed chunk becomes one probe block
+                                ctx.process_block_full(
+                                    stats,
+                                    scratch,
+                                    &dirty[lo..hi],
+                                    lo,
+                                    oracle_for,
+                                )
+                            } else {
+                                (lo..hi)
+                                    .map(|i| {
+                                        let mut oracle = oracle_for(i);
+                                        ctx.process_with_full(
+                                            bdd,
+                                            stats,
+                                            shared,
+                                            scratch,
+                                            &dirty[i],
+                                            &mut oracle,
+                                        )
+                                    })
+                                    .collect()
+                            };
                             (c, outs)
                         };
                     while let Some(c) = queues[w].claim() {
@@ -827,7 +902,7 @@ mod tests {
     use crate::metrics::{evaluate_rounds, merge_round_series, RoundMetrics, TupleEval};
     use crate::monitor::DataMonitor;
     use crate::oracle::SimulatedUser;
-    use certainfix_datagen::{Dataset, DirtyConfig, Hosp, Workload};
+    use certainfix_datagen::{Dataset, DirtyConfig, Hosp, WideKey, Workload};
 
     fn hosp_batch_skewed(dm: usize, inputs: usize, skew: f64) -> (Hosp, Dataset, Vec<Tuple>) {
         let hosp = Hosp::generate(dm);
@@ -837,6 +912,7 @@ mod tests {
             input_size: inputs,
             seed: 0xD15EA5E,
             skew,
+            ..DirtyConfig::default()
         };
         let ds = Dataset::generate(&hosp, &cfg);
         let dirty: Vec<Tuple> = ds.inputs.iter().map(|dt| dt.dirty.clone()).collect();
@@ -1108,11 +1184,13 @@ mod tests {
                 planned.stats.plan_probes > 0,
                 "the compiled layer served the probes"
             );
-            // each worker warms one scratch buffer; after that the
-            // steady-state lookup path allocates nothing
+            // each worker warms one scratch buffer (probe key plus the
+            // block-probe buffers); after that the steady-state lookup
+            // path allocates nothing, so allocations stay bounded by a
+            // small per-worker constant regardless of batch size
             assert!(
-                planned.stats.probe_allocs <= threads as u64,
-                "probe allocations bounded by worker count: {} > {threads}",
+                planned.stats.probe_allocs <= (threads * 16) as u64,
+                "probe allocations bounded by worker count: {} > 16*{threads}",
                 planned.stats.probe_allocs
             );
         }
@@ -1121,6 +1199,54 @@ mod tests {
         let p1 = on.repair_opts(&dirty, &plain_opts(1, Schedule::Steal), oracle_for);
         let p4 = on.repair_opts(&dirty, &plain_opts(4, Schedule::Steal), oracle_for);
         assert_eq!(p1.stats.plan_probes, p4.stats.plan_probes);
+    }
+
+    /// The wide-key fallback counter flows through the engine: the
+    /// WIDEKEY workload keys seven attributes — past the plan's
+    /// preallocated sub-slot cap — so partially-validated probes go
+    /// through the shared master cache and tick `plan_fallbacks`. The
+    /// count is a deterministic property of the repair (it rides the
+    /// per-tuple suggest sequence, which block probing preserves), so
+    /// it must merge to the same total at every worker count.
+    #[test]
+    fn wide_key_fallbacks_are_counted_and_deterministic() {
+        let wk = WideKey::generate(200);
+        let cfg = DirtyConfig {
+            duplicate_rate: 0.6,
+            noise_rate: 0.25,
+            input_size: 400,
+            seed: 0xC0FFEE,
+            skew: 0.0,
+            hot: 0,
+        };
+        let ds = Dataset::generate(&wk, &cfg);
+        let dirty: Vec<Tuple> = ds.inputs.iter().map(|dt| dt.dirty.clone()).collect();
+        let engine = BatchRepairEngine::new(RepairContext::with_plan_mode(
+            wk.rules().clone(),
+            wk.master().clone(),
+            false,
+            InitialRegion::Best,
+            crate::certainfix::CertainFixConfig::default(),
+            true,
+        ));
+        let oracle_for = |i: usize| SimulatedUser::new(ds.inputs[i].clean.clone());
+        let base = engine.repair_opts(&dirty, &plain_opts(1, Schedule::Steal), oracle_for);
+        assert!(
+            base.stats.plan_fallbacks > 0,
+            "7-attribute keys exercised the wide-key fallback"
+        );
+        for threads in [2usize, 4] {
+            let par = engine.repair_opts(&dirty, &plain_opts(threads, Schedule::Steal), oracle_for);
+            assert_outcomes_identical(&base, &par, &format!("widekey, {threads} workers"));
+            assert_eq!(
+                base.stats.plan_fallbacks, par.stats.plan_fallbacks,
+                "fallback count independent of worker count"
+            );
+            // per-worker counters reach the batch total through
+            // MonitorStats::merge, not through a side channel
+            let merged: u64 = par.workers.iter().map(|w| w.stats.plan_fallbacks).sum();
+            assert_eq!(merged, par.stats.plan_fallbacks);
+        }
     }
 
     #[test]

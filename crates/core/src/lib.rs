@@ -48,4 +48,4 @@ pub use session::{
     TupleSource,
 };
 pub use sharedcache::{SharedCacheStats, SharedSuggestionCache};
-pub use transfix::{transfix, transfix_with, TransFixOutcome};
+pub use transfix::{transfix, transfix_block, transfix_with, TransFixOutcome};

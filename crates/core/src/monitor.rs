@@ -26,9 +26,9 @@ pub enum InitialRegion {
 
 /// Aggregate processing statistics.
 ///
-/// `tuples` / `certain` / `rounds` / `plan_probes` are deterministic
-/// counts: merging per-worker instances reproduces the sequential
-/// run's values exactly. `elapsed`, `interner_syms`, `probe_allocs`
+/// `tuples` / `certain` / `rounds` / `plan_probes` /
+/// `plan_fallbacks` are deterministic counts: merging per-worker
+/// instances reproduces the sequential run's values exactly. `elapsed`, `interner_syms`, `probe_allocs`
 /// (each worker warms its own scratch buffer), and the shared-cache
 /// probe counters are wall-clock/scheduling observables and are
 /// excluded from that guarantee.
@@ -63,9 +63,16 @@ pub struct MonitorStats {
     pub plan_probes: u64,
     /// Probe-buffer (re)allocations in that layer. In steady state
     /// this stays at one small constant per worker (the initial buffer
-    /// warm-up) — the monitoring hook for the "zero per-probe heap
-    /// allocations" property.
+    /// warm-up — a few more with block probing, whose per-worker
+    /// struct-of-arrays buffers warm once too) — the monitoring hook
+    /// for the "zero per-probe heap allocations" property.
     pub probe_allocs: u64,
+    /// Wide-key sub-slot fallbacks: `t[X ∩ Z]` probes on rules whose
+    /// key list is wider than the plan's preallocated slot table
+    /// (`|X| > 6`), served by copying out of the shared master cache
+    /// instead of a pinned index. Deterministic, like `plan_probes`:
+    /// merging workers reproduces the sequential count.
+    pub plan_fallbacks: u64,
 }
 
 impl MonitorStats {
@@ -86,6 +93,7 @@ impl MonitorStats {
         self.shared_misses += other.shared_misses;
         self.plan_probes += other.plan_probes;
         self.probe_allocs += other.probe_allocs;
+        self.plan_fallbacks += other.plan_fallbacks;
     }
     /// Mean rounds per tuple.
     pub fn avg_rounds(&self) -> f64 {
@@ -518,6 +526,7 @@ mod tests {
             shared_misses: 2,
             plan_probes: 40,
             probe_allocs: 1,
+            plan_fallbacks: 3,
         };
         let b = MonitorStats {
             tuples: 7,
@@ -529,6 +538,7 @@ mod tests {
             shared_misses: 4,
             plan_probes: 2,
             probe_allocs: 1,
+            plan_fallbacks: 1,
         };
         let mut merged = a;
         merged.merge(&b);
@@ -541,6 +551,7 @@ mod tests {
         assert_eq!(merged.shared_misses, 6);
         assert_eq!(merged.plan_probes, 42, "plan probes sum");
         assert_eq!(merged.probe_allocs, 2, "scratch warm-ups sum");
+        assert_eq!(merged.plan_fallbacks, 4, "wide-key fallbacks sum");
     }
 
     /// The ROADMAP monitoring-hook satellite: the `interner_syms`

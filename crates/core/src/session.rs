@@ -602,6 +602,7 @@ mod tests {
             input_size: inputs,
             seed: 0x5EED_F00D,
             skew,
+            ..DirtyConfig::default()
         };
         let ds = Dataset::generate(&hosp, &cfg);
         (hosp, ds)

@@ -14,8 +14,28 @@
 //! reported, keeping the correctness guarantee ("the attributes updated
 //! are correct") intact.
 
-use certainfix_relation::{AttrSet, MasterIndex, Tuple, Value};
+use certainfix_relation::{AttrId, AttrSet, MasterIndex, Tuple, Value};
 use certainfix_rules::{DependencyGraph, ProbeScratch, RulePlan, RuleSet};
+
+/// One prescription scan over a candidate id list, shared by the
+/// plan-backed (borrowed ids), block-prefetched, and legacy (owned
+/// ids) probes: skip null master values, take the first non-null one,
+/// flag a conflict if later candidates disagree.
+fn prescribe(master: &MasterIndex, rhs_m: AttrId, ids: &[u32]) -> (Option<(Value, u32)>, bool) {
+    let mut prescription: Option<(Value, u32)> = None;
+    for &id in ids {
+        let val = master.tuple(id).get(rhs_m);
+        if val.is_null() {
+            continue;
+        }
+        match &prescription {
+            None => prescription = Some((*val, id)),
+            Some((seen, _)) if seen != val => return (prescription, true),
+            _ => {}
+        }
+    }
+    (prescription, false)
+}
 
 /// Result of a `TransFix` run.
 #[derive(Clone, Debug)]
@@ -89,28 +109,6 @@ pub fn transfix_with(
         }
     }
 
-    // One prescription scan over a candidate id list, shared by the
-    // plan-backed (borrowed ids) and legacy (owned ids) probes.
-    fn prescribe(
-        master: &MasterIndex,
-        rhs_m: certainfix_relation::AttrId,
-        ids: &[u32],
-    ) -> (Option<(Value, u32)>, bool) {
-        let mut prescription: Option<(Value, u32)> = None;
-        for &id in ids {
-            let val = master.tuple(id).get(rhs_m);
-            if val.is_null() {
-                continue;
-            }
-            match &prescription {
-                None => prescription = Some((*val, id)),
-                Some((seen, _)) if seen != val => return (prescription, true),
-                _ => {}
-            }
-        }
-        (prescription, false)
-    }
-
     while let Some(v) = vset.pop() {
         let rule = rules.rule(v);
         let b = rule.rhs();
@@ -135,6 +133,144 @@ pub fn transfix_with(
                 fixed.insert(b);
                 steps.push((v, id));
                 // inspect successors: upgrade or register
+                for &u in graph.successors(v) {
+                    if enqueued[u] {
+                        if in_uset[u] && rules.rule(u).premise().is_subset(&z) {
+                            in_uset[u] = false;
+                            vset.push(u);
+                        }
+                        continue;
+                    }
+                    enqueued[u] = true;
+                    if rules.rule(u).premise().is_subset(&z) {
+                        vset.push(u);
+                    } else {
+                        in_uset[u] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    TransFixOutcome {
+        tuple,
+        validated: z,
+        fixed,
+        steps,
+        disputed,
+    }
+}
+
+/// Run `TransFix` over a block of independent `(tuple, validated)`
+/// items, vectorizing the probes through the plan's block layer: one
+/// [`RulePlan::probe_block_seeds`] call bulk-prefetches every seed
+/// rule's key probe (grouped by shared probe key, sort-grouped by key
+/// value, resolved through the factorised trie) and hoists every
+/// pattern pre-check into a per-block bitmask, then each tuple's walk
+/// consumes its prefetched cells.
+///
+/// **Bit-identity:** the outcome of every item equals what
+/// [`transfix_with`] returns for it alone, at every block size. A
+/// prefetched cell is only consumed while the attributes it was
+/// computed from are untouched by this walk's fixes (the `fixed` set
+/// is disjoint from the rule's key / pattern attributes); the moment a
+/// fix invalidates them, the walk re-checks live exactly like the
+/// single-tuple path. Consuming a cell counts one logical probe, so
+/// `plan_probes` is block-size independent too.
+///
+/// Falls back to per-item [`transfix_with`] when no plan is given or
+/// the block is trivial (`len < 2`).
+pub fn transfix_block(
+    rules: &RuleSet,
+    master: &MasterIndex,
+    graph: &DependencyGraph,
+    plan: Option<&RulePlan>,
+    scratch: &mut ProbeScratch,
+    items: &[(&Tuple, AttrSet)],
+) -> Vec<TransFixOutcome> {
+    let run_single = |scratch: &mut ProbeScratch| {
+        items
+            .iter()
+            .map(|&(t, z)| transfix_with(rules, master, graph, plan, scratch, t, z))
+            .collect()
+    };
+    let Some(p) = plan else {
+        return run_single(scratch);
+    };
+    if items.len() < 2 {
+        return run_single(scratch);
+    }
+    let block: Vec<&Tuple> = items.iter().map(|&(t, _)| t).collect();
+    let zs: Vec<AttrSet> = items.iter().map(|&(_, z)| z).collect();
+    p.probe_block_seeds(&block, &zs, scratch);
+    items
+        .iter()
+        .enumerate()
+        .map(|(j, &(t, z))| transfix_one_prefetched(rules, master, graph, p, scratch, t, z, j))
+        .collect()
+}
+
+/// One walk of [`transfix_block`]: identical to [`transfix_with`]'s
+/// plan path except that the pattern check reads the hoisted bitmask
+/// and the key probe consumes the prefetched block cell — both only
+/// while the attributes they were computed from are `fixed`-disjoint.
+#[allow(clippy::too_many_arguments)]
+fn transfix_one_prefetched(
+    rules: &RuleSet,
+    master: &MasterIndex,
+    graph: &DependencyGraph,
+    p: &RulePlan,
+    scratch: &mut ProbeScratch,
+    t: &Tuple,
+    validated: AttrSet,
+    j: usize,
+) -> TransFixOutcome {
+    let mut tuple = t.clone();
+    let mut z = validated;
+    let mut fixed = AttrSet::EMPTY;
+    let mut steps = Vec::new();
+    let mut disputed = Vec::new();
+
+    let n = rules.len();
+    let mut enqueued = vec![false; n];
+    let mut in_uset = vec![false; n];
+    let mut vset: Vec<usize> = Vec::new();
+    for (i, rule) in rules.iter() {
+        if rule.premise().is_subset(&z) {
+            vset.push(i);
+            enqueued[i] = true;
+        }
+    }
+
+    while let Some(v) = vset.pop() {
+        let rule = rules.rule(v);
+        let b = rule.rhs();
+        if z.contains(b) {
+            continue;
+        }
+        let untouched = |attrs: &[AttrId]| attrs.iter().all(|&a| !fixed.contains(a));
+        let pattern_ok = if untouched(rule.pattern().attrs()) {
+            p.block_pattern_ok(v, j, scratch)
+        } else {
+            rule.pattern().matches(&tuple)
+        };
+        if pattern_ok {
+            let (prescription, conflict) =
+                if untouched(rule.lhs()) && p.block_prefetched(v, j, scratch) {
+                    let ids = p.block_probe(v, j, scratch).expect("checked prefetched");
+                    prescribe(master, rule.rhs_m(), ids)
+                } else {
+                    // cascaded rule, unseeded cell, or a fix touched the
+                    // key: probe live, exactly like the single-tuple path
+                    prescribe(master, rule.rhs_m(), p.probe(v, &tuple, scratch))
+                };
+            if conflict {
+                disputed.push(v);
+            } else if let Some((val, id)) = prescription {
+                tuple.set(b, val);
+                z.insert(b);
+                fixed.insert(b);
+                steps.push((v, id));
                 for &u in graph.successors(v) {
                     if enqueued[u] {
                         if in_uset[u] && rules.rule(u).premise().is_subset(&z) {
@@ -484,6 +620,78 @@ mod tests {
         );
         assert_eq!(a.disputed, b.disputed);
         assert_eq!(a.tuple, b.tuple);
+    }
+
+    /// Block-probed `TransFix` is bit-identical to the single-tuple
+    /// walk at every block size — same tuples, validated sets, step
+    /// order, disputes, and the same logical probe count.
+    #[test]
+    fn block_transfix_matches_single_tuple_at_every_block_size() {
+        use certainfix_rules::{ProbeScratch, RulePlan};
+        let (r, rules, master, graph) = fig1();
+        let plan = RulePlan::compile(&rules, &master);
+        let t1 = tuple![
+            "Bob",
+            "Brady",
+            "020",
+            "079172485",
+            2,
+            "501 Elm St.",
+            "Edi",
+            "EH7 4AH",
+            "CD"
+        ];
+        let t3 = tuple![
+            "Mark",
+            "Smith",
+            "020",
+            "6884563",
+            1,
+            "20 Baker St.",
+            "Lnd",
+            "EH7 4AH",
+            "DVD"
+        ];
+        let mut tnull = t1.clone();
+        tnull.set(r.attr("zip").unwrap(), Value::Null);
+        let tuples = [&t1, &t3, &tnull, &t1, &t3, &t1, &tnull];
+        let zsets = [
+            attrs(&r, &["zip"]),
+            attrs(&r, &["AC", "phn", "type"]),
+            attrs(&r, &["zip"]),
+            attrs(&r, &["zip", "phn", "type"]),
+            AttrSet::EMPTY,
+            attrs(&r, &["item"]),
+            attrs(&r, &["phn", "type"]),
+        ];
+        let items: Vec<(&Tuple, AttrSet)> =
+            tuples.iter().zip(zsets).map(|(&t, z)| (t, z)).collect();
+
+        let mut single = ProbeScratch::new();
+        let want: Vec<TransFixOutcome> = items
+            .iter()
+            .map(|&(t, z)| transfix_with(&rules, &master, &graph, Some(&plan), &mut single, t, z))
+            .collect();
+        let (want_probes, _, _) = single.take_counters();
+
+        for size in [1, 2, 3, items.len()] {
+            let mut scratch = ProbeScratch::new();
+            let got: Vec<TransFixOutcome> = items
+                .chunks(size)
+                .flat_map(|chunk| {
+                    transfix_block(&rules, &master, &graph, Some(&plan), &mut scratch, chunk)
+                })
+                .collect();
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!(a.tuple, b.tuple, "block size {size}");
+                assert_eq!(a.validated, b.validated);
+                assert_eq!(a.fixed, b.fixed);
+                assert_eq!(a.steps, b.steps);
+                assert_eq!(a.disputed, b.disputed);
+            }
+            let (probes, _, _) = scratch.take_counters();
+            assert_eq!(probes, want_probes, "logical probes at block size {size}");
+        }
     }
 
     #[test]

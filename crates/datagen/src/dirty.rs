@@ -63,6 +63,14 @@ pub struct DirtyConfig {
     /// for a contiguous-shard scheduler, whose first shard swallows
     /// the whole hard region.
     pub skew: f64,
+    /// Hot-window size for duplicate draws. `0` (the default) draws
+    /// duplicated entities uniformly over the whole master — the
+    /// paper's setting. With `hot = k > 0`, duplicates come from the
+    /// first `k` master rows only: the bursty data-entry regime where
+    /// one operator re-enters the same few entities in a window, so a
+    /// contiguous chunk of the stream carries heavily repeated probe
+    /// keys (the regime the block-probe layer amortizes).
+    pub hot: usize,
 }
 
 impl Default for DirtyConfig {
@@ -73,6 +81,7 @@ impl Default for DirtyConfig {
             input_size: 1000,
             seed: 0xC0FFEE,
             skew: 0.0,
+            hot: 0,
         }
     }
 }
@@ -148,7 +157,12 @@ impl Dataset {
         for i in 0..cfg.input_size {
             let (duplicate_rate, noise_rate) = cfg.rates_at(i);
             let (clean, from_master) = if !master.is_empty() && rng.random_bool(duplicate_rate) {
-                let row = rng.random_range(0..master.len() as u32);
+                let pool = if cfg.hot > 0 {
+                    cfg.hot.min(master.len())
+                } else {
+                    master.len()
+                };
+                let row = rng.random_range(0..pool as u32);
                 (master.tuple(row as usize).clone(), Some(row))
             } else {
                 (workload.fresh_clean(&mut rng), None)
@@ -471,6 +485,36 @@ mod tests {
             assert_eq!(x.dirty, y.dirty);
             assert_eq!(x.from_master, y.from_master);
         }
+    }
+
+    #[test]
+    fn hot_window_confines_duplicates_and_zero_is_uniform() {
+        let hosp = Hosp::generate(500);
+        let cfg = DirtyConfig {
+            duplicate_rate: 0.9,
+            input_size: 300,
+            ..Default::default()
+        };
+        // hot = 0 is bit-identical to the historical uniform draw
+        let a = Dataset::generate(&hosp, &cfg);
+        let b = Dataset::generate(&hosp, &DirtyConfig { hot: 0, ..cfg });
+        for (x, y) in a.inputs.iter().zip(&b.inputs) {
+            assert_eq!(x.dirty, y.dirty);
+            assert_eq!(x.from_master, y.from_master);
+        }
+        // a hot window draws every duplicate from the first k rows,
+        // so a short stream chunk carries heavily repeated entities
+        let hot = Dataset::generate(&hosp, &DirtyConfig { hot: 16, ..cfg });
+        let rows: Vec<u32> = hot.inputs.iter().filter_map(|t| t.from_master).collect();
+        assert!(rows.len() > 200, "duplicate rate still applies");
+        assert!(rows.iter().all(|&r| r < 16), "confined to the window");
+        // a window wider than the master degrades to uniform
+        let wide = Dataset::generate(&hosp, &DirtyConfig { hot: 10_000, ..cfg });
+        assert!(wide
+            .inputs
+            .iter()
+            .filter_map(|t| t.from_master)
+            .any(|r| r >= 16));
     }
 
     #[test]

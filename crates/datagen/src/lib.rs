@@ -22,7 +22,9 @@ pub mod dblp;
 pub mod dirty;
 pub mod hosp;
 pub mod typo;
+pub mod widekey;
 
 pub use dblp::Dblp;
 pub use dirty::{Batches, Dataset, DirtyConfig, DirtyTuple, Workload};
 pub use hosp::Hosp;
+pub use widekey::WideKey;

@@ -15,6 +15,17 @@
 //! The fallback is always available: `S` can include attributes no rule
 //! fixes, which the user then validates directly (that is how `item`
 //! enters the certain region of Example 9).
+//!
+//! Probes here ride the same compiled [`RulePlan`] as the repair hot
+//! path (`validated_candidates` resolves each rule's validated-key
+//! split through the plan's sub-key slots). Suggestion derivation is
+//! per-tuple by nature — it runs after a specific `t[Z]` is validated
+//! — so it consumes the plan's single-tuple entry points; the
+//! *vectorized block layer* (`RulePlan::plan_probe_block`, see the
+//! `certainfix_rules::plan` module docs) amortizes the upstream
+//! `TransFix` seed probes that funnel tuples into this module, and
+//! both layers return bit-identical hit lists by the block-size
+//! independence contract.
 
 use certainfix_relation::{AttrId, AttrSet, MasterIndex, PatternValue, Tuple};
 use certainfix_rules::{EditingRule, ProbeScratch, RulePlan, RuleSet};

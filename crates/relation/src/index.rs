@@ -40,24 +40,51 @@ use crate::value::Value;
 #[derive(Debug)]
 pub struct KeyIndex {
     key: Vec<AttrId>,
-    map: FxHashMap<Box<[Value]>, Vec<u32>>,
+    /// Hit lists are refcounted slices so consumers that must hold a
+    /// list beyond the borrow (the block-probe layer's shared spans)
+    /// can clone the refcount instead of copying the rows — one atomic
+    /// bump per distinct key, whatever the list's fan-out.
+    map: HitMap,
+}
+
+/// The hit-list map behind a [`KeyIndex`], specialized by key width.
+#[derive(Debug)]
+enum HitMap {
+    /// Single-attribute keys hash their injective
+    /// [`Value::grouping_rank`] directly — no per-key heap slice and
+    /// no slice hashing on the probe path.
+    Rank(FxHashMap<u128, Arc<[u32]>>),
+    /// Wider keys hash the boxed value slice.
+    Slice(FxHashMap<Box<[Value]>, Arc<[u32]>>),
 }
 
 impl KeyIndex {
     /// Build the index eagerly.
     pub fn build(rel: &Relation, key: &[AttrId]) -> KeyIndex {
-        let mut map: FxHashMap<Box<[Value]>, Vec<u32>> = FxHashMap::default();
-        'rows: for (i, t) in rel.iter().enumerate() {
-            let mut k = Vec::with_capacity(key.len());
-            for &a in key {
-                let v = *t.get(a);
-                if v.is_null() {
-                    continue 'rows;
+        let map = if key.len() == 1 {
+            let mut rows: FxHashMap<u128, Vec<u32>> = FxHashMap::default();
+            for (i, t) in rel.iter().enumerate() {
+                let v = *t.get(key[0]);
+                if !v.is_null() {
+                    rows.entry(v.grouping_rank()).or_default().push(i as u32);
                 }
-                k.push(v);
             }
-            map.entry(k.into_boxed_slice()).or_default().push(i as u32);
-        }
+            HitMap::Rank(rows.into_iter().map(|(k, v)| (k, v.into())).collect())
+        } else {
+            let mut rows: FxHashMap<Box<[Value]>, Vec<u32>> = FxHashMap::default();
+            'rows: for (i, t) in rel.iter().enumerate() {
+                let mut k = Vec::with_capacity(key.len());
+                for &a in key {
+                    let v = *t.get(a);
+                    if v.is_null() {
+                        continue 'rows;
+                    }
+                    k.push(v);
+                }
+                rows.entry(k.into_boxed_slice()).or_default().push(i as u32);
+            }
+            HitMap::Slice(rows.into_iter().map(|(k, v)| (k, v.into())).collect())
+        };
         KeyIndex {
             key: key.to_vec(),
             map,
@@ -73,10 +100,32 @@ impl KeyIndex {
     /// null or has no match).
     pub fn lookup(&self, probe: &[Value]) -> &[u32] {
         debug_assert_eq!(probe.len(), self.key.len());
-        if probe.iter().any(Value::is_null) {
-            return &[];
+        self.lookup_shared(probe).map_or(&[], |v| &v[..])
+    }
+
+    /// The refcounted hit list for `probe`, or `None` on a miss or a
+    /// null probe value. Same rows as [`lookup`](Self::lookup); use
+    /// this when the list must outlive the index borrow — cloning the
+    /// `Arc` shares the rows without copying them.
+    pub fn lookup_shared(&self, probe: &[Value]) -> Option<&Arc<[u32]>> {
+        debug_assert_eq!(probe.len(), self.key.len());
+        match &self.map {
+            HitMap::Rank(m) => {
+                let v = probe[0];
+                if v.is_null() {
+                    None
+                } else {
+                    m.get(&v.grouping_rank())
+                }
+            }
+            HitMap::Slice(m) => {
+                if probe.iter().any(Value::is_null) {
+                    None
+                } else {
+                    m.get(probe)
+                }
+            }
         }
-        self.map.get(probe).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// The `t[from] = tm[key]` probe of rule application, with a
@@ -91,9 +140,185 @@ impl KeyIndex {
         self.lookup(probe)
     }
 
+    /// Rank-keyed variant of [`lookup_shared`](Self::lookup_shared)
+    /// for single-attribute indexes, when the caller has already
+    /// computed [`Value::grouping_rank`] (rank 0 is `Null`, which
+    /// matches nothing). Panics on a wider index.
+    pub fn lookup_rank_shared(&self, rank: u128) -> Option<&Arc<[u32]>> {
+        match &self.map {
+            HitMap::Rank(m) => {
+                if rank == 0 {
+                    None
+                } else {
+                    m.get(&rank)
+                }
+            }
+            HitMap::Slice(_) => panic!("rank probes require a single-attribute index"),
+        }
+    }
+
     /// Number of distinct keys.
     pub fn distinct_keys(&self) -> usize {
-        self.map.len()
+        match &self.map {
+            HitMap::Rank(m) => m.len(),
+            HitMap::Slice(m) => m.len(),
+        }
+    }
+
+    /// Length of the longest hit list (0 for an empty index) — the
+    /// worst-case fan-out of one probe. Consumers that materialize hit
+    /// lists (the block-probe arena) use this to decide whether
+    /// prefetching pays or the list should stay on the borrow path.
+    pub fn max_hit_len(&self) -> usize {
+        match &self.map {
+            HitMap::Rank(m) => m.values().map(|v| v.len()).max().unwrap_or(0),
+            HitMap::Slice(m) => m.values().map(|v| v.len()).max().unwrap_or(0),
+        }
+    }
+}
+
+/// A *factorised* index: a trie over key-prefix values.
+///
+/// Where a [`KeyIndex`] stores one flat hit list per full key, a
+/// `KeyTrie` factorises the hit lists of the whole key-prefix family:
+/// the node reached by descending values `v1 … vd` holds exactly the
+/// row ids a `KeyIndex` over the first `d` key columns would return for
+/// the probe `(v1 … vd)` — same ascending row order, same null
+/// semantics (a row is inserted along its prefix path only while its
+/// key values stay non-null, so a null at column `d` keeps the row out
+/// of every node deeper than `d`).
+///
+/// Two probe disciplines benefit:
+///
+/// * **shared-prefix descent** ([`KeyTrie::cursor`]): a block of probes
+///   sorted by key re-descends only the suffix that differs from the
+///   previous probe, so wide keys with overlapping prefixes share the
+///   partial lookups (the FDB-style factorised representation);
+/// * **prefix lookups** ([`KeyTrie::lookup_prefix`]): the hits of any
+///   key *prefix* come from one descent — no per-prefix sub-index
+///   build.
+///
+/// Row ids are materialized per node, so memory is
+/// `O(|key| · |rows|)` ids in the worst case — fine for the key widths
+/// editing rules use (the compiled plans build one trie per distinct
+/// rule key list).
+#[derive(Debug)]
+pub struct KeyTrie {
+    key: Vec<AttrId>,
+    root: TrieNode,
+}
+
+#[derive(Debug, Default)]
+struct TrieNode {
+    rows: Vec<u32>,
+    children: FxHashMap<Value, TrieNode>,
+}
+
+impl KeyTrie {
+    /// Build the trie eagerly: each row is inserted along its key
+    /// prefix path until the first null (or the full key depth).
+    pub fn build(rel: &Relation, key: &[AttrId]) -> KeyTrie {
+        let mut root = TrieNode::default();
+        for (i, t) in rel.iter().enumerate() {
+            let mut node = &mut root;
+            for &a in key {
+                let v = *t.get(a);
+                if v.is_null() {
+                    break;
+                }
+                node = node.children.entry(v).or_default();
+                node.rows.push(i as u32);
+            }
+        }
+        KeyTrie {
+            key: key.to_vec(),
+            root,
+        }
+    }
+
+    /// The indexed attribute list (maximum descent depth).
+    pub fn key(&self) -> &[AttrId] {
+        &self.key
+    }
+
+    /// Row ids matching `probe` on the first `probe.len()` key columns,
+    /// ascending. Empty when the probe is empty, contains a null, or
+    /// matches nothing — exactly the result a [`KeyIndex`] over those
+    /// columns would return.
+    pub fn lookup_prefix(&self, probe: &[Value]) -> &[u32] {
+        debug_assert!(probe.len() <= self.key.len());
+        let mut node = &self.root;
+        if probe.is_empty() {
+            return &[];
+        }
+        for v in probe {
+            if v.is_null() {
+                return &[];
+            }
+            match node.children.get(v) {
+                Some(child) => node = child,
+                None => return &[],
+            }
+        }
+        &node.rows
+    }
+
+    /// An incremental-descent cursor positioned at the root.
+    pub fn cursor(&self) -> TrieCursor<'_> {
+        TrieCursor {
+            trie: self,
+            path: Vec::with_capacity(self.key.len()),
+        }
+    }
+}
+
+/// An incremental descent through a [`KeyTrie`], for probe sequences
+/// sorted by key: [`truncate`](TrieCursor::truncate) back to the length
+/// of the common prefix with the previous probe, then
+/// [`descend`](TrieCursor::descend) only the differing suffix. Dead
+/// paths (a missing child or a null probe value) are tracked, so a
+/// descent below a miss stays a miss until truncated back above it.
+#[derive(Debug)]
+pub struct TrieCursor<'t> {
+    trie: &'t KeyTrie,
+    /// `path[d]` is the node after consuming `d + 1` probe values;
+    /// `None` marks a dead path.
+    path: Vec<Option<&'t TrieNode>>,
+}
+
+impl<'t> TrieCursor<'t> {
+    /// Number of probe values consumed so far.
+    pub fn depth(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Rewind to `depth` consumed values (no-op if already shallower).
+    pub fn truncate(&mut self, depth: usize) {
+        self.path.truncate(depth);
+    }
+
+    /// Consume one more probe value; returns `false` if the path is
+    /// (or just went) dead.
+    pub fn descend(&mut self, v: Value) -> bool {
+        let parent = match self.path.last() {
+            None => Some(&self.trie.root),
+            Some(p) => *p,
+        };
+        let child = match parent {
+            Some(node) if !v.is_null() => node.children.get(&v),
+            _ => None,
+        };
+        self.path.push(child);
+        child.is_some()
+    }
+
+    /// Row ids at the current position — the hits of the consumed
+    /// prefix. Empty at the root or on a dead path.
+    pub fn hits(&self) -> &'t [u32] {
+        match self.path.last() {
+            Some(Some(node)) => &node.rows,
+            _ => &[],
+        }
     }
 }
 
@@ -329,6 +554,64 @@ mod tests {
             m.matches_projection_into(&t, &[AttrId(0)], &[AttrId(1)], &mut probe, &mut out);
             assert_eq!(out, m.matches_projection(&t, &[AttrId(0)], &[AttrId(1)]));
         }
+    }
+
+    /// Every trie node agrees with the flat [`KeyIndex`] over the same
+    /// prefix columns: identical ids, identical (ascending) order, and
+    /// identical null semantics at every depth.
+    #[test]
+    fn trie_prefixes_match_per_depth_key_indexes() {
+        let rel = master();
+        let key = [AttrId(0), AttrId(1), AttrId(2)];
+        let trie = KeyTrie::build(&rel, &key);
+        assert_eq!(trie.key(), &key);
+        for d in 1..=key.len() {
+            let idx = KeyIndex::build(&rel, &key[..d]);
+            for t in rel.iter() {
+                let probe: Vec<Value> = key[..d].iter().map(|&a| *t.get(a)).collect();
+                assert_eq!(trie.lookup_prefix(&probe), idx.lookup(&probe), "depth {d}");
+            }
+            // misses agree too
+            let miss: Vec<Value> = (0..d).map(|_| Value::str("nope")).collect();
+            assert_eq!(trie.lookup_prefix(&miss), idx.lookup(&miss));
+        }
+        // the null-zip row is reachable at no depth (zip is column 0)
+        assert_eq!(
+            trie.lookup_prefix(&[Value::Null]),
+            &[] as &[u32],
+            "null probes find nothing"
+        );
+        assert_eq!(trie.lookup_prefix(&[]), &[] as &[u32]);
+    }
+
+    /// The cursor's shared-prefix descent visits the same nodes as
+    /// fresh full descents.
+    #[test]
+    fn trie_cursor_reuses_shared_prefixes() {
+        let rel = master();
+        let key = [AttrId(1), AttrId(2)];
+        let trie = KeyTrie::build(&rel, &key);
+        let mut cur = trie.cursor();
+        // "131" → {0, 2} at depth 1; "131","Edi" → {0, 2} at depth 2
+        assert!(cur.descend(Value::str("131")));
+        assert_eq!(cur.hits(), &[0, 2]);
+        assert!(cur.descend(Value::str("Edi")));
+        assert_eq!(cur.hits(), &[0, 2]);
+        assert_eq!(cur.depth(), 2);
+        // rewind one level, take a dead branch, and stay dead below it
+        cur.truncate(1);
+        assert!(!cur.descend(Value::str("Lnd")));
+        assert_eq!(cur.hits(), &[] as &[u32]);
+        assert_eq!(cur.depth(), 2);
+        // truncating above the miss revives the path
+        cur.truncate(0);
+        assert!(cur.descend(Value::str("020")));
+        assert!(cur.descend(Value::str("Ldn")));
+        assert_eq!(cur.hits(), &[1]);
+        // null values kill the path like a missing child
+        cur.truncate(1);
+        assert!(!cur.descend(Value::Null));
+        assert_eq!(cur.hits(), &[] as &[u32]);
     }
 
     /// The single-flight satellite: many threads racing on the same

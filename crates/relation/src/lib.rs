@@ -42,7 +42,7 @@ pub use attrset::AttrSet;
 pub use csv::{from_csv, to_csv};
 pub use error::RelationError;
 pub use hashers::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use index::{KeyIndex, MasterIndex};
+pub use index::{KeyIndex, KeyTrie, MasterIndex, TrieCursor};
 pub use multimaster::{combine_masters, select_master, MASTER_ID_ATTR};
 pub use pattern::{PatternTuple, PatternValue, Tableau};
 pub use relation::Relation;
@@ -67,6 +67,7 @@ fn _send_sync_audit() {
     check::<AttrSet>();
     check::<Relation>();
     check::<KeyIndex>();
+    check::<KeyTrie>();
     check::<MasterIndex>();
     check::<Interner>();
     check::<PatternTuple>();

@@ -54,6 +54,21 @@ impl Value {
         matches!(self, Value::Null)
     }
 
+    /// A cheap injective grouping key: equal values — and only equal
+    /// values — share a rank (the interner keeps symbols in bijection
+    /// with string contents). `Null` is 0; ints and symbols carry a
+    /// tag in bits 64–65 above their payload. Hot paths group, hash,
+    /// and compare values by rank without touching string text; the
+    /// rank order is NOT the semantic [`Ord`] order.
+    #[inline]
+    pub fn grouping_rank(&self) -> u128 {
+        match *self {
+            Value::Null => 0,
+            Value::Int(i) => (1u128 << 64) | u128::from(i as u64),
+            Value::Str(s) => (2u128 << 64) | u128::from(s.id()),
+        }
+    }
+
     /// View the value as a string slice when it is a `Str`.
     ///
     /// Interned strings live for the life of the process, hence the

@@ -24,37 +24,152 @@
 //! Per-probe state lives in a caller-owned [`ProbeScratch`]; once its
 //! buffer has warmed, a probe performs **zero heap allocations** and
 //! returns the hit list by borrow from the pinned index. The scratch
-//! also counts probes and buffer (re)allocations, surfaced by the core
-//! crate as `MonitorStats::{plan_probes, probe_allocs}`.
+//! also counts probes, buffer (re)allocations, and wide-key fallbacks,
+//! surfaced by the core crate as
+//! `MonitorStats::{plan_probes, probe_allocs, plan_fallbacks}`.
+//!
+//! # Block probing
+//!
+//! On top of the single-tuple probes sits a *vectorized* layer that
+//! probes one rule against a **block** of tuples at a time
+//! ([`RulePlan::plan_probe_block`], bulk-prefetched by
+//! [`RulePlan::probe_block_seeds`]). At compile time, rules with an
+//! identical `(X, Xm)` key are merged into one *probe group*
+//! ([`RulePlan::probe_groups`]) — a rule like ϕ1 of the paper, whose
+//! three set-clauses compile to three rules keyed on the same `zip`,
+//! pays for one key probe per tuple instead of three. Per block and
+//! group, identical keys are hashed **once** and share one hit list,
+//! by one of two disciplines picked at compile time by key width:
+//!
+//! * **flat groups** (one- or two-attribute keys, the common case)
+//!   deduplicate in a single pass through a generation-stamped
+//!   open-addressing table keyed on the injective
+//!   [`Value::grouping_rank`] — the first cell with a given key probes
+//!   the pinned flat index, every later cell pays one mix, one slot
+//!   load, and a rank compare. Below depth 3 a trie descent costs as
+//!   many node hops as the key has attributes while one flat-map hash
+//!   resolves the whole key, so no trie is built;
+//! * **wide groups** (three attributes and up) gather their keys into
+//!   struct-of-arrays scratch columns ([`Value`]s are 16-byte `Copy`
+//!   words, so the gather is memcpy-shaped), **sort-group** them so
+//!   identical keys are adjacent, and resolve by descending the
+//!   group's factorised [`KeyTrie`] — consecutive sorted keys
+//!   re-descend only the suffix that differs, so overlapping prefixes
+//!   reuse partial lookups.
+//!
+//! Pattern pre-checks are hoisted into a per-block bitmask. Short hit
+//! lists land once per distinct key in a scratch-owned arena; fat
+//! ones (over `MAX_PREFETCH_HITS` rows) are shared with the pinned
+//! index by refcount instead of copied. Per-(rule × tuple) spans
+//! point at either.
 //!
 //! # Determinism contract
 //!
 //! For any rule, tuple, and master data, the plan-backed probes return
 //! exactly the row ids, in exactly the order, of the legacy
 //! [`candidate_masters`](crate::apply::candidate_masters) path — both
-//! read the same [`KeyIndex`] maps. Engines may therefore switch
+//! read the same [`KeyIndex`] maps, and the block layer's trie is built
+//! from the same rows in the same order. Engines may therefore switch
 //! between the two per configuration (`--plan on|off` in the bench
-//! layer) without perturbing a single outcome.
+//! layer) without perturbing a single outcome, and **block-probed
+//! results are bit-identical to single-tuple probing at every block
+//! size**: a block cell holds exactly the hit list the single-tuple
+//! probe would return for that `(rule, tuple)` pair, and consuming it
+//! counts one *logical* probe, so `plan_probes` is independent of how
+//! the input was blocked.
 
 use std::sync::{Arc, OnceLock};
 
-use certainfix_relation::{AttrId, AttrSet, KeyIndex, MasterIndex, PatternTuple, Tuple, Value};
+use certainfix_relation::{
+    AttrId, AttrSet, KeyIndex, KeyTrie, MasterIndex, PatternTuple, Tuple, Value,
+};
 
 use crate::ruleset::RuleSet;
 
-/// Caller-owned reusable probe state: the projection buffer plus probe
-/// and allocation counters.
+/// Caller-owned reusable probe state: the projection buffer, the
+/// block-probe buffers, and the probe / allocation / fallback
+/// counters.
 ///
-/// One scratch per worker (or per sequential engine) suffices; the
-/// buffer warms to the widest key list it ever projects and is then
-/// reused allocation-free. The counters are cumulative until
+/// One scratch per worker (or per sequential engine) suffices; every
+/// buffer warms to the widest shape it ever serves and is then reused
+/// allocation-free. The counters are cumulative until
 /// [`take_counters`](Self::take_counters) drains them.
 #[derive(Debug, Default)]
 pub struct ProbeScratch {
     probe: Vec<Value>,
+    block: BlockBuffers,
     probes: u64,
     allocs: u64,
+    fallbacks: u64,
 }
+
+/// Struct-of-arrays block-probe state (see the
+/// [module docs](self#block-probing)): per-session results — the
+/// pattern bitmask, the hit arena, and the per-(group × tuple) spans
+/// into it — plus the per-group gather/sort scratch columns. All
+/// buffers are reused across blocks.
+#[derive(Debug, Default)]
+struct BlockBuffers {
+    /// Block length of the current session.
+    len: usize,
+    /// `u64` lanes per bitmask row (`len.div_ceil(64)`).
+    lanes: usize,
+    /// Pattern pre-check bitmask, rule-major: bit `j % 64` of
+    /// `pattern[i * lanes + j / 64]` is set iff rule `i`'s pattern
+    /// matches block tuple `j`. Valid only where `pattern_done[i]`.
+    pattern: Vec<u64>,
+    /// `pattern[i]` lanes filled this session.
+    pattern_done: Vec<bool>,
+    /// Hit spans, group-major: `spans[g * len + j]` is
+    /// `(start, len)` into `arena`, `(`[`FAT_SPAN`]`, f)` for the
+    /// shared list `fat[f]`, or [`NO_SPAN`] when cell `(g, j)` was not
+    /// prefetched this session.
+    spans: Vec<(u32, u32)>,
+    /// Group `g` probed this session.
+    group_done: Vec<bool>,
+    /// The shared hit-list arena the spans point into; one copy per
+    /// distinct key per group.
+    arena: Vec<u32>,
+    /// Fat hit lists (`> MAX_PREFETCH_HITS` rows), shared with the
+    /// pinned index by refcount instead of copied into the arena — one
+    /// `Arc` clone per distinct fat key per session.
+    fat: Vec<Arc<[u32]>>,
+    /// Trie-group gather scratch: probed tuples' keys, row-major with
+    /// the group's key length as stride.
+    keys: Vec<Value>,
+    /// Trie-group gather scratch: `keys` mapped through the cheap
+    /// injective grouping rank, same layout (computed once, compared
+    /// many times by the sort).
+    ranks: Vec<u128>,
+    /// Trie-group gather scratch: block positions of the probed
+    /// tuples.
+    idx: Vec<u32>,
+    /// Trie-group gather scratch: positions into `idx`/`keys`, sorted
+    /// by key.
+    order: Vec<u32>,
+    /// Flat-group dedup table for single-attribute keys:
+    /// open-addressed `(rank, gen, span)` entries. An entry whose
+    /// `gen` stamp is stale is empty — bumping [`Self::gen`] resets
+    /// the whole table in O(1), no per-group clear.
+    table1: Vec<(u128, u64, (u32, u32))>,
+    /// Flat-group dedup table for two-attribute keys:
+    /// `(rank0, rank1, gen, span)`.
+    table2: Vec<(u128, u128, u64, (u32, u32))>,
+    /// Generation stamp of the current `probe_group` call; strictly
+    /// increasing across groups and sessions (a `u64` cannot wrap).
+    gen: u64,
+    /// Seed-prefetch scratch: group-major `needed` bitmask (same lane
+    /// layout as `pattern`).
+    needed: Vec<u64>,
+}
+
+/// Sentinel span for a block cell that was not prefetched.
+const NO_SPAN: (u32, u32) = (u32::MAX, 0);
+
+/// Span tag for a fat hit list: `(FAT_SPAN, f)` reads
+/// `BlockBuffers::fat[f]` instead of an arena slice. The arena can
+/// never legitimately start here — it would need `u32::MAX - 1` rows.
+const FAT_SPAN: u32 = u32::MAX - 1;
 
 impl ProbeScratch {
     /// A fresh scratch (no buffer allocated yet).
@@ -62,24 +177,36 @@ impl ProbeScratch {
         ProbeScratch::default()
     }
 
-    /// Probes performed since the last [`take_counters`](Self::take_counters).
+    /// Logical probes performed since the last
+    /// [`take_counters`](Self::take_counters). Block probing counts a
+    /// probe when a prefetched cell is *consumed*, not when it is
+    /// filled, so this is independent of block size.
     pub fn probes(&self) -> u64 {
         self.probes
     }
 
-    /// Probe-buffer (re)allocations since the last drain. After warmup
-    /// this stays at zero — the steady-state lookup path is
-    /// allocation-free.
+    /// Buffer (re)allocations since the last drain. After warmup
+    /// this stays at zero — the steady-state lookup and block paths
+    /// are allocation-free.
     pub fn allocs(&self) -> u64 {
         self.allocs
     }
 
-    /// Drain `(probes, allocs)`, resetting both counters (the buffer
-    /// keeps its capacity).
-    pub fn take_counters(&mut self) -> (u64, u64) {
+    /// Wide-key sub-slot fallbacks since the last drain: probes by
+    /// [`RulePlan::validated_candidates`] on rules with
+    /// `|X| > MAX_SUB_KEY_BITS`, which bypass the lock-free slot table
+    /// and copy their hit list out of the shared master cache.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+
+    /// Drain `(probes, allocs, fallbacks)`, resetting all counters
+    /// (the buffers keep their capacity).
+    pub fn take_counters(&mut self) -> (u64, u64, u64) {
         (
             std::mem::take(&mut self.probes),
             std::mem::take(&mut self.allocs),
+            std::mem::take(&mut self.fallbacks),
         )
     }
 
@@ -244,6 +371,41 @@ impl std::ops::Deref for PlanHits<'_> {
     }
 }
 
+/// Rules sharing one probe key, merged at compile time: all compiled
+/// rules with identical `(X, Xm)` lists. Block probing pays one key
+/// lookup per (distinct key value × group) instead of per
+/// (tuple × rule); the factorised [`KeyTrie`] additionally shares
+/// partial lookups between sorted keys with a common prefix.
+#[derive(Debug)]
+struct ProbeGroup {
+    lhs: Box<[AttrId]>,
+    lhs_m: Box<[AttrId]>,
+    /// The group's factorised hit lists: node at depth `d` holds the
+    /// rows matching the first `d` key columns. `None` for one- and
+    /// two-attribute keys: below depth 3 a descent costs as many node
+    /// hops as the key has attributes while one flat-map hash resolves
+    /// the whole key, so those groups probe the member rules' pinned
+    /// flat [`KeyIndex`] directly. From depth 3 up, sorted-neighbor
+    /// keys share long prefixes and the factorised descent pays.
+    trie: Option<KeyTrie>,
+    /// Member rule indexes, ascending.
+    members: Vec<u32>,
+    /// Whether block sessions prefetch this group. Flat-probed groups
+    /// (depth ≤ 2) always do — short hit lists are copied into the
+    /// contiguous arena, fat ones (`> MAX_PREFETCH_HITS` rows) shared
+    /// with the pinned index by refcount, so no fan-out makes the
+    /// block path pay more than the single-tuple borrow. Trie-probed
+    /// groups have no refcounted list to share, so a fat-listed wide
+    /// group opts out and block readers fall back to the single-tuple
+    /// probe (a compile-time property of `(rules, master)`, hence
+    /// identical at every block size and worker count).
+    prefetch: bool,
+}
+
+/// Hit lists longer than this are shared by refcount rather than
+/// copied into the block arena (see [`ProbeGroup::prefetch`]).
+const MAX_PREFETCH_HITS: usize = 32;
+
 /// A rule set compiled against one master index; see the
 /// [module docs](self).
 ///
@@ -254,6 +416,9 @@ impl std::ops::Deref for PlanHits<'_> {
 pub struct RulePlan {
     master: MasterIndex,
     rules: Box<[CompiledRule]>,
+    groups: Box<[ProbeGroup]>,
+    /// Rule index → probe-group index.
+    group_of: Box<[u32]>,
 }
 
 /// Alias matching the paper-facing name used in docs and the ROADMAP.
@@ -264,7 +429,7 @@ impl RulePlan {
     /// rule (building it if cold — builds are single-flight in the
     /// [`MasterIndex`]) and precompute the per-rule probe layout.
     pub fn compile(rules: &RuleSet, master: &MasterIndex) -> RulePlan {
-        let compiled = rules
+        let compiled: Box<[CompiledRule]> = rules
             .iter()
             .map(|(_, rule)| {
                 let pattern_master: Box<[Option<AttrId>]> = rule
@@ -295,9 +460,35 @@ impl RulePlan {
                 }
             })
             .collect();
+        // merge rules with an identical (X, Xm) into probe groups and
+        // build each group's factorised trie (same rows, same order,
+        // same null handling as the pinned flat index)
+        let mut groups: Vec<ProbeGroup> = Vec::new();
+        let mut group_of = Vec::with_capacity(compiled.len());
+        for (i, cr) in compiled.iter().enumerate() {
+            let g = groups
+                .iter()
+                .position(|g| g.lhs == cr.lhs && g.lhs_m == cr.lhs_m)
+                .unwrap_or_else(|| {
+                    groups.push(ProbeGroup {
+                        lhs: cr.lhs.clone(),
+                        lhs_m: cr.lhs_m.clone(),
+                        trie: (cr.lhs_m.len() >= 3)
+                            .then(|| KeyTrie::build(master.relation(), &cr.lhs_m)),
+                        members: Vec::new(),
+                        prefetch: cr.lhs_m.len() <= 2
+                            || cr.index.max_hit_len() <= MAX_PREFETCH_HITS,
+                    });
+                    groups.len() - 1
+                });
+            groups[g].members.push(i as u32);
+            group_of.push(g as u32);
+        }
         RulePlan {
             master: master.clone(),
             rules: compiled,
+            groups: groups.into_boxed_slice(),
+            group_of: group_of.into_boxed_slice(),
         }
     }
 
@@ -354,6 +545,448 @@ impl RulePlan {
         self.rules[i].index.lookup(probe)
     }
 
+    /// Number of probe groups — rules sharing an identical `(X, Xm)`
+    /// key are merged and pay one key probe per tuple between them
+    /// (see the [module docs](self#block-probing)).
+    pub fn probe_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The probe group rule `i` belongs to.
+    #[inline]
+    pub fn group_of(&self, i: usize) -> usize {
+        self.group_of[i] as usize
+    }
+
+    /// Begin a block-probe session over `n` tuples: size and clear the
+    /// scratch's block state. Until the next `begin_block` (or
+    /// [`probe_block_seeds`](Self::probe_block_seeds), which begins its
+    /// own session), results filled by
+    /// [`plan_probe_block`](Self::plan_probe_block) are readable
+    /// through [`block_pattern_ok`](Self::block_pattern_ok),
+    /// [`block_prefetched`](Self::block_prefetched),
+    /// [`block_probe`](Self::block_probe) and
+    /// [`block_candidates`](Self::block_candidates).
+    pub fn begin_block(&self, n: usize, scratch: &mut ProbeScratch) {
+        let lanes = n.div_ceil(64);
+        let b = &mut scratch.block;
+        let mut grew = 0u64;
+        let cap = b.pattern.capacity();
+        b.pattern.clear();
+        b.pattern.resize(self.rules.len() * lanes, 0);
+        grew += (b.pattern.capacity() != cap) as u64;
+        let cap = b.pattern_done.capacity();
+        b.pattern_done.clear();
+        b.pattern_done.resize(self.rules.len(), false);
+        grew += (b.pattern_done.capacity() != cap) as u64;
+        let cap = b.spans.capacity();
+        b.spans.clear();
+        b.spans.resize(self.groups.len() * n, NO_SPAN);
+        grew += (b.spans.capacity() != cap) as u64;
+        let cap = b.group_done.capacity();
+        b.group_done.clear();
+        b.group_done.resize(self.groups.len(), false);
+        grew += (b.group_done.capacity() != cap) as u64;
+        let cap = b.needed.capacity();
+        b.needed.clear();
+        b.needed.resize(self.groups.len() * lanes, 0);
+        grew += (b.needed.capacity() != cap) as u64;
+        b.arena.clear();
+        b.fat.clear();
+        // size the flat-group dedup tables to a ≤ ½ load factor for
+        // the worst case (every probed cell a distinct key); entries
+        // carry a stale `gen` stamp, so growth needs no re-clearing
+        let tcap = (2 * n.max(1)).next_power_of_two().max(64);
+        if b.table1.len() < tcap {
+            b.table1.resize(tcap, (0, 0, (0, 0)));
+            grew += 1;
+        }
+        if b.table2.len() < tcap {
+            b.table2.resize(tcap, (0, 0, 0, (0, 0)));
+            grew += 1;
+        }
+        b.len = n;
+        b.lanes = lanes;
+        scratch.allocs += grew;
+    }
+
+    /// Hoist rule `i`'s pattern pre-check into its per-block bitmask
+    /// lane (once per session; empty patterns set every bit without
+    /// touching the tuples).
+    fn fill_pattern_lane(&self, i: usize, block: &[&Tuple], scratch: &mut ProbeScratch) {
+        let b = &mut scratch.block;
+        if b.pattern_done[i] {
+            return;
+        }
+        b.pattern_done[i] = true;
+        let rule = &self.rules[i];
+        let base = i * b.lanes;
+        if rule.pattern.attrs().is_empty() {
+            for lane in &mut b.pattern[base..base + b.lanes] {
+                *lane = !0;
+            }
+        } else {
+            for (j, t) in block.iter().enumerate() {
+                if rule.pattern.matches(t) {
+                    b.pattern[base + j / 64] |= 1 << (j % 64);
+                }
+            }
+        }
+    }
+
+    /// Probe group `g`'s marked cells against the block so identical
+    /// keys resolve once per block: flat-probed groups (depth ≤ 2)
+    /// deduplicate through a generation-stamped open-addressing table
+    /// in one pass; wide groups sort-group their keys and descend the
+    /// factorised trie sharing the longest common prefix with the
+    /// previous sorted key. Hit lists land once per distinct key in
+    /// the arena (fat ones shared by refcount); every probed cell gets
+    /// a span.
+    fn probe_group(&self, g: usize, block: &[&Tuple], scratch: &mut ProbeScratch) {
+        let grp = &self.groups[g];
+        let b = &mut scratch.block;
+        if b.group_done[g] {
+            return;
+        }
+        b.group_done[g] = true;
+        if !grp.prefetch {
+            // a fat-listed trie group: its hit lists live in trie
+            // nodes with no refcount to share, so spans remain
+            // `NO_SPAN` and block readers fall back to single-tuple
+            // probes instead of copying the lists into the arena
+            return;
+        }
+        let n = b.len;
+        let k = grp.lhs.len();
+        let lanes = b.lanes;
+        b.gen += 1;
+        let gen = b.gen;
+        let BlockBuffers {
+            ref needed,
+            ref mut keys,
+            ref mut ranks,
+            ref mut idx,
+            ref mut order,
+            ref mut table1,
+            ref mut table2,
+            ref mut arena,
+            ref mut fat,
+            ref mut spans,
+            ..
+        } = *b;
+        let caps = (
+            keys.capacity(),
+            ranks.capacity(),
+            idx.capacity(),
+            order.capacity(),
+            arena.capacity(),
+            fat.capacity(),
+        );
+        keys.clear();
+        ranks.clear();
+        idx.clear();
+        order.clear();
+        // Everything below groups by `Value::grouping_rank`, not
+        // semantic order: `Value`'s `Ord` resolves interned strings
+        // and compares text, far too slow for hot equality grouping.
+        // The rank is injective, so rank equality IS key equality —
+        // the dedup tables compare ranks only, and the trie sort needs
+        // adjacency, not semantic order.
+        //
+        // Fibonacci-mix a rank into a table slot: ranks are tag bits
+        // over dense interner ids, so a multiply spreads them; the
+        // high bits carry the entropy
+        #[inline]
+        fn slot(r: u128, mask: usize) -> usize {
+            let h = ((r as u64) ^ ((r >> 64) as u64)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (h >> 32) as usize & mask
+        }
+        // resolve one distinct key's hit list into a span: short lists
+        // are copied into the contiguous arena, fat ones share the
+        // pinned index's refcounted list — an `Arc` bump per distinct
+        // key instead of a row copy per fan-out. The threshold depends
+        // only on `(master, key)`, so the choice is identical at every
+        // block size and worker count.
+        fn resolve(
+            hits: Option<&Arc<[u32]>>,
+            arena: &mut Vec<u32>,
+            fat: &mut Vec<Arc<[u32]>>,
+        ) -> (u32, u32) {
+            match hits {
+                None => (0, 0),
+                Some(h) if h.len() > MAX_PREFETCH_HITS => {
+                    fat.push(h.clone());
+                    (FAT_SPAN, (fat.len() - 1) as u32)
+                }
+                Some(h) => {
+                    let start = arena.len() as u32;
+                    arena.extend_from_slice(h);
+                    (start, h.len() as u32)
+                }
+            }
+        }
+        let nbase = g * lanes;
+        let mut span = NO_SPAN;
+        let sbase = g * n;
+        if k == 1 {
+            // single-attribute key (the common case): a depth-1 trie
+            // has no prefixes to share and a sort costs more than the
+            // hash it would amortize, so deduplicate in ONE pass
+            // through the open-addressing table — the first cell with
+            // a given rank probes the member rules' pinned flat index
+            // and resolves a span, every later cell pays a mix, one
+            // table slot load and a rank compare. The table is
+            // generation-stamped, so "clearing" it for this group was
+            // the `gen` bump above.
+            let a = grp.lhs[0];
+            let flat = &self.rules[grp.members[0] as usize].index;
+            let mask = table1.len() - 1;
+            for l in 0..lanes {
+                let lane = needed[nbase + l];
+                if lane == 0 {
+                    continue;
+                }
+                let jb = l * 64;
+                // full lanes skip the per-cell bit test entirely
+                let dense = lane == !0 && jb + 64 <= n;
+                for j in jb..(jb + 64).min(n) {
+                    if !dense && lane & (1 << (j - jb)) == 0 {
+                        continue;
+                    }
+                    let r = block[j].get(a).grouping_rank();
+                    let mut h = slot(r, mask);
+                    let span = loop {
+                        let e = &mut table1[h];
+                        if e.1 != gen {
+                            let s = resolve(flat.lookup_rank_shared(r), arena, fat);
+                            *e = (r, gen, s);
+                            break s;
+                        }
+                        if e.0 == r {
+                            break e.2;
+                        }
+                        h = (h + 1) & mask;
+                    };
+                    spans[sbase + j] = span;
+                }
+            }
+        } else if k == 2 {
+            // two-attribute key: one flat-map hash of the pair still
+            // beats two trie node hops, so probe the pinned full-key
+            // index, deduplicating through the pair table in the same
+            // single pass as above
+            let (a0, a1) = (grp.lhs[0], grp.lhs[1]);
+            let flat = &self.rules[grp.members[0] as usize].index;
+            let mask = table2.len() - 1;
+            for l in 0..lanes {
+                let lane = needed[nbase + l];
+                if lane == 0 {
+                    continue;
+                }
+                let jb = l * 64;
+                let dense = lane == !0 && jb + 64 <= n;
+                for j in jb..(jb + 64).min(n) {
+                    if !dense && lane & (1 << (j - jb)) == 0 {
+                        continue;
+                    }
+                    let t = block[j];
+                    let (v0, v1) = (*t.get(a0), *t.get(a1));
+                    let (r0, r1) = (v0.grouping_rank(), v1.grouping_rank());
+                    let mut h = slot(r0 ^ r1.rotate_left(64), mask);
+                    let span = loop {
+                        let e = &mut table2[h];
+                        if e.2 != gen {
+                            let s = resolve(flat.lookup_shared(&[v0, v1]), arena, fat);
+                            *e = (r0, r1, gen, s);
+                            break s;
+                        }
+                        if (e.0, e.1) == (r0, r1) {
+                            break e.3;
+                        }
+                        h = (h + 1) & mask;
+                    };
+                    spans[sbase + j] = span;
+                }
+            }
+        } else {
+            for (j, t) in block.iter().enumerate() {
+                if needed[nbase + j / 64] & (1 << (j % 64)) != 0 {
+                    idx.push(j as u32);
+                    for &a in grp.lhs.iter() {
+                        let v = *t.get(a);
+                        keys.push(v);
+                        ranks.push(v.grouping_rank());
+                    }
+                }
+            }
+            let mut cur = grp
+                .trie
+                .as_ref()
+                .expect("wide groups carry a trie")
+                .cursor();
+            order.extend(0..idx.len() as u32);
+            order.sort_unstable_by(|&a, &b| {
+                let (a, b) = (a as usize * k, b as usize * k);
+                ranks[a..a + k].cmp(&ranks[b..b + k])
+            });
+            let mut prev: Option<usize> = None;
+            for &p in order.iter() {
+                let pk = p as usize * k;
+                let lcp = match prev {
+                    None => 0,
+                    Some(qk) => ranks[pk..pk + k]
+                        .iter()
+                        .zip(&ranks[qk..qk + k])
+                        .take_while(|(a, b)| a == b)
+                        .count(),
+                };
+                if lcp < k || prev.is_none() {
+                    // a new distinct key: re-descend only the suffix
+                    // that differs from the previous one
+                    cur.truncate(lcp);
+                    for &v in &keys[pk + lcp..pk + k] {
+                        cur.descend(v);
+                    }
+                    let hits = cur.hits();
+                    let start = arena.len() as u32;
+                    arena.extend_from_slice(hits);
+                    span = (start, hits.len() as u32);
+                }
+                spans[sbase + idx[p as usize] as usize] = span;
+                prev = Some(pk);
+            }
+        }
+        scratch.allocs += (keys.capacity() != caps.0) as u64
+            + (ranks.capacity() != caps.1) as u64
+            + (idx.capacity() != caps.2) as u64
+            + (order.capacity() != caps.3) as u64
+            + (arena.capacity() != caps.4) as u64
+            + (fat.capacity() != caps.5) as u64;
+    }
+
+    /// Probe rule `i` against a whole block of tuples at once — the
+    /// vectorized analogue of calling [`probe`](Self::probe) per tuple.
+    /// Requires an active [`begin_block`](Self::begin_block) session of
+    /// the same length. The rule's pattern lane is hoisted, and its
+    /// probe group resolved for **every** block cell (the first member
+    /// rule pays; siblings and equal keys ride along). Results are read
+    /// back per cell with
+    /// [`block_candidates`](Self::block_candidates) /
+    /// [`block_probe`](Self::block_probe).
+    pub fn plan_probe_block(&self, i: usize, block: &[&Tuple], scratch: &mut ProbeScratch) {
+        debug_assert_eq!(
+            block.len(),
+            scratch.block.len,
+            "begin_block sizes the session"
+        );
+        self.fill_pattern_lane(i, block, scratch);
+        let g = self.group_of[i] as usize;
+        if !scratch.block.group_done[g] {
+            let b = &mut scratch.block;
+            let nbase = g * b.lanes;
+            for lane in &mut b.needed[nbase..nbase + b.lanes] {
+                *lane = !0;
+            }
+            self.probe_group(g, block, scratch);
+        }
+    }
+
+    /// Bulk prefetch for a block `TransFix` pass: begin a session and
+    /// probe, per probe group, exactly the cells some member rule could
+    /// consume as a seed on tuple `j` — premise within `zs[j]`, fix
+    /// target unvalidated, pattern matching. Pattern lanes are hoisted
+    /// for **every** rule (the walk re-checks patterns after upgrades
+    /// too). Cells no rule can seed from stay unprefetched
+    /// ([`block_prefetched`](Self::block_prefetched) is `false`) and
+    /// fall back to single-tuple probes.
+    pub fn probe_block_seeds(&self, block: &[&Tuple], zs: &[AttrSet], scratch: &mut ProbeScratch) {
+        debug_assert_eq!(block.len(), zs.len());
+        self.begin_block(block.len(), scratch);
+        for i in 0..self.rules.len() {
+            self.fill_pattern_lane(i, block, scratch);
+        }
+        {
+            let b = &mut scratch.block;
+            for (i, rule) in self.rules.iter().enumerate() {
+                let pbase = i * b.lanes;
+                let nbase = self.group_of[i] as usize * b.lanes;
+                for (j, z) in zs.iter().enumerate() {
+                    if rule.premise.is_subset(z)
+                        && !z.contains(rule.rhs)
+                        && b.pattern[pbase + j / 64] & (1 << (j % 64)) != 0
+                    {
+                        b.needed[nbase + j / 64] |= 1 << (j % 64);
+                    }
+                }
+            }
+        }
+        for g in 0..self.groups.len() {
+            self.probe_group(g, block, scratch);
+        }
+    }
+
+    /// The hoisted pattern pre-check of rule `i` on block tuple `j`.
+    /// Valid once the rule's lane was filled this session
+    /// ([`plan_probe_block`](Self::plan_probe_block) or
+    /// [`probe_block_seeds`](Self::probe_block_seeds)).
+    #[inline]
+    pub fn block_pattern_ok(&self, i: usize, j: usize, scratch: &ProbeScratch) -> bool {
+        let b = &scratch.block;
+        debug_assert!(j < b.len && b.pattern_done[i]);
+        b.pattern[i * b.lanes + j / 64] & (1 << (j % 64)) != 0
+    }
+
+    /// `true` iff rule `i`'s probe-group cell for block tuple `j` was
+    /// prefetched this session (possibly to an empty hit list).
+    #[inline]
+    pub fn block_prefetched(&self, i: usize, j: usize, scratch: &ProbeScratch) -> bool {
+        let b = &scratch.block;
+        b.spans[self.group_of[i] as usize * b.len + j] != NO_SPAN
+    }
+
+    /// The prefetched raw key probe of rule `i` on block tuple `j` —
+    /// bit-identical to [`probe`](Self::probe) on that tuple. Counts
+    /// one *logical* probe on consumption (so `plan_probes` is
+    /// block-size independent); `None` when the cell was not
+    /// prefetched.
+    #[inline]
+    pub fn block_probe<'s>(
+        &self,
+        i: usize,
+        j: usize,
+        scratch: &'s mut ProbeScratch,
+    ) -> Option<&'s [u32]> {
+        let g = self.group_of[i] as usize;
+        let (start, len) = scratch.block.spans[g * scratch.block.len + j];
+        if (start, len) == NO_SPAN {
+            return None;
+        }
+        scratch.probes += 1;
+        Some(if start == FAT_SPAN {
+            &scratch.block.fat[len as usize][..]
+        } else {
+            &scratch.block.arena[start as usize..(start + len) as usize]
+        })
+    }
+
+    /// Block analogue of [`candidates`](Self::candidates): the hit list
+    /// of rule `i` on block tuple `j`, empty when the hoisted pattern
+    /// bit is clear (no probe counted, like the single-tuple early
+    /// return). `None` when the pattern matches but the cell was not
+    /// prefetched — the caller falls back to a single-tuple probe.
+    #[inline]
+    pub fn block_candidates<'s>(
+        &self,
+        i: usize,
+        j: usize,
+        scratch: &'s mut ProbeScratch,
+    ) -> Option<&'s [u32]> {
+        if !self.block_pattern_ok(i, j, scratch) {
+            return Some(&[]);
+        }
+        self.block_probe(i, j, scratch)
+    }
+
     /// The `t[X ∩ Z] = tm[λϕ(X ∩ Z)]` probe of `applicable_rules`
     /// (Sect. 5.2): candidates of rule `i` matching `t` on the
     /// validated subset of its key. Returns `None` when no key
@@ -396,6 +1029,7 @@ impl RulePlan {
         } else {
             // extra-wide key list: no preallocated slot — go through
             // the shared master cache and copy the (short) hit list
+            scratch.fallbacks += 1;
             let idx = self.master.index_for(&sub_key(mask));
             Some(PlanHits::Owned(
                 scratch.lookup_masked(&idx, t, &rule.lhs, mask).to_vec(),
@@ -561,7 +1195,7 @@ mod tests {
                 let _ = plan.candidates(i, &t1(), &mut scratch);
             }
         }
-        let (probes, allocs) = scratch.take_counters();
+        let (probes, allocs, _) = scratch.take_counters();
         assert!(probes > 0, "pattern-passing rules probed");
         assert_eq!(allocs, 0, "steady-state lookups are allocation-free");
     }
@@ -632,5 +1266,149 @@ mod tests {
             plan.candidates(3, &t2, &mut scratch).is_empty(),
             "pattern mismatch"
         );
+    }
+
+    /// A block of fig. 1 variants exercising every edge the block layer
+    /// must agree with the single-tuple path on: shared keys, null
+    /// keys, key misses, and pattern mismatches.
+    fn fig1_block(r: &Schema) -> Vec<Tuple> {
+        let mut tnull = t1();
+        tnull.set(r.attr("zip").unwrap(), Value::Null);
+        tnull.set(r.attr("phn").unwrap(), Value::Null);
+        let mut tmiss = t1();
+        tmiss.set(r.attr("zip").unwrap(), Value::str("XX9 9XX"));
+        let mut tpat = t1();
+        tpat.set(r.attr("type").unwrap(), Value::int(9));
+        let mut tother = t1();
+        tother.set(r.attr("zip").unwrap(), Value::str("NW1 6XE"));
+        tother.set(r.attr("phn").unwrap(), Value::str("6884563"));
+        tother.set(r.attr("type").unwrap(), Value::int(1));
+        // t1 twice: identical keys must share one resolved hit list
+        vec![t1(), tnull, tmiss, tpat, tother, t1()]
+    }
+
+    #[test]
+    fn rules_sharing_keys_merge_into_probe_groups() {
+        let (_, rules, master) = fig1();
+        let plan = RulePlan::compile(&rules, &master);
+        // distinct (X, Xm): {zip/zip}, {phn/Mphn}, {AC,phn / AC,Hphn}
+        assert_eq!(plan.probe_groups(), 3);
+        assert_eq!(plan.len(), 8);
+        // phi1's three set-clauses share a group, and so on
+        let groups: Vec<usize> = (0..plan.len()).map(|i| plan.group_of(i)).collect();
+        assert_eq!(groups, [0, 0, 0, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn block_probe_matches_single_tuple_probe() {
+        let (r, rules, master) = fig1();
+        let plan = RulePlan::compile(&rules, &master);
+        let tuples = fig1_block(&r);
+        let block: Vec<&Tuple> = tuples.iter().collect();
+        let mut single = ProbeScratch::new();
+        let mut blocked = ProbeScratch::new();
+        plan.begin_block(block.len(), &mut blocked);
+        for i in 0..plan.len() {
+            plan.plan_probe_block(i, &block, &mut blocked);
+        }
+        for i in 0..plan.len() {
+            for (j, t) in block.iter().enumerate() {
+                let want = plan.candidates(i, t, &mut single).to_vec();
+                let got = plan
+                    .block_candidates(i, j, &mut blocked)
+                    .expect("plan_probe_block prefetches every cell");
+                assert_eq!(got, &want[..], "rule {i} tuple {j}");
+            }
+        }
+        // logical probe counting: consuming a prefetched cell costs the
+        // same one probe the single-tuple path pays
+        assert_eq!(blocked.probes(), single.probes());
+    }
+
+    #[test]
+    fn block_probing_is_allocation_free_once_warm() {
+        let (r, rules, master) = fig1();
+        let plan = RulePlan::compile(&rules, &master);
+        let tuples = fig1_block(&r);
+        let block: Vec<&Tuple> = tuples.iter().collect();
+        let mut scratch = ProbeScratch::new();
+        for round in 0..3 {
+            plan.begin_block(block.len(), &mut scratch);
+            for i in 0..plan.len() {
+                plan.plan_probe_block(i, &block, &mut scratch);
+            }
+            let (_, allocs, _) = scratch.take_counters();
+            if round > 0 {
+                assert_eq!(allocs, 0, "warm block sessions allocate nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn seed_prefetch_fills_exactly_the_seedable_cells() {
+        let (r, rules, master) = fig1();
+        let plan = RulePlan::compile(&rules, &master);
+        let tuples = fig1_block(&r);
+        let block: Vec<&Tuple> = tuples.iter().collect();
+        let zip = AttrSet::singleton(r.attr("zip").unwrap());
+        // tuple 0 can seed the zip-keyed rules; tuple 1 has nothing
+        // validated, so no rule's premise holds there
+        let mut zs = vec![AttrSet::EMPTY; block.len()];
+        zs[0] = zip;
+        let mut scratch = ProbeScratch::new();
+        plan.probe_block_seeds(&block, &zs, &mut scratch);
+        assert!(
+            plan.block_prefetched(0, 0, &scratch),
+            "phi1 seeds on tuple 0"
+        );
+        assert!(!plan.block_prefetched(0, 1, &scratch), "nothing validated");
+        // phi2 (premise {phn, type}) is not seedable anywhere
+        assert!(!plan.block_prefetched(3, 0, &scratch));
+        // prefetched hits equal the single-tuple probe
+        let mut single = ProbeScratch::new();
+        let want = plan.probe(0, block[0], &mut single).to_vec();
+        let got = plan.block_probe(0, 0, &mut scratch).unwrap();
+        assert_eq!(got, &want[..]);
+    }
+
+    #[test]
+    fn wide_keys_fall_back_and_count() {
+        let r = Schema::new("W", ["k1", "k2", "k3", "k4", "k5", "k6", "k7", "v"]).unwrap();
+        let rm = Schema::new("Wm", ["K1", "K2", "K3", "K4", "K5", "K6", "K7", "V"]).unwrap();
+        let rules = parse_rules(
+            "wide: match k1 ~ K1, k2 ~ K2, k3 ~ K3, k4 ~ K4, k5 ~ K5, k6 ~ K6, k7 ~ K7 set v := V",
+            &r,
+            &rm,
+        )
+        .unwrap();
+        let master =
+            Relation::new(rm, vec![tuple!["a", "b", "c", "d", "e", "f", "g", "val"]]).unwrap();
+        let mi = MasterIndex::new(Arc::new(master));
+        let plan = RulePlan::compile(&rules, &mi);
+        assert_eq!(plan.rule(0).lhs().len(), 7, "wider than MAX_SUB_KEY_BITS");
+        let mut scratch = ProbeScratch::new();
+        let t = tuple!["a", "b", "c", "d", "e", "f", "g", "wrong"];
+        // full key validated: the pinned index answers, no fallback
+        let mut all = AttrSet::EMPTY;
+        for name in ["k1", "k2", "k3", "k4", "k5", "k6", "k7"] {
+            all.insert(r.attr(name).unwrap());
+        }
+        let hits = plan.validated_candidates(0, &t, all, &mut scratch).unwrap();
+        assert!(matches!(hits, PlanHits::Borrowed(_)));
+        assert_eq!(&*hits, &[0]);
+        assert_eq!(scratch.fallbacks(), 0);
+        // partial key on a 7-wide rule: no preallocated sub-slot —
+        // the observable wide-key fallback
+        let partial =
+            AttrSet::singleton(r.attr("k1").unwrap()) | AttrSet::singleton(r.attr("k3").unwrap());
+        let hits = plan
+            .validated_candidates(0, &t, partial, &mut scratch)
+            .unwrap();
+        assert!(matches!(hits, PlanHits::Owned(_)));
+        assert_eq!(&*hits, &[0]);
+        assert_eq!(scratch.fallbacks(), 1);
+        let (_, _, fallbacks) = scratch.take_counters();
+        assert_eq!(fallbacks, 1);
+        assert_eq!(scratch.fallbacks(), 0, "drained");
     }
 }

@@ -20,7 +20,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use certain_fix::core::{
-    evaluate_changes, transfix, transfix_with, CertainFix, CertainFixConfig, SimulatedUser,
+    evaluate_changes, transfix, transfix_block, transfix_with, CertainFix, CertainFixConfig,
+    SimulatedUser,
 };
 use certain_fix::reasoning::{suggest, suggest_with, Chase, ChaseResult};
 use certain_fix::relation::{
@@ -271,6 +272,68 @@ proptest! {
         prop_assert_eq!(out1.rule_fixed, out2.rule_fixed);
         prop_assert_eq!(out1.certain, out2.certain);
         prop_assert_eq!(out1.rounds.len(), out2.rounds.len());
+    }
+
+    /// The block-probe determinism contract, randomized: chunking an
+    /// arbitrary miniature batch through `transfix_block` at block
+    /// sizes 1, 2, 7 and 64 yields the same outcomes — and the same
+    /// logical probe count — as the single-tuple walk, including
+    /// null-key edges (a random cell nulled per tuple) and
+    /// pattern-mismatch edges (random `when` cells rarely match the
+    /// collision-rich domain).
+    #[test]
+    fn block_probing_matches_single_tuple_at_every_block_size(
+        (master_rows, specs, _, zbits) in arb_workload(),
+        batch in proptest::collection::vec(
+            (arb_tuple(), proptest::option::of(0..ATTRS), any::<u8>()), 1..12),
+    ) {
+        let Some((rules, graph)) = build_rules(specs) else { return Ok(()); };
+        let s = schema();
+        let master = MasterIndex::new(Arc::new(
+            Relation::new(s.clone(), master_rows).unwrap(),
+        ));
+        let plan = RulePlan::compile(&rules, &master);
+        let items: Vec<(Tuple, AttrSet)> = batch
+            .into_iter()
+            .map(|(mut t, null_at, z)| {
+                if let Some(a) = null_at {
+                    t.set(AttrId(a as u16), Value::Null);
+                }
+                let bits = (u64::from(z) ^ u64::from(zbits)) & ((1 << ATTRS) - 1);
+                (t, AttrSet::from_bits(bits))
+            })
+            .collect();
+        let mut single_scratch = ProbeScratch::new();
+        let singles: Vec<_> = items
+            .iter()
+            .map(|(t, z)| {
+                transfix_with(&rules, &master, &graph, Some(&plan), &mut single_scratch, t, *z)
+            })
+            .collect();
+        let (want_probes, _, _) = single_scratch.take_counters();
+        for size in [1usize, 2, 7, 64] {
+            let mut scratch = ProbeScratch::new();
+            let mut got = Vec::with_capacity(items.len());
+            for chunk in items.chunks(size) {
+                let refs: Vec<(&Tuple, AttrSet)> =
+                    chunk.iter().map(|(t, z)| (t, *z)).collect();
+                got.extend(transfix_block(
+                    &rules, &master, &graph, Some(&plan), &mut scratch, &refs,
+                ));
+            }
+            let (probes, _, _) = scratch.take_counters();
+            prop_assert!(
+                probes == want_probes,
+                "probe count diverged at block size {size}: {probes} != {want_probes}"
+            );
+            for (a, b) in singles.iter().zip(&got) {
+                prop_assert_eq!(&a.tuple, &b.tuple);
+                prop_assert_eq!(a.validated, b.validated);
+                prop_assert_eq!(a.fixed, b.fixed);
+                prop_assert_eq!(&a.steps, &b.steps);
+                prop_assert_eq!(&a.disputed, &b.disputed);
+            }
+        }
     }
 
     #[test]
