@@ -1,0 +1,247 @@
+//! Multi-session service sweep: N concurrent tenant streams × thread
+//! count × producer batch size on both workloads, multiplexed over one
+//! engine by [`RepairService`].
+//!
+//! Every point builds one service (one compiled plan, one shared
+//! cache, one stealing pool) and `--sessions` tenant streams with
+//! *skewed* sizes: session `s` carries `inputs / (s + 1)` tuples and a
+//! seed derived from `s` alone — so session `s`'s data (and therefore
+//! its deterministic results) is invariant to how many other sessions
+//! run beside it. That is the property CI's multi-session
+//! determinism leg diffs: per-session rows must be bit-identical
+//! across thread counts *and* across `--sessions` values.
+//!
+//! Rows report, per session, the deterministic counts (`tuples`,
+//! `certain`, `rounds`, `plan_probes`), final-round recall, and the
+//! session-attributed shared-cache traffic; every row also carries the
+//! point's scheduler epoch count and aggregate throughput. A
+//! machine-readable JSON document goes to **stdout** (CI archives it
+//! as the `BENCH_service` artifact); the table goes to stderr.
+//!
+//! Usage: `cargo run --release -p certainfix-bench --bin exp_service --
+//!         [--sessions N] [--dm N] [--inputs N] [--threads T]
+//!         [--batch B] [--depth D] [--chunk C] [--shared-cache on|off]
+//!         [--plan on|off] [--skew F] [--d F] [--n F] [--seed S]
+//!         [--compliance F] [--out file.csv] [--no-bdd]`
+//!
+//! `--inputs` sizes session 0 (the largest); `--threads T` caps the
+//! swept worker counts (0 = this machine's available parallelism);
+//! `--batch B` pins a single producer batch size. The service pool is
+//! steal-only and stream-fed: `--schedule shard` and `--ingest batch`
+//! exit 2.
+
+use std::fmt::Write as _;
+
+use certainfix_bench::args::{Args, Spec};
+use certainfix_bench::runner::{build_engine, fold_session, oracle_factory, ExpConfig, Which};
+use certainfix_bench::sweep::{batch_points, json_escape, thread_points};
+use certainfix_bench::table::{f3, Table};
+use certainfix_core::{
+    BatchRepairEngine, RepairService, Schedule, ServiceOptions, ServiceStream, SliceSource,
+};
+use certainfix_datagen::{Dataset, DirtyConfig};
+use certainfix_relation::Tuple;
+
+/// One session's row at one sweep point.
+struct Row {
+    dataset: &'static str,
+    session: usize,
+    threads: usize,
+    batch: usize,
+    tuples: u64,
+    certain: u64,
+    rounds: u64,
+    plan_probes: u64,
+    recall_t: f64,
+    shared_hits: u64,
+    shared_misses: u64,
+    /// Scheduler epochs of the whole point (shared by its rows).
+    epochs: u64,
+    /// End-to-end service wall of the whole point, ms.
+    wall_ms: f64,
+    /// Aggregate throughput of the whole point, tuples/s.
+    throughput_tps: f64,
+}
+
+/// Session `s`'s generator knobs: size skewed by position, seed
+/// derived from `s` alone — invariant to the total session count.
+fn session_dirty_config(base: &ExpConfig, s: usize) -> DirtyConfig {
+    DirtyConfig {
+        input_size: (base.inputs / (s + 1)).max(1),
+        seed: base.seed ^ (s as u64 + 1).wrapping_mul(0x9E37_79B9),
+        ..base.dirty_config()
+    }
+}
+
+fn render_json(base: &ExpConfig, sessions: usize, rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"exp_service\",");
+    let _ = writeln!(out, "  \"sessions\": {sessions},");
+    let _ = writeln!(out, "  \"dm\": {},", base.dm);
+    let _ = writeln!(out, "  \"inputs\": {},", base.inputs);
+    let _ = writeln!(out, "  \"d\": {},", base.d);
+    let _ = writeln!(out, "  \"n\": {},", base.n);
+    let _ = writeln!(out, "  \"skew\": {},", base.skew);
+    let _ = writeln!(out, "  \"use_bdd\": {},", base.use_bdd);
+    let _ = writeln!(out, "  \"threads\": {},", base.threads.max(1));
+    let _ = writeln!(out, "  \"shared_cache\": {},", base.shared_cache);
+    let _ = writeln!(out, "  \"plan\": {},", base.plan);
+    let _ = writeln!(out, "  \"depth\": {},", base.depth);
+    let _ = writeln!(out, "  \"chunk\": {},", base.chunk);
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"dataset\": \"{}\", \"session\": {}, \"threads\": {}, \"batch\": {}, \
+             \"tuples\": {}, \"certain\": {}, \"rounds\": {}, \"plan_probes\": {}, \
+             \"recall_t\": {:.4}, \"shared_hits\": {}, \"shared_misses\": {}, \
+             \"epochs\": {}, \"wall_ms\": {:.3}, \"throughput_tps\": {:.1}}}",
+            json_escape(r.dataset),
+            r.session,
+            r.threads,
+            r.batch,
+            r.tuples,
+            r.certain,
+            r.rounds,
+            r.plan_probes,
+            r.recall_t,
+            r.shared_hits,
+            r.shared_misses,
+            r.epochs,
+            r.wall_ms,
+            r.throughput_tps,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = Args::from_env_strict(&Spec::exp("exp_service").valued(&["sessions"]));
+    let mut base = ExpConfig::from_args(&args);
+    if args.has("ingest") {
+        // the service is stream-fed by construction (one feeder lane
+        // per session); an `--ingest` flag here could only mislabel
+        eprintln!("exp_service: the service is always stream-fed; drop --ingest");
+        std::process::exit(2);
+    }
+    if args.has("schedule") && base.schedule == Schedule::Shard {
+        eprintln!("exp_service: the service pool is steal-only; --schedule shard is unsupported");
+        std::process::exit(2);
+    }
+    if !args.has("threads") {
+        base.threads = BatchRepairEngine::auto_threads();
+    }
+    let sessions = args.usize_or("sessions", 2).max(1);
+    let pinned_batch = args.has("batch").then_some(base.batch);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for which in Which::BOTH {
+        let w = which.build(base.dm);
+        // per-session datasets, fixed for every point of this workload
+        let datasets: Vec<Dataset> = (0..sessions)
+            .map(|s| Dataset::generate(w.as_ref(), &session_dirty_config(&base, s)))
+            .collect();
+        let dirty: Vec<Vec<Tuple>> = datasets
+            .iter()
+            .map(|ds| ds.inputs.iter().map(|dt| dt.dirty.clone()).collect())
+            .collect();
+        for &threads in &thread_points(base.threads.max(1)) {
+            for &batch in &batch_points(pinned_batch, &[64, 256], base.inputs) {
+                let cfg = ExpConfig {
+                    threads,
+                    batch,
+                    ..base
+                };
+                // a fresh service per point: the engine-lifetime shared
+                // cache stays warm across a point's epochs but must not
+                // leak between points
+                let service = RepairService::from_engine(
+                    build_engine(w.as_ref(), &cfg),
+                    ServiceOptions {
+                        threads,
+                        chunk: base.chunk,
+                        shared_cache: base.shared_cache,
+                        depth: base.depth,
+                    },
+                );
+                let streams = datasets
+                    .iter()
+                    .zip(&dirty)
+                    .enumerate()
+                    .map(|(s, (ds, tuples))| {
+                        ServiceStream::new(
+                            format!("s{s}"),
+                            SliceSource::with_batch(tuples, batch),
+                            oracle_factory(ds, base.compliance),
+                        )
+                    })
+                    .collect();
+                let report = service.run(streams);
+                let wall_ms = report.wall.as_secs_f64() * 1e3;
+                let throughput_tps = report.throughput();
+                let epochs = report.epochs;
+                for (s, named) in report.sessions.into_iter().enumerate() {
+                    let folded = fold_session(named.report, datasets[s].clone(), 8);
+                    let last = folded.metrics.last().expect("rounds >= 1");
+                    rows.push(Row {
+                        dataset: which.name(),
+                        session: s,
+                        threads,
+                        batch,
+                        tuples: folded.stats.tuples,
+                        certain: folded.stats.certain,
+                        rounds: folded.stats.rounds,
+                        plan_probes: folded.stats.plan_probes,
+                        recall_t: last.recall_t,
+                        shared_hits: folded.stats.shared_hits,
+                        shared_misses: folded.stats.shared_misses,
+                        epochs,
+                        wall_ms,
+                        throughput_tps,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut table = Table::new([
+        "dataset", "session", "threads", "batch", "tuples", "certain", "rounds", "recall_t",
+        "epochs", "tuples/s",
+    ]);
+    for r in &rows {
+        table.row([
+            r.dataset.to_string(),
+            r.session.to_string(),
+            r.threads.to_string(),
+            r.batch.to_string(),
+            r.tuples.to_string(),
+            r.certain.to_string(),
+            r.rounds.to_string(),
+            f3(r.recall_t),
+            r.epochs.to_string(),
+            format!("{:.0}", r.throughput_tps),
+        ]);
+    }
+    eprintln!(
+        "exp_service: sessions = {}, |Dm| = {}, |D| (session 0) = {}, d% = {:.0}, n% = {:.0}, \
+         skew = {}, bdd = {}, shared cache = {}, plan = {}",
+        sessions,
+        base.dm,
+        base.inputs,
+        base.d * 100.0,
+        base.n * 100.0,
+        base.skew,
+        base.use_bdd,
+        base.shared_cache,
+        base.plan
+    );
+    eprint!("{}", table.render());
+    table
+        .maybe_write_csv(args.str_or("out", ""))
+        .expect("writing CSV output");
+
+    // machine-readable output on stdout — what CI archives
+    print!("{}", render_json(&base, sessions, &rows));
+}

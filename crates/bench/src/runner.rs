@@ -320,8 +320,10 @@ pub fn build_engine(workload: &dyn Workload, cfg: &ExpConfig) -> BatchRepairEngi
 /// index `i`, seeded from the *dataset's* seed (which
 /// [`Dataset::batches`] decorrelates per batch) and `i` only, so
 /// results are independent of the worker count, the schedule, the
-/// batching, and the position of the batch in a stream.
-fn oracle_factory(
+/// batching, and the position of the batch in a stream. Public so the
+/// multi-session `exp_service` binary can hand the same per-index
+/// oracles to a [`certainfix_core::RepairService`] stream.
+pub fn oracle_factory(
     dataset: &Dataset,
     compliance: f64,
 ) -> impl Fn(usize) -> SimulatedUser + Sync + '_ {
@@ -340,8 +342,10 @@ fn oracle_factory(
 /// per `(batch, worker)` slice and merge them (the merge sums raw
 /// counts, so the rows are independent of how the session and the
 /// scheduler partitioned the stream), concatenate outcomes in stream
-/// order, and shift worker ranges to global stream positions.
-fn fold_session(report: SessionReport, dataset: Dataset, report_rounds: usize) -> RunResult {
+/// order, and shift worker ranges to global stream positions. Public
+/// so `exp_service` can fold each multiplexed session's report the
+/// same way the single-session runners do.
+pub fn fold_session(report: SessionReport, dataset: Dataset, report_rounds: usize) -> RunResult {
     let report_rounds = report_rounds.max(1);
     let mut metrics: Option<Vec<RoundMetrics>> = None;
     let mut workers: Vec<WorkerReport> = Vec::new();

@@ -25,7 +25,11 @@
 //! [`RepairSession`](crate::session::RepairSession) drains any
 //! [`TupleSource`](crate::session::TupleSource) through this engine
 //! batch by batch; the one-shot methods below are thin shims over a
-//! one-batch session.
+//! one-batch session. One layer above *that*, the
+//! [`service`](crate::service) multiplexer schedules N independent
+//! sessions fairly over a single engine — the engine itself is
+//! session-count-agnostic: nothing here assumes the batches it fans
+//! out belong to one stream.
 //!
 //! # Determinism
 //!
@@ -483,9 +487,13 @@ pub struct BatchReport {
     pub stats: MonitorStats,
     /// Merged local BDD cache statistics.
     pub bdd: BddStats,
-    /// Snapshot of the engine's [`SharedSuggestionCache`] counters
-    /// after the batch (cumulative over the engine's lifetime), when
-    /// the shared cache was enabled for this repair.
+    /// The engine's [`SharedSuggestionCache`] statistics *attributed to
+    /// this batch* (present iff the shared cache was enabled for this
+    /// repair): `hits` / `misses` are this batch's own worker-side
+    /// probe counts (so summing them over every batch any session ran
+    /// reproduces the engine-global counters exactly — worker counters
+    /// tick 1:1 with the cache-side atomics), while `entries` and
+    /// `per_shard` snapshot the engine-lifetime pool after the batch.
     pub shared: Option<SharedCacheStats>,
     /// Wall-clock time of the whole batch (what throughput divides by).
     pub wall: Duration,
@@ -509,13 +517,13 @@ impl BatchReport {
 /// an atomic claim cursor. The owner and thieves both claim through
 /// [`ChunkQueue::claim`]; `fetch_add` hands each chunk out exactly
 /// once, and an overshot cursor simply means the queue is empty.
-struct ChunkQueue {
+pub(crate) struct ChunkQueue {
     next: AtomicUsize,
     end: usize,
 }
 
 impl ChunkQueue {
-    fn new(range: Range<usize>) -> ChunkQueue {
+    pub(crate) fn new(range: Range<usize>) -> ChunkQueue {
         ChunkQueue {
             next: AtomicUsize::new(range.start),
             end: range.end,
@@ -526,7 +534,7 @@ impl ChunkQueue {
     /// uniqueness comes from the atomicity of the read-modify-write,
     /// and the claimed data (the input slice) is immutable, so no
     /// cross-thread ordering is needed.
-    fn claim(&self) -> Option<usize> {
+    pub(crate) fn claim(&self) -> Option<usize> {
         let c = self.next.fetch_add(1, Ordering::Relaxed);
         (c < self.end).then_some(c)
     }
@@ -678,7 +686,7 @@ impl BatchRepairEngine {
                 outcomes: Vec::new(),
                 stats: MonitorStats::default(),
                 bdd: BddStats::default(),
-                shared: opts.shared_cache.then(|| self.shared.stats()),
+                shared: opts.shared_cache.then(|| self.shared.attributed(0, 0)),
                 wall: started.elapsed(),
                 workers: Vec::new(),
             };
@@ -813,11 +821,17 @@ impl BatchRepairEngine {
             outcomes.extend(outs.expect("every chunk claimed exactly once"));
         }
         debug_assert_eq!(outcomes.len(), n);
+        // attribute the shared counters to this batch: the workers'
+        // own probe counts, not the engine-global cumulative ones
+        let shared = opts.shared_cache.then(|| {
+            self.shared
+                .attributed(stats.shared_hits, stats.shared_misses)
+        });
         BatchReport {
             outcomes,
             stats,
             bdd,
-            shared: opts.shared_cache.then(|| self.shared.stats()),
+            shared,
             wall: started.elapsed(),
             workers: reports,
         }
@@ -885,6 +899,8 @@ fn _send_sync_audit() {
     check::<BatchRepairEngine>();
     check::<SharedSuggestionCache>();
     check::<ChunkQueue>();
+    check::<crate::service::RepairService>();
+    check::<crate::service::ServiceOptions>();
     check::<RuleSet>();
     check::<MasterIndex>();
     check::<RulePlan>();
@@ -1124,14 +1140,25 @@ mod tests {
             oracle_for,
         );
         let shared = report.shared.as_ref().expect("shared stats snapshot");
+        // `BatchReport::shared` is attributed per batch: each report
+        // carries its own workers' probe counts, not the engine-global
+        // cumulative ones
+        let warm_shared = warm.shared.as_ref().expect("shared stats snapshot");
+        assert_eq!(warm_shared.hits, warm.stats.shared_hits);
+        assert_eq!(warm_shared.misses, warm.stats.shared_misses);
+        assert_eq!(shared.hits, report.stats.shared_hits);
+        assert_eq!(shared.misses, report.stats.shared_misses);
+        // ... and summing the attributed counters over every batch the
+        // engine ran reproduces the engine-global cache-side counters
+        // exactly (the satellite identity)
+        let global = engine.shared_cache().stats();
         assert_eq!(
-            shared.hits + shared.misses,
-            warm.stats.shared_hits
-                + warm.stats.shared_misses
-                + report.stats.shared_hits
-                + report.stats.shared_misses,
-            "cache-side counters (cumulative) agree with the worker-side sums"
+            global.hits + global.misses,
+            warm_shared.hits + warm_shared.misses + shared.hits + shared.misses,
+            "attributed batch counters sum to the engine-global ones"
         );
+        assert_eq!(global.hits, warm_shared.hits + shared.hits);
+        assert_eq!(global.misses, warm_shared.misses + shared.misses);
         assert!(
             report.stats.shared_hits > 0,
             "pooled suggestions were served across workers: {shared:?}"

@@ -21,7 +21,15 @@
 //! tuple and attribute level. The unified entry-point surface is the
 //! [`session`] API: a [`RepairSession`] drains any [`TupleSource`]
 //! (slice, generator batches, or a bounded channel) through the
-//! work-stealing [`BatchRepairEngine`] and emits a [`SessionReport`].
+//! work-stealing [`BatchRepairEngine`] and emits a [`SessionReport`];
+//! for N concurrent streams over one engine, the [`service`]
+//! multiplexer ([`RepairService`]) schedules the sessions fairly and
+//! reports each one as if it had run alone.
+//!
+//! Every guarantee this crate leans on — schedule-independence, plan ≡
+//! legacy, stream ≡ batch, block ≡ single probe, session-interleaving-
+//! independence — is inventoried with its discharging test or CI job
+//! in `DETERMINISM.md` at the repository root.
 
 pub mod bdd;
 pub mod certainfix;
@@ -29,6 +37,7 @@ pub mod engine;
 pub mod metrics;
 pub mod monitor;
 pub mod oracle;
+pub mod service;
 pub mod session;
 pub mod sharedcache;
 pub mod transfix;
@@ -43,6 +52,10 @@ pub use metrics::{
 };
 pub use monitor::{DataMonitor, InitialRegion, MonitorStats};
 pub use oracle::{SimulatedUser, UserOracle};
+pub use service::{
+    NamedSessionReport, RepairService, RepairServiceBuilder, ServiceOptions, ServiceReport,
+    ServiceStream,
+};
 pub use session::{
     BatchesSource, ChannelSource, RepairSession, RepairSessionBuilder, SessionReport, SliceSource,
     TupleSource,

@@ -1,5 +1,11 @@
 //! The data-monitoring façade (Fig. 2): precomputation + per-tuple
 //! processing for `CertainFix` and `CertainFix+`.
+//!
+//! [`MonitorStats`] defined here is the statistics currency of every
+//! layer above — engine workers, sessions, and the multi-session
+//! [`RepairService`](crate::RepairService) all account in it and rely
+//! on its merge being an order-independent sum (invariant D2 of
+//! `DETERMINISM.md` at the repository root).
 
 use std::sync::Arc;
 use std::time::Duration;

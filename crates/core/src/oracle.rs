@@ -22,6 +22,16 @@ pub trait UserOracle {
     fn assert_correct(&mut self, t: &Tuple, suggestion: &[AttrId]) -> Vec<(AttrId, Value)>;
 }
 
+/// Boxed oracles forward transparently, so heterogeneous sessions (the
+/// [`service`](crate::service) multiplexer hands every stream's oracles
+/// around as `Box<dyn UserOracle>`) run through the same generic
+/// pipelines as concrete ones.
+impl<O: UserOracle + ?Sized> UserOracle for Box<O> {
+    fn assert_correct(&mut self, t: &Tuple, suggestion: &[AttrId]) -> Vec<(AttrId, Value)> {
+        (**self).assert_correct(t, suggestion)
+    }
+}
+
 /// A ground-truth-backed simulated user.
 pub struct SimulatedUser {
     clean: Tuple,

@@ -1,0 +1,1016 @@
+//! The multi-session repair service: fair multiplexing of N
+//! [`TupleSource`] streams over one engine.
+//!
+//! The paper's monitor repairs *one* stream of dirty tuples against one
+//! master relation; a deployment is rarely that lucky. [`RepairService`]
+//! is the service shape the ROADMAP aims at: one
+//! [`BatchRepairEngine`] — one compiled
+//! [`RulePlan`](certainfix_rules::RulePlan), one
+//! [`SharedSuggestionCache`](crate::SharedSuggestionCache), one
+//! work-stealing worker pool — shared by N independent sessions, each
+//! with its own [`TupleSource`], its own oracle space, and its own
+//! [`SessionReport`].
+//!
+//! # Architecture
+//!
+//! Ingest and repair are separate lanes over one immutable context
+//! (the HTAP-style isolation: producers never run repair code, repair
+//! workers never block on a producer):
+//!
+//! * **Ingest lanes** — one feeder thread per stream pulls
+//!   `next_batch()` into a *bounded* channel of
+//!   [`ServiceOptions::depth`] in-flight batches. The bound is real
+//!   backpressure: a producer that outruns the repair pool blocks in
+//!   `send`, and a producer that stalls simply leaves its lane empty —
+//!   it can never wedge the pool, because the scheduler only ever
+//!   *try*-receives.
+//! * **Epoch scheduler** — the caller's thread repeatedly collects at
+//!   most one pending batch per session (polling sessions round-robin,
+//!   skipping lanes with nothing ready), chunks every collected batch,
+//!   interleaves the chunks round-robin across the sessions, and fans
+//!   the epoch out to the work-stealing pool. A claimed chunk stays one
+//!   probe block, tagged with its session; blocks never mix tuples of
+//!   different sessions.
+//! * **Repair lanes** — the epoch's worker threads claim chunks from
+//!   per-worker queues (their own first, then stealing), exactly like
+//!   [`BatchRepairEngine`]'s fan-out, charging per-`(worker, session)`
+//!   statistics so every session's numbers stay attributable.
+//!
+//! # Fairness
+//!
+//! Per epoch, every session with a batch ready contributes exactly one
+//! batch, and the chunk interleaving deals the sessions' chunks
+//! round-robin — so a 10×-larger batch costs its owner proportionally
+//! more epochs, not a monopoly on the pool, and the poll rotation means
+//! no session is systematically served first. Fairness is *work-
+//! conserving*: a session with nothing ready is skipped, never waited
+//! for.
+//!
+//! # Determinism: interleaving-independence
+//!
+//! Every tuple's repair depends only on the tuple, its oracle, and the
+//! shared immutable context. A session's tuples are chunked in stream
+//! order, each chunk is one probe block of that session alone, and
+//! block probing is bit-identical at every block size (the PR 6
+//! contract), so for plain `CertainFix` (`bdd(false)`, shared cache
+//! off) each session's outcomes and merged deterministic
+//! [`MonitorStats`] counts (`tuples`, `certain`, `rounds`,
+//! `plan_probes`, `plan_fallbacks`) are **bit-identical to draining
+//! that session alone through a [`RepairSession`]** — regardless of
+//! how many other sessions run concurrently, how the epochs happen to
+//! compose, or the worker count — and the aggregate
+//! [`ServiceReport::stats`] merge equals running the sessions one at a
+//! time. Wall-clock observables (`elapsed`, the interner watermark,
+//! `probe_allocs`, per-epoch worker breakdowns) are exempt as always;
+//! with a cache enabled, *served suggestions are checked, not
+//! recomputed*, so counters become interleaving-dependent while final
+//! repaired tuples still agree. The shared-cache counters keep one
+//! interleaving-independent identity either way: per-session attributed
+//! `hits`/`misses` always sum to the engine-global cache counters.
+//!
+//! ```
+//! use certainfix_core::service::{RepairServiceBuilder, ServiceStream};
+//! use certainfix_core::session::SliceSource;
+//! use certainfix_core::SimulatedUser;
+//! use certainfix_datagen::{Dataset, DirtyConfig, Hosp, Workload};
+//!
+//! let hosp = Hosp::generate(100);
+//! let mk = |seed| {
+//!     Dataset::generate(&hosp, &DirtyConfig { input_size: 30, seed, ..Default::default() })
+//! };
+//! let (a, b) = (mk(1), mk(2));
+//! let (da, db): (Vec<_>, Vec<_>) = (
+//!     a.inputs.iter().map(|dt| dt.dirty.clone()).collect(),
+//!     b.inputs.iter().map(|dt| dt.dirty.clone()).collect(),
+//! );
+//!
+//! let service = RepairServiceBuilder::new(hosp.rules().clone(), hosp.master().clone())
+//!     .threads(2)
+//!     .build();
+//! let report = service.run(vec![
+//!     ServiceStream::new("tenant-a", SliceSource::with_batch(&da, 8), |i| {
+//!         SimulatedUser::new(a.inputs[i].clean.clone())
+//!     }),
+//!     ServiceStream::new("tenant-b", SliceSource::with_batch(&db, 8), |i| {
+//!         SimulatedUser::new(b.inputs[i].clean.clone())
+//!     }),
+//! ]);
+//! assert_eq!(report.sessions.len(), 2);
+//! assert_eq!(report.tuples, 60);
+//! assert_eq!(report.session("tenant-a").unwrap().tuples, 30);
+//! ```
+
+use std::sync::mpsc::{channel, sync_channel, TryRecvError};
+use std::time::{Duration, Instant};
+
+use certainfix_relation::{Relation, Tuple};
+use certainfix_rules::{ProbeScratch, RuleSet};
+use std::sync::Arc;
+
+use crate::bdd::{BddStats, SuggestionBdd};
+use crate::certainfix::{CertainFixConfig, FixOutcome};
+use crate::engine::{BatchRepairEngine, BatchReport, ChunkQueue, WorkerReport};
+use crate::monitor::{InitialRegion, MonitorStats};
+use crate::oracle::UserOracle;
+use crate::session::{SessionReport, TupleSource};
+use crate::sharedcache::SharedCacheStats;
+
+/// A boxed oracle as the service hands them to its workers.
+pub type BoxedOracle<'a> = Box<dyn UserOracle + 'a>;
+
+type OracleFactory<'a> = Box<dyn Fn(usize) -> BoxedOracle<'a> + Send + Sync + 'a>;
+
+/// One stream a [`RepairService`] multiplexes: a name (for the
+/// report), a [`TupleSource`], and the stream's oracle factory.
+///
+/// The factory receives the **session-local stream index** — the
+/// number of tuples this stream yielded before the one being repaired
+/// — exactly the index a solo [`RepairSession`](crate::RepairSession)
+/// drain would pass. Index spaces of different streams never mix, and
+/// like the engine's, the factory is called from worker threads and
+/// must depend only on the index.
+pub struct ServiceStream<'a> {
+    name: String,
+    source: Box<dyn TupleSource + Send + 'a>,
+    oracle_for: OracleFactory<'a>,
+}
+
+impl<'a> ServiceStream<'a> {
+    /// Bundle a named stream. `source` yields the stream in order (the
+    /// [`TupleSource`] contract); `oracle_for(i)` supplies the user for
+    /// the stream's `i`-th tuple.
+    pub fn new<S, F, O>(name: impl Into<String>, source: S, oracle_for: F) -> ServiceStream<'a>
+    where
+        S: TupleSource + Send + 'a,
+        F: Fn(usize) -> O + Send + Sync + 'a,
+        O: UserOracle + 'a,
+    {
+        ServiceStream {
+            name: name.into(),
+            source: Box::new(source),
+            oracle_for: Box::new(move |i| Box::new(oracle_for(i)) as BoxedOracle<'a>),
+        }
+    }
+
+    /// The stream's name, as it will appear in the report.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Knobs of one [`RepairService`]: the pool shape plus the per-session
+/// ingest-lane depth. The service is steal-only (fair multiplexing
+/// *is* chunked stealing; a contiguous shard per worker would undo the
+/// session interleave).
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceOptions {
+    /// Worker threads of the shared repair pool (`0` = one per
+    /// available core).
+    pub threads: usize,
+    /// Chunk granularity (`0` = auto per collected batch: about 8
+    /// chunks per worker, capped at 512 tuples). A chunk is also the
+    /// probe-block unit.
+    pub chunk: usize,
+    /// Pool computed suggestions in the engine-lifetime
+    /// [`SharedSuggestionCache`](crate::SharedSuggestionCache), shared
+    /// by *all* sessions (one pool, not per-tenant copies).
+    pub shared_cache: bool,
+    /// Bounded ingest-lane depth: batches a producer may have in
+    /// flight before its `send` blocks (clamped to at least 1).
+    pub depth: usize,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            threads: 1,
+            chunk: 0,
+            shared_cache: true,
+            depth: 2,
+        }
+    }
+}
+
+/// Configures and builds an owned [`RepairService`] — the multi-stream
+/// sibling of [`RepairSessionBuilder`](crate::RepairSessionBuilder),
+/// with the same precomputation knobs.
+#[derive(Clone)]
+pub struct RepairServiceBuilder {
+    rules: RuleSet,
+    master: Arc<Relation>,
+    use_bdd: bool,
+    initial: InitialRegion,
+    config: CertainFixConfig,
+    opts: ServiceOptions,
+}
+
+impl RepairServiceBuilder {
+    /// A service over `(Σ, Dm)` with the defaults: plain `CertainFix`,
+    /// best initial region, one worker, shared cache on, lane depth 2.
+    pub fn new(rules: RuleSet, master: Arc<Relation>) -> RepairServiceBuilder {
+        RepairServiceBuilder {
+            rules,
+            master,
+            use_bdd: false,
+            initial: InitialRegion::default(),
+            config: CertainFixConfig::default(),
+            opts: ServiceOptions::default(),
+        }
+    }
+
+    /// Serve suggestions from per-worker BDD caches (`CertainFix+`).
+    pub fn bdd(mut self, on: bool) -> Self {
+        self.use_bdd = on;
+        self
+    }
+
+    /// Which precomputed region seeds the first suggestion.
+    pub fn initial_region(mut self, region: InitialRegion) -> Self {
+        self.initial = region;
+        self
+    }
+
+    /// The `CertainFix` interaction-loop configuration.
+    pub fn config(mut self, config: CertainFixConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Worker threads of the shared pool (`0` = one per core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.opts.threads = threads;
+        self
+    }
+
+    /// Chunk / probe-block granularity (`0` = auto).
+    pub fn chunk(mut self, chunk: usize) -> Self {
+        self.opts.chunk = chunk;
+        self
+    }
+
+    /// Pool computed suggestions across sessions.
+    pub fn shared_cache(mut self, on: bool) -> Self {
+        self.opts.shared_cache = on;
+        self
+    }
+
+    /// Bounded ingest-lane depth per session.
+    pub fn depth(mut self, depth: usize) -> Self {
+        self.opts.depth = depth;
+        self
+    }
+
+    /// Replace all service knobs at once.
+    pub fn options(mut self, opts: ServiceOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Build the precomputation and the service (owning its engine).
+    pub fn build(self) -> RepairService {
+        let engine = BatchRepairEngine::with_config(
+            self.rules,
+            self.master,
+            self.use_bdd,
+            self.initial,
+            self.config,
+        );
+        RepairService::from_engine(engine, self.opts)
+    }
+}
+
+/// The session multiplexer; see the [module docs](self) for the
+/// architecture and the fairness / determinism contract.
+///
+/// A service owns one engine and is reusable: each [`run`](Self::run)
+/// multiplexes one set of streams to completion, and the engine-
+/// lifetime shared cache stays warm across runs (exactly as it does
+/// across the batches of a solo session).
+pub struct RepairService {
+    engine: BatchRepairEngine,
+    opts: ServiceOptions,
+}
+
+impl RepairService {
+    /// Wrap a prepared engine.
+    pub fn from_engine(engine: BatchRepairEngine, opts: ServiceOptions) -> RepairService {
+        RepairService { engine, opts }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &BatchRepairEngine {
+        &self.engine
+    }
+
+    /// The service knobs every run uses.
+    pub fn options(&self) -> &ServiceOptions {
+        &self.opts
+    }
+
+    /// Multiplex `streams` to completion and report per-session plus
+    /// aggregate results. Returns when every stream's source is
+    /// exhausted; sessions that finish early simply stop contributing
+    /// epochs while the rest keep the pool busy.
+    pub fn run(&self, streams: Vec<ServiceStream<'_>>) -> ServiceReport {
+        let started = Instant::now();
+        let n_sessions = streams.len();
+        let threads = match self.opts.threads {
+            0 => BatchRepairEngine::auto_threads(),
+            t => t,
+        }
+        .max(1);
+        let depth = self.opts.depth.max(1);
+
+        let mut names = Vec::with_capacity(n_sessions);
+        let mut sources = Vec::with_capacity(n_sessions);
+        let mut factories: Vec<OracleFactory<'_>> = Vec::with_capacity(n_sessions);
+        for stream in streams {
+            names.push(stream.name);
+            sources.push(stream.source);
+            factories.push(stream.oracle_for);
+        }
+
+        let mut acc: Vec<SessionAcc> = Vec::new();
+        acc.resize_with(n_sessions, SessionAcc::default);
+        let mut epochs = 0u64;
+
+        if n_sessions > 0 {
+            std::thread::scope(|scope| {
+                // ingest lanes: one feeder per stream, bounded channel,
+                // plus a shared doorbell so an idle scheduler blocks
+                // instead of spinning
+                let (bell_tx, bell_rx) = channel::<()>();
+                let mut lanes = Vec::with_capacity(n_sessions);
+                for source in sources {
+                    let (tx, rx) = sync_channel::<Vec<Tuple>>(depth);
+                    let bell = bell_tx.clone();
+                    lanes.push(rx);
+                    scope.spawn(move || {
+                        let mut source = source;
+                        while let Some(batch) = source.next_batch() {
+                            if batch.is_empty() {
+                                continue;
+                            }
+                            if tx.send(batch).is_err() {
+                                break; // the service stopped draining
+                            }
+                            let _ = bell.send(());
+                        }
+                        // dropping tx disconnects the lane; ring once
+                        // more so a blocked scheduler notices the end
+                        drop(tx);
+                        let _ = bell.send(());
+                    });
+                }
+                drop(bell_tx);
+
+                let mut open = vec![true; n_sessions];
+                // rotate which session is polled first so no stream is
+                // systematically served ahead of the others
+                let mut first = 0usize;
+                loop {
+                    let mut collected: Vec<(usize, Vec<Tuple>)> = Vec::new();
+                    for k in 0..n_sessions {
+                        let s = (first + k) % n_sessions;
+                        if !open[s] {
+                            continue;
+                        }
+                        match lanes[s].try_recv() {
+                            Ok(batch) => collected.push((s, batch)),
+                            Err(TryRecvError::Empty) => {}
+                            Err(TryRecvError::Disconnected) => open[s] = false,
+                        }
+                    }
+                    first = (first + 1) % n_sessions;
+                    if collected.is_empty() {
+                        if !open.iter().any(|&o| o) {
+                            break; // every stream exhausted and drained
+                        }
+                        // nothing ready: sleep until a feeder rings
+                        // (or exits — the next poll sees the disconnect)
+                        let _ = bell_rx.recv();
+                        continue;
+                    }
+                    epochs += 1;
+                    self.run_epoch(collected, &factories, &mut acc, threads);
+                }
+            });
+        }
+
+        let mut sessions = Vec::with_capacity(n_sessions);
+        let mut stats = MonitorStats::default();
+        let mut bdd = BddStats::default();
+        let mut shared: Option<SharedCacheStats> = None;
+        let mut tuples = 0usize;
+        for (name, a) in names.into_iter().zip(acc) {
+            let mut report = SessionReport::from_batches(&a.batches, a.wall, a.tuples);
+            report.batches = a.batches;
+            stats.merge(&report.stats);
+            bdd.merge(&report.bdd);
+            if let Some(s) = &report.shared {
+                let agg = shared.get_or_insert_with(SharedCacheStats::default);
+                agg.hits += s.hits;
+                agg.misses += s.misses;
+            }
+            tuples += report.tuples;
+            sessions.push(NamedSessionReport { name, report });
+        }
+        if let Some(agg) = &mut shared {
+            // attributed counters summed over the sessions; pool
+            // occupancy is the engine's final snapshot
+            let snapshot = self.engine.shared_cache().stats();
+            agg.entries = snapshot.entries;
+            agg.per_shard = snapshot.per_shard;
+        }
+        ServiceReport {
+            sessions,
+            stats,
+            bdd,
+            shared,
+            wall: started.elapsed(),
+            epochs,
+            tuples,
+        }
+    }
+
+    /// Repair one epoch: chunk each collected batch, interleave the
+    /// chunks round-robin across sessions, fan out to the stealing
+    /// pool, and stitch one [`BatchReport`] per session in its own
+    /// stream order.
+    fn run_epoch(
+        &self,
+        batches: Vec<(usize, Vec<Tuple>)>,
+        factories: &[OracleFactory<'_>],
+        acc: &mut [SessionAcc],
+        threads: usize,
+    ) {
+        let started = Instant::now();
+        let nb = batches.len();
+        // session-local stream offset each batch starts at (at most one
+        // batch per session per epoch, so this is race-free by shape)
+        let bases: Vec<usize> = batches.iter().map(|&(s, _)| acc[s].tuples).collect();
+
+        // chunk each batch in stream order; `order` interleaves the
+        // per-batch chunk lists round-robin, so consecutive chunks of
+        // the deal alternate sessions and every worker's initial run
+        // mixes the streams fairly
+        let mut per_batch: Vec<Vec<(usize, usize)>> = Vec::with_capacity(nb);
+        for (_, tuples) in &batches {
+            let n = tuples.len();
+            let chunk_size = if self.opts.chunk > 0 {
+                self.opts.chunk.min(n)
+            } else {
+                (n / (threads * 8)).clamp(1, 512)
+            };
+            per_batch.push(
+                (0..n.div_ceil(chunk_size))
+                    .map(|c| (c * chunk_size, ((c + 1) * chunk_size).min(n)))
+                    .collect(),
+            );
+        }
+        // (batch, lo, hi) per chunk, round-robin across batches; and
+        // for each batch, its chunks' order-ids in stream order
+        let mut order: Vec<(usize, usize, usize)> = Vec::new();
+        let mut batch_chunks: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        let rounds = per_batch.iter().map(Vec::len).max().unwrap_or(0);
+        for round in 0..rounds {
+            for (b, chunks) in per_batch.iter().enumerate() {
+                if let Some(&(lo, hi)) = chunks.get(round) {
+                    batch_chunks[b].push(order.len());
+                    order.push((b, lo, hi));
+                }
+            }
+        }
+        let n_chunks = order.len();
+        if n_chunks == 0 {
+            return;
+        }
+        let workers = threads.min(n_chunks);
+        let per_worker = n_chunks.div_ceil(workers);
+        let queues: Vec<ChunkQueue> = (0..workers)
+            .map(|w| {
+                ChunkQueue::new(
+                    (w * per_worker).min(n_chunks)..((w + 1) * per_worker).min(n_chunks),
+                )
+            })
+            .collect();
+
+        let mut slots: Vec<Option<EpochWorkerOut>> = Vec::new();
+        slots.resize_with(workers, || None);
+
+        let ctx = self.engine.context();
+        let shared = self.opts.shared_cache.then(|| self.engine.shared_cache());
+        let block_mode = ctx.uses_plan() && !ctx.uses_bdd() && shared.is_none();
+        let order = &order;
+        let batches = &batches;
+        let bases = &bases;
+        let queues = &queues;
+        std::thread::scope(|s| {
+            for (w, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move || {
+                    let mut bdd = SuggestionBdd::new();
+                    let mut scratch = ProbeScratch::new();
+                    // per-(worker, session) accounting, indexed by the
+                    // epoch's batch position
+                    let mut stats: Vec<MonitorStats> = Vec::new();
+                    stats.resize_with(nb, MonitorStats::default);
+                    let mut bdd_before: Vec<BddStats> = Vec::new();
+                    bdd_before.resize_with(nb, BddStats::default);
+                    let mut bdd_stats: Vec<BddStats> = Vec::new();
+                    bdd_stats.resize_with(nb, BddStats::default);
+                    let mut chunks: Vec<(usize, Vec<FixOutcome>)> = Vec::new();
+                    let run_chunk =
+                        |c: usize,
+                         bdd: &mut SuggestionBdd,
+                         stats: &mut [MonitorStats],
+                         bdd_stats: &mut [BddStats],
+                         bdd_before: &mut [BddStats],
+                         scratch: &mut ProbeScratch| {
+                            let (b, lo, hi) = order[c];
+                            let (session, tuples) = &batches[b];
+                            let base = bases[b];
+                            let factory = &factories[*session];
+                            let oracle_for = move |i: usize| factory(base + i);
+                            bdd_before[b] = bdd.stats();
+                            let outs: Vec<FixOutcome> = if block_mode && hi - lo >= 2 {
+                                // a claimed chunk stays one probe block,
+                                // tagged with (and containing only) its
+                                // session
+                                ctx.process_block_full(
+                                    &mut stats[b],
+                                    scratch,
+                                    &tuples[lo..hi],
+                                    lo,
+                                    &oracle_for,
+                                )
+                            } else {
+                                (lo..hi)
+                                    .map(|i| {
+                                        let mut oracle = oracle_for(i);
+                                        ctx.process_with_full(
+                                            bdd,
+                                            &mut stats[b],
+                                            shared,
+                                            scratch,
+                                            &tuples[i],
+                                            &mut oracle,
+                                        )
+                                    })
+                                    .collect()
+                            };
+                            // charge the worker's BDD delta to the chunk's
+                            // session (the diagram itself is per-worker)
+                            accumulate_delta(&mut bdd_stats[b], &bdd_before[b], &bdd.stats());
+                            (c, outs)
+                        };
+                    while let Some(c) = queues[w].claim() {
+                        chunks.push(run_chunk(
+                            c,
+                            &mut bdd,
+                            &mut stats,
+                            &mut bdd_stats,
+                            &mut bdd_before,
+                            &mut scratch,
+                        ));
+                    }
+                    // steal: one pass over the victims suffices —
+                    // queues only ever shrink
+                    for v in (w + 1..workers).chain(0..w) {
+                        while let Some(c) = queues[v].claim() {
+                            chunks.push(run_chunk(
+                                c,
+                                &mut bdd,
+                                &mut stats,
+                                &mut bdd_stats,
+                                &mut bdd_before,
+                                &mut scratch,
+                            ));
+                        }
+                    }
+                    *slot = Some(EpochWorkerOut {
+                        chunks,
+                        stats,
+                        bdd: bdd_stats,
+                    });
+                });
+            }
+        });
+        let wall = started.elapsed();
+
+        // stitch: per session, outcomes back in its own stream order,
+        // statistics merged per (worker, session)
+        let mut by_chunk: Vec<Option<Vec<FixOutcome>>> = Vec::new();
+        by_chunk.resize_with(n_chunks, || None);
+        let outs: Vec<EpochWorkerOut> = slots
+            .into_iter()
+            .map(|s| s.expect("every spawned worker publishes its slot"))
+            .collect();
+        for out in &outs {
+            for (c, outcomes) in &out.chunks {
+                debug_assert!(by_chunk[*c].is_none(), "chunk {c} claimed twice");
+                by_chunk[*c] = Some(outcomes.clone());
+            }
+        }
+        for (b, (session, tuples)) in batches.iter().enumerate() {
+            let mut stats = MonitorStats::default();
+            let mut bdd = BddStats::default();
+            let mut workers_out: Vec<WorkerReport> = Vec::new();
+            for (w, out) in outs.iter().enumerate() {
+                let mut spans: Vec<(usize, usize)> = out
+                    .chunks
+                    .iter()
+                    .filter(|(c, _)| order[*c].0 == b)
+                    .map(|(c, _)| (order[*c].1, order[*c].2))
+                    .collect();
+                if spans.is_empty() {
+                    continue;
+                }
+                spans.sort_unstable();
+                let mut ranges: Vec<std::ops::Range<usize>> = Vec::new();
+                for (lo, hi) in spans {
+                    match ranges.last_mut() {
+                        Some(last) if last.end == lo => last.end = hi,
+                        _ => ranges.push(lo..hi),
+                    }
+                }
+                stats.merge(&out.stats[b]);
+                bdd.merge(&out.bdd[b]);
+                workers_out.push(WorkerReport {
+                    worker: w,
+                    ranges,
+                    stats: out.stats[b],
+                    bdd: out.bdd[b],
+                });
+            }
+            let mut outcomes = Vec::with_capacity(tuples.len());
+            for &c in &batch_chunks[b] {
+                outcomes.extend(
+                    by_chunk[c]
+                        .as_ref()
+                        .expect("every chunk claimed exactly once")
+                        .iter()
+                        .cloned(),
+                );
+            }
+            debug_assert_eq!(outcomes.len(), tuples.len());
+            let shared_stats = self.opts.shared_cache.then(|| {
+                self.engine
+                    .shared_cache()
+                    .attributed(stats.shared_hits, stats.shared_misses)
+            });
+            acc[*session].tuples += tuples.len();
+            acc[*session].wall += wall;
+            acc[*session].batches.push(BatchReport {
+                outcomes,
+                stats,
+                bdd,
+                shared: shared_stats,
+                // the epoch's wall clock: co-resident sessions share
+                // (and each report) the same epoch span
+                wall,
+                workers: workers_out,
+            });
+        }
+    }
+}
+
+/// Per-session accumulation across epochs.
+#[derive(Default)]
+struct SessionAcc {
+    batches: Vec<BatchReport>,
+    tuples: usize,
+    wall: Duration,
+}
+
+/// What one epoch worker hands back to the stitcher.
+struct EpochWorkerOut {
+    /// `(order index, outcomes)` in claim order.
+    chunks: Vec<(usize, Vec<FixOutcome>)>,
+    /// Per-epoch-batch monitor statistics.
+    stats: Vec<MonitorStats>,
+    /// Per-epoch-batch BDD statistics (deltas of the worker's diagram).
+    bdd: Vec<BddStats>,
+}
+
+/// `acc += after - before`, field by field (the BDD diagram is
+/// per-worker, its counters monotone, so per-session charges are
+/// deltas around each chunk).
+fn accumulate_delta(acc: &mut BddStats, before: &BddStats, after: &BddStats) {
+    acc.hits += after.hits - before.hits;
+    acc.misses += after.misses - before.misses;
+    acc.failed_checks += after.failed_checks - before.failed_checks;
+    acc.dedup_reuses += after.dedup_reuses - before.dedup_reuses;
+    acc.shared_hits += after.shared_hits - before.shared_hits;
+    acc.shared_misses += after.shared_misses - before.shared_misses;
+}
+
+/// One multiplexed session's result: the stream's name plus a
+/// [`SessionReport`] shaped exactly like a solo drain of the same
+/// source (outcomes in the stream's own input order; batch boundaries
+/// are the epochs the session took part in).
+#[derive(Clone, Debug)]
+pub struct NamedSessionReport {
+    /// The [`ServiceStream`]'s name.
+    pub name: String,
+    /// The session's report.
+    pub report: SessionReport,
+}
+
+/// The aggregate result of one [`RepairService::run`].
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Per-session reports, in the order the streams were passed.
+    pub sessions: Vec<NamedSessionReport>,
+    /// Merged monitor statistics over all sessions — for the
+    /// deterministic count fields, equal to running the sessions one
+    /// at a time and merging.
+    pub stats: MonitorStats,
+    /// Merged BDD statistics over all sessions.
+    pub bdd: BddStats,
+    /// Shared-cache statistics: attributed `hits` / `misses` summed
+    /// over the sessions (equal to the engine-global probe counters
+    /// this run added), pool occupancy from the engine's final
+    /// snapshot. `None` when the shared cache was off.
+    pub shared: Option<SharedCacheStats>,
+    /// End-to-end wall clock of the run, *including* time spent
+    /// waiting on producers (unlike the per-session `wall`s, which sum
+    /// only repair epochs).
+    pub wall: Duration,
+    /// Scheduler epochs executed.
+    pub epochs: u64,
+    /// Total tuples repaired across all sessions.
+    pub tuples: usize,
+}
+
+impl ServiceReport {
+    /// Look up one session's report by stream name (the first match,
+    /// if names were reused).
+    pub fn session(&self, name: &str) -> Option<&SessionReport> {
+        self.sessions
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| &s.report)
+    }
+
+    /// Aggregate throughput in tuples per second (end-to-end wall).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.tuples as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::SimulatedUser;
+    use crate::session::{RepairSessionBuilder, SliceSource};
+    use certainfix_datagen::{Dataset, DirtyConfig, Hosp, Workload};
+
+    fn hosp_sessions(dm: usize, sizes: &[usize]) -> (Hosp, Vec<Dataset>) {
+        let hosp = Hosp::generate(dm);
+        let datasets = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                Dataset::generate(
+                    &hosp,
+                    &DirtyConfig {
+                        duplicate_rate: 0.3,
+                        noise_rate: 0.2,
+                        input_size: n,
+                        seed: 0x05E5_510A ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9),
+                        skew: if i == 0 { 1.0 } else { 0.0 },
+                        ..DirtyConfig::default()
+                    },
+                )
+            })
+            .collect();
+        (hosp, datasets)
+    }
+
+    fn dirty_of(ds: &Dataset) -> Vec<Tuple> {
+        ds.inputs.iter().map(|dt| dt.dirty.clone()).collect()
+    }
+
+    /// The tentpole determinism test: three unevenly sized HOSP
+    /// streams (one skewed) multiplexed at 1, 2, and 4 workers — each
+    /// session's outcomes and deterministic merged counts are
+    /// bit-identical to draining that session alone through a solo
+    /// [`RepairSession`], and the aggregate merge equals the sum of
+    /// the solo runs.
+    #[test]
+    fn multiplexed_sessions_match_solo_runs_1_2_4() {
+        let (hosp, datasets) = hosp_sessions(200, &[900, 150, 420]);
+        let dirty: Vec<Vec<Tuple>> = datasets.iter().map(dirty_of).collect();
+
+        // solo baselines: each stream drained alone, sequentially
+        let solo: Vec<SessionReport> = datasets
+            .iter()
+            .zip(&dirty)
+            .map(|(ds, tuples)| {
+                let mut session =
+                    RepairSessionBuilder::new(hosp.rules().clone(), hosp.master().clone())
+                        .threads(1)
+                        .shared_cache(false)
+                        .build();
+                session.drain(SliceSource::with_batch(tuples, 128), |i| {
+                    SimulatedUser::new(ds.inputs[i].clean.clone())
+                });
+                session.finish()
+            })
+            .collect();
+
+        for workers in [1usize, 2, 4] {
+            let service = RepairServiceBuilder::new(hosp.rules().clone(), hosp.master().clone())
+                .threads(workers)
+                .shared_cache(false)
+                .build();
+            let streams = datasets
+                .iter()
+                .zip(&dirty)
+                .enumerate()
+                .map(|(s, (ds, tuples))| {
+                    ServiceStream::new(
+                        format!("s{s}"),
+                        SliceSource::with_batch(tuples, 128),
+                        move |i: usize| SimulatedUser::new(ds.inputs[i].clean.clone()),
+                    )
+                })
+                .collect();
+            let report = service.run(streams);
+            assert_eq!(report.sessions.len(), 3);
+            assert!(report.epochs > 0);
+            let mut merged = MonitorStats::default();
+            for (s, named) in report.sessions.iter().enumerate() {
+                let (got, want) = (&named.report, &solo[s]);
+                assert_eq!(named.name, format!("s{s}"));
+                assert_eq!(got.tuples, want.tuples, "session {s}, {workers} workers");
+                for (i, (a, b)) in got.outcomes().zip(want.outcomes()).enumerate() {
+                    assert_eq!(
+                        a.tuple, b.tuple,
+                        "session {s} tuple {i} ({workers} workers)"
+                    );
+                    assert_eq!(a.certain, b.certain, "session {s} tuple {i}");
+                    assert_eq!(a.validated, b.validated, "session {s} tuple {i}");
+                    assert_eq!(a.rounds.len(), b.rounds.len(), "session {s} tuple {i}");
+                }
+                // the deterministic MonitorStats fields, bit-for-bit
+                assert_eq!(got.stats.tuples, want.stats.tuples, "session {s}");
+                assert_eq!(got.stats.certain, want.stats.certain, "session {s}");
+                assert_eq!(got.stats.rounds, want.stats.rounds, "session {s}");
+                assert_eq!(got.stats.plan_probes, want.stats.plan_probes, "session {s}");
+                assert_eq!(
+                    got.stats.plan_fallbacks, want.stats.plan_fallbacks,
+                    "session {s}"
+                );
+                merged.merge(&got.stats);
+            }
+            // the aggregate is the order-independent merge of the
+            // per-session stats — i.e. the sequential one-at-a-time run
+            assert_eq!(report.stats.tuples, merged.tuples);
+            assert_eq!(report.stats.certain, merged.certain);
+            assert_eq!(report.stats.rounds, merged.rounds);
+            assert_eq!(report.stats.plan_probes, merged.plan_probes);
+            assert_eq!(report.tuples, 900 + 150 + 420);
+            assert!(report.shared.is_none(), "shared cache was off");
+        }
+    }
+
+    /// The satellite identity at the service level: with the shared
+    /// cache on, per-session attributed hit/miss counters sum exactly
+    /// to the engine-global cache-side counters.
+    #[test]
+    fn attributed_shared_counters_sum_to_engine_global() {
+        let (hosp, datasets) = hosp_sessions(150, &[300, 200]);
+        let dirty: Vec<Vec<Tuple>> = datasets.iter().map(dirty_of).collect();
+        let service = RepairServiceBuilder::new(hosp.rules().clone(), hosp.master().clone())
+            .bdd(true)
+            .threads(3)
+            .shared_cache(true)
+            .build();
+        let streams = datasets
+            .iter()
+            .zip(&dirty)
+            .enumerate()
+            .map(|(s, (ds, tuples))| {
+                ServiceStream::new(
+                    format!("s{s}"),
+                    SliceSource::with_batch(tuples, 64),
+                    move |i: usize| SimulatedUser::new(ds.inputs[i].clean.clone()),
+                )
+            })
+            .collect();
+        let report = service.run(streams);
+        let global = service.engine().shared_cache().stats();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for named in &report.sessions {
+            let shared = named.report.shared.as_ref().expect("shared cache was on");
+            assert_eq!(shared.hits, named.report.stats.shared_hits);
+            assert_eq!(shared.misses, named.report.stats.shared_misses);
+            hits += shared.hits;
+            misses += shared.misses;
+        }
+        assert_eq!(
+            (hits, misses),
+            (global.hits, global.misses),
+            "per-session attributed counters sum to the engine-global ones"
+        );
+        let agg = report.shared.as_ref().expect("aggregate shared stats");
+        assert_eq!((agg.hits, agg.misses), (hits, misses));
+        assert_eq!(agg.entries, global.entries);
+        assert!(misses > 0, "something was computed");
+        // repaired tuples still agree with solo runs even with the
+        // caches on (checked reuse changes traces, never fixes)
+        for (s, (ds, tuples)) in datasets.iter().zip(&dirty).enumerate() {
+            let mut solo = RepairSessionBuilder::new(hosp.rules().clone(), hosp.master().clone())
+                .bdd(true)
+                .threads(1)
+                .shared_cache(false)
+                .build();
+            solo.drain(SliceSource::new(tuples), |i| {
+                SimulatedUser::new(ds.inputs[i].clean.clone())
+            });
+            let solo = solo.finish();
+            for (i, (a, b)) in report.sessions[s]
+                .report
+                .outcomes()
+                .zip(solo.outcomes())
+                .enumerate()
+            {
+                assert_eq!(a.tuple, b.tuple, "session {s} tuple {i}");
+                assert_eq!(a.certain, b.certain, "session {s} tuple {i}");
+            }
+        }
+    }
+
+    /// Degenerate shapes: no streams, an empty stream next to a live
+    /// one, and backpressured channel ingest all hold together.
+    #[test]
+    fn empty_and_channel_streams() {
+        let (hosp, datasets) = hosp_sessions(100, &[120]);
+        let ds = &datasets[0];
+        let dirty = dirty_of(ds);
+
+        let service = RepairServiceBuilder::new(hosp.rules().clone(), hosp.master().clone())
+            .threads(2)
+            .shared_cache(false)
+            .depth(1)
+            .build();
+
+        // no streams at all
+        let empty = service.run(Vec::new());
+        assert_eq!(empty.sessions.len(), 0);
+        assert_eq!(empty.tuples, 0);
+        assert_eq!(empty.epochs, 0);
+        assert_eq!(empty.throughput(), 0.0);
+
+        // an exhausted-immediately stream riding along a channel-fed
+        // one (the producer thread outruns depth=1 and blocks — real
+        // backpressure — while the empty lane disconnects right away)
+        let (tx, channel) = crate::session::ChannelSource::bounded(1);
+        let report = std::thread::scope(|s| {
+            let producer_dirty = &dirty;
+            s.spawn(move || {
+                for chunk in producer_dirty.chunks(16) {
+                    if tx.send(chunk.to_vec()).is_err() {
+                        break;
+                    }
+                }
+            });
+            service.run(vec![
+                ServiceStream::new("empty", SliceSource::new(&[]), |_: usize| {
+                    SimulatedUser::new(ds.inputs[0].clean.clone())
+                }),
+                ServiceStream::new("live", channel, |i: usize| {
+                    SimulatedUser::new(ds.inputs[i].clean.clone())
+                }),
+            ])
+        });
+        assert_eq!(report.sessions[0].report.tuples, 0);
+        assert!(report.sessions[0].report.batches.is_empty());
+        assert_eq!(report.sessions[1].report.tuples, 120);
+        assert_eq!(report.tuples, 120);
+        assert!(report.epochs > 0);
+
+        // the channel-fed session matches a solo drain of the same
+        // stream cut the same way
+        let mut solo = RepairSessionBuilder::new(hosp.rules().clone(), hosp.master().clone())
+            .threads(1)
+            .shared_cache(false)
+            .build();
+        solo.drain(SliceSource::with_batch(&dirty, 16), |i| {
+            SimulatedUser::new(ds.inputs[i].clean.clone())
+        });
+        let solo = solo.finish();
+        let live = report.session("live").expect("named lookup");
+        for (i, (a, b)) in live.outcomes().zip(solo.outcomes()).enumerate() {
+            assert_eq!(a.tuple, b.tuple, "tuple {i}");
+        }
+        assert_eq!(live.stats.rounds, solo.stats.rounds);
+        assert!(report.session("nope").is_none());
+    }
+}

@@ -15,6 +15,15 @@
 //! [`BatchRepairEngine::repair`](crate::BatchRepairEngine::repair) and
 //! friends — are thin shims over this machinery.
 //!
+//! A session is the surface for **one** logical stream; the engine
+//! behind it was never limited to one session. Borrowed sessions
+//! ([`BatchRepairEngine::session_opts`]) may take turns over one warm
+//! engine, and for N streams that must run *concurrently* — many
+//! tenants feeding one deployment — the
+//! [`service`](crate::service) layer multiplexes N sessions fairly
+//! over a single engine and hands back one [`SessionReport`] per
+//! stream, shaped exactly as if each had run alone here.
+//!
 //! ```
 //! use certainfix_core::session::{RepairSessionBuilder, SliceSource};
 //! use certainfix_core::SimulatedUser;
@@ -79,6 +88,14 @@ use crate::sharedcache::SharedCacheStats;
 /// sequential batch. Sources must *not* reorder, drop, or duplicate
 /// tuples; a source that did would silently misalign tuples and
 /// oracles.
+///
+/// The same contract is what the multi-session
+/// [`RepairService`](crate::service::RepairService) builds on: each of
+/// its streams owns one source and one stream-index space, its ingest
+/// lane pulls `next_batch` exactly like a session drain does, and the
+/// per-stream indexes never mix — so a stream meets the same oracles
+/// (and, caches off, produces the same outcomes) whether it is drained
+/// alone or multiplexed with any number of other streams.
 pub trait TupleSource {
     /// Pull the next batch of dirty tuples; `None` ends the stream.
     /// An empty batch is permitted (the session skips it) but a source
@@ -476,26 +493,7 @@ impl<'e> RepairSession<'e> {
     }
 
     fn merged(&self) -> SessionReport {
-        let mut stats = MonitorStats::default();
-        let mut bdd = BddStats::default();
-        let mut shared: Option<SharedCacheStats> = None;
-        for batch in &self.batches {
-            stats.merge(&batch.stats);
-            bdd.merge(&batch.bdd);
-            if let Some(s) = &batch.shared {
-                // each snapshot is cumulative over the engine lifetime:
-                // the last one subsumes the earlier ones
-                shared = Some(s.clone());
-            }
-        }
-        SessionReport {
-            batches: Vec::new(),
-            stats,
-            bdd,
-            shared,
-            wall: self.wall,
-            tuples: self.tuples,
-        }
+        SessionReport::from_batches(&self.batches, self.wall, self.tuples)
     }
 
     /// Snapshot the unified report so far without ending the session
@@ -530,9 +528,12 @@ pub struct SessionReport {
     pub stats: MonitorStats,
     /// Merged per-worker BDD cache statistics.
     pub bdd: BddStats,
-    /// The shared-cache snapshot after the last cache-enabled batch
-    /// (snapshots are cumulative over the engine lifetime, so the last
-    /// subsumes the rest); `None` when the shared cache was off.
+    /// Shared-cache statistics *attributed to this session*: `hits` /
+    /// `misses` sum the per-batch attributed counters (so per-session
+    /// numbers across any set of sessions over one engine sum to the
+    /// engine-global counters), while `entries` / `per_shard` snapshot
+    /// the engine-lifetime pool after the session's last cache-enabled
+    /// batch. `None` when the shared cache was off.
     pub shared: Option<SharedCacheStats>,
     /// Summed repair wall-clock over all batches. Time the session
     /// spent *waiting on the source* (e.g. a backpressured channel) is
@@ -543,6 +544,44 @@ pub struct SessionReport {
 }
 
 impl SessionReport {
+    /// Fold per-batch reports into a session report: statistics merge
+    /// ([`MonitorStats::merge`] / [`BddStats::merge`] — counts sum, the
+    /// interner watermark maxes), attributed shared-cache counters sum
+    /// (`entries` / `per_shard` keep the last batch's pool snapshot),
+    /// and the returned report's `batches` list is left empty — attach
+    /// the folded reports afterwards if the caller wants them carried.
+    /// Both [`RepairSession`] and the [`service`](crate::service)
+    /// multiplexer stitch their reports through this one fold, so a
+    /// session's merged numbers are the same whether it ran alone or
+    /// multiplexed.
+    pub fn from_batches(folded: &[BatchReport], wall: Duration, tuples: usize) -> SessionReport {
+        let mut stats = MonitorStats::default();
+        let mut bdd = BddStats::default();
+        let mut shared: Option<SharedCacheStats> = None;
+        for batch in folded {
+            stats.merge(&batch.stats);
+            bdd.merge(&batch.bdd);
+            if let Some(s) = &batch.shared {
+                let acc = shared.get_or_insert_with(SharedCacheStats::default);
+                // per-batch counters are attributed, so they sum ...
+                acc.hits += s.hits;
+                acc.misses += s.misses;
+                // ... while the pool occupancy is a snapshot: keep the
+                // latest
+                acc.entries = s.entries;
+                acc.per_shard.clone_from(&s.per_shard);
+            }
+        }
+        SessionReport {
+            batches: Vec::new(),
+            stats,
+            bdd,
+            shared,
+            wall,
+            tuples,
+        }
+    }
+
     /// Per-tuple outcomes across all batches, in global stream order.
     pub fn outcomes(&self) -> impl Iterator<Item = &FixOutcome> {
         self.batches.iter().flat_map(|b| b.outcomes.iter())
@@ -818,13 +857,19 @@ mod tests {
             SimulatedUser::new(ds.inputs[i].clean.clone())
         });
         assert!(!session.engine().shared_cache().is_empty());
+        let global = session.engine().shared_cache().stats();
         let report = session.finish();
         assert_eq!(report.batches.len(), 4);
         let shared = report.shared.as_ref().expect("shared cache was on");
         assert_eq!(
-            shared.hits + shared.misses,
-            report.stats.shared_hits + report.stats.shared_misses,
-            "the last snapshot is cumulative over the whole session"
+            (shared.hits, shared.misses),
+            (report.stats.shared_hits, report.stats.shared_misses),
+            "per-batch attributed counters sum to the session's own probes"
+        );
+        assert_eq!(
+            (shared.hits, shared.misses),
+            (global.hits, global.misses),
+            "one session over a fresh engine accounts for every global probe"
         );
         assert!(
             report.stats.shared_hits > 0,

@@ -78,11 +78,20 @@ pub struct ShardCounters {
 }
 
 /// Aggregated cache statistics (plus the per-shard breakdown).
+///
+/// Two provenances share this shape: [`SharedSuggestionCache::stats`]
+/// snapshots engine-global counters (cumulative over the engine's
+/// lifetime), while [`SharedSuggestionCache::attributed`] scopes the
+/// top-level `hits` / `misses` to one batch or session — the form
+/// reports carry, so that per-session numbers sum to the global ones.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SharedCacheStats {
-    /// Total probes served from the pool.
+    /// Probes served from the pool (engine-global in a
+    /// [`stats`](SharedSuggestionCache::stats) snapshot; scoped to one
+    /// batch/session in an [`attributed`](SharedSuggestionCache::attributed) one).
     pub hits: u64,
-    /// Total probes that fell through to a fresh computation.
+    /// Probes that fell through to a fresh computation (same scoping as
+    /// `hits`).
     pub misses: u64,
     /// Total candidates pooled.
     pub entries: u64,
@@ -235,6 +244,20 @@ impl SharedSuggestionCache {
     /// `true` iff nothing has been published yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// A [`stats`](Self::stats) snapshot with the top-level `hits` /
+    /// `misses` replaced by counters the caller attributes to one batch
+    /// or session (its workers' own probe counts), while `entries` and
+    /// `per_shard` keep describing the engine-lifetime pool. Worker-side
+    /// probe counters tick 1:1 with the cache-side atomics, so summing
+    /// attributed snapshots over every batch the engine ever ran
+    /// reproduces the engine-global `hits` / `misses` exactly.
+    pub fn attributed(&self, hits: u64, misses: u64) -> SharedCacheStats {
+        let mut stats = self.stats();
+        stats.hits = hits;
+        stats.misses = misses;
+        stats
     }
 
     /// Snapshot aggregated and per-shard counters.

@@ -24,6 +24,12 @@
 //! * [`plan`] — compiled rule plans ([`RulePlan`]): the
 //!   build-once/probe-many layer that makes the hot engines'
 //!   `tm[Xm] = t[X]` probes allocation- and lock-free.
+//!
+//! The plan layer carries two of the workspace's determinism
+//! obligations — plan ≡ legacy probes, and block probe ≡ single-tuple
+//! probe at every block size. `DETERMINISM.md` at the repository root
+//! inventories both (D4 and D6) with the tests and CI legs that
+//! discharge them.
 
 pub mod apply;
 pub mod depgraph;

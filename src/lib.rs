@@ -17,7 +17,14 @@
 //! * [`datagen`] — the synthetic HOSP / DBLP workloads and the dirty-data
 //!   generator;
 //! * [`core`] — the interactive `CertainFix` / `CertainFix+` monitoring
-//!   framework, user oracles and evaluation metrics.
+//!   framework, user oracles, evaluation metrics, the single-stream
+//!   [`RepairSession`](certainfix_core::RepairSession) surface, and the
+//!   multi-session [`RepairService`](certainfix_core::RepairService)
+//!   multiplexer.
+//!
+//! The determinism guarantees these layers maintain (and the tests
+//! discharging each one) are inventoried in `DETERMINISM.md` at the
+//! repository root.
 //!
 //! ## Quickstart
 //!
@@ -36,8 +43,9 @@ pub use certainfix_rules as rules;
 pub mod prelude {
     pub use certainfix_core::{
         BatchesSource, CertainFix, CertainFixConfig, ChannelSource, DataMonitor, FixOutcome,
-        InitialRegion, RepairSession, RepairSessionBuilder, SessionReport, SimulatedUser,
-        SliceSource, TupleSource, UserOracle,
+        InitialRegion, NamedSessionReport, RepairService, RepairServiceBuilder, RepairSession,
+        RepairSessionBuilder, ServiceOptions, ServiceReport, ServiceStream, SessionReport,
+        SimulatedUser, SliceSource, TupleSource, UserOracle,
     };
     pub use certainfix_reasoning::{Chase, ChaseResult, Region, RegionCatalog};
     pub use certainfix_relation::{

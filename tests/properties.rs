@@ -13,6 +13,8 @@
 //!   path (candidates, distinct fix values, chase, `TransFix`, and
 //!   whole `CertainFix` outcomes — including null-key and
 //!   pattern-mismatch edges),
+//! * session-interleaving-independence: N randomly sized streams
+//!   multiplexed through a `RepairService` ≡ each stream drained alone,
 //! * metrics bounds and pattern algebra laws.
 
 use std::sync::Arc;
@@ -21,7 +23,8 @@ use proptest::prelude::*;
 
 use certain_fix::core::{
     evaluate_changes, transfix, transfix_block, transfix_with, CertainFix, CertainFixConfig,
-    SimulatedUser,
+    MonitorStats, RepairServiceBuilder, RepairSessionBuilder, ServiceStream, SimulatedUser,
+    SliceSource,
 };
 use certain_fix::reasoning::{suggest, suggest_with, Chase, ChaseResult};
 use certain_fix::relation::{
@@ -473,5 +476,97 @@ proptest! {
         prop_assert_eq!(as_model(sa - sb), &ma - &mb);
         prop_assert_eq!(sa.len(), ma.len());
         prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+    }
+}
+
+proptest! {
+    // engine precomputation per case keeps this block slower than the
+    // pure-function properties above; fewer cases, same coverage idea
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Session-interleaving-independence, randomized: N randomly sized
+    /// streams of random dirty tuples (with random ground truths) over
+    /// random rules and master data, multiplexed through one
+    /// [`RepairService`] at 1, 2 and 4 workers — every session's
+    /// outcomes and deterministic merged counts are bit-identical to
+    /// draining that stream alone through a solo session, and the
+    /// aggregate statistics equal the order-independent merge of the
+    /// solo runs.
+    #[test]
+    fn multiplexed_sessions_match_solo_runs(
+        (master_rows, specs, _, _) in arb_workload(),
+        session_batches in proptest::collection::vec(
+            proptest::collection::vec((arb_tuple(), arb_tuple()), 1..16), 2..5),
+        batch in 1usize..6,
+    ) {
+        let Some((rules, _)) = build_rules(specs) else { return Ok(()); };
+        let master = Arc::new(Relation::new(schema(), master_rows).unwrap());
+        let dirty: Vec<Vec<Tuple>> = session_batches
+            .iter()
+            .map(|sb| sb.iter().map(|(d, _)| d.clone()).collect())
+            .collect();
+        let cleans: Vec<Vec<Tuple>> = session_batches
+            .iter()
+            .map(|sb| sb.iter().map(|(_, c)| c.clone()).collect())
+            .collect();
+
+        // solo baselines: each stream drained alone, sequentially
+        let solo: Vec<_> = dirty
+            .iter()
+            .zip(&cleans)
+            .map(|(d, c)| {
+                let mut session = RepairSessionBuilder::new(rules.clone(), master.clone())
+                    .threads(1)
+                    .shared_cache(false)
+                    .build();
+                session.drain(SliceSource::with_batch(d, batch), |i| {
+                    SimulatedUser::new(c[i].clone())
+                });
+                session.finish()
+            })
+            .collect();
+
+        for workers in [1usize, 2, 4] {
+            let service = RepairServiceBuilder::new(rules.clone(), master.clone())
+                .threads(workers)
+                .shared_cache(false)
+                .build();
+            let streams = dirty
+                .iter()
+                .zip(&cleans)
+                .enumerate()
+                .map(|(s, (d, c))| {
+                    ServiceStream::new(
+                        format!("s{s}"),
+                        SliceSource::with_batch(d, batch),
+                        move |i: usize| SimulatedUser::new(c[i].clone()),
+                    )
+                })
+                .collect();
+            let report = service.run(streams);
+            prop_assert_eq!(report.sessions.len(), solo.len());
+            let mut merged = MonitorStats::default();
+            for (s, named) in report.sessions.iter().enumerate() {
+                let (got, want) = (&named.report, &solo[s]);
+                prop_assert_eq!(got.tuples, want.tuples);
+                for (a, b) in got.outcomes().zip(want.outcomes()) {
+                    prop_assert_eq!(&a.tuple, &b.tuple);
+                    prop_assert_eq!(a.validated, b.validated);
+                    prop_assert_eq!(a.certain, b.certain);
+                    prop_assert_eq!(a.rounds.len(), b.rounds.len());
+                }
+                // the deterministic MonitorStats fields, bit-for-bit
+                prop_assert_eq!(got.stats.tuples, want.stats.tuples);
+                prop_assert_eq!(got.stats.certain, want.stats.certain);
+                prop_assert_eq!(got.stats.rounds, want.stats.rounds);
+                prop_assert_eq!(got.stats.plan_probes, want.stats.plan_probes);
+                prop_assert_eq!(got.stats.plan_fallbacks, want.stats.plan_fallbacks);
+                merged.merge(&got.stats);
+            }
+            prop_assert_eq!(report.stats.tuples, merged.tuples);
+            prop_assert_eq!(report.stats.certain, merged.certain);
+            prop_assert_eq!(report.stats.rounds, merged.rounds);
+            prop_assert_eq!(report.stats.plan_probes, merged.plan_probes);
+        }
     }
 }
