@@ -7,7 +7,8 @@
 //!   amortizes away);
 //! * `is_suggestion` — the BDD cache's cheap re-check;
 //! * `region_catalog` — the offline certain-region deduction;
-//! * `increp_tuple` — the `IncRep` baseline over a small batch;
+//! * `increp_batch64` — the per-tuple `IncRep` CFD repair over a
+//!   small batch;
 //! * `value_eq` / `key_hash` / `index_lookup` — the interned-symbol
 //!   value representation against the seed's `Arc<str>` payloads, on
 //!   the exact operations rule application performs per cell.
@@ -17,13 +18,13 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 use certainfix_bench::runner::Which;
-use certainfix_cfd::{increp, rules_to_cfds, IncRepConfig};
+use certainfix_cfd::{repair_tuple, rules_to_cfds, IncRepConfig};
 use certainfix_core::{
     transfix, BatchRepairEngine, RepairContext, RepairOptions, Schedule, SimulatedUser,
 };
 use certainfix_datagen::{Dataset, DirtyConfig};
 use certainfix_reasoning::{is_suggestion, suggest, Chase, RegionCatalog};
-use certainfix_relation::{AttrSet, FxBuildHasher, FxHashMap, Relation, Tuple, Value};
+use certainfix_relation::{AttrSet, FxBuildHasher, FxHashMap, Tuple, Value};
 use certainfix_rules::DependencyGraph;
 
 fn bench_kernels(c: &mut Criterion) {
@@ -130,19 +131,15 @@ fn bench_kernels(c: &mut Criterion) {
         });
 
         let (cfds, _) = rules_to_cfds(w.rules());
-        let dirty_rel = Relation::new(
-            w.schema().clone(),
-            ds.inputs.iter().map(|dt| dt.dirty.clone()).collect(),
-        )
-        .unwrap();
+        let inc_cfg = IncRepConfig::default();
         c.bench_function(&format!("increp_batch64/{}", which.name()), |b| {
             b.iter(|| {
-                black_box(increp(
-                    &dirty_rel,
-                    &cfds,
-                    w.master_index(),
-                    &IncRepConfig::default(),
-                ))
+                let mut unresolved = 0usize;
+                for dt in &ds.inputs {
+                    unresolved +=
+                        repair_tuple(&cfds, &dt.dirty, w.master_index(), &inc_cfg).unresolved;
+                }
+                black_box(unresolved)
             })
         });
     }

@@ -10,9 +10,13 @@
 //! * `transfix_plan` — one full `TransFix` pass over a master-backed
 //!   tuple, the per-round fixing cost;
 //! * `batch_repair_plan` — the end-to-end hosp50k batch-repair kernel
-//!   (plain `CertainFix`, caches off, one worker) with `--plan on`
-//!   vs `--plan off` contexts. Outcomes are bit-identical by the
-//!   determinism contract; only the probe layer differs.
+//!   (plain `CertainFix`, caches off, one worker) through the compiled
+//!   probe layer. The engine-level `--plan off` toggle retired; the
+//!   legacy lock-and-clone path survives only as the per-kernel
+//!   baselines above and as the determinism oracle in tests;
+//! * `master_delta` — one [`MasterDelta`] application: maintain the
+//!   index, recompile the plan, re-rank the catalog, swap the epoch —
+//!   the cost a live-master deployment pays per mutation batch.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -23,7 +27,7 @@ use certainfix_core::{
     RepairOptions, Schedule, SimulatedUser,
 };
 use certainfix_datagen::{Dataset, DirtyConfig};
-use certainfix_relation::{AttrSet, Tuple};
+use certainfix_relation::{AttrSet, MasterDelta, Tuple};
 use certainfix_rules::{candidate_masters, DependencyGraph, ProbeScratch, RulePlan};
 
 fn bench_plan_probe(c: &mut Criterion) {
@@ -44,8 +48,8 @@ fn bench_plan_probe(c: &mut Criterion) {
             noise_rate: 0.05,
             input_size: 256,
             seed: 7,
-            skew: 0.0,
             hot: 8,
+            ..Default::default()
         },
     );
     let tuples: Vec<Tuple> = ds.inputs.iter().map(|dt| dt.dirty.clone()).collect();
@@ -164,7 +168,7 @@ fn bench_plan_probe(c: &mut Criterion) {
                     w.rules(),
                     w.master_index(),
                     &graph,
-                    Some(&plan),
+                    &plan,
                     &mut scratch,
                     t,
                     z,
@@ -174,10 +178,10 @@ fn bench_plan_probe(c: &mut Criterion) {
     );
 }
 
-/// The acceptance kernel: the hosp50k batch repaired through a plan-on
-/// vs a plan-off context. Plain `CertainFix`, both caches off, one
-/// worker — the configuration whose outcomes are bit-identical across
-/// the toggle, so the measured difference is purely the probe layer.
+/// The acceptance kernel: the hosp50k batch repaired through the
+/// compiled probe layer. Plain `CertainFix`, both caches off, one
+/// worker — the configuration whose per-tuple cost the `plan_probe`
+/// and `transfix_plan` kernels above decompose.
 fn bench_batch_repair_plan(c: &mut Criterion) {
     let w = Which::Hosp.build(10_000);
     let ds = Dataset::generate(
@@ -197,30 +201,54 @@ fn bench_batch_repair_plan(c: &mut Criterion) {
         shared_cache: false,
         chunk: 0,
     };
-    for (mode, use_plan) in [("off", false), ("on", true)] {
-        let engine = BatchRepairEngine::new(RepairContext::with_plan_mode(
-            w.rules().clone(),
-            w.master().clone(),
-            false,
-            InitialRegion::Best,
-            CertainFixConfig::default(),
-            use_plan,
-        ));
-        // warm the lazily built master key indexes out of the measurement
-        engine.repair_opts(&dirty[..64], &opts, |i| {
-            SimulatedUser::new(ds.inputs[i].clean.clone())
-        });
+    let engine = BatchRepairEngine::new(RepairContext::with_config(
+        w.rules().clone(),
+        w.master().clone(),
+        false,
+        InitialRegion::Best,
+        CertainFixConfig::default(),
+    ));
+    // warm the lazily built master key indexes out of the measurement
+    engine.repair_opts(&dirty[..64], &opts, |i| {
+        SimulatedUser::new(ds.inputs[i].clean.clone())
+    });
+    c.bench_with_input(
+        BenchmarkId::new("batch_repair_plan", "hosp50k"),
+        &dirty,
+        |b, dirty| {
+            b.iter(|| {
+                let report = engine.repair_opts(dirty, &opts, |i| {
+                    SimulatedUser::new(ds.inputs[i].clean.clone())
+                });
+                black_box((report.stats.certain, report.throughput()))
+            })
+        },
+    );
+}
+
+/// The live-master mutation cost: apply a `size`-row update delta to a
+/// 10k-row master and stand up the next epoch (index maintenance +
+/// plan recompile + catalog re-rank + atomic swap). Updates only, so
+/// the master's size is invariant across iterations and every
+/// application pays the same maintenance bill.
+fn bench_master_delta(c: &mut Criterion) {
+    let w = Which::Hosp.build(10_000);
+    let ctx = RepairContext::with_config(
+        w.rules().clone(),
+        w.master().clone(),
+        false,
+        InitialRegion::Best,
+        CertainFixConfig::default(),
+    );
+    for size in [1usize, 64] {
+        let mut delta = MasterDelta::new();
+        for id in 0..size as u32 {
+            delta = delta.update(id, w.master().tuple(id as usize).clone());
+        }
         c.bench_with_input(
-            BenchmarkId::new("batch_repair_plan", format!("hosp50k/plan-{mode}")),
-            &dirty,
-            |b, dirty| {
-                b.iter(|| {
-                    let report = engine.repair_opts(dirty, &opts, |i| {
-                        SimulatedUser::new(ds.inputs[i].clean.clone())
-                    });
-                    black_box((report.stats.certain, report.throughput()))
-                })
-            },
+            BenchmarkId::new("master_delta", format!("update{size}")),
+            &delta,
+            |b, delta| b.iter(|| black_box(ctx.apply_master_delta(delta).expect("delta applies"))),
         );
     }
 }
@@ -239,6 +267,6 @@ criterion_group! {
         .sample_size(10)
         .measurement_time(std::time::Duration::from_secs(5))
         .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_batch_repair_plan
+    targets = bench_batch_repair_plan, bench_master_delta
 }
 criterion_main!(probes, batch);

@@ -34,9 +34,8 @@ impl Spec {
     /// The flags every `ExpConfig`-driven binary shares: `--dm`,
     /// `--inputs`, `--d`, `--n`, `--seed`, `--compliance`,
     /// `--initial`, `--threads`, `--schedule {shard,steal}`,
-    /// `--shared-cache {on,off}`, `--skew`,
+    /// `--shared-cache {on,off}`, `--skew`, `--free-text`,
     /// `--ingest {batch,stream}`, `--batch`, `--depth`,
-    /// `--plan {on,off}` (the compiled-rule-plan probe layer A/B),
     /// `--chunk` (work-stealing chunk = block-probe size; 0 = auto),
     /// `--out`, and the boolean `--no-bdd`.
     pub fn exp(bin: &'static str) -> Spec {
@@ -53,10 +52,10 @@ impl Spec {
                 "schedule",
                 "shared-cache",
                 "skew",
+                "free-text",
                 "ingest",
                 "batch",
                 "depth",
-                "plan",
                 "chunk",
                 "out",
             ])
@@ -359,10 +358,10 @@ mod tests {
             "schedule",
             "shared-cache",
             "skew",
+            "free-text",
             "ingest",
             "batch",
             "depth",
-            "plan",
             "chunk",
         ] {
             assert_eq!(s.takes_value(f), Some(true), "{f}");

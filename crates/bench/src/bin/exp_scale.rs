@@ -71,7 +71,6 @@ fn render_json(base: &ExpConfig, rows: &[Row]) -> String {
     let _ = writeln!(out, "  \"threads\": {},", base.threads.max(1));
     let _ = writeln!(out, "  \"schedule\": \"{}\",", base.schedule.name());
     let _ = writeln!(out, "  \"shared_cache\": {},", base.shared_cache);
-    let _ = writeln!(out, "  \"plan\": {},", base.plan);
     let _ = writeln!(out, "  \"chunk\": {},", base.chunk);
     let _ = writeln!(out, "  \"ingest\": \"{}\",", base.ingest.name());
     let _ = writeln!(out, "  \"depth\": {},", base.depth);

@@ -21,7 +21,7 @@
 //! Usage: `cargo run --release -p certainfix-bench --bin exp_service --
 //!         [--sessions N] [--dm N] [--inputs N] [--threads T]
 //!         [--batch B] [--depth D] [--chunk C] [--shared-cache on|off]
-//!         [--plan on|off] [--skew F] [--d F] [--n F] [--seed S]
+//!         [--skew F] [--d F] [--n F] [--seed S]
 //!         [--compliance F] [--out file.csv] [--no-bdd]`
 //!
 //! `--inputs` sizes session 0 (the largest); `--threads T` caps the
@@ -85,7 +85,6 @@ fn render_json(base: &ExpConfig, sessions: usize, rows: &[Row]) -> String {
     let _ = writeln!(out, "  \"use_bdd\": {},", base.use_bdd);
     let _ = writeln!(out, "  \"threads\": {},", base.threads.max(1));
     let _ = writeln!(out, "  \"shared_cache\": {},", base.shared_cache);
-    let _ = writeln!(out, "  \"plan\": {},", base.plan);
     let _ = writeln!(out, "  \"depth\": {},", base.depth);
     let _ = writeln!(out, "  \"chunk\": {},", base.chunk);
     let _ = writeln!(out, "  \"rows\": [");
@@ -226,7 +225,7 @@ fn main() {
     }
     eprintln!(
         "exp_service: sessions = {}, |Dm| = {}, |D| (session 0) = {}, d% = {:.0}, n% = {:.0}, \
-         skew = {}, bdd = {}, shared cache = {}, plan = {}",
+         skew = {}, bdd = {}, shared cache = {}",
         sessions,
         base.dm,
         base.inputs,
@@ -234,8 +233,7 @@ fn main() {
         base.n * 100.0,
         base.skew,
         base.use_bdd,
-        base.shared_cache,
-        base.plan
+        base.shared_cache
     );
     eprint!("{}", table.render());
     table

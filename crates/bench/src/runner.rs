@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use certainfix_cfd::{increp, rules_to_cfds, IncRepConfig};
+use certainfix_cfd::IncRepConfig;
 use certainfix_core::{
     evaluate_changes, evaluate_rounds, merge_round_series, BatchRepairEngine, CertainFixConfig,
     ChangeCounts, FixOutcome, InitialRegion, MonitorStats, RepairOptions, RoundMetrics, Schedule,
@@ -110,6 +110,11 @@ pub struct ExpConfig {
     /// Zipf-ish positional hardness skew of the dirty stream
     /// ([`DirtyConfig::skew`]; 0 = the paper's uniform stream).
     pub skew: f64,
+    /// Probability a corrupted cell carries an adversarial
+    /// high-cardinality free-text payload instead of a typo
+    /// ([`DirtyConfig::free_text`]; 0 = the paper's typo model). The
+    /// interner-watermark CI leg runs with `--free-text 1`.
+    pub free_text: f64,
     /// How the stream reaches the engine (one batch, or backpressured
     /// streaming through a bounded channel).
     pub ingest: Ingest,
@@ -118,11 +123,6 @@ pub struct ExpConfig {
     pub batch: usize,
     /// Channel depth (in-flight batches) for [`Ingest::Stream`].
     pub depth: usize,
-    /// Probe through the compiled rule plan (`--plan on`, the default)
-    /// or the legacy lock-and-clone `MasterIndex` path (`--plan off`).
-    /// Outcomes are bit-identical either way; the flag exists so the
-    /// plan's speedup is measured, not asserted.
-    pub plan: bool,
     /// Work-stealing chunk size (`--chunk`; 0 = the engine's auto
     /// sizing). A stolen chunk is also the block-probe unit, and
     /// outcomes are bit-identical at every value — the flag exists so
@@ -145,10 +145,10 @@ impl Default for ExpConfig {
             schedule: Schedule::Steal,
             shared_cache: true,
             skew: 0.0,
+            free_text: 0.0,
             ingest: Ingest::Batch,
             batch: 0,
             depth: 2,
-            plan: true,
             chunk: 0,
         }
     }
@@ -202,11 +202,6 @@ impl ExpConfig {
                     args.str_or("ingest", "")
                 )
             })?;
-        let plan = match args.str_or("plan", "on") {
-            "on" => true,
-            "off" => false,
-            other => return Err(format!("invalid --plan `{other}` (on|off)")),
-        };
         Ok(ExpConfig {
             dm: args.usize_or("dm", default.dm),
             inputs: args.usize_or("inputs", default.inputs),
@@ -220,10 +215,10 @@ impl ExpConfig {
             schedule,
             shared_cache,
             skew: args.f64_or("skew", default.skew),
+            free_text: args.f64_or("free-text", default.free_text),
             ingest,
             batch: args.usize_or("batch", default.batch),
             depth: args.usize_or("depth", default.depth),
-            plan,
             chunk: args.usize_or("chunk", default.chunk),
         })
     }
@@ -245,6 +240,7 @@ impl ExpConfig {
             input_size: self.inputs,
             seed: self.seed,
             skew: self.skew,
+            free_text: self.free_text,
             ..DirtyConfig::default()
         }
     }
@@ -303,16 +299,17 @@ impl RunResult {
     }
 }
 
-/// Build the batch-repair engine for a workload under `cfg`
-/// (including the `--plan` probe-layer choice).
+/// Build the batch-repair engine for a workload under `cfg`. The
+/// compiled rule plan is always the probe layer (the legacy `--plan
+/// off` toggle retired with the plan-required reasoning surface; the
+/// plain probe path survives only as the determinism oracle in tests).
 pub fn build_engine(workload: &dyn Workload, cfg: &ExpConfig) -> BatchRepairEngine {
-    BatchRepairEngine::new(certainfix_core::RepairContext::with_plan_mode(
+    BatchRepairEngine::new(certainfix_core::RepairContext::with_config(
         workload.rules().clone(),
         workload.master().clone(),
         cfg.use_bdd,
         cfg.initial,
         CertainFixConfig::default(),
-        cfg.plan,
     ))
 }
 
@@ -457,25 +454,33 @@ pub fn run_monitored(workload: &dyn Workload, cfg: &ExpConfig, report_rounds: us
 
 /// Run the `IncRep` baseline on the same dirty data and evaluate its
 /// attribute-level counts. Returns the counts and the elapsed time.
+///
+/// Since the standalone `increp` entry point retired, the baseline
+/// runs through the same engine surface as everything else: a
+/// [`Workload::Cfd`](certainfix_core::Workload) context repaired batch-wise (non-interactive, so
+/// the oracle is never consulted and the per-tuple outcomes are the
+/// cost-based CFD repairs).
 pub fn run_increp(workload: &dyn Workload, dataset: &Dataset) -> (ChangeCounts, Duration) {
-    let (cfds, _skipped) = rules_to_cfds(workload.rules());
-    let dirty_rel = dataset.dirty_relation(workload.schema().clone());
+    let engine = BatchRepairEngine::new(certainfix_core::RepairContext::with_workload(
+        workload.rules().clone(),
+        workload.master().clone(),
+        false,
+        InitialRegion::Best,
+        CertainFixConfig::default(),
+        certainfix_core::Workload::Cfd(IncRepConfig::default()),
+    ));
+    let dirty: Vec<Tuple> = dataset.inputs.iter().map(|dt| dt.dirty.clone()).collect();
     let started = std::time::Instant::now();
-    let report = increp(
-        &dirty_rel,
-        &cfds,
-        workload.master_index(),
-        &IncRepConfig::default(),
-    );
+    let report = engine.repair_opts(&dirty, &RepairOptions::default(), |i| {
+        SimulatedUser::new(dataset.inputs[i].clean.clone())
+    });
     let elapsed = started.elapsed();
-    let cleans: Vec<&certainfix_relation::Tuple> =
-        dataset.inputs.iter().map(|dt| &dt.clean).collect();
     let counts = evaluate_changes(
         dataset
             .inputs
             .iter()
-            .enumerate()
-            .map(|(i, dt)| (&dt.dirty, report.repaired.tuple(i), cleans[i])),
+            .zip(&report.outcomes)
+            .map(|(dt, o)| (&dt.dirty, &o.tuple, &dt.clean)),
     );
     (counts, elapsed)
 }
@@ -525,13 +530,11 @@ mod tests {
     fn config_from_args() {
         let args = Args::parse(
             "--dm 123 --inputs 45 --d 0.5 --n 0.1 --no-bdd --initial median --threads 3 \
-             --schedule shard --shared-cache off --skew 1.5 --ingest stream --batch 64 --depth 4 \
-             --plan off"
+             --schedule shard --shared-cache off --skew 1.5 --ingest stream --batch 64 --depth 4"
                 .split_whitespace()
                 .map(String::from),
         );
         let cfg = ExpConfig::from_args(&args);
-        assert!(!cfg.plan, "--plan off selects the legacy probe path");
         assert_eq!(cfg.dm, 123);
         assert_eq!(cfg.inputs, 45);
         assert_eq!(cfg.d, 0.5);
@@ -572,8 +575,6 @@ mod tests {
             "--initial worst",
             "--ingest Stream",
             "--ingest streaming",
-            "--plan On",
-            "--plan true",
         ] {
             let args = Args::parse(bad.split_whitespace().map(String::from));
             let err = ExpConfig::try_from_args(&args).unwrap_err();
@@ -593,7 +594,6 @@ mod tests {
         let cfg = ExpConfig::from_args(&Args::parse(std::iter::empty::<String>()));
         assert_eq!(cfg.schedule, Schedule::Steal);
         assert!(cfg.shared_cache);
-        assert!(cfg.plan, "the compiled plan is the default probe layer");
         assert_eq!(cfg.skew, 0.0);
         let opts = cfg.repair_options();
         assert_eq!(opts.schedule, Schedule::Steal);
@@ -642,11 +642,11 @@ mod tests {
         }
     }
 
-    /// The tentpole's A/B guarantee at the runner level: `--plan on`
-    /// and `--plan off` runs produce bit-identical metric rows,
-    /// deterministic counts, and outcomes on a skewed stream.
+    /// With the `--plan off` toggle retired, every run goes through
+    /// the compiled probe layer — the runner must actually charge plan
+    /// probes, on both ingest paths.
     #[test]
-    fn plan_on_and_off_produce_identical_runs() {
+    fn every_run_probes_the_compiled_plan() {
         let base = ExpConfig {
             use_bdd: false,
             shared_cache: false,
@@ -654,29 +654,9 @@ mod tests {
             threads: 2,
             ..small()
         };
-        let on = run_monitored(
-            Which::Hosp.build(base.dm).as_ref(),
-            &ExpConfig { plan: true, ..base },
-            3,
-        );
-        let off = run_monitored(
-            Which::Hosp.build(base.dm).as_ref(),
-            &ExpConfig {
-                plan: false,
-                ..base
-            },
-            3,
-        );
-        assert_eq!(on.metrics, off.metrics, "metric rows bit-identical");
-        assert_eq!(on.stats.tuples, off.stats.tuples);
-        assert_eq!(on.stats.certain, off.stats.certain);
-        assert_eq!(on.stats.rounds, off.stats.rounds);
-        assert!(on.stats.plan_probes > 0, "plan leg probed the plan");
-        assert_eq!(off.stats.plan_probes, 0, "legacy leg did not");
-        for (i, (a, b)) in on.outcomes.iter().zip(&off.outcomes).enumerate() {
-            assert_eq!(a.tuple, b.tuple, "tuple {i}");
-            assert_eq!(a.certain, b.certain, "tuple {i}");
-        }
+        let run = run_monitored(Which::Hosp.build(base.dm).as_ref(), &base, 3);
+        assert!(run.stats.plan_probes > 0, "the plan is the probe layer");
+        assert_eq!(run.stats.plan_fallbacks, 0, "hosp keys all plan-covered");
     }
 
     /// The signature guarantee of the session redesign, exercised at

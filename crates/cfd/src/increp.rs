@@ -13,8 +13,16 @@
 //! match the wrong reference entity, the cheapest repair often rewrites
 //! a *correct* attribute, so precision < 100% and quality degrades as
 //! the noise rate grows (Fig. 11c/f).
+//!
+//! The repair is **per-tuple**: [`repair_tuple`] resolves one tuple to
+//! a fixpoint (or the pass budget) against the reference, independent
+//! of every other tuple in the stream. That is what lets the unified
+//! session surface (`certainfix_core::RepairSession` with a CFD
+//! workload) fan the baseline out across workers with bit-identical
+//! results — the old whole-relation `increp()` entry point was exactly
+//! this loop over rows and has been retired in its favour.
 
-use certainfix_relation::{AttrId, MasterIndex, Relation, Tuple, Value};
+use certainfix_relation::{AttrId, MasterIndex, Tuple, Value};
 
 use crate::cfd::Cfd;
 use crate::distance::value_distance;
@@ -52,8 +60,6 @@ impl Default for IncRepConfig {
 /// One applied modification.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Change {
-    /// Row index in the input relation.
-    pub row: usize,
     /// Modified attribute.
     pub attr: AttrId,
     /// Previous value.
@@ -62,14 +68,15 @@ pub struct Change {
     pub new: Value,
 }
 
-/// The repair outcome.
+/// The outcome of repairing one tuple.
 #[derive(Clone, Debug)]
-pub struct IncRepReport {
-    /// The repaired relation.
-    pub repaired: Relation,
+pub struct TupleRepair {
+    /// The repaired tuple.
+    pub tuple: Tuple,
     /// All modifications, in application order.
     pub changes: Vec<Change>,
-    /// Violations that could not be resolved within the pass budget.
+    /// CFDs still violated after the pass budget was exhausted (0 when
+    /// the repair reached a fixpoint).
     pub unresolved: usize,
 }
 
@@ -97,55 +104,52 @@ fn nearest_alternative(
         .min_by(|x, y| x.1.partial_cmp(&y.1).unwrap_or(std::cmp::Ordering::Equal))
 }
 
-/// Repair `dirty` against `cfds`, using `reference` (the clean master
+/// Repair one tuple against `cfds`, using `reference` (the clean master
 /// relation re-used as the consistent database) to witness variable-CFD
-/// violations and to supply candidate values.
-pub fn increp(
-    dirty: &Relation,
+/// violations and to supply candidate values. Per-CFD repairs are
+/// applied in CFD order, re-examined to a fixpoint or until
+/// `cfg.max_passes` passes; a repair depends only on the tuple, the
+/// CFDs, and the reference — never on other tuples — so a batch of
+/// tuples may be repaired in any order (or in parallel) with identical
+/// results.
+pub fn repair_tuple(
     cfds: &[Cfd],
+    t: &Tuple,
     reference: &MasterIndex,
     cfg: &IncRepConfig,
-) -> IncRepReport {
-    let mut repaired = dirty.clone();
+) -> TupleRepair {
+    let mut tuple = t.clone();
     let mut changes = Vec::new();
     let mut unresolved = 0usize;
-    for row in 0..repaired.len() {
-        let mut passes = 0;
-        loop {
-            passes += 1;
-            let mut applied = false;
-            for cfd in cfds {
-                let t = repaired.tuple(row).clone();
-                let Some(repair) = plan_repair(cfd, &t, reference, cfg) else {
-                    continue;
-                };
-                let (attr, new) = repair;
-                let old = *t.get(attr);
-                repaired.tuple_mut(row).set(attr, new);
-                changes.push(Change {
-                    row,
-                    attr,
-                    old,
-                    new,
-                });
-                applied = true;
-            }
-            if !applied {
-                break;
-            }
-            if passes >= cfg.max_passes {
-                // still-violated CFDs are counted as unresolved
-                let t = repaired.tuple(row);
-                unresolved += cfds
-                    .iter()
-                    .filter(|c| c.violates_single(t) || c.violation_against(t, reference).is_some())
-                    .count();
-                break;
-            }
+    let mut passes = 0;
+    loop {
+        passes += 1;
+        let mut applied = false;
+        for cfd in cfds {
+            let Some((attr, new)) = plan_repair(cfd, &tuple, reference, cfg) else {
+                continue;
+            };
+            let old = *tuple.get(attr);
+            tuple.set(attr, new);
+            changes.push(Change { attr, old, new });
+            applied = true;
+        }
+        if !applied {
+            break;
+        }
+        if passes >= cfg.max_passes {
+            // still-violated CFDs are counted as unresolved
+            unresolved = cfds
+                .iter()
+                .filter(|c| {
+                    c.violates_single(&tuple) || c.violation_against(&tuple, reference).is_some()
+                })
+                .count();
+            break;
         }
     }
-    IncRepReport {
-        repaired,
+    TupleRepair {
+        tuple,
         changes,
         unresolved,
     }
@@ -189,7 +193,7 @@ fn plan_repair(
 mod tests {
     use super::*;
     use crate::cfd::Cfd;
-    use certainfix_relation::{tuple, Schema};
+    use certainfix_relation::{tuple, Relation, Schema};
     use std::sync::Arc;
 
     /// Reference: zip determines AC and city (two UK entities).
@@ -229,12 +233,13 @@ mod tests {
         // city "Ed" is one edit from the prescribed "Edi": cheapest fix
         // is the rhs.
         let (s, cfds, reference) = setup();
-        let dirty = Relation::new(s.clone(), vec![tuple!["EH7 4AH", "131", "Ed"]]).unwrap();
-        let rep = increp(&dirty, &cfds, &reference, &IncRepConfig::default());
-        assert_eq!(
-            rep.repaired.tuple(0).get(s.attr("city").unwrap()),
-            &Value::str("Edi")
+        let rep = repair_tuple(
+            &cfds,
+            &tuple!["EH7 4AH", "131", "Ed"],
+            &reference,
+            &IncRepConfig::default(),
         );
+        assert_eq!(rep.tuple.get(s.attr("city").unwrap()), &Value::str("Edi"));
         assert_eq!(rep.changes.len(), 1);
         assert_eq!(rep.unresolved, 0);
     }
@@ -263,19 +268,19 @@ mod tests {
             None,
         )];
         let truth = tuple!["10001", "131", "Edi"];
-        let dirty = Relation::new(s.clone(), vec![tuple!["10001", "999", "Edi"]]).unwrap();
-        let rep = increp(&dirty, &cfds, &reference, &IncRepConfig::default());
+        let rep = repair_tuple(
+            &cfds,
+            &tuple!["10001", "999", "Edi"],
+            &reference,
+            &IncRepConfig::default(),
+        );
         // It changed SOMETHING (the tuple violates zip→AC)
         assert!(!rep.changes.is_empty());
         // the first modification touched a correct attribute (zip):
         // dist(10001→10002) = 0.2, ×2 penalty = 0.4 < dist(999→131) = 1
         assert_eq!(rep.changes[0].attr, s.attr("zip").unwrap());
         // and the result is NOT the ground truth.
-        assert_ne!(
-            rep.repaired.tuple(0),
-            &truth,
-            "IncRep lacks certainty guarantees"
-        );
+        assert_ne!(rep.tuple, truth, "IncRep lacks certainty guarantees");
     }
 
     #[test]
@@ -291,28 +296,27 @@ mod tests {
             s.attr("city").unwrap(),
             Some(Value::str("Ldn")),
         )];
-        let dirty = Relation::new(s.clone(), vec![tuple!["020", "Ldnn"]]).unwrap();
-        let rep = increp(&dirty, &cfds, &reference, &IncRepConfig::default());
-        assert_eq!(
-            rep.repaired.tuple(0).get(s.attr("city").unwrap()),
-            &Value::str("Ldn")
+        let rep = repair_tuple(
+            &cfds,
+            &tuple!["020", "Ldnn"],
+            &reference,
+            &IncRepConfig::default(),
         );
+        assert_eq!(rep.tuple.get(s.attr("city").unwrap()), &Value::str("Ldn"));
     }
 
     #[test]
     fn clean_tuples_untouched() {
-        let (s, cfds, reference) = setup();
-        let clean = Relation::new(
-            s,
-            vec![
-                tuple!["EH7 4AH", "131", "Edi"],
-                tuple!["NW1 6XE", "020", "Ldn"],
-            ],
-        )
-        .unwrap();
-        let rep = increp(&clean, &cfds, &reference, &IncRepConfig::default());
-        assert!(rep.changes.is_empty());
-        assert_eq!(rep.unresolved, 0);
+        let (_, cfds, reference) = setup();
+        for clean in [
+            tuple!["EH7 4AH", "131", "Edi"],
+            tuple!["NW1 6XE", "020", "Ldn"],
+        ] {
+            let rep = repair_tuple(&cfds, &clean, &reference, &IncRepConfig::default());
+            assert!(rep.changes.is_empty());
+            assert_eq!(rep.unresolved, 0);
+            assert_eq!(rep.tuple, clean);
+        }
     }
 
     #[test]
@@ -320,12 +324,11 @@ mod tests {
         // Make the rhs (AC) infinitely expensive: IncRep must move the
         // key (zip) instead.
         let (s, cfds, reference) = setup();
-        let dirty = Relation::new(s.clone(), vec![tuple!["EH7 4AH", "021", "Edi"]]).unwrap();
         let cfg = IncRepConfig {
             weights: Some(vec![1.0, 1e9, 1.0]),
             ..Default::default()
         };
-        let rep = increp(&dirty, &cfds, &reference, &cfg);
+        let rep = repair_tuple(&cfds, &tuple!["EH7 4AH", "021", "Edi"], &reference, &cfg);
         assert!(
             rep.changes.iter().all(|c| c.attr != s.attr("AC").unwrap()),
             "AC must not be touched under an enormous weight: {:?}",
@@ -338,15 +341,37 @@ mod tests {
         // A pathological reference where resolving one CFD re-violates
         // the other can exhaust passes; unresolved is reported, not
         // looped forever.
-        let (s, cfds, reference) = setup();
-        let dirty = Relation::new(s, vec![tuple!["EH7 4AH", "020", "Ldn"]]).unwrap();
+        let (_, cfds, reference) = setup();
         let cfg = IncRepConfig {
             max_passes: 1,
             ..Default::default()
         };
-        let rep = increp(&dirty, &cfds, &reference, &cfg);
+        let rep = repair_tuple(&cfds, &tuple!["EH7 4AH", "020", "Ldn"], &reference, &cfg);
         // with one pass it repaired something; whether violations remain
         // depends on the choice, but the call terminates and reports.
         assert!(rep.changes.len() <= 4);
+    }
+
+    #[test]
+    fn repair_is_row_order_independent() {
+        // The per-tuple contract behind the session fan-out: repairing
+        // the same tuples in any order yields identical results.
+        let (_, cfds, reference) = setup();
+        let dirty = [
+            tuple!["EH7 4AH", "132", "Edi"],
+            tuple!["NW1 6XE", "020", "Lnd"],
+            tuple!["EH7 4AH", "131", "Ed"],
+        ];
+        let forward: Vec<Tuple> = dirty
+            .iter()
+            .map(|t| repair_tuple(&cfds, t, &reference, &IncRepConfig::default()).tuple)
+            .collect();
+        let mut backward: Vec<Tuple> = dirty
+            .iter()
+            .rev()
+            .map(|t| repair_tuple(&cfds, t, &reference, &IncRepConfig::default()).tuple)
+            .collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
     }
 }

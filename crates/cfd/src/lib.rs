@@ -14,10 +14,17 @@
 //! * [`convert`] — turning editing rules into CFDs when input and
 //!   master schemas align by attribute name (how the experiment derives
 //!   a comparable constraint set),
-//! * [`increp()`](increp::increp) — the cost-based repair: resolve each violation by the
-//!   cheapest attribute modification (`weight × normalized distance`),
-//!   which — unlike certain fixes — can pick the wrong side and corrupt
-//!   a correct attribute (the paper's Example 1 failure mode).
+//! * [`repair_tuple()`](increp::repair_tuple) — the cost-based repair:
+//!   resolve each violation by the cheapest attribute modification
+//!   (`weight × normalized distance`), which — unlike certain fixes —
+//!   can pick the wrong side and corrupt a correct attribute (the
+//!   paper's Example 1 failure mode).
+//!
+//! The old whole-relation `increp()` entry point is gone: CFD
+//! incremental repair now runs through the unified session surface
+//! (`certainfix_core::RepairSession` with a CFD workload), which fans
+//! [`repair_tuple`](increp::repair_tuple) out across workers. The
+//! per-tuple function stays public as the comparison/parity oracle.
 
 pub mod cfd;
 pub mod convert;
@@ -27,4 +34,4 @@ pub mod increp;
 pub use cfd::{Cfd, Violation};
 pub use convert::rules_to_cfds;
 pub use distance::{damerau_levenshtein, normalized_distance, value_distance};
-pub use increp::{increp, Change, IncRepConfig, IncRepReport};
+pub use increp::{repair_tuple, Change, IncRepConfig, TupleRepair};

@@ -14,7 +14,7 @@
 //! interaction rounds, resuming where it left off — mirroring "in the
 //! next round of interaction, checking resumes at node u".
 
-use certainfix_reasoning::{is_suggestion_with, suggest_with};
+use certainfix_reasoning::{is_suggestion, is_suggestion_with, suggest, suggest_with};
 use certainfix_relation::{AttrId, AttrSet, FxHashMap, MasterIndex, Tuple};
 use certainfix_rules::{ProbeScratch, RulePlan, RuleSet};
 
@@ -201,7 +201,13 @@ impl SuggestionBdd {
                 Some(i) if !visited.contains(&i) => {
                     visited.push(i);
                     let cached = self.nodes[i].suggestion.clone();
-                    if is_suggestion_with(rules, master, t, validated, &cached, plan, scratch) {
+                    let still_valid = match plan {
+                        Some(p) => {
+                            is_suggestion_with(rules, master, t, validated, &cached, p, scratch)
+                        }
+                        None => is_suggestion(rules, master, t, validated, &cached),
+                    };
+                    if still_valid {
                         self.stats.hits += 1;
                         cursor.at = Some(CursorAt::Hi(i));
                         return Some(cached);
@@ -265,7 +271,11 @@ impl SuggestionBdd {
                 }
                 computed
             }
-            None => suggest_with(rules, master, t, validated, plan, scratch).map(|s| s.attrs),
+            None => match plan {
+                Some(p) => suggest_with(rules, master, t, validated, p, scratch),
+                None => suggest(rules, master, t, validated),
+            }
+            .map(|s| s.attrs),
         }
     }
 }

@@ -83,41 +83,39 @@ impl FixOutcome {
 /// The interaction engine: borrows the precomputed structures and runs
 /// the Fig. 3 loop for one tuple at a time.
 ///
-/// With [`with_plan`](Self::with_plan), the per-round `TransFix` pass
-/// and the validation chase route their key probes through a compiled
-/// [`RulePlan`]; a worker-owned [`ProbeScratch`] passed to
+/// The per-round `TransFix` pass and the validation chase route their
+/// key probes through the compiled [`RulePlan`] (compiled from the same
+/// `(rules, master)` pair — callers hand in the plan of the epoch the
+/// master index belongs to); a worker-owned [`ProbeScratch`] passed to
 /// [`run_scratch`](Self::run_scratch) makes the steady-state probe
-/// layer allocation-free across all the tuples the worker drains.
+/// layer allocation-free across all the tuples the worker drains. The
+/// plain (plan-free) functions `transfix` / `suggest` survive only as
+/// the test-suite's parity oracle.
 pub struct CertainFix<'a> {
     rules: &'a RuleSet,
     master: &'a MasterIndex,
     graph: &'a DependencyGraph,
-    plan: Option<&'a RulePlan>,
+    plan: &'a RulePlan,
     config: CertainFixConfig,
 }
 
 impl<'a> CertainFix<'a> {
-    /// Bind the engine.
+    /// Bind the engine. `plan` must be compiled against `master`'s
+    /// generation.
     pub fn new(
         rules: &'a RuleSet,
         master: &'a MasterIndex,
         graph: &'a DependencyGraph,
+        plan: &'a RulePlan,
         config: CertainFixConfig,
     ) -> CertainFix<'a> {
         CertainFix {
             rules,
             master,
             graph,
-            plan: None,
+            plan,
             config,
         }
-    }
-
-    /// Route probes through a compiled plan (compiled from the same
-    /// `(rules, master)` pair). Outcomes are bit-identical either way.
-    pub fn with_plan(mut self, plan: Option<&'a RulePlan>) -> CertainFix<'a> {
-        self.plan = plan;
-        self
     }
 
     /// Run the loop on `dirty`, seeding the first round with
@@ -163,7 +161,7 @@ impl<'a> CertainFix<'a> {
     {
         let r_len = self.rules.r_schema().len();
         let full = AttrSet::full(r_len);
-        let chase = Chase::new(self.rules, self.master).with_plan(self.plan);
+        let chase = Chase::new(self.rules, self.master).with_plan(Some(self.plan));
 
         let mut tuple = dirty.clone();
         let mut validated = AttrSet::EMPTY;
@@ -298,7 +296,7 @@ impl<'a> CertainFix<'a> {
         debug_assert_eq!(dirty.len(), oracles.len());
         let r_len = self.rules.r_schema().len();
         let full = AttrSet::full(r_len);
-        let chase = Chase::new(self.rules, self.master).with_plan(self.plan);
+        let chase = Chase::new(self.rules, self.master).with_plan(Some(self.plan));
 
         struct St {
             tuple: Tuple,
@@ -470,7 +468,7 @@ mod tests {
     use certainfix_rules::parse_rules;
     use std::sync::Arc;
 
-    fn fig1() -> (Arc<Schema>, RuleSet, MasterIndex, DependencyGraph) {
+    fn fig1() -> (Arc<Schema>, RuleSet, MasterIndex, DependencyGraph, RulePlan) {
         let r = Schema::new(
             "R",
             [
@@ -529,7 +527,8 @@ mod tests {
             .unwrap(),
         ));
         let graph = DependencyGraph::new(&rules);
-        (r, rules, master, graph)
+        let plan = RulePlan::compile(&rules, &master);
+        (r, rules, master, graph, plan)
     }
 
     fn ids(r: &Schema, names: &[&str]) -> Vec<AttrId> {
@@ -567,8 +566,8 @@ mod tests {
 
     #[test]
     fn one_round_certain_fix_for_master_backed_tuple() {
-        let (r, rules, master, graph) = fig1();
-        let engine = CertainFix::new(&rules, &master, &graph, CertainFixConfig::default());
+        let (r, rules, master, graph, plan) = fig1();
+        let engine = CertainFix::new(&rules, &master, &graph, &plan, CertainFixConfig::default());
         let mut user = SimulatedUser::new(t1_clean());
         let outcome = engine.run(
             &t1_dirty(),
@@ -591,8 +590,8 @@ mod tests {
     fn two_rounds_with_partial_initial_region() {
         // Start from Z = {zip} only: round 1 fixes AC/str/city, then the
         // suggestion pulls in phn/type/item and round 2 completes.
-        let (r, rules, master, graph) = fig1();
-        let engine = CertainFix::new(&rules, &master, &graph, CertainFixConfig::default());
+        let (r, rules, master, graph, plan) = fig1();
+        let engine = CertainFix::new(&rules, &master, &graph, &plan, CertainFixConfig::default());
         let mut user = SimulatedUser::new(t1_clean());
         let outcome = engine.run(
             &t1_dirty(),
@@ -615,8 +614,8 @@ mod tests {
     #[test]
     fn user_corrections_are_tracked() {
         // Dirty zip: the user must change it during the assertion.
-        let (r, rules, master, graph) = fig1();
-        let engine = CertainFix::new(&rules, &master, &graph, CertainFixConfig::default());
+        let (r, rules, master, graph, plan) = fig1();
+        let engine = CertainFix::new(&rules, &master, &graph, &plan, CertainFixConfig::default());
         let mut dirty = t1_dirty();
         dirty.set(r.attr("zip").unwrap(), Value::str("WRONG"));
         let mut user = SimulatedUser::new(t1_clean());
@@ -636,8 +635,8 @@ mod tests {
         // An entity absent from Dm: no rule can ever fire; the loop
         // stops as rule-exhausted instead of bothering the user with
         // every attribute.
-        let (r, rules, master, graph) = fig1();
-        let engine = CertainFix::new(&rules, &master, &graph, CertainFixConfig::default());
+        let (r, rules, master, graph, plan) = fig1();
+        let engine = CertainFix::new(&rules, &master, &graph, &plan, CertainFixConfig::default());
         let clean = tuple![
             "Tim",
             "Poth",
@@ -667,12 +666,12 @@ mod tests {
 
     #[test]
     fn fully_user_driven_when_exhaustion_stop_disabled() {
-        let (r, rules, master, graph) = fig1();
+        let (r, rules, master, graph, plan) = fig1();
         let config = CertainFixConfig {
             stop_when_rules_exhausted: false,
             ..Default::default()
         };
-        let engine = CertainFix::new(&rules, &master, &graph, config);
+        let engine = CertainFix::new(&rules, &master, &graph, &plan, config);
         let clean = tuple![
             "Tim",
             "Poth",
@@ -704,11 +703,9 @@ mod tests {
     #[test]
     fn block_loop_matches_single_tuple_loop() {
         use certainfix_reasoning::suggest_with;
-        use certainfix_rules::{ProbeScratch, RulePlan};
-        let (r, rules, master, graph) = fig1();
-        let plan = RulePlan::compile(&rules, &master);
-        let engine = CertainFix::new(&rules, &master, &graph, CertainFixConfig::default())
-            .with_plan(Some(&plan));
+        use certainfix_rules::ProbeScratch;
+        let (r, rules, master, graph, plan) = fig1();
+        let engine = CertainFix::new(&rules, &master, &graph, &plan, CertainFixConfig::default());
         let unmatched_clean = tuple![
             "Tim",
             "Poth",
@@ -728,7 +725,7 @@ mod tests {
         let cleans = [t1_clean(), unmatched_clean, t1_clean(), t1_clean()];
         let init = ids(&r, &["zip", "phn", "type", "item"]);
         let next = |t: &Tuple, v: AttrSet, sc: &mut ProbeScratch| {
-            suggest_with(&rules, &master, t, v, Some(&plan), sc).map(|s| s.attrs)
+            suggest_with(&rules, &master, t, v, &plan, sc).map(|s| s.attrs)
         };
 
         let mut single = ProbeScratch::new();
@@ -779,12 +776,12 @@ mod tests {
 
     #[test]
     fn rounds_are_bounded() {
-        let (r, rules, master, graph) = fig1();
+        let (r, rules, master, graph, plan) = fig1();
         let config = CertainFixConfig {
             max_rounds: 2,
             stop_when_rules_exhausted: false,
         };
-        let engine = CertainFix::new(&rules, &master, &graph, config);
+        let engine = CertainFix::new(&rules, &master, &graph, &plan, config);
         let clean = tuple![
             "Tim",
             "Poth",

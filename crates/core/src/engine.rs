@@ -1,5 +1,6 @@
 //! The parallel batch-repair engine: work-stealing (or contiguous
-//! shard) scheduling over a shared immutable repair context.
+//! shard) scheduling over a shared repair context with epoch-stamped
+//! live master data.
 //!
 //! The paper's repair model is embarrassingly parallel across tuples:
 //! [`CertainFix`] and [`transfix`](crate::transfix::transfix) read a
@@ -15,6 +16,39 @@
 //! multi-round tuples) keeps every core busy instead of stalling the
 //! worker that happened to be dealt the hard region.
 //!
+//! # Live master data: epochs and generations
+//!
+//! The `(Dm, plan, catalog)` precomputation is no longer a field of
+//! the context but a [`MasterEpoch`] — one immutable snapshot of the
+//! master at a given [`generation`](MasterEpoch::generation), bundling
+//! the indexed master, the compiled [`RulePlan`], the region catalog,
+//! and the initial suggestion, all built against the *same* master
+//! rows. [`RepairContext::apply_master_delta`] builds the next epoch
+//! from a [`MasterDelta`] (batch inserts / updates / deletes) and
+//! swaps it in atomically:
+//!
+//! * in-flight work is never blocked — every batch *pins* its epoch
+//!   (one `Arc` clone) at fan-out and finishes on it;
+//! * new batches pick up the new epoch at their next fan-out, so a
+//!   delta becomes visible at the next *epoch boundary*, not mid-batch;
+//! * concurrent deltas serialize on an internal gate, so no delta is
+//!   lost; the epoch write-lock is held only for the pointer swap.
+//!
+//! Each [`BatchReport`] records the [`generation`](BatchReport::generation)
+//! it repaired against, making the hand-off observable all the way up
+//! through sessions and the service stream.
+//!
+//! # Workloads
+//!
+//! The engine fans out two per-tuple [`Workload`]s behind one API:
+//! the interactive editing-rule repair of the paper
+//! ([`Workload::EditRules`], the default), and the `IncRep`-style
+//! cost-based CFD repair ([`Workload::Cfd`]) it is benchmarked
+//! against — each dirty tuple runs
+//! [`certainfix_cfd::repair_tuple`] against the pinned epoch's master.
+//! CFD repair is oracle-free and single-round; its outcomes flow
+//! through the same [`FixOutcome`] / [`BatchReport`] plumbing.
+//!
 //! Each worker owns its own [`SuggestionBdd`] cache and
 //! [`MonitorStats`] accumulator; behind the per-worker caches an
 //! optional [`SharedSuggestionCache`] pools computed suggestions
@@ -24,8 +58,7 @@
 //! [`session`](crate::session): a
 //! [`RepairSession`](crate::session::RepairSession) drains any
 //! [`TupleSource`](crate::session::TupleSource) through this engine
-//! batch by batch; the one-shot methods below are thin shims over a
-//! one-batch session. One layer above *that*, the
+//! batch by batch. One layer above *that*, the
 //! [`service`](crate::service) multiplexer schedules N independent
 //! sessions fairly over a single engine — the engine itself is
 //! session-count-agnostic: nothing here assumes the batches it fans
@@ -34,35 +67,37 @@
 //! # Determinism
 //!
 //! Every tuple's repair depends only on the tuple itself, its oracle,
-//! and the shared immutable context — never on other tuples in the
-//! batch or on which worker claims it. The compiled
-//! [`RulePlan`] probe layer
-//! ([`RepairContext::uses_plan`]) reads the same hash maps as the
-//! legacy `MasterIndex` path, so toggling it changes *no* outcome and
-//! no deterministic count (only the probe counters it feeds). Outcomes
-//! are stitched back in input order, and the merged statistics are
-//! integer sums, so for plain `CertainFix` (`use_bdd = false`, shared
-//! cache off) the repaired tuples, the merged count fields of
-//! [`MonitorStats`], and
+//! and the pinned epoch — never on other tuples in the batch or on
+//! which worker claims it. Repairs always probe through the epoch's
+//! compiled [`RulePlan`]; the plain probe functions survive only as
+//! the test-suite's parity oracle. Outcomes are stitched back in input
+//! order, and the merged statistics are integer sums, so for plain
+//! `CertainFix` (`use_bdd = false`, shared cache off) the repaired
+//! tuples, the merged count fields of [`MonitorStats`], and
 //! any [`RoundMetrics`](crate::RoundMetrics) evaluated per worker and
 //! [`merged`](crate::metrics::merge_round_series) are **bit-identical
 //! to a sequential run regardless of schedule, worker count, or
-//! interleaving**. With the BDD cache and/or the shared cache enabled,
-//! served suggestions are *checked* rather than recomputed, which can
-//! yield a different (but equally valid) suggestion order; final
-//! repaired tuples still agree, but round traces may not. The
+//! interleaving**. A delta-maintained epoch is bit-identical to an
+//! engine rebuilt from scratch over the same master rows (D10 in
+//! DETERMINISM.md). With the BDD cache and/or the shared cache
+//! enabled, served suggestions are *checked* rather than recomputed,
+//! which can yield a different (but equally valid) suggestion order;
+//! final repaired tuples still agree, but round traces may not. The
 //! wall-clock observables ([`MonitorStats::elapsed`], the interner
 //! watermark, and the shared-cache hit/miss counters) are exempt from
 //! the guarantee by nature.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use certainfix_cfd::{repair_tuple, rules_to_cfds, Cfd, IncRepConfig};
 use certainfix_reasoning::{suggest_with, RegionCatalog};
-use certainfix_relation::{AttrId, Interner, MasterIndex, Relation, Tuple};
+use certainfix_relation::{
+    AttrId, AttrSet, Interner, MasterDelta, MasterIndex, Relation, RelationError, Tuple,
+};
 use certainfix_rules::{DependencyGraph, ProbeScratch, RulePlan, RuleSet};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 
 use crate::bdd::{BddStats, Cursor, SuggestionBdd};
 use crate::certainfix::{CertainFix, CertainFixConfig, FixOutcome};
@@ -70,23 +105,106 @@ use crate::monitor::{InitialRegion, MonitorStats};
 use crate::oracle::UserOracle;
 use crate::sharedcache::{SharedCacheStats, SharedSuggestionCache};
 
-/// Everything precomputed from `(Σ, Dm)` that repair workers share by
-/// reference: the rule set, the indexed master data, the compiled
-/// [`RulePlan`] (pinned per-rule key indexes and probe layouts), the
-/// dependency graph (Fig. 4), the ranked certain-region catalog, and
-/// the initial suggestion. Immutable after construction (the
-/// [`MasterIndex`] cache and the plan's sub-index slots grow
-/// internally behind their own synchronization), hence `Sync`.
-pub struct RepairContext {
-    rules: Arc<RuleSet>,
+/// One immutable snapshot of the master data and everything compiled
+/// from it: the indexed master rows, the compiled [`RulePlan`], the
+/// ranked certain-region catalog, and the initial suggestion — all
+/// built against the same [`generation`](Self::generation). Workers
+/// pin an epoch (one `Arc` clone) for the duration of a batch; a
+/// [`MasterDelta`] produces the *next* epoch without touching this
+/// one, so in-flight repairs are never invalidated mid-batch.
+pub struct MasterEpoch {
     master: MasterIndex,
     plan: RulePlan,
-    graph: DependencyGraph,
     catalog: RegionCatalog,
     initial: Vec<AttrId>,
+}
+
+impl MasterEpoch {
+    /// Compile an epoch over an already-indexed master.
+    fn build(rules: &RuleSet, master: MasterIndex, initial_region: InitialRegion) -> MasterEpoch {
+        let plan = RulePlan::compile(rules, &master);
+        let catalog = RegionCatalog::build(rules, &master);
+        let region = match initial_region {
+            InitialRegion::Best => catalog.best(),
+            InitialRegion::Median => catalog.median(),
+        };
+        let initial = region
+            .map(|r| r.z().to_vec())
+            .unwrap_or_else(|| rules.r_schema().attr_ids().collect());
+        debug_assert_eq!(plan.generation(), master.generation());
+        MasterEpoch {
+            master,
+            plan,
+            catalog,
+            initial,
+        }
+    }
+
+    /// The indexed master data of this epoch.
+    pub fn master(&self) -> &MasterIndex {
+        &self.master
+    }
+
+    /// The compiled rule plan (always probed by repairs; compiled
+    /// against this epoch's master generation).
+    pub fn plan(&self) -> &RulePlan {
+        &self.plan
+    }
+
+    /// The region catalog.
+    pub fn catalog(&self) -> &RegionCatalog {
+        &self.catalog
+    }
+
+    /// The initial suggestion (the seeded region's `Z`).
+    pub fn initial_suggestion(&self) -> &[AttrId] {
+        &self.initial
+    }
+
+    /// The master generation this epoch was compiled against.
+    pub fn generation(&self) -> u64 {
+        self.master.generation()
+    }
+}
+
+/// What the engine runs per tuple.
+#[derive(Clone, Debug, Default)]
+pub enum Workload {
+    /// The paper's interactive editing-rule repair (`CertainFix` /
+    /// `CertainFix+`): suggestion rounds against a user oracle,
+    /// certain fixes through `TransFix`.
+    #[default]
+    EditRules,
+    /// `IncRep`-style cost-based CFD repair (Cong et al., VLDB 2007):
+    /// each tuple is repaired by the cheapest attribute modifications
+    /// that resolve its CFD violations against the epoch's master.
+    /// Oracle-free; the oracle passed to the engine is ignored.
+    Cfd(IncRepConfig),
+}
+
+/// Everything repair workers share by reference: the rule set, the
+/// dependency graph (Fig. 4), the configuration — plus the *current*
+/// [`MasterEpoch`] behind an `RwLock`ed `Arc`, which
+/// [`apply_master_delta`](Self::apply_master_delta) swaps. Pinning an
+/// epoch is one read-lock + `Arc` clone; everything inside an epoch is
+/// immutable after construction (the [`MasterIndex`] cache and the
+/// plan's sub-index slots grow internally behind their own
+/// synchronization), hence `Sync`.
+pub struct RepairContext {
+    rules: Arc<RuleSet>,
+    graph: DependencyGraph,
     config: CertainFixConfig,
     use_bdd: bool,
-    use_plan: bool,
+    initial_region: InitialRegion,
+    workload: Workload,
+    /// CFDs derived from the rule set; empty under
+    /// [`Workload::EditRules`].
+    cfds: Vec<Cfd>,
+    epoch: RwLock<Arc<MasterEpoch>>,
+    /// Serializes concurrent deltas so none is lost; the epoch write
+    /// lock above is held only for the pointer swap.
+    delta_gate: Mutex<()>,
+    rebuilds: AtomicU64,
 }
 
 impl RepairContext {
@@ -102,9 +220,8 @@ impl RepairContext {
         )
     }
 
-    /// Full-control constructor; repairs run through the compiled rule
-    /// plan (use [`with_plan_mode`](Self::with_plan_mode) to A/B the
-    /// legacy probe path).
+    /// Full-control constructor for the editing-rule workload; repairs
+    /// run through the epoch's compiled rule plan.
     pub fn with_config(
         rules: RuleSet,
         master: Arc<Relation>,
@@ -112,45 +229,47 @@ impl RepairContext {
         initial_region: InitialRegion,
         config: CertainFixConfig,
     ) -> RepairContext {
-        Self::with_plan_mode(rules, master, use_bdd, initial_region, config, true)
+        Self::with_workload(
+            rules,
+            master,
+            use_bdd,
+            initial_region,
+            config,
+            Workload::default(),
+        )
     }
 
-    /// [`with_config`](Self::with_config) plus the probe-layer toggle:
-    /// `use_plan = false` routes every repair through the legacy
-    /// lock-and-clone `MasterIndex` probes instead of the compiled
-    /// plan. Outcomes (and the deterministic [`MonitorStats`] counts,
-    /// modulo the probe counters themselves) are bit-identical either
-    /// way — the toggle exists so the bench layer can *measure* the
-    /// plan instead of asserting it.
-    pub fn with_plan_mode(
+    /// [`with_config`](Self::with_config) plus the per-tuple
+    /// [`Workload`]. Under [`Workload::Cfd`] the rule set is converted
+    /// to CFDs ([`certainfix_cfd::rules_to_cfds`]; inexpressible rules
+    /// are skipped) and repairs run the cost-based baseline instead of
+    /// the interaction loop.
+    pub fn with_workload(
         rules: RuleSet,
         master: Arc<Relation>,
         use_bdd: bool,
         initial_region: InitialRegion,
         config: CertainFixConfig,
-        use_plan: bool,
+        workload: Workload,
     ) -> RepairContext {
-        let master = MasterIndex::new(master);
-        let plan = RulePlan::compile(&rules, &master);
-        let graph = DependencyGraph::new(&rules);
-        let catalog = RegionCatalog::build(&rules, &master);
-        let region = match initial_region {
-            InitialRegion::Best => catalog.best(),
-            InitialRegion::Median => catalog.median(),
+        let cfds = match &workload {
+            Workload::EditRules => Vec::new(),
+            Workload::Cfd(_) => rules_to_cfds(&rules).0,
         };
-        let initial = region
-            .map(|r| r.z().to_vec())
-            .unwrap_or_else(|| rules.r_schema().attr_ids().collect());
+        let master = MasterIndex::new(master);
+        let graph = DependencyGraph::new(&rules);
+        let epoch = Arc::new(MasterEpoch::build(&rules, master, initial_region));
         RepairContext {
             rules: Arc::new(rules),
-            master,
-            plan,
             graph,
-            catalog,
-            initial,
             config,
             use_bdd,
-            use_plan,
+            initial_region,
+            workload,
+            cfds,
+            epoch: RwLock::new(epoch),
+            delta_gate: Mutex::new(()),
+            rebuilds: AtomicU64::new(0),
         }
     }
 
@@ -159,31 +278,28 @@ impl RepairContext {
         &self.rules
     }
 
-    /// The indexed master data.
-    pub fn master(&self) -> &MasterIndex {
-        &self.master
+    /// Pin the current epoch: one read-lock + `Arc` clone. The pinned
+    /// snapshot stays valid (and immutable) across any number of
+    /// subsequent [`apply_master_delta`](Self::apply_master_delta)
+    /// calls.
+    pub fn epoch(&self) -> Arc<MasterEpoch> {
+        self.epoch.read().expect("epoch lock poisoned").clone()
     }
 
-    /// The compiled rule plan (always built; consulted by repairs iff
-    /// [`uses_plan`](Self::uses_plan)).
-    pub fn plan(&self) -> &RulePlan {
-        &self.plan
+    /// The current master generation (the one the *next* fan-out will
+    /// pin).
+    pub fn generation(&self) -> u64 {
+        self.epoch().generation()
     }
 
-    /// The plan when repairs are configured to use it, `None` under
-    /// the legacy probe path.
-    pub fn active_plan(&self) -> Option<&RulePlan> {
-        self.use_plan.then_some(&self.plan)
+    /// How many epochs were rebuilt by deltas since construction.
+    pub fn plan_rebuilds(&self) -> u64 {
+        self.rebuilds.load(Ordering::Relaxed)
     }
 
-    /// The region catalog.
-    pub fn catalog(&self) -> &RegionCatalog {
-        &self.catalog
-    }
-
-    /// The initial suggestion (the seeded region's `Z`).
-    pub fn initial_suggestion(&self) -> &[AttrId] {
-        &self.initial
+    /// The per-tuple workload.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
     }
 
     /// `true` iff suggestions are served from a BDD cache.
@@ -191,18 +307,39 @@ impl RepairContext {
         self.use_bdd
     }
 
-    /// `true` iff repairs probe through the compiled rule plan.
-    pub fn uses_plan(&self) -> bool {
-        self.use_plan
+    /// Apply a batch of master mutations: build the next
+    /// [`MasterEpoch`] (delta-maintained index, recompiled plan,
+    /// re-ranked catalog) and swap it in atomically. Returns the new
+    /// generation.
+    ///
+    /// In-flight batches keep their pinned epoch and finish undisturbed;
+    /// batches fanned out after this call repair against the new
+    /// generation. Concurrent deltas serialize (none is lost); the
+    /// epoch write lock is held only for the pointer swap, so pinning
+    /// stalls at most microseconds.
+    pub fn apply_master_delta(&self, delta: &MasterDelta) -> Result<u64, RelationError> {
+        let _gate = self.delta_gate.lock().expect("delta gate poisoned");
+        let current = self.epoch();
+        let next_master = current.master().apply_delta(delta)?;
+        let next = Arc::new(MasterEpoch::build(
+            &self.rules,
+            next_master,
+            self.initial_region,
+        ));
+        let generation = next.generation();
+        *self.epoch.write().expect("epoch lock poisoned") = next;
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        Ok(generation)
     }
 
-    /// Run the Fig. 3 interaction loop for one tuple, charging the
-    /// given per-worker cache and statistics accumulator. This is the
-    /// single per-tuple pipeline shared by the sequential
-    /// [`DataMonitor`](crate::DataMonitor) and the parallel engine's
-    /// workers — both produce outcomes through this exact code path,
-    /// which is what makes the determinism guarantee hold by
-    /// construction rather than by parallel maintenance of two loops.
+    /// Run the per-tuple pipeline for one tuple against the *current*
+    /// epoch, charging the given per-worker cache and statistics
+    /// accumulator. This is the single per-tuple pipeline shared by
+    /// the sequential [`DataMonitor`](crate::DataMonitor) and the
+    /// parallel engine's workers — both produce outcomes through this
+    /// exact code path, which is what makes the determinism guarantee
+    /// hold by construction rather than by parallel maintenance of two
+    /// loops.
     pub fn process_with<O: UserOracle + ?Sized>(
         &self,
         bdd: &mut SuggestionBdd,
@@ -226,18 +363,30 @@ impl RepairContext {
         dirty: &Tuple,
         oracle: &mut O,
     ) -> FixOutcome {
-        self.process_with_full(bdd, stats, shared, &mut ProbeScratch::new(), dirty, oracle)
+        let epoch = self.epoch();
+        self.process_with_full(
+            &epoch,
+            bdd,
+            stats,
+            shared,
+            &mut ProbeScratch::new(),
+            dirty,
+            oracle,
+        )
     }
 
-    /// The full per-tuple pipeline: [`process_with_shared`](Self::process_with_shared)
-    /// plus a caller-owned [`ProbeScratch`]. Workers (and the
-    /// sequential [`DataMonitor`](crate::DataMonitor)) hold one scratch
-    /// per thread, so the compiled plan's probe layer reuses one warm
-    /// buffer across every tuple the thread repairs; the scratch's
-    /// probe/allocation counters are drained into `stats` after each
-    /// tuple.
+    /// The full per-tuple pipeline against a caller-pinned epoch:
+    /// [`process_with_shared`](Self::process_with_shared) plus a
+    /// caller-owned [`ProbeScratch`]. Workers (and the sequential
+    /// [`DataMonitor`](crate::DataMonitor)) pin one epoch per batch and
+    /// hold one scratch per thread, so the compiled plan's probe layer
+    /// reuses one warm buffer across every tuple the thread repairs;
+    /// the scratch's probe/allocation counters are drained into
+    /// `stats` after each tuple.
+    #[allow(clippy::too_many_arguments)]
     pub fn process_with_full<O: UserOracle + ?Sized>(
         &self,
+        epoch: &MasterEpoch,
         bdd: &mut SuggestionBdd,
         stats: &mut MonitorStats,
         shared: Option<&SharedSuggestionCache>,
@@ -245,26 +394,29 @@ impl RepairContext {
         dirty: &Tuple,
         oracle: &mut O,
     ) -> FixOutcome {
+        if let Workload::Cfd(cfg) = &self.workload {
+            return self.process_cfd(epoch, cfg, stats, dirty);
+        }
         let started = Instant::now();
-        let plan = self.active_plan();
-        let engine = CertainFix::new(&self.rules, &self.master, &self.graph, self.config.clone())
-            .with_plan(plan);
+        let master = epoch.master();
+        let plan = epoch.plan();
+        let engine = CertainFix::new(&self.rules, master, &self.graph, plan, self.config.clone());
         let outcome = if self.use_bdd {
             let before = bdd.stats();
             let mut cursor = Cursor::start();
             let outcome = engine.run_scratch(
                 dirty,
-                &self.initial,
+                epoch.initial_suggestion(),
                 oracle,
                 |t, validated, sc| {
                     bdd.suggest_plus_with(
                         &self.rules,
-                        &self.master,
+                        master,
                         t,
                         validated,
                         &mut cursor,
                         shared,
-                        plan,
+                        Some(plan),
                         sc,
                     )
                 },
@@ -278,17 +430,17 @@ impl RepairContext {
             let (mut hits, mut misses) = (0u64, 0u64);
             let outcome = engine.run_scratch(
                 dirty,
-                &self.initial,
+                epoch.initial_suggestion(),
                 oracle,
                 |t, validated, sc| {
                     let mut hit = false;
                     let s = cache.suggest_through_with(
                         &self.rules,
-                        &self.master,
+                        master,
                         t,
                         validated,
                         &mut hit,
-                        plan,
+                        Some(plan),
                         sc,
                     );
                     if hit {
@@ -306,10 +458,10 @@ impl RepairContext {
         } else {
             engine.run_scratch(
                 dirty,
-                &self.initial,
+                epoch.initial_suggestion(),
                 oracle,
                 |t, validated, sc| {
-                    suggest_with(&self.rules, &self.master, t, validated, plan, sc).map(|s| s.attrs)
+                    suggest_with(&self.rules, master, t, validated, plan, sc).map(|s| s.attrs)
                 },
                 scratch,
             )
@@ -328,22 +480,65 @@ impl RepairContext {
         outcome
     }
 
-    /// The block pipeline: repair a contiguous run of `dirty` tuples as
-    /// one probe block through
+    /// The CFD workload's per-tuple pipeline: one oracle-free
+    /// [`certainfix_cfd::repair_tuple`] run against the pinned epoch's
+    /// master, shaped into the engine's common [`FixOutcome`]. The
+    /// changed attributes land in `rule_fixed`; `certain` means every
+    /// CFD violation was resolved within the pass budget (`validated`
+    /// is then the full schema, else the changed set); `rounds` stays
+    /// empty — cost-based repair has no interaction rounds.
+    fn process_cfd(
+        &self,
+        epoch: &MasterEpoch,
+        cfg: &IncRepConfig,
+        stats: &mut MonitorStats,
+        dirty: &Tuple,
+    ) -> FixOutcome {
+        let started = Instant::now();
+        let repair = repair_tuple(&self.cfds, dirty, epoch.master(), cfg);
+        let mut changed = AttrSet::EMPTY;
+        for change in &repair.changes {
+            changed.insert(change.attr);
+        }
+        let certain = repair.unresolved == 0;
+        let full = AttrSet::full(self.rules.r_schema().len());
+        let outcome = FixOutcome {
+            tuple: repair.tuple,
+            validated: if certain { full } else { changed },
+            rule_fixed: changed,
+            user_changed: AttrSet::EMPTY,
+            certain,
+            certain_at_round: certain.then_some(0),
+            rule_backed: certain,
+            gave_up: !certain,
+            rounds: Vec::new(),
+        };
+        stats.tuples += 1;
+        if certain {
+            stats.certain += 1;
+        }
+        stats.elapsed += started.elapsed();
+        stats.interner_syms = stats.interner_syms.max(Interner::global().len() as u64);
+        outcome
+    }
+
+    /// The block pipeline: repair a contiguous run of `dirty` tuples
+    /// against a caller-pinned epoch as one probe block through
     /// [`CertainFix::run_block_scratch`] — each round's `TransFix`
     /// probes are vectorized across the block (grouped by shared probe
     /// key, sort-grouped by key value, pattern checks hoisted to a
     /// bitmask). `oracle_for(base + k)` supplies the user for
     /// `dirty[k]`.
     ///
-    /// Plain-mode only (no BDD suggestion cache, no shared cache —
-    /// those paths thread per-worker caches whose canonical query order
-    /// is part of their own determinism story). Outcomes are
-    /// bit-identical to calling
+    /// Editing-rule plain mode only (no CFD workload, no BDD
+    /// suggestion cache, no shared cache — those paths thread
+    /// per-worker caches whose canonical query order is part of their
+    /// own determinism story). Outcomes are bit-identical to calling
     /// [`process_with_full`](Self::process_with_full) per tuple, at
     /// every block size.
     pub fn process_block_full<O, F>(
         &self,
+        epoch: &MasterEpoch,
         stats: &mut MonitorStats,
         scratch: &mut ProbeScratch,
         dirty: &[Tuple],
@@ -355,17 +550,21 @@ impl RepairContext {
         F: Fn(usize) -> O + ?Sized,
     {
         debug_assert!(!self.use_bdd, "block repairs are plain-mode only");
+        debug_assert!(
+            matches!(self.workload, Workload::EditRules),
+            "block repairs are editing-rule only"
+        );
         let started = Instant::now();
-        let plan = self.active_plan();
-        let engine = CertainFix::new(&self.rules, &self.master, &self.graph, self.config.clone())
-            .with_plan(plan);
+        let master = epoch.master();
+        let plan = epoch.plan();
+        let engine = CertainFix::new(&self.rules, master, &self.graph, plan, self.config.clone());
         let mut oracles: Vec<O> = (0..dirty.len()).map(|k| oracle_for(base + k)).collect();
         let outcomes = engine.run_block_scratch(
             dirty,
-            &self.initial,
+            epoch.initial_suggestion(),
             &mut oracles,
             |t, validated, sc| {
-                suggest_with(&self.rules, &self.master, t, validated, plan, sc).map(|s| s.attrs)
+                suggest_with(&self.rules, master, t, validated, plan, sc).map(|s| s.attrs)
             },
             scratch,
         );
@@ -497,6 +696,11 @@ pub struct BatchReport {
     pub shared: Option<SharedCacheStats>,
     /// Wall-clock time of the whole batch (what throughput divides by).
     pub wall: Duration,
+    /// The master generation this batch was repaired against — the
+    /// epoch pinned at fan-out. Makes delta hand-off observable: a
+    /// batch fanned out before [`RepairContext::apply_master_delta`]
+    /// carries the old generation, the next one the new.
+    pub generation: u64,
     /// Per-worker breakdown, in worker order.
     pub workers: Vec<WorkerReport>,
 }
@@ -618,28 +822,6 @@ impl BatchRepairEngine {
         crate::session::RepairSession::borrowed(self, opts)
     }
 
-    /// Repair `dirty` with up to `threads` workers under the default
-    /// options ([`Schedule::Steal`] with the shared cache on); see
-    /// [`repair_opts`](Self::repair_opts).
-    #[deprecated(
-        since = "0.2.0",
-        note = "superseded by the session API: `engine.session_opts(..).push_batch(..)` or `RepairSessionBuilder`"
-    )]
-    pub fn repair<F, O>(&self, dirty: &[Tuple], threads: usize, oracle_for: F) -> BatchReport
-    where
-        F: Fn(usize) -> O + Sync,
-        O: UserOracle,
-    {
-        self.repair_opts(
-            dirty,
-            &RepairOptions {
-                threads,
-                ..RepairOptions::default()
-            },
-            oracle_for,
-        )
-    }
-
     /// Repair `dirty` under `opts` — a thin shim over a one-batch
     /// [`RepairSession`](crate::session::RepairSession).
     ///
@@ -667,8 +849,11 @@ impl BatchRepairEngine {
     }
 
     /// The scheduling / fan-out / merge primitive every session batch
-    /// runs through: deal `dirty` to the workers under `opts`, repair,
-    /// stitch outcomes back in input order, merge statistics.
+    /// runs through: pin the current epoch, deal `dirty` to the
+    /// workers under `opts`, repair, stitch outcomes back in input
+    /// order, merge statistics. The pinned epoch is the batch's world:
+    /// a concurrent [`RepairContext::apply_master_delta`] never
+    /// perturbs work already fanned out.
     pub(crate) fn fan_out<F, O>(
         &self,
         dirty: &[Tuple],
@@ -680,6 +865,7 @@ impl BatchRepairEngine {
         O: UserOracle,
     {
         let started = Instant::now();
+        let epoch = self.ctx.epoch();
         let n = dirty.len();
         if n == 0 {
             return BatchReport {
@@ -688,6 +874,7 @@ impl BatchRepairEngine {
                 bdd: BddStats::default(),
                 shared: opts.shared_cache.then(|| self.shared.attributed(0, 0)),
                 wall: started.elapsed(),
+                generation: epoch.generation(),
                 workers: Vec::new(),
             };
         }
@@ -720,13 +907,16 @@ impl BatchRepairEngine {
         slots.resize_with(workers, || None);
 
         let ctx = &self.ctx;
+        let epoch = &*epoch;
         let shared = opts.shared_cache.then_some(&self.shared);
-        // plain-mode repairs batch each claimed chunk through the
-        // vectorized block pipeline; BDD / shared-cache repairs keep
-        // the per-tuple path (their caches' canonical query order is
-        // part of their own determinism story). Outcomes are identical
+        // plain-mode editing-rule repairs batch each claimed chunk
+        // through the vectorized block pipeline; BDD / shared-cache
+        // repairs keep the per-tuple path (their caches' canonical
+        // query order is part of their own determinism story), and the
+        // CFD workload is per-tuple by nature. Outcomes are identical
         // either way — the block layer is bit-identical by construction.
-        let block_mode = ctx.uses_plan() && !ctx.uses_bdd() && shared.is_none();
+        let block_mode =
+            matches!(ctx.workload(), Workload::EditRules) && !ctx.uses_bdd() && shared.is_none();
         let oracle_for = &oracle_for;
         let queues = &queues;
         std::thread::scope(|s| {
@@ -748,6 +938,7 @@ impl BatchRepairEngine {
                             let outs: Vec<FixOutcome> = if block_mode && hi - lo >= 2 {
                                 // a claimed chunk becomes one probe block
                                 ctx.process_block_full(
+                                    epoch,
                                     stats,
                                     scratch,
                                     &dirty[lo..hi],
@@ -759,6 +950,7 @@ impl BatchRepairEngine {
                                     .map(|i| {
                                         let mut oracle = oracle_for(i);
                                         ctx.process_with_full(
+                                            epoch,
                                             bdd,
                                             stats,
                                             shared,
@@ -833,44 +1025,9 @@ impl BatchRepairEngine {
             bdd,
             shared,
             wall: started.elapsed(),
+            generation: epoch.generation(),
             workers: reports,
         }
-    }
-
-    /// Repair every tuple of a relation (the batch analogue of
-    /// [`DataMonitor::repair_relation`](crate::DataMonitor::repair_relation)),
-    /// returning the repaired relation plus the full report.
-    #[deprecated(
-        since = "0.2.0",
-        note = "superseded by the session API: drain a `SliceSource` over `Relation::tuples` through a `RepairSession`"
-    )]
-    pub fn repair_relation<F, O>(
-        &self,
-        dirty: &Relation,
-        threads: usize,
-        oracle_for: F,
-    ) -> (Relation, BatchReport)
-    where
-        F: Fn(usize) -> O + Sync,
-        O: UserOracle,
-    {
-        let mut session = self.session_opts(RepairOptions {
-            threads,
-            ..RepairOptions::default()
-        });
-        session.push_batch(dirty.tuples(), oracle_for);
-        let report = session
-            .finish()
-            .batches
-            .pop()
-            .expect("exactly one batch was pushed");
-        let mut repaired = Relation::empty(dirty.schema().clone());
-        for out in &report.outcomes {
-            repaired
-                .push(out.tuple.clone())
-                .expect("outcome tuples share the input schema");
-        }
-        (repaired, report)
     }
 }
 
@@ -896,6 +1053,8 @@ fn coalesce_ranges(claimed: &[usize], chunk_size: usize, n: usize) -> Vec<Range<
 fn _send_sync_audit() {
     fn check<T: Send + Sync>() {}
     check::<RepairContext>();
+    check::<MasterEpoch>();
+    check::<Workload>();
     check::<BatchRepairEngine>();
     check::<SharedSuggestionCache>();
     check::<ChunkQueue>();
@@ -918,7 +1077,8 @@ mod tests {
     use crate::metrics::{evaluate_rounds, merge_round_series, RoundMetrics, TupleEval};
     use crate::monitor::DataMonitor;
     use crate::oracle::SimulatedUser;
-    use certainfix_datagen::{Dataset, DirtyConfig, Hosp, WideKey, Workload};
+    use certainfix_datagen::{Dataset, DirtyConfig, Hosp, WideKey, Workload as GenWorkload};
+    use certainfix_relation::Value;
 
     fn hosp_batch_skewed(dm: usize, inputs: usize, skew: f64) -> (Hosp, Dataset, Vec<Tuple>) {
         let hosp = Hosp::generate(dm);
@@ -1172,43 +1332,61 @@ mod tests {
         assert_eq!(remerged.shared_misses, report.stats.shared_misses);
     }
 
-    /// The tentpole's determinism contract at the engine level: plan-on
-    /// and plan-off contexts produce bit-identical outcomes and merged
-    /// deterministic stats (modulo the probe counters themselves) on a
-    /// skewed batch, across worker counts — and the plan path actually
-    /// probed through the compiled layer.
+    /// The tentpole's determinism contract (D10) at the engine level:
+    /// an engine whose epoch was maintained through `MasterDelta`s
+    /// (updates patching the index, inserts extending it) produces
+    /// bit-identical outcomes and merged deterministic stats —
+    /// including `plan_probes` — to an engine rebuilt from scratch
+    /// over the same master rows, on a skewed batch, across worker
+    /// counts. The delta-maintained plan still probes through the
+    /// compiled layer with bounded steady-state allocations.
     #[test]
-    fn plan_on_and_off_are_bit_identical() {
+    fn delta_maintained_epoch_matches_fresh_rebuild() {
         let (hosp, ds, dirty) = hosp_batch_skewed(300, 2_000, 1.0);
-        let mk = |use_plan: bool| {
-            BatchRepairEngine::new(RepairContext::with_plan_mode(
-                hosp.rules().clone(),
-                hosp.master().clone(),
-                false,
-                InitialRegion::Best,
-                crate::certainfix::CertainFixConfig::default(),
-                use_plan,
-            ))
-        };
-        let on = mk(true);
-        let off = mk(false);
-        assert!(on.context().uses_plan());
-        assert!(!off.context().uses_plan());
-        assert_eq!(on.context().plan().len(), hosp.rules().len());
+        let full = hosp.master().clone();
+        let n = full.len();
+        // Seed master: the last 20 rows missing, and row 0 corrupted.
+        let mut seed_rows: Vec<Tuple> = full.tuples()[..n - 20].to_vec();
+        let a0 = hosp.rules().m_schema().attr_ids().next().expect("attrs");
+        let mut stale = seed_rows[0].clone();
+        stale.set(a0, Value::str("STALE-MASTER-ROW"));
+        seed_rows[0] = stale;
+        let seed = Arc::new(Relation::new(full.schema().clone(), seed_rows).expect("seed master"));
+
+        let maintained =
+            BatchRepairEngine::new(RepairContext::new(hosp.rules().clone(), seed, false));
+        let before_gen = maintained.context().generation();
+        // One delta batch: repair row 0 and append the missing rows.
+        let mut delta = MasterDelta::new().update(0, full.tuple(0).clone());
+        for t in &full.tuples()[n - 20..] {
+            delta = delta.insert(t.clone());
+        }
+        let gen = maintained
+            .context()
+            .apply_master_delta(&delta)
+            .expect("delta applies");
+        assert!(gen > before_gen, "delta advanced the generation");
+        assert_eq!(maintained.context().generation(), gen);
+        assert_eq!(maintained.context().plan_rebuilds(), 1);
+
+        let fresh = BatchRepairEngine::new(RepairContext::new(
+            hosp.rules().clone(),
+            full.clone(),
+            false,
+        ));
         let oracle_for = |i: usize| SimulatedUser::new(ds.inputs[i].clean.clone());
-        let baseline = off.repair_opts(&dirty, &plain_opts(1, Schedule::Steal), oracle_for);
-        assert_eq!(
-            baseline.stats.plan_probes, 0,
-            "legacy path never counts plan probes"
-        );
+        let baseline = fresh.repair_opts(&dirty, &plain_opts(1, Schedule::Steal), oracle_for);
         for threads in [1usize, 2, 4] {
-            let planned = on.repair_opts(&dirty, &plain_opts(threads, Schedule::Steal), oracle_for);
-            assert_outcomes_identical(&baseline, &planned, &format!("plan on, {threads} workers"));
-            assert_eq!(baseline.stats.tuples, planned.stats.tuples);
-            assert_eq!(baseline.stats.certain, planned.stats.certain);
-            assert_eq!(baseline.stats.rounds, planned.stats.rounds);
+            let got =
+                maintained.repair_opts(&dirty, &plain_opts(threads, Schedule::Steal), oracle_for);
+            assert_outcomes_identical(&baseline, &got, &format!("delta epoch, {threads} workers"));
+            assert_eq!(baseline.stats.tuples, got.stats.tuples);
+            assert_eq!(baseline.stats.certain, got.stats.certain);
+            assert_eq!(baseline.stats.rounds, got.stats.rounds);
+            // the logical probe count is part of the D10 contract
+            assert_eq!(baseline.stats.plan_probes, got.stats.plan_probes);
             assert!(
-                planned.stats.plan_probes > 0,
+                got.stats.plan_probes > 0,
                 "the compiled layer served the probes"
             );
             // each worker warms one scratch buffer (probe key plus the
@@ -1216,16 +1394,77 @@ mod tests {
             // path allocates nothing, so allocations stay bounded by a
             // small per-worker constant regardless of batch size
             assert!(
-                planned.stats.probe_allocs <= (threads * 16) as u64,
+                got.stats.probe_allocs <= (threads * 16) as u64,
                 "probe allocations bounded by worker count: {} > 16*{threads}",
-                planned.stats.probe_allocs
+                got.stats.probe_allocs
             );
+            assert_eq!(got.generation, gen, "batch pinned the delta'd epoch");
         }
-        // plan_probes is itself deterministic: same count sequentially
-        // and with 4 stealing workers
-        let p1 = on.repair_opts(&dirty, &plain_opts(1, Schedule::Steal), oracle_for);
-        let p4 = on.repair_opts(&dirty, &plain_opts(4, Schedule::Steal), oracle_for);
-        assert_eq!(p1.stats.plan_probes, p4.stats.plan_probes);
+        assert_eq!(baseline.generation, fresh.context().generation());
+    }
+
+    /// Delete deltas force the lazy index rebuild path; the rebuilt
+    /// epoch must still match an engine constructed directly over the
+    /// surviving rows.
+    #[test]
+    fn delete_delta_matches_fresh_rebuild() {
+        let (hosp, ds, dirty) = hosp_batch(200, 500);
+        let full = hosp.master().clone();
+        let engine = BatchRepairEngine::new(RepairContext::new(
+            hosp.rules().clone(),
+            full.clone(),
+            false,
+        ));
+        // drop the last two master rows through a delta ...
+        let n = full.len() as u32;
+        let delta = MasterDelta::new().delete(n - 1).delete(n - 2);
+        assert!(delta.has_deletes());
+        let gen = engine
+            .context()
+            .apply_master_delta(&delta)
+            .expect("delta applies");
+        assert_eq!(engine.context().generation(), gen);
+        // ... and rebuild the same master from scratch
+        let survivors: Vec<Tuple> = full.tuples()[..full.len() - 2].to_vec();
+        let truncated =
+            Arc::new(Relation::new(full.schema().clone(), survivors).expect("truncated master"));
+        let fresh =
+            BatchRepairEngine::new(RepairContext::new(hosp.rules().clone(), truncated, false));
+        let oracle_for = |i: usize| SimulatedUser::new(ds.inputs[i].clean.clone());
+        let want = fresh.repair_opts(&dirty, &plain_opts(2, Schedule::Steal), oracle_for);
+        let got = engine.repair_opts(&dirty, &plain_opts(2, Schedule::Steal), oracle_for);
+        assert_outcomes_identical(&want, &got, "delete delta");
+        assert_eq!(want.stats.plan_probes, got.stats.plan_probes);
+    }
+
+    /// The CFD workload fans out through the same engine: outcomes are
+    /// deterministic across worker counts and flow through the common
+    /// report plumbing (oracle-free, zero interaction rounds).
+    #[test]
+    fn cfd_workload_is_deterministic_across_workers() {
+        let (hosp, ds, dirty) = hosp_batch(300, 1_000);
+        let engine = BatchRepairEngine::new(RepairContext::with_workload(
+            hosp.rules().clone(),
+            hosp.master().clone(),
+            false,
+            InitialRegion::Best,
+            CertainFixConfig::default(),
+            Workload::Cfd(IncRepConfig::default()),
+        ));
+        assert!(matches!(engine.context().workload(), Workload::Cfd(_)));
+        let oracle_for = |i: usize| SimulatedUser::new(ds.inputs[i].clean.clone());
+        let sequential = engine.repair_opts(&dirty, &plain_opts(1, Schedule::Steal), oracle_for);
+        assert_eq!(sequential.stats.tuples, 1_000);
+        assert_eq!(
+            sequential.stats.rounds, 0,
+            "cost-based repair has no rounds"
+        );
+        for threads in [2usize, 4] {
+            let parallel =
+                engine.repair_opts(&dirty, &plain_opts(threads, Schedule::Steal), oracle_for);
+            assert_outcomes_identical(&sequential, &parallel, &format!("cfd, {threads} workers"));
+            assert_eq!(sequential.stats.certain, parallel.stats.certain);
+        }
     }
 
     /// The wide-key fallback counter flows through the engine: the
@@ -1243,18 +1482,16 @@ mod tests {
             noise_rate: 0.25,
             input_size: 400,
             seed: 0xC0FFEE,
-            skew: 0.0,
-            hot: 0,
+            ..Default::default()
         };
         let ds = Dataset::generate(&wk, &cfg);
         let dirty: Vec<Tuple> = ds.inputs.iter().map(|dt| dt.dirty.clone()).collect();
-        let engine = BatchRepairEngine::new(RepairContext::with_plan_mode(
+        let engine = BatchRepairEngine::new(RepairContext::with_config(
             wk.rules().clone(),
             wk.master().clone(),
             false,
             InitialRegion::Best,
-            crate::certainfix::CertainFixConfig::default(),
-            true,
+            CertainFixConfig::default(),
         ));
         let oracle_for = |i: usize| SimulatedUser::new(ds.inputs[i].clean.clone());
         let base = engine.repair_opts(&dirty, &plain_opts(1, Schedule::Steal), oracle_for);
@@ -1429,27 +1666,7 @@ mod tests {
         assert!(report.workers.is_empty());
         assert_eq!(report.stats.tuples, 0);
         assert_eq!(report.throughput(), 0.0);
-    }
-
-    /// The deprecated one-shot shims stay equivalent to the session
-    /// path they forward to.
-    #[test]
-    #[allow(deprecated)]
-    fn repair_relation_round_trips() {
-        let (hosp, ds, _) = hosp_batch(150, 40);
-        let dirty_rel = ds.dirty_relation(hosp.schema().clone());
-        let engine = BatchRepairEngine::new(RepairContext::new(
-            hosp.rules().clone(),
-            hosp.master().clone(),
-            true,
-        ));
-        let (repaired, report) = engine.repair_relation(&dirty_rel, 3, |i| {
-            SimulatedUser::new(ds.inputs[i].clean.clone())
-        });
-        assert_eq!(repaired.len(), 40);
-        for (i, out) in report.outcomes.iter().enumerate() {
-            assert_eq!(repaired.tuple(i), &out.tuple);
-        }
+        assert_eq!(report.generation, engine.context().generation());
     }
 
     #[test]

@@ -26,10 +26,22 @@
 //! multiplexer ([`RepairService`]) schedules the sessions fairly and
 //! reports each one as if it had run alone.
 //!
+//! The master data is *live*: a
+//! [`MasterDelta`](certainfix_relation::MasterDelta) applied through
+//! [`RepairContext::apply_master_delta`] (or
+//! [`RepairSession::apply_master_delta`](session::RepairSession::apply_master_delta))
+//! builds the next generation-stamped [`MasterEpoch`] — maintained
+//! index, recompiled plan, re-ranked catalog — and swaps it in without
+//! stalling in-flight repairs, which finish on the epoch they pinned.
+//! And the engine runs two [`Workload`]s behind one surface: the
+//! paper's editing-rule repair and the `IncRep`-style CFD baseline of
+//! [`certainfix_cfd`].
+//!
 //! Every guarantee this crate leans on — schedule-independence, plan ≡
-//! legacy, stream ≡ batch, block ≡ single probe, session-interleaving-
-//! independence — is inventoried with its discharging test or CI job
-//! in `DETERMINISM.md` at the repository root.
+//! plain oracle, stream ≡ batch, block ≡ single probe, session-
+//! interleaving-independence, delta-maintained ≡ rebuilt — is
+//! inventoried with its discharging test or CI job in `DETERMINISM.md`
+//! at the repository root.
 
 pub mod bdd;
 pub mod certainfix;
@@ -45,7 +57,8 @@ pub mod transfix;
 pub use bdd::SuggestionBdd;
 pub use certainfix::{CertainFix, CertainFixConfig, FixOutcome, RoundReport};
 pub use engine::{
-    BatchRepairEngine, BatchReport, RepairContext, RepairOptions, Schedule, WorkerReport,
+    BatchRepairEngine, BatchReport, MasterEpoch, RepairContext, RepairOptions, Schedule,
+    WorkerReport, Workload,
 };
 pub use metrics::{
     evaluate_changes, evaluate_rounds, merge_round_series, ChangeCounts, RoundMetrics, TupleEval,

@@ -10,15 +10,14 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use certainfix_reasoning::RegionCatalog;
-use certainfix_relation::{AttrId, MasterIndex, Relation, Tuple};
+use certainfix_relation::{MasterDelta, Relation, RelationError, Tuple};
 use certainfix_rules::RuleSet;
 
 use crate::bdd::SuggestionBdd;
 use crate::certainfix::{CertainFixConfig, FixOutcome};
-use crate::engine::{BatchRepairEngine, RepairContext};
+use crate::engine::{BatchRepairEngine, MasterEpoch, RepairContext};
 use crate::oracle::UserOracle;
-use crate::session::{SliceSource, TupleSource};
+use crate::session::TupleSource;
 
 /// Which precomputed region seeds the first suggestion (Exp-1(2)).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -79,6 +78,13 @@ pub struct MonitorStats {
     /// instead of a pinned index. Deterministic, like `plan_probes`:
     /// merging workers reproduces the sequential count.
     pub plan_fallbacks: u64,
+    /// Master epochs rebuilt by
+    /// [`apply_master_delta`](crate::RepairContext::apply_master_delta)
+    /// — index maintained, plan recompiled, catalog re-ranked. Always 0
+    /// in per-worker accumulators (deltas are a context-level event,
+    /// not a per-tuple one); sessions charge it when they merge, so a
+    /// session report shows how many live-master hand-offs it spanned.
+    pub plan_rebuilds: u64,
 }
 
 impl MonitorStats {
@@ -100,6 +106,7 @@ impl MonitorStats {
         self.plan_probes += other.plan_probes;
         self.probe_allocs += other.probe_allocs;
         self.plan_fallbacks += other.plan_fallbacks;
+        self.plan_rebuilds += other.plan_rebuilds;
     }
     /// Mean rounds per tuple.
     pub fn avg_rounds(&self) -> f64 {
@@ -189,19 +196,23 @@ impl DataMonitor {
         self.context().rules()
     }
 
-    /// The indexed master data.
-    pub fn master(&self) -> &MasterIndex {
-        self.context().master()
+    /// Pin the current [`MasterEpoch`] — the indexed master, compiled
+    /// plan, region catalog, and initial suggestion, all of one
+    /// generation. The snapshot stays valid across subsequent deltas.
+    pub fn epoch(&self) -> Arc<MasterEpoch> {
+        self.context().epoch()
     }
 
-    /// The region catalog.
-    pub fn catalog(&self) -> &RegionCatalog {
-        self.context().catalog()
+    /// The current master generation.
+    pub fn generation(&self) -> u64 {
+        self.context().generation()
     }
 
-    /// The initial suggestion (the seeded region's `Z`).
-    pub fn initial_suggestion(&self) -> &[AttrId] {
-        self.context().initial_suggestion()
+    /// Apply a batch of master mutations; the next
+    /// [`process`](Self::process) call picks up the new epoch. Returns
+    /// the new generation.
+    pub fn apply_master_delta(&self, delta: &MasterDelta) -> Result<u64, RelationError> {
+        self.context().apply_master_delta(delta)
     }
 
     /// Statistics so far.
@@ -238,38 +249,13 @@ impl DataMonitor {
         outcomes
     }
 
-    /// Batch repair (the paper's Sect. 7 outlook: "certain fixes in
-    /// data repairing rather than monitoring"): run the monitoring loop
-    /// over every tuple of an existing relation, returning the repaired
-    /// relation plus per-tuple outcomes. `oracle_for(i)` supplies the
-    /// (simulated or real) user for row `i`. A thin shim over
-    /// [`ingest`](Self::ingest) of a [`SliceSource`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "superseded by `DataMonitor::ingest` (sequential) or a `RepairSession` (parallel)"
-    )]
-    pub fn repair_relation<F, O>(
-        &mut self,
-        dirty: &Relation,
-        oracle_for: F,
-    ) -> (Relation, Vec<FixOutcome>)
-    where
-        F: FnMut(usize) -> O,
-        O: UserOracle,
-    {
-        let outcomes = self.ingest(SliceSource::new(dirty.tuples()), oracle_for);
-        let mut repaired = Relation::empty(dirty.schema().clone());
-        for out in &outcomes {
-            repaired
-                .push(out.tuple.clone())
-                .expect("outcome tuples share the input schema");
-        }
-        (repaired, outcomes)
-    }
-
-    /// Process one input tuple with the given oracle.
+    /// Process one input tuple with the given oracle, against the
+    /// epoch current at the time of the call — a delta applied between
+    /// two `process` calls takes effect at the second.
     pub fn process<O: UserOracle + ?Sized>(&mut self, dirty: &Tuple, oracle: &mut O) -> FixOutcome {
+        let epoch = self.engine.context().epoch();
         self.engine.context().process_with_full(
+            &epoch,
             &mut self.bdd,
             &mut self.stats,
             None,
@@ -417,34 +403,9 @@ mod tests {
             InitialRegion::Median,
             CertainFixConfig::default(),
         );
-        assert!(best.initial_suggestion().len() <= median.initial_suggestion().len());
-    }
-
-    /// The deprecated relation shim forwards to `ingest` unchanged.
-    #[test]
-    #[allow(deprecated)]
-    fn repair_relation_batches_the_monitor() {
-        let hosp = Hosp::generate(150);
-        let cfg = DirtyConfig {
-            duplicate_rate: 1.0,
-            noise_rate: 0.2,
-            input_size: 25,
-            seed: 77,
-            ..Default::default()
-        };
-        let dataset = Dataset::generate(&hosp, &cfg);
-        let dirty = dataset.dirty_relation(hosp.schema().clone());
-        let mut monitor = DataMonitor::new(hosp.rules().clone(), hosp.master().clone(), true);
-        let (repaired, outcomes) = monitor.repair_relation(&dirty, |i| {
-            SimulatedUser::new(dataset.inputs[i].clean.clone())
-        });
-        assert_eq!(repaired.len(), 25);
-        assert_eq!(outcomes.len(), 25);
-        for (i, dt) in dataset.inputs.iter().enumerate() {
-            assert_eq!(repaired.tuple(i), &dt.clean);
-            assert!(outcomes[i].certain);
-        }
-        assert_eq!(monitor.stats().tuples, 25);
+        assert!(
+            best.epoch().initial_suggestion().len() <= median.epoch().initial_suggestion().len()
+        );
     }
 
     /// The satellite fix: `avg_round_latency` must not truncate the
@@ -533,6 +494,7 @@ mod tests {
             plan_probes: 40,
             probe_allocs: 1,
             plan_fallbacks: 3,
+            plan_rebuilds: 2,
         };
         let b = MonitorStats {
             tuples: 7,
@@ -545,6 +507,7 @@ mod tests {
             plan_probes: 2,
             probe_allocs: 1,
             plan_fallbacks: 1,
+            plan_rebuilds: 1,
         };
         let mut merged = a;
         merged.merge(&b);
@@ -558,6 +521,7 @@ mod tests {
         assert_eq!(merged.plan_probes, 42, "plan probes sum");
         assert_eq!(merged.probe_allocs, 2, "scratch warm-ups sum");
         assert_eq!(merged.plan_fallbacks, 4, "wide-key fallbacks sum");
+        assert_eq!(merged.plan_rebuilds, 3, "epoch rebuilds sum");
     }
 
     /// The ROADMAP monitoring-hook satellite: the `interner_syms`

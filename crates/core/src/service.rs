@@ -13,7 +13,7 @@
 //!
 //! # Architecture
 //!
-//! Ingest and repair are separate lanes over one immutable context
+//! Ingest and repair are separate lanes over one shared context
 //! (the HTAP-style isolation: producers never run repair code, repair
 //! workers never block on a producer):
 //!
@@ -36,6 +36,20 @@
 //!   [`BatchRepairEngine`]'s fan-out, charging per-`(worker, session)`
 //!   statistics so every session's numbers stay attributable.
 //!
+//! # Live master data
+//!
+//! The service's scheduler epoch is also the *master-epoch boundary*:
+//! each scheduler epoch pins the context's current
+//! [`MasterEpoch`](crate::MasterEpoch) once, so a
+//! [`RepairContext::apply_master_delta`](crate::RepairContext::apply_master_delta)
+//! issued while the service runs never perturbs chunks already fanned
+//! out — the in-flight epoch finishes on its pinned generation, and
+//! the next scheduler epoch picks up the new one. Every
+//! [`BatchReport`] a session accumulates records the
+//! [`generation`](BatchReport::generation) it repaired against, so a
+//! stream's reports show exactly where the hand-off landed in its own
+//! stream order.
+//!
 //! # Fairness
 //!
 //! Per epoch, every session with a batch ready contributes exactly one
@@ -56,7 +70,8 @@
 //! off) each session's outcomes and merged deterministic
 //! [`MonitorStats`] counts (`tuples`, `certain`, `rounds`,
 //! `plan_probes`, `plan_fallbacks`) are **bit-identical to draining
-//! that session alone through a [`RepairSession`]** — regardless of
+//! that session alone through a [`RepairSession`](crate::RepairSession)**
+//! — regardless of
 //! how many other sessions run concurrently, how the epochs happen to
 //! compose, or the worker count — and the aggregate
 //! [`ServiceReport::stats`] merge equals running the sessions one at a
@@ -109,7 +124,9 @@ use std::sync::Arc;
 
 use crate::bdd::{BddStats, SuggestionBdd};
 use crate::certainfix::{CertainFixConfig, FixOutcome};
-use crate::engine::{BatchRepairEngine, BatchReport, ChunkQueue, WorkerReport};
+use crate::engine::{
+    BatchRepairEngine, BatchReport, ChunkQueue, RepairContext, WorkerReport, Workload,
+};
 use crate::monitor::{InitialRegion, MonitorStats};
 use crate::oracle::UserOracle;
 use crate::session::{SessionReport, TupleSource};
@@ -201,6 +218,7 @@ pub struct RepairServiceBuilder {
     use_bdd: bool,
     initial: InitialRegion,
     config: CertainFixConfig,
+    workload: Workload,
     opts: ServiceOptions,
 }
 
@@ -214,6 +232,7 @@ impl RepairServiceBuilder {
             use_bdd: false,
             initial: InitialRegion::default(),
             config: CertainFixConfig::default(),
+            workload: Workload::default(),
             opts: ServiceOptions::default(),
         }
     }
@@ -221,6 +240,14 @@ impl RepairServiceBuilder {
     /// Serve suggestions from per-worker BDD caches (`CertainFix+`).
     pub fn bdd(mut self, on: bool) -> Self {
         self.use_bdd = on;
+        self
+    }
+
+    /// What runs per tuple: editing-rule repair (default) or the
+    /// `IncRep`-style CFD baseline ([`Workload::Cfd`]). One workload
+    /// per service — it is part of the shared context, not per-stream.
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
         self
     }
 
@@ -268,13 +295,14 @@ impl RepairServiceBuilder {
 
     /// Build the precomputation and the service (owning its engine).
     pub fn build(self) -> RepairService {
-        let engine = BatchRepairEngine::with_config(
+        let engine = BatchRepairEngine::new(RepairContext::with_workload(
             self.rules,
             self.master,
             self.use_bdd,
             self.initial,
             self.config,
-        );
+            self.workload,
+        ));
         RepairService::from_engine(engine, self.opts)
     }
 }
@@ -499,8 +527,13 @@ impl RepairService {
         slots.resize_with(workers, || None);
 
         let ctx = self.engine.context();
+        // the scheduler epoch is the master-epoch boundary: pin once,
+        // every chunk of this epoch repairs against one generation
+        let epoch = ctx.epoch();
+        let epoch = &*epoch;
         let shared = self.opts.shared_cache.then(|| self.engine.shared_cache());
-        let block_mode = ctx.uses_plan() && !ctx.uses_bdd() && shared.is_none();
+        let block_mode =
+            matches!(ctx.workload(), Workload::EditRules) && !ctx.uses_bdd() && shared.is_none();
         let order = &order;
         let batches = &batches;
         let bases = &bases;
@@ -537,6 +570,7 @@ impl RepairService {
                                 // tagged with (and containing only) its
                                 // session
                                 ctx.process_block_full(
+                                    epoch,
                                     &mut stats[b],
                                     scratch,
                                     &tuples[lo..hi],
@@ -548,6 +582,7 @@ impl RepairService {
                                     .map(|i| {
                                         let mut oracle = oracle_for(i);
                                         ctx.process_with_full(
+                                            epoch,
                                             bdd,
                                             &mut stats[b],
                                             shared,
@@ -668,6 +703,7 @@ impl RepairService {
                 // the epoch's wall clock: co-resident sessions share
                 // (and each report) the same epoch span
                 wall,
+                generation: epoch.generation(),
                 workers: workers_out,
             });
         }

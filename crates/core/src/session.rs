@@ -10,10 +10,22 @@
 //! drains any source through the work-stealing
 //! [`BatchRepairEngine`] and its engine-lifetime
 //! [`SharedSuggestionCache`](crate::SharedSuggestionCache), emitting
-//! one unified [`SessionReport`]. The older entry points —
-//! [`DataMonitor::repair_relation`](crate::DataMonitor::repair_relation),
-//! [`BatchRepairEngine::repair`](crate::BatchRepairEngine::repair) and
-//! friends — are thin shims over this machinery.
+//! one unified [`SessionReport`]. The session is also where the two
+//! *live* axes of the deployment surface meet:
+//!
+//! * **live master data** —
+//!   [`apply_master_delta`](RepairSession::apply_master_delta) applies
+//!   a [`MasterDelta`] between batches; the next batch repairs against
+//!   the new [generation](RepairSession::generation), each
+//!   [`BatchReport::generation`] records the epoch it pinned, and the
+//!   merged report counts the hand-offs in
+//!   [`MonitorStats::plan_rebuilds`];
+//! * **workloads** — the
+//!   [builder](RepairSessionBuilder::workload) selects what runs per
+//!   tuple: the paper's editing-rule repair (default) or the
+//!   `IncRep`-style CFD baseline
+//!   ([`Workload::Cfd`](crate::Workload)), both drained through the
+//!   same sources, engine, and reports.
 //!
 //! A session is the surface for **one** logical stream; the engine
 //! behind it was never limited to one session. Borrowed sessions
@@ -59,13 +71,15 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::Duration;
 
-use certainfix_datagen::{Batches, Workload};
-use certainfix_relation::{Relation, Tuple};
+use certainfix_datagen::{Batches, Workload as GenWorkload};
+use certainfix_relation::{MasterDelta, Relation, RelationError, Tuple};
 use certainfix_rules::RuleSet;
 
 use crate::bdd::BddStats;
 use crate::certainfix::{CertainFixConfig, FixOutcome};
-use crate::engine::{BatchRepairEngine, BatchReport, RepairContext, RepairOptions, Schedule};
+use crate::engine::{
+    BatchRepairEngine, BatchReport, RepairContext, RepairOptions, Schedule, Workload,
+};
 use crate::monitor::{InitialRegion, MonitorStats};
 use crate::oracle::UserOracle;
 use crate::sharedcache::SharedCacheStats;
@@ -159,18 +173,18 @@ impl TupleSource for SliceSource<'_> {
 /// an oracle factory that needs the ground truth can materialize the
 /// same stream up front by iterating `Dataset::batches` with the same
 /// config and collecting `inputs`.
-pub struct BatchesSource<'a, W: Workload + ?Sized> {
+pub struct BatchesSource<'a, W: GenWorkload + ?Sized> {
     batches: Batches<'a, W>,
 }
 
-impl<'a, W: Workload + ?Sized> BatchesSource<'a, W> {
+impl<'a, W: GenWorkload + ?Sized> BatchesSource<'a, W> {
     /// Wrap a generator batch iterator.
     pub fn new(batches: Batches<'a, W>) -> BatchesSource<'a, W> {
         BatchesSource { batches }
     }
 }
 
-impl<W: Workload + ?Sized> TupleSource for BatchesSource<'_, W> {
+impl<W: GenWorkload + ?Sized> TupleSource for BatchesSource<'_, W> {
     fn next_batch(&mut self) -> Option<Vec<Tuple>> {
         self.batches
             .next()
@@ -251,6 +265,7 @@ pub struct RepairSessionBuilder {
     use_bdd: bool,
     initial: InitialRegion,
     config: CertainFixConfig,
+    workload: Workload,
     opts: RepairOptions,
 }
 
@@ -265,6 +280,7 @@ impl RepairSessionBuilder {
             use_bdd: false,
             initial: InitialRegion::default(),
             config: CertainFixConfig::default(),
+            workload: Workload::default(),
             opts: RepairOptions::default(),
         }
     }
@@ -272,6 +288,14 @@ impl RepairSessionBuilder {
     /// Serve suggestions from per-worker BDD caches (`CertainFix+`).
     pub fn bdd(mut self, on: bool) -> Self {
         self.use_bdd = on;
+        self
+    }
+
+    /// What runs per tuple: the paper's editing-rule repair
+    /// ([`Workload::EditRules`], the default) or the `IncRep`-style
+    /// cost-based CFD baseline ([`Workload::Cfd`]).
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
         self
     }
 
@@ -319,21 +343,23 @@ impl RepairSessionBuilder {
 
     /// Build the precomputation and the session (owning its engine).
     pub fn build(self) -> RepairSession<'static> {
-        let engine = BatchRepairEngine::with_config(
+        let engine = BatchRepairEngine::new(RepairContext::with_workload(
             self.rules,
             self.master,
             self.use_bdd,
             self.initial,
             self.config,
-        );
+            self.workload,
+        ));
         RepairSession::from_engine(engine, self.opts)
     }
 }
 
 /// Owned or borrowed engine behind a session: the builder produces an
-/// owning session, while the shimmed legacy entry points wrap a
-/// borrowed engine so the engine-lifetime shared cache keeps its
-/// owner.
+/// owning session, while [`BatchRepairEngine::session_opts`] (and the
+/// one-batch [`repair_opts`](BatchRepairEngine::repair_opts) shim)
+/// wrap a borrowed engine so the engine-lifetime shared cache keeps
+/// its owner.
 enum EngineRef<'e> {
     Owned(Box<BatchRepairEngine>),
     Borrowed(&'e BatchRepairEngine),
@@ -359,6 +385,9 @@ pub struct RepairSession<'e> {
     batches: Vec<BatchReport>,
     tuples: usize,
     wall: Duration,
+    /// Master deltas applied through this session (charged to the
+    /// merged report's `plan_rebuilds`).
+    rebuilds: u64,
 }
 
 impl<'e> RepairSession<'e> {
@@ -371,6 +400,7 @@ impl<'e> RepairSession<'e> {
             batches: Vec::new(),
             tuples: 0,
             wall: Duration::ZERO,
+            rebuilds: 0,
         }
     }
 
@@ -384,7 +414,26 @@ impl<'e> RepairSession<'e> {
             batches: Vec::new(),
             tuples: 0,
             wall: Duration::ZERO,
+            rebuilds: 0,
         }
+    }
+
+    /// Apply a batch of master mutations to the live master: the
+    /// engine builds the next epoch (delta-maintained index, recompiled
+    /// plan, re-ranked catalog) and swaps it in; batches pushed after
+    /// this call repair against the new generation, while any batch
+    /// already fanned out finishes on the epoch it pinned. Returns the
+    /// new generation. The merged [`SessionReport`] counts these
+    /// hand-offs in [`MonitorStats::plan_rebuilds`].
+    pub fn apply_master_delta(&mut self, delta: &MasterDelta) -> Result<u64, RelationError> {
+        let generation = self.engine.get().context().apply_master_delta(delta)?;
+        self.rebuilds += 1;
+        Ok(generation)
+    }
+
+    /// The master generation the next pushed batch will repair against.
+    pub fn generation(&self) -> u64 {
+        self.engine.get().context().generation()
     }
 
     /// The engine behind this session.
@@ -493,7 +542,11 @@ impl<'e> RepairSession<'e> {
     }
 
     fn merged(&self) -> SessionReport {
-        SessionReport::from_batches(&self.batches, self.wall, self.tuples)
+        let mut report = SessionReport::from_batches(&self.batches, self.wall, self.tuples);
+        // deltas are a session-level event: the per-batch worker stats
+        // never see them, so the fold charges them here
+        report.stats.plan_rebuilds += self.rebuilds;
+        report
     }
 
     /// Snapshot the unified report so far without ending the session
@@ -631,7 +684,9 @@ mod tests {
     use super::*;
     use crate::metrics::{evaluate_rounds, merge_round_series, RoundMetrics, TupleEval};
     use crate::oracle::SimulatedUser;
+    use certainfix_cfd::{repair_tuple, rules_to_cfds, IncRepConfig};
     use certainfix_datagen::{Dataset, DirtyConfig, DirtyTuple, Hosp};
+    use certainfix_relation::{AttrSet, MasterIndex};
 
     fn hosp_stream(dm: usize, inputs: usize, skew: f64) -> (Hosp, Dataset) {
         let hosp = Hosp::generate(dm);
@@ -957,5 +1012,122 @@ mod tests {
             source.size_hint()
         };
         assert_eq!(source_hint, (0, Some(0)));
+    }
+
+    /// The D10 contract at the session level: a session whose master
+    /// grows through `MasterDelta`s between batches is bit-identical —
+    /// outcomes and logical plan probes — to fresh engines built from
+    /// scratch over each corresponding master state, at 1, 2, and 4
+    /// workers. Each batch repairs wholly against the generation
+    /// current when it was pushed, the generations recorded on the
+    /// batch reports strictly increase across the hand-offs, and the
+    /// merged report counts the rebuilds.
+    #[test]
+    fn deltas_between_batches_match_rebuilt_masters_1_2_4() {
+        let (hosp, ds) = hosp_stream(250, 1_200, 0.6);
+        let dirty = dirty_of(&ds);
+        let oracle_for = |i: usize| SimulatedUser::new(ds.inputs[i].clean.clone());
+        let full = hosp.master().clone();
+        let n = full.len();
+        // three master states: 40 rows short, 20 rows short, complete
+        let state = |upto: usize| {
+            Arc::new(
+                Relation::new(full.schema().clone(), full.tuples()[..upto].to_vec())
+                    .expect("prefix master"),
+            )
+        };
+        let states = [state(n - 40), state(n - 20), full.clone()];
+        let cuts = [0usize, 400, 800, 1_200];
+        for workers in [1usize, 2, 4] {
+            let mut session = RepairSessionBuilder::new(hosp.rules().clone(), states[0].clone())
+                .threads(workers)
+                .shared_cache(false)
+                .build();
+            for k in 0..3 {
+                session.push_batch(&dirty[cuts[k]..cuts[k + 1]], oracle_for);
+                if k < 2 {
+                    let mut delta = MasterDelta::new();
+                    for t in &full.tuples()[n - 40 + 20 * k..n - 20 + 20 * k] {
+                        delta = delta.insert(t.clone());
+                    }
+                    let generation = session.apply_master_delta(&delta).expect("delta applies");
+                    assert_eq!(generation, session.generation());
+                }
+            }
+            let report = session.finish();
+            assert_eq!(report.stats.plan_rebuilds, 2, "both hand-offs counted");
+            assert!(report.batches[0].generation < report.batches[1].generation);
+            assert!(report.batches[1].generation < report.batches[2].generation);
+            for k in 0..3 {
+                let fresh = BatchRepairEngine::new(RepairContext::new(
+                    hosp.rules().clone(),
+                    states[k].clone(),
+                    false,
+                ));
+                let opts = RepairOptions {
+                    threads: 1,
+                    shared_cache: false,
+                    ..RepairOptions::default()
+                };
+                let (lo, hi) = (cuts[k], cuts[k + 1]);
+                let want = fresh.repair_opts(&dirty[lo..hi], &opts, |i| oracle_for(lo + i));
+                let got = &report.batches[k];
+                assert_eq!(got.outcomes.len(), want.outcomes.len());
+                for (i, (a, b)) in got.outcomes.iter().zip(&want.outcomes).enumerate() {
+                    assert_eq!(a.tuple, b.tuple, "batch {k} tuple {i} ({workers} workers)");
+                    assert_eq!(a.certain, b.certain, "batch {k} tuple {i}");
+                    assert_eq!(a.validated, b.validated, "batch {k} tuple {i}");
+                }
+                assert_eq!(
+                    got.stats.plan_probes, want.stats.plan_probes,
+                    "batch {k} probes ({workers} workers)"
+                );
+            }
+        }
+    }
+
+    /// CFD repair folded into the session is tuple-for-tuple identical
+    /// to the retired standalone IncRep loop (one `repair_tuple` call
+    /// per row against the indexed master), across worker counts —
+    /// the legacy entry point's output now flows through the unified
+    /// session surface.
+    #[test]
+    fn cfd_session_matches_the_standalone_increp_loop() {
+        let (hosp, ds) = hosp_stream(200, 500, 0.0);
+        let dirty = dirty_of(&ds);
+        let cfg = IncRepConfig::default();
+        // the retired whole-relation increp() loop, inlined
+        let (cfds, _skipped) = rules_to_cfds(hosp.rules());
+        assert!(!cfds.is_empty(), "HOSP rules convert to CFDs");
+        let reference = MasterIndex::new(hosp.master().clone());
+        let legacy: Vec<_> = dirty
+            .iter()
+            .map(|t| repair_tuple(&cfds, t, &reference, &cfg))
+            .collect();
+
+        for workers in [1usize, 3] {
+            let mut session =
+                RepairSessionBuilder::new(hosp.rules().clone(), hosp.master().clone())
+                    .workload(Workload::Cfd(cfg.clone()))
+                    .threads(workers)
+                    .shared_cache(false)
+                    .build();
+            session.drain(SliceSource::with_batch(&dirty, 128), |i| {
+                SimulatedUser::new(ds.inputs[i].clean.clone())
+            });
+            let report = session.finish();
+            assert_eq!(report.tuples, 500);
+            assert_eq!(report.stats.rounds, 0, "cost-based repair has no rounds");
+            for (i, (out, want)) in report.outcomes().zip(&legacy).enumerate() {
+                assert_eq!(out.tuple, want.tuple, "tuple {i} ({workers} workers)");
+                assert_eq!(out.certain, want.unresolved == 0, "tuple {i}");
+                assert!(out.rounds.is_empty(), "tuple {i}");
+                let mut changed = AttrSet::EMPTY;
+                for c in &want.changes {
+                    changed.insert(c.attr);
+                }
+                assert_eq!(out.rule_fixed, changed, "tuple {i}");
+            }
+        }
     }
 }

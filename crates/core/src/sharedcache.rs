@@ -49,7 +49,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use certainfix_reasoning::{is_suggestion_with, suggest_with};
+use certainfix_reasoning::{is_suggestion, is_suggestion_with, suggest, suggest_with};
 use certainfix_relation::{AttrId, AttrSet, FxHashMap, MasterIndex, Tuple};
 use certainfix_rules::{ProbeScratch, RulePlan, RuleSet};
 
@@ -211,7 +211,11 @@ impl SharedSuggestionCache {
     ) -> Option<Vec<AttrId>> {
         let shard = self.shard(validated.bits());
         for cand in self.candidates(validated) {
-            if is_suggestion_with(rules, master, t, validated, &cand, plan, scratch) {
+            let ok = match plan {
+                Some(p) => is_suggestion_with(rules, master, t, validated, &cand, p, scratch),
+                None => is_suggestion(rules, master, t, validated, &cand),
+            };
+            if ok {
                 shard.hits.fetch_add(1, Ordering::Relaxed);
                 *hit = true;
                 return Some(cand.to_vec());
@@ -219,7 +223,11 @@ impl SharedSuggestionCache {
         }
         shard.misses.fetch_add(1, Ordering::Relaxed);
         *hit = false;
-        let computed = suggest_with(rules, master, t, validated, plan, scratch).map(|s| s.attrs);
+        let computed = match plan {
+            Some(p) => suggest_with(rules, master, t, validated, p, scratch),
+            None => suggest(rules, master, t, validated),
+        }
+        .map(|s| s.attrs);
         if let Some(attrs) = &computed {
             self.publish(validated, attrs);
         }

@@ -53,7 +53,13 @@ pub struct TransFixOutcome {
     pub disputed: Vec<usize>,
 }
 
-/// Run `TransFix` on `t` with validated set `validated`.
+/// Run `TransFix` on `t` with validated set `validated`, probing the
+/// master's shared lineage indexes directly (no compiled plan).
+///
+/// This is the *reference* path: the engine always runs the
+/// plan-backed [`transfix_with`], and this function exists as the
+/// independent oracle that tests and property checks compare it
+/// against. Keep the two in lockstep.
 pub fn transfix(
     rules: &RuleSet,
     master: &MasterIndex,
@@ -61,7 +67,7 @@ pub fn transfix(
     t: &Tuple,
     validated: AttrSet,
 ) -> TransFixOutcome {
-    transfix_with(
+    transfix_impl(
         rules,
         master,
         graph,
@@ -72,15 +78,32 @@ pub fn transfix(
     )
 }
 
-/// [`transfix`] with an optional compiled [`RulePlan`] and a
-/// caller-owned [`ProbeScratch`] — the allocation-free hot path.
+/// [`transfix`] through a compiled [`RulePlan`] and a caller-owned
+/// [`ProbeScratch`] — the allocation-free hot path the engine runs.
 ///
-/// With a plan, each rule's key probe goes straight to its pinned
-/// index: no `RwLock`, no key-list hashing, the projection lands in
-/// the reused scratch buffer, and the hit list is *borrowed* from the
-/// index rather than cloned. The plan probes the same hash maps as the
-/// legacy path, so the outcome is bit-identical with or without it.
+/// Each rule's key probe goes straight to its pinned index: no
+/// `RwLock`, no key-list hashing, the projection lands in the reused
+/// scratch buffer, and the hit list is *borrowed* from the index
+/// rather than cloned. The plan probes the same hash maps as the
+/// reference [`transfix`] path, so the outcome is bit-identical.
+///
+/// The plan must be compiled against `master`'s generation; after a
+/// master delta, recompile (or pick up the next epoch) before calling.
 pub fn transfix_with(
+    rules: &RuleSet,
+    master: &MasterIndex,
+    graph: &DependencyGraph,
+    plan: &RulePlan,
+    scratch: &mut ProbeScratch,
+    t: &Tuple,
+    validated: AttrSet,
+) -> TransFixOutcome {
+    transfix_impl(rules, master, graph, Some(plan), scratch, t, validated)
+}
+
+/// Shared walk behind [`transfix`] (no plan: legacy probes) and
+/// [`transfix_with`] (plan-backed probes).
+fn transfix_impl(
     rules: &RuleSet,
     master: &MasterIndex,
     graph: &DependencyGraph,
@@ -178,35 +201,29 @@ pub fn transfix_with(
 /// single-tuple path. Consuming a cell counts one logical probe, so
 /// `plan_probes` is block-size independent too.
 ///
-/// Falls back to per-item [`transfix_with`] when no plan is given or
-/// the block is trivial (`len < 2`).
+/// Falls back to per-item [`transfix_with`] when the block is trivial
+/// (`len < 2`).
 pub fn transfix_block(
     rules: &RuleSet,
     master: &MasterIndex,
     graph: &DependencyGraph,
-    plan: Option<&RulePlan>,
+    plan: &RulePlan,
     scratch: &mut ProbeScratch,
     items: &[(&Tuple, AttrSet)],
 ) -> Vec<TransFixOutcome> {
-    let run_single = |scratch: &mut ProbeScratch| {
-        items
+    if items.len() < 2 {
+        return items
             .iter()
             .map(|&(t, z)| transfix_with(rules, master, graph, plan, scratch, t, z))
-            .collect()
-    };
-    let Some(p) = plan else {
-        return run_single(scratch);
-    };
-    if items.len() < 2 {
-        return run_single(scratch);
+            .collect();
     }
     let block: Vec<&Tuple> = items.iter().map(|&(t, _)| t).collect();
     let zs: Vec<AttrSet> = items.iter().map(|&(_, z)| z).collect();
-    p.probe_block_seeds(&block, &zs, scratch);
+    plan.probe_block_seeds(&block, &zs, scratch);
     items
         .iter()
         .enumerate()
-        .map(|(j, &(t, z))| transfix_one_prefetched(rules, master, graph, p, scratch, t, z, j))
+        .map(|(j, &(t, z))| transfix_one_prefetched(rules, master, graph, plan, scratch, t, z, j))
         .collect()
 }
 
@@ -591,7 +608,7 @@ mod tests {
             AttrSet::EMPTY,
         ] {
             let legacy = transfix(&rules, &master, &graph, &t1, z);
-            let planned = transfix_with(&rules, &master, &graph, Some(&plan), &mut scratch, &t1, z);
+            let planned = transfix_with(&rules, &master, &graph, &plan, &mut scratch, &t1, z);
             assert_eq!(planned.tuple, legacy.tuple, "Z = {z:?}");
             assert_eq!(planned.validated, legacy.validated);
             assert_eq!(planned.fixed, legacy.fixed);
@@ -613,7 +630,7 @@ mod tests {
             &rules2,
             &master2,
             &graph2,
-            Some(&plan2),
+            &plan2,
             &mut scratch,
             &t,
             attrs(&r2, &["zip"]),
@@ -670,7 +687,7 @@ mod tests {
         let mut single = ProbeScratch::new();
         let want: Vec<TransFixOutcome> = items
             .iter()
-            .map(|&(t, z)| transfix_with(&rules, &master, &graph, Some(&plan), &mut single, t, z))
+            .map(|&(t, z)| transfix_with(&rules, &master, &graph, &plan, &mut single, t, z))
             .collect();
         let (want_probes, _, _) = single.take_counters();
 
@@ -679,7 +696,7 @@ mod tests {
             let got: Vec<TransFixOutcome> = items
                 .chunks(size)
                 .flat_map(|chunk| {
-                    transfix_block(&rules, &master, &graph, Some(&plan), &mut scratch, chunk)
+                    transfix_block(&rules, &master, &graph, &plan, &mut scratch, chunk)
                 })
                 .collect();
             for (a, b) in got.iter().zip(&want) {

@@ -21,7 +21,7 @@ use certainfix_rules::RuleSet;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
-use crate::typo::corrupt_value;
+use crate::typo::{corrupt_value, free_text};
 
 /// A clean, key-consistent workload: schema (shared by `R` and `Rm`),
 /// rule set, master relation, and a source of fresh entities.
@@ -71,6 +71,15 @@ pub struct DirtyConfig {
     /// contiguous chunk of the stream carries heavily repeated probe
     /// keys (the regime the block-probe layer amortizes).
     pub hot: usize,
+    /// Probability that a corrupted cell is replaced by an adversarial
+    /// high-cardinality free-text payload ([`crate::typo::free_text`])
+    /// instead of a near-miss typo of the true value. `0` (the
+    /// default) is the paper's typo model, under which corrupted cells
+    /// mostly re-use symbols the interner already holds; `1.0` makes
+    /// every corrupted cell a brand-new never-repeated symbol, so the
+    /// interner watermark grows by roughly one symbol per erroneous
+    /// attribute — the bound the interner-watermark CI leg asserts.
+    pub free_text: f64,
 }
 
 impl Default for DirtyConfig {
@@ -82,6 +91,7 @@ impl Default for DirtyConfig {
             seed: 0xC0FFEE,
             skew: 0.0,
             hot: 0,
+            free_text: 0.0,
         }
     }
 }
@@ -170,7 +180,14 @@ impl Dataset {
             let mut dirty = clean.clone();
             for (a, _) in clean.iter() {
                 if rng.random_bool(noise_rate) {
-                    let corrupted = corrupt_value(clean.get(a), &mut rng);
+                    // the free-text gate draws from the RNG only when
+                    // the knob is on, so `free_text: 0.0` streams are
+                    // bit-identical to historical generation
+                    let corrupted = if cfg.free_text > 0.0 && rng.random_bool(cfg.free_text) {
+                        free_text(&mut rng)
+                    } else {
+                        corrupt_value(clean.get(a), &mut rng)
+                    };
                     dirty.set(a, corrupted);
                 }
             }
@@ -515,6 +532,66 @@ mod tests {
             .iter()
             .filter_map(|t| t.from_master)
             .any(|r| r >= 16));
+    }
+
+    #[test]
+    fn free_text_zero_is_the_historical_stream() {
+        let hosp = Hosp::generate(60);
+        let cfg = DirtyConfig {
+            noise_rate: 0.4,
+            input_size: 150,
+            ..Default::default()
+        };
+        let a = Dataset::generate(&hosp, &cfg);
+        let b = Dataset::generate(
+            &hosp,
+            &DirtyConfig {
+                free_text: 0.0,
+                ..cfg
+            },
+        );
+        for (x, y) in a.inputs.iter().zip(&b.inputs) {
+            assert_eq!(x.dirty, y.dirty);
+            assert_eq!(x.clean, y.clean);
+        }
+    }
+
+    /// The adversarial interner regime: with `free_text = 1.0` every
+    /// corrupted string cell is a brand-new payload, so the distinct
+    /// dirty-symbol count grows ~1:1 with the erroneous string attrs —
+    /// unlike the typo model, whose near-misses collide heavily.
+    #[test]
+    fn free_text_payloads_are_high_cardinality_and_deterministic() {
+        use certainfix_relation::Value;
+        use std::collections::HashSet;
+        let hosp = Hosp::generate(80);
+        let cfg = DirtyConfig {
+            noise_rate: 0.5,
+            input_size: 400,
+            free_text: 1.0,
+            ..Default::default()
+        };
+        let ds = Dataset::generate(&hosp, &cfg);
+        let mut fresh: HashSet<Value> = HashSet::new();
+        let mut string_errs = 0usize;
+        for t in &ds.inputs {
+            for a in t.error_attrs() {
+                if let v @ Value::Str(_) = t.dirty.get(a) {
+                    string_errs += 1;
+                    fresh.insert(*v);
+                }
+            }
+        }
+        assert!(string_errs > 500, "enough corrupted string cells");
+        // every corrupted string cell is a distinct never-repeated
+        // payload (a few Null corruptions aside, corruption is 100%
+        // free text here)
+        assert_eq!(fresh.len(), string_errs, "payloads never collide");
+        // and regeneration is bit-identical
+        let again = Dataset::generate(&hosp, &cfg);
+        for (x, y) in ds.inputs.iter().zip(&again.inputs) {
+            assert_eq!(x.dirty, y.dirty);
+        }
     }
 
     #[test]

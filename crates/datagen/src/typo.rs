@@ -80,6 +80,18 @@ pub fn corrupt_string<R: Rng>(s: &str, kind: ErrorKind, rng: &mut R) -> Option<S
     }
 }
 
+/// An adversarial high-cardinality "free text" payload: a fresh
+/// 128-bit random hex string, distinct from every other draw for any
+/// realistic stream length. This is the worst case for a symbol
+/// interner — a corrupted cell carries a symbol never seen before and
+/// never repeated — so a stream of these drives the interner's symbol
+/// table (and `MonitorStats::interner_syms`) linearly in the number of
+/// corrupted cells, which is exactly the regime the interner-watermark
+/// CI leg bounds.
+pub fn free_text<R: Rng>(rng: &mut R) -> Value {
+    Value::str(format!("ft-{:016x}{:016x}", rng.next_u64(), rng.next_u64()))
+}
+
 /// Corrupt a [`Value`]: strings get a random typo, integers get nudged,
 /// and any value may be nulled. Returns a value different from the
 /// input (or `Null`).

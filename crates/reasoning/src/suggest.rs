@@ -68,19 +68,33 @@ pub fn applicable_rules(
     t: &Tuple,
     validated: AttrSet,
 ) -> Vec<EditingRule> {
-    applicable_rules_with(rules, master, t, validated, None, &mut ProbeScratch::new())
+    applicable_rules_impl(rules, master, t, validated, None, &mut ProbeScratch::new())
 }
 
-/// [`applicable_rules`] with an optional compiled [`RulePlan`].
+/// [`applicable_rules`] through a compiled [`RulePlan`].
 ///
-/// With a plan, each rule's *validated-key split* — which key positions
-/// of `X` lie in `Z`, and the master columns they align with — is
-/// resolved through the plan's precomputed layout and per-subset index
-/// slots instead of rebuilding `from`/`to` vectors and re-hashing a key
-/// list per rule per call; the `λϕ` lookups of the master-side pattern
+/// Each rule's *validated-key split* — which key positions of `X` lie
+/// in `Z`, and the master columns they align with — is resolved
+/// through the plan's precomputed layout and per-subset index slots
+/// instead of rebuilding `from`/`to` vectors and re-hashing a key list
+/// per rule per call; the `λϕ` lookups of the master-side pattern
 /// check use the plan's precomputed alignment. The derived rule set is
-/// identical either way.
+/// identical to the plain [`applicable_rules`] reference path, which
+/// tests keep as the parity oracle.
 pub fn applicable_rules_with(
+    rules: &RuleSet,
+    master: &MasterIndex,
+    t: &Tuple,
+    validated: AttrSet,
+    plan: &RulePlan,
+    scratch: &mut ProbeScratch,
+) -> Vec<EditingRule> {
+    applicable_rules_impl(rules, master, t, validated, Some(plan), scratch)
+}
+
+/// Shared derivation behind [`applicable_rules`] (legacy probes) and
+/// [`applicable_rules_with`] (plan-routed probes).
+fn applicable_rules_impl(
     rules: &RuleSet,
     master: &MasterIndex,
     t: &Tuple,
@@ -244,7 +258,7 @@ pub fn is_suggestion(
     validated: AttrSet,
     attrs: &[AttrId],
 ) -> bool {
-    is_suggestion_with(
+    is_suggestion_impl(
         rules,
         master,
         t,
@@ -255,9 +269,21 @@ pub fn is_suggestion(
     )
 }
 
-/// [`is_suggestion`] with an optional compiled [`RulePlan`] routing
-/// the underlying `Σ_t[Z]` derivation's probes.
+/// [`is_suggestion`] with a compiled [`RulePlan`] routing the
+/// underlying `Σ_t[Z]` derivation's probes.
 pub fn is_suggestion_with(
+    rules: &RuleSet,
+    master: &MasterIndex,
+    t: &Tuple,
+    validated: AttrSet,
+    attrs: &[AttrId],
+    plan: &RulePlan,
+    scratch: &mut ProbeScratch,
+) -> bool {
+    is_suggestion_impl(rules, master, t, validated, attrs, Some(plan), scratch)
+}
+
+fn is_suggestion_impl(
     rules: &RuleSet,
     master: &MasterIndex,
     t: &Tuple,
@@ -270,7 +296,7 @@ pub fn is_suggestion_with(
     if !s.is_disjoint(&validated) || s.is_empty() {
         return false;
     }
-    let refined = applicable_rules_with(rules, master, t, validated, plan, scratch);
+    let refined = applicable_rules_impl(rules, master, t, validated, plan, scratch);
     let sigma_tz = RuleSet::from_rules(rules.r_schema().clone(), rules.m_schema().clone(), refined)
         .expect("refined rules share the original schemas");
     let full = AttrSet::full(rules.r_schema().len());
@@ -285,13 +311,25 @@ pub fn suggest(
     t: &Tuple,
     validated: AttrSet,
 ) -> Option<Suggestion> {
-    suggest_with(rules, master, t, validated, None, &mut ProbeScratch::new())
+    suggest_impl(rules, master, t, validated, None, &mut ProbeScratch::new())
 }
 
-/// [`suggest`] with an optional compiled [`RulePlan`] routing the
-/// `Σ_t[Z]` derivation's probes (the closure computations are
-/// plan-independent). Identical suggestions either way.
+/// [`suggest`] with a compiled [`RulePlan`] routing the `Σ_t[Z]`
+/// derivation's probes (the closure computations are
+/// plan-independent). Suggestions are identical to the plain
+/// [`suggest`] reference path.
 pub fn suggest_with(
+    rules: &RuleSet,
+    master: &MasterIndex,
+    t: &Tuple,
+    validated: AttrSet,
+    plan: &RulePlan,
+    scratch: &mut ProbeScratch,
+) -> Option<Suggestion> {
+    suggest_impl(rules, master, t, validated, Some(plan), scratch)
+}
+
+fn suggest_impl(
     rules: &RuleSet,
     master: &MasterIndex,
     t: &Tuple,
@@ -303,7 +341,7 @@ pub fn suggest_with(
     if validated == full {
         return None;
     }
-    let refined = applicable_rules_with(rules, master, t, validated, plan, scratch);
+    let refined = applicable_rules_impl(rules, master, t, validated, plan, scratch);
     let sigma_tz = RuleSet::from_rules(rules.r_schema().clone(), rules.m_schema().clone(), refined)
         .expect("refined rules share the original schemas");
 
@@ -531,10 +569,10 @@ mod tests {
         for z in zs {
             let legacy = applicable_rules(&rules, &master, &t1_fixed(), z);
             let planned =
-                applicable_rules_with(&rules, &master, &t1_fixed(), z, Some(&plan), &mut scratch);
+                applicable_rules_with(&rules, &master, &t1_fixed(), z, &plan, &mut scratch);
             assert_eq!(legacy, planned, "Z = {z:?}");
             let s1 = suggest(&rules, &master, &t1_fixed(), z);
-            let s2 = suggest_with(&rules, &master, &t1_fixed(), z, Some(&plan), &mut scratch);
+            let s2 = suggest_with(&rules, &master, &t1_fixed(), z, &plan, &mut scratch);
             assert_eq!(s1, s2, "Z = {z:?}");
             if let Some(s) = s1 {
                 assert!(is_suggestion_with(
@@ -543,7 +581,7 @@ mod tests {
                     &t1_fixed(),
                     z,
                     &s.attrs,
-                    Some(&plan),
+                    &plan,
                     &mut scratch,
                 ));
             }

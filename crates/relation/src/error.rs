@@ -35,6 +35,15 @@ pub enum RelationError {
         /// Number of cells provided.
         got: usize,
     },
+    /// A delta referenced a row id outside the relation.
+    RowOutOfRange {
+        /// Schema name.
+        schema: String,
+        /// The offending row id.
+        row: u32,
+        /// Number of rows in the relation.
+        len: usize,
+    },
 }
 
 impl fmt::Display for RelationError {
@@ -59,6 +68,9 @@ impl fmt::Display for RelationError {
                 f,
                 "tuple arity {got} does not match schema `{schema}` (expected {expected})"
             ),
+            RelationError::RowOutOfRange { schema, row, len } => {
+                write!(f, "row {row} is out of range for `{schema}` ({len} row(s))")
+            }
         }
     }
 }
@@ -92,5 +104,11 @@ mod tests {
             attr: "a".into(),
         };
         assert!(e.to_string().contains("twice"));
+        let e = RelationError::RowOutOfRange {
+            schema: "R".into(),
+            row: 7,
+            len: 3,
+        };
+        assert!(e.to_string().contains("row 7"));
     }
 }

@@ -23,10 +23,29 @@
 //! Index *builds* are single-flight: two workers racing on a cold key
 //! list block on one [`OnceLock`] and share the one built index instead
 //! of both paying for (and one discarding) a full build.
+//!
+//! # Live master data
+//!
+//! Master data is curated over time, so a [`MasterIndex`] is one
+//! *generation* of an evolving lineage rather than a frozen singleton.
+//! [`MasterIndex::apply_delta`] takes a [`MasterDelta`] (a batch of
+//! inserts/updates/deletes) and returns the **next-generation**
+//! snapshot; the receiver is never mutated, so probes pinned against an
+//! older generation keep seeing exactly the rows they started with —
+//! invalidation never blocks an in-flight probe. All generations of a
+//! lineage share one slot cache whose entries are *generation-stamped*:
+//! [`MasterIndex::index_for`] only reuses a slot stamped with its own
+//! generation and restamps stale ones, so a delta invalidates every
+//! affected [`KeyIndex`] without touching threads still probing the old
+//! snapshot. Delete-free deltas go further and *patch* already-built
+//! indexes in place of a rebuild (inserted rows append the largest row
+//! ids; updated rows move between hit lists), which
+//! [`MasterIndex::index_patches`] counts.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
+use crate::error::RelationError;
 use crate::hashers::FxHashMap;
 use crate::relation::Relation;
 use crate::schema::AttrId;
@@ -173,6 +192,98 @@ impl KeyIndex {
         match &self.map {
             HitMap::Rank(m) => m.values().map(|v| v.len()).max().unwrap_or(0),
             HitMap::Slice(m) => m.values().map(|v| v.len()).max().unwrap_or(0),
+        }
+    }
+
+    /// A copy of this index brought up to `new_rel`, given that
+    /// `new_rel` came out of `old_rel` through a **delete-free** delta:
+    /// the rows in `updated` (deduplicated ids) changed in place and
+    /// rows `old_rel.len()..new_rel.len()` were appended. Updated rows
+    /// move between hit lists (sorted insertion keeps lists ascending),
+    /// inserted rows append the new largest ids, and lists that empty
+    /// out are dropped — the result is indistinguishable from a fresh
+    /// [`KeyIndex::build`] on `new_rel`.
+    fn patched(&self, old_rel: &Relation, new_rel: &Relation, updated: &[u32]) -> KeyIndex {
+        fn add(rows: &mut Vec<u32>, id: u32) {
+            if let Err(at) = rows.binary_search(&id) {
+                rows.insert(at, id);
+            }
+        }
+        fn del(rows: &mut Vec<u32>, id: u32) {
+            if let Ok(at) = rows.binary_search(&id) {
+                rows.remove(at);
+            }
+        }
+        let map = match &self.map {
+            HitMap::Rank(built) => {
+                let a = self.key[0];
+                let mut m: FxHashMap<u128, Vec<u32>> =
+                    built.iter().map(|(k, v)| (*k, v.to_vec())).collect();
+                for &r in updated {
+                    let old = *old_rel.tuple(r as usize).get(a);
+                    let new = *new_rel.tuple(r as usize).get(a);
+                    if old == new {
+                        continue;
+                    }
+                    if !old.is_null() {
+                        if let Some(rows) = m.get_mut(&old.grouping_rank()) {
+                            del(rows, r);
+                        }
+                    }
+                    if !new.is_null() {
+                        add(m.entry(new.grouping_rank()).or_default(), r);
+                    }
+                }
+                for i in old_rel.len()..new_rel.len() {
+                    let v = *new_rel.tuple(i).get(a);
+                    if !v.is_null() {
+                        m.entry(v.grouping_rank()).or_default().push(i as u32);
+                    }
+                }
+                m.retain(|_, rows| !rows.is_empty());
+                HitMap::Rank(m.into_iter().map(|(k, v)| (k, v.into())).collect())
+            }
+            HitMap::Slice(built) => {
+                let project = |rel: &Relation, row: usize| -> Option<Box<[Value]>> {
+                    let mut k = Vec::with_capacity(self.key.len());
+                    for &a in &self.key {
+                        let v = *rel.tuple(row).get(a);
+                        if v.is_null() {
+                            return None;
+                        }
+                        k.push(v);
+                    }
+                    Some(k.into_boxed_slice())
+                };
+                let mut m: FxHashMap<Box<[Value]>, Vec<u32>> =
+                    built.iter().map(|(k, v)| (k.clone(), v.to_vec())).collect();
+                for &r in updated {
+                    let old = project(old_rel, r as usize);
+                    let new = project(new_rel, r as usize);
+                    if old == new {
+                        continue;
+                    }
+                    if let Some(k) = old {
+                        if let Some(rows) = m.get_mut(&k) {
+                            del(rows, r);
+                        }
+                    }
+                    if let Some(k) = new {
+                        add(m.entry(k).or_default(), r);
+                    }
+                }
+                for i in old_rel.len()..new_rel.len() {
+                    if let Some(k) = project(new_rel, i) {
+                        m.entry(k).or_default().push(i as u32);
+                    }
+                }
+                m.retain(|_, rows| !rows.is_empty());
+                HitMap::Slice(m.into_iter().map(|(k, v)| (k, v.into())).collect())
+            }
+        };
+        KeyIndex {
+            key: self.key.clone(),
+            map,
         }
     }
 }
@@ -326,6 +437,92 @@ impl<'t> TrieCursor<'t> {
 /// [`OnceLock`] race; losers block on the lock and share the result.
 type IndexSlot = Arc<OnceLock<Arc<KeyIndex>>>;
 
+/// A cache entry stamped with the generation its index was built
+/// against. [`MasterIndex::index_for`] only trusts an entry whose
+/// stamp matches its own generation; anything else is stale and gets
+/// restamped (fresh empty slot) under the write lock. The stale slot's
+/// `Arc` stays alive in whoever pinned it, so restamping never blocks
+/// or invalidates an in-flight probe.
+#[derive(Clone, Debug)]
+struct GenSlot {
+    generation: u64,
+    slot: IndexSlot,
+}
+
+/// A batch of master-data mutations, applied atomically by
+/// [`MasterIndex::apply_delta`] to produce the next generation.
+///
+/// Within one delta, updates land first (in call order — the last
+/// update to a row wins), then deletes remove rows (duplicate deletes
+/// are fine; surviving rows keep their relative order and are
+/// renumbered densely), then inserts append at the end in call order.
+/// Row ids refer to the generation the delta is applied to, before any
+/// renumbering. The resulting row list is exactly what a from-scratch
+/// master over those rows would hold, so a delta-maintained index is
+/// indistinguishable from a rebuilt one (invariant D10).
+#[derive(Clone, Debug, Default)]
+pub struct MasterDelta {
+    inserts: Vec<Tuple>,
+    updates: Vec<(u32, Tuple)>,
+    deletes: Vec<u32>,
+}
+
+impl MasterDelta {
+    /// An empty batch.
+    pub fn new() -> MasterDelta {
+        MasterDelta::default()
+    }
+
+    /// Append a master tuple (chainable).
+    pub fn insert(mut self, t: Tuple) -> MasterDelta {
+        self.inserts.push(t);
+        self
+    }
+
+    /// Replace row `row` (chainable; the last update to a row wins).
+    pub fn update(mut self, row: u32, t: Tuple) -> MasterDelta {
+        self.updates.push((row, t));
+        self
+    }
+
+    /// Delete row `row` (chainable).
+    pub fn delete(mut self, row: u32) -> MasterDelta {
+        self.deletes.push(row);
+        self
+    }
+
+    /// Number of mutations in the batch.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.updates.len() + self.deletes.len()
+    }
+
+    /// `true` iff the batch holds no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` iff the batch deletes at least one row (deltas with
+    /// deletes renumber rows and cannot be index-patched).
+    pub fn has_deletes(&self) -> bool {
+        !self.deletes.is_empty()
+    }
+
+    /// The tuples this batch appends.
+    pub fn inserts(&self) -> &[Tuple] {
+        &self.inserts
+    }
+
+    /// The `(row, tuple)` replacements this batch makes.
+    pub fn updates(&self) -> &[(u32, Tuple)] {
+        &self.updates
+    }
+
+    /// The row ids this batch deletes.
+    pub fn deletes(&self) -> &[u32] {
+        &self.deletes
+    }
+}
+
 /// A master relation bundled with a cache of [`KeyIndex`]es.
 ///
 /// Cloning is cheap (`Arc` inside); the cache is shared and grows
@@ -333,20 +530,30 @@ type IndexSlot = Arc<OnceLock<Arc<KeyIndex>>>;
 /// (see the [module docs](self)) and counted —
 /// [`MasterIndex::index_builds`] is the monitoring hook asserting that
 /// racing workers never duplicate a build.
+///
+/// A `MasterIndex` is one immutable **generation** of an evolving
+/// lineage: [`apply_delta`](Self::apply_delta) returns the next
+/// generation and leaves the receiver untouched, while all generations
+/// share one slot cache with generation-stamped entries (see the
+/// [module docs](self#live-master-data)).
 #[derive(Clone, Debug)]
 pub struct MasterIndex {
     rel: Arc<Relation>,
-    cache: Arc<RwLock<FxHashMap<Vec<AttrId>, IndexSlot>>>,
+    generation: u64,
+    cache: Arc<RwLock<FxHashMap<Vec<AttrId>, GenSlot>>>,
     builds: Arc<AtomicU64>,
+    patches: Arc<AtomicU64>,
 }
 
 impl MasterIndex {
-    /// Wrap a master relation.
+    /// Wrap a master relation (generation 0 of a fresh lineage).
     pub fn new(rel: Arc<Relation>) -> MasterIndex {
         MasterIndex {
             rel,
+            generation: 0,
             cache: Arc::new(RwLock::new(FxHashMap::default())),
             builds: Arc::new(AtomicU64::new(0)),
+            patches: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -367,27 +574,135 @@ impl MasterIndex {
 
     /// Get (or lazily build) the index for `key`.
     ///
-    /// Builds are *single-flight*: the slot for `key` is reserved under
-    /// the write lock, but the build itself runs outside any lock,
-    /// serialized per key by the slot's [`OnceLock`] — concurrent
-    /// callers for the same cold key block until the one build
-    /// finishes and then share it. Callers on the steady-state path
-    /// should pin the returned `Arc` instead of re-calling this (each
-    /// call hashes `key` and takes the read lock).
+    /// Builds are *single-flight per generation*: the slot for `key` is
+    /// reserved (or restamped, if a delta left it stale) under the
+    /// write lock, but the build itself runs outside any lock,
+    /// serialized by the slot's [`OnceLock`] — concurrent callers for
+    /// the same cold key block until the one build finishes and then
+    /// share it. A slot stamped with a different generation is never
+    /// reused: it belongs to another snapshot of the lineage, whose
+    /// pinned `Arc`s keep it alive independently of the cache. Callers
+    /// on the steady-state path should pin the returned `Arc` instead
+    /// of re-calling this (each call hashes `key` and takes the read
+    /// lock).
     pub fn index_for(&self, key: &[AttrId]) -> Arc<KeyIndex> {
         let slot = {
             let r = self.cache.read().expect("index cache poisoned");
-            r.get(key).cloned()
+            r.get(key)
+                .filter(|e| e.generation == self.generation)
+                .map(|e| e.slot.clone())
         };
         let slot = slot.unwrap_or_else(|| {
             let mut w = self.cache.write().expect("index cache poisoned");
-            w.entry(key.to_vec()).or_default().clone()
+            let entry = w.entry(key.to_vec()).or_insert_with(|| GenSlot {
+                generation: self.generation,
+                slot: IndexSlot::default(),
+            });
+            if entry.generation != self.generation {
+                *entry = GenSlot {
+                    generation: self.generation,
+                    slot: IndexSlot::default(),
+                };
+            }
+            entry.slot.clone()
         });
         slot.get_or_init(|| {
             self.builds.fetch_add(1, Ordering::Relaxed);
             Arc::new(KeyIndex::build(&self.rel, key))
         })
         .clone()
+    }
+
+    /// Apply a batch of mutations, returning the **next-generation**
+    /// snapshot. `self` is untouched: probes pinned against it (or any
+    /// older generation) keep their rows — this is the non-blocking
+    /// half of the invalidation contract.
+    ///
+    /// The shared slot cache is maintained eagerly where that is cheap:
+    /// for a **delete-free** delta every already-built index of the
+    /// current generation is *patched* (updated rows move between hit
+    /// lists, inserted rows append the new largest ids) and restamped
+    /// to the new generation — counted by
+    /// [`index_patches`](Self::index_patches), and bit-identical to a
+    /// fresh build. Deltas with deletes renumber rows, so affected
+    /// slots are left stale and rebuilt lazily on the next
+    /// [`index_for`](Self::index_for).
+    ///
+    /// Row ids in `delta` refer to `self`'s rows. Errors:
+    /// [`RelationError::RowOutOfRange`] for an update/delete past the
+    /// end, [`RelationError::ArityMismatch`] for a tuple that does not
+    /// fit the schema (either way the lineage is left untouched).
+    pub fn apply_delta(&self, delta: &MasterDelta) -> Result<MasterIndex, RelationError> {
+        let schema = self.rel.schema();
+        let check_row = |row: u32| {
+            if (row as usize) < self.rel.len() {
+                Ok(())
+            } else {
+                Err(RelationError::RowOutOfRange {
+                    schema: schema.name().to_string(),
+                    row,
+                    len: self.rel.len(),
+                })
+            }
+        };
+        for &(row, _) in &delta.updates {
+            check_row(row)?;
+        }
+        for &row in &delta.deletes {
+            check_row(row)?;
+        }
+        let mut rows = self.rel.tuples().to_vec();
+        for (row, t) in &delta.updates {
+            rows[*row as usize] = t.clone();
+        }
+        let mut deletes = delta.deletes.clone();
+        deletes.sort_unstable();
+        deletes.dedup();
+        for &row in deletes.iter().rev() {
+            rows.remove(row as usize);
+        }
+        rows.extend(delta.inserts.iter().cloned());
+        let rel = Arc::new(Relation::new(Arc::clone(schema), rows)?);
+        let generation = self.generation + 1;
+        if deletes.is_empty() {
+            // Only the final value of a row matters, and a row may move
+            // between hit lists at most once — dedup the updated ids.
+            let mut updated: Vec<u32> = delta.updates.iter().map(|&(r, _)| r).collect();
+            updated.sort_unstable();
+            updated.dedup();
+            let mut w = self.cache.write().expect("index cache poisoned");
+            for entry in w.values_mut() {
+                if entry.generation != self.generation {
+                    continue;
+                }
+                let Some(idx) = entry.slot.get().cloned() else {
+                    continue;
+                };
+                let slot = IndexSlot::default();
+                let _ = slot.set(Arc::new(idx.patched(&self.rel, &rel, &updated)));
+                *entry = GenSlot { generation, slot };
+                self.patches.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(MasterIndex {
+            rel,
+            generation,
+            cache: Arc::clone(&self.cache),
+            builds: Arc::clone(&self.builds),
+            patches: Arc::clone(&self.patches),
+        })
+    }
+
+    /// The generation of this snapshot: 0 for [`new`](Self::new), +1
+    /// per applied delta along the lineage.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of already-built indexes maintained by in-place patching
+    /// (delete-free deltas) instead of left for a lazy rebuild.
+    pub fn index_patches(&self) -> u64 {
+        self.patches.load(Ordering::Relaxed)
     }
 
     /// Number of [`KeyIndex`] builds actually executed (diagnostics;
@@ -612,6 +927,146 @@ mod tests {
         cur.truncate(1);
         assert!(!cur.descend(Value::Null));
         assert_eq!(cur.hits(), &[] as &[u32]);
+    }
+
+    /// Patched indexes are indistinguishable from a fresh build: same
+    /// hit lists (ascending), same distinct keys, emptied lists
+    /// dropped — for both the `Rank` and the `Slice` map layout.
+    #[test]
+    fn delete_free_deltas_patch_built_indexes() {
+        let m0 = MasterIndex::new(master());
+        let zip = [AttrId(0)];
+        let wide = [AttrId(1), AttrId(2)];
+        let _ = m0.index_for(&zip);
+        let _ = m0.index_for(&wide);
+        let builds_before = m0.index_builds();
+        let delta = MasterDelta::new()
+            .update(0, tuple!["G2 8DL", "141", "Gla"]) // leaves both hit lists
+            .update(3, tuple!["EH8 9YL", "131", "Edi"]) // null zip becomes indexed
+            .insert(tuple!["EH7 4AH", "131", "Edi"]); // joins the duplicate-key list
+        assert_eq!(delta.len(), 3);
+        assert!(!delta.has_deletes());
+        let m1 = m0.apply_delta(&delta).unwrap();
+        assert_eq!(m1.generation(), 1);
+        assert_eq!(m1.index_patches(), 2, "both built indexes were patched");
+        assert_eq!(
+            m1.index_builds(),
+            builds_before,
+            "patching is not a rebuild"
+        );
+        let fresh = MasterIndex::new(Arc::clone(m1.relation()));
+        for key in [&zip[..], &wide[..]] {
+            let patched = m1.index_for(key);
+            let rebuilt = fresh.index_for(key);
+            assert_eq!(patched.distinct_keys(), rebuilt.distinct_keys());
+            assert_eq!(patched.max_hit_len(), rebuilt.max_hit_len());
+            for t in m1.relation().iter() {
+                let probe: Vec<Value> = key.iter().map(|&a| *t.get(a)).collect();
+                assert_eq!(patched.lookup(&probe), rebuilt.lookup(&probe));
+            }
+            let miss = vec![Value::str("nope"); key.len()];
+            assert_eq!(patched.lookup(&miss), &[] as &[u32]);
+        }
+        // ascending with the inserted row's (largest) id at the end
+        assert_eq!(m1.index_for(&zip).lookup(&[Value::str("EH7 4AH")]), &[2, 4]);
+    }
+
+    /// The non-blocking half of the invalidation contract: pinned
+    /// indexes and older snapshots keep serving the generation they
+    /// were built against, however many deltas land after them.
+    #[test]
+    fn in_flight_probes_survive_deltas() {
+        let m0 = MasterIndex::new(master());
+        let zip = [AttrId(0)];
+        let pinned = m0.index_for(&zip);
+        let m1 = m0
+            .apply_delta(&MasterDelta::new().update(0, tuple!["X", "1", "Y"]))
+            .unwrap();
+        // the pinned index still answers for generation 0 …
+        assert_eq!(pinned.lookup(&[Value::str("EH7 4AH")]), &[0, 2]);
+        // … the old snapshot re-resolves to generation-0 rows …
+        assert_eq!(m0.index_for(&zip).lookup(&[Value::str("EH7 4AH")]), &[0, 2]);
+        // … and only the new generation sees the update.
+        assert_eq!(m1.index_for(&zip).lookup(&[Value::str("EH7 4AH")]), &[2]);
+        assert_eq!(m1.index_for(&zip).lookup(&[Value::str("X")]), &[0]);
+        assert_eq!((m0.generation(), m1.generation()), (0, 1));
+    }
+
+    /// Deltas with deletes renumber rows: slots go stale and rebuild
+    /// lazily, duplicate deletes collapse, survivors keep their order.
+    #[test]
+    fn deletes_renumber_and_rebuild_lazily() {
+        let m0 = MasterIndex::new(master());
+        let zip = [AttrId(0)];
+        let _ = m0.index_for(&zip);
+        let patches = m0.index_patches();
+        let m1 = m0
+            .apply_delta(&MasterDelta::new().delete(0).delete(0).delete(3))
+            .unwrap();
+        assert_eq!(m1.index_patches(), patches, "deletes never patch");
+        assert_eq!(m1.len(), 2);
+        assert_eq!(m1.index_for(&zip).lookup(&[Value::str("WC1H 9SE")]), &[0]);
+        assert_eq!(m1.index_for(&zip).lookup(&[Value::str("EH7 4AH")]), &[1]);
+    }
+
+    /// Mixed batches compose as documented: updates first (last wins),
+    /// then deletes, then inserts.
+    #[test]
+    fn mixed_deltas_apply_updates_then_deletes_then_inserts() {
+        let m0 = MasterIndex::new(master());
+        let d = MasterDelta::new()
+            .insert(tuple!["Z", "9", "Zed"])
+            .delete(1)
+            .update(1, tuple!["GONE", "0", "No"]) // updated, then deleted
+            .update(2, tuple!["EH7 4AH", "131", "Lei"])
+            .update(2, tuple!["EH7 4AH", "131", "Edi"]); // last wins: no-op
+        let m1 = m0.apply_delta(&d).unwrap();
+        assert_eq!(m1.len(), 4);
+        let zip = [AttrId(0)];
+        assert_eq!(m1.index_for(&zip).lookup(&[Value::str("Z")]), &[3]);
+        assert_eq!(
+            m1.index_for(&zip).lookup(&[Value::str("GONE")]),
+            &[] as &[u32]
+        );
+        assert_eq!(m1.index_for(&zip).lookup(&[Value::str("EH7 4AH")]), &[0, 1]);
+        assert_eq!(m1.tuple(1).get(AttrId(2)), &Value::str("Edi"));
+    }
+
+    /// Patching drops hit lists that empty out, so `distinct_keys`
+    /// agrees with a fresh build.
+    #[test]
+    fn patching_drops_emptied_hit_lists() {
+        let m0 = MasterIndex::new(master());
+        let zip = [AttrId(0)];
+        assert_eq!(m0.index_for(&zip).distinct_keys(), 2);
+        let m1 = m0
+            .apply_delta(
+                &MasterDelta::new()
+                    .update(0, tuple!["A", "1", "x"])
+                    .update(2, tuple!["B", "2", "y"]),
+            )
+            .unwrap();
+        let idx = m1.index_for(&zip);
+        assert_eq!(idx.lookup(&[Value::str("EH7 4AH")]), &[] as &[u32]);
+        assert_eq!(idx.distinct_keys(), 3, "A, B, WC1H 9SE");
+    }
+
+    /// Bad deltas are rejected atomically: the lineage is untouched.
+    #[test]
+    fn bad_deltas_are_rejected() {
+        let m = MasterIndex::new(master());
+        let err = m.apply_delta(&MasterDelta::new().delete(9)).unwrap_err();
+        assert!(matches!(err, RelationError::RowOutOfRange { row: 9, .. }));
+        let err = m
+            .apply_delta(&MasterDelta::new().update(9, tuple!["a", "b", "c"]))
+            .unwrap_err();
+        assert!(matches!(err, RelationError::RowOutOfRange { row: 9, .. }));
+        let err = m
+            .apply_delta(&MasterDelta::new().insert(tuple!["too", "short"]))
+            .unwrap_err();
+        assert!(matches!(err, RelationError::ArityMismatch { .. }));
+        assert_eq!(m.generation(), 0, "failed deltas leave the lineage alone");
+        assert!(MasterDelta::new().is_empty());
     }
 
     /// The single-flight satellite: many threads racing on the same

@@ -42,7 +42,7 @@ pub use attrset::AttrSet;
 pub use csv::{from_csv, to_csv};
 pub use error::RelationError;
 pub use hashers::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use index::{KeyIndex, KeyTrie, MasterIndex, TrieCursor};
+pub use index::{KeyIndex, KeyTrie, MasterDelta, MasterIndex, TrieCursor};
 pub use multimaster::{combine_masters, select_master, MASTER_ID_ATTR};
 pub use pattern::{PatternTuple, PatternValue, Tableau};
 pub use relation::Relation;
@@ -69,6 +69,7 @@ fn _send_sync_audit() {
     check::<KeyIndex>();
     check::<KeyTrie>();
     check::<MasterIndex>();
+    check::<MasterDelta>();
     check::<Interner>();
     check::<PatternTuple>();
     check::<Tableau>();

@@ -69,14 +69,31 @@
 //! exactly the row ids, in exactly the order, of the legacy
 //! [`candidate_masters`](crate::apply::candidate_masters) path — both
 //! read the same [`KeyIndex`] maps, and the block layer's trie is built
-//! from the same rows in the same order. Engines may therefore switch
-//! between the two per configuration (`--plan on|off` in the bench
-//! layer) without perturbing a single outcome, and **block-probed
+//! from the same rows in the same order. The plain functions remain in
+//! the tree as the *test/property parity oracle* for this contract
+//! (invariant D4) — engines always run the plan. **Block-probed
 //! results are bit-identical to single-tuple probing at every block
 //! size**: a block cell holds exactly the hit list the single-tuple
 //! probe would return for that `(rule, tuple)` pair, and consuming it
 //! counts one *logical* probe, so `plan_probes` is independent of how
 //! the input was blocked.
+//!
+//! # Slot invalidation (live master data)
+//!
+//! A `RulePlan` is an **immutable per-generation artifact**: every
+//! pinned `Arc<KeyIndex>`, every lazily filled 2^|X| sub-key slot, and
+//! the probe groups' tries all describe the one master generation the
+//! plan was compiled against ([`RulePlan::generation`]). A
+//! `MasterDelta` therefore never mutates a plan — invalidation is
+//! *recompilation*: the engine compiles a fresh plan against the
+//! next-generation [`MasterIndex`] and swaps it in at the next epoch
+//! boundary, while in-flight probes keep the old plan's `Arc`s and
+//! finish against the generation they started on (nothing blocks,
+//! nothing is torn). Recompilation is cheap on the hot path:
+//! [`MasterIndex::index_for`] is generation-checked, so a delete-free
+//! delta hands the new plan *patched* indexes instead of rebuilds, and
+//! cold sub-key slots refill lazily exactly as they did on first
+//! compile. The session layer counts swaps as `plan_rebuilds`.
 
 use std::sync::{Arc, OnceLock};
 
@@ -495,6 +512,15 @@ impl RulePlan {
     /// The master index the plan was compiled against.
     pub fn master(&self) -> &MasterIndex {
         &self.master
+    }
+
+    /// The master *generation* the plan was compiled against (see the
+    /// [module docs](self#slot-invalidation-live-master-data)): all
+    /// pinned and sub-key slot indexes resolve against exactly this
+    /// snapshot, so a plan never observes a delta — engines swap in a
+    /// freshly compiled plan instead.
+    pub fn generation(&self) -> u64 {
+        self.master.generation()
     }
 
     /// Number of compiled rules (equals the source rule set's).
@@ -1166,6 +1192,48 @@ mod tests {
         // recompiling reuses every cached index
         let _again = RulePlan::compile(&rules, &master);
         assert_eq!(master.index_builds(), builds);
+    }
+
+    /// The slot-invalidation contract: recompiling against the
+    /// next-generation master yields a plan that sees the delta, while
+    /// the old plan keeps answering for its own generation; delete-free
+    /// deltas hand the new plan patched indexes, not rebuilds.
+    #[test]
+    fn recompiled_plans_pick_up_the_next_generation() {
+        use certainfix_relation::MasterDelta;
+        let (_, rules, master) = fig1();
+        let plan = RulePlan::compile(&rules, &master);
+        assert_eq!(plan.generation(), 0);
+        let builds = master.index_builds();
+        let next = master
+            .apply_delta(&MasterDelta::new().update(
+                1,
+                tuple![
+                    "Mark",
+                    "Smith",
+                    "020",
+                    "6884563",
+                    "075568485",
+                    "20 Baker St.",
+                    "Lnd",
+                    "EH7 4AH", // now shares t1's zip
+                    "25/12/67",
+                    "M"
+                ],
+            ))
+            .unwrap();
+        let plan2 = RulePlan::compile(&rules, &next);
+        assert_eq!(plan2.generation(), 1);
+        assert_eq!(
+            master.index_builds(),
+            builds,
+            "delete-free deltas patch the pinned indexes instead of rebuilding"
+        );
+        let mut scratch = ProbeScratch::new();
+        // rule 0 keys on zip: the old plan still sees one master row,
+        // the recompiled plan sees both
+        assert_eq!(plan.candidates(0, &t1(), &mut scratch), &[0]);
+        assert_eq!(plan2.candidates(0, &t1(), &mut scratch), &[0, 1]);
     }
 
     #[test]

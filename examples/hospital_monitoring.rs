@@ -48,7 +48,7 @@ fn main() {
     println!(
         "initial certain region Z = {} (assure these and the rest follows)",
         hosp.schema()
-            .render_attrs(session.engine().context().initial_suggestion())
+            .render_attrs(session.engine().context().epoch().initial_suggestion())
     );
 
     // the entry point: a producer thread feeds 100-record batches of

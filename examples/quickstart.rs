@@ -123,7 +123,7 @@ fn main() {
     );
     println!(
         "Recommended certain region Z = {}",
-        r.render_attrs(monitor.initial_suggestion())
+        r.render_attrs(monitor.epoch().initial_suggestion())
     );
 
     // The "user" here is simulated with the ground truth, exactly like

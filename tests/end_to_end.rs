@@ -4,10 +4,10 @@
 
 use std::sync::Arc;
 
-use certain_fix::cfd::{increp, rules_to_cfds, IncRepConfig};
+use certain_fix::cfd::{repair_tuple, rules_to_cfds, IncRepConfig};
 use certain_fix::core::{
     evaluate_changes, evaluate_rounds, BatchesSource, DataMonitor, RepairSessionBuilder,
-    SimulatedUser, TupleEval,
+    SimulatedUser, TupleEval, Workload as CoreWorkload,
 };
 use certain_fix::datagen::{Dataset, Dblp, DirtyConfig, Hosp, Workload};
 use certain_fix::reasoning::{comp_cregion_in_mode, gregion_in_mode};
@@ -171,18 +171,17 @@ fn fig11_shape_increp_degrades_with_noise_ours_does_not() {
         ours.push(evaluate_rounds(&evals, 1)[0].f_measure);
 
         let (cfds, _) = rules_to_cfds(hosp.rules());
-        let dirty_rel = ds.dirty_relation(hosp.schema().clone());
-        let report = increp(
-            &dirty_rel,
-            &cfds,
-            hosp.master_index(),
-            &IncRepConfig::default(),
-        );
+        let inc_cfg = IncRepConfig::default();
+        let repaired: Vec<_> = ds
+            .inputs
+            .iter()
+            .map(|dt| repair_tuple(&cfds, &dt.dirty, hosp.master_index(), &inc_cfg).tuple)
+            .collect();
         let counts = evaluate_changes(
             ds.inputs
                 .iter()
-                .enumerate()
-                .map(|(i, dt)| (&dt.dirty, report.repaired.tuple(i), &dt.clean)),
+                .zip(&repaired)
+                .map(|(dt, t)| (&dt.dirty, t, &dt.clean)),
         );
         theirs.push(counts.f_measure());
     }
@@ -262,7 +261,9 @@ fn bdd_and_plain_agree_on_a_mixed_stream() {
 
 #[test]
 fn increp_works_through_the_facade() {
-    // Smoke-check the full cfd path through the `certain_fix` facade.
+    // Smoke-check the full CFD path through the `certain_fix` facade:
+    // with the standalone entry point retired, the IncRep baseline is
+    // a `Workload` on the same session surface as editing-rule repair.
     let hosp = Hosp::generate(100);
     let ds = Dataset::generate(
         &hosp,
@@ -277,18 +278,19 @@ fn increp_works_through_the_facade() {
     let (cfds, skipped) = rules_to_cfds(hosp.rules());
     assert_eq!(skipped, 0, "HOSP rules align by name");
     assert_eq!(cfds.len(), 21);
-    let dirty_rel = ds.dirty_relation(hosp.schema().clone());
-    let report = increp(
-        &dirty_rel,
-        &cfds,
-        hosp.master_index(),
-        &IncRepConfig::default(),
-    );
+    let dirty: Vec<_> = ds.inputs.iter().map(|dt| dt.dirty.clone()).collect();
+    let mut session = RepairSessionBuilder::new(hosp.rules().clone(), hosp.master().clone())
+        .workload(CoreWorkload::Cfd(IncRepConfig::default()))
+        .threads(2)
+        .shared_cache(false)
+        .build();
+    session.push_batch(&dirty, |i| SimulatedUser::new(ds.inputs[i].clean.clone()));
+    let report = session.finish();
     let counts = evaluate_changes(
         ds.inputs
             .iter()
-            .enumerate()
-            .map(|(i, dt)| (&dt.dirty, report.repaired.tuple(i), &dt.clean)),
+            .zip(report.outcomes())
+            .map(|(dt, o)| (&dt.dirty, &o.tuple, &dt.clean)),
     );
     assert!(counts.changed > 0, "IncRep repairs something");
     assert!(counts.recall() > 0.0);

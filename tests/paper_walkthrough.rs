@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use certain_fix::cfd::{increp, Cfd, IncRepConfig};
+use certain_fix::cfd::{repair_tuple, Cfd, IncRepConfig};
 use certain_fix::core::{evaluate_changes, DataMonitor, SimulatedUser};
 use certain_fix::prelude::*;
 use certain_fix::reasoning::{applicable_rules, check_coverage, suggest};
@@ -129,11 +129,10 @@ fn example1_cfds_detect_but_heuristics_may_corrupt() {
     let reference = MasterIndex::new(Arc::new(
         Relation::new(r.clone(), vec![truth.clone()]).unwrap(),
     ));
-    let rel = Relation::new(r.clone(), vec![dirty.clone()]).unwrap();
-    let report = increp(&rel, &[cfd], &reference, &IncRepConfig::default());
-    let counts = evaluate_changes([(&dirty, report.repaired.tuple(0), &truth)]);
+    let repair = repair_tuple(&[cfd], &dirty, &reference, &IncRepConfig::default());
+    let counts = evaluate_changes([(&dirty, &repair.tuple, &truth)]);
     // whatever it chose, it did NOT reach the certain fix
-    assert_ne!(report.repaired.tuple(0), &truth);
+    assert_ne!(repair.tuple, truth);
     assert!(counts.precision() < 1.0 || counts.recall() < 1.0);
 }
 

@@ -15,6 +15,9 @@
 //!   pattern-mismatch edges),
 //! * session-interleaving-independence: N randomly sized streams
 //!   multiplexed through a `RepairService` ≡ each stream drained alone,
+//! * live master data (D10): random insert/update/delete
+//!   [`MasterDelta`] sequences interleaved with probe batches ≡
+//!   engines rebuilt from scratch over each pinned master state,
 //! * metrics bounds and pattern algebra laws.
 
 use std::sync::Arc;
@@ -22,13 +25,14 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use certain_fix::core::{
-    evaluate_changes, transfix, transfix_block, transfix_with, CertainFix, CertainFixConfig,
-    MonitorStats, RepairServiceBuilder, RepairSessionBuilder, ServiceStream, SimulatedUser,
-    SliceSource,
+    evaluate_changes, transfix, transfix_block, transfix_with, BatchRepairEngine, CertainFix,
+    CertainFixConfig, MonitorStats, RepairContext, RepairOptions, RepairServiceBuilder,
+    RepairSessionBuilder, ServiceStream, SimulatedUser, SliceSource,
 };
 use certain_fix::reasoning::{suggest, suggest_with, Chase, ChaseResult};
 use certain_fix::relation::{
-    AttrId, AttrSet, MasterIndex, PatternTuple, PatternValue, Relation, Schema, Tuple, Value,
+    AttrId, AttrSet, MasterDelta, MasterIndex, PatternTuple, PatternValue, Relation, Schema, Tuple,
+    Value,
 };
 use certain_fix::rules::{
     candidate_masters, distinct_fix_values, DependencyGraph, EditingRule, ProbeScratch, RulePlan,
@@ -246,7 +250,7 @@ proptest! {
         }
         // TransFix parity
         let a = transfix(&rules, &master, &graph, &t, initial);
-        let b = transfix_with(&rules, &master, &graph, Some(&plan), &mut scratch, &t, initial);
+        let b = transfix_with(&rules, &master, &graph, &plan, &mut scratch, &t, initial);
         prop_assert_eq!(a.tuple, b.tuple);
         prop_assert_eq!(a.validated, b.validated);
         prop_assert_eq!(a.steps, b.steps);
@@ -255,9 +259,8 @@ proptest! {
         // simulated user whose ground truth is the first master row
         let clean = master_rows[0].clone();
         let initial_suggestion: Vec<AttrId> = initial.iter().collect();
-        let legacy_fix = CertainFix::new(&rules, &master, &graph, CertainFixConfig::default());
-        let plan_fix = CertainFix::new(&rules, &master, &graph, CertainFixConfig::default())
-            .with_plan(Some(&plan));
+        let legacy_fix = CertainFix::new(&rules, &master, &graph, &plan, CertainFixConfig::default());
+        let plan_fix = CertainFix::new(&rules, &master, &graph, &plan, CertainFixConfig::default());
         let mut u1 = SimulatedUser::new(clean.clone());
         let out1 = legacy_fix.run(&t, &initial_suggestion, &mut u1, |tt, v, _| {
             suggest(&rules, &master, tt, v).map(|sg| sg.attrs)
@@ -267,7 +270,7 @@ proptest! {
             &t,
             &initial_suggestion,
             &mut u2,
-            |tt, v, sc| suggest_with(&rules, &master, tt, v, Some(&plan), sc).map(|sg| sg.attrs),
+            |tt, v, sc| suggest_with(&rules, &master, tt, v, &plan, sc).map(|sg| sg.attrs),
             &mut scratch,
         );
         prop_assert_eq!(out1.tuple, out2.tuple);
@@ -310,7 +313,7 @@ proptest! {
         let singles: Vec<_> = items
             .iter()
             .map(|(t, z)| {
-                transfix_with(&rules, &master, &graph, Some(&plan), &mut single_scratch, t, *z)
+                transfix_with(&rules, &master, &graph, &plan, &mut single_scratch, t, *z)
             })
             .collect();
         let (want_probes, _, _) = single_scratch.take_counters();
@@ -321,7 +324,7 @@ proptest! {
                 let refs: Vec<(&Tuple, AttrSet)> =
                     chunk.iter().map(|(t, z)| (t, *z)).collect();
                 got.extend(transfix_block(
-                    &rules, &master, &graph, Some(&plan), &mut scratch, &refs,
+                    &rules, &master, &graph, &plan, &mut scratch, &refs,
                 ));
             }
             let (probes, _, _) = scratch.take_counters();
@@ -567,6 +570,91 @@ proptest! {
             prop_assert_eq!(report.stats.certain, merged.certain);
             prop_assert_eq!(report.stats.rounds, merged.rounds);
             prop_assert_eq!(report.stats.plan_probes, merged.plan_probes);
+        }
+    }
+
+    /// The D10 contract, randomized: random rules and master data,
+    /// with random insert/update/delete [`MasterDelta`] sequences
+    /// interleaved between probe batches. The delta-maintained
+    /// session — patched `KeyIndex` hit lists, re-keyed plans,
+    /// generation-stamped epochs — is bit-identical (repaired tuples,
+    /// certainty, validated sets, and the logical `plan_probes`
+    /// count) to fresh engines built from scratch over each batch's
+    /// pinned master state, at 1, 2, and 4 workers; generations on
+    /// the batch reports never decrease and the merged report counts
+    /// exactly one plan rebuild per applied delta.
+    #[test]
+    fn delta_maintained_sessions_match_rebuilt_masters(
+        (master_rows, specs, _, _) in arb_workload(),
+        phases in proptest::collection::vec(
+            (
+                proptest::collection::vec((arb_tuple(), arb_tuple()), 1..8),
+                proptest::collection::vec((0u8..3, arb_tuple(), any::<u16>()), 0..4),
+            ),
+            1..4,
+        ),
+    ) {
+        let Some((rules, _)) = build_rules(specs) else { return Ok(()); };
+        let master = Arc::new(Relation::new(schema(), master_rows).unwrap());
+        let cleans: Vec<Tuple> = phases
+            .iter()
+            .flat_map(|(b, _)| b.iter().map(|(_, c)| c.clone()))
+            .collect();
+        for workers in [1usize, 2, 4] {
+            let mut session = RepairSessionBuilder::new(rules.clone(), master.clone())
+                .threads(workers)
+                .shared_cache(false)
+                .build();
+            // the master state each batch pins, captured just before the push
+            let mut pinned: Vec<Arc<Relation>> = Vec::new();
+            let mut applied = 0u64;
+            let mut last_gen = 0u64;
+            for (batch, ops) in &phases {
+                pinned.push(session.engine().context().epoch().master().relation().clone());
+                let dirty: Vec<Tuple> = batch.iter().map(|(d, _)| d.clone()).collect();
+                let generation = session
+                    .push_batch(&dirty, |i| SimulatedUser::new(cleans[i].clone()))
+                    .generation;
+                prop_assert!(generation >= last_gen);
+                last_gen = generation;
+                for (kind, t, r) in ops {
+                    let rows = session.engine().context().epoch().master().relation().len() as u32;
+                    let delta = match kind {
+                        0 => MasterDelta::new().insert(t.clone()),
+                        1 if rows > 0 => MasterDelta::new().update(*r as u32 % rows, t.clone()),
+                        // never delete the last row: engines want a non-empty catalog
+                        2 if rows > 1 => MasterDelta::new().delete(*r as u32 % rows),
+                        _ => continue,
+                    };
+                    session.apply_master_delta(&delta).expect("delta applies");
+                    applied += 1;
+                }
+            }
+            let report = session.finish();
+            prop_assert_eq!(report.stats.plan_rebuilds, applied);
+            let mut offset = 0usize;
+            for (k, ((batch, _), base)) in phases.iter().zip(&pinned).enumerate() {
+                let dirty: Vec<Tuple> = batch.iter().map(|(d, _)| d.clone()).collect();
+                let fresh =
+                    BatchRepairEngine::new(RepairContext::new(rules.clone(), base.clone(), false));
+                let opts = RepairOptions {
+                    threads: 1,
+                    shared_cache: false,
+                    ..RepairOptions::default()
+                };
+                let want = fresh.repair_opts(&dirty, &opts, |i| {
+                    SimulatedUser::new(cleans[offset + i].clone())
+                });
+                let got = &report.batches[k];
+                prop_assert_eq!(got.outcomes.len(), want.outcomes.len());
+                for (a, b) in got.outcomes.iter().zip(&want.outcomes) {
+                    prop_assert_eq!(&a.tuple, &b.tuple);
+                    prop_assert_eq!(a.certain, b.certain);
+                    prop_assert_eq!(&a.validated, &b.validated);
+                }
+                prop_assert_eq!(got.stats.plan_probes, want.stats.plan_probes);
+                offset += batch.len();
+            }
         }
     }
 }
