@@ -1,0 +1,296 @@
+//! Network ingest sweep: N loopback connections × thread count ×
+//! client batch size on both workloads, served by a
+//! [`RepairServer`] over one engine.
+//!
+//! Every point binds a fresh server on `127.0.0.1:0`, dials
+//! `--sessions` concurrent [`RepairClient`]s (connection `s` streams
+//! the *same* skew-sized, `s`-seeded dataset that `exp_service`'s
+//! session `s` drains in process — [`session_dirty_config`] is shared
+//! between the two binaries), and folds each client's reassembled
+//! session report into the usual per-session rows. That makes the
+//! rows directly diffable: invariant **D11** says a row produced over
+//! the wire is bit-identical in its deterministic columns (`tuples`,
+//! `certain`, `rounds`, `plan_probes`, `recall_t`) to the
+//! corresponding in-process `exp_service` row, at any worker count,
+//! client chunking, or co-resident connection count — and CI diffs
+//! exactly that.
+//!
+//! Rows come from the *client-side* reconstruction (the wire's
+//! round-tripped reports, the shape a remote tenant would see), with
+//! the server-side session report cross-checked against it at every
+//! point. A machine-readable JSON document goes to **stdout** (CI
+//! archives it as the `BENCH_net` artifact); the table goes to stderr.
+//!
+//! Usage: `cargo run --release -p certainfix-bench --bin exp_net --
+//!         [--sessions N] [--dm N] [--inputs N] [--threads T]
+//!         [--batch B] [--depth D] [--chunk C] [--shared-cache on|off]
+//!         [--skew F] [--d F] [--n F] [--seed S] [--out file.csv]
+//!         [--no-bdd]`
+//!
+//! The wire protocol ships each batch's clean ground truth to the
+//! server, whose oracle is the fully-compliant simulated user —
+//! `--compliance` below 1.0 is meaningless here and exits 2.
+//!
+//! [`RepairServer`]: certainfix_net::RepairServer
+//! [`RepairClient`]: certainfix_net::RepairClient
+//! [`session_dirty_config`]: certainfix_bench::runner::session_dirty_config
+
+use std::fmt::Write as _;
+
+use certainfix_bench::args::{Args, Spec};
+use certainfix_bench::runner::{
+    build_engine, fold_session, session_dirty_config, ExpConfig, Which,
+};
+use certainfix_bench::sweep::{batch_points, json_escape, thread_points};
+use certainfix_bench::table::{f3, Table};
+use certainfix_core::{BatchRepairEngine, RepairService, Schedule, ServiceOptions};
+use certainfix_datagen::Dataset;
+use certainfix_net::{RepairClient, RepairServer};
+use certainfix_relation::Tuple;
+
+/// One connection's row at one sweep point — same shape as
+/// `exp_service`'s, so CI can diff the two documents row for row.
+struct Row {
+    dataset: &'static str,
+    session: usize,
+    threads: usize,
+    batch: usize,
+    tuples: u64,
+    certain: u64,
+    rounds: u64,
+    plan_probes: u64,
+    recall_t: f64,
+    shared_hits: u64,
+    shared_misses: u64,
+    /// Scheduler epochs of the whole point (shared by its rows).
+    epochs: u64,
+    /// End-to-end server wall of the whole point, ms.
+    wall_ms: f64,
+    /// Aggregate throughput of the whole point, tuples/s.
+    throughput_tps: f64,
+    /// Frames this connection sent over its socket.
+    net_frames_in: u64,
+    /// Bytes this connection sent over its socket.
+    net_bytes_in: u64,
+}
+
+fn render_json(base: &ExpConfig, sessions: usize, rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"exp_net\",");
+    let _ = writeln!(out, "  \"sessions\": {sessions},");
+    let _ = writeln!(out, "  \"dm\": {},", base.dm);
+    let _ = writeln!(out, "  \"inputs\": {},", base.inputs);
+    let _ = writeln!(out, "  \"d\": {},", base.d);
+    let _ = writeln!(out, "  \"n\": {},", base.n);
+    let _ = writeln!(out, "  \"skew\": {},", base.skew);
+    let _ = writeln!(out, "  \"use_bdd\": {},", base.use_bdd);
+    let _ = writeln!(out, "  \"threads\": {},", base.threads.max(1));
+    let _ = writeln!(out, "  \"shared_cache\": {},", base.shared_cache);
+    let _ = writeln!(out, "  \"depth\": {},", base.depth);
+    let _ = writeln!(out, "  \"chunk\": {},", base.chunk);
+    let _ = writeln!(out, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"dataset\": \"{}\", \"session\": {}, \"threads\": {}, \"batch\": {}, \
+             \"tuples\": {}, \"certain\": {}, \"rounds\": {}, \"plan_probes\": {}, \
+             \"recall_t\": {:.4}, \"shared_hits\": {}, \"shared_misses\": {}, \
+             \"epochs\": {}, \"wall_ms\": {:.3}, \"throughput_tps\": {:.1}, \
+             \"net_frames_in\": {}, \"net_bytes_in\": {}}}",
+            json_escape(r.dataset),
+            r.session,
+            r.threads,
+            r.batch,
+            r.tuples,
+            r.certain,
+            r.rounds,
+            r.plan_probes,
+            r.recall_t,
+            r.shared_hits,
+            r.shared_misses,
+            r.epochs,
+            r.wall_ms,
+            r.throughput_tps,
+            r.net_frames_in,
+            r.net_bytes_in,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = Args::from_env_strict(&Spec::exp("exp_net").valued(&["sessions"]));
+    let mut base = ExpConfig::from_args(&args);
+    if args.has("ingest") {
+        eprintln!("exp_net: the wire is always stream-fed; drop --ingest");
+        std::process::exit(2);
+    }
+    if args.has("schedule") && base.schedule == Schedule::Shard {
+        eprintln!("exp_net: the service pool is steal-only; --schedule shard is unsupported");
+        std::process::exit(2);
+    }
+    if base.compliance < 1.0 {
+        eprintln!(
+            "exp_net: the server-side oracle replays the shipped clean tuples verbatim; \
+             --compliance below 1.0 is unsupported"
+        );
+        std::process::exit(2);
+    }
+    if !args.has("threads") {
+        base.threads = BatchRepairEngine::auto_threads();
+    }
+    let sessions = args.usize_or("sessions", 2).max(1);
+    let pinned_batch = args.has("batch").then_some(base.batch);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for which in Which::BOTH {
+        let w = which.build(base.dm);
+        // per-connection datasets, identical to exp_service's sessions
+        let datasets: Vec<Dataset> = (0..sessions)
+            .map(|s| Dataset::generate(w.as_ref(), &session_dirty_config(&base, s)))
+            .collect();
+        let dirty: Vec<Vec<Tuple>> = datasets
+            .iter()
+            .map(|ds| ds.inputs.iter().map(|dt| dt.dirty.clone()).collect())
+            .collect();
+        let clean: Vec<Vec<Tuple>> = datasets
+            .iter()
+            .map(|ds| ds.inputs.iter().map(|dt| dt.clean.clone()).collect())
+            .collect();
+        for &threads in &thread_points(base.threads.max(1)) {
+            for &batch in &batch_points(pinned_batch, &[64, 256], base.inputs) {
+                let service = RepairService::from_engine(
+                    build_engine(
+                        w.as_ref(),
+                        &ExpConfig {
+                            threads,
+                            batch,
+                            ..base
+                        },
+                    ),
+                    ServiceOptions {
+                        threads,
+                        chunk: base.chunk,
+                        shared_cache: base.shared_cache,
+                        depth: base.depth,
+                    },
+                );
+                let server = RepairServer::serve_tcp(service, "127.0.0.1:0", None)
+                    .expect("binding a loopback listener");
+                let addr = server.local_addr().expect("TCP server has an address");
+
+                // one client thread per connection, each streaming its
+                // dataset in `batch`-sized frames
+                let mut folded: Vec<_> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..sessions)
+                        .map(|s| {
+                            let (dirty, clean) = (&dirty[s], &clean[s]);
+                            scope.spawn(move || {
+                                let mut client =
+                                    RepairClient::connect_tcp(addr, &format!("s{s}"), None)
+                                        .expect("loopback connect");
+                                for (d, c) in dirty.chunks(batch).zip(clean.chunks(batch)) {
+                                    client.send_batch(d, c).expect("streaming a batch");
+                                }
+                                (s, client.finish().expect("clean session end"))
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            let (s, cr) = h.join().expect("client thread");
+                            (s, fold_session(cr.report, datasets[s].clone(), 8))
+                        })
+                        .collect()
+                });
+                folded.sort_by_key(|(s, _)| *s);
+                let report = server.shutdown();
+                let wall_ms = report.wall.as_secs_f64() * 1e3;
+                let throughput_tps = report.throughput();
+                let epochs = report.epochs;
+                // cross-check: the server's own session reports agree
+                // with the client-side reconstructions (D11, both ends)
+                for (s, run) in &folded {
+                    let named = report
+                        .sessions
+                        .iter()
+                        .find(|n| n.name == format!("s{s}"))
+                        .expect("every connection became a session");
+                    assert_eq!(named.report.stats.tuples, run.stats.tuples);
+                    assert_eq!(named.report.stats.certain, run.stats.certain);
+                    assert_eq!(named.report.stats.rounds, run.stats.rounds);
+                    assert_eq!(named.report.stats.plan_probes, run.stats.plan_probes);
+                }
+                for (s, run) in folded {
+                    let named = report
+                        .sessions
+                        .iter()
+                        .find(|n| n.name == format!("s{s}"))
+                        .expect("every connection became a session");
+                    let last = run.metrics.last().expect("rounds >= 1");
+                    rows.push(Row {
+                        dataset: which.name(),
+                        session: s,
+                        threads,
+                        batch,
+                        tuples: run.stats.tuples,
+                        certain: run.stats.certain,
+                        rounds: run.stats.rounds,
+                        plan_probes: run.stats.plan_probes,
+                        recall_t: last.recall_t,
+                        shared_hits: run.stats.shared_hits,
+                        shared_misses: run.stats.shared_misses,
+                        epochs,
+                        wall_ms,
+                        throughput_tps,
+                        net_frames_in: named.report.stats.net.frames_in,
+                        net_bytes_in: named.report.stats.net.bytes_in,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut table = Table::new([
+        "dataset", "session", "threads", "batch", "tuples", "certain", "rounds", "recall_t",
+        "epochs", "tuples/s", "frames", "bytes",
+    ]);
+    for r in &rows {
+        table.row([
+            r.dataset.to_string(),
+            r.session.to_string(),
+            r.threads.to_string(),
+            r.batch.to_string(),
+            r.tuples.to_string(),
+            r.certain.to_string(),
+            r.rounds.to_string(),
+            f3(r.recall_t),
+            r.epochs.to_string(),
+            format!("{:.0}", r.throughput_tps),
+            r.net_frames_in.to_string(),
+            r.net_bytes_in.to_string(),
+        ]);
+    }
+    eprintln!(
+        "exp_net: connections = {}, |Dm| = {}, |D| (session 0) = {}, d% = {:.0}, n% = {:.0}, \
+         skew = {}, bdd = {}, shared cache = {}",
+        sessions,
+        base.dm,
+        base.inputs,
+        base.d * 100.0,
+        base.n * 100.0,
+        base.skew,
+        base.use_bdd,
+        base.shared_cache
+    );
+    eprint!("{}", table.render());
+    table
+        .maybe_write_csv(args.str_or("out", ""))
+        .expect("writing CSV output");
+
+    // machine-readable output on stdout — what CI archives
+    print!("{}", render_json(&base, sessions, &rows));
+}

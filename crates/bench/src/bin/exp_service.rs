@@ -33,13 +33,15 @@
 use std::fmt::Write as _;
 
 use certainfix_bench::args::{Args, Spec};
-use certainfix_bench::runner::{build_engine, fold_session, oracle_factory, ExpConfig, Which};
+use certainfix_bench::runner::{
+    build_engine, fold_session, oracle_factory, session_dirty_config, ExpConfig, Which,
+};
 use certainfix_bench::sweep::{batch_points, json_escape, thread_points};
 use certainfix_bench::table::{f3, Table};
 use certainfix_core::{
     BatchRepairEngine, RepairService, Schedule, ServiceOptions, ServiceStream, SliceSource,
 };
-use certainfix_datagen::{Dataset, DirtyConfig};
+use certainfix_datagen::Dataset;
 use certainfix_relation::Tuple;
 
 /// One session's row at one sweep point.
@@ -61,16 +63,6 @@ struct Row {
     wall_ms: f64,
     /// Aggregate throughput of the whole point, tuples/s.
     throughput_tps: f64,
-}
-
-/// Session `s`'s generator knobs: size skewed by position, seed
-/// derived from `s` alone — invariant to the total session count.
-fn session_dirty_config(base: &ExpConfig, s: usize) -> DirtyConfig {
-    DirtyConfig {
-        input_size: (base.inputs / (s + 1)).max(1),
-        seed: base.seed ^ (s as u64 + 1).wrapping_mul(0x9E37_79B9),
-        ..base.dirty_config()
-    }
 }
 
 fn render_json(base: &ExpConfig, sessions: usize, rows: &[Row]) -> String {

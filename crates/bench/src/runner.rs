@@ -313,6 +313,22 @@ pub fn build_engine(workload: &dyn Workload, cfg: &ExpConfig) -> BatchRepairEngi
     ))
 }
 
+/// Session `s`'s generator knobs for the multi-tenant experiments:
+/// size skewed by position (`inputs / (s + 1)`), seed derived from `s`
+/// alone — invariant to the total session count, so a session's data
+/// (and therefore its deterministic results) never depends on how
+/// many other sessions run beside it. Shared by `exp_service` and
+/// `exp_net` precisely so their per-session rows are diffable: CI
+/// holds the loopback rows bit-identical to the in-process ones
+/// (invariant D11).
+pub fn session_dirty_config(base: &ExpConfig, s: usize) -> DirtyConfig {
+    DirtyConfig {
+        input_size: (base.inputs / (s + 1)).max(1),
+        seed: base.seed ^ (s as u64 + 1).wrapping_mul(0x9E37_79B9),
+        ..base.dirty_config()
+    }
+}
+
 /// The oracle factory every runner shares: the user for global stream
 /// index `i`, seeded from the *dataset's* seed (which
 /// [`Dataset::batches`] decorrelates per batch) and `i` only, so

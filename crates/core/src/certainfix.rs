@@ -32,7 +32,7 @@ impl Default for CertainFixConfig {
 }
 
 /// One round of interaction.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RoundReport {
     /// What the framework suggested.
     pub suggested: Vec<AttrId>,
@@ -48,7 +48,7 @@ pub struct RoundReport {
 }
 
 /// Outcome of processing one tuple.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FixOutcome {
     /// The final tuple.
     pub tuple: Tuple,

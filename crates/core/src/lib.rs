@@ -63,11 +63,12 @@ pub use engine::{
 pub use metrics::{
     evaluate_changes, evaluate_rounds, merge_round_series, ChangeCounts, RoundMetrics, TupleEval,
 };
-pub use monitor::{DataMonitor, InitialRegion, MonitorStats};
+pub use monitor::{DataMonitor, InitialRegion, MonitorStats, NetLaneStats};
 pub use oracle::{SimulatedUser, UserOracle};
 pub use service::{
-    NamedSessionReport, RepairService, RepairServiceBuilder, ServiceOptions, ServiceReport,
-    ServiceStream,
+    attach_channel, AttachQueue, BoxedOracle, NamedSessionReport, RepairService,
+    RepairServiceBuilder, ServiceAttach, ServiceOptions, ServiceReport, ServiceStream,
+    SessionEvent,
 };
 pub use session::{
     BatchesSource, ChannelSource, RepairSession, RepairSessionBuilder, SessionReport, SliceSource,

@@ -37,7 +37,7 @@ pub enum InitialRegion {
 /// (each worker warms its own scratch buffer), and the shared-cache
 /// probe counters are wall-clock/scheduling observables and are
 /// excluded from that guarantee.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MonitorStats {
     /// Tuples processed.
     pub tuples: u64,
@@ -85,6 +85,48 @@ pub struct MonitorStats {
     /// not a per-tuple one); sessions charge it when they merge, so a
     /// session report shows how many live-master hand-offs it spanned.
     pub plan_rebuilds: u64,
+    /// Network-lane counters (all zero for in-process sources). Always
+    /// 0 in per-worker accumulators — the `net` crate's `RepairServer`
+    /// charges each connection's transport tallies into its session
+    /// report, and the service sums them into the aggregate. Transport
+    /// observables: frame/byte counts depend on client chunking, so
+    /// they are outside the D2/D11 bit-identity guarantee.
+    pub net: NetLaneStats,
+}
+
+/// Per-lane transport counters of the network ingest subsystem
+/// (`crates/net`): one accumulator per authenticated connection,
+/// merged into [`MonitorStats`] like the other counters (every field
+/// sums).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetLaneStats {
+    /// Request frames decoded off the socket.
+    pub frames_in: u64,
+    /// Response frames written to the socket.
+    pub frames_out: u64,
+    /// Bytes read off the socket (headers + payloads).
+    pub bytes_in: u64,
+    /// Bytes written to the socket (headers + payloads).
+    pub bytes_out: u64,
+    /// Frames rejected by the wire decoder (bad magic/version/kind,
+    /// truncated or oversized payloads, …).
+    pub decode_errors: u64,
+    /// Sessions torn down by a fault — malformed frame, protocol
+    /// violation, or a transport error mid-stream — rather than a
+    /// clean shutdown.
+    pub sessions_torn: u64,
+}
+
+impl NetLaneStats {
+    /// Fold another lane's tallies into this one; every field sums.
+    pub fn merge(&mut self, other: &NetLaneStats) {
+        self.frames_in += other.frames_in;
+        self.frames_out += other.frames_out;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.decode_errors += other.decode_errors;
+        self.sessions_torn += other.sessions_torn;
+    }
 }
 
 impl MonitorStats {
@@ -107,6 +149,7 @@ impl MonitorStats {
         self.probe_allocs += other.probe_allocs;
         self.plan_fallbacks += other.plan_fallbacks;
         self.plan_rebuilds += other.plan_rebuilds;
+        self.net.merge(&other.net);
     }
     /// Mean rounds per tuple.
     pub fn avg_rounds(&self) -> f64 {
@@ -495,6 +538,14 @@ mod tests {
             probe_allocs: 1,
             plan_fallbacks: 3,
             plan_rebuilds: 2,
+            net: NetLaneStats {
+                frames_in: 5,
+                frames_out: 4,
+                bytes_in: 900,
+                bytes_out: 700,
+                decode_errors: 1,
+                sessions_torn: 0,
+            },
         };
         let b = MonitorStats {
             tuples: 7,
@@ -508,6 +559,14 @@ mod tests {
             probe_allocs: 1,
             plan_fallbacks: 1,
             plan_rebuilds: 1,
+            net: NetLaneStats {
+                frames_in: 2,
+                frames_out: 1,
+                bytes_in: 100,
+                bytes_out: 50,
+                decode_errors: 0,
+                sessions_torn: 1,
+            },
         };
         let mut merged = a;
         merged.merge(&b);
@@ -522,6 +581,18 @@ mod tests {
         assert_eq!(merged.probe_allocs, 2, "scratch warm-ups sum");
         assert_eq!(merged.plan_fallbacks, 4, "wide-key fallbacks sum");
         assert_eq!(merged.plan_rebuilds, 3, "epoch rebuilds sum");
+        assert_eq!(
+            merged.net,
+            NetLaneStats {
+                frames_in: 7,
+                frames_out: 5,
+                bytes_in: 1000,
+                bytes_out: 750,
+                decode_errors: 1,
+                sessions_torn: 1,
+            },
+            "net-lane counters all sum"
+        );
     }
 
     /// The ROADMAP monitoring-hook satellite: the `interner_syms`

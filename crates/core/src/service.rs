@@ -115,7 +115,7 @@
 //! assert_eq!(report.session("tenant-a").unwrap().tuples, 30);
 //! ```
 
-use std::sync::mpsc::{channel, sync_channel, TryRecvError};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, TryRecvError};
 use std::time::{Duration, Instant};
 
 use certainfix_relation::{Relation, Tuple};
@@ -173,6 +173,102 @@ impl<'a> ServiceStream<'a> {
     pub fn name(&self) -> &str {
         &self.name
     }
+}
+
+/// An event [`RepairService::run_dynamic`] emits to a session's
+/// observer channel (if one was supplied at attach time): one
+/// [`Batch`](SessionEvent::Batch) per scheduler epoch the session took
+/// part in, then exactly one [`Finished`](SessionEvent::Finished) once
+/// its lane is drained and the final report folded. The `net` crate's
+/// `RepairServer` turns these into response frames.
+#[derive(Clone, Debug)]
+pub enum SessionEvent {
+    /// The session's [`BatchReport`] for one completed epoch, in the
+    /// session's own stream order.
+    Batch(BatchReport),
+    /// The session's source is exhausted (or its producer went away)
+    /// and every buffered batch has been repaired; this is the same
+    /// report the final [`ServiceReport`] will carry.
+    Finished(SessionReport),
+}
+
+/// One dynamically attached session in flight to the scheduler.
+struct DynamicSession<'a> {
+    stream: ServiceStream<'a>,
+    events: Option<Sender<SessionEvent>>,
+}
+
+/// The attach side of [`attach_channel`]: clonable, sendable to other
+/// threads, hands new [`ServiceStream`]s to a running
+/// [`RepairService::run_dynamic`]. Dropping every clone is the
+/// shutdown signal — the service finishes draining the sessions it
+/// has, then returns.
+pub struct ServiceAttach<'a> {
+    tx: Sender<DynamicSession<'a>>,
+    bell: Sender<()>,
+}
+
+impl<'a> Clone for ServiceAttach<'a> {
+    fn clone(&self) -> Self {
+        ServiceAttach {
+            tx: self.tx.clone(),
+            bell: self.bell.clone(),
+        }
+    }
+}
+
+impl<'a> ServiceAttach<'a> {
+    /// Hand a new stream to the scheduler. `events`, if given,
+    /// receives one [`SessionEvent::Batch`] per epoch the session
+    /// participates in and a final [`SessionEvent::Finished`]. Returns
+    /// the stream back if the service already returned.
+    pub fn attach(
+        &self,
+        stream: ServiceStream<'a>,
+        events: Option<Sender<SessionEvent>>,
+    ) -> Result<(), ServiceStream<'a>> {
+        self.tx
+            .send(DynamicSession { stream, events })
+            .map_err(|e| e.0.stream)?;
+        let _ = self.bell.send(());
+        Ok(())
+    }
+}
+
+impl<'a> Drop for ServiceAttach<'a> {
+    fn drop(&mut self) {
+        // wake a blocked scheduler so it notices the attach queue
+        // disconnecting (rings are buffered, never lost)
+        let _ = self.bell.send(());
+    }
+}
+
+/// The receive side of [`attach_channel`], consumed by
+/// [`RepairService::run_dynamic`].
+pub struct AttachQueue<'a> {
+    rx: Receiver<DynamicSession<'a>>,
+    bell_tx: Sender<()>,
+    bell_rx: Receiver<()>,
+}
+
+/// Create the attach handle / queue pair for
+/// [`RepairService::run_dynamic`]. The handle end is clonable and may
+/// outlive any individual session; the service returns once every
+/// handle is dropped *and* every attached session has drained.
+pub fn attach_channel<'a>() -> (ServiceAttach<'a>, AttachQueue<'a>) {
+    let (tx, rx) = channel();
+    let (bell_tx, bell_rx) = channel();
+    (
+        ServiceAttach {
+            tx,
+            bell: bell_tx.clone(),
+        },
+        AttachQueue {
+            rx,
+            bell_tx,
+            bell_rx,
+        },
+    )
 }
 
 /// Knobs of one [`RepairService`]: the pool shape plus the per-session
@@ -340,8 +436,25 @@ impl RepairService {
     /// exhausted; sessions that finish early simply stop contributing
     /// epochs while the rest keep the pool busy.
     pub fn run(&self, streams: Vec<ServiceStream<'_>>) -> ServiceReport {
+        let (attach, queue) = attach_channel();
+        for stream in streams {
+            let _ = attach.attach(stream, None);
+        }
+        drop(attach);
+        self.run_dynamic(queue)
+    }
+
+    /// Multiplex a *dynamic* set of streams: sessions attach (and
+    /// detach, by exhausting their source) while the service runs.
+    /// Consumes the [`AttachQueue`] half of an [`attach_channel`];
+    /// returns once every [`ServiceAttach`] clone is dropped and every
+    /// attached session has drained — the drain-then-shutdown path.
+    /// Scheduling, fairness, and the determinism contract are exactly
+    /// [`run`](Self::run)'s (which is this method with all sessions
+    /// attached up front): a session's outcomes depend only on its own
+    /// stream, never on when its neighbours arrived.
+    pub fn run_dynamic(&self, queue: AttachQueue<'_>) -> ServiceReport {
         let started = Instant::now();
-        let n_sessions = streams.len();
         let threads = match self.opts.threads {
             0 => BatchRepairEngine::auto_threads(),
             t => t,
@@ -349,90 +462,132 @@ impl RepairService {
         .max(1);
         let depth = self.opts.depth.max(1);
 
-        let mut names = Vec::with_capacity(n_sessions);
-        let mut sources = Vec::with_capacity(n_sessions);
-        let mut factories: Vec<OracleFactory<'_>> = Vec::with_capacity(n_sessions);
-        for stream in streams {
-            names.push(stream.name);
-            sources.push(stream.source);
-            factories.push(stream.oracle_for);
-        }
-
+        let mut names: Vec<String> = Vec::new();
+        let mut factories: Vec<OracleFactory<'_>> = Vec::new();
         let mut acc: Vec<SessionAcc> = Vec::new();
-        acc.resize_with(n_sessions, SessionAcc::default);
+        let mut done: Vec<Option<SessionReport>> = Vec::new();
         let mut epochs = 0u64;
 
-        if n_sessions > 0 {
-            std::thread::scope(|scope| {
-                // ingest lanes: one feeder per stream, bounded channel,
-                // plus a shared doorbell so an idle scheduler blocks
-                // instead of spinning
-                let (bell_tx, bell_rx) = channel::<()>();
-                let mut lanes = Vec::with_capacity(n_sessions);
-                for source in sources {
-                    let (tx, rx) = sync_channel::<Vec<Tuple>>(depth);
-                    let bell = bell_tx.clone();
-                    lanes.push(rx);
-                    scope.spawn(move || {
-                        let mut source = source;
-                        while let Some(batch) = source.next_batch() {
-                            if batch.is_empty() {
-                                continue;
-                            }
-                            if tx.send(batch).is_err() {
-                                break; // the service stopped draining
-                            }
-                            let _ = bell.send(());
+        std::thread::scope(|scope| {
+            // ingest lanes: one feeder per attached stream, bounded
+            // channel, plus the queue's doorbell so an idle scheduler
+            // blocks instead of spinning
+            let mut lanes: Vec<Receiver<Vec<Tuple>>> = Vec::new();
+            let mut open: Vec<bool> = Vec::new();
+            let mut finished: Vec<bool> = Vec::new();
+            let mut events: Vec<Option<Sender<SessionEvent>>> = Vec::new();
+            let mut attach_open = true;
+            // rotate which session is polled first so no stream is
+            // systematically served ahead of the others
+            let mut first = 0usize;
+            loop {
+                // admit newly attached sessions before each poll sweep
+                while attach_open {
+                    match queue.rx.try_recv() {
+                        Ok(ds) => {
+                            let (tx, rx) = sync_channel::<Vec<Tuple>>(depth);
+                            let bell = queue.bell_tx.clone();
+                            let source = ds.stream.source;
+                            scope.spawn(move || {
+                                let mut source = source;
+                                while let Some(batch) = source.next_batch() {
+                                    if batch.is_empty() {
+                                        continue;
+                                    }
+                                    if tx.send(batch).is_err() {
+                                        break; // the service stopped draining
+                                    }
+                                    let _ = bell.send(());
+                                }
+                                // dropping tx disconnects the lane; ring
+                                // once more so a blocked scheduler
+                                // notices the end
+                                drop(tx);
+                                let _ = bell.send(());
+                            });
+                            names.push(ds.stream.name);
+                            factories.push(ds.stream.oracle_for);
+                            acc.push(SessionAcc::default());
+                            done.push(None);
+                            lanes.push(rx);
+                            open.push(true);
+                            finished.push(false);
+                            events.push(ds.events);
                         }
-                        // dropping tx disconnects the lane; ring once
-                        // more so a blocked scheduler notices the end
-                        drop(tx);
-                        let _ = bell.send(());
-                    });
-                }
-                drop(bell_tx);
-
-                let mut open = vec![true; n_sessions];
-                // rotate which session is polled first so no stream is
-                // systematically served ahead of the others
-                let mut first = 0usize;
-                loop {
-                    let mut collected: Vec<(usize, Vec<Tuple>)> = Vec::new();
-                    for k in 0..n_sessions {
-                        let s = (first + k) % n_sessions;
-                        if !open[s] {
-                            continue;
-                        }
-                        match lanes[s].try_recv() {
-                            Ok(batch) => collected.push((s, batch)),
-                            Err(TryRecvError::Empty) => {}
-                            Err(TryRecvError::Disconnected) => open[s] = false,
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => {
+                            attach_open = false;
                         }
                     }
-                    first = (first + 1) % n_sessions;
-                    if collected.is_empty() {
-                        if !open.iter().any(|&o| o) {
-                            break; // every stream exhausted and drained
-                        }
-                        // nothing ready: sleep until a feeder rings
-                        // (or exits — the next poll sees the disconnect)
-                        let _ = bell_rx.recv();
+                }
+
+                let n = lanes.len();
+                let mut collected: Vec<(usize, Vec<Tuple>)> = Vec::new();
+                for k in 0..n {
+                    let s = (first + k) % n;
+                    if !open[s] {
                         continue;
                     }
-                    epochs += 1;
-                    self.run_epoch(collected, &factories, &mut acc, threads);
+                    match lanes[s].try_recv() {
+                        Ok(batch) => collected.push((s, batch)),
+                        Err(TryRecvError::Empty) => {}
+                        Err(TryRecvError::Disconnected) => open[s] = false,
+                    }
                 }
-            });
-        }
+                if n > 0 {
+                    first = (first + 1) % n;
+                }
 
-        let mut sessions = Vec::with_capacity(n_sessions);
+                let idle = collected.is_empty();
+                if !idle {
+                    epochs += 1;
+                    let participants: Vec<usize> = collected.iter().map(|&(s, _)| s).collect();
+                    self.run_epoch(collected, &factories, &mut acc, threads);
+                    for s in participants {
+                        if let Some(ev) = &events[s] {
+                            if let Some(batch) = acc[s].batches.last() {
+                                let _ = ev.send(SessionEvent::Batch(batch.clone()));
+                            }
+                        }
+                    }
+                }
+
+                // finalize drained sessions promptly — a disconnected
+                // lane has, by mpsc semantics, already yielded every
+                // buffered batch — so observers get `Finished` while
+                // their neighbours keep running
+                for s in 0..n {
+                    if !open[s] && !finished[s] {
+                        finished[s] = true;
+                        let a = std::mem::take(&mut acc[s]);
+                        let mut report = SessionReport::from_batches(&a.batches, a.wall, a.tuples);
+                        report.batches = a.batches;
+                        if let Some(ev) = events[s].take() {
+                            let _ = ev.send(SessionEvent::Finished(report.clone()));
+                        }
+                        done[s] = Some(report);
+                    }
+                }
+
+                if idle {
+                    if !attach_open && !open.iter().any(|&o| o) {
+                        break; // no attachers left, every stream drained
+                    }
+                    // nothing ready: sleep until a feeder or attacher
+                    // rings; rings are buffered so wakeups are never
+                    // lost — the timeout is a belt-and-braces backstop
+                    let _ = queue.bell_rx.recv_timeout(Duration::from_millis(25));
+                }
+            }
+        });
+
+        let mut sessions = Vec::with_capacity(names.len());
         let mut stats = MonitorStats::default();
         let mut bdd = BddStats::default();
         let mut shared: Option<SharedCacheStats> = None;
         let mut tuples = 0usize;
-        for (name, a) in names.into_iter().zip(acc) {
-            let mut report = SessionReport::from_batches(&a.batches, a.wall, a.tuples);
-            report.batches = a.batches;
+        for (name, report) in names.into_iter().zip(done) {
+            let report = report.expect("every attached session is finalized before exit");
             stats.merge(&report.stats);
             bdd.merge(&report.bdd);
             if let Some(s) = &report.shared {
@@ -1048,5 +1203,108 @@ mod tests {
         }
         assert_eq!(live.stats.rounds, solo.stats.rounds);
         assert!(report.session("nope").is_none());
+    }
+
+    /// The dynamic-attach hooks behind the network server: sessions
+    /// attached to a *running* `run_dynamic` at staggered times get
+    /// per-epoch [`SessionEvent::Batch`]es, exactly one
+    /// [`SessionEvent::Finished`] equal to the final report, and
+    /// results bit-identical to the all-up-front [`run`] (which is
+    /// itself bit-identical to solo drains).
+    #[test]
+    fn dynamic_attach_matches_static_run() {
+        let (hosp, datasets) = hosp_sessions(150, &[240, 90]);
+        let dirty: Vec<Vec<Tuple>> = datasets.iter().map(dirty_of).collect();
+        let mk_service = || {
+            RepairServiceBuilder::new(hosp.rules().clone(), hosp.master().clone())
+                .threads(2)
+                .shared_cache(false)
+                .build()
+        };
+
+        let baseline = mk_service().run(
+            datasets
+                .iter()
+                .zip(&dirty)
+                .enumerate()
+                .map(|(s, (ds, tuples))| {
+                    ServiceStream::new(
+                        format!("s{s}"),
+                        SliceSource::with_batch(tuples, 32),
+                        move |i: usize| SimulatedUser::new(ds.inputs[i].clean.clone()),
+                    )
+                })
+                .collect(),
+        );
+
+        let service = mk_service();
+        let (attach, queue) = attach_channel();
+        let mut event_rxs = Vec::new();
+        let report = std::thread::scope(|scope| {
+            let attacher_sets = &datasets;
+            let attacher_dirty = &dirty;
+            let (ev0_tx, ev0_rx) = channel();
+            let (ev1_tx, ev1_rx) = channel();
+            event_rxs.push(ev0_rx);
+            event_rxs.push(ev1_rx);
+            scope.spawn(move || {
+                for (s, ev) in [(0usize, ev0_tx), (1usize, ev1_tx)] {
+                    let ds = &attacher_sets[s];
+                    let tuples = &attacher_dirty[s];
+                    attach
+                        .attach(
+                            ServiceStream::new(
+                                format!("s{s}"),
+                                SliceSource::with_batch(tuples, 32),
+                                move |i: usize| SimulatedUser::new(ds.inputs[i].clean.clone()),
+                            ),
+                            Some(ev),
+                        )
+                        .ok()
+                        .expect("service is draining");
+                    // stagger: the second session arrives while the
+                    // first is (likely) mid-flight
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                drop(attach); // shutdown signal: drain, then return
+            });
+            service.run_dynamic(queue)
+        });
+
+        assert_eq!(report.sessions.len(), 2);
+        for (s, named) in report.sessions.iter().enumerate() {
+            let want = &baseline.sessions[s].report;
+            assert_eq!(named.name, format!("s{s}"));
+            assert_eq!(named.report.tuples, want.tuples, "session {s}");
+            for (i, (a, b)) in named.report.outcomes().zip(want.outcomes()).enumerate() {
+                assert_eq!(a, b, "session {s} tuple {i}");
+            }
+            assert_eq!(named.report.stats.rounds, want.stats.rounds);
+            assert_eq!(named.report.stats.plan_probes, want.stats.plan_probes);
+
+            // the observer channel saw one Batch per epoch the session
+            // took part in, then Finished with the very same report
+            let evs: Vec<SessionEvent> = event_rxs[s].try_iter().collect();
+            let batches: Vec<&BatchReport> = evs
+                .iter()
+                .filter_map(|e| match e {
+                    SessionEvent::Batch(b) => Some(b),
+                    SessionEvent::Finished(_) => None,
+                })
+                .collect();
+            assert_eq!(batches.len(), named.report.batches.len(), "session {s}");
+            for (eb, rb) in batches.iter().zip(&named.report.batches) {
+                assert_eq!(eb.outcomes, rb.outcomes, "session {s}");
+            }
+            match evs.last() {
+                Some(SessionEvent::Finished(final_report)) => {
+                    assert_eq!(final_report.tuples, named.report.tuples);
+                    assert_eq!(final_report.stats.rounds, named.report.stats.rounds);
+                }
+                other => panic!("session {s}: expected trailing Finished, got {other:?}"),
+            }
+        }
+        assert_eq!(report.tuples, baseline.tuples);
+        assert_eq!(report.stats.rounds, baseline.stats.rounds);
     }
 }

@@ -207,6 +207,15 @@ impl<W: GenWorkload + ?Sized> TupleSource for BatchesSource<'_, W> {
 /// The stream ends when every sender is dropped. Channel delivery is
 /// FIFO, so the ordering contract of [`TupleSource`] reduces to the
 /// producer sending the stream in order.
+///
+/// A producer that goes away *mid-stream* (its thread panics, its
+/// socket drops — anything that drops the sender with batches still
+/// buffered) ends the stream gracefully: every batch sent before the
+/// disconnect is still yielded, in order, and only then does
+/// [`next_batch`](TupleSource::next_batch) report end-of-stream. No
+/// tuple the consumer was promised is lost, and nothing panics — the
+/// property the network ingest lane (`crates/net`) leans on to tear
+/// down a dead connection's session cleanly.
 pub struct ChannelSource {
     rx: Receiver<Vec<Tuple>>,
     hint: (usize, Option<usize>),
@@ -1012,6 +1021,67 @@ mod tests {
             source.size_hint()
         };
         assert_eq!(source_hint, (0, Some(0)));
+    }
+
+    /// Producer-side disconnect mid-stream: a producer that dies (here:
+    /// panics) with batches still buffered in the bounded channel must
+    /// not lose them — the source drains every batch sent before the
+    /// disconnect, in order, then reports end-of-stream, and a session
+    /// drain over the truncated stream completes without panicking.
+    #[test]
+    fn channel_source_drains_buffered_batches_after_producer_disconnect() {
+        let (hosp, ds) = hosp_stream(60, 24, 0.5);
+        let dirty = dirty_of(&ds);
+
+        // raw source level: 3 batches buffered, producer gone
+        let (tx, mut source) = ChannelSource::bounded(4);
+        let producer = {
+            let chunks: Vec<Vec<Tuple>> = dirty.chunks(8).map(|c| c.to_vec()).collect();
+            std::thread::spawn(move || {
+                for c in chunks {
+                    tx.send(c).unwrap();
+                }
+                panic!("producer dies mid-stream with its buffer full");
+            })
+        };
+        assert!(producer.join().is_err(), "the producer did panic");
+        let mut drained = Vec::new();
+        while let Some(batch) = source.next_batch() {
+            drained.extend(batch);
+        }
+        assert_eq!(drained, dirty, "every buffered batch survives, in order");
+        assert!(source.next_batch().is_none(), "end-of-stream is sticky");
+
+        // session level: the truncated stream repairs cleanly and the
+        // report covers exactly the tuples that made it through
+        let (tx, source) = ChannelSource::bounded(2);
+        let mut session = plain_session(&hosp, 2);
+        let drained = std::thread::scope(|s| {
+            let producer_dirty = &dirty;
+            s.spawn(move || {
+                // send half the stream, then vanish without a goodbye
+                for c in producer_dirty[..16].chunks(4) {
+                    if tx.send(c.to_vec()).is_err() {
+                        break;
+                    }
+                }
+            });
+            session.drain(source, |i| SimulatedUser::new(ds.inputs[i].clean.clone()))
+        });
+        assert_eq!(drained, 16);
+        let report = session.finish();
+        assert_eq!(report.tuples, 16);
+        assert_eq!(report.stats.tuples, 16);
+        // the truncated stream is bit-identical to intentionally
+        // draining only those 16 tuples
+        let mut solo = plain_session(&hosp, 1);
+        solo.drain(SliceSource::with_batch(&dirty[..16], 4), |i| {
+            SimulatedUser::new(ds.inputs[i].clean.clone())
+        });
+        let solo = solo.finish();
+        for (i, (a, b)) in report.outcomes().zip(solo.outcomes()).enumerate() {
+            assert_eq!(a, b, "tuple {i}");
+        }
     }
 
     /// The D10 contract at the session level: a session whose master

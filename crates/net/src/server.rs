@@ -1,0 +1,597 @@
+//! [`RepairServer`]: the socket front of a
+//! [`RepairService`] — TCP or unix-socket listener, one protocol
+//! session per authenticated connection, each mapped to one
+//! [`ServiceStream`] lane of the shared engine.
+//!
+//! # Backpressure, end to end
+//!
+//! A connection's batches travel socket → bounded
+//! [`ChannelSource`] → bounded service ingest lane → repair pool.
+//! Both channels are bounded by [`ServiceOptions::depth`]
+//! (`ServiceOptions::depth` batches each), so when the engine falls
+//! behind, the connection's reader thread blocks in `send`, stops
+//! consuming the socket, the kernel's receive window fills, and the
+//! *client's* writes stall — a slow engine costs the producer
+//! latency, never the server memory. Response frames ride an
+//! unbounded event channel per session: bounding it would let one
+//! client that stops reading stall the shared scheduler for everyone
+//! (the cost is instead bounded per misbehaving connection, by its
+//! own unread reports).
+//!
+//! # Fault isolation
+//!
+//! A malformed frame, a protocol violation, or a transport error
+//! tears down *only* its own session: the reader answers with one
+//! [`Frame::Error`] (best effort), drops the lane, and the service
+//! finalizes that session from whatever had arrived — batches already
+//! buffered still repair (the [`ChannelSource`] disconnect-drain
+//! contract), and every other connection proceeds untouched. Clean
+//! [`Frame::Shutdown`] (or a bare EOF at a frame boundary) ends the
+//! stream the same way minus the error accounting.
+//!
+//! [`ChannelSource`]: certainfix_core::ChannelSource
+//! [`ServiceOptions::depth`]: certainfix_core::ServiceOptions
+
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use certainfix_core::{
+    attach_channel, ChannelSource, NetLaneStats, RepairService, ServiceAttach, ServiceReport,
+    ServiceStream, SessionEvent, SimulatedUser,
+};
+use certainfix_relation::Tuple;
+
+use crate::wire::{Frame, WireError};
+
+/// One accepted transport, TCP or unix-domain.
+pub(crate) enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    pub(crate) fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn set_nonblocking(&self) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(true),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(true),
+        }
+    }
+    fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+}
+
+/// Counts bytes actually consumed by the decoder (sits *outside* the
+/// `BufReader`, so read-ahead the session never used is not charged).
+pub(crate) struct CountingReader<R> {
+    inner: R,
+    pub(crate) bytes: u64,
+}
+
+impl<R> CountingReader<R> {
+    pub(crate) fn new(inner: R) -> CountingReader<R> {
+        CountingReader { inner, bytes: 0 }
+    }
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+}
+
+/// Serialises response frames onto one socket (reader and writer
+/// threads both answer) and tallies the outbound lane counters.
+pub(crate) struct FrameWriter {
+    w: BufWriter<Conn>,
+    pub(crate) frames: u64,
+    pub(crate) bytes: u64,
+    dead: bool,
+}
+
+impl FrameWriter {
+    pub(crate) fn new(conn: Conn) -> FrameWriter {
+        FrameWriter {
+            w: BufWriter::new(conn),
+            frames: 0,
+            bytes: 0,
+            dead: false,
+        }
+    }
+    /// Write + flush one frame. After the first transport error the
+    /// writer goes dead and later sends are silently dropped — the
+    /// session is ending anyway, and the event drain must not wedge
+    /// on a closed socket.
+    pub(crate) fn send(&mut self, frame: &Frame) {
+        if self.dead {
+            return;
+        }
+        let sent = frame
+            .encode(&mut self.w)
+            .and_then(|n| self.w.flush().map(|()| n).map_err(WireError::Io));
+        match sent {
+            Ok(n) => {
+                self.frames += 1;
+                self.bytes += n as u64;
+            }
+            Err(_) => self.dead = true,
+        }
+    }
+}
+
+/// Per-session bookkeeping shared between the connection's reader
+/// (forwards batches, registers flush thresholds) and writer (emits
+/// reports, discharges flushes) threads. One lock, so the
+/// reported-vs-pending race has no window.
+#[derive(Default)]
+struct FlushState {
+    /// Batches forwarded into the lane so far.
+    forwarded: u64,
+    /// Batches reported back so far.
+    reported: u64,
+    /// `seq`s of forwarded batches, FIFO — the scheduler repairs at
+    /// most one batch per session per epoch, in lane order, so the
+    /// n-th `Batch` event answers the n-th forwarded `seq`.
+    seqs: VecDeque<u64>,
+    /// Flush thresholds (`forwarded` at `Flush` time) not yet reached.
+    pending: Vec<u64>,
+}
+
+/// A running repair server. Dropping the handle does *not* stop it;
+/// call [`shutdown`](Self::shutdown) for the drain-then-shutdown path.
+pub struct RepairServer {
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<Vec<(String, NetLaneStats)>>>,
+    sched: Option<JoinHandle<ServiceReport>>,
+    local_addr: Option<SocketAddr>,
+    #[cfg(unix)]
+    path: Option<PathBuf>,
+}
+
+impl RepairServer {
+    /// Listen on a TCP address (`port 0` picks a free port — read it
+    /// back with [`local_addr`](Self::local_addr)). `token`, when
+    /// set, must be presented by every `Hello`.
+    pub fn serve_tcp<A: ToSocketAddrs>(
+        service: RepairService,
+        addr: A,
+        token: Option<String>,
+    ) -> std::io::Result<RepairServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let mut server = Self::serve(service, Listener::Tcp(listener), token)?;
+        server.local_addr = Some(local);
+        Ok(server)
+    }
+
+    /// Listen on a unix-domain socket path (removed again at
+    /// [`shutdown`](Self::shutdown)).
+    #[cfg(unix)]
+    pub fn serve_unix<P: AsRef<Path>>(
+        service: RepairService,
+        path: P,
+        token: Option<String>,
+    ) -> std::io::Result<RepairServer> {
+        let listener = UnixListener::bind(path.as_ref())?;
+        let mut server = Self::serve(service, Listener::Unix(listener), token)?;
+        server.path = Some(path.as_ref().to_path_buf());
+        Ok(server)
+    }
+
+    fn serve(
+        service: RepairService,
+        listener: Listener,
+        token: Option<String>,
+    ) -> std::io::Result<RepairServer> {
+        listener.set_nonblocking()?;
+        let service = Arc::new(service);
+        let stop = Arc::new(AtomicBool::new(false));
+        let (attach, queue) = attach_channel::<'static>();
+        let sched = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || service.run_dynamic(queue))
+        };
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(listener, stop, attach, service, token))
+        };
+        Ok(RepairServer {
+            stop,
+            accept: Some(accept),
+            sched: Some(sched),
+            local_addr: None,
+            #[cfg(unix)]
+            path: None,
+        })
+    }
+
+    /// The bound TCP address (for `port 0` binds).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// Drain, then shut down: stop accepting, wait for every live
+    /// connection to finish its session (a connected client that
+    /// neither streams nor disconnects keeps the server up — draining
+    /// means serving it out, not cutting it off), collect the
+    /// service's final per-session reports, and fold each
+    /// connection's transport counters into them — per session where
+    /// the lane is attributable, and in aggregate
+    /// ([`ServiceReport::stats`]`.net`) over every connection
+    /// including ones that failed before a session existed.
+    pub fn shutdown(mut self) -> ServiceReport {
+        self.stop.store(true, Ordering::Relaxed);
+        let conn_stats = self
+            .accept
+            .take()
+            .expect("shutdown runs once")
+            .join()
+            .expect("accept loop does not panic");
+        let mut report = self
+            .sched
+            .take()
+            .expect("shutdown runs once")
+            .join()
+            .expect("scheduler does not panic");
+        let mut lane_total = NetLaneStats::default();
+        for (_, net) in &conn_stats {
+            lane_total.merge(net);
+        }
+        // attribute lanes to sessions by name, first unconsumed match
+        // (names repeat across reconnects; order is attach order on
+        // one side, completion order on the other)
+        let mut conn_stats = conn_stats;
+        for named in &mut report.sessions {
+            if let Some(pos) = conn_stats.iter().position(|(n, _)| *n == named.name) {
+                let (_, net) = conn_stats.remove(pos);
+                named.report.stats.net.merge(&net);
+            }
+        }
+        report.stats.net.merge(&lane_total);
+        #[cfg(unix)]
+        if let Some(path) = &self.path {
+            let _ = std::fs::remove_file(path);
+        }
+        report
+    }
+}
+
+fn accept_loop(
+    listener: Listener,
+    stop: Arc<AtomicBool>,
+    attach: ServiceAttach<'static>,
+    service: Arc<RepairService>,
+    token: Option<String>,
+) -> Vec<(String, NetLaneStats)> {
+    let token = Arc::new(token);
+    let mut conns: Vec<JoinHandle<(String, NetLaneStats)>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok(conn) => {
+                let attach = attach.clone();
+                let service = Arc::clone(&service);
+                let token = Arc::clone(&token);
+                conns.push(std::thread::spawn(move || {
+                    handle_conn(conn, attach, service, token)
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+    let mut stats = Vec::new();
+    for h in conns {
+        if let Ok(s) = h.join() {
+            stats.push(s);
+        }
+    }
+    // the accept loop held the last long-lived attach handle: dropping
+    // it (with every connection done) is the scheduler's cue to return
+    drop(attach);
+    stats
+}
+
+/// Drive one connection: authenticate, attach a session lane, then
+/// pump request frames until shutdown/disconnect/fault. Returns the
+/// session name (empty if none was established) and the lane's
+/// transport counters.
+fn handle_conn(
+    conn: Conn,
+    attach: ServiceAttach<'static>,
+    service: Arc<RepairService>,
+    token: Arc<Option<String>>,
+) -> (String, NetLaneStats) {
+    let mut net = NetLaneStats::default();
+    let writer = match conn.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(FrameWriter::new(w))),
+        Err(_) => {
+            net.sessions_torn += 1;
+            return (String::new(), net);
+        }
+    };
+    let mut reader = CountingReader::new(BufReader::new(conn));
+    let mut frames_in = 0u64;
+
+    // first frame must be an authenticated Hello
+    let session = match Frame::decode(&mut reader) {
+        Ok(Some(Frame::Hello { session, token: t })) => {
+            frames_in += 1;
+            if token
+                .as_deref()
+                .is_some_and(|want| t.as_deref() != Some(want))
+            {
+                writer.lock().unwrap().send(&Frame::Error {
+                    code: 1,
+                    message: "authentication failed".into(),
+                });
+                net.sessions_torn += 1;
+                net.frames_in = frames_in;
+                net.bytes_in = reader.bytes;
+                return (String::new(), net);
+            }
+            session
+        }
+        Ok(Some(_)) => {
+            writer.lock().unwrap().send(&Frame::Error {
+                code: 2,
+                message: "expected Hello".into(),
+            });
+            net.sessions_torn += 1;
+            net.frames_in = frames_in + 1;
+            net.bytes_in = reader.bytes;
+            return (String::new(), net);
+        }
+        Ok(None) => {
+            net.bytes_in = reader.bytes;
+            return (String::new(), net); // connected and left; no session
+        }
+        Err(e) => {
+            net.decode_errors += 1;
+            net.sessions_torn += 1;
+            writer.lock().unwrap().send(&Frame::Error {
+                code: 2,
+                message: e.to_string(),
+            });
+            net.bytes_in = reader.bytes;
+            return (String::new(), net);
+        }
+    };
+
+    // one ServiceStream lane per connection: the clean store backs the
+    // oracle factory (appended before the lane send, so any index the
+    // engine can ask for is already present), the bounded channel is
+    // the backpressure hand-off
+    let cleans: Arc<Mutex<Vec<Tuple>>> = Arc::new(Mutex::new(Vec::new()));
+    let depth = service.options().depth;
+    let (lane_tx, lane_src) = ChannelSource::bounded(depth);
+    let (ev_tx, ev_rx) = channel::<SessionEvent>();
+    let oracle_cleans = Arc::clone(&cleans);
+    let stream = ServiceStream::new(session.clone(), lane_src, move |i: usize| {
+        let clean = oracle_cleans.lock().unwrap()[i].clone();
+        SimulatedUser::new(clean)
+    });
+    if attach.attach(stream, Some(ev_tx)).is_err() {
+        writer.lock().unwrap().send(&Frame::Error {
+            code: 3,
+            message: "service is shut down".into(),
+        });
+        net.sessions_torn += 1;
+        net.frames_in = frames_in;
+        net.bytes_in = reader.bytes;
+        return (session, net);
+    }
+    drop(attach); // this connection's interest in attaching is over
+    writer.lock().unwrap().send(&Frame::HelloAck {
+        generation: service.engine().context().generation(),
+    });
+
+    let fs = Arc::new(Mutex::new(FlushState::default()));
+    let responder = {
+        let writer = Arc::clone(&writer);
+        let fs = Arc::clone(&fs);
+        std::thread::spawn(move || {
+            for ev in ev_rx {
+                match ev {
+                    SessionEvent::Batch(batch) => {
+                        let (seq, acks) = {
+                            let mut st = fs.lock().unwrap();
+                            let seq = st.seqs.pop_front().unwrap_or(st.reported);
+                            st.reported += 1;
+                            let reported = st.reported;
+                            let acks: Vec<u64> = {
+                                let (due, keep) = st.pending.iter().partition(|&&p| p <= reported);
+                                st.pending = keep;
+                                due
+                            };
+                            (seq, acks)
+                        };
+                        let mut w = writer.lock().unwrap();
+                        w.send(&Frame::Report {
+                            seq,
+                            generation: batch.generation,
+                            wall: batch.wall,
+                            stats: batch.stats,
+                            outcomes: batch.outcomes,
+                        });
+                        for batches in acks {
+                            w.send(&Frame::FlushAck { batches });
+                        }
+                    }
+                    SessionEvent::Finished(report) => {
+                        writer.lock().unwrap().send(&Frame::SessionEnd {
+                            tuples: report.tuples as u64,
+                            batches: report.batches.len() as u64,
+                            wall: report.wall,
+                            stats: report.stats,
+                        });
+                        break;
+                    }
+                }
+            }
+        })
+    };
+
+    loop {
+        match Frame::decode(&mut reader) {
+            Ok(Some(Frame::Batch { seq, pairs })) => {
+                frames_in += 1;
+                if pairs.is_empty() {
+                    continue; // nothing to repair, nothing to report
+                }
+                let (dirty, clean): (Vec<Tuple>, Vec<Tuple>) = pairs.into_iter().unzip();
+                cleans.lock().unwrap().extend(clean);
+                {
+                    let mut st = fs.lock().unwrap();
+                    st.forwarded += 1;
+                    st.seqs.push_back(seq);
+                }
+                // bounded: blocks when the engine is `depth` batches
+                // behind, which stops the socket reads — backpressure
+                // reaches the client as stalled writes
+                if lane_tx.send(dirty).is_err() {
+                    writer.lock().unwrap().send(&Frame::Error {
+                        code: 3,
+                        message: "service is shut down".into(),
+                    });
+                    net.sessions_torn += 1;
+                    break;
+                }
+            }
+            Ok(Some(Frame::Delta(delta))) => {
+                frames_in += 1;
+                match service.engine().context().apply_master_delta(&delta) {
+                    Ok(generation) => {
+                        writer.lock().unwrap().send(&Frame::DeltaAck { generation });
+                    }
+                    Err(e) => {
+                        // the delta is refused, the session lives on
+                        writer.lock().unwrap().send(&Frame::Error {
+                            code: 3,
+                            message: e.to_string(),
+                        });
+                    }
+                }
+            }
+            Ok(Some(Frame::Flush)) => {
+                frames_in += 1;
+                let ack = {
+                    let mut st = fs.lock().unwrap();
+                    if st.reported >= st.forwarded {
+                        Some(st.forwarded)
+                    } else {
+                        let threshold = st.forwarded;
+                        st.pending.push(threshold);
+                        None
+                    }
+                };
+                if let Some(batches) = ack {
+                    writer.lock().unwrap().send(&Frame::FlushAck { batches });
+                }
+            }
+            Ok(Some(Frame::Shutdown)) => {
+                frames_in += 1;
+                break; // clean end-of-stream: drain, SessionEnd, close
+            }
+            Ok(Some(_)) => {
+                frames_in += 1;
+                writer.lock().unwrap().send(&Frame::Error {
+                    code: 2,
+                    message: "response frame on the request lane".into(),
+                });
+                net.sessions_torn += 1;
+                break;
+            }
+            Ok(None) => {
+                // abrupt-but-frame-aligned disconnect: same drain as
+                // Shutdown, the client just won't read the answers
+                break;
+            }
+            Err(e) => {
+                net.decode_errors += 1;
+                net.sessions_torn += 1;
+                writer.lock().unwrap().send(&Frame::Error {
+                    code: 2,
+                    message: e.to_string(),
+                });
+                break;
+            }
+        }
+    }
+
+    // end the stream: the service drains whatever the lane still
+    // buffers, finalizes the session, and the responder forwards the
+    // final SessionEnd before exiting
+    drop(lane_tx);
+    let _ = responder.join();
+
+    let w = writer.lock().unwrap();
+    net.frames_in = frames_in;
+    net.bytes_in = reader.bytes;
+    net.frames_out = w.frames;
+    net.bytes_out = w.bytes;
+    drop(w);
+    (session, net)
+}

@@ -1,0 +1,842 @@
+//! The length-prefixed, versioned binary frame codec of the network
+//! ingest lane.
+//!
+//! Every frame is `[MAGIC "CFXW"][VERSION u16][KIND u16][LEN u32]`
+//! (12-byte little-endian header) followed by exactly `LEN` payload
+//! bytes. Encode and decode are symmetric over
+//! [`std::io::Write`] / [`std::io::Read`]: for every [`Frame`] `f`,
+//! `decode(encode(f)) == f` — the property `tests/wire_props.rs`
+//! pins over arbitrary frames.
+//!
+//! The decoder is strict. It never trusts a length it has not checked
+//! against bytes actually present: the header's `LEN` is bounded by
+//! [`MAX_FRAME`] *before* any payload allocation, every element count
+//! inside a payload is bounded by the bytes remaining in that payload
+//! before its vector is reserved, a payload that ends early is
+//! [`WireError::Truncated`], and one with bytes left over after its
+//! frame parsed is [`WireError::TrailingBytes`]. Unknown kinds, tags,
+//! or flag bits are errors, never skipped — a malformed frame must
+//! tear its session down, not desynchronise the stream.
+//!
+//! String values cross the wire as UTF-8 text and are re-interned on
+//! decode ([`Value::str`]), so symbol identity is process-local and
+//! the codec's equality is textual — exactly the equality the engine's
+//! interner guarantees process-wide.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use certainfix_core::{FixOutcome, MonitorStats, NetLaneStats, RoundReport};
+use certainfix_relation::{AttrId, AttrSet, MasterDelta, Tuple, Value};
+
+/// First four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"CFXW";
+/// Protocol version this build speaks (rejects everything else).
+pub const VERSION: u16 = 1;
+/// Fixed header size in bytes: magic + version + kind + payload length.
+pub const HEADER_LEN: usize = 12;
+/// Hard cap on a frame's payload length. A header declaring more is
+/// rejected before any payload byte is read or allocated.
+pub const MAX_FRAME: usize = 64 << 20;
+
+const K_HELLO: u16 = 0x01;
+const K_BATCH: u16 = 0x02;
+const K_DELTA: u16 = 0x03;
+const K_FLUSH: u16 = 0x04;
+const K_SHUTDOWN: u16 = 0x05;
+const K_HELLO_ACK: u16 = 0x81;
+const K_REPORT: u16 = 0x82;
+const K_DELTA_ACK: u16 = 0x83;
+const K_FLUSH_ACK: u16 = 0x84;
+const K_SESSION_END: u16 = 0x85;
+const K_ERROR: u16 = 0x86;
+
+/// Typed decode/transport failures. Everything except [`Io`]
+/// (mid-frame I/O) means the *peer* sent something this codec refuses;
+/// the server answers with one [`Frame::Error`] and tears down only
+/// that session.
+///
+/// [`Io`]: WireError::Io
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed (including EOF mid-frame).
+    Io(std::io::Error),
+    /// The frame did not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The peer speaks a protocol version this build does not.
+    BadVersion(u16),
+    /// A kind code neither side of this version defines.
+    UnknownKind(u16),
+    /// The header declared a payload larger than [`MAX_FRAME`].
+    Oversized(usize),
+    /// The payload ended before its frame finished parsing (also: an
+    /// element count larger than the bytes that could back it).
+    Truncated,
+    /// The payload had bytes left over after the frame parsed.
+    TrailingBytes(usize),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// An enum/flag byte outside the defined range.
+    BadTag(u8),
+    /// A semantically unexpected frame (protocol-state violation) —
+    /// raised by the client/server state machines, not the codec.
+    Protocol(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k:#06x}"),
+            WireError::Oversized(n) => write!(f, "declared payload of {n} bytes exceeds cap"),
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing payload bytes"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::BadTag(t) => write!(f, "bad tag byte {t:#04x}"),
+            WireError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// One protocol frame. Request frames (client → server) come first,
+/// response frames (server → client) second; the codec itself is
+/// direction-agnostic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Open a session: its report name plus an optional shared-secret
+    /// token (must match the server's, when the server has one).
+    Hello {
+        /// Session name, as it will appear in the server's reports.
+        session: String,
+        /// Authentication token, if the deployment uses one.
+        token: Option<String>,
+    },
+    /// One batch of the session's stream: `(dirty, clean)` pairs —
+    /// the dirty tuple to repair and the simulated user's ground
+    /// truth backing its oracle. `seq` is echoed on the matching
+    /// [`Report`](Frame::Report).
+    Batch {
+        /// Client-chosen batch sequence number (monotone per session).
+        seq: u64,
+        /// The batch's `(dirty, clean)` tuple pairs, in stream order.
+        pairs: Vec<(Tuple, Tuple)>,
+    },
+    /// Apply a [`MasterDelta`] to the shared engine (answered by
+    /// [`DeltaAck`](Frame::DeltaAck) with the new generation).
+    Delta(MasterDelta),
+    /// Ask for a [`FlushAck`](Frame::FlushAck) once every batch sent
+    /// before this frame has been repaired and reported.
+    Flush,
+    /// Clean end-of-stream: drain everything sent, answer the final
+    /// [`SessionEnd`](Frame::SessionEnd), close.
+    Shutdown,
+    /// Session accepted; `generation` is the engine's current master
+    /// generation.
+    HelloAck {
+        /// Master generation at accept time.
+        generation: u64,
+    },
+    /// One repaired batch, echoing its `seq`: per-tuple outcomes in
+    /// batch order plus the batch's merged statistics — the wire shape
+    /// of a [`BatchReport`](certainfix_core::BatchReport).
+    Report {
+        /// The [`Batch`](Frame::Batch) sequence number this answers.
+        seq: u64,
+        /// Master generation the batch was repaired against.
+        generation: u64,
+        /// Wall clock of the repair epoch the batch rode.
+        wall: Duration,
+        /// The batch's merged [`MonitorStats`].
+        stats: MonitorStats,
+        /// Per-tuple outcomes, in the batch's input order.
+        outcomes: Vec<FixOutcome>,
+    },
+    /// Delta applied; the generation every later batch repairs against
+    /// (at the latest — earlier ones may already pick it up).
+    DeltaAck {
+        /// The new master generation.
+        generation: u64,
+    },
+    /// Every batch sent before the [`Flush`](Frame::Flush) has been
+    /// reported.
+    FlushAck {
+        /// Batches reported so far on this session.
+        batches: u64,
+    },
+    /// The session's final fold — same numbers the server's
+    /// [`ServiceReport`](certainfix_core::ServiceReport) will carry
+    /// for this session (transport-side net counters excepted: those
+    /// are only complete once the socket closes).
+    SessionEnd {
+        /// Total tuples repaired on this session.
+        tuples: u64,
+        /// Batches (= epochs participated in) on this session.
+        batches: u64,
+        /// Summed repair wall clock of those epochs.
+        wall: Duration,
+        /// The session's merged [`MonitorStats`].
+        stats: MonitorStats,
+    },
+    /// The server refuses a frame or the session; after an `Error`
+    /// the session is torn down and the connection closed.
+    Error {
+        /// Machine-readable code (`1` auth, `2` protocol, `3` engine).
+        code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------- encode
+
+struct Payload {
+    b: Vec<u8>,
+}
+
+impl Payload {
+    fn new() -> Payload {
+        Payload { b: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.b.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.b.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.b.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.b.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.b.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.b.extend_from_slice(s.as_bytes());
+    }
+    fn opt_str(&mut self, s: &Option<String>) {
+        match s {
+            None => self.u8(0),
+            Some(s) => {
+                self.u8(1);
+                self.str(s);
+            }
+        }
+    }
+    fn duration(&mut self, d: Duration) {
+        self.u64(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+    fn value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.u8(0),
+            Value::Int(i) => {
+                self.u8(1);
+                self.i64(*i);
+            }
+            Value::Str(_) => {
+                self.u8(2);
+                self.str(v.as_str().expect("Str value renders as str"));
+            }
+        }
+    }
+    fn tuple(&mut self, t: &Tuple) {
+        self.u16(t.arity() as u16);
+        for v in t.values() {
+            self.value(v);
+        }
+    }
+    fn attrs(&mut self, attrs: &[AttrId]) {
+        self.u32(attrs.len() as u32);
+        for a in attrs {
+            self.u16(a.0);
+        }
+    }
+    fn stats(&mut self, s: &MonitorStats) {
+        self.u64(s.tuples);
+        self.u64(s.certain);
+        self.u64(s.rounds);
+        self.duration(s.elapsed);
+        self.u64(s.interner_syms);
+        self.u64(s.shared_hits);
+        self.u64(s.shared_misses);
+        self.u64(s.plan_probes);
+        self.u64(s.probe_allocs);
+        self.u64(s.plan_fallbacks);
+        self.u64(s.plan_rebuilds);
+        self.u64(s.net.frames_in);
+        self.u64(s.net.frames_out);
+        self.u64(s.net.bytes_in);
+        self.u64(s.net.bytes_out);
+        self.u64(s.net.decode_errors);
+        self.u64(s.net.sessions_torn);
+    }
+    fn outcome(&mut self, o: &FixOutcome) {
+        self.tuple(&o.tuple);
+        self.u64(o.validated.bits());
+        self.u64(o.rule_fixed.bits());
+        self.u64(o.user_changed.bits());
+        let flags = (o.certain as u8) | ((o.rule_backed as u8) << 1) | ((o.gave_up as u8) << 2);
+        self.u8(flags);
+        match o.certain_at_round {
+            None => self.u8(0),
+            Some(r) => {
+                self.u8(1);
+                self.u64(r as u64);
+            }
+        }
+        self.u32(o.rounds.len() as u32);
+        for r in &o.rounds {
+            self.attrs(&r.suggested);
+            self.attrs(&r.asserted);
+            self.u64(r.user_changed.bits());
+            self.u64(r.rule_fixed.bits());
+            self.bool(r.validated_ok);
+        }
+    }
+}
+
+impl Frame {
+    /// Encode the frame (header + payload) into `w`. Returns the total
+    /// bytes written. The writer is *not* flushed.
+    pub fn encode<W: Write>(&self, w: &mut W) -> Result<usize, WireError> {
+        let mut p = Payload::new();
+        let kind = match self {
+            Frame::Hello { session, token } => {
+                p.str(session);
+                p.opt_str(token);
+                K_HELLO
+            }
+            Frame::Batch { seq, pairs } => {
+                p.u64(*seq);
+                p.u32(pairs.len() as u32);
+                for (dirty, clean) in pairs {
+                    p.tuple(dirty);
+                    p.tuple(clean);
+                }
+                K_BATCH
+            }
+            Frame::Delta(delta) => {
+                p.u32(delta.inserts().len() as u32);
+                for t in delta.inserts() {
+                    p.tuple(t);
+                }
+                p.u32(delta.updates().len() as u32);
+                for (row, t) in delta.updates() {
+                    p.u32(*row);
+                    p.tuple(t);
+                }
+                p.u32(delta.deletes().len() as u32);
+                for row in delta.deletes() {
+                    p.u32(*row);
+                }
+                K_DELTA
+            }
+            Frame::Flush => K_FLUSH,
+            Frame::Shutdown => K_SHUTDOWN,
+            Frame::HelloAck { generation } => {
+                p.u64(*generation);
+                K_HELLO_ACK
+            }
+            Frame::Report {
+                seq,
+                generation,
+                wall,
+                stats,
+                outcomes,
+            } => {
+                p.u64(*seq);
+                p.u64(*generation);
+                p.duration(*wall);
+                p.stats(stats);
+                p.u32(outcomes.len() as u32);
+                for o in outcomes {
+                    p.outcome(o);
+                }
+                K_REPORT
+            }
+            Frame::DeltaAck { generation } => {
+                p.u64(*generation);
+                K_DELTA_ACK
+            }
+            Frame::FlushAck { batches } => {
+                p.u64(*batches);
+                K_FLUSH_ACK
+            }
+            Frame::SessionEnd {
+                tuples,
+                batches,
+                wall,
+                stats,
+            } => {
+                p.u64(*tuples);
+                p.u64(*batches);
+                p.duration(*wall);
+                p.stats(stats);
+                K_SESSION_END
+            }
+            Frame::Error { code, message } => {
+                p.u16(*code);
+                p.str(message);
+                K_ERROR
+            }
+        };
+        if p.b.len() > MAX_FRAME {
+            return Err(WireError::Oversized(p.b.len()));
+        }
+        let mut header = [0u8; HEADER_LEN];
+        header[..4].copy_from_slice(&MAGIC);
+        header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+        header[6..8].copy_from_slice(&kind.to_le_bytes());
+        header[8..12].copy_from_slice(&(p.b.len() as u32).to_le_bytes());
+        w.write_all(&header)?;
+        w.write_all(&p.b)?;
+        Ok(HEADER_LEN + p.b.len())
+    }
+
+    /// Decode one frame from `r`. `Ok(None)` is a clean end-of-stream
+    /// (EOF exactly at a frame boundary); EOF anywhere inside a frame
+    /// is an error like any other malformed input.
+    pub fn decode<R: Read>(r: &mut R) -> Result<Option<Frame>, WireError> {
+        let mut header = [0u8; HEADER_LEN];
+        // distinguish "no next frame" from "frame cut short": only a
+        // zero-byte read before the first header byte is a clean end
+        let mut got = 0usize;
+        while got < HEADER_LEN {
+            match r.read(&mut header[got..]) {
+                Ok(0) if got == 0 => return Ok(None),
+                Ok(0) => return Err(WireError::Truncated),
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+        let magic: [u8; 4] = header[..4].try_into().expect("4-byte slice");
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes(header[4..6].try_into().expect("2-byte slice"));
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let kind = u16::from_le_bytes(header[6..8].try_into().expect("2-byte slice"));
+        let len = u32::from_le_bytes(header[8..12].try_into().expect("4-byte slice")) as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::Oversized(len));
+        }
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                WireError::Truncated
+            } else {
+                WireError::Io(e)
+            }
+        })?;
+        let mut b = Buf {
+            b: &payload,
+            pos: 0,
+        };
+        let frame = match kind {
+            K_HELLO => Frame::Hello {
+                session: b.string()?,
+                token: b.opt_string()?,
+            },
+            K_BATCH => {
+                let seq = b.u64()?;
+                let n = b.count(4)?; // a pair is two tuples, ≥ 2 bytes each
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let dirty = b.tuple()?;
+                    let clean = b.tuple()?;
+                    pairs.push((dirty, clean));
+                }
+                Frame::Batch { seq, pairs }
+            }
+            K_DELTA => {
+                let mut delta = MasterDelta::new();
+                let n = b.count(2)?;
+                for _ in 0..n {
+                    delta = delta.insert(b.tuple()?);
+                }
+                let n = b.count(6)?; // row id + tuple
+                for _ in 0..n {
+                    let row = b.u32()?;
+                    delta = delta.update(row, b.tuple()?);
+                }
+                let n = b.count(4)?;
+                for _ in 0..n {
+                    delta = delta.delete(b.u32()?);
+                }
+                Frame::Delta(delta)
+            }
+            K_FLUSH => Frame::Flush,
+            K_SHUTDOWN => Frame::Shutdown,
+            K_HELLO_ACK => Frame::HelloAck {
+                generation: b.u64()?,
+            },
+            K_REPORT => {
+                let seq = b.u64()?;
+                let generation = b.u64()?;
+                let wall = b.duration()?;
+                let stats = b.stats()?;
+                let n = b.count(2)?;
+                let mut outcomes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    outcomes.push(b.outcome()?);
+                }
+                Frame::Report {
+                    seq,
+                    generation,
+                    wall,
+                    stats,
+                    outcomes,
+                }
+            }
+            K_DELTA_ACK => Frame::DeltaAck {
+                generation: b.u64()?,
+            },
+            K_FLUSH_ACK => Frame::FlushAck { batches: b.u64()? },
+            K_SESSION_END => Frame::SessionEnd {
+                tuples: b.u64()?,
+                batches: b.u64()?,
+                wall: b.duration()?,
+                stats: b.stats()?,
+            },
+            K_ERROR => Frame::Error {
+                code: b.u16()?,
+                message: b.string()?,
+            },
+            k => return Err(WireError::UnknownKind(k)),
+        };
+        if b.pos != payload.len() {
+            return Err(WireError::TrailingBytes(payload.len() - b.pos));
+        }
+        Ok(Some(frame))
+    }
+}
+
+// ---------------------------------------------------------------- decode
+
+struct Buf<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Buf<'a> {
+    fn remaining(&self) -> usize {
+        self.b.len() - self.pos
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if n > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2-byte slice"),
+        ))
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4-byte slice"),
+        ))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8-byte slice"),
+        ))
+    }
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8-byte slice"),
+        ))
+    }
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+    fn duration(&mut self) -> Result<Duration, WireError> {
+        Ok(Duration::from_nanos(self.u64()?))
+    }
+    /// An element count, validated against the bytes that could back
+    /// it: each element occupies at least `min_elem` payload bytes, so
+    /// any count exceeding `remaining / min_elem` is truncation (or an
+    /// attack) — reject it *before* reserving the vector.
+    fn count(&mut self, min_elem: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        match n.checked_mul(min_elem) {
+            Some(bytes) if bytes <= self.remaining() => Ok(n),
+            _ => Err(WireError::Truncated),
+        }
+    }
+    fn str(&mut self) -> Result<&'a str, WireError> {
+        let n = self.u32()? as usize;
+        std::str::from_utf8(self.take(n)?).map_err(|_| WireError::BadUtf8)
+    }
+    fn string(&mut self) -> Result<String, WireError> {
+        Ok(self.str()?.to_owned())
+    }
+    fn opt_string(&mut self) -> Result<Option<String>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.string()?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+    fn value(&mut self) -> Result<Value, WireError> {
+        match self.u8()? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Int(self.i64()?)),
+            2 => Ok(Value::str(self.str()?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+    fn tuple(&mut self) -> Result<Tuple, WireError> {
+        let arity = self.u16()? as usize;
+        if arity > self.remaining() {
+            return Err(WireError::Truncated); // each value is ≥ 1 byte
+        }
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            values.push(self.value()?);
+        }
+        Ok(Tuple::new(values))
+    }
+    fn attrs(&mut self) -> Result<Vec<AttrId>, WireError> {
+        let n = self.count(2)?;
+        let mut attrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            attrs.push(AttrId(self.u16()?));
+        }
+        Ok(attrs)
+    }
+    fn stats(&mut self) -> Result<MonitorStats, WireError> {
+        Ok(MonitorStats {
+            tuples: self.u64()?,
+            certain: self.u64()?,
+            rounds: self.u64()?,
+            elapsed: self.duration()?,
+            interner_syms: self.u64()?,
+            shared_hits: self.u64()?,
+            shared_misses: self.u64()?,
+            plan_probes: self.u64()?,
+            probe_allocs: self.u64()?,
+            plan_fallbacks: self.u64()?,
+            plan_rebuilds: self.u64()?,
+            net: NetLaneStats {
+                frames_in: self.u64()?,
+                frames_out: self.u64()?,
+                bytes_in: self.u64()?,
+                bytes_out: self.u64()?,
+                decode_errors: self.u64()?,
+                sessions_torn: self.u64()?,
+            },
+        })
+    }
+    fn outcome(&mut self) -> Result<FixOutcome, WireError> {
+        let tuple = self.tuple()?;
+        let validated = AttrSet::from_bits(self.u64()?);
+        let rule_fixed = AttrSet::from_bits(self.u64()?);
+        let user_changed = AttrSet::from_bits(self.u64()?);
+        let flags = self.u8()?;
+        if flags & !0b111 != 0 {
+            return Err(WireError::BadTag(flags));
+        }
+        let certain_at_round = match self.u8()? {
+            0 => None,
+            1 => Some(self.u64()? as usize),
+            t => return Err(WireError::BadTag(t)),
+        };
+        let n = self.count(25)?; // 2×attr counts + 2×u64 + bool, minimum
+        let mut rounds = Vec::with_capacity(n);
+        for _ in 0..n {
+            rounds.push(RoundReport {
+                suggested: self.attrs()?,
+                asserted: self.attrs()?,
+                user_changed: AttrSet::from_bits(self.u64()?),
+                rule_fixed: AttrSet::from_bits(self.u64()?),
+                validated_ok: self.bool()?,
+            });
+        }
+        Ok(FixOutcome {
+            tuple,
+            validated,
+            rule_fixed,
+            user_changed,
+            certain: flags & 1 != 0,
+            certain_at_round,
+            rule_backed: flags & 2 != 0,
+            gave_up: flags & 4 != 0,
+            rounds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: &Frame) -> Frame {
+        let mut buf = Vec::new();
+        f.encode(&mut buf).expect("encode");
+        let mut r = buf.as_slice();
+        let back = Frame::decode(&mut r).expect("decode").expect("one frame");
+        assert!(r.is_empty(), "decode consumed the whole encoding");
+        back
+    }
+
+    #[test]
+    fn fieldless_and_simple_frames_roundtrip() {
+        for f in [
+            Frame::Flush,
+            Frame::Shutdown,
+            Frame::HelloAck { generation: 7 },
+            Frame::DeltaAck {
+                generation: u64::MAX,
+            },
+            Frame::FlushAck { batches: 0 },
+            Frame::Hello {
+                session: "tenant-α".into(),
+                token: Some(String::new()),
+            },
+            Frame::Error {
+                code: 2,
+                message: "unexpected Batch before Hello".into(),
+            },
+        ] {
+            assert_eq!(roundtrip(&f), f);
+        }
+    }
+
+    #[test]
+    fn batch_and_delta_frames_roundtrip() {
+        let t = |vs: Vec<Value>| Tuple::new(vs);
+        let batch = Frame::Batch {
+            seq: 3,
+            pairs: vec![
+                (
+                    t(vec![Value::Null, Value::int(-5), Value::str("x")]),
+                    t(vec![Value::str(""), Value::int(i64::MIN), Value::Null]),
+                ),
+                (t(vec![]), t(vec![Value::str("日本語")])),
+            ],
+        };
+        assert_eq!(roundtrip(&batch), batch);
+        let delta = Frame::Delta(
+            MasterDelta::new()
+                .insert(t(vec![Value::int(1)]))
+                .update(9, t(vec![Value::str("v")]))
+                .delete(0)
+                .delete(u32::MAX),
+        );
+        assert_eq!(roundtrip(&delta), delta);
+        assert_eq!(
+            roundtrip(&Frame::Delta(MasterDelta::new())),
+            Frame::Delta(MasterDelta::new())
+        );
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_midframe_eof_is_truncated() {
+        let mut empty: &[u8] = &[];
+        assert!(matches!(Frame::decode(&mut empty), Ok(None)));
+        let mut buf = Vec::new();
+        Frame::Flush.encode(&mut buf).unwrap();
+        for cut in 1..buf.len() {
+            let mut r = &buf[..cut];
+            assert!(
+                matches!(Frame::decode(&mut r), Err(WireError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn header_validation_rejects_before_reading_payloads() {
+        let mut buf = Vec::new();
+        Frame::HelloAck { generation: 1 }.encode(&mut buf).unwrap();
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Frame::decode(&mut bad.as_slice()),
+            Err(WireError::BadMagic(_))
+        ));
+        let mut bad = buf.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            Frame::decode(&mut bad.as_slice()),
+            Err(WireError::BadVersion(99))
+        ));
+        let mut bad = buf.clone();
+        bad[6] = 0x77;
+        assert!(matches!(
+            Frame::decode(&mut bad.as_slice()),
+            Err(WireError::UnknownKind(0x77))
+        ));
+        // an oversized declared length is rejected without allocating
+        // or waiting for 4 GiB of payload
+        let mut bad = buf.clone();
+        bad[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&mut bad.as_slice()),
+            Err(WireError::Oversized(_))
+        ));
+        // trailing payload bytes are an error, not silently skipped
+        let mut bad = buf.clone();
+        bad[8..12].copy_from_slice(&9u32.to_le_bytes());
+        bad.push(0);
+        assert!(matches!(
+            Frame::decode(&mut bad.as_slice()),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn element_counts_are_checked_against_remaining_bytes() {
+        // a Batch frame claiming 2^31 pairs in a 12-byte payload must
+        // be rejected before any allocation happens
+        let mut buf = Vec::new();
+        Frame::Batch {
+            seq: 0,
+            pairs: vec![],
+        }
+        .encode(&mut buf)
+        .unwrap();
+        let off = HEADER_LEN + 8; // past seq, at the pair count
+        buf[off..off + 4].copy_from_slice(&0x8000_0000u32.to_le_bytes());
+        assert!(matches!(
+            Frame::decode(&mut buf.as_slice()),
+            Err(WireError::Truncated)
+        ));
+    }
+}

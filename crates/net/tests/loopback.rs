@@ -1,0 +1,451 @@
+//! Loopback integration tests for the network ingest lane.
+//!
+//! The headline invariant is **D11**: a stream ingested over a
+//! loopback socket is bit-identical to the same tuples drained
+//! through an in-process `SliceSource` — at any worker count, any
+//! client-side chunking, and any number of co-resident connections.
+//! Both reconstructions are held to it: the server's own
+//! `NamedSessionReport` and the client's reassembly from `Report`
+//! frames.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+
+use certainfix_core::{
+    MonitorStats, RepairServiceBuilder, RepairSessionBuilder, SessionReport, SimulatedUser,
+    SliceSource,
+};
+use certainfix_datagen::{Dataset, DirtyConfig, Hosp, Workload};
+use certainfix_net::wire::Frame;
+use certainfix_net::{RepairClient, RepairServer};
+use certainfix_relation::{MasterDelta, Tuple};
+
+fn hosp_sessions(dm: usize, sizes: &[usize]) -> (Hosp, Vec<Dataset>) {
+    let hosp = Hosp::generate(dm);
+    let datasets = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            Dataset::generate(
+                &hosp,
+                &DirtyConfig {
+                    duplicate_rate: 0.3,
+                    noise_rate: 0.2,
+                    input_size: n,
+                    seed: 0x0D11_0D11 ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9),
+                    skew: if i == 0 { 1.0 } else { 0.0 },
+                    ..DirtyConfig::default()
+                },
+            )
+        })
+        .collect();
+    (hosp, datasets)
+}
+
+fn dirty_of(ds: &Dataset) -> Vec<Tuple> {
+    ds.inputs.iter().map(|dt| dt.dirty.clone()).collect()
+}
+
+fn clean_of(ds: &Dataset) -> Vec<Tuple> {
+    ds.inputs.iter().map(|dt| dt.clean.clone()).collect()
+}
+
+/// Solo baseline: the dataset drained alone, in process, through a
+/// `SliceSource` with the given batch size.
+fn solo_run(hosp: &Hosp, ds: &Dataset, dirty: &[Tuple], batch: usize) -> SessionReport {
+    let mut session = RepairSessionBuilder::new(hosp.rules().clone(), hosp.master().clone())
+        .threads(1)
+        .shared_cache(false)
+        .build();
+    session.drain(SliceSource::with_batch(dirty, batch), |i| {
+        SimulatedUser::new(ds.inputs[i].clean.clone())
+    });
+    session.finish()
+}
+
+fn service_builder(hosp: &Hosp, workers: usize) -> RepairServiceBuilder {
+    RepairServiceBuilder::new(hosp.rules().clone(), hosp.master().clone())
+        .threads(workers)
+        .shared_cache(false)
+}
+
+/// Assert the deterministic observables of `got` are bit-identical to
+/// the solo baseline: every `FixOutcome` (full structural equality —
+/// repaired tuple, attr sets, round trace) and the deterministic
+/// `MonitorStats` counters. Wall-clock observables stay exempt, and so
+/// do the net-lane transport counters.
+fn assert_bit_identical(got: &SessionReport, want: &SessionReport, ctx: &str) {
+    assert_eq!(got.tuples, want.tuples, "{ctx}: tuple count");
+    let (got_out, want_out): (Vec<_>, Vec<_>) =
+        (got.outcomes().collect(), want.outcomes().collect());
+    assert_eq!(got_out.len(), want_out.len(), "{ctx}: outcome count");
+    for (i, (a, b)) in got_out.iter().zip(&want_out).enumerate() {
+        assert_eq!(a, b, "{ctx}: outcome {i}");
+    }
+    for (field, a, b) in [
+        ("tuples", got.stats.tuples, want.stats.tuples),
+        ("certain", got.stats.certain, want.stats.certain),
+        ("rounds", got.stats.rounds, want.stats.rounds),
+        ("plan_probes", got.stats.plan_probes, want.stats.plan_probes),
+        (
+            "plan_fallbacks",
+            got.stats.plan_fallbacks,
+            want.stats.plan_fallbacks,
+        ),
+    ] {
+        assert_eq!(a, b, "{ctx}: stats.{field}");
+    }
+}
+
+/// D11: 1/2/4 workers × 1/2/4 co-resident connections, with a
+/// different client-side chunk size per connection. Server-side and
+/// client-side session reports both match the solo in-process drains.
+#[test]
+fn loopback_sessions_match_in_process_runs_d11() {
+    let (hosp, datasets) = hosp_sessions(150, &[240, 100, 60, 150]);
+    let dirty: Vec<Vec<Tuple>> = datasets.iter().map(dirty_of).collect();
+    let clean: Vec<Vec<Tuple>> = datasets.iter().map(clean_of).collect();
+    let chunks = [64usize, 17, 30, 128];
+    let solo: Vec<SessionReport> = datasets
+        .iter()
+        .zip(&dirty)
+        .zip(chunks)
+        .map(|((ds, tuples), chunk)| solo_run(&hosp, ds, tuples, chunk))
+        .collect();
+
+    for workers in [1usize, 2, 4] {
+        for conns in [1usize, 2, 4] {
+            let service = service_builder(&hosp, workers).build();
+            let server = RepairServer::serve_tcp(service, "127.0.0.1:0", None).unwrap();
+            let addr = server.local_addr().unwrap();
+
+            let client_reports: Vec<(usize, SessionReport)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..conns)
+                    .map(|s| {
+                        let (dirty, clean) = (&dirty[s], &clean[s]);
+                        scope.spawn(move || {
+                            let mut client =
+                                RepairClient::connect_tcp(addr, &format!("s{s}"), None).unwrap();
+                            for (d, c) in dirty.chunks(chunks[s]).zip(clean.chunks(chunks[s])) {
+                                client.send_batch(d, c).unwrap();
+                            }
+                            (s, client.finish().unwrap())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        let (s, cr) = h.join().unwrap();
+                        // server's closing numbers agree with the
+                        // client-side reassembly
+                        assert_eq!(cr.server_tuples as usize, cr.report.tuples);
+                        assert_eq!(cr.server_batches as usize, cr.report.batches.len());
+                        assert_eq!(cr.server_stats.tuples, cr.report.stats.tuples);
+                        assert_eq!(cr.server_stats.certain, cr.report.stats.certain);
+                        (s, cr.report)
+                    })
+                    .collect()
+            });
+            let report = server.shutdown();
+
+            let ctx = |side: &str, s: usize| format!("{side} s{s}, {workers}w × {conns}c");
+            // client-side reconstruction vs solo
+            for (s, client_report) in &client_reports {
+                assert_bit_identical(client_report, &solo[*s], &ctx("client", *s));
+            }
+            // server-side session reports vs solo
+            assert_eq!(report.sessions.len(), conns);
+            let by_name: HashMap<&str, &SessionReport> = report
+                .sessions
+                .iter()
+                .map(|n| (n.name.as_str(), &n.report))
+                .collect();
+            for s in 0..conns {
+                let got = by_name[format!("s{s}").as_str()];
+                assert_bit_identical(got, &solo[s], &ctx("server", s));
+            }
+            // transport counters are plumbed: every session moved
+            // frames both ways, cleanly
+            assert!(report.stats.net.frames_in as usize >= conns * 2);
+            assert!(report.stats.net.frames_out as usize >= conns * 2);
+            assert!(report.stats.net.bytes_in > 0 && report.stats.net.bytes_out > 0);
+            assert_eq!(report.stats.net.decode_errors, 0);
+            assert_eq!(report.stats.net.sessions_torn, 0);
+            for named in &report.sessions {
+                assert!(
+                    named.report.stats.net.frames_in >= 2,
+                    "per-session lane counters"
+                );
+            }
+        }
+    }
+}
+
+/// Fault injection: four co-resident connections — two healthy, one
+/// that sends garbage after a valid batch, one that disconnects in
+/// the middle of a frame. Only the offending sessions are torn down;
+/// the survivors stay bit-identical to their solo runs, and the
+/// buffered batches of the torn sessions still repair (disconnect
+/// drain).
+#[test]
+fn garbage_and_midbatch_disconnect_tear_down_only_their_session() {
+    let (hosp, datasets) = hosp_sessions(120, &[160, 90, 48, 48]);
+    let dirty: Vec<Vec<Tuple>> = datasets.iter().map(dirty_of).collect();
+    let clean: Vec<Vec<Tuple>> = datasets.iter().map(clean_of).collect();
+    let solo0 = solo_run(&hosp, &datasets[0], &dirty[0], 32);
+    let solo1 = solo_run(&hosp, &datasets[1], &dirty[1], 20);
+    // the torn sessions' one delivered batch, repaired solo
+    let solo2 = solo_run(&hosp, &datasets[2], &dirty[2][..16], 16);
+    let solo3 = solo_run(&hosp, &datasets[3], &dirty[3][..16], 16);
+
+    let service = service_builder(&hosp, 2).build();
+    let server = RepairServer::serve_tcp(service, "127.0.0.1:0", None).unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let (healthy0, healthy1) = std::thread::scope(|scope| {
+        let h0 = scope.spawn(|| {
+            let mut client = RepairClient::connect_tcp(addr, "good0", None).unwrap();
+            for (d, c) in dirty[0].chunks(32).zip(clean[0].chunks(32)) {
+                client.send_batch(d, c).unwrap();
+            }
+            client.finish().unwrap().report
+        });
+        let h1 = scope.spawn(|| {
+            let mut client = RepairClient::connect_tcp(addr, "good1", None).unwrap();
+            for (d, c) in dirty[1].chunks(20).zip(clean[1].chunks(20)) {
+                client.send_batch(d, c).unwrap();
+            }
+            client.finish().unwrap().report
+        });
+        // garbage: proper handshake, one valid batch, then bytes that
+        // are not a frame
+        scope.spawn(|| {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            Frame::Hello {
+                session: "garbage".into(),
+                token: None,
+            }
+            .encode(&mut stream)
+            .unwrap();
+            match Frame::decode(&mut stream).unwrap().unwrap() {
+                Frame::HelloAck { .. } => {}
+                other => panic!("expected HelloAck, got {other:?}"),
+            }
+            let pairs = dirty[2][..16]
+                .iter()
+                .cloned()
+                .zip(clean[2][..16].iter().cloned())
+                .collect();
+            Frame::Batch { seq: 0, pairs }.encode(&mut stream).unwrap();
+            stream.write_all(b"!!!! this is not a frame !!!!").unwrap();
+            let _ = stream.flush();
+            // leave the socket open until the server answers (Error
+            // frame) so the teardown is observed, not racing the drop
+            let _ = Frame::decode(&mut stream);
+        });
+        // mid-batch disconnect: valid batch, then a header promising
+        // 4096 payload bytes that never arrive
+        scope.spawn(|| {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            Frame::Hello {
+                session: "cut".into(),
+                token: None,
+            }
+            .encode(&mut stream)
+            .unwrap();
+            match Frame::decode(&mut stream).unwrap().unwrap() {
+                Frame::HelloAck { .. } => {}
+                other => panic!("expected HelloAck, got {other:?}"),
+            }
+            let pairs = dirty[3][..16]
+                .iter()
+                .cloned()
+                .zip(clean[3][..16].iter().cloned())
+                .collect();
+            Frame::Batch { seq: 0, pairs }.encode(&mut stream).unwrap();
+            let mut partial = Vec::new();
+            partial.extend_from_slice(b"CFXW");
+            partial.extend_from_slice(&1u16.to_le_bytes()); // version
+            partial.extend_from_slice(&0x02u16.to_le_bytes()); // Batch
+            partial.extend_from_slice(&4096u32.to_le_bytes()); // never sent
+            partial.extend_from_slice(&[0u8; 7]); // mid-payload cut
+            stream.write_all(&partial).unwrap();
+            let _ = stream.flush();
+            drop(stream); // vanish
+        });
+        (h0.join().unwrap(), h1.join().unwrap())
+    });
+    let report = server.shutdown();
+
+    // survivors: bit-identical to solo, client- and server-side
+    assert_bit_identical(&healthy0, &solo0, "client good0");
+    assert_bit_identical(&healthy1, &solo1, "client good1");
+    let by_name: HashMap<&str, &SessionReport> = report
+        .sessions
+        .iter()
+        .map(|n| (n.name.as_str(), &n.report))
+        .collect();
+    assert_eq!(report.sessions.len(), 4, "all four sessions attached");
+    assert_bit_identical(by_name["good0"], &solo0, "server good0");
+    assert_bit_identical(by_name["good1"], &solo1, "server good1");
+    // the torn sessions' delivered batch still repaired (drain on
+    // teardown), and matches its solo run
+    assert_bit_identical(by_name["garbage"], &solo2, "server garbage");
+    assert_bit_identical(by_name["cut"], &solo3, "server cut");
+    // the faults were charged to the lane counters
+    assert!(report.stats.net.decode_errors >= 2, "garbage + truncation");
+    assert!(report.stats.net.sessions_torn >= 2, "two sessions torn");
+    assert!(by_name["garbage"].stats.net.decode_errors >= 1);
+    assert!(by_name["cut"].stats.net.decode_errors >= 1);
+    assert_eq!(by_name["good0"].stats.net.decode_errors, 0);
+    assert_eq!(by_name["good0"].stats.net.sessions_torn, 0);
+}
+
+/// Flush semantics and live master data over the wire: a `Flush`
+/// acks only after every prior batch reported, a `Delta` bumps the
+/// generation, and reports record which generation repaired them.
+#[test]
+fn flush_blocks_until_reported_and_delta_bumps_generation() {
+    let (hosp, datasets) = hosp_sessions(100, &[96]);
+    let dirty = dirty_of(&datasets[0]);
+    let clean = clean_of(&datasets[0]);
+
+    let service = service_builder(&hosp, 2).build();
+    let server = RepairServer::serve_tcp(service, "127.0.0.1:0", None).unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let mut client = RepairClient::connect_tcp(addr, "live", None).unwrap();
+    let g0 = client.generation();
+    for (d, c) in dirty[..48].chunks(24).zip(clean[..48].chunks(24)) {
+        client.send_batch(d, c).unwrap();
+    }
+    assert_eq!(client.flush().unwrap(), 2, "both batches reported");
+    assert_eq!(client.batches().len(), 2, "reports drained by the ack");
+
+    // duplicate an existing master row: semantically inert, but a new
+    // generation
+    let delta = MasterDelta::default().insert(hosp.master().tuples()[0].clone());
+    let g1 = client.apply_delta(&delta).unwrap();
+    assert!(g1 > g0, "delta bumped the generation");
+
+    for (d, c) in dirty[48..].chunks(24).zip(clean[48..].chunks(24)) {
+        client.send_batch(d, c).unwrap();
+    }
+    let cr = client.finish().unwrap();
+    assert_eq!(cr.report.tuples, 96);
+    assert_eq!(cr.report.batches.len(), 4);
+    // pre-flush batches repaired on the old generation, post-delta
+    // ones on the new
+    assert!(cr.report.batches[..2].iter().all(|b| b.generation == g0));
+    assert!(cr.report.batches[2..].iter().all(|b| b.generation == g1));
+
+    let report = server.shutdown();
+    assert_eq!(report.sessions.len(), 1);
+    assert_eq!(report.sessions[0].report.tuples, 96);
+}
+
+/// Authentication: a server with a token refuses a mismatched or
+/// missing one, and the refusal doesn't disturb an authenticated
+/// session on the same server.
+#[test]
+fn token_mismatch_is_refused_without_disturbing_others() {
+    let (hosp, datasets) = hosp_sessions(80, &[60]);
+    let dirty = dirty_of(&datasets[0]);
+    let clean = clean_of(&datasets[0]);
+    let solo = solo_run(&hosp, &datasets[0], &dirty, 30);
+
+    let service = service_builder(&hosp, 2).build();
+    let server = RepairServer::serve_tcp(service, "127.0.0.1:0", Some("sesame".into())).unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let wrong = RepairClient::connect_tcp(addr, "intruder", Some("guess"));
+    assert!(wrong.is_err(), "wrong token must be refused");
+    let missing = RepairClient::connect_tcp(addr, "anon", None);
+    assert!(missing.is_err(), "missing token must be refused");
+
+    let mut client = RepairClient::connect_tcp(addr, "opener", Some("sesame")).unwrap();
+    for (d, c) in dirty.chunks(30).zip(clean.chunks(30)) {
+        client.send_batch(d, c).unwrap();
+    }
+    let cr = client.finish().unwrap();
+    assert_bit_identical(&cr.report, &solo, "authenticated client");
+
+    let report = server.shutdown();
+    assert_eq!(report.sessions.len(), 1, "refused Hellos never attach");
+    assert!(report.stats.net.sessions_torn >= 2, "refusals are charged");
+}
+
+/// Unix-domain smoke test: same protocol, same bit-identity, local
+/// socket file cleaned up on shutdown.
+#[cfg(unix)]
+#[test]
+fn unix_socket_session_matches_in_process_run() {
+    let (hosp, datasets) = hosp_sessions(80, &[72]);
+    let dirty = dirty_of(&datasets[0]);
+    let clean = clean_of(&datasets[0]);
+    let solo = solo_run(&hosp, &datasets[0], &dirty, 24);
+
+    let path = std::env::temp_dir().join(format!("certainfix-net-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let service = service_builder(&hosp, 2).build();
+    let server = RepairServer::serve_unix(service, &path, None).unwrap();
+
+    let mut client = RepairClient::connect_unix(&path, "ux", None).unwrap();
+    for (d, c) in dirty.chunks(24).zip(clean.chunks(24)) {
+        client.send_batch(d, c).unwrap();
+    }
+    let cr = client.finish().unwrap();
+    assert_bit_identical(&cr.report, &solo, "unix client");
+
+    let report = server.shutdown();
+    assert_eq!(report.sessions.len(), 1);
+    assert_bit_identical(&report.sessions[0].report, &solo, "unix server");
+    assert!(!path.exists(), "socket file removed on shutdown");
+}
+
+/// MonitorStats sanity for the merge path: aggregate net counters are
+/// at least the sum of the per-session ones (pre-session refusals can
+/// add more), and `MonitorStats::default()` has empty net counters so
+/// in-process runs are unaffected.
+#[test]
+fn net_counters_merge_is_conservative() {
+    assert_eq!(
+        MonitorStats::default().net,
+        certainfix_core::NetLaneStats::default()
+    );
+    let (hosp, datasets) = hosp_sessions(80, &[40, 40]);
+    let dirty: Vec<Vec<Tuple>> = datasets.iter().map(dirty_of).collect();
+    let clean: Vec<Vec<Tuple>> = datasets.iter().map(clean_of).collect();
+
+    let service = service_builder(&hosp, 2).build();
+    let server = RepairServer::serve_tcp(service, "127.0.0.1:0", None).unwrap();
+    let addr = server.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        for s in 0..2 {
+            let (dirty, clean) = (&dirty[s], &clean[s]);
+            scope.spawn(move || {
+                let mut client = RepairClient::connect_tcp(addr, &format!("n{s}"), None).unwrap();
+                for (d, c) in dirty.chunks(16).zip(clean.chunks(16)) {
+                    client.send_batch(d, c).unwrap();
+                }
+                client.finish().unwrap()
+            });
+        }
+    });
+    let report = server.shutdown();
+    let mut summed = certainfix_core::NetLaneStats::default();
+    for named in &report.sessions {
+        summed.merge(&named.report.stats.net);
+    }
+    for (agg, sum) in [
+        (report.stats.net.frames_in, summed.frames_in),
+        (report.stats.net.frames_out, summed.frames_out),
+        (report.stats.net.bytes_in, summed.bytes_in),
+        (report.stats.net.bytes_out, summed.bytes_out),
+    ] {
+        assert!(agg >= sum, "aggregate covers the per-session lanes");
+        assert!(sum > 0, "per-session lanes saw traffic");
+    }
+}

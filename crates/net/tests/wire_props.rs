@@ -1,0 +1,336 @@
+//! Property tests for the wire codec: `decode(encode(frame)) ==
+//! frame` over arbitrary frames of every kind, and the decoder
+//! rejects truncated / oversized / bad-magic / bad-version inputs
+//! with a typed error — never a panic.
+//!
+//! The vendored proptest has no alternation combinator, so each frame
+//! family gets its own property instead of one `prop_oneof` tree.
+
+use std::time::Duration;
+
+use certainfix_core::{FixOutcome, MonitorStats, NetLaneStats, RoundReport};
+use certainfix_net::wire::{Frame, WireError, MAX_FRAME, VERSION};
+use certainfix_relation::{AttrId, AttrSet, MasterDelta, Tuple, Value};
+use proptest::collection::vec;
+use proptest::option;
+use proptest::prelude::*;
+
+/// Character table for generated strings — ASCII plus multibyte, so
+/// the u32-length-prefixed UTF-8 path sees 1–4 byte encodings.
+const CHARS: &[char] = &[
+    'a', 'Z', '0', '_', '-', ' ', '"', '\\', 'é', 'ß', '日', '本', '語', '🦀', '\u{0}',
+];
+
+fn arb_string() -> impl Strategy<Value = String> {
+    vec(0usize..CHARS.len(), 0..12).prop_map(|ixs| ixs.into_iter().map(|i| CHARS[i]).collect())
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    (0u8..3, any::<i64>(), arb_string()).prop_map(|(tag, i, s)| match tag {
+        0 => Value::Null,
+        1 => Value::int(i),
+        _ => Value::str(&s),
+    })
+}
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    vec(arb_value(), 0..5).prop_map(Tuple::new)
+}
+
+fn arb_attrset() -> impl Strategy<Value = AttrSet> {
+    any::<u64>().prop_map(AttrSet::from_bits)
+}
+
+fn arb_duration() -> impl Strategy<Value = Duration> {
+    any::<u64>().prop_map(Duration::from_nanos)
+}
+
+fn arb_net() -> impl Strategy<Value = NetLaneStats> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(frames_in, frames_out, bytes_in, bytes_out, decode_errors, sessions_torn)| {
+                NetLaneStats {
+                    frames_in,
+                    frames_out,
+                    bytes_in,
+                    bytes_out,
+                    decode_errors,
+                    sessions_torn,
+                }
+            },
+        )
+}
+
+fn arb_stats() -> impl Strategy<Value = MonitorStats> {
+    (
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            arb_duration(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            arb_net(),
+        ),
+    )
+        .prop_map(
+            |(
+                (tuples, certain, rounds, elapsed, interner_syms, shared_hits),
+                (shared_misses, plan_probes, probe_allocs, plan_fallbacks, plan_rebuilds, net),
+            )| MonitorStats {
+                tuples,
+                certain,
+                rounds,
+                elapsed,
+                interner_syms,
+                shared_hits,
+                shared_misses,
+                plan_probes,
+                probe_allocs,
+                plan_fallbacks,
+                plan_rebuilds,
+                net,
+            },
+        )
+}
+
+fn arb_round() -> impl Strategy<Value = RoundReport> {
+    (
+        vec(any::<u16>().prop_map(AttrId), 0..4),
+        vec(any::<u16>().prop_map(AttrId), 0..4),
+        arb_attrset(),
+        arb_attrset(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(suggested, asserted, user_changed, rule_fixed, validated_ok)| RoundReport {
+                suggested,
+                asserted,
+                user_changed,
+                rule_fixed,
+                validated_ok,
+            },
+        )
+}
+
+fn arb_outcome() -> impl Strategy<Value = FixOutcome> {
+    (
+        (arb_tuple(), arb_attrset(), arb_attrset(), arb_attrset()),
+        (
+            any::<bool>(),
+            option::of(any::<usize>()),
+            any::<bool>(),
+            any::<bool>(),
+        ),
+        vec(arb_round(), 0..3),
+    )
+        .prop_map(
+            |(
+                (tuple, validated, rule_fixed, user_changed),
+                (certain, certain_at_round, rule_backed, gave_up),
+                rounds,
+            )| FixOutcome {
+                tuple,
+                validated,
+                rule_fixed,
+                user_changed,
+                certain,
+                certain_at_round,
+                rule_backed,
+                gave_up,
+                rounds,
+            },
+        )
+}
+
+fn arb_delta() -> impl Strategy<Value = MasterDelta> {
+    vec((0u8..3, any::<u32>(), arb_tuple()), 0..6).prop_map(|ops| {
+        ops.into_iter()
+            .fold(MasterDelta::default(), |d, (op, row, t)| match op {
+                0 => d.insert(t),
+                1 => d.update(row, t),
+                _ => d.delete(row),
+            })
+    })
+}
+
+/// Encode, decode, check equality, and check the byte accounting: the
+/// reported size is the whole buffer, one frame consumes everything,
+/// and a second decode on the empty remainder is a clean EOF.
+fn assert_roundtrip(frame: Frame) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut buf = Vec::new();
+    let n = match frame.encode(&mut buf) {
+        Ok(n) => n,
+        Err(e) => {
+            return Err(proptest::test_runner::TestCaseError::fail(format!(
+                "encode failed: {e}"
+            )))
+        }
+    };
+    prop_assert_eq!(n, buf.len()); // encode reports the bytes written
+    let mut r = &buf[..];
+    let decoded = match Frame::decode(&mut r) {
+        Ok(Some(f)) => f,
+        other => {
+            return Err(proptest::test_runner::TestCaseError::fail(format!(
+                "decode of a valid frame returned {other:?}"
+            )))
+        }
+    };
+    prop_assert_eq!(&decoded, &frame);
+    prop_assert!(r.is_empty(), "one frame consumes its whole encoding");
+    match Frame::decode(&mut r) {
+        Ok(None) => Ok(()),
+        other => Err(proptest::test_runner::TestCaseError::fail(format!(
+            "empty remainder should be clean EOF, got {other:?}"
+        ))),
+    }
+}
+
+proptest! {
+    #[test]
+    fn hello_roundtrips(session in arb_string(), token in option::of(arb_string())) {
+        assert_roundtrip(Frame::Hello { session, token })?;
+    }
+
+    #[test]
+    fn batch_roundtrips(seq in any::<u64>(), pairs in vec((arb_tuple(), arb_tuple()), 0..6)) {
+        assert_roundtrip(Frame::Batch { seq, pairs })?;
+    }
+
+    #[test]
+    fn delta_roundtrips(delta in arb_delta()) {
+        assert_roundtrip(Frame::Delta(delta))?;
+    }
+
+    #[test]
+    fn fieldless_and_ack_frames_roundtrip(g in any::<u64>(), b in any::<u64>()) {
+        assert_roundtrip(Frame::Flush)?;
+        assert_roundtrip(Frame::Shutdown)?;
+        assert_roundtrip(Frame::HelloAck { generation: g })?;
+        assert_roundtrip(Frame::DeltaAck { generation: g })?;
+        assert_roundtrip(Frame::FlushAck { batches: b })?;
+    }
+
+    #[test]
+    fn report_roundtrips(
+        seq in any::<u64>(),
+        generation in any::<u64>(),
+        wall in arb_duration(),
+        stats in arb_stats(),
+        outcomes in vec(arb_outcome(), 0..3),
+    ) {
+        assert_roundtrip(Frame::Report { seq, generation, wall, stats, outcomes })?;
+    }
+
+    #[test]
+    fn session_end_and_error_roundtrip(
+        tuples in any::<u64>(),
+        batches in any::<u64>(),
+        wall in arb_duration(),
+        stats in arb_stats(),
+        code in any::<u16>(),
+        message in arb_string(),
+    ) {
+        assert_roundtrip(Frame::SessionEnd { tuples, batches, wall, stats })?;
+        assert_roundtrip(Frame::Error { code, message })?;
+    }
+
+    /// Arbitrary bytes never panic the decoder: every outcome is a
+    /// typed `WireError`, a decoded frame, or a clean EOF.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 0..96)) {
+        let mut r = &bytes[..];
+        let _ = Frame::decode(&mut r);
+    }
+
+    /// Every strict prefix of a valid encoding is `Truncated` (or, for
+    /// the empty prefix, a clean EOF) — never a mis-decoded frame.
+    #[test]
+    fn truncated_prefixes_are_rejected(
+        pairs in vec((arb_tuple(), arb_tuple()), 0..4),
+        pick in any::<u64>(),
+    ) {
+        let mut buf = Vec::new();
+        Frame::Batch { seq: 7, pairs }.encode(&mut buf).unwrap();
+        let cut = (pick % buf.len() as u64) as usize; // 0..len strict prefixes
+        let mut r = &buf[..cut];
+        match Frame::decode(&mut r) {
+            Ok(None) => prop_assert_eq!(cut, 0), // only the empty prefix is clean EOF
+            Err(WireError::Truncated) => prop_assert!(cut > 0),
+            other => prop_assert!(false, "prefix of {} bytes decoded as {:?}", cut, other),
+        }
+    }
+
+    /// A corrupted magic byte is `BadMagic`, checked before anything
+    /// else is read.
+    #[test]
+    fn corrupt_magic_is_rejected(which in 0usize..4) {
+        let mut buf = Vec::new();
+        Frame::Flush.encode(&mut buf).unwrap();
+        buf[which] ^= 0xFF;
+        match Frame::decode(&mut &buf[..]) {
+            Err(WireError::BadMagic(_)) => {}
+            other => prop_assert!(false, "corrupt magic decoded as {:?}", other),
+        }
+    }
+
+    /// Any version other than ours is `BadVersion`.
+    #[test]
+    fn wrong_version_is_rejected(v in any::<u16>()) {
+        let v = if v == VERSION { v ^ 1 } else { v };
+        let mut buf = Vec::new();
+        Frame::Flush.encode(&mut buf).unwrap();
+        buf[4..6].copy_from_slice(&v.to_le_bytes());
+        match Frame::decode(&mut &buf[..]) {
+            Err(WireError::BadVersion(got)) => prop_assert_eq!(got, v),
+            other => prop_assert!(false, "version {} decoded as {:?}", v, other),
+        }
+    }
+
+    /// A header whose declared length exceeds `MAX_FRAME` is rejected
+    /// as `Oversized` before any payload allocation.
+    #[test]
+    fn oversized_headers_are_rejected(extra in any::<u32>()) {
+        let len = (MAX_FRAME as u32).saturating_add(extra.max(1));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"CFXW");
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&0x04u16.to_le_bytes()); // Flush
+        buf.extend_from_slice(&len.to_le_bytes());
+        match Frame::decode(&mut &buf[..]) {
+            Err(WireError::Oversized(got)) => prop_assert_eq!(got, len as usize),
+            other => prop_assert!(false, "oversized header decoded as {:?}", other),
+        }
+    }
+
+    /// An unknown frame kind is rejected as such, not misparsed.
+    #[test]
+    fn unknown_kinds_are_rejected(kind in any::<u16>()) {
+        const KNOWN: &[u16] = &[0x01, 0x02, 0x03, 0x04, 0x05, 0x81, 0x82, 0x83, 0x84, 0x85, 0x86];
+        let kind = if KNOWN.contains(&kind) { 0x7777 } else { kind };
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"CFXW");
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&kind.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        match Frame::decode(&mut &buf[..]) {
+            Err(WireError::UnknownKind(got)) => prop_assert_eq!(got, kind),
+            other => prop_assert!(false, "kind {:#06x} decoded as {:?}", kind, other),
+        }
+    }
+}

@@ -460,7 +460,7 @@ struct GenSlot {
 /// renumbering. The resulting row list is exactly what a from-scratch
 /// master over those rows would hold, so a delta-maintained index is
 /// indistinguishable from a rebuilt one (invariant D10).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MasterDelta {
     inserts: Vec<Tuple>,
     updates: Vec<(u32, Tuple)>,

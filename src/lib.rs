@@ -20,7 +20,13 @@
 //!   framework, user oracles, evaluation metrics, the single-stream
 //!   [`RepairSession`](certainfix_core::RepairSession) surface, and the
 //!   multi-session [`RepairService`](certainfix_core::RepairService)
-//!   multiplexer.
+//!   multiplexer;
+//! * [`net`] — the network ingest lane: the length-prefixed versioned
+//!   wire codec, the TCP/unix-socket
+//!   [`RepairServer`](certainfix_net::RepairServer) mapping each
+//!   connection onto one service lane, and the
+//!   [`RepairClient`](certainfix_net::RepairClient) that reassembles
+//!   reports bit-identically to an in-process drain.
 //!
 //! The determinism guarantees these layers maintain (and the tests
 //! discharging each one) are inventoried in `DETERMINISM.md` at the
@@ -35,6 +41,7 @@
 pub use certainfix_cfd as cfd;
 pub use certainfix_core as core;
 pub use certainfix_datagen as datagen;
+pub use certainfix_net as net;
 pub use certainfix_reasoning as reasoning;
 pub use certainfix_relation as relation;
 pub use certainfix_rules as rules;
@@ -47,6 +54,7 @@ pub mod prelude {
         RepairSessionBuilder, ServiceOptions, ServiceReport, ServiceStream, SessionReport,
         SimulatedUser, SliceSource, TupleSource, UserOracle,
     };
+    pub use certainfix_net::{Frame, RepairClient, RepairServer, WireError};
     pub use certainfix_reasoning::{Chase, ChaseResult, Region, RegionCatalog};
     pub use certainfix_relation::{
         AttrId, AttrSet, MasterIndex, PatternTuple, PatternValue, Relation, Schema, Tableau, Tuple,
