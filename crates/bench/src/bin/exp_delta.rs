@@ -1,37 +1,61 @@
 //! Live-master sweep: delta cadence × worker count, with the
 //! delta-maintained session checked batch-by-batch against freshly
-//! rebuilt engines (the D10 obligation at bench scale).
+//! rebuilt engines (the D10 obligation at bench scale), plus the
+//! shared-cache hygiene legs of invariant D12.
 //!
 //! Every point seeds the engine with the first `--dm` master rows of a
 //! larger generated master, streams the dirty inputs through a
 //! `RepairSession` in `--batch`-sized batches, and after every
 //! `--delta-every` batches applies a [`MasterDelta`] inserting the
-//! next `--delta-size` held-back master rows — so the master grows
-//! *while the stream is being repaired*, and later batches repair
-//! against later generations. For each batch the harness then builds a
-//! fresh engine over exactly the master state that batch pinned and
-//! re-repairs it: the outcomes and `plan_probes` must be bit-identical
-//! (`"match": true` in every row), the batch generations must be
-//! non-decreasing, and `plan_rebuilds` must equal the number of deltas
-//! applied.
+//! next `--delta-size` held-back master rows (and, with
+//! `--delta-updates U`, overwriting one column in each of `U` existing
+//! rows) — so the master evolves *while the stream is being repaired*,
+//! and later batches repair against later generations. For each batch
+//! the harness then builds a fresh engine over exactly the master
+//! state that batch pinned and re-repairs it: the outcomes must be
+//! bit-identical (`"match": true` in every row), the batch generations
+//! must be non-decreasing, and `plan_rebuilds` must equal the number
+//! of deltas applied.
 //!
-//! The binary always runs plain `CertainFix` with the BDD and shared
-//! caches off — the configuration under which the delta-maintained ≡
-//! rebuilt guarantee is bit-exact (warm caches are semantically
-//! transparent but perturb probe counts, which this harness asserts
-//! on). Rows at the same `(dataset, delta_every)` point differ only in
-//! the worker count, so CI can additionally diff their deterministic
-//! count fields across `--threads` legs.
+//! Two modes:
+//!
+//! * **Default** (no `--cache-hygiene`): plain `CertainFix` with the
+//!   BDD and shared caches off — the configuration under which the
+//!   delta-maintained ≡ rebuilt guarantee is bit-exact down to
+//!   `plan_probes` (warm caches are semantically transparent but
+//!   perturb probe counts, which this mode asserts on).
+//! * **Hygiene legs** (`--cache-hygiene on|off`): the shared
+//!   suggestion cache is on, with lifecycle hygiene per the flag and
+//!   the per-key candidate cap tightened to `--cand-cap` so the pool
+//!   is under measurable pressure. The rebuilt baseline runs the same
+//!   configuration with a *cold* cache, and the comparison asserts the
+//!   D12 contract: `(tuple, certain)` outcomes are invariant under
+//!   cache state (probe counts are not — checked reuse may resolve a
+//!   tuple through a different suggestion order). Rows echo the cache
+//!   lifecycle counters and a process-stable `outcome_digest` so CI
+//!   can diff hygiene-on against hygiene-off runs of the same binary.
+//!
+//! Rows at the same `(dataset, delta_every)` point differ only in the
+//! worker count, so CI can additionally diff their deterministic count
+//! fields across `--threads` legs.
 //!
 //! A machine-readable JSON document goes to **stdout** (CI archives it
-//! as the `BENCH_delta` artifact); the human-readable table goes to
-//! stderr.
+//! as the `BENCH_delta` / `BENCH_delta_hygiene` artifact); the
+//! human-readable table goes to stderr.
+//!
+//! `--delta-updates U` with `--delta-cols fixes --delta-size 0`
+//! produces *suggestion-preserving* deltas (pure updates that avoid
+//! every rule's key column): hygiene-on restamps and keeps its warm
+//! pool across each generation, while hygiene-off retires it behind
+//! the serve gate — the configuration that measures the warm-start
+//! hit-rate win.
 //!
 //! Usage: `cargo run --release -p certainfix-bench --bin exp_delta --
 //!         [--dm N] [--inputs N] [--threads T] [--batch B]
-//!         [--delta-every K] [--delta-size R] [--chunk C] [--skew F]
-//!         [--d F] [--n F] [--seed S] [--compliance F]
-//!         [--out file.csv]`
+//!         [--delta-every K] [--delta-size R] [--delta-updates U]
+//!         [--delta-cols mixed|fixes|keys] [--cache-hygiene on|off]
+//!         [--cand-cap N] [--chunk C] [--skew F] [--d F] [--n F]
+//!         [--seed S] [--compliance F] [--out file.csv]`
 //!
 //! `--threads T` caps the swept worker counts (0 = this machine's
 //! available parallelism); `--delta-every K` pins a single cadence
@@ -46,10 +70,11 @@ use certainfix_bench::runner::{oracle_factory, ExpConfig, Which};
 use certainfix_bench::sweep::{json_escape, thread_points};
 use certainfix_bench::table::Table;
 use certainfix_core::{
-    BatchRepairEngine, CertainFixConfig, InitialRegion, RepairContext, RepairOptions, Schedule,
+    BatchRepairEngine, CertainFixConfig, FixOutcome, InitialRegion, RepairContext, RepairOptions,
+    Schedule, SharedSuggestionCache,
 };
 use certainfix_datagen::{Dataset, Workload};
-use certainfix_relation::{MasterDelta, Relation, Tuple};
+use certainfix_relation::{AttrId, MasterDelta, Relation, Tuple};
 
 /// One measured sweep point.
 struct Row {
@@ -67,15 +92,161 @@ struct Row {
     wall_ms: f64,
     throughput_tps: f64,
     matches: bool,
+    /// `None` = caches off (the bit-exact default mode).
+    hygiene: Option<bool>,
+    shared_hits: u64,
+    shared_misses: u64,
+    evicted_delta: u64,
+    evicted_lru: u64,
+    revalidated: u64,
+    saturated: u64,
+    keys: u64,
+    entries: u64,
+    keys_hw: u64,
+    entries_hw: u64,
+    outcome_digest: u64,
 }
 
-/// The master state after `applied` delta rows: the generated master's
-/// first `dm + applied` rows as a fresh relation.
-fn master_prefix(full: &Arc<Relation>, rows: usize) -> Arc<Relation> {
-    Arc::new(
-        Relation::new(full.schema().clone(), full.tuples()[..rows].to_vec())
-            .expect("prefix of a valid master is valid"),
-    )
+/// FNV-1a over the rendered outcomes: interned symbol ids are not
+/// stable across processes, so the digest hashes the rendered cell
+/// strings (which are) plus the certainty flag — the form CI diffs
+/// across hygiene-on and hygiene-off runs.
+fn outcome_digest<'a>(outcomes: impl Iterator<Item = &'a FixOutcome>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for o in outcomes {
+        eat(o.tuple.render().as_bytes());
+        eat(&[o.certain as u8, 0xFF]);
+    }
+    h
+}
+
+/// The live master as a plain row list, maintained alongside the
+/// session so update deltas (which `master_prefix` slicing cannot
+/// express) still have an exact rebuilt-baseline master per batch.
+struct MasterMirror {
+    rows: Vec<Tuple>,
+    schema: Arc<certainfix_relation::Schema>,
+}
+
+impl MasterMirror {
+    fn new(full: &Arc<Relation>, dm: usize) -> MasterMirror {
+        MasterMirror {
+            rows: full.tuples()[..dm].to_vec(),
+            schema: full.schema().clone(),
+        }
+    }
+
+    fn apply(&mut self, delta: &MasterDelta) {
+        for (row, t) in delta.updates() {
+            self.rows[*row as usize] = t.clone();
+        }
+        for t in delta.inserts() {
+            self.rows.push(t.clone());
+        }
+    }
+
+    fn snapshot(&self) -> Arc<Relation> {
+        Arc::new(
+            Relation::new(self.schema.clone(), self.rows.clone())
+                .expect("mirrored master rows are valid"),
+        )
+    }
+}
+
+/// Which master columns `--delta-updates` may overwrite. The choice
+/// decides whether an update delta is *suggestion-preserving* (see
+/// the shared cache's lifecycle docs): `Fixes` touches only columns
+/// that are no rule's key, so with `--delta-size 0` the deltas are
+/// provably preserving and hygiene-on carries the warm pool across
+/// every generation; `Keys` touches only rule keys (maximal taint);
+/// `Mixed` cycles every column.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DeltaCols {
+    Mixed,
+    Fixes,
+    Keys,
+}
+
+impl DeltaCols {
+    fn name(self) -> &'static str {
+        match self {
+            DeltaCols::Mixed => "mixed",
+            DeltaCols::Fixes => "fixes",
+            DeltaCols::Keys => "keys",
+        }
+    }
+
+    /// The update-column pool for this mode under `w`'s rules.
+    fn pool(self, w: &dyn Workload) -> Vec<AttrId> {
+        let arity = w.master().schema().len();
+        let mut is_key = vec![false; arity];
+        for (_, rule) in w.rules().iter() {
+            for &m in rule.lhs_m() {
+                is_key[m.0 as usize] = true;
+            }
+            for &a in rule.lhs_p() {
+                if let Some(m) = rule.master_attr_for(a) {
+                    is_key[m.0 as usize] = true;
+                }
+            }
+        }
+        let cols: Vec<AttrId> = (0..arity)
+            .filter(|&i| match self {
+                DeltaCols::Mixed => true,
+                DeltaCols::Fixes => !is_key[i],
+                DeltaCols::Keys => is_key[i],
+            })
+            .map(|i| AttrId(i as u16))
+            .collect();
+        assert!(
+            !cols.is_empty(),
+            "--delta-cols {}: no eligible master column under this rule set",
+            self.name()
+        );
+        cols
+    }
+}
+
+/// The delta applied after batch `di`: `size` held-back inserts plus
+/// `updates` single-column overwrites of existing rows, each copying
+/// the same column from another current row — deterministic in
+/// `(di, j)`, so every hygiene leg of a sweep point mutates the master
+/// identically. Update columns cycle through `cols`.
+#[allow(clippy::too_many_arguments)]
+fn build_delta(
+    full: &Arc<Relation>,
+    mirror: &MasterMirror,
+    dm: usize,
+    applied: usize,
+    size: usize,
+    updates: usize,
+    cols: &[AttrId],
+    di: usize,
+) -> MasterDelta {
+    let mut delta = MasterDelta::new();
+    let len = mirror.rows.len();
+    for j in 0..updates {
+        let r = ((di as u64)
+            .wrapping_mul(31)
+            .wrapping_add((j as u64).wrapping_mul(17))
+            .wrapping_mul(0x9E37_79B9))
+            % len as u64;
+        let donor = (r + 1 + j as u64) % len as u64;
+        let col = cols[(di + j) % cols.len()];
+        let mut t = mirror.rows[r as usize].clone();
+        t.set(col, *mirror.rows[donor as usize].get(col));
+        delta = delta.update(r as u32, t);
+    }
+    for r in 0..size {
+        delta = delta.insert(full.tuple(dm + applied + r).clone());
+    }
+    delta
 }
 
 fn plain_context(w: &dyn Workload, master: Arc<Relation>) -> RepairContext {
@@ -88,6 +259,29 @@ fn plain_context(w: &dyn Workload, master: Arc<Relation>) -> RepairContext {
     )
 }
 
+/// An engine for the selected mode: caches off (`None`) or the shared
+/// cache on with lifecycle hygiene per the flag and a tightened
+/// per-key candidate cap.
+fn engine_for(
+    w: &dyn Workload,
+    master: Arc<Relation>,
+    hygiene: Option<bool>,
+    cand_cap: usize,
+) -> BatchRepairEngine {
+    let ctx = plain_context(w, master);
+    match hygiene {
+        None => BatchRepairEngine::new(ctx),
+        Some(h) => BatchRepairEngine::with_shared_cache(
+            ctx,
+            SharedSuggestionCache::with_limits(
+                h,
+                SharedSuggestionCache::MAX_KEYS_PER_SHARD,
+                cand_cap,
+            ),
+        ),
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_point(
     which: Which,
@@ -97,6 +291,10 @@ fn run_point(
     threads: usize,
     every: usize,
     size: usize,
+    updates: usize,
+    cols: &[AttrId],
+    hygiene: Option<bool>,
+    cand_cap: usize,
     batch: usize,
 ) -> Row {
     let full = w.master().clone();
@@ -106,67 +304,74 @@ fn run_point(
     let opts = RepairOptions {
         threads,
         schedule: Schedule::Steal,
-        shared_cache: false,
+        shared_cache: hygiene.is_some(),
         chunk: base.chunk,
     };
 
-    // the live run: one session, deltas applied between batches
-    let engine = BatchRepairEngine::new(plain_context(w, master_prefix(&full, base.dm)));
+    // the live run: one session, deltas applied between batches; the
+    // mirror tracks the evolving master row list and snapshots the
+    // state each batch pins, so the rebuilt baseline can reconstruct
+    // it even when update deltas overwrite rows
+    let mut mirror = MasterMirror::new(&full, base.dm);
+    let engine = engine_for(w, mirror.snapshot(), hygiene, cand_cap);
     let mut session = engine.session_opts(opts);
     let started = Instant::now();
     let mut applied = 0usize;
+    let mut deltas = 0usize;
+    let mut pinned: Vec<Arc<Relation>> = Vec::new();
+    let mut current = mirror.snapshot();
     for (bi, chunk) in dirty.chunks(batch).enumerate() {
+        pinned.push(current.clone());
         // push_batch hands the oracle the *global* stream index itself
         session.push_batch(chunk, &oracle);
         if (bi + 1) % every == 0 && applied + size <= reserve {
-            let mut delta = MasterDelta::new();
-            for r in 0..size {
-                delta = delta.insert(full.tuple(base.dm + applied + r).clone());
-            }
+            let delta = build_delta(
+                &full, &mirror, base.dm, applied, size, updates, cols, deltas,
+            );
             session.apply_master_delta(&delta).expect("delta applies");
+            mirror.apply(&delta);
+            current = mirror.snapshot();
             applied += size;
+            deltas += 1;
         }
     }
     let wall = started.elapsed();
     let report = session.finish();
+    let cache = hygiene.map(|_| engine.shared_cache().stats());
 
     // the rebuilt baseline: a fresh engine per batch, over exactly the
-    // master state that batch pinned
+    // master state that batch pinned. With the shared cache on this is
+    // the cold-cache leg of D12: `(tuple, certain)` must agree, while
+    // probe counts may not (checked reuse can resolve a tuple through
+    // a different suggestion order). With caches off the match is
+    // bit-exact down to `plan_probes`.
     let mut matches = true;
     let mut last_generation = 0u64;
-    let mut rebuilt_rows = 0usize;
     for (bi, (offset, got)) in report.batches_with_offsets().enumerate() {
         matches &= got.generation >= last_generation;
         last_generation = got.generation;
-        let fresh = BatchRepairEngine::new(plain_context(
-            w,
-            master_prefix(&full, base.dm + rebuilt_rows),
-        ));
+        let fresh = engine_for(w, pinned[bi].clone(), hygiene, cand_cap);
         let chunk = &dirty[offset..(offset + got.outcomes.len())];
         let want = fresh.repair_opts(chunk, &opts, |i| oracle(offset + i));
         matches &= want.outcomes.len() == got.outcomes.len()
-            && want.stats.plan_probes == got.stats.plan_probes
+            && (hygiene.is_some() || want.stats.plan_probes == got.stats.plan_probes)
             && want
                 .outcomes
                 .iter()
                 .zip(&got.outcomes)
                 .all(|(a, b)| a.tuple == b.tuple && a.certain == b.certain);
-        // mirror the live run's bookkeeping: the delta lands *after*
-        // this batch, so the next batch sees the grown master
-        if (bi + 1) % every == 0 && rebuilt_rows + size <= reserve {
-            rebuilt_rows += size;
-        }
     }
-    matches &= report.stats.plan_rebuilds == (applied / size.max(1)) as u64;
+    matches &= report.stats.plan_rebuilds == deltas as u64;
 
     let wall_ms = wall.as_secs_f64() * 1e3;
+    let cache = cache.unwrap_or_default();
     Row {
         dataset: which.name(),
         threads,
         delta_every: every,
         delta_size: size,
         batches: dirty.len().div_ceil(batch.max(1)),
-        deltas: (applied / size.max(1)) as u64,
+        deltas: deltas as u64,
         generation: last_generation,
         tuples: report.stats.tuples,
         certain: report.stats.certain,
@@ -179,10 +384,37 @@ fn run_point(
             0.0
         },
         matches,
+        hygiene,
+        shared_hits: cache.hits,
+        shared_misses: cache.misses,
+        evicted_delta: cache.evicted_delta,
+        evicted_lru: cache.evicted_lru,
+        revalidated: cache.revalidated,
+        saturated: cache.saturated,
+        keys: cache.keys,
+        entries: cache.entries,
+        keys_hw: cache.keys_high_water,
+        entries_hw: cache.entries_high_water,
+        outcome_digest: outcome_digest(report.outcomes()),
     }
 }
 
-fn render_json(base: &ExpConfig, size: usize, rows: &[Row]) -> String {
+fn hygiene_str(hygiene: Option<bool>) -> &'static str {
+    match hygiene {
+        None => "none",
+        Some(true) => "on",
+        Some(false) => "off",
+    }
+}
+
+fn render_json(
+    base: &ExpConfig,
+    size: usize,
+    updates: usize,
+    delta_cols: DeltaCols,
+    cand_cap: usize,
+    rows: &[Row],
+) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"experiment\": \"exp_delta\",");
     let _ = writeln!(out, "  \"dm\": {},", base.dm);
@@ -193,14 +425,26 @@ fn render_json(base: &ExpConfig, size: usize, rows: &[Row]) -> String {
     let _ = writeln!(out, "  \"threads\": {},", base.threads.max(1));
     let _ = writeln!(out, "  \"batch\": {},", base.batch);
     let _ = writeln!(out, "  \"delta_size\": {size},");
+    let _ = writeln!(out, "  \"delta_updates\": {updates},");
+    let _ = writeln!(out, "  \"delta_cols\": \"{}\",", delta_cols.name());
+    let _ = writeln!(out, "  \"cand_cap\": {cand_cap},");
     let _ = writeln!(out, "  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
+        let hit_rate = if r.shared_hits + r.shared_misses == 0 {
+            0.0
+        } else {
+            r.shared_hits as f64 / (r.shared_hits + r.shared_misses) as f64
+        };
         let _ = write!(
             out,
             "    {{\"dataset\": \"{}\", \"threads\": {}, \"delta_every\": {}, \
              \"delta_size\": {}, \"batches\": {}, \"deltas\": {}, \"generation\": {}, \
              \"tuples\": {}, \"certain\": {}, \"plan_probes\": {}, \"probe_allocs\": {}, \
-             \"wall_ms\": {:.3}, \"throughput_tps\": {:.1}, \"match\": {}}}",
+             \"wall_ms\": {:.3}, \"throughput_tps\": {:.1}, \"match\": {}, \
+             \"cache_hygiene\": \"{}\", \"shared_hits\": {}, \"shared_misses\": {}, \
+             \"hit_rate\": {:.4}, \"evicted_delta\": {}, \"evicted_lru\": {}, \
+             \"revalidated\": {}, \"saturated\": {}, \"keys\": {}, \"entries\": {}, \
+             \"keys_hw\": {}, \"entries_hw\": {}, \"outcome_digest\": \"{:016x}\"}}",
             json_escape(r.dataset),
             r.threads,
             r.delta_every,
@@ -215,6 +459,19 @@ fn render_json(base: &ExpConfig, size: usize, rows: &[Row]) -> String {
             r.wall_ms,
             r.throughput_tps,
             r.matches,
+            hygiene_str(r.hygiene),
+            r.shared_hits,
+            r.shared_misses,
+            hit_rate,
+            r.evicted_delta,
+            r.evicted_lru,
+            r.revalidated,
+            r.saturated,
+            r.keys,
+            r.entries,
+            r.keys_hw,
+            r.entries_hw,
+            r.outcome_digest,
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -223,19 +480,47 @@ fn render_json(base: &ExpConfig, size: usize, rows: &[Row]) -> String {
 }
 
 fn main() {
-    let spec = Spec::exp("exp_delta").valued(&["delta-every", "delta-size"]);
+    let spec = Spec::exp("exp_delta").valued(&[
+        "delta-every",
+        "delta-size",
+        "delta-updates",
+        "delta-cols",
+        "cache-hygiene",
+        "cand-cap",
+    ]);
     let args = Args::from_env_strict(&spec);
     let mut base = ExpConfig::from_args(&args);
-    // plain CertainFix, caches off: the bit-exact D10 configuration
+    // plain CertainFix, BDD off: `--cache-hygiene` turns the shared
+    // cache on; without it this is the bit-exact D10 configuration
     base.use_bdd = false;
-    base.shared_cache = false;
+    let hygiene: Option<bool> = match args.str_or("cache-hygiene", "") {
+        "" => None,
+        "on" => Some(true),
+        "off" => Some(false),
+        other => panic!("--cache-hygiene must be `on` or `off`, got `{other}`"),
+    };
+    base.shared_cache = hygiene.is_some();
     if !args.has("threads") {
         base.threads = BatchRepairEngine::auto_threads();
     }
     if base.batch == 0 {
         base.batch = 256.min(base.inputs).max(1);
     }
-    let size = args.usize_or("delta-size", 16).max(1);
+    let size = args.usize_or("delta-size", 16);
+    let updates = args.usize_or("delta-updates", 0);
+    assert!(
+        size > 0 || updates > 0,
+        "--delta-size 0 needs --delta-updates > 0 (an empty delta mutates nothing)"
+    );
+    let delta_cols = match args.str_or("delta-cols", "mixed") {
+        "mixed" => DeltaCols::Mixed,
+        "fixes" => DeltaCols::Fixes,
+        "keys" => DeltaCols::Keys,
+        other => panic!("--delta-cols must be `mixed`, `fixes`, or `keys`, got `{other}`"),
+    };
+    let cand_cap = args
+        .usize_or("cand-cap", SharedSuggestionCache::MAX_CANDIDATES_PER_KEY)
+        .max(1);
     let cadences: Vec<usize> = match args.usize_or("delta-every", 0) {
         0 => vec![1, 4],
         k => vec![k],
@@ -249,6 +534,11 @@ fn main() {
     for which in Which::BOTH {
         let w = which.build(base.dm + reserve);
         let dataset = Dataset::generate(w.as_ref(), &base.dirty_config());
+        let cols = if updates > 0 {
+            delta_cols.pool(w.as_ref())
+        } else {
+            vec![AttrId(0)] // unused
+        };
         for &every in &cadences {
             for &threads in &thread_points(base.threads.max(1)) {
                 rows.push(run_point(
@@ -259,6 +549,10 @@ fn main() {
                     threads,
                     every,
                     size,
+                    updates,
+                    &cols,
+                    hygiene,
+                    cand_cap,
                     base.batch,
                 ));
             }
@@ -266,10 +560,11 @@ fn main() {
     }
 
     let mut table = Table::new([
-        "dataset", "threads", "every", "deltas", "gen", "tuples", "certain", "probes", "wall ms",
-        "match",
+        "dataset", "threads", "every", "deltas", "gen", "tuples", "certain", "probes", "hit%",
+        "evict", "wall ms", "match",
     ]);
     for r in &rows {
+        let probes = r.shared_hits + r.shared_misses;
         table.row([
             r.dataset.to_string(),
             r.threads.to_string(),
@@ -279,18 +574,29 @@ fn main() {
             r.tuples.to_string(),
             r.certain.to_string(),
             r.plan_probes.to_string(),
+            if probes == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", 100.0 * r.shared_hits as f64 / probes as f64)
+            },
+            (r.evicted_delta + r.evicted_lru).to_string(),
             format!("{:.1}", r.wall_ms),
             r.matches.to_string(),
         ]);
     }
     eprintln!(
         "exp_delta: |Dm| = {} (+{} held back), |D| = {}, batch = {}, delta size = {}, \
-         d% = {:.0}, n% = {:.0}, skew = {}",
+         delta updates = {} ({}), cache hygiene = {}, cand cap = {}, d% = {:.0}, n% = {:.0}, \
+         skew = {}",
         base.dm,
         reserve,
         base.inputs,
         base.batch,
         size,
+        updates,
+        delta_cols.name(),
+        hygiene_str(hygiene),
+        cand_cap,
         base.d * 100.0,
         base.n * 100.0,
         base.skew
@@ -301,7 +607,10 @@ fn main() {
         .expect("writing CSV output");
 
     // machine-readable output on stdout — what CI archives
-    print!("{}", render_json(&base, size, &rows));
+    print!(
+        "{}",
+        render_json(&base, size, updates, delta_cols, cand_cap, &rows)
+    );
 
     if rows.iter().any(|r| !r.matches) {
         eprintln!("exp_delta: DELTA-MAINTAINED RUN DIVERGED FROM THE REBUILT BASELINE");

@@ -57,6 +57,18 @@ struct Row {
     recall_t: f64,
     shared_hits: u64,
     shared_misses: u64,
+    /// Lifecycle counters (engine-global watermarks at the session's
+    /// last batch; see `MonitorStats`).
+    evicted_delta: u64,
+    evicted_lru: u64,
+    revalidated: u64,
+    saturated: u64,
+    /// Pool occupancy after the session's last cache-enabled batch,
+    /// with engine-lifetime high-water marks. Zero with the cache off.
+    keys: u64,
+    entries: u64,
+    keys_hw: u64,
+    entries_hw: u64,
     /// Scheduler epochs of the whole point (shared by its rows).
     epochs: u64,
     /// End-to-end service wall of the whole point, ms.
@@ -86,7 +98,10 @@ fn render_json(base: &ExpConfig, sessions: usize, rows: &[Row]) -> String {
             "    {{\"dataset\": \"{}\", \"session\": {}, \"threads\": {}, \"batch\": {}, \
              \"tuples\": {}, \"certain\": {}, \"rounds\": {}, \"plan_probes\": {}, \
              \"recall_t\": {:.4}, \"shared_hits\": {}, \"shared_misses\": {}, \
-             \"epochs\": {}, \"wall_ms\": {:.3}, \"throughput_tps\": {:.1}}}",
+             \"evicted_delta\": {}, \"evicted_lru\": {}, \"revalidated\": {}, \
+             \"saturated\": {}, \"keys\": {}, \"entries\": {}, \"keys_hw\": {}, \
+             \"entries_hw\": {}, \"epochs\": {}, \"wall_ms\": {:.3}, \
+             \"throughput_tps\": {:.1}}}",
             json_escape(r.dataset),
             r.session,
             r.threads,
@@ -98,6 +113,14 @@ fn render_json(base: &ExpConfig, sessions: usize, rows: &[Row]) -> String {
             r.recall_t,
             r.shared_hits,
             r.shared_misses,
+            r.evicted_delta,
+            r.evicted_lru,
+            r.revalidated,
+            r.saturated,
+            r.keys,
+            r.entries,
+            r.keys_hw,
+            r.entries_hw,
             r.epochs,
             r.wall_ms,
             r.throughput_tps,
@@ -174,8 +197,10 @@ fn main() {
                 let throughput_tps = report.throughput();
                 let epochs = report.epochs;
                 for (s, named) in report.sessions.into_iter().enumerate() {
+                    let occupancy = named.report.shared.clone();
                     let folded = fold_session(named.report, datasets[s].clone(), 8);
                     let last = folded.metrics.last().expect("rounds >= 1");
+                    let occupancy = occupancy.unwrap_or_default();
                     rows.push(Row {
                         dataset: which.name(),
                         session: s,
@@ -188,6 +213,14 @@ fn main() {
                         recall_t: last.recall_t,
                         shared_hits: folded.stats.shared_hits,
                         shared_misses: folded.stats.shared_misses,
+                        evicted_delta: folded.stats.shared_evicted_delta,
+                        evicted_lru: folded.stats.shared_evicted_lru,
+                        revalidated: folded.stats.shared_revalidated,
+                        saturated: folded.stats.shared_saturated,
+                        keys: occupancy.keys,
+                        entries: occupancy.entries,
+                        keys_hw: occupancy.keys_high_water,
+                        entries_hw: occupancy.entries_high_water,
                         epochs,
                         wall_ms,
                         throughput_tps,

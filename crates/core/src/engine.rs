@@ -318,6 +318,20 @@ impl RepairContext {
     /// epoch write lock is held only for the pointer swap, so pinning
     /// stalls at most microseconds.
     pub fn apply_master_delta(&self, delta: &MasterDelta) -> Result<u64, RelationError> {
+        self.apply_master_delta_pinning(delta)
+            .map(|(_, generation)| generation)
+    }
+
+    /// [`apply_master_delta`](Self::apply_master_delta), additionally
+    /// returning the epoch the delta was applied *to* — the shared
+    /// cache's targeted invalidation diffs the delta's named rows
+    /// against exactly those pre-delta master values, and reading the
+    /// pair under the gate keeps concurrent deltas from pairing a row
+    /// id with the wrong generation's row.
+    pub(crate) fn apply_master_delta_pinning(
+        &self,
+        delta: &MasterDelta,
+    ) -> Result<(Arc<MasterEpoch>, u64), RelationError> {
         let _gate = self.delta_gate.lock().expect("delta gate poisoned");
         let current = self.epoch();
         let next_master = current.master().apply_delta(delta)?;
@@ -329,7 +343,7 @@ impl RepairContext {
         let generation = next.generation();
         *self.epoch.write().expect("epoch lock poisoned") = next;
         self.rebuilds.fetch_add(1, Ordering::Relaxed);
-        Ok(generation)
+        Ok((current, generation))
     }
 
     /// Run the per-tuple pipeline for one tuple against the *current*
@@ -761,12 +775,25 @@ pub struct BatchRepairEngine {
 }
 
 impl BatchRepairEngine {
-    /// Wrap a prepared context.
+    /// Wrap a prepared context (shared-cache hygiene on).
     pub fn new(ctx: RepairContext) -> BatchRepairEngine {
-        BatchRepairEngine {
-            ctx,
-            shared: SharedSuggestionCache::new(),
-        }
+        BatchRepairEngine::with_cache_hygiene(ctx, true)
+    }
+
+    /// Wrap a prepared context, choosing the shared cache's lifecycle
+    /// mode: `hygiene = false` keeps the historical insert-only pool
+    /// (see the [`sharedcache`](crate::sharedcache) module docs).
+    pub fn with_cache_hygiene(ctx: RepairContext, hygiene: bool) -> BatchRepairEngine {
+        BatchRepairEngine::with_shared_cache(ctx, SharedSuggestionCache::with_hygiene(hygiene))
+    }
+
+    /// Wrap a prepared context around a caller-built cache (custom
+    /// caps; the bench harness tightens them to measure pressure).
+    pub fn with_shared_cache(
+        ctx: RepairContext,
+        shared: SharedSuggestionCache,
+    ) -> BatchRepairEngine {
+        BatchRepairEngine { ctx, shared }
     }
 
     /// Shorthand: build the context and the engine in one step.
@@ -797,6 +824,28 @@ impl BatchRepairEngine {
     /// batches start warm).
     pub fn shared_cache(&self) -> &SharedSuggestionCache {
         &self.shared
+    }
+
+    /// Apply a batch of master mutations through the context (see
+    /// [`RepairContext::apply_master_delta`]) **and** run the shared
+    /// cache's targeted invalidation for the delta's named rows — the
+    /// engine-level surface every delta path (monitor, session,
+    /// service, network) routes through, so pooled suggestions never
+    /// outlive the master values they were derived from unobserved.
+    /// Returns the new generation.
+    ///
+    /// The cache's generation-gated serve path makes the eviction a
+    /// pure hygiene matter: entries from retired generations are never
+    /// served, so evicting (or keeping) them can cost a recomputation,
+    /// never a different repair (invariant D12, DETERMINISM.md). For
+    /// suggestion-preserving deltas (pure fix-column updates) the
+    /// cache instead restamps the whole pool, carrying its heat across
+    /// the generation bump.
+    pub fn apply_master_delta(&self, delta: &MasterDelta) -> Result<u64, RelationError> {
+        let (pinned, generation) = self.ctx.apply_master_delta_pinning(delta)?;
+        self.shared
+            .apply_master_delta(self.ctx.rules(), pinned.master(), delta, generation);
+        Ok(generation)
     }
 
     /// This machine's available parallelism (the `--threads 0` / "auto"
@@ -1019,6 +1068,15 @@ impl BatchRepairEngine {
             self.shared
                 .attributed(stats.shared_hits, stats.shared_misses)
         });
+        if let Some(s) = &shared {
+            // lifecycle counters are engine-global monotone snapshots,
+            // so the batch stats carry the sample and merges take the
+            // max (see `MonitorStats::merge`)
+            stats.shared_evicted_delta = s.evicted_delta;
+            stats.shared_evicted_lru = s.evicted_lru;
+            stats.shared_revalidated = s.revalidated;
+            stats.shared_saturated = s.saturated;
+        }
         BatchReport {
             outcomes,
             stats,

@@ -60,6 +60,26 @@ pub struct MonitorStats {
     /// Probes of the shared cache that fell through to a fresh
     /// computation.
     pub shared_misses: u64,
+    /// Shared-cache candidates evicted because a master delta tainted
+    /// the attributes they cover. Unlike the probe counters this is not
+    /// ticked per worker: it is a monotone snapshot of the engine-global
+    /// cache, sampled after each batch, so [`merge`](Self::merge) takes
+    /// the maximum (like the interner watermark) rather than summing.
+    /// A scheduling observable, exempt from the D2/D12 bit-identity
+    /// guarantee like `shared_hits` / `shared_misses`.
+    pub shared_evicted_delta: u64,
+    /// Shared-cache candidates evicted by second-chance clock sweeps at
+    /// the capacity caps (same snapshot/merge semantics as
+    /// `shared_evicted_delta`).
+    pub shared_evicted_lru: u64,
+    /// Shared-cache candidates restamped to a newer master generation
+    /// after surviving a delta or passing a post-delta reuse check
+    /// (same snapshot/merge semantics as `shared_evicted_delta`).
+    pub shared_revalidated: u64,
+    /// Shared-cache publishes that found a capacity cap full — counted
+    /// in both hygiene modes, so insert-only silent drops are visible
+    /// too (same snapshot/merge semantics as `shared_evicted_delta`).
+    pub shared_saturated: u64,
     /// Key probes issued through the compiled
     /// [`RulePlan`](certainfix_rules::RulePlan)'s scratch-buffered
     /// layer in the `TransFix`/validation hot path (0 with the plan
@@ -145,6 +165,10 @@ impl MonitorStats {
         self.interner_syms = self.interner_syms.max(other.interner_syms);
         self.shared_hits += other.shared_hits;
         self.shared_misses += other.shared_misses;
+        self.shared_evicted_delta = self.shared_evicted_delta.max(other.shared_evicted_delta);
+        self.shared_evicted_lru = self.shared_evicted_lru.max(other.shared_evicted_lru);
+        self.shared_revalidated = self.shared_revalidated.max(other.shared_revalidated);
+        self.shared_saturated = self.shared_saturated.max(other.shared_saturated);
         self.plan_probes += other.plan_probes;
         self.probe_allocs += other.probe_allocs;
         self.plan_fallbacks += other.plan_fallbacks;
@@ -255,7 +279,7 @@ impl DataMonitor {
     /// [`process`](Self::process) call picks up the new epoch. Returns
     /// the new generation.
     pub fn apply_master_delta(&self, delta: &MasterDelta) -> Result<u64, RelationError> {
-        self.context().apply_master_delta(delta)
+        self.engine.apply_master_delta(delta)
     }
 
     /// Statistics so far.
@@ -534,6 +558,10 @@ mod tests {
             interner_syms: 100,
             shared_hits: 6,
             shared_misses: 2,
+            shared_evicted_delta: 8,
+            shared_evicted_lru: 3,
+            shared_revalidated: 5,
+            shared_saturated: 2,
             plan_probes: 40,
             probe_allocs: 1,
             plan_fallbacks: 3,
@@ -555,6 +583,10 @@ mod tests {
             interner_syms: 250,
             shared_hits: 1,
             shared_misses: 4,
+            shared_evicted_delta: 2,
+            shared_evicted_lru: 9,
+            shared_revalidated: 1,
+            shared_saturated: 6,
             plan_probes: 2,
             probe_allocs: 1,
             plan_fallbacks: 1,
@@ -577,6 +609,13 @@ mod tests {
         assert_eq!(merged.interner_syms, 250, "watermark is a max, not a sum");
         assert_eq!(merged.shared_hits, 7, "shared probes sum");
         assert_eq!(merged.shared_misses, 6);
+        assert_eq!(
+            merged.shared_evicted_delta, 8,
+            "lifecycle snapshots max, not sum"
+        );
+        assert_eq!(merged.shared_evicted_lru, 9);
+        assert_eq!(merged.shared_revalidated, 5);
+        assert_eq!(merged.shared_saturated, 6);
         assert_eq!(merged.plan_probes, 42, "plan probes sum");
         assert_eq!(merged.probe_allocs, 2, "scratch warm-ups sum");
         assert_eq!(merged.plan_fallbacks, 4, "wide-key fallbacks sum");

@@ -316,6 +316,7 @@ pub struct RepairServiceBuilder {
     config: CertainFixConfig,
     workload: Workload,
     opts: ServiceOptions,
+    cache_hygiene: bool,
 }
 
 impl RepairServiceBuilder {
@@ -330,6 +331,7 @@ impl RepairServiceBuilder {
             config: CertainFixConfig::default(),
             workload: Workload::default(),
             opts: ServiceOptions::default(),
+            cache_hygiene: true,
         }
     }
 
@@ -377,6 +379,15 @@ impl RepairServiceBuilder {
         self
     }
 
+    /// Shared-cache lifecycle hygiene (delta invalidation, clock
+    /// eviction at the caps; on by default). Off keeps the historical
+    /// insert-only pool — see the
+    /// [`sharedcache`](crate::sharedcache) module docs.
+    pub fn cache_hygiene(mut self, on: bool) -> Self {
+        self.cache_hygiene = on;
+        self
+    }
+
     /// Bounded ingest-lane depth per session.
     pub fn depth(mut self, depth: usize) -> Self {
         self.opts.depth = depth;
@@ -391,14 +402,17 @@ impl RepairServiceBuilder {
 
     /// Build the precomputation and the service (owning its engine).
     pub fn build(self) -> RepairService {
-        let engine = BatchRepairEngine::new(RepairContext::with_workload(
-            self.rules,
-            self.master,
-            self.use_bdd,
-            self.initial,
-            self.config,
-            self.workload,
-        ));
+        let engine = BatchRepairEngine::with_cache_hygiene(
+            RepairContext::with_workload(
+                self.rules,
+                self.master,
+                self.use_bdd,
+                self.initial,
+                self.config,
+                self.workload,
+            ),
+            self.cache_hygiene,
+        );
         RepairService::from_engine(engine, self.opts)
     }
 }
@@ -600,9 +614,17 @@ impl RepairService {
         }
         if let Some(agg) = &mut shared {
             // attributed counters summed over the sessions; pool
-            // occupancy is the engine's final snapshot
+            // occupancy and the lifecycle counters are the engine's
+            // final snapshot
             let snapshot = self.engine.shared_cache().stats();
             agg.entries = snapshot.entries;
+            agg.keys = snapshot.keys;
+            agg.evicted_delta = snapshot.evicted_delta;
+            agg.evicted_lru = snapshot.evicted_lru;
+            agg.revalidated = snapshot.revalidated;
+            agg.saturated = snapshot.saturated;
+            agg.keys_high_water = snapshot.keys_high_water;
+            agg.entries_high_water = snapshot.entries_high_water;
             agg.per_shard = snapshot.per_shard;
         }
         ServiceReport {

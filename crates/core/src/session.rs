@@ -276,6 +276,7 @@ pub struct RepairSessionBuilder {
     config: CertainFixConfig,
     workload: Workload,
     opts: RepairOptions,
+    cache_hygiene: bool,
 }
 
 impl RepairSessionBuilder {
@@ -291,6 +292,7 @@ impl RepairSessionBuilder {
             config: CertainFixConfig::default(),
             workload: Workload::default(),
             opts: RepairOptions::default(),
+            cache_hygiene: true,
         }
     }
 
@@ -338,6 +340,15 @@ impl RepairSessionBuilder {
         self
     }
 
+    /// Shared-cache lifecycle hygiene (delta invalidation, clock
+    /// eviction at the caps; on by default). Off keeps the historical
+    /// insert-only pool — see the
+    /// [`sharedcache`](crate::sharedcache) module docs.
+    pub fn cache_hygiene(mut self, on: bool) -> Self {
+        self.cache_hygiene = on;
+        self
+    }
+
     /// Chunk granularity for [`Schedule::Steal`] (`0` = auto).
     pub fn chunk(mut self, chunk: usize) -> Self {
         self.opts.chunk = chunk;
@@ -352,14 +363,17 @@ impl RepairSessionBuilder {
 
     /// Build the precomputation and the session (owning its engine).
     pub fn build(self) -> RepairSession<'static> {
-        let engine = BatchRepairEngine::new(RepairContext::with_workload(
-            self.rules,
-            self.master,
-            self.use_bdd,
-            self.initial,
-            self.config,
-            self.workload,
-        ));
+        let engine = BatchRepairEngine::with_cache_hygiene(
+            RepairContext::with_workload(
+                self.rules,
+                self.master,
+                self.use_bdd,
+                self.initial,
+                self.config,
+                self.workload,
+            ),
+            self.cache_hygiene,
+        );
         RepairSession::from_engine(engine, self.opts)
     }
 }
@@ -435,7 +449,7 @@ impl<'e> RepairSession<'e> {
     /// new generation. The merged [`SessionReport`] counts these
     /// hand-offs in [`MonitorStats::plan_rebuilds`].
     pub fn apply_master_delta(&mut self, delta: &MasterDelta) -> Result<u64, RelationError> {
-        let generation = self.engine.get().context().apply_master_delta(delta)?;
+        let generation = self.engine.get().apply_master_delta(delta)?;
         self.rebuilds += 1;
         Ok(generation)
     }
@@ -628,9 +642,16 @@ impl SessionReport {
                 // per-batch counters are attributed, so they sum ...
                 acc.hits += s.hits;
                 acc.misses += s.misses;
-                // ... while the pool occupancy is a snapshot: keep the
-                // latest
+                // ... while occupancy and the engine-lifetime lifecycle
+                // counters are snapshots: keep the latest
                 acc.entries = s.entries;
+                acc.keys = s.keys;
+                acc.evicted_delta = s.evicted_delta;
+                acc.evicted_lru = s.evicted_lru;
+                acc.revalidated = s.revalidated;
+                acc.saturated = s.saturated;
+                acc.keys_high_water = s.keys_high_water;
+                acc.entries_high_water = s.entries_high_water;
                 acc.per_shard.clone_from(&s.per_shard);
             }
         }

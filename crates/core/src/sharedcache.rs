@@ -27,42 +27,209 @@
 //! [`MonitorStats`](crate::MonitorStats), whose
 //! [`merge`](crate::MonitorStats::merge) surfaces them per batch.
 //!
+//! # Lifecycle (delta-aware hygiene)
+//!
+//! The pool is no longer insert-only. Every candidate is stamped with
+//! the [`MasterIndex::generation`] it was computed (or last
+//! revalidated) under, and the lifecycle has four pieces:
+//!
+//! * **The serve gate** (both hygiene modes). A candidate is served
+//!   only when its stamp equals the probing epoch's generation. A
+//!   retired-generation candidate can pass the `is_suggestion`
+//!   re-check under the new master and *still* steer the interaction
+//!   to a different final tuple than a fresh derivation would — the
+//!   check proves validity, not canonicity — so stale entries are
+//!   never served. They lie dormant until a fresh computation
+//!   re-derives the same attr list and the publish dedup restamps them
+//!   (`revalidated`) — the sound revalidation event, since at that
+//!   moment the entry *is* the fresh result. A restamp also moves the
+//!   entry to the back of its slot, so the serve-visible
+//!   (current-generation) subsequence always sits in
+//!   first-publish-this-generation order — the order a cold pool
+//!   would hold, which matters because the serve loop returns the
+//!   first passing candidate.
+//! * **Suggestion-preserving deltas** (hygiene on). A pure-update
+//!   delta whose changed master columns avoid every rule's *key*
+//!   columns (`Xm`, pattern-aligned) provably leaves the suggestion
+//!   function unchanged — derivations only probe master key columns,
+//!   and a pooled attr list never encodes fix values — so
+//!   [`apply_master_delta`](SharedSuggestionCache::apply_master_delta)
+//!   restamps the whole pool to the new generation (`revalidated`)
+//!   and it keeps serving across the bump. This is the warm-start
+//!   win: with hygiene off the same delta retires every entry behind
+//!   the serve gate, and the next batch pays a miss per key.
+//! * **Targeted delta invalidation** (hygiene on). A [`MasterDelta`]
+//!   names exactly the master rows it touches. [`apply_master_delta`](SharedSuggestionCache::apply_master_delta)
+//!   maps the touched rows to the master attributes whose values
+//!   changed, taints every rule whose master-side footprint (`Xm`,
+//!   `Bm`, pattern-aligned columns) intersects them, and from those
+//!   rules derives the tainted *R*-side attribute set. A per-shard
+//!   reverse index (suggestion attr → cache keys) then walks only the
+//!   entries whose candidate lists intersect the tainted attrs —
+//!   `O(touched)`, not `O(cache)` — evicting intersecting candidates
+//!   (`evicted_delta`): the entries least likely to ever be re-derived
+//!   and revalidated, freeing their capped slots. Pure inserts taint
+//!   nothing: adding master rows can only *add* applicable rules (a
+//!   rule dropped by a new disagreeing candidate has its `B` already
+//!   validated, so the coverage closure never shrinks), hence a
+//!   suggestion valid before an insert-only delta is valid after it.
+//! * **Second-chance eviction at the caps** (hygiene on). A publish
+//!   that lands on a full shard (`MAX_KEYS_PER_SHARD` keys) or a full
+//!   key (`MAX_CANDIDATES_PER_KEY` candidates) no longer drops
+//!   silently: a clock hand sweeps the shard's key ring (or the key's
+//!   candidate list), clearing reference bits and evicting the first
+//!   unreferenced victim — retired-generation candidates first
+//!   (`evicted_lru`). Every cap event also ticks `saturated`, in
+//!   *both* hygiene modes, so pressure is observable even where the
+//!   old drop-silently policy is kept.
+//! * **Occupancy accounting** (both modes): keys and candidates per
+//!   shard, with high-water marks.
+//!
+//! Hygiene is a construction-time mode
+//! ([`with_hygiene`](SharedSuggestionCache::with_hygiene)): with it
+//! off the cache is the historical insert-only pool plus the serve
+//! gate and the `saturated` counter — after a delta its entries go
+//! permanently dormant unless republished, and at the caps fresh
+//! publishes are dropped while dead entries squat in the slots. That
+//! is exactly the pathology hygiene-on removes, and what the
+//! `exp_delta --cache-hygiene` legs measure.
+//!
 //! # Determinism
 //!
-//! Like the per-worker BDD, reuse is **checked**: a candidate is served
-//! only after [`certainfix_reasoning::is_suggestion`] accepts it for
-//! the probing tuple, so
-//! every served suggestion is valid and the final repaired tuples are
-//! unaffected — but a checked candidate may differ from what a fresh
-//! computation would have produced, so round *traces* (and
-//! trace-derived metrics) can differ from a run without the cache.
-//! Runs that must be bit-identical to sequential plain `CertainFix`
-//! should disable both caches; see the engine's determinism notes.
-//!
-//! # Growth
-//!
-//! The pool is insert-only but doubly capped (keys per shard,
-//! candidates per key); a dropped insert only costs future misses,
-//! never correctness. Occupancy is observable via
-//! [`SharedSuggestionCache::len`] and [`SharedCacheStats::entries`].
+//! Within one generation, reuse is **checked** like the per-worker
+//! BDD's: a candidate is served only after
+//! [`certainfix_reasoning::is_suggestion`] accepts it for the probing
+//! tuple (invariant D8). Across generations the serve gate guarantees
+//! no retired entry is ever served, so a warm pool can only serve what
+//! a cold, same-generation run could have published itself; the one
+//! cross-generation carry — the suggestion-preserving restamp — is
+//! sound because the restamped entries are exactly what fresh
+//! derivations under the new epoch would republish. Together:
+//! final repaired tuples and certain-fix verdicts are independent of
+//! hygiene mode, eviction timing, and pool temperature (invariant
+//! D12, DETERMINISM.md — the cache counters themselves are observables
+//! exempt from bit-identity). Runs that must be bit-identical to
+//! sequential plain `CertainFix` should disable both caches; see the
+//! engine's determinism notes.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use certainfix_reasoning::{is_suggestion, is_suggestion_with, suggest, suggest_with};
-use certainfix_relation::{AttrId, AttrSet, FxHashMap, MasterIndex, Tuple};
+use certainfix_relation::{AttrId, AttrSet, FxHashMap, FxHashSet, MasterDelta, MasterIndex, Tuple};
 use certainfix_rules::{ProbeScratch, RulePlan, RuleSet};
 
 /// Number of lock shards (power of two).
 const SHARDS: usize = 16;
 
+/// One pooled suggestion: the attr list plus its lifecycle state.
+#[derive(Debug)]
+struct Candidate {
+    /// The suggested attrs (R-schema ids), immutable.
+    attrs: Arc<[AttrId]>,
+    /// Master generation this candidate was computed under, bumped
+    /// only when a fresh derivation republishes the same list (the
+    /// sound revalidation event). The serve gate compares it against
+    /// the probing epoch's generation.
+    generation: AtomicU64,
+    /// Second-chance reference bit, set on every served hit and
+    /// revalidating republish, cleared by a passing clock hand.
+    referenced: AtomicBool,
+}
+
+impl Candidate {
+    fn new(attrs: &[AttrId], generation: u64) -> Arc<Candidate> {
+        Arc::new(Candidate {
+            attrs: Arc::from(attrs),
+            generation: AtomicU64::new(generation),
+            referenced: AtomicBool::new(false),
+        })
+    }
+
+    fn intersects(&self, tainted: &AttrSet) -> bool {
+        self.attrs.iter().any(|a| tainted.contains(*a))
+    }
+}
+
+/// The lock-protected slice of one shard: the candidate pool plus the
+/// structures hygiene sweeps (reverse index, clock ring, occupancy).
+#[derive(Debug, Default)]
+struct ShardPool {
+    /// validated-set bits → candidate suggestions, in publication order.
+    map: FxHashMap<u64, Vec<Arc<Candidate>>>,
+    /// Reverse index: suggestion attr → cache keys whose candidate
+    /// lists contain it. Pruned lazily — a key may linger in a set
+    /// after its last candidate with that attr was evicted; the next
+    /// delta walk visiting it cleans it up.
+    by_attr: FxHashMap<AttrId, FxHashSet<u64>>,
+    /// Clock ring over keys in publication order (second-chance victim
+    /// selection at the key cap). Keys evicted elsewhere are removed
+    /// lazily when the hand reaches them.
+    ring: Vec<u64>,
+    /// The clock hand: index into `ring` of the next sweep position.
+    hand: usize,
+    /// Maintained candidate count (`== map.values().map(len).sum()`).
+    candidates: usize,
+    /// High-water mark of `map.len()`.
+    keys_hw: usize,
+    /// High-water mark of `candidates`.
+    candidates_hw: usize,
+}
+
+impl ShardPool {
+    fn note_occupancy(&mut self) {
+        self.keys_hw = self.keys_hw.max(self.map.len());
+        self.candidates_hw = self.candidates_hw.max(self.candidates);
+    }
+
+    /// Second-chance victim selection over `ring` starting at `hand`:
+    /// keys whose candidates are all unreferenced are evicted, keys
+    /// with a referenced candidate get their bits cleared and survive
+    /// one lap. Terminates within two laps (the first lap clears every
+    /// bit). Returns the number of candidates evicted.
+    fn evict_one_key(&mut self) -> usize {
+        let mut steps = 0usize;
+        // two laps over the *current* ring length is an upper bound:
+        // after one full lap every reference bit is clear
+        let budget = self.ring.len().saturating_mul(2).max(1);
+        while steps <= budget && !self.ring.is_empty() {
+            if self.hand >= self.ring.len() {
+                self.hand = 0;
+            }
+            let key = self.ring[self.hand];
+            let Some(pool) = self.map.get(&key) else {
+                // evicted elsewhere (delta walk): drop the stale ring slot
+                self.ring.swap_remove(self.hand);
+                continue;
+            };
+            let referenced = pool.iter().any(|c| c.referenced.load(Ordering::Relaxed));
+            if referenced {
+                for c in pool {
+                    c.referenced.store(false, Ordering::Relaxed);
+                }
+                self.hand += 1;
+                steps += 1;
+                continue;
+            }
+            let evicted = self.map.remove(&key).map_or(0, |p| p.len());
+            self.candidates -= evicted;
+            self.ring.swap_remove(self.hand);
+            return evicted;
+        }
+        0
+    }
+}
+
 /// One lock shard: its slice of the candidate pool plus counters.
 #[derive(Debug, Default)]
 struct CacheShard {
-    /// validated-set bits → candidate suggestions, in publication order.
-    map: RwLock<FxHashMap<u64, Vec<Arc<[AttrId]>>>>,
+    pool: RwLock<ShardPool>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evicted_delta: AtomicU64,
+    evicted_lru: AtomicU64,
+    revalidated: AtomicU64,
+    saturated: AtomicU64,
 }
 
 /// Counters of one cache shard, snapshot by
@@ -75,6 +242,23 @@ pub struct ShardCounters {
     pub misses: u64,
     /// Candidates currently pooled in this shard.
     pub entries: u64,
+    /// Validated-set keys currently pooled in this shard.
+    pub keys: u64,
+    /// Candidates evicted by targeted delta invalidation.
+    pub evicted_delta: u64,
+    /// Candidates evicted by the second-chance clock at a cap.
+    pub evicted_lru: u64,
+    /// Candidates restamped to a newer generation (a passing check
+    /// under a newer master, or a delta that provably missed them).
+    pub revalidated: u64,
+    /// Publishes that arrived at a full shard or full key (the cap
+    /// events; counted in both hygiene modes — with hygiene off each
+    /// one is a silent drop, with hygiene on the clock makes room).
+    pub saturated: u64,
+    /// High-water mark of pooled keys.
+    pub keys_high_water: u64,
+    /// High-water mark of pooled candidates.
+    pub entries_high_water: u64,
 }
 
 /// Aggregated cache statistics (plus the per-shard breakdown).
@@ -84,6 +268,9 @@ pub struct ShardCounters {
 /// lifetime), while [`SharedSuggestionCache::attributed`] scopes the
 /// top-level `hits` / `misses` to one batch or session — the form
 /// reports carry, so that per-session numbers sum to the global ones.
+/// The lifecycle counters (`evicted_delta`, `evicted_lru`,
+/// `revalidated`, `saturated`) and occupancy fields are engine-lifetime
+/// snapshots in both forms, like `entries`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SharedCacheStats {
     /// Probes served from the pool (engine-global in a
@@ -95,6 +282,20 @@ pub struct SharedCacheStats {
     pub misses: u64,
     /// Total candidates pooled.
     pub entries: u64,
+    /// Total validated-set keys pooled.
+    pub keys: u64,
+    /// Candidates evicted because a master delta tainted their attrs.
+    pub evicted_delta: u64,
+    /// Candidates evicted by second-chance clock sweeps at the caps.
+    pub evicted_lru: u64,
+    /// Candidates restamped to a newer master generation.
+    pub revalidated: u64,
+    /// Publishes that hit a cap (see [`ShardCounters::saturated`]).
+    pub saturated: u64,
+    /// High-water mark of pooled keys (summed over shards).
+    pub keys_high_water: u64,
+    /// High-water mark of pooled candidates (summed over shards).
+    pub entries_high_water: u64,
     /// Per-shard counters, in shard order.
     pub per_shard: Vec<ShardCounters>,
 }
@@ -112,10 +313,16 @@ impl SharedCacheStats {
 }
 
 /// The shared concurrent suggestion cache; see the [module
-/// docs](self) for design and determinism notes.
+/// docs](self) for design, lifecycle, and determinism notes.
 #[derive(Debug)]
 pub struct SharedSuggestionCache {
     shards: Box<[CacheShard]>,
+    /// Lifecycle management on (the default): delta invalidation,
+    /// clock eviction at the caps, lazy revalidation. Off reproduces
+    /// the historical insert-only pool (plus the `saturated` counter).
+    hygiene: bool,
+    max_keys_per_shard: usize,
+    max_candidates_per_key: usize,
 }
 
 impl Default for SharedSuggestionCache {
@@ -125,18 +332,49 @@ impl Default for SharedSuggestionCache {
 }
 
 impl SharedSuggestionCache {
-    /// Distinct validated-set keys one shard accepts before dropping
-    /// new keys (a pure hit-rate trade, never a correctness one).
+    /// Distinct validated-set keys one shard accepts before the clock
+    /// evicts (hygiene on) or new keys are dropped (hygiene off) — a
+    /// pure hit-rate trade, never a correctness one.
     pub const MAX_KEYS_PER_SHARD: usize = 1 << 14;
 
-    /// Candidates pooled per validated-set key before dropping more.
+    /// Candidates pooled per validated-set key before the clock evicts
+    /// (hygiene on) or new candidates are dropped (hygiene off).
     pub const MAX_CANDIDATES_PER_KEY: usize = 64;
 
-    /// An empty cache.
+    /// An empty cache with lifecycle hygiene on.
     pub fn new() -> SharedSuggestionCache {
+        SharedSuggestionCache::with_hygiene(true)
+    }
+
+    /// An empty cache with lifecycle hygiene on or off (off reproduces
+    /// the historical insert-only behaviour; see the module docs).
+    pub fn with_hygiene(hygiene: bool) -> SharedSuggestionCache {
+        SharedSuggestionCache::with_limits(
+            hygiene,
+            Self::MAX_KEYS_PER_SHARD,
+            Self::MAX_CANDIDATES_PER_KEY,
+        )
+    }
+
+    /// An empty cache with explicit caps — the benchmark harness uses
+    /// tightened caps to put the pool under measurable pressure;
+    /// production callers should prefer the defaults.
+    pub fn with_limits(
+        hygiene: bool,
+        max_keys_per_shard: usize,
+        max_candidates_per_key: usize,
+    ) -> SharedSuggestionCache {
         SharedSuggestionCache {
             shards: (0..SHARDS).map(|_| CacheShard::default()).collect(),
+            hygiene,
+            max_keys_per_shard: max_keys_per_shard.max(1),
+            max_candidates_per_key: max_candidates_per_key.max(1),
         }
+    }
+
+    /// Whether lifecycle hygiene (eviction + revalidation) is on.
+    pub fn hygiene(&self) -> bool {
+        self.hygiene
     }
 
     fn shard(&self, key: u64) -> &CacheShard {
@@ -148,26 +386,341 @@ impl SharedSuggestionCache {
 
     /// The candidates pooled for `validated`, in publication order.
     pub fn candidates(&self, validated: AttrSet) -> Vec<Arc<[AttrId]>> {
+        self.snapshot(validated)
+            .into_iter()
+            .map(|c| c.attrs.clone())
+            .collect()
+    }
+
+    /// The candidates pooled for `validated` with their generation
+    /// stamps, in publication order.
+    pub fn candidates_with_generations(&self, validated: AttrSet) -> Vec<(Vec<AttrId>, u64)> {
+        self.snapshot(validated)
+            .into_iter()
+            .map(|c| (c.attrs.to_vec(), c.generation.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    fn snapshot(&self, validated: AttrSet) -> Vec<Arc<Candidate>> {
         self.shard(validated.bits())
-            .map
+            .pool
             .read()
             .expect("suggestion cache shard poisoned")
+            .map
             .get(&validated.bits())
             .cloned()
             .unwrap_or_default()
     }
 
-    /// Publish a computed suggestion for `validated`. Deduplicated;
-    /// dropped silently once a cap is reached.
-    pub fn publish(&self, validated: AttrSet, suggestion: &[AttrId]) {
+    /// Publish a computed suggestion for `validated`, stamped with the
+    /// master `generation` it was computed under. Deduplicated. At a
+    /// cap: hygiene on evicts a second-chance victim to make room,
+    /// hygiene off drops the publish; both tick `saturated`.
+    pub fn publish(&self, validated: AttrSet, suggestion: &[AttrId], generation: u64) {
         let shard = self.shard(validated.bits());
-        let mut map = shard.map.write().expect("suggestion cache shard poisoned");
-        if !map.contains_key(&validated.bits()) && map.len() >= Self::MAX_KEYS_PER_SHARD {
+        let mut pool = shard.pool.write().expect("suggestion cache shard poisoned");
+        let key = validated.bits();
+        if !pool.map.contains_key(&key) && pool.map.len() >= self.max_keys_per_shard {
+            shard.saturated.fetch_add(1, Ordering::Relaxed);
+            if !self.hygiene {
+                return;
+            }
+            let evicted = pool.evict_one_key();
+            if evicted == 0 {
+                return; // every key referenced twice over — give up
+            }
+            shard
+                .evicted_lru
+                .fetch_add(evicted as u64, Ordering::Relaxed);
+        }
+        let new_key = !pool.map.contains_key(&key);
+        let cap = self.max_candidates_per_key;
+        let hygiene = self.hygiene;
+        let mut saturated = false;
+        let mut evicted_lru = 0u64;
+        let mut revalidated = 0u64;
+        let mut added = false;
+        {
+            let slot = pool.map.entry(key).or_default();
+            if let Some(at) = slot.iter().position(|c| *c.attrs == *suggestion) {
+                // republish of a pooled list: freshen the stamp. This
+                // is the *sound* revalidation event — the fresh
+                // derivation just produced this exact list under
+                // `generation`, so serving the entry again is
+                // indistinguishable from serving the fresh result.
+                let existing = &slot[at];
+                let g = existing.generation.load(Ordering::Relaxed);
+                if hygiene {
+                    existing.referenced.store(true, Ordering::Relaxed);
+                }
+                if generation > g {
+                    existing.generation.store(generation, Ordering::Relaxed);
+                    revalidated += 1;
+                    // move the revived entry to the back so the
+                    // serve-visible (current-generation) subsequence
+                    // sits in first-publish-this-generation order —
+                    // exactly the order a cold pool would hold. The
+                    // serve loop returns the first passing candidate,
+                    // so slot order is outcome-relevant (D12).
+                    let revived = slot.remove(at);
+                    slot.push(revived);
+                }
+            } else if slot.len() < cap {
+                slot.push(Candidate::new(suggestion, generation));
+                added = true;
+            } else {
+                saturated = true;
+                if hygiene {
+                    // second chance within the key's list: dormant
+                    // (retired-generation) candidates go first —
+                    // unreferenced before referenced, stalest stamp
+                    // first — so current-generation entries are only
+                    // displaced by each other, keeping the
+                    // serve-visible subsequence cold-pool-shaped. If
+                    // everything is current and referenced, clear the
+                    // bits and take the front (oldest publish).
+                    let victim = slot
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| c.generation.load(Ordering::Relaxed) < generation)
+                        .min_by_key(|(i, c)| {
+                            (
+                                c.referenced.load(Ordering::Relaxed),
+                                c.generation.load(Ordering::Relaxed),
+                                *i,
+                            )
+                        })
+                        .map(|(i, _)| i)
+                        .or_else(|| {
+                            slot.iter()
+                                .position(|c| !c.referenced.load(Ordering::Relaxed))
+                        })
+                        .unwrap_or_else(|| {
+                            for c in slot.iter() {
+                                c.referenced.store(false, Ordering::Relaxed);
+                            }
+                            0
+                        });
+                    slot.remove(victim);
+                    evicted_lru += 1;
+                    slot.push(Candidate::new(suggestion, generation));
+                    added = true;
+                }
+            }
+        }
+        if saturated {
+            shard.saturated.fetch_add(1, Ordering::Relaxed);
+        }
+        if revalidated > 0 {
+            shard.revalidated.fetch_add(revalidated, Ordering::Relaxed);
+        }
+        if evicted_lru > 0 {
+            shard.evicted_lru.fetch_add(evicted_lru, Ordering::Relaxed);
+            pool.candidates -= evicted_lru as usize;
+        }
+        if added {
+            pool.candidates += 1;
+            if new_key {
+                pool.ring.push(key);
+            }
+            for &a in suggestion {
+                pool.by_attr.entry(a).or_default().insert(key);
+            }
+        } else if new_key && pool.map.get(&key).is_some_and(Vec::is_empty) {
+            // a capped, hygiene-off publish created an empty slot: undo
+            pool.map.remove(&key);
+        }
+        pool.note_occupancy();
+    }
+
+    /// Delta-aware pool maintenance for a master delta that moved the
+    /// live master from `old_master` (the epoch the delta was applied
+    /// to) to `generation`. Two regimes:
+    ///
+    /// - **Suggestion-preserving deltas** (pure updates whose changed
+    ///   master columns avoid every rule's key columns — `lhs_m` and
+    ///   pattern-aligned attrs): the suggestion function is untouched
+    ///   (support probes see identical key values, and a pooled list
+    ///   never encodes fix values), so the whole pool is restamped to
+    ///   `generation` and stays servable across the delta — the
+    ///   warm-start win. Counted under `revalidated`.
+    /// - **Everything else** (inserts, deletes, key-column updates):
+    ///   derive the tainted R-side attribute set from the delta's
+    ///   named rows (see the module docs) and evict every pooled
+    ///   candidate whose attr list intersects it — the entries least
+    ///   likely to ever be re-derived, freeing their capped slots.
+    ///   Untainted survivors keep their retired stamps: the serve
+    ///   gate holds them dormant until a fresh derivation republishes
+    ///   the same list and restamps them.
+    ///
+    /// A no-op with hygiene off: there the gate retires the whole
+    /// pool on every generation bump, hot or not.
+    pub fn apply_master_delta(
+        &self,
+        rules: &RuleSet,
+        old_master: &MasterIndex,
+        delta: &MasterDelta,
+        generation: u64,
+    ) {
+        if !self.hygiene {
             return;
         }
-        let pool = map.entry(validated.bits()).or_default();
-        if pool.len() < Self::MAX_CANDIDATES_PER_KEY && !pool.iter().any(|c| **c == *suggestion) {
-            pool.push(Arc::from(suggestion));
+        if Self::preserves_suggestions(rules, old_master, delta) {
+            self.restamp_all(generation);
+            return;
+        }
+        let tainted = Self::tainted_attrs(rules, old_master, delta);
+        if tainted.is_empty() {
+            return;
+        }
+        for shard in self.shards.iter() {
+            let mut pool = shard.pool.write().expect("suggestion cache shard poisoned");
+            // collect the touched keys through the reverse index:
+            // O(touched entries), never a scan of the whole shard
+            let mut touched: FxHashSet<u64> = FxHashSet::default();
+            for a in tainted.iter() {
+                if let Some(keys) = pool.by_attr.get(&a) {
+                    touched.extend(keys.iter().copied());
+                }
+            }
+            if touched.is_empty() {
+                continue;
+            }
+            let mut evicted = 0u64;
+            for &key in &touched {
+                let Some(slot) = pool.map.get_mut(&key) else {
+                    continue; // stale reverse-index entry
+                };
+                let before = slot.len();
+                slot.retain(|c| !c.intersects(&tainted));
+                evicted += (before - slot.len()) as u64;
+                if slot.is_empty() {
+                    pool.map.remove(&key); // ring slot reclaimed lazily
+                }
+            }
+            // survivors of a touched key contain no tainted attr, so
+            // every touched key leaves the tainted attrs' reverse sets
+            for a in tainted.iter() {
+                if let Some(keys) = pool.by_attr.get_mut(&a) {
+                    for key in &touched {
+                        keys.remove(key);
+                    }
+                    if keys.is_empty() {
+                        pool.by_attr.remove(&a);
+                    }
+                }
+            }
+            pool.candidates -= evicted as usize;
+            shard.evicted_delta.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// The R-side attribute taint of a delta: master attrs whose
+    /// values the delta changes (updates diff old vs new per column;
+    /// deletes taint every non-null column of the removed row; inserts
+    /// taint nothing — they are provably monotone for suggestion
+    /// validity), mapped through every rule whose master footprint
+    /// they intersect to that rule's `X ∪ {B}`.
+    fn tainted_attrs(rules: &RuleSet, old_master: &MasterIndex, delta: &MasterDelta) -> AttrSet {
+        let mut touched_m = AttrSet::from_bits(0);
+        for (row, new) in delta.updates() {
+            let old = old_master.tuple(*row);
+            for (a, v) in old.iter() {
+                if v != new.get(a) {
+                    touched_m.insert(a);
+                }
+            }
+        }
+        for &row in delta.deletes() {
+            for (a, v) in old_master.tuple(row).iter() {
+                if !v.is_null() {
+                    touched_m.insert(a);
+                }
+            }
+        }
+        let mut tainted = AttrSet::from_bits(0);
+        if touched_m.is_empty() {
+            return tainted;
+        }
+        for (_, rule) in rules.iter() {
+            let mut footprint = AttrSet::collect_from(rule.lhs_m().iter().copied());
+            footprint.insert(rule.rhs_m());
+            for &a in rule.lhs_p() {
+                if let Some(m) = rule.master_attr_for(a) {
+                    footprint.insert(m);
+                }
+            }
+            if !footprint.is_disjoint(&touched_m) {
+                for &a in rule.lhs() {
+                    tainted.insert(a);
+                }
+                tainted.insert(rule.rhs());
+            }
+        }
+        tainted
+    }
+
+    /// `true` iff the delta provably leaves the suggestion function
+    /// unchanged for every `(tuple, validated)` pair: it is pure
+    /// updates (inserts add support, deletes remove it — both can
+    /// change rule applicability), and no changed column is a key
+    /// column (`lhs_m` or pattern-aligned) of any rule. Fix-source
+    /// (`rhs_m`) changes alter the values `TransFix` propagates, but
+    /// a suggestion is an attr list — its derivation only probes
+    /// master *key* columns.
+    fn preserves_suggestions(
+        rules: &RuleSet,
+        old_master: &MasterIndex,
+        delta: &MasterDelta,
+    ) -> bool {
+        if !delta.inserts().is_empty() || delta.has_deletes() {
+            return false;
+        }
+        let mut touched_m = AttrSet::from_bits(0);
+        for (row, new) in delta.updates() {
+            let old = old_master.tuple(*row);
+            for (a, v) in old.iter() {
+                if v != new.get(a) {
+                    touched_m.insert(a);
+                }
+            }
+        }
+        if touched_m.is_empty() {
+            return true;
+        }
+        for (_, rule) in rules.iter() {
+            let mut keys = AttrSet::collect_from(rule.lhs_m().iter().copied());
+            for &a in rule.lhs_p() {
+                if let Some(m) = rule.master_attr_for(a) {
+                    keys.insert(m);
+                }
+            }
+            if !keys.is_disjoint(&touched_m) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Freshen every pooled candidate's stamp to `generation` (the
+    /// suggestion-preserving-delta path), counting each bump as a
+    /// revalidation. Stamps have interior mutability, so the shard
+    /// read lock suffices.
+    fn restamp_all(&self, generation: u64) {
+        for shard in self.shards.iter() {
+            let pool = shard.pool.read().expect("suggestion cache shard poisoned");
+            let mut revalidated = 0u64;
+            for slot in pool.map.values() {
+                for c in slot {
+                    if c.generation.load(Ordering::Relaxed) < generation {
+                        c.generation.store(generation, Ordering::Relaxed);
+                        revalidated += 1;
+                    }
+                }
+            }
+            if revalidated > 0 {
+                shard.revalidated.fetch_add(revalidated, Ordering::Relaxed);
+            }
         }
     }
 
@@ -210,15 +763,31 @@ impl SharedSuggestionCache {
         scratch: &mut ProbeScratch,
     ) -> Option<Vec<AttrId>> {
         let shard = self.shard(validated.bits());
-        for cand in self.candidates(validated) {
+        let generation = master.generation();
+        for cand in self.snapshot(validated) {
+            // the serve gate of invariant D12: only candidates stamped
+            // with the probing epoch's generation are ever served, in
+            // *both* hygiene modes. A retired-generation candidate can
+            // pass the `is_suggestion` re-check under the new master
+            // and still steer the interaction to a different final
+            // tuple than a fresh derivation would (the check proves
+            // validity, not canonicity), so stale entries lie dormant
+            // until a fresh computation re-derives the same list and
+            // the publish dedup restamps them (`revalidated`).
+            if cand.generation.load(Ordering::Relaxed) != generation {
+                continue;
+            }
             let ok = match plan {
-                Some(p) => is_suggestion_with(rules, master, t, validated, &cand, p, scratch),
-                None => is_suggestion(rules, master, t, validated, &cand),
+                Some(p) => is_suggestion_with(rules, master, t, validated, &cand.attrs, p, scratch),
+                None => is_suggestion(rules, master, t, validated, &cand.attrs),
             };
             if ok {
                 shard.hits.fetch_add(1, Ordering::Relaxed);
+                if self.hygiene {
+                    cand.referenced.store(true, Ordering::Relaxed);
+                }
                 *hit = true;
-                return Some(cand.to_vec());
+                return Some(cand.attrs.to_vec());
             }
         }
         shard.misses.fetch_add(1, Ordering::Relaxed);
@@ -229,7 +798,7 @@ impl SharedSuggestionCache {
         }
         .map(|s| s.attrs);
         if let Some(attrs) = &computed {
-            self.publish(validated, attrs);
+            self.publish(validated, attrs, generation);
         }
         computed
     }
@@ -239,17 +808,15 @@ impl SharedSuggestionCache {
         self.shards
             .iter()
             .map(|s| {
-                s.map
+                s.pool
                     .read()
                     .expect("suggestion cache shard poisoned")
-                    .values()
-                    .map(Vec::len)
-                    .sum::<usize>()
+                    .candidates
             })
             .sum()
     }
 
-    /// `true` iff nothing has been published yet.
+    /// `true` iff nothing is currently pooled.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -273,22 +840,34 @@ impl SharedSuggestionCache {
         let per_shard: Vec<ShardCounters> = self
             .shards
             .iter()
-            .map(|s| ShardCounters {
-                hits: s.hits.load(Ordering::Relaxed),
-                misses: s.misses.load(Ordering::Relaxed),
-                entries: s
-                    .map
-                    .read()
-                    .expect("suggestion cache shard poisoned")
-                    .values()
-                    .map(|v| v.len() as u64)
-                    .sum(),
+            .map(|s| {
+                let pool = s.pool.read().expect("suggestion cache shard poisoned");
+                ShardCounters {
+                    hits: s.hits.load(Ordering::Relaxed),
+                    misses: s.misses.load(Ordering::Relaxed),
+                    entries: pool.candidates as u64,
+                    keys: pool.map.len() as u64,
+                    evicted_delta: s.evicted_delta.load(Ordering::Relaxed),
+                    evicted_lru: s.evicted_lru.load(Ordering::Relaxed),
+                    revalidated: s.revalidated.load(Ordering::Relaxed),
+                    saturated: s.saturated.load(Ordering::Relaxed),
+                    keys_high_water: pool.keys_hw as u64,
+                    entries_high_water: pool.candidates_hw as u64,
+                }
             })
             .collect();
+        let sum = |f: fn(&ShardCounters) -> u64| per_shard.iter().map(f).sum();
         SharedCacheStats {
-            hits: per_shard.iter().map(|c| c.hits).sum(),
-            misses: per_shard.iter().map(|c| c.misses).sum(),
-            entries: per_shard.iter().map(|c| c.entries).sum(),
+            hits: sum(|c| c.hits),
+            misses: sum(|c| c.misses),
+            entries: sum(|c| c.entries),
+            keys: sum(|c| c.keys),
+            evicted_delta: sum(|c| c.evicted_delta),
+            evicted_lru: sum(|c| c.evicted_lru),
+            revalidated: sum(|c| c.revalidated),
+            saturated: sum(|c| c.saturated),
+            keys_high_water: sum(|c| c.keys_high_water),
+            entries_high_water: sum(|c| c.entries_high_water),
             per_shard,
         }
     }
@@ -297,6 +876,8 @@ impl SharedSuggestionCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use certainfix_relation::{Relation, Schema, Value};
+    use std::sync::Arc as StdArc;
 
     fn aset(bits: u64) -> AttrSet {
         AttrSet::from_bits(bits)
@@ -310,34 +891,103 @@ mod tests {
     fn publish_then_candidates_round_trip() {
         let cache = SharedSuggestionCache::new();
         assert!(cache.is_empty());
-        cache.publish(aset(0b011), &sugg(&[2, 3]));
-        cache.publish(aset(0b011), &sugg(&[4]));
-        cache.publish(aset(0b100), &sugg(&[0]));
+        cache.publish(aset(0b011), &sugg(&[2, 3]), 0);
+        cache.publish(aset(0b011), &sugg(&[4]), 0);
+        cache.publish(aset(0b100), &sugg(&[0]), 0);
         let pool = cache.candidates(aset(0b011));
         assert_eq!(pool.len(), 2);
         assert_eq!(&*pool[0], &sugg(&[2, 3])[..]);
         assert_eq!(cache.len(), 3);
         assert!(cache.candidates(aset(0b111)).is_empty());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.keys, 2);
+        assert_eq!(stats.entries_high_water, 3);
     }
 
     #[test]
     fn publishing_is_deduplicated() {
         let cache = SharedSuggestionCache::new();
-        cache.publish(aset(1), &sugg(&[5]));
-        cache.publish(aset(1), &sugg(&[5]));
+        cache.publish(aset(1), &sugg(&[5]), 0);
+        cache.publish(aset(1), &sugg(&[5]), 3);
         assert_eq!(cache.len(), 1, "identical candidate pooled once");
+        assert_eq!(
+            cache.candidates_with_generations(aset(1)),
+            vec![(sugg(&[5]), 3)],
+            "republish freshens the stamp"
+        );
+        assert_eq!(
+            cache.stats().revalidated,
+            1,
+            "a stamp-freshening republish is the revalidation event"
+        );
     }
 
     #[test]
     fn candidate_cap_is_enforced() {
         let cache = SharedSuggestionCache::new();
         for i in 0..(SharedSuggestionCache::MAX_CANDIDATES_PER_KEY as u16 + 10) {
-            cache.publish(aset(7), &sugg(&[i]));
+            cache.publish(aset(7), &sugg(&[i]), 0);
         }
         assert_eq!(
             cache.candidates(aset(7)).len(),
             SharedSuggestionCache::MAX_CANDIDATES_PER_KEY
         );
+        let stats = cache.stats();
+        assert_eq!(stats.saturated, 10, "every cap event is counted");
+        assert_eq!(stats.evicted_lru, 10, "hygiene on: the clock made room");
+    }
+
+    #[test]
+    fn hygiene_off_reproduces_insert_only_drops() {
+        let cache = SharedSuggestionCache::with_hygiene(false);
+        for i in 0..(SharedSuggestionCache::MAX_CANDIDATES_PER_KEY as u16 + 10) {
+            cache.publish(aset(7), &sugg(&[i]), 0);
+        }
+        let pool = cache.candidates(aset(7));
+        assert_eq!(pool.len(), SharedSuggestionCache::MAX_CANDIDATES_PER_KEY);
+        // insert-only: the *first* cap-many candidates survive
+        assert_eq!(&*pool[0], &sugg(&[0])[..]);
+        let stats = cache.stats();
+        assert_eq!(stats.saturated, 10, "drops are observable in off mode");
+        assert_eq!(stats.evicted_lru, 0, "but nothing was evicted");
+    }
+
+    #[test]
+    fn key_cap_clock_evicts_unreferenced_keys() {
+        let cache = SharedSuggestionCache::with_limits(true, 2, 4);
+        // shard selection is hash-scattered, so drive one shard by
+        // publishing keys that land in it: find three co-resident keys
+        let shard0 = cache.shard(1) as *const CacheShard;
+        let mut keys: Vec<u64> = Vec::new();
+        let mut bits = 1u64;
+        while keys.len() < 3 {
+            if std::ptr::eq(cache.shard(bits), shard0) {
+                keys.push(bits);
+            }
+            bits += 1;
+        }
+        cache.publish(aset(keys[0]), &sugg(&[1]), 0);
+        cache.publish(aset(keys[1]), &sugg(&[2]), 0);
+        // mark the first key referenced: the clock must pass it over
+        for cand in cache.snapshot(aset(keys[0])) {
+            cand.referenced.store(true, Ordering::Relaxed);
+        }
+        cache.publish(aset(keys[2]), &sugg(&[3]), 1);
+        assert_eq!(
+            cache.candidates(aset(keys[1])).len(),
+            0,
+            "the unreferenced key was evicted"
+        );
+        assert_eq!(
+            cache.candidates(aset(keys[0])).len(),
+            1,
+            "referenced key survives"
+        );
+        assert_eq!(cache.candidates(aset(keys[2])).len(), 1, "new key admitted");
+        let stats = cache.stats();
+        assert_eq!(stats.evicted_lru, 1);
+        assert_eq!(stats.saturated, 1);
     }
 
     /// The satellite cache-sharing test, at the cache's own level: a
@@ -348,7 +998,7 @@ mod tests {
         let cache = SharedSuggestionCache::new();
         std::thread::scope(|s| {
             s.spawn(|| {
-                cache.publish(aset(0b101), &sugg(&[5, 6]));
+                cache.publish(aset(0b101), &sugg(&[5, 6]), 0);
             })
             .join()
             .expect("writer thread");
@@ -367,16 +1017,249 @@ mod tests {
     fn stats_sum_per_shard_counters() {
         let cache = SharedSuggestionCache::new();
         for bits in 1..100u64 {
-            cache.publish(aset(bits), &sugg(&[1]));
+            cache.publish(aset(bits), &sugg(&[1]), 0);
         }
         let stats = cache.stats();
         assert_eq!(stats.per_shard.len(), SHARDS);
         assert_eq!(stats.entries, 99);
+        assert_eq!(stats.keys, 99);
+        assert_eq!(stats.keys_high_water, 99);
         assert!(
             stats.per_shard.iter().filter(|c| c.entries > 0).count() > 1,
             "keys spread across shards"
         );
         assert_eq!(stats.hits + stats.misses, 0, "no probes yet");
         assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    /// Build a tiny two-rule workload for the taint/eviction tests:
+    /// rule `r0` keys R.a0 on M.m0 and fixes R.a1 from M.m1; rule `r1`
+    /// keys R.a2 on M.m2 and fixes R.a3 from M.m3.
+    fn taint_fixture() -> (RuleSet, MasterIndex) {
+        let r = Schema::new("R", ["a0", "a1", "a2", "a3"]).unwrap();
+        let rm = Schema::new("M", ["m0", "m1", "m2", "m3"]).unwrap();
+        let rule0 = certainfix_rules::EditingRule::build(&r, &rm)
+            .name("r0")
+            .key("a0", "m0")
+            .fix("a1", "m1")
+            .finish()
+            .unwrap();
+        let rule1 = certainfix_rules::EditingRule::build(&r, &rm)
+            .name("r1")
+            .key("a2", "m2")
+            .fix("a3", "m3")
+            .finish()
+            .unwrap();
+        let rules = RuleSet::from_rules(r, rm.clone(), vec![rule0, rule1]).expect("rules build");
+        let master = Relation::new(
+            rm,
+            vec![
+                Tuple::new(vec![
+                    Value::from("k0"),
+                    Value::from("v0"),
+                    Value::from("k2"),
+                    Value::from("v2"),
+                ]),
+                Tuple::new(vec![
+                    Value::from("x0"),
+                    Value::from("y0"),
+                    Value::from("x2"),
+                    Value::from("y2"),
+                ]),
+            ],
+        )
+        .expect("master builds");
+        (rules, MasterIndex::new(StdArc::new(master)))
+    }
+
+    /// The satellite unit test: a delta touching master key column
+    /// `m0` (rule r0's key) evicts exactly the pooled entries whose
+    /// candidate lists intersect r0's R-side attrs {a0, a1}; entries
+    /// over r1's attrs survive, keeping their retired stamps (dormant
+    /// until a republish revalidates them).
+    #[test]
+    fn delta_evicts_exactly_intersecting_entries() {
+        let (rules, master) = taint_fixture();
+        let cache = SharedSuggestionCache::new();
+        cache.publish(aset(0b0001), &sugg(&[1]), 1); // intersects {a0,a1}
+        cache.publish(aset(0b0001), &sugg(&[3]), 1); // disjoint from {a0,a1}
+        cache.publish(aset(0b0100), &sugg(&[3]), 1); // disjoint, other key
+        cache.publish(aset(0b0100), &sugg(&[1, 3]), 1); // intersects via a1
+        assert_eq!(cache.len(), 4);
+
+        // update row 0's m0 value: a key-column change, taints r0 only
+        let mut changed = master.tuple(0).clone();
+        changed.set(AttrId(0), Value::from("k0-changed"));
+        let delta = MasterDelta::new().update(0, changed);
+        cache.apply_master_delta(&rules, &master, &delta, 2);
+
+        assert_eq!(
+            cache.candidates_with_generations(aset(0b0001)),
+            vec![(sugg(&[3]), 1)],
+            "intersecting candidate evicted, survivor keeps its stamp"
+        );
+        assert_eq!(
+            cache.candidates_with_generations(aset(0b0100)),
+            vec![(sugg(&[3]), 1)],
+            "intersection through any attr of the list evicts"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.evicted_delta, 2);
+        assert_eq!(stats.revalidated, 0, "survivors are dormant, not restamped");
+        assert_eq!(stats.entries, 2);
+
+        // a republish under the new generation revives the survivor
+        cache.publish(aset(0b0001), &sugg(&[3]), 2);
+        assert_eq!(
+            cache.candidates_with_generations(aset(0b0001)),
+            vec![(sugg(&[3]), 2)]
+        );
+        assert_eq!(cache.stats().revalidated, 1);
+    }
+
+    /// Insert-only deltas cannot invalidate a pooled suggestion
+    /// (monotonicity; see the module docs), so they must not evict.
+    #[test]
+    fn insert_only_deltas_evict_nothing() {
+        let (rules, master) = taint_fixture();
+        let cache = SharedSuggestionCache::new();
+        cache.publish(aset(0b0001), &sugg(&[1]), 1);
+        cache.publish(aset(0b0100), &sugg(&[3]), 1);
+        let delta = MasterDelta::new().insert(Tuple::new(vec![
+            Value::from("n0"),
+            Value::from("n1"),
+            Value::from("n2"),
+            Value::from("n3"),
+        ]));
+        cache.apply_master_delta(&rules, &master, &delta, 2);
+        assert_eq!(cache.len(), 2, "nothing evicted");
+        assert_eq!(cache.stats().evicted_delta, 0);
+        assert_eq!(
+            cache.stats().revalidated,
+            0,
+            "inserts add support, so the pool is retired, not restamped"
+        );
+    }
+
+    /// A pure-update delta that only touches fix-source columns
+    /// (never a rule key) preserves the suggestion function: the pool
+    /// is restamped wholesale and keeps serving across the generation
+    /// bump instead of going dormant.
+    #[test]
+    fn fix_only_updates_restamp_the_pool() {
+        let (rules, master0) = taint_fixture();
+        // change row 0's m1 and m3 — both fix sources, no key columns
+        let mut changed = master0.tuple(0).clone();
+        changed.set(AttrId(1), Value::from("v0-changed"));
+        changed.set(AttrId(3), Value::from("v2-changed"));
+        let delta = MasterDelta::new().update(0, changed);
+        let master1 = master0.apply_delta(&delta).expect("update applies");
+
+        let cache = SharedSuggestionCache::new();
+        let validated = aset(0b0001);
+        cache.publish(validated, &sugg(&[2, 3]), 0);
+        cache.apply_master_delta(&rules, &master0, &delta, master1.generation());
+
+        let stats = cache.stats();
+        assert_eq!(stats.evicted_delta, 0, "nothing evicted");
+        assert_eq!(stats.revalidated, 1, "the whole pool restamped");
+        assert_eq!(
+            cache.candidates_with_generations(validated),
+            vec![(sugg(&[2, 3]), master1.generation())]
+        );
+
+        // ... and the restamped entry serves under the new epoch
+        let t = Tuple::new(vec![
+            Value::from("k0"),
+            Value::Null,
+            Value::from("k2"),
+            Value::Null,
+        ]);
+        let mut hit = false;
+        let served = cache.suggest_through(&rules, &master1, &t, validated, &mut hit);
+        assert_eq!(served, Some(sugg(&[2, 3])));
+        assert!(hit, "pool stays hot across a suggestion-preserving delta");
+    }
+
+    /// The D12 serve gate: a candidate stamped with a retired
+    /// generation is never served (in either hygiene mode), even when
+    /// it would still pass the `is_suggestion` re-check — it lies
+    /// dormant until a fresh derivation republishes the list, which
+    /// restamps it and makes it servable again.
+    #[test]
+    fn retired_generation_candidates_lie_dormant_until_republished() {
+        let (rules, master0) = taint_fixture();
+        let master1 = master0
+            .apply_delta(&MasterDelta::new().insert(Tuple::new(vec![
+                Value::from("n0"),
+                Value::from("n1"),
+                Value::from("n2"),
+                Value::from("n3"),
+            ])))
+            .expect("insert delta applies");
+        assert_eq!(master1.generation(), 1);
+
+        for hygiene in [true, false] {
+            let cache = SharedSuggestionCache::with_hygiene(hygiene);
+            let t = Tuple::new(vec![
+                Value::from("k0"),
+                Value::Null,
+                Value::from("k2"),
+                Value::Null,
+            ]);
+            // only a0 validated: closure({a0}) = {a0,a1}, so a real
+            // suggestion is needed to reach a2/a3
+            let validated = aset(0b0001);
+            cache.publish(validated, &sugg(&[2, 3]), 0);
+
+            // same generation as the stamp: served
+            let mut hit = false;
+            let served = cache.suggest_through(&rules, &master0, &t, validated, &mut hit);
+            assert_eq!(served, Some(sugg(&[2, 3])));
+            assert!(
+                hit,
+                "current-generation candidate serves (hygiene={hygiene})"
+            );
+
+            // newer generation: the stamp is retired, so the probe
+            // misses and recomputes even though the list would still
+            // pass the re-check under the new master
+            let mut hit = true;
+            let fresh = cache.suggest_through(&rules, &master1, &t, validated, &mut hit);
+            assert!(!hit, "retired stamp is never served (hygiene={hygiene})");
+            let fresh = fresh.expect("the miss fell through to a fresh compute");
+            assert!(!fresh.is_empty(), "fixture needs a nonempty suggestion");
+
+            // ... and the publish of that fresh result makes the next
+            // probe hit again
+            let mut hit = false;
+            cache.suggest_through(&rules, &master1, &t, validated, &mut hit);
+            assert!(
+                hit,
+                "republished candidate serves again (hygiene={hygiene})"
+            );
+        }
+    }
+
+    /// A delete taints every rule keyed on the removed row's non-null
+    /// columns; with hygiene off the same delta is a no-op.
+    #[test]
+    fn deletes_taint_and_hygiene_off_ignores() {
+        let (rules, master) = taint_fixture();
+        let on = SharedSuggestionCache::new();
+        let off = SharedSuggestionCache::with_hygiene(false);
+        for cache in [&on, &off] {
+            cache.publish(aset(0b0001), &sugg(&[1]), 1);
+            cache.publish(aset(0b0001), &sugg(&[3]), 1);
+        }
+        let delta = MasterDelta::new().delete(1);
+        on.apply_master_delta(&rules, &master, &delta, 2);
+        off.apply_master_delta(&rules, &master, &delta, 2);
+        // the deleted row has all four columns non-null: both rules
+        // taint, so both candidates intersect and are evicted
+        assert_eq!(on.len(), 0);
+        assert_eq!(on.stats().evicted_delta, 2);
+        assert_eq!(off.len(), 2, "hygiene off never evicts");
+        assert_eq!(off.stats().evicted_delta, 0);
     }
 }

@@ -522,7 +522,7 @@ fn handle_conn(
             }
             Ok(Some(Frame::Delta(delta))) => {
                 frames_in += 1;
-                match service.engine().context().apply_master_delta(&delta) {
+                match service.engine().apply_master_delta(&delta) {
                     Ok(generation) => {
                         writer.lock().unwrap().send(&Frame::DeltaAck { generation });
                     }

@@ -32,7 +32,9 @@ use certainfix_relation::{AttrId, AttrSet, MasterDelta, Tuple, Value};
 /// First four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"CFXW";
 /// Protocol version this build speaks (rejects everything else).
-pub const VERSION: u16 = 1;
+/// Version 2 added the shared-cache lifecycle counters to the stats
+/// payload.
+pub const VERSION: u16 = 2;
 /// Fixed header size in bytes: magic + version + kind + payload length.
 pub const HEADER_LEN: usize = 12;
 /// Hard cap on a frame's payload length. A header declaring more is
@@ -281,6 +283,10 @@ impl Payload {
         self.u64(s.interner_syms);
         self.u64(s.shared_hits);
         self.u64(s.shared_misses);
+        self.u64(s.shared_evicted_delta);
+        self.u64(s.shared_evicted_lru);
+        self.u64(s.shared_revalidated);
+        self.u64(s.shared_saturated);
         self.u64(s.plan_probes);
         self.u64(s.probe_allocs);
         self.u64(s.plan_fallbacks);
@@ -649,6 +655,10 @@ impl<'a> Buf<'a> {
             interner_syms: self.u64()?,
             shared_hits: self.u64()?,
             shared_misses: self.u64()?,
+            shared_evicted_delta: self.u64()?,
+            shared_evicted_lru: self.u64()?,
+            shared_revalidated: self.u64()?,
+            shared_saturated: self.u64()?,
             plan_probes: self.u64()?,
             probe_allocs: self.u64()?,
             plan_fallbacks: self.u64()?,

@@ -86,11 +86,13 @@ fn arb_stats() -> impl Strategy<Value = MonitorStats> {
             any::<u64>(),
             arb_net(),
         ),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
     )
         .prop_map(
             |(
                 (tuples, certain, rounds, elapsed, interner_syms, shared_hits),
                 (shared_misses, plan_probes, probe_allocs, plan_fallbacks, plan_rebuilds, net),
+                (shared_evicted_delta, shared_evicted_lru, shared_revalidated, shared_saturated),
             )| MonitorStats {
                 tuples,
                 certain,
@@ -99,6 +101,10 @@ fn arb_stats() -> impl Strategy<Value = MonitorStats> {
                 interner_syms,
                 shared_hits,
                 shared_misses,
+                shared_evicted_delta,
+                shared_evicted_lru,
+                shared_revalidated,
+                shared_saturated,
                 plan_probes,
                 probe_allocs,
                 plan_fallbacks,

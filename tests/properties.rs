@@ -657,4 +657,129 @@ proptest! {
             }
         }
     }
+
+    /// The D12 contract, randomized: random rules, master data, and
+    /// insert/update/delete/fix-only-update [`MasterDelta`] sequences
+    /// interleaved with probe batches. The shared suggestion cache is
+    /// a pure performance layer — hygiene on (targeted eviction,
+    /// clock at the caps, suggestion-preserving restamps), hygiene
+    /// off (the historical insert-only pool behind the generation
+    /// serve gate), and a cold cache (fresh engine per batch over the
+    /// pinned master) all repair every tuple to the same final
+    /// values, at 1, 2, and 4 workers. Certainty verdicts and
+    /// validated sets carry D8's checked-reuse caveat — a pooled
+    /// suggestion that passes the validity re-check can steer the
+    /// interaction along a different (equally valid) trajectory than
+    /// a fresh derivation — so they are compared only between the two
+    /// hygiene modes at matching temperature, not against the cold
+    /// engines (the `exp_delta` CI legs diff full outcome digests on
+    /// the benchmark workloads, where canonical reuse holds).
+    #[test]
+    fn cache_hygiene_never_changes_outcomes(
+        (master_rows, specs, _, _) in arb_workload(),
+        phases in proptest::collection::vec(
+            (
+                proptest::collection::vec((arb_tuple(), arb_tuple()), 1..8),
+                proptest::collection::vec((0u8..4, arb_tuple(), any::<u16>()), 0..4),
+            ),
+            1..4,
+        ),
+    ) {
+        let Some((rules, _)) = build_rules(specs) else { return Ok(()); };
+        let master = Arc::new(Relation::new(schema(), master_rows).unwrap());
+        let cleans: Vec<Tuple> = phases
+            .iter()
+            .flat_map(|(b, _)| b.iter().map(|(_, c)| c.clone()))
+            .collect();
+        // the master attrs some rule probes as a key; updates that
+        // avoid them are suggestion-preserving (the restamp path)
+        let mut key_attrs = AttrSet::default();
+        for (_, rule) in rules.iter() {
+            key_attrs |= AttrSet::collect_from(rule.lhs_m().iter().copied());
+            for &a in rule.lhs_p() {
+                if let Some(m) = rule.master_attr_for(a) {
+                    key_attrs.insert(m);
+                }
+            }
+        }
+        let fix_attr = (0..ATTRS as u16)
+            .map(AttrId)
+            .find(|a| !key_attrs.contains(*a));
+        for workers in [1usize, 2, 4] {
+            // one warm session per hygiene mode over the same stream
+            let mut runs = Vec::new();
+            for hygiene in [true, false] {
+                let mut session = RepairSessionBuilder::new(rules.clone(), master.clone())
+                    .threads(workers)
+                    .shared_cache(true)
+                    .cache_hygiene(hygiene)
+                    .build();
+                let mut pinned: Vec<Arc<Relation>> = Vec::new();
+                for (batch, ops) in &phases {
+                    pinned.push(session.engine().context().epoch().master().relation().clone());
+                    let dirty: Vec<Tuple> = batch.iter().map(|(d, _)| d.clone()).collect();
+                    session.push_batch(&dirty, |i| SimulatedUser::new(cleans[i].clone()));
+                    for (kind, t, r) in ops {
+                        let rel = session.engine().context().epoch().master().relation().clone();
+                        let rows = rel.len() as u32;
+                        let delta = match kind {
+                            0 => MasterDelta::new().insert(t.clone()),
+                            1 if rows > 0 => MasterDelta::new().update(*r as u32 % rows, t.clone()),
+                            2 if rows > 1 => MasterDelta::new().delete(*r as u32 % rows),
+                            // fix-column-only update: change one
+                            // non-key attr, keep the rest of the row
+                            3 if rows > 0 && fix_attr.is_some() => {
+                                let fa = fix_attr.unwrap();
+                                let row = *r as u32 % rows;
+                                let new = Tuple::new(
+                                    rel.tuples()[row as usize]
+                                        .iter()
+                                        .map(|(a, v)| if a == fa { *t.get(fa) } else { *v })
+                                        .collect(),
+                                );
+                                MasterDelta::new().update(row, new)
+                            }
+                            _ => continue,
+                        };
+                        session.apply_master_delta(&delta).expect("delta applies");
+                    }
+                }
+                runs.push((pinned, session.finish()));
+            }
+            let (pinned, on) = &runs[0];
+            let (_, off) = &runs[1];
+            // hygiene on ≡ hygiene off, batch by batch
+            prop_assert_eq!(on.batches.len(), off.batches.len());
+            for (a, b) in on.batches.iter().zip(&off.batches) {
+                prop_assert_eq!(a.outcomes.len(), b.outcomes.len());
+                for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+                    prop_assert_eq!(&x.tuple, &y.tuple);
+                    prop_assert_eq!(x.certain, y.certain);
+                    prop_assert_eq!(&x.validated, &y.validated);
+                }
+            }
+            // ≡ a cold cache: a fresh engine (empty pool) per batch
+            // over the master state that batch pinned
+            let mut offset = 0usize;
+            for (k, ((batch, _), base)) in phases.iter().zip(pinned).enumerate() {
+                let dirty: Vec<Tuple> = batch.iter().map(|(d, _)| d.clone()).collect();
+                let fresh =
+                    BatchRepairEngine::new(RepairContext::new(rules.clone(), base.clone(), false));
+                let opts = RepairOptions {
+                    threads: 1,
+                    shared_cache: true,
+                    ..RepairOptions::default()
+                };
+                let want = fresh.repair_opts(&dirty, &opts, |i| {
+                    SimulatedUser::new(cleans[offset + i].clone())
+                });
+                let got = &on.batches[k];
+                prop_assert_eq!(got.outcomes.len(), want.outcomes.len());
+                for (a, b) in got.outcomes.iter().zip(&want.outcomes) {
+                    prop_assert_eq!(&a.tuple, &b.tuple);
+                }
+                offset += batch.len();
+            }
+        }
+    }
 }
