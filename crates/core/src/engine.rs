@@ -318,20 +318,25 @@ impl RepairContext {
     /// epoch write lock is held only for the pointer swap, so pinning
     /// stalls at most microseconds.
     pub fn apply_master_delta(&self, delta: &MasterDelta) -> Result<u64, RelationError> {
-        self.apply_master_delta_pinning(delta)
-            .map(|(_, generation)| generation)
+        self.apply_master_delta_maintaining(delta, |_, _| ())
     }
 
-    /// [`apply_master_delta`](Self::apply_master_delta), additionally
-    /// returning the epoch the delta was applied *to* — the shared
-    /// cache's targeted invalidation diffs the delta's named rows
-    /// against exactly those pre-delta master values, and reading the
-    /// pair under the gate keeps concurrent deltas from pairing a row
-    /// id with the wrong generation's row.
-    pub(crate) fn apply_master_delta_pinning(
+    /// [`apply_master_delta`](Self::apply_master_delta) that
+    /// additionally runs `maintain(old_master, new_generation)` —
+    /// `old_master` being the index the delta was applied *to* —
+    /// before the delta gate is released. The shared cache's targeted
+    /// invalidation diffs the delta's named rows against exactly those
+    /// pre-delta master values, and running it under the gate keeps
+    /// concurrent deltas (the net server applies them from multiple
+    /// connection handlers) from interleaving cache maintenance out of
+    /// epoch order: a later preserving delta's restamp must never run
+    /// before an earlier non-preserving delta's taint eviction, or the
+    /// window would briefly make tainted entries servable.
+    pub(crate) fn apply_master_delta_maintaining(
         &self,
         delta: &MasterDelta,
-    ) -> Result<(Arc<MasterEpoch>, u64), RelationError> {
+        maintain: impl FnOnce(&MasterIndex, u64),
+    ) -> Result<u64, RelationError> {
         let _gate = self.delta_gate.lock().expect("delta gate poisoned");
         let current = self.epoch();
         let next_master = current.master().apply_delta(delta)?;
@@ -343,7 +348,8 @@ impl RepairContext {
         let generation = next.generation();
         *self.epoch.write().expect("epoch lock poisoned") = next;
         self.rebuilds.fetch_add(1, Ordering::Relaxed);
-        Ok((current, generation))
+        maintain(current.master(), generation);
+        Ok(generation)
     }
 
     /// Run the per-tuple pipeline for one tuple against the *current*
@@ -839,13 +845,17 @@ impl BatchRepairEngine {
     /// served, so evicting (or keeping) them can cost a recomputation,
     /// never a different repair (invariant D12, DETERMINISM.md). For
     /// suggestion-preserving deltas (pure fix-column updates) the
-    /// cache instead restamps the whole pool, carrying its heat across
-    /// the generation bump.
+    /// cache instead restamps the pre-delta generation's entries,
+    /// carrying the pool's heat across the generation bump. The cache
+    /// maintenance runs inside the context's delta gate, so concurrent
+    /// deltas see their epoch swap *and* cache walk as one atomic
+    /// step, in generation order.
     pub fn apply_master_delta(&self, delta: &MasterDelta) -> Result<u64, RelationError> {
-        let (pinned, generation) = self.ctx.apply_master_delta_pinning(delta)?;
-        self.shared
-            .apply_master_delta(self.ctx.rules(), pinned.master(), delta, generation);
-        Ok(generation)
+        self.ctx
+            .apply_master_delta_maintaining(delta, |old_master, generation| {
+                self.shared
+                    .apply_master_delta(self.ctx.rules(), old_master, delta, generation);
+            })
     }
 
     /// This machine's available parallelism (the `--threads 0` / "auto"

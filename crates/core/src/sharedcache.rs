@@ -54,10 +54,14 @@
 //!   function unchanged — derivations only probe master key columns,
 //!   and a pooled attr list never encodes fix values — so
 //!   [`apply_master_delta`](SharedSuggestionCache::apply_master_delta)
-//!   restamps the whole pool to the new generation (`revalidated`)
-//!   and it keeps serving across the bump. This is the warm-start
-//!   win: with hygiene off the same delta retires every entry behind
-//!   the serve gate, and the next batch pays a miss per key.
+//!   restamps every candidate at the *pre-delta* generation to the
+//!   new one (`revalidated`) and the pool keeps serving across the
+//!   bump. Only that one generation is revived: the proof covers
+//!   exactly the old→new transition, so entries left dormant by an
+//!   earlier non-preserving delta stay dormant. This is the
+//!   warm-start win: with hygiene off the same delta retires every
+//!   entry behind the serve gate, and the next batch pays a miss per
+//!   key.
 //! * **Targeted delta invalidation** (hygiene on). A [`MasterDelta`]
 //!   names exactly the master rows it touches. [`apply_master_delta`](SharedSuggestionCache::apply_master_delta)
 //!   maps the touched rows to the master attributes whose values
@@ -158,13 +162,18 @@ struct ShardPool {
     /// validated-set bits → candidate suggestions, in publication order.
     map: FxHashMap<u64, Vec<Arc<Candidate>>>,
     /// Reverse index: suggestion attr → cache keys whose candidate
-    /// lists contain it. Pruned lazily — a key may linger in a set
-    /// after its last candidate with that attr was evicted; the next
-    /// delta walk visiting it cleans it up.
+    /// lists contain it. Maintained only with hygiene on (nothing
+    /// reads it with hygiene off) and pruned eagerly on every
+    /// eviction path — clock, within-key second chance, delta walk —
+    /// so a key sits in an attr's set iff one of its pooled
+    /// candidates carries the attr; otherwise long-lived services
+    /// under key churn would leak one set slot per distinct key ever
+    /// published.
     by_attr: FxHashMap<AttrId, FxHashSet<u64>>,
     /// Clock ring over keys in publication order (second-chance victim
-    /// selection at the key cap). Keys evicted elsewhere are removed
-    /// lazily when the hand reaches them.
+    /// selection at the key cap). Keys evicted by the delta walk are
+    /// compacted out at the end of the walk; the lazy removal when the
+    /// hand lands on a stale slot is only a belt-and-braces fallback.
     ring: Vec<u64>,
     /// The clock hand: index into `ring` of the next sweep position.
     hand: usize,
@@ -180,6 +189,21 @@ impl ShardPool {
     fn note_occupancy(&mut self) {
         self.keys_hw = self.keys_hw.max(self.map.len());
         self.candidates_hw = self.candidates_hw.max(self.candidates);
+    }
+
+    /// Drop `key` from the reverse sets of the given attrs, reclaiming
+    /// emptied sets. Callers pass the attrs of candidates they just
+    /// evicted, after checking no surviving candidate of the key still
+    /// carries them.
+    fn unindex(&mut self, key: u64, attrs: &[AttrId]) {
+        for &a in attrs {
+            if let Some(keys) = self.by_attr.get_mut(&a) {
+                keys.remove(&key);
+                if keys.is_empty() {
+                    self.by_attr.remove(&a);
+                }
+            }
+        }
     }
 
     /// Second-chance victim selection over `ring` starting at `hand`:
@@ -211,7 +235,11 @@ impl ShardPool {
                 steps += 1;
                 continue;
             }
-            let evicted = self.map.remove(&key).map_or(0, |p| p.len());
+            let victims = self.map.remove(&key).unwrap_or_default();
+            let evicted = victims.len();
+            for c in &victims {
+                self.unindex(key, &c.attrs);
+            }
             self.candidates -= evicted;
             self.ring.swap_remove(self.hand);
             return evicted;
@@ -440,6 +468,7 @@ impl SharedSuggestionCache {
         let mut evicted_lru = 0u64;
         let mut revalidated = 0u64;
         let mut added = false;
+        let mut victim_attrs: Option<Arc<[AttrId]>> = None;
         {
             let slot = pool.map.entry(key).or_default();
             if let Some(at) = slot.iter().position(|c| *c.attrs == *suggestion) {
@@ -478,7 +507,11 @@ impl SharedSuggestionCache {
                     // displaced by each other, keeping the
                     // serve-visible subsequence cold-pool-shaped. If
                     // everything is current and referenced, clear the
-                    // bits and take the front (oldest publish).
+                    // bits and take the *back* (newest publish): the
+                    // incoming candidate replaces the tail, leaving
+                    // the serve-visible prefix — the order the serve
+                    // loop scans — untouched (D12's ordering
+                    // argument survives cap pressure).
                     let victim = slot
                         .iter()
                         .enumerate()
@@ -499,9 +532,9 @@ impl SharedSuggestionCache {
                             for c in slot.iter() {
                                 c.referenced.store(false, Ordering::Relaxed);
                             }
-                            0
+                            slot.len() - 1
                         });
-                    slot.remove(victim);
+                    victim_attrs = Some(slot.remove(victim).attrs.clone());
                     evicted_lru += 1;
                     slot.push(Candidate::new(suggestion, generation));
                     added = true;
@@ -518,13 +551,33 @@ impl SharedSuggestionCache {
             shard.evicted_lru.fetch_add(evicted_lru, Ordering::Relaxed);
             pool.candidates -= evicted_lru as usize;
         }
+        if let Some(vattrs) = victim_attrs {
+            // prune the victim's attrs from the reverse index unless a
+            // survivor still carries them (the replacement candidate
+            // is already in the slot, so shared attrs count)
+            let orphaned: Vec<AttrId> = vattrs
+                .iter()
+                .copied()
+                .filter(|a| {
+                    !pool
+                        .map
+                        .get(&key)
+                        .is_some_and(|s| s.iter().any(|c| c.attrs.contains(a)))
+                })
+                .collect();
+            pool.unindex(key, &orphaned);
+        }
         if added {
             pool.candidates += 1;
             if new_key {
                 pool.ring.push(key);
             }
-            for &a in suggestion {
-                pool.by_attr.entry(a).or_default().insert(key);
+            if self.hygiene {
+                // the reverse index only feeds the hygiene-on delta
+                // walk; with hygiene off it would just accumulate
+                for &a in suggestion {
+                    pool.by_attr.entry(a).or_default().insert(key);
+                }
             }
         } else if new_key && pool.map.get(&key).is_some_and(Vec::is_empty) {
             // a capped, hygiene-off publish created an empty slot: undo
@@ -541,9 +594,13 @@ impl SharedSuggestionCache {
     ///   master columns avoid every rule's key columns — `lhs_m` and
     ///   pattern-aligned attrs): the suggestion function is untouched
     ///   (support probes see identical key values, and a pooled list
-    ///   never encodes fix values), so the whole pool is restamped to
-    ///   `generation` and stays servable across the delta — the
-    ///   warm-start win. Counted under `revalidated`.
+    ///   never encodes fix values), so every candidate stamped with
+    ///   `old_master`'s generation is restamped to `generation` and
+    ///   stays servable across the delta — the warm-start win.
+    ///   Counted under `revalidated`. Candidates at even older
+    ///   generations are *not* revived: the preserving proof covers
+    ///   only this one transition (see
+    ///   [`restamp_generation`](Self::restamp_generation)).
     /// - **Everything else** (inserts, deletes, key-column updates):
     ///   derive the tainted R-side attribute set from the delta's
     ///   named rows (see the module docs) and evict every pooled
@@ -566,7 +623,7 @@ impl SharedSuggestionCache {
             return;
         }
         if Self::preserves_suggestions(rules, old_master, delta) {
-            self.restamp_all(generation);
+            self.restamp_generation(old_master.generation(), generation);
             return;
         }
         let tainted = Self::tainted_attrs(rules, old_master, delta);
@@ -587,28 +644,42 @@ impl SharedSuggestionCache {
                 continue;
             }
             let mut evicted = 0u64;
+            let mut removed_key = false;
             for &key in &touched {
                 let Some(slot) = pool.map.get_mut(&key) else {
                     continue; // stale reverse-index entry
                 };
                 let before = slot.len();
-                slot.retain(|c| !c.intersects(&tainted));
+                let mut evicted_attrs: FxHashSet<AttrId> = FxHashSet::default();
+                slot.retain(|c| {
+                    if c.intersects(&tainted) {
+                        evicted_attrs.extend(c.attrs.iter().copied());
+                        false
+                    } else {
+                        true
+                    }
+                });
                 evicted += (before - slot.len()) as u64;
+                // tainted attrs never survive in this key, but an
+                // evicted candidate's *untainted* attrs may still be
+                // carried by a survivor — only orphaned attrs leave
+                // the reverse index
+                let orphaned: Vec<AttrId> = evicted_attrs
+                    .into_iter()
+                    .filter(|a| !slot.iter().any(|c| c.attrs.contains(a)))
+                    .collect();
                 if slot.is_empty() {
-                    pool.map.remove(&key); // ring slot reclaimed lazily
+                    pool.map.remove(&key);
+                    removed_key = true;
                 }
+                pool.unindex(key, &orphaned);
             }
-            // survivors of a touched key contain no tainted attr, so
-            // every touched key leaves the tainted attrs' reverse sets
-            for a in tainted.iter() {
-                if let Some(keys) = pool.by_attr.get_mut(&a) {
-                    for key in &touched {
-                        keys.remove(key);
-                    }
-                    if keys.is_empty() {
-                        pool.by_attr.remove(&a);
-                    }
-                }
+            if removed_key {
+                // compact stale ring slots now rather than waiting for
+                // the clock hand: under delta churn they would pile up
+                // long before any cap event sweeps them
+                let ShardPool { map, ring, .. } = &mut *pool;
+                ring.retain(|k| map.contains_key(k));
             }
             pool.candidates -= evicted as usize;
             shard.evicted_delta.fetch_add(evicted, Ordering::Relaxed);
@@ -702,18 +773,26 @@ impl SharedSuggestionCache {
         true
     }
 
-    /// Freshen every pooled candidate's stamp to `generation` (the
-    /// suggestion-preserving-delta path), counting each bump as a
-    /// revalidation. Stamps have interior mutability, so the shard
-    /// read lock suffices.
-    fn restamp_all(&self, generation: u64) {
+    /// Freshen the stamp of every pooled candidate currently at
+    /// generation `from` to `to` (the suggestion-preserving-delta
+    /// path), counting each bump as a revalidation. Only the `from`
+    /// generation is restamped: the preserving proof covers exactly
+    /// the `from → to` transition, so entries left dormant by an
+    /// earlier non-preserving delta (or published by a worker still
+    /// pinned on an older epoch) must stay dormant until a fresh
+    /// derivation republishes them — reviving them here would let a
+    /// candidate the proof never covered pass the serve gate and
+    /// steer an interaction away from the fresh derivation (D12).
+    /// Stamps have interior mutability, so the shard read lock
+    /// suffices.
+    fn restamp_generation(&self, from: u64, to: u64) {
         for shard in self.shards.iter() {
             let pool = shard.pool.read().expect("suggestion cache shard poisoned");
             let mut revalidated = 0u64;
             for slot in pool.map.values() {
                 for c in slot {
-                    if c.generation.load(Ordering::Relaxed) < generation {
-                        c.generation.store(generation, Ordering::Relaxed);
+                    if c.generation.load(Ordering::Relaxed) == from {
+                        c.generation.store(to, Ordering::Relaxed);
                         revalidated += 1;
                     }
                 }
@@ -1239,6 +1318,137 @@ mod tests {
                 "republished candidate serves again (hygiene={hygiene})"
             );
         }
+    }
+
+    /// A preserving delta only revives the generation it was applied
+    /// to: entries left dormant by an earlier non-preserving delta
+    /// stay dormant until a fresh derivation republishes them — the
+    /// preserving proof covers exactly one generation transition.
+    #[test]
+    fn preserving_restamp_skips_multi_generation_dormant_entries() {
+        let (rules, master0) = taint_fixture();
+        let cache = SharedSuggestionCache::new();
+        // survives the taint walk (disjoint from r0's {a0,a1}) but
+        // goes dormant at generation 0
+        cache.publish(aset(0b0100), &sugg(&[3]), 0);
+        let mut keyed = master0.tuple(0).clone();
+        keyed.set(AttrId(0), Value::from("k0-changed"));
+        let d1 = MasterDelta::new().update(0, keyed);
+        let master1 = master0.apply_delta(&d1).expect("delta applies");
+        cache.apply_master_delta(&rules, &master0, &d1, master1.generation());
+        assert_eq!(
+            cache.candidates_with_generations(aset(0b0100)),
+            vec![(sugg(&[3]), 0)],
+            "untainted entry survives the non-preserving delta, dormant"
+        );
+        // a fresh entry published under the new epoch
+        cache.publish(aset(0b0001), &sugg(&[1]), master1.generation());
+        // a preserving (fix-column-only) delta on top
+        let mut fixed = master1.tuple(0).clone();
+        fixed.set(AttrId(1), Value::from("v0-changed"));
+        let d2 = MasterDelta::new().update(0, fixed);
+        let master2 = master1.apply_delta(&d2).expect("delta applies");
+        cache.apply_master_delta(&rules, &master1, &d2, master2.generation());
+        assert_eq!(
+            cache.candidates_with_generations(aset(0b0001)),
+            vec![(sugg(&[1]), master2.generation())],
+            "the pre-delta generation is restamped"
+        );
+        assert_eq!(
+            cache.candidates_with_generations(aset(0b0100)),
+            vec![(sugg(&[3]), 0)],
+            "a multi-generation-dormant entry is never revived"
+        );
+        assert_eq!(cache.stats().revalidated, 1);
+    }
+
+    /// At cap pressure with every candidate current-generation and
+    /// referenced, the fallback displaces the *newest* entry, keeping
+    /// the serve-visible prefix (the order the serve loop scans) stable.
+    #[test]
+    fn cap_pressure_on_referenced_current_entries_evicts_the_newest() {
+        let cache = SharedSuggestionCache::with_limits(true, 16, 4);
+        for i in 0..4u16 {
+            cache.publish(aset(9), &sugg(&[i]), 0);
+        }
+        for c in cache.snapshot(aset(9)) {
+            c.referenced.store(true, Ordering::Relaxed);
+        }
+        cache.publish(aset(9), &sugg(&[9]), 0);
+        let pool = cache.candidates(aset(9));
+        assert_eq!(pool.len(), 4);
+        assert_eq!(&*pool[0], &sugg(&[0])[..], "head of the order is stable");
+        assert_eq!(&*pool[1], &sugg(&[1])[..]);
+        assert_eq!(&*pool[2], &sugg(&[2])[..]);
+        assert_eq!(&*pool[3], &sugg(&[9])[..], "only the tail was displaced");
+        assert_eq!(cache.stats().evicted_lru, 1);
+    }
+
+    /// The reverse index and clock ring exactly mirror the pool: every
+    /// indexed (attr, key) pair has a pooled holder and vice versa.
+    fn assert_reverse_index_exact(cache: &SharedSuggestionCache) {
+        for shard in cache.shards.iter() {
+            let pool = shard.pool.read().expect("shard poisoned");
+            for (a, keys) in &pool.by_attr {
+                assert!(!keys.is_empty(), "empty attr sets are reclaimed");
+                for key in keys {
+                    let slot = pool.map.get(key).expect("indexed key is pooled");
+                    assert!(
+                        slot.iter().any(|c| c.attrs.contains(a)),
+                        "indexed attr {a:?} has a pooled holder in key {key}"
+                    );
+                }
+            }
+            for (key, slot) in &pool.map {
+                for c in slot {
+                    for a in c.attrs.iter() {
+                        assert!(
+                            pool.by_attr.get(a).is_some_and(|k| k.contains(key)),
+                            "pooled attr {a:?} of key {key} is indexed"
+                        );
+                    }
+                }
+                assert!(pool.ring.contains(key), "pooled key {key} is on the ring");
+            }
+            for key in &pool.ring {
+                assert!(pool.map.contains_key(key), "ring slot {key} is live");
+            }
+        }
+    }
+
+    /// Every eviction path — within-key second chance, key-cap clock,
+    /// delta walk — prunes the reverse index eagerly, so it stays
+    /// bounded by the pool instead of growing with every distinct key
+    /// ever published.
+    #[test]
+    fn reverse_index_is_pruned_on_every_eviction_path() {
+        let (rules, master) = taint_fixture();
+        let cache = SharedSuggestionCache::with_limits(true, 2, 2);
+        // within-key second chance: the third publish displaces one
+        cache.publish(aset(0b0001), &sugg(&[1]), 1);
+        cache.publish(aset(0b0001), &sugg(&[3]), 1);
+        cache.publish(aset(0b0001), &sugg(&[1, 3]), 1);
+        assert_reverse_index_exact(&cache);
+        // key-cap clock: a third co-resident key forces a key eviction
+        let shard0 = cache.shard(0b0001) as *const CacheShard;
+        let mut keys: Vec<u64> = Vec::new();
+        let mut bits = 2u64;
+        while keys.len() < 2 {
+            if bits != 0b0001 && std::ptr::eq(cache.shard(bits), shard0) {
+                keys.push(bits);
+            }
+            bits += 1;
+        }
+        cache.publish(aset(keys[0]), &sugg(&[2]), 1);
+        cache.publish(aset(keys[1]), &sugg(&[2, 3]), 1);
+        assert!(cache.stats().evicted_lru >= 2, "clock evicted a key");
+        assert_reverse_index_exact(&cache);
+        // delta walk: taint r0 ({a0, a1}) and evict intersecting lists
+        let mut changed = master.tuple(0).clone();
+        changed.set(AttrId(0), Value::from("k0-changed"));
+        let delta = MasterDelta::new().update(0, changed);
+        cache.apply_master_delta(&rules, &master, &delta, 2);
+        assert_reverse_index_exact(&cache);
     }
 
     /// A delete taints every rule keyed on the removed row's non-null
